@@ -1,0 +1,179 @@
+"""Ablations of the three tuning parameters (Section 2.1 mechanisms).
+
+The paper's design rests on three claims about *when* each parameter
+pays off; each gets a controlled experiment on a purpose-built path:
+
+* **parallelism** multiplies throughput only while the TCP buffer is
+  smaller than the BDP ("Parallelism is advantageous ... when the
+  system buffer size is smaller than BDP");
+* **pipelining** rescues many-small-files workloads and does nothing
+  for large files ("The size of the transferred files should be
+  smaller than the BDP to take advantage of pipelining");
+* **concurrency** beats parallelism when disk IO is the bottleneck
+  ("allotting channels to multiple file transfer instead of a single
+  one yields higher disk IO throughput which qualifies concurrency to
+  be the most effective parameter").
+"""
+
+from conftest import emit, run_once
+
+from repro import units
+from repro.datasets.files import FileInfo
+from repro.netsim.disk import ParallelDisk
+from repro.netsim.endpoint import EndSystem, ServerSpec
+from repro.netsim.engine import ChunkPlan, TransferEngine
+from repro.netsim.link import NetworkPath
+from repro.netsim.params import TransferParams
+
+#: High-BDP path where the 4 MB buffer (not the link) limits a stream:
+#: stream cap = 4 MB / 100 ms = 40 MB/s against a 10 Gbps link.
+BUFFER_LIMITED_PATH = NetworkPath(
+    bandwidth=units.gbps(10),
+    rtt=units.ms(100),
+    tcp_buffer=4 * units.MB,
+    protocol_efficiency=1.0,
+)
+
+
+def strong_host() -> EndSystem:
+    server = ServerSpec(
+        name="ablation-host",
+        cores=8,
+        tdp_watts=100.0,
+        nic_rate=units.gbps(10),
+        disk=ParallelDisk(per_accessor_rate=500 * units.MB, array_rate=2000 * units.MB),
+        per_channel_rate=600 * units.MB,
+        core_rate=800 * units.MB,
+        per_file_overhead=0.0,
+    )
+    return EndSystem("host", server, server_count=1)
+
+
+def run_engine(path, site, plan) -> tuple[float, float]:
+    engine = TransferEngine(path, site, site, lambda s, u: 10.0 * u.channels, dt=0.25)
+    engine.add_chunk(plan)
+    engine.run()
+    return engine.total_bytes / engine.time, engine.total_energy
+
+
+def test_ablation_parallelism_buffer_limited(benchmark):
+    """Streams multiply goodput up to BDP/buf, then flatline."""
+
+    def sweep():
+        site = strong_host()
+        files = tuple(FileInfo(f"f{i}", 2 * units.GB) for i in range(4))
+        rows = []
+        for p in (1, 2, 4, 8, 16, 32):
+            plan = ChunkPlan("c", files, TransferParams(parallelism=p, concurrency=1))
+            rate, _ = run_engine(BUFFER_LIMITED_PATH, site, plan)
+            rows.append((p, units.to_mbps(rate)))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    text = "parallelism ablation (4 MB buffer, 100 ms RTT, BDP 125 MB)\n" + "\n".join(
+        f"  p={p:<3d} -> {mbps:7.1f} Mbps" for p, mbps in rows
+    )
+    emit("ablation_parallelism", text)
+    by_p = dict(rows)
+    # near-linear gains while buffer-limited...
+    assert by_p[2] > 1.8 * by_p[1]
+    assert by_p[4] > 3.4 * by_p[1]
+    # ...then saturation once p * buf covers the BDP and the host caps out
+    assert by_p[32] < 1.3 * by_p[16]
+
+
+def test_ablation_parallelism_useless_below_bdp(benchmark):
+    """On a low-BDP path one stream already fills the pipe."""
+
+    def sweep():
+        site = strong_host()
+        path = NetworkPath(
+            bandwidth=units.gbps(1), rtt=units.ms(2), tcp_buffer=32 * units.MB,
+            protocol_efficiency=1.0,
+        )
+        files = tuple(FileInfo(f"f{i}", units.GB) for i in range(2))
+        rows = []
+        for p in (1, 4, 16):
+            plan = ChunkPlan("c", files, TransferParams(parallelism=p, concurrency=1))
+            rate, _ = run_engine(path, site, plan)
+            rows.append((p, units.to_mbps(rate)))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    emit(
+        "ablation_parallelism_low_bdp",
+        "parallelism on a low-BDP path (buffer > BDP)\n"
+        + "\n".join(f"  p={p:<3d} -> {mbps:7.1f} Mbps" for p, mbps in rows),
+    )
+    by_p = dict(rows)
+    assert by_p[16] < 1.05 * by_p[1]  # no benefit
+
+
+def test_ablation_pipelining_small_files(benchmark):
+    """Deep pipelines rescue small files; large files don't care."""
+
+    def sweep():
+        server = strong_host().server
+        site = EndSystem("host", server, 1)
+        path = NetworkPath(
+            bandwidth=units.gbps(10), rtt=units.ms(40), tcp_buffer=32 * units.MB,
+            protocol_efficiency=1.0,
+        )
+        small = tuple(FileInfo(f"s{i}", 2 * units.MB) for i in range(2000))
+        big = tuple(FileInfo(f"b{i}", 4 * units.GB) for i in range(1))
+        rows = []
+        for pp in (1, 2, 4, 8, 16, 32):
+            rate_s, _ = run_engine(path, site, ChunkPlan("s", small, TransferParams(pipelining=pp)))
+            rate_b, _ = run_engine(path, site, ChunkPlan("b", big, TransferParams(pipelining=pp)))
+            rows.append((pp, units.to_mbps(rate_s), units.to_mbps(rate_b)))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    text = "pipelining ablation (40 ms RTT)\n" + "\n".join(
+        f"  pp={pp:<3d} small files {s:7.1f} Mbps | one large file {b:7.1f} Mbps"
+        for pp, s, b in rows
+    )
+    emit("ablation_pipelining", text)
+    by_pp = {pp: (s, b) for pp, s, b in rows}
+    assert by_pp[32][0] > 5 * by_pp[1][0]  # small files transformed
+    assert by_pp[32][1] < 1.02 * by_pp[1][1]  # large file indifferent
+
+
+def test_ablation_concurrency_beats_parallelism_on_disk(benchmark):
+    """Same stream budget: 8 channels x 1 stream beats 1 channel x 8
+    streams when the disk array scales with accessors."""
+
+    def compare():
+        server = ServerSpec(
+            name="disk-bound",
+            cores=8,
+            tdp_watts=100.0,
+            nic_rate=units.gbps(10),
+            # each accessor (channel) engages another stripe
+            disk=ParallelDisk(per_accessor_rate=60 * units.MB, array_rate=600 * units.MB),
+            per_channel_rate=600 * units.MB,
+            core_rate=800 * units.MB,
+            per_file_overhead=0.0,
+        )
+        site = EndSystem("host", server, 1)
+        path = NetworkPath(
+            bandwidth=units.gbps(10), rtt=units.ms(10), tcp_buffer=32 * units.MB,
+            protocol_efficiency=1.0,
+        )
+        files = tuple(FileInfo(f"f{i}", 500 * units.MB) for i in range(16))
+        rate_p, _ = run_engine(
+            path, site, ChunkPlan("p", files, TransferParams(parallelism=8, concurrency=1))
+        )
+        rate_c, _ = run_engine(
+            path, site, ChunkPlan("c", files, TransferParams(parallelism=1, concurrency=8))
+        )
+        return units.to_mbps(rate_p), units.to_mbps(rate_c)
+
+    rate_p, rate_c = run_once(benchmark, compare)
+    emit(
+        "ablation_concurrency_vs_parallelism",
+        "same 8-stream budget on a striped array\n"
+        f"  1 channel x 8 streams : {rate_p:7.1f} Mbps\n"
+        f"  8 channels x 1 stream : {rate_c:7.1f} Mbps",
+    )
+    assert rate_c > 4 * rate_p

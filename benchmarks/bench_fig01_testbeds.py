@@ -1,0 +1,15 @@
+"""Figure 1 — network map and specifications of the test environments."""
+
+from conftest import emit, run_once
+
+from repro.harness.figures import render_testbed_specs
+from repro.testbeds import ALL_TESTBEDS
+
+
+def test_fig01_testbed_specs(benchmark):
+    text = run_once(benchmark, render_testbed_specs)
+    emit("fig01_testbeds", text)
+    for tb in ALL_TESTBEDS:
+        assert tb.name in text
+    assert "10 Gbps" in text  # XSEDE
+    assert "50.0 MB" in text  # the XSEDE BDP

@@ -1,0 +1,44 @@
+"""Figure 2 — data transfers between Stampede (TACC) and Gordon (SDSC)
+@XSEDE: throughput, energy consumption, and energy efficiency across
+concurrency levels 1-12, plus the brute-force efficiency reference
+(cc = 1..20)."""
+
+import pytest
+from conftest import emit, run_once
+
+from repro.harness.figures import (
+    render_concurrency_charts,
+    render_concurrency_figure,
+    render_efficiency_panel,
+)
+from repro.harness.sweeps import brute_force_sweep, concurrency_sweep
+from repro.testbeds import XSEDE
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return concurrency_sweep(XSEDE)
+
+
+def test_fig02ab_throughput_and_energy(benchmark, sweep):
+    text = run_once(benchmark, lambda: render_concurrency_figure(sweep))
+    text += "\n\n" + render_concurrency_charts(sweep)
+    emit("fig02ab_xsede", text)
+    # headline shapes: ProMC reaches ~7.5 Gbps; MinE's energy is lowest
+    assert max(sweep.throughputs_mbps("ProMC")) > 6500
+    idx12 = sweep.levels.index(12)
+    mine = sweep.energies_joules("MinE")[idx12]
+    assert mine <= min(
+        sweep.energies_joules(a)[idx12] for a in ("GUC", "GO", "SC", "ProMC")
+    )
+
+
+def test_fig02c_efficiency_vs_brute_force(benchmark, sweep):
+    bf = run_once(benchmark, lambda: brute_force_sweep(XSEDE))
+    text = render_efficiency_panel(sweep, bf)
+    emit("fig02c_xsede_efficiency", text)
+    best_bf = max(o.efficiency for o in bf)
+    # HTEE lands near the brute-force optimum (paper: ~95%)
+    assert sweep.best_efficiency("HTEE") >= 0.85 * best_bf
+    # MinE trails the best possible ratio (paper: ~70%)
+    assert sweep.best_efficiency("MinE") < best_bf

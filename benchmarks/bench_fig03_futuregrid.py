@@ -1,0 +1,38 @@
+"""Figure 3 — data transfers between Alamo (TACC) and Hotel (UChicago)
+@FutureGrid: throughput, energy, efficiency across concurrency, plus
+the brute-force reference."""
+
+import pytest
+from conftest import emit, run_once
+
+from repro.harness.figures import (
+    render_concurrency_charts,
+    render_concurrency_figure,
+    render_efficiency_panel,
+)
+from repro.harness.sweeps import brute_force_sweep, concurrency_sweep
+from repro.testbeds import FUTUREGRID
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return concurrency_sweep(FUTUREGRID)
+
+
+def test_fig03ab_throughput_and_energy(benchmark, sweep):
+    text = run_once(benchmark, lambda: render_concurrency_figure(sweep))
+    text += "\n\n" + render_concurrency_charts(sweep)
+    emit("fig03ab_futuregrid", text)
+    # GUC is the untuned floor; ProMC approaches the 1 Gbps link
+    assert max(sweep.throughputs_mbps("GUC")) <= min(
+        max(sweep.throughputs_mbps(a)) for a in ("SC", "MinE", "ProMC", "HTEE")
+    )
+    assert 650 < max(sweep.throughputs_mbps("ProMC")) < 950
+
+
+def test_fig03c_efficiency_vs_brute_force(benchmark, sweep):
+    bf = run_once(benchmark, lambda: brute_force_sweep(FUTUREGRID))
+    text = render_efficiency_panel(sweep, bf)
+    emit("fig03c_futuregrid_efficiency", text)
+    best_bf = max(o.efficiency for o in bf)
+    assert sweep.best_efficiency("HTEE") >= 0.80 * best_bf

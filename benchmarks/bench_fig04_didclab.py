@@ -1,0 +1,41 @@
+"""Figure 4 — data transfers between WS9 and WS6 @DIDCLAB (LAN,
+single-disk workstations): concurrency hurts, everyone's optimum is a
+single channel."""
+
+import pytest
+from conftest import emit, run_once
+
+from repro.harness.figures import (
+    render_concurrency_charts,
+    render_concurrency_figure,
+    render_efficiency_panel,
+)
+from repro.harness.sweeps import brute_force_sweep, concurrency_sweep
+from repro.testbeds import DIDCLAB
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return concurrency_sweep(DIDCLAB)
+
+
+def test_fig04ab_throughput_and_energy(benchmark, sweep):
+    text = run_once(benchmark, lambda: render_concurrency_figure(sweep))
+    text += "\n\n" + render_concurrency_charts(sweep)
+    emit("fig04ab_didclab", text)
+    thr = sweep.throughputs_mbps("ProMC")
+    energy = sweep.energies_joules("ProMC")
+    assert thr[-1] < thr[0]  # throughput degrades with concurrency
+    assert energy[-1] > energy[0]  # energy grows with concurrency
+
+
+def test_fig04c_efficiency_vs_brute_force(benchmark, sweep):
+    bf = run_once(benchmark, lambda: brute_force_sweep(DIDCLAB, levels=range(1, 13)))
+    text = render_efficiency_panel(sweep, bf)
+    emit("fig04c_didclab_efficiency", text)
+    # the single-channel run is the brute-force optimum on the LAN
+    best = max(bf, key=lambda o: o.efficiency)
+    assert best.max_channels == 1
+    # all non-GO algorithms reach >=90% of the best ratio (paper text)
+    for alg in ("GUC", "SC", "MinE", "ProMC", "HTEE"):
+        assert sweep.best_efficiency(alg) >= 0.88 * best.efficiency

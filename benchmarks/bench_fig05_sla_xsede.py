@@ -1,0 +1,22 @@
+"""Figure 5 — SLA transfers between Stampede and Gordon @XSEDE:
+SLAEE at target percentages {95, 90, 80, 70, 50} of the ProMC maximum;
+throughput, energy and deviation panels."""
+
+from conftest import emit, run_once
+
+from repro.harness.figures import render_sla_figure
+from repro.harness.sweeps import sla_sweep
+from repro.testbeds import XSEDE
+
+
+def test_fig05_sla_xsede(benchmark):
+    records = run_once(benchmark, lambda: sla_sweep(XSEDE))
+    text = render_sla_figure("XSEDE", records)
+    emit("fig05_sla_xsede", text)
+    by_target = {r.target_pct: r for r in records}
+    # the 95% target is unreachable (paper), every other target is met
+    assert by_target[95.0].deviation_pct < 0
+    for pct in (90.0, 80.0, 70.0, 50.0):
+        assert by_target[pct].deviation_pct > -8.0
+    # energy savings vs ProMC-at-max reach the published "up to 30%"
+    assert max(r.energy_saving_vs_reference_pct for r in records) > 15.0

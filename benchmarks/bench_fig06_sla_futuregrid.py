@@ -1,0 +1,22 @@
+"""Figure 6 — SLA transfers between Alamo and Hotel @FutureGrid."""
+
+from conftest import emit, run_once
+
+from repro.harness.figures import render_sla_figure
+from repro.harness.sweeps import sla_sweep
+from repro.testbeds import FUTUREGRID
+
+
+def test_fig06_sla_futuregrid(benchmark):
+    records = run_once(benchmark, lambda: sla_sweep(FUTUREGRID))
+    text = render_sla_figure("FutureGrid", records)
+    emit("fig06_sla_futuregrid", text)
+    by_target = {r.target_pct: r for r in records}
+    # small deviations at high targets, the jump at the 50% target
+    # (the concurrency floor overshoots — the paper's 25% case)
+    assert abs(by_target[95.0].deviation_pct) < 8.0
+    assert abs(by_target[90.0].deviation_pct) < 8.0
+    assert by_target[50.0].deviation_pct > 15.0
+    # savings in the paper's 11-19% neighbourhood
+    savings = [r.energy_saving_vs_reference_pct for r in records]
+    assert max(savings) > 10.0

@@ -1,0 +1,20 @@
+"""Figure 7 — SLA transfers between WS9 and WS6 @DIDCLAB: on the LAN,
+concurrency 1 is optimal for everything, so SLAEE always picks it —
+deviation grows to ~100% at the 50% target and no energy can be saved."""
+
+from conftest import emit, run_once
+
+from repro.harness.figures import render_sla_figure
+from repro.harness.sweeps import sla_sweep
+from repro.testbeds import DIDCLAB
+
+
+def test_fig07_sla_didclab(benchmark):
+    records = run_once(benchmark, lambda: sla_sweep(DIDCLAB))
+    text = render_sla_figure("DIDCLAB", records)
+    emit("fig07_sla_didclab", text)
+    assert all(r.final_concurrency == 1 for r in records)
+    by_target = {r.target_pct: r for r in records}
+    assert by_target[50.0].deviation_pct > 80.0  # the paper's ~100% case
+    # neither throughput nor energy can be improved on the LAN
+    assert all(abs(r.energy_saving_vs_reference_pct) < 5.0 for r in records)

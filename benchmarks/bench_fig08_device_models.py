@@ -1,0 +1,56 @@
+"""Figure 8 — the relation between data transfer rate and network
+device power consumption under the non-linear, linear and state-based
+models, plus Section 4's worked energy example."""
+
+from conftest import emit, run_once
+
+from repro import units
+from repro.harness.figures import render_device_model_curves
+from repro.netenergy.models import (
+    LinearPowerModel,
+    NonLinearPowerModel,
+    StateBasedPowerModel,
+    transfer_energy,
+)
+
+
+def test_fig08_model_curves(benchmark):
+    text = run_once(benchmark, lambda: render_device_model_curves(points=21))
+    emit("fig08_device_models", text)
+    nonlinear = NonLinearPowerModel(idle_watts=0.0, max_dynamic_watts=100.0)
+    linear = LinearPowerModel(idle_watts=0.0, max_dynamic_watts=100.0)
+    state = StateBasedPowerModel(idle_watts=0.0, max_dynamic_watts=100.0)
+    # the non-linear curve dominates the linear one below full rate
+    for u in (0.1, 0.3, 0.5, 0.9):
+        assert nonlinear.dynamic_power(u) > linear.dynamic_power(u)
+    assert nonlinear.dynamic_power(1.0) == linear.dynamic_power(1.0)
+    assert state.dynamic_power(1.0) == 100.0
+
+
+def test_fig08_section4_energy_analysis(benchmark):
+    """Quadrupling the rate halves non-linear energy and leaves linear
+    energy unchanged — the paper's closed-form example."""
+
+    def analysis():
+        line = units.gbps(10)
+        data = 160 * units.GB
+        rows = []
+        for name, model in (
+            ("non-linear", NonLinearPowerModel(0.0, 100.0)),
+            ("linear", LinearPowerModel(0.0, 100.0)),
+        ):
+            base = transfer_energy(model, data, 0.2 * line, line)
+            fast = transfer_energy(model, data, 0.8 * line, line)
+            rows.append((name, base, fast))
+        return rows
+
+    rows = run_once(benchmark, analysis)
+    text = "\n".join(
+        f"{name:>10s}: E(d)={base:9.1f} J  E(4d)={fast:9.1f} J  ratio={fast / base:.2f}"
+        for name, base, fast in rows
+    )
+    emit("fig08_energy_analysis", "Section 4 rate-vs-energy analysis\n" + text)
+    nonlinear_row = rows[0]
+    linear_row = rows[1]
+    assert nonlinear_row[2] / nonlinear_row[1] == 0.5
+    assert linear_row[2] == linear_row[1]

@@ -1,0 +1,25 @@
+"""Figure 9 — overview of the networking infrastructure of the XSEDE,
+FutureGrid and DIDCLAB testbeds (device chains + per-hop energy)."""
+
+from conftest import emit, run_once
+
+from repro import units
+from repro.harness.figures import render_topologies
+from repro.netenergy.topology import didclab_topology, futuregrid_topology, xsede_topology
+
+
+def test_fig09_topologies(benchmark):
+    topologies = run_once(
+        benchmark, lambda: [xsede_topology(), futuregrid_topology(), didclab_topology()]
+    )
+    lines = [render_topologies(topologies), "", "Per-hop dynamic energy for 40 GB:"]
+    for topo in topologies:
+        lines.append(f"  {topo.name}:")
+        for node, joules in topo.per_device_energy(40 * units.GB):
+            lines.append(f"    {node:<24s} {joules:8.1f} J")
+    text = "\n".join(lines)
+    emit("fig09_topologies", text)
+
+    assert len(topologies[0].path_devices()) == 8  # XSEDE chain
+    assert len(topologies[1].path_devices()) == 6  # FutureGrid chain
+    assert len(topologies[2].path_devices()) == 1  # DIDCLAB LAN switch

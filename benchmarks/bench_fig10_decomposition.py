@@ -1,0 +1,28 @@
+"""Figure 10 — power consumption of end-systems vs network devices:
+the load-dependent energy split of an HTEE transfer on each testbed."""
+
+from conftest import emit, run_once
+
+from repro.harness.figures import render_decomposition
+from repro.harness.sweeps import energy_decomposition
+from repro.testbeds import DIDCLAB, FUTUREGRID, XSEDE
+
+
+def test_fig10_end_system_vs_network(benchmark):
+    records = run_once(
+        benchmark,
+        lambda: [energy_decomposition(tb) for tb in (XSEDE, FUTUREGRID, DIDCLAB)],
+    )
+    text = render_decomposition(records)
+    emit("fig10_decomposition", text)
+
+    by_name = {r.testbed: r for r in records}
+    # end-systems dominate everywhere (paper: 21 vs 2.2 kJ on XSEDE etc.)
+    for rec in records:
+        assert rec.end_system_joules > 4 * rec.network_joules
+    # the metro-router-heavy FutureGrid path has the largest network share
+    assert (
+        by_name["FutureGrid"].network_share_pct
+        > by_name["XSEDE"].network_share_pct
+        > by_name["DIDCLAB"].network_share_pct
+    )

@@ -1,0 +1,38 @@
+"""The throughput/energy Pareto frontier of Figure 2's configurations.
+
+The paper's narrative in frontier language: ProMC anchors the fast end,
+MinE the cheap end, HTEE sits on (or hugs) the knee, and the untuned
+GUC is strictly dominated — pure waste."""
+
+from conftest import emit, run_once
+
+from repro.harness.pareto import pareto_frontier, render_frontier
+from repro.harness.sweeps import concurrency_sweep
+from repro.testbeds import XSEDE
+
+
+def test_xsede_pareto_frontier(benchmark):
+    def analyze():
+        sweep = concurrency_sweep(XSEDE)
+        outcomes = []
+        seen = set()
+        for algorithm, series in sweep.series.items():
+            for outcome in series:
+                key = (algorithm, outcome.max_channels)
+                if key not in seen:  # GUC/GO repeat across levels
+                    seen.add(key)
+                    outcomes.append(outcome)
+        return pareto_frontier(outcomes)
+
+    points = run_once(benchmark, analyze)
+    emit("pareto_xsede", "XSEDE configuration frontier\n" + render_frontier(points))
+
+    frontier_algorithms = {p.outcome.algorithm for p in points if p.on_frontier}
+    assert "ProMC" in frontier_algorithms  # fastest configurations
+    assert "MinE" in frontier_algorithms  # cheapest configurations
+    # the untuned baseline is never on the frontier
+    guc = [p for p in points if p.outcome.algorithm == "GUC"]
+    assert guc and all(not p.on_frontier for p in guc)
+    # HTEE's chosen operating points sit on or near the frontier
+    htee = [p for p in points if p.outcome.algorithm == "HTEE"]
+    assert min(p.energy_excess for p in htee) < 0.10

@@ -1,0 +1,122 @@
+"""Related-work claims (Section 5), made testable.
+
+* Lu et al. [33]: "parallel streams can achieve a better throughput
+  than buffer size tuning" — true exactly when the OS buffer ceiling
+  sits below the BDP, so a single tuned stream cannot fill the pipe
+  while n default-sized streams can.
+* PCP [47] tunes the same parameters for throughput only; it should
+  match ProMC-class throughput while paying ProMC-class energy —
+  which is the gap HTEE's energy term closes.
+"""
+
+from conftest import emit, run_once
+
+from repro import units
+from repro.core.htee import HTEEAlgorithm
+from repro.core.baselines import ProMCAlgorithm
+from repro.core.related import BufferTuningAlgorithm, PCPAlgorithm
+from repro.datasets.files import Dataset, FileInfo
+from repro.netsim.disk import ParallelDisk
+from repro.netsim.endpoint import EndSystem, ServerSpec
+from repro.netsim.engine import ChunkPlan, TransferEngine
+from repro.netsim.link import NetworkPath
+from repro.netsim.params import TransferParams
+from repro.testbeds import XSEDE
+from repro.testbeds.specs import Testbed
+from repro.power.coefficients import CoefficientSet
+
+
+def network_bound_testbed(os_max_buffer_mb: float) -> Testbed:
+    """A long fat pipe where the network, not the host, binds:
+    BDP = 125 MB while the OS caps buffers at ``os_max_buffer_mb``."""
+    server = ServerSpec(
+        name="fast-host",
+        cores=16,
+        tdp_watts=150.0,
+        nic_rate=units.gbps(10),
+        disk=ParallelDisk(per_accessor_rate=1250 * units.MB, array_rate=3000 * units.MB),
+        per_channel_rate=1250 * units.MB,
+        core_rate=1000 * units.MB,
+        per_file_overhead=0.0,
+    )
+    site = EndSystem("site", server, 1)
+    path = NetworkPath(
+        bandwidth=units.gbps(10),
+        rtt=units.ms(100),
+        tcp_buffer=os_max_buffer_mb * units.MB,
+        protocol_efficiency=1.0,
+        congestion_knee=64,
+    )
+    dataset = Dataset.from_sizes([2 * units.GB] * 10, name="lfn-20GB")
+    return Testbed(
+        name="LongFatPipe",
+        path=path,
+        source=site,
+        destination=site,
+        coefficients=CoefficientSet(),
+        dataset_factory=lambda: dataset,
+        engine_dt=0.25,
+    )
+
+
+def test_parallel_streams_beat_buffer_tuning(benchmark):
+    def compare():
+        tb = network_bound_testbed(os_max_buffer_mb=16)  # ceiling << 125 MB BDP
+        ds = tb.dataset()
+        tuned = BufferTuningAlgorithm().run(tb, ds)
+        # 8 parallel streams at the default (capped) buffer
+        engine = TransferEngine(
+            tb.path, tb.source, tb.destination, lambda s, u: 10.0, dt=0.25
+        )
+        engine.add_chunk(ChunkPlan("all", tuple(ds), TransferParams(1, 8, 1)))
+        engine.run()
+        parallel_rate = engine.total_bytes / engine.time
+        return tuned, parallel_rate
+
+    tuned, parallel_rate = run_once(benchmark, compare)
+    text = (
+        "buffer tuning vs parallel streams (10 Gbps x 100 ms, OS cap 16 MB)\n"
+        f"  tuned single stream : {tuned.throughput_mbps:7.0f} Mbps "
+        f"(buffer {tuned.extra['tuned_buffer'] / units.MB:.0f} MB)\n"
+        f"  8 parallel streams  : {units.to_mbps(parallel_rate):7.0f} Mbps"
+    )
+    emit("related_buffer_vs_streams", text)
+    # the single tuned stream is pinned at ~16 MB / 100 ms = 1.28 Gbps
+    assert tuned.throughput_mbps < 1500
+    assert units.to_mbps(parallel_rate) > 4 * tuned.throughput_mbps
+
+
+def test_buffer_tuning_sufficient_when_ceiling_covers_bdp(benchmark):
+    def run():
+        tb = network_bound_testbed(os_max_buffer_mb=256)  # ceiling > BDP
+        return BufferTuningAlgorithm().run(tb, tb.dataset())
+
+    tuned = run_once(benchmark, run)
+    emit(
+        "related_buffer_ample",
+        f"buffer tuning with an ample OS ceiling: {tuned.throughput_mbps:.0f} Mbps "
+        f"(buffer {tuned.extra['tuned_buffer'] / units.MB:.0f} MB)",
+    )
+    assert tuned.throughput_mbps > 8000  # one stream fills the 10 G pipe
+
+
+def test_pcp_fast_but_energy_blind(benchmark):
+    def compare():
+        ds = XSEDE.dataset()
+        pcp = PCPAlgorithm().run(XSEDE, ds, 12)
+        htee = HTEEAlgorithm().run(XSEDE, ds, 12)
+        promc = ProMCAlgorithm().run(XSEDE, ds, 12)
+        return pcp, htee, promc
+
+    pcp, htee, promc = run_once(benchmark, compare)
+    text = (
+        "throughput-only PCP vs energy-aware HTEE @XSEDE cc<=12\n"
+        f"  PCP   : {pcp.throughput_mbps:6.0f} Mbps, {pcp.energy_joules:7.0f} J "
+        f"(picked cc={pcp.final_concurrency})\n"
+        f"  HTEE  : {htee.throughput_mbps:6.0f} Mbps, {htee.energy_joules:7.0f} J "
+        f"(picked cc={htee.final_concurrency})\n"
+        f"  ProMC : {promc.throughput_mbps:6.0f} Mbps, {promc.energy_joules:7.0f} J"
+    )
+    emit("related_pcp_vs_htee", text)
+    assert pcp.throughput > 0.85 * promc.throughput  # throughput-competitive
+    assert pcp.energy_joules > htee.energy_joules  # but pays for it

@@ -1,0 +1,121 @@
+"""Section 2.2 — power-model validation across transfer tools.
+
+Reproduces the model-building phase (component load sweeps + linear
+regression, Eq. 2 quadratic recovery) and the per-tool validation: the
+fine-grained model's error stays in the single digits for every tool
+(paper: <6%), the CPU-only model tracks it closely on the server it was
+fitted on, and extending the CPU model to a foreign server via the TDP
+ratio costs a few extra points (paper: +2-3%)."""
+
+from conftest import emit, run_once
+
+from repro import units
+from repro.netsim.disk import ParallelDisk
+from repro.netsim.endpoint import ServerSpec
+from repro.power.calibration import (
+    fit_coefficients,
+    fit_cpu_quadratic,
+    generate_load_sweep,
+    mean_absolute_percentage_error,
+)
+from repro.power.coefficients import CoefficientSet, cpu_coefficient
+from repro.power.models import CpuTdpPowerModel, FineGrainedPowerModel
+from repro.power.tools import TOOL_PROFILES, generate_tool_run
+
+TRUE_INTEL = CoefficientSet(memory=0.012, disk=0.07, nic=0.045)
+
+
+def intel_server(tdp=115.0) -> ServerSpec:
+    return ServerSpec(
+        name="intel", cores=4, tdp_watts=tdp, nic_rate=units.gbps(10),
+        disk=ParallelDisk(100e6, 500e6), per_channel_rate=100e6, core_rate=400e6,
+    )
+
+
+def amd_server() -> ServerSpec:
+    # the AMD box: different TDP; its true power scale deviates a few
+    # percent from the pure TDP ratio, which is what costs the CPU
+    # model its extra error when extended
+    return ServerSpec(
+        name="amd", cores=4, tdp_watts=125.0, nic_rate=units.gbps(10),
+        disk=ParallelDisk(100e6, 500e6), per_channel_rate=100e6, core_rate=400e6,
+    )
+
+
+def test_sec22_model_building(benchmark):
+    """Calibration: regression recovers Eq. 1 coefficients and Eq. 2."""
+
+    def build():
+        per_core = {}
+        fitted_at_1 = None
+        for n in (1, 2, 3, 4):
+            sweep = generate_load_sweep(
+                intel_server(), TRUE_INTEL, active_cores=n, noise_fraction=0.01, seed=n
+            )
+            cpu_at_n, fitted = fit_coefficients(sweep, active_cores=n)
+            per_core[n] = cpu_at_n
+            if n == 1:
+                fitted_at_1 = fitted
+        quad = fit_cpu_quadratic(per_core)
+        return per_core, quad, fitted_at_1
+
+    per_core, (a, b, c), fitted = run_once(benchmark, build)
+    lines = ["Section 2.2 model building (calibration phase)"]
+    for n, coeff in per_core.items():
+        lines.append(
+            f"  C_cpu,{n}: fitted {coeff:.4f}  (Eq.2: {cpu_coefficient(n):.4f})"
+        )
+    lines.append(f"  Eq.2 quadratic fit: a={a:.4f} b={b:.4f} c={c:.4f} "
+                 f"(paper: 0.011, -0.082, 0.344)")
+    lines.append(
+        f"  component coefficients @1 core: mem={fitted.memory:.4f} "
+        f"disk={fitted.disk:.4f} nic={fitted.nic:.4f} "
+        f"(true: {TRUE_INTEL.memory}, {TRUE_INTEL.disk}, {TRUE_INTEL.nic})"
+    )
+    emit("sec22_model_building", "\n".join(lines))
+    assert abs(a - 0.011) < 0.01
+    assert abs(c - 0.344) < 0.06
+
+
+def test_sec22_tool_error_table(benchmark):
+    """Per-tool error: fine-grained vs CPU-based vs TDP-extended."""
+
+    def validate():
+        fine = FineGrainedPowerModel(TRUE_INTEL)
+        cpu_model = CpuTdpPowerModel(
+            local_tdp_watts=115.0, cpu_share=0.897, coefficients=TRUE_INTEL
+        )
+        rows = []
+        for name in ("scp", "rsync", "ftp", "bbcp", "gridftp"):
+            run = generate_tool_run(TOOL_PROFILES[name], TRUE_INTEL, seed=17)
+            fine_err = mean_absolute_percentage_error(
+                lambda u: fine.power(intel_server(), u), run
+            )
+            cpu_err = mean_absolute_percentage_error(
+                lambda u: cpu_model.power(intel_server(), u), run
+            )
+            # the AMD run's true power deviates from the TDP-scaled
+            # prediction by a small machine-specific factor
+            amd_truth = TRUE_INTEL.scaled((125.0 / 115.0) * 1.03)
+            amd_run = generate_tool_run(TOOL_PROFILES[name], amd_truth, seed=18)
+            amd_err = mean_absolute_percentage_error(
+                lambda u: cpu_model.power(amd_server(), u), amd_run
+            )
+            rows.append((name, fine_err, cpu_err, amd_err))
+        return rows
+
+    rows = run_once(benchmark, validate)
+    lines = ["Section 2.2 validation: MAPE (%) per tool",
+             f"{'tool':>8s} {'fine-grained':>13s} {'CPU (Intel)':>12s} {'CPU->AMD (TDP)':>15s}"]
+    for name, fine_err, cpu_err, amd_err in rows:
+        lines.append(f"{name:>8s} {fine_err:13.2f} {cpu_err:12.2f} {amd_err:15.2f}")
+    emit("sec22_tool_errors", "\n".join(lines))
+
+    for name, fine_err, cpu_err, amd_err in rows:
+        assert fine_err < 8.0  # paper: below 6% worst case
+        if name in ("ftp", "bbcp", "gridftp"):
+            assert fine_err < 5.0
+    # extending across servers costs accuracy on average (paper: +2-3%)
+    mean_cpu = sum(r[2] for r in rows) / len(rows)
+    mean_amd = sum(r[3] for r in rows) / len(rows)
+    assert mean_amd > mean_cpu

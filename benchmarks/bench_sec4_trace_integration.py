@@ -1,0 +1,76 @@
+"""Section 4, closed end-to-end: the three device power models
+integrated over *actual* transfer traces.
+
+The paper's argument: the end-system algorithms change only the rate at
+which bytes are pushed, so the network's verdict depends on its power
+model — "if dynamic power consumption follows a sub-linear relation
+with the data transfer rate [we save]; if linear, total power at the
+networking infrastructure will neither increase nor decrease". Here a
+slow untuned GUC transfer and a fast HTEE transfer of the same dataset
+are replayed through each model on the XSEDE device chain."""
+
+from conftest import emit, run_once
+
+from repro import units
+from repro.core.baselines import GucAlgorithm
+from repro.core.htee import HTEEAlgorithm
+from repro.core.scheduler import engine_options
+from repro.netenergy.models import (
+    LinearPowerModel,
+    NonLinearPowerModel,
+    StateBasedPowerModel,
+)
+from repro.netenergy.integration import integrate_device_energy
+from repro.netenergy.topology import xsede_topology
+from repro.testbeds import XSEDE
+
+
+def test_sec4_models_over_real_traces(benchmark):
+    def experiment():
+        ds = XSEDE.dataset()
+        with engine_options(record_trace=True):
+            slow = GucAlgorithm().run(XSEDE, ds)
+            fast = HTEEAlgorithm().run(XSEDE, ds, 12)
+        line = XSEDE.path.bandwidth
+        dt = XSEDE.engine_dt
+        rows = []
+        for label, model in (
+            ("non-linear", NonLinearPowerModel(idle_watts=150.0, max_dynamic_watts=50.0)),
+            ("linear", LinearPowerModel(idle_watts=150.0, max_dynamic_watts=50.0)),
+            ("state-based", StateBasedPowerModel(idle_watts=150.0, max_dynamic_watts=50.0)),
+        ):
+            e_slow = integrate_device_energy(slow.extra["trace"], model, line, dt=dt)
+            e_fast = integrate_device_energy(fast.extra["trace"], model, line, dt=dt)
+            rows.append((label, e_slow, e_fast))
+        return slow, fast, rows
+
+    slow, fast, rows = run_once(benchmark, experiment)
+    lines = [
+        "per-switch dynamic energy for the same 160 GB, slow vs fast transfer",
+        f"  GUC:  {slow.throughput_mbps:5.0f} Mbps over {slow.duration_s:6.0f} s",
+        f"  HTEE: {fast.throughput_mbps:5.0f} Mbps over {fast.duration_s:6.0f} s",
+    ]
+    for label, e_slow, e_fast in rows:
+        lines.append(
+            f"  {label:>11s}: GUC {e_slow:8.0f} J | HTEE {e_fast:8.0f} J "
+            f"(fast/slow = {e_fast / e_slow:.2f})"
+        )
+    emit("sec4_trace_integration", "\n".join(lines))
+
+    by_label = {label: (s, f) for label, s, f in rows}
+    # sub-linear: the fast transfer costs the network LESS
+    assert by_label["non-linear"][1] < 0.8 * by_label["non-linear"][0]
+    # linear: the totals are close (rate-invariant up to drain tails)
+    s, f = by_label["linear"]
+    assert abs(f - s) / s < 0.25
+    # and with idle power included, faster is always cheaper
+    idle_model = LinearPowerModel(idle_watts=150.0, max_dynamic_watts=50.0)
+    e_slow_idle = integrate_device_energy(
+        slow.extra["trace"], idle_model, XSEDE.path.bandwidth,
+        dt=XSEDE.engine_dt, include_idle=True,
+    )
+    e_fast_idle = integrate_device_energy(
+        fast.extra["trace"], idle_model, XSEDE.path.bandwidth,
+        dt=XSEDE.engine_dt, include_idle=True,
+    )
+    assert e_fast_idle < e_slow_idle

@@ -1,0 +1,60 @@
+"""Calibration-sensitivity audit.
+
+Which of the calibrated host constants actually carry the reproduced
+results? This bench perturbs each knob +/-20% around the frozen XSEDE
+calibration and reports how the reference ProMC@12 run moves — the
+robustness evidence EXPERIMENTS.md cites. The headline qualitative
+claim (MinE cheaper than ProMC at similar-or-lower throughput) must
+survive every perturbation."""
+
+from conftest import emit, run_once
+
+from repro.analysis.sensitivity import KNOBS, perturb_testbed, render_sensitivity, sensitivity_report
+from repro.core.baselines import ProMCAlgorithm
+from repro.core.mine import MinEAlgorithm
+from repro.harness.runner import dataset_for
+from repro.testbeds import XSEDE
+
+
+def test_xsede_calibration_sensitivity(benchmark):
+    dataset = dataset_for(XSEDE)
+
+    def audit():
+        run = lambda tb: ProMCAlgorithm().run(tb, dataset, 12)
+        return sensitivity_report(XSEDE, run, factors=(0.8, 1.2))
+
+    rows = run_once(benchmark, audit)
+    emit("sensitivity_xsede", "ProMC@12 sensitivity to calibration knobs (+/-20%)\n"
+         + render_sensitivity(rows))
+
+    by_knob = {}
+    for row in rows:
+        by_knob.setdefault(row.knob, []).append(row)
+    # the power-coefficient scale must not affect throughput at all
+    assert all(abs(r.throughput_change) < 0.01 for r in by_knob["coefficient_scale"])
+    # no single knob perturbation swings throughput by more than its own
+    # magnitude (no pathological amplification in the model)
+    for row in rows:
+        assert abs(row.throughput_change) <= 0.25, row
+
+
+def test_headline_claim_survives_every_perturbation(benchmark):
+    dataset = dataset_for(XSEDE)
+
+    def audit():
+        verdicts = []
+        for knob in KNOBS:
+            for factor in (0.8, 1.2):
+                testbed = perturb_testbed(XSEDE, knob, factor)
+                mine = MinEAlgorithm().run(testbed, dataset, 12)
+                promc = ProMCAlgorithm().run(testbed, dataset, 12)
+                verdicts.append((knob, factor, mine, promc))
+        return verdicts
+
+    verdicts = run_once(benchmark, audit)
+    lines = ["MinE-cheaper-than-ProMC under every +/-20% calibration perturbation"]
+    for knob, factor, mine, promc in verdicts:
+        saving = 1 - mine.energy_joules / promc.energy_joules
+        lines.append(f"  {knob:>20s} x{factor:.1f}: MinE saves {100 * saving:5.1f}%")
+        assert mine.energy_joules < promc.energy_joules, (knob, factor)
+    emit("sensitivity_headline", "\n".join(lines))

@@ -1,0 +1,22 @@
+"""Table 1 — per-packet power consumption coefficients of networking
+devices for load-dependent operations."""
+
+from conftest import emit, run_once
+
+from repro.harness.figures import render_table1
+from repro.netenergy.devices import TABLE1_DEVICES
+
+
+def test_table1_per_packet_coefficients(benchmark):
+    text = run_once(benchmark, render_table1)
+    emit("table1_coefficients", text)
+    published = {
+        "Enterprise Ethernet Switch": (40.0, 0.42),
+        "Edge Ethernet Switch": (1571.0, 14.1),
+        "Metro IP Router": (1375.0, 21.6),
+        "Edge IP Router": (1707.0, 15.3),
+    }
+    for device in TABLE1_DEVICES:
+        pp, sf = published[device.name]
+        assert device.processing_nw == pp
+        assert device.store_forward_pw == sf

@@ -1,0 +1,27 @@
+"""Benchmark-harness helpers.
+
+Every bench regenerates one paper figure or table: it runs the
+experiment once under pytest-benchmark timing (rounds=1 — these are
+experiments, not microbenchmarks), prints the figure as text, and
+writes it to ``benchmarks/output/<name>.txt`` so the artifact survives
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def emit(name: str, text: str) -> str:
+    """Print a rendered figure and persist it under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+    return text
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

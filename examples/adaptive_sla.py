@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Keeping an SLA on a shared link: open-loop vs closed-loop SLAEE.
+
+A provider promises half of the path's peak rate. Twenty-five seconds
+into the transfer, another tenant's backup job opens six TCP streams on
+the same link. The published Algorithm 3 tunes once and never looks
+back; the library's adaptive-monitoring extension keeps watching its
+five-second windows and claws the bandwidth back — the scenario behind
+the paper's critique that Globus Online's tuning "does not change
+depending on network conditions and transfer performance".
+
+Run:  python examples/adaptive_sla.py
+"""
+
+from repro import units
+from repro.core.scheduler import engine_options
+from repro.core.slaee import SLAEEAlgorithm
+from repro.datasets.files import Dataset
+from repro.netsim.disk import ParallelDisk
+from repro.netsim.endpoint import EndSystem, ServerSpec
+from repro.netsim.link import NetworkPath
+from repro.power.coefficients import CoefficientSet
+from repro.testbeds.specs import Testbed
+
+
+def shared_link_testbed() -> Testbed:
+    """A 1 Gbps path whose link (not host) is the bottleneck."""
+    server = ServerSpec(
+        name="tenant-host", cores=8, tdp_watts=100.0, nic_rate=units.gbps(1),
+        disk=ParallelDisk(per_accessor_rate=100 * units.MB, array_rate=800 * units.MB),
+        per_channel_rate=40 * units.MB, core_rate=400 * units.MB,
+        per_file_overhead=0.0,
+    )
+    site = EndSystem("site", server, 1)
+    return Testbed(
+        name="SharedLink",
+        path=NetworkPath(
+            bandwidth=units.gbps(1), rtt=units.ms(5), tcp_buffer=16 * units.MB,
+            protocol_efficiency=1.0, congestion_knee=64,
+        ),
+        source=site,
+        destination=site,
+        coefficients=CoefficientSet(),
+        dataset_factory=lambda: Dataset.from_sizes(
+            [40 * units.MB] * 250, name="tenant-10GB"
+        ),
+        engine_dt=0.1,
+    )
+
+
+def main() -> None:
+    testbed = shared_link_testbed()
+    dataset = testbed.dataset()
+    peak = 125 * units.MB  # the uncontended 1 Gbps link
+    target = 0.5 * peak
+    surge = lambda t: 0.0 if t < 25.0 else 6.0  # the other tenant arrives
+
+    print(f"Path    : {testbed.describe()}")
+    print(f"Promise : {units.to_mbps(target):.0f} Mbps "
+          f"(50% of the {units.to_mbps(peak):.0f} Mbps peak)")
+    print("Event   : 6 competing TCP streams join at t = 25 s\n")
+
+    for label, algorithm in (
+        ("open-loop (Algorithm 3)", SLAEEAlgorithm()),
+        ("adaptive monitoring", SLAEEAlgorithm(adaptive_monitoring=True)),
+    ):
+        with engine_options(background_traffic=surge):
+            outcome = algorithm.run(
+                testbed, dataset, 16, sla_level=0.5, max_throughput=peak
+            )
+        delivered = outcome.throughput
+        fraction = delivered / target
+        verdict = f"{100 * fraction:.0f}% of promise" + (
+            " — SLA held" if fraction >= 0.9 else " — SLA MISSED"
+        )
+        adjustments = outcome.extra.get("monitor_adjustments")
+        extra = (
+            f", {adjustments['up']} up / {adjustments['down']} down adjustments"
+            if adjustments
+            else ""
+        )
+        print(
+            f"{label:<26s}: {units.to_mbps(delivered):4.0f} Mbps overall, "
+            f"cc={outcome.final_concurrency}{extra} -> {verdict}"
+        )
+
+    print(
+        "\nThe closed loop spends a few more channels only while the"
+        " competing traffic is present — adaptivity, not overprovisioning."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Scheduling a batch of transfers: run together, or one at a time?
+
+Three research groups hand the transfer service their datasets within
+the same minute. The service can admit everything at once (jobs share
+the path per TCP-fairness), serialize (each job gets the whole pipe),
+or cap concurrency at two. This script compares makespan, per-job
+turnaround and total energy for the three admission policies, using
+MinE-planned jobs on a shared 1 Gbps path.
+
+Run:  python examples/batch_scheduler.py
+"""
+
+from repro import units
+from repro.core.mine import MinEAlgorithm
+from repro.datasets.presets import genomics_dataset, log_shipping_dataset, vm_image_dataset
+from repro.netsim.multi import MultiTransferSimulator
+from repro.testbeds import FUTUREGRID
+
+
+def submit_batch(sim: MultiTransferSimulator) -> None:
+    jobs = [
+        ("genomics", genomics_dataset(10 * units.GB), 0.0),
+        ("logs", log_shipping_dataset(4 * units.GB), 10.0),
+        ("vm-images", vm_image_dataset(count=2, image_size=4 * units.GB), 20.0),
+    ]
+    for name, dataset, arrival in jobs:
+        plans = MinEAlgorithm().plan(FUTUREGRID, dataset, 6)
+        # chunk names must be unique across jobs in one simulator
+        plans = [
+            type(p)(name=f"{name}:{p.name}", files=p.files, params=p.params)
+            for p in plans
+        ]
+        sim.submit(name, plans, arrival_time=arrival)
+
+
+def main() -> None:
+    print(f"Path: {FUTUREGRID.describe()}\n")
+    policies = [
+        ("all at once", None),
+        ("cap at 2", 2),
+        ("serialize", 1),
+    ]
+    print(f"{'policy':<12s} {'makespan':>9s} {'total energy':>13s}  per-job turnaround")
+    for label, cap in policies:
+        sim = MultiTransferSimulator(FUTUREGRID, max_concurrent_jobs=cap)
+        submit_batch(sim)
+        records = sim.run()
+        turnarounds = ", ".join(
+            f"{r.name} {r.turnaround_s:.0f}s" for r in records
+        )
+        print(
+            f"{label:<12s} {sim.makespan:8.0f}s "
+            f"{units.kilojoules(sim.total_energy):10.2f} kJ  {turnarounds}"
+        )
+
+    print(
+        "\nSharing the path helps early jobs' turnaround little (they"
+        " contend) but overlaps the tail; serialization minimizes each"
+        " job's runtime at the cost of queueing delay. Energy differs"
+        " because per-channel overheads run for different total times."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Campus nightly backup: why "more parallel" is not "more better".
+
+A lab backs up 40 GB of mixed experiment output between two
+workstations on a 1 Gbps LAN (the DIDCLAB testbed) every night. Both
+machines have a single spinning disk, so every extra concurrent
+channel makes the heads seek — throughput falls and the power bill
+rises. This script sweeps concurrency with the throughput-first ProMC
+schedule, then shows that MinE and HTEE land on the single-channel
+optimum automatically.
+
+Run:  python examples/campus_backup.py
+"""
+
+from repro import DIDCLAB, HTEEAlgorithm, MinEAlgorithm, ProMCAlgorithm, units
+
+
+def main() -> None:
+    dataset = DIDCLAB.dataset()
+    print(f"Backup path : {DIDCLAB.describe()}")
+    print(f"Backup set  : {dataset.describe()}\n")
+
+    print("Manual tuning sweep (ProMC at a fixed channel count):")
+    print(f"{'channels':>9s} {'throughput':>12s} {'energy':>10s} {'finish time':>12s}")
+    promc = ProMCAlgorithm()
+    for cc in (1, 2, 4, 8, 12):
+        outcome = promc.run(DIDCLAB, dataset, cc)
+        print(
+            f"{cc:>9d} {outcome.throughput_mbps:9.0f} Mbps "
+            f"{units.kilojoules(outcome.energy_joules):7.2f} kJ "
+            f"{outcome.duration_s / 60:9.1f} min"
+        )
+
+    print("\nSelf-tuning algorithms (budget of 12 channels offered):")
+    for label, outcome in (
+        ("MinE", MinEAlgorithm().run(DIDCLAB, dataset, 12)),
+        ("HTEE", HTEEAlgorithm().run(DIDCLAB, dataset, 12)),
+    ):
+        print(
+            f"{label:>9s} {outcome.throughput_mbps:9.0f} Mbps "
+            f"{units.kilojoules(outcome.energy_joules):7.2f} kJ "
+            f"{outcome.duration_s / 60:9.1f} min "
+            f"(chose {outcome.final_concurrency} channel(s))"
+        )
+
+    print(
+        "\nOn a single-disk LAN the optimum is one channel; the"
+        " energy-aware algorithms find it without being told."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Failure drill: what happens to a transfer when hardware dies?
+
+Mid-way through a 12-channel XSEDE transfer, one of the four transfer
+nodes at the source site crashes for two minutes, taking its channels
+with it. The client reconnects the lost channels on the surviving
+nodes; no byte is lost either way — the only question is how much time
+and energy the incident costs, and whether GridFTP restart markers
+(resume partially transferred files) earn their keep.
+
+Run:  python examples/failure_drill.py
+"""
+
+from repro import ProMCAlgorithm, XSEDE, units
+from repro.core.scheduler import make_engine
+from repro.netsim.engine import Binding
+
+
+def run_drill(fail: bool, restart_files: bool = False) -> tuple[float, float, int]:
+    """One ProMC-planned, channel-spread transfer; optionally crash a
+    source node at t = 60 s."""
+    dataset = XSEDE.dataset()
+    plans = ProMCAlgorithm().plan(XSEDE, dataset, 12)
+    engine = make_engine(XSEDE, binding=Binding.SPREAD, work_stealing=True)
+    for plan in plans:
+        engine.add_chunk(plan)
+    lost = 0
+    if fail:
+        engine.run(60.0)
+        lost = engine.fail_server(
+            "src", 0, downtime=120.0, restart_files=restart_files, reopen=True
+        )
+    engine.run()
+    return engine.time, engine.total_energy, lost
+
+
+def main() -> None:
+    dataset = XSEDE.dataset()
+    print(f"Path    : {XSEDE.describe()}")
+    print(f"Dataset : {dataset.describe()}")
+    print("Incident: source node 0 crashes at t = 60 s (down 120 s)\n")
+
+    duration, energy, _ = run_drill(fail=False)
+    print(f"no failure              : {duration:6.1f} s, {units.kilojoules(energy):5.1f} kJ")
+    for label, restart in (
+        ("crash, restart markers", False),
+        ("crash, files restarted", True),
+    ):
+        duration, energy, lost = run_drill(fail=True, restart_files=restart)
+        print(
+            f"{label:<24s}: {duration:6.1f} s, {units.kilojoules(energy):5.1f} kJ "
+            f"({lost} channels failed over)"
+        )
+
+    print(
+        "\nAll three runs deliver every byte; restart markers save the"
+        " redone work of the in-flight files, the failover saves the"
+        " transfer."
+    )
+
+
+if __name__ == "__main__":
+    main()

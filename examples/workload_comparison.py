@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Which algorithm should move *your* data?
+
+Runs the energy-aware algorithms against five realistic workload shapes
+(genomics runs, climate model output, a video archive, hourly log
+shipping, VM image replication) over the XSEDE path, and shows how the
+winning strategy — and the value of tuning at all — depends on the
+file-size mix. Finishes with the planning advisor's no-simulation
+recommendation for one workload.
+
+Run:  python examples/workload_comparison.py
+"""
+
+from repro import GucAlgorithm, HTEEAlgorithm, MinEAlgorithm, XSEDE, units
+from repro.core.advisor import advise
+from repro.datasets.presets import WORKLOAD_PRESETS
+from repro.harness.charts import line_chart
+
+
+def main() -> None:
+    print(f"Path: {XSEDE.describe()}\n")
+    print(
+        f"{'workload':<11s} {'files':>6s} {'size':>8s} | "
+        f"{'GUC Mbps':>9s} | {'MinE Mbps':>9s} {'kJ':>6s} | "
+        f"{'HTEE Mbps':>9s} {'kJ':>6s}"
+    )
+
+    htee_series: dict[str, float] = {}
+    for name, factory in WORKLOAD_PRESETS.items():
+        dataset = factory()
+        guc = GucAlgorithm().run(XSEDE, dataset)
+        mine = MinEAlgorithm().run(XSEDE, dataset, 12)
+        htee = HTEEAlgorithm().run(XSEDE, dataset, 12)
+        htee_series[name] = htee.throughput_mbps
+        print(
+            f"{name:<11s} {dataset.file_count:>6d} "
+            f"{units.to_GB(dataset.total_size):6.0f}GB | "
+            f"{guc.throughput_mbps:9.0f} | "
+            f"{mine.throughput_mbps:9.0f} {units.kilojoules(mine.energy_joules):6.1f} | "
+            f"{htee.throughput_mbps:9.0f} {units.kilojoules(htee.energy_joules):6.1f}"
+        )
+
+    print()
+    print(
+        line_chart(
+            {"HTEE": list(htee_series.values())},
+            x_labels=list(htee_series),
+            height=8,
+            width=56,
+            title="HTEE throughput by workload (Mbps)",
+        )
+    )
+
+    print("\nPlanning without simulating (the advisor):")
+    print(advise(XSEDE, WORKLOAD_PRESETS["genomics"](), 12).render())
+
+
+if __name__ == "__main__":
+    main()

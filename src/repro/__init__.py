@@ -1,0 +1,68 @@
+"""repro — Energy-aware data transfer algorithms.
+
+A full reproduction of *"Energy-Aware Data Transfer Algorithms"*
+(Alan, Arslan & Kosar, SC 2015): the MinE, HTEE and SLAEE algorithms,
+the GUC / GO / SC / ProMC baselines, the end-system power models
+(Eq. 1-3), the network-device energy models (Section 4), and the
+XSEDE / FutureGrid / DIDCLAB evaluation environments — all running on
+a deterministic fluid-flow transfer simulator.
+
+Quickstart::
+
+    from repro import HTEEAlgorithm, XSEDE
+    outcome = HTEEAlgorithm().run(XSEDE, XSEDE.dataset(), max_channels=12)
+    print(outcome.summary())
+"""
+
+from repro import units
+from repro.core import (
+    BruteForceAlgorithm,
+    GlobusOnlineAlgorithm,
+    GucAlgorithm,
+    HTEEAlgorithm,
+    MinEAlgorithm,
+    PartitionPolicy,
+    ProMCAlgorithm,
+    SLAEEAlgorithm,
+    SingleChunkAlgorithm,
+    TransferOutcome,
+    partition_files,
+)
+from repro.datasets import Dataset, FileInfo, paper_dataset_10g, paper_dataset_1g
+from repro.netsim import NetworkPath, TransferEngine, TransferParams
+from repro.power import CpuTdpPowerModel, EnergyMeter, FineGrainedPowerModel, PowercapReader
+from repro.testbeds import ALL_TESTBEDS, DIDCLAB, FUTUREGRID, XSEDE, Testbed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_TESTBEDS",
+    "BruteForceAlgorithm",
+    "CpuTdpPowerModel",
+    "DIDCLAB",
+    "Dataset",
+    "EnergyMeter",
+    "FUTUREGRID",
+    "FileInfo",
+    "FineGrainedPowerModel",
+    "GlobusOnlineAlgorithm",
+    "GucAlgorithm",
+    "HTEEAlgorithm",
+    "MinEAlgorithm",
+    "NetworkPath",
+    "PartitionPolicy",
+    "PowercapReader",
+    "ProMCAlgorithm",
+    "SLAEEAlgorithm",
+    "SingleChunkAlgorithm",
+    "Testbed",
+    "TransferEngine",
+    "TransferOutcome",
+    "TransferParams",
+    "XSEDE",
+    "__version__",
+    "paper_dataset_10g",
+    "paper_dataset_1g",
+    "partition_files",
+    "units",
+]

@@ -1,0 +1,21 @@
+"""Post-hoc analyses: calibration sensitivity and curve crossovers."""
+
+from repro.analysis.crossover import Crossover, argmax_interpolated, find_crossovers
+from repro.analysis.sensitivity import (
+    KNOBS,
+    SensitivityRow,
+    perturb_testbed,
+    render_sensitivity,
+    sensitivity_report,
+)
+
+__all__ = [
+    "Crossover",
+    "KNOBS",
+    "SensitivityRow",
+    "argmax_interpolated",
+    "find_crossovers",
+    "perturb_testbed",
+    "render_sensitivity",
+    "sensitivity_report",
+]

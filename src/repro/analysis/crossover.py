@@ -1,0 +1,75 @@
+"""Crossover detection on swept curves.
+
+The paper's figures are read through their crossings: where SC's energy
+overtakes MinE's, where extra concurrency stops paying, where the
+throughput/energy ratio turns over. This module finds those points on
+sampled series by sign-change scanning with linear interpolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Crossover", "find_crossovers", "argmax_interpolated"]
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """One crossing of two series: ``a`` overtakes ``b`` (or vice versa)."""
+
+    x: float
+    direction: str  # "a_above" if a rises above b at x, else "b_above"
+
+
+def find_crossovers(
+    x: Sequence[float], a: Sequence[float], b: Sequence[float]
+) -> list[Crossover]:
+    """All points where series ``a`` and ``b`` cross, by linear
+    interpolation between samples. Touching without crossing is not
+    reported."""
+    if not (len(x) == len(a) == len(b)):
+        raise ValueError("x, a and b must share a length")
+    if len(x) < 2:
+        return []
+    crossings = []
+    for i in range(len(x) - 1):
+        d0 = a[i] - b[i]
+        d1 = a[i + 1] - b[i + 1]
+        if d0 == 0.0 and d1 == 0.0:
+            continue
+        if d0 * d1 < 0:
+            # linear interpolation of the zero of (a-b)
+            t = d0 / (d0 - d1)
+            crossings.append(
+                Crossover(
+                    x=x[i] + t * (x[i + 1] - x[i]),
+                    direction="a_above" if d1 > 0 else "b_above",
+                )
+            )
+    return crossings
+
+
+def argmax_interpolated(x: Sequence[float], y: Sequence[float]) -> float:
+    """The x of the series' peak, refined by fitting a parabola through
+    the peak sample and its neighbours (how one reads "the ratio is
+    maximized around concurrency 8" off a sampled curve)."""
+    if len(x) != len(y):
+        raise ValueError("x and y must share a length")
+    if not x:
+        raise ValueError("series must be non-empty")
+    i = max(range(len(y)), key=lambda k: y[k])
+    if i == 0 or i == len(y) - 1:
+        return float(x[i])
+    x0, x1, x2 = x[i - 1], x[i], x[i + 1]
+    y0, y1, y2 = y[i - 1], y[i], y[i + 1]
+    denom = (x0 - x1) * (x0 - x2) * (x1 - x2)
+    if denom == 0:
+        return float(x1)
+    a = (x2 * (y1 - y0) + x1 * (y0 - y2) + x0 * (y2 - y1)) / denom
+    b = (x2 * x2 * (y0 - y1) + x1 * x1 * (y2 - y0) + x0 * x0 * (y1 - y2)) / denom
+    if a == 0:
+        return float(x1)
+    vertex = -b / (2 * a)
+    # keep the refinement inside the peak's neighbourhood
+    return float(min(max(vertex, x0), x2))

@@ -1,0 +1,148 @@
+"""Calibration sensitivity analysis.
+
+The reproduction's host constants (per-channel rate, disk rates, CPU
+overheads, the congestion knee, the power-coefficient scale) are
+calibrated, not published. A result that survives only at the exact
+calibrated values would be an artifact; this module perturbs one knob
+at a time and measures how the reference outputs move, so EXPERIMENTS.md
+can state which conclusions are robust and which constants actually
+matter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.scheduler import TransferOutcome
+from repro.netsim.disk import ParallelDisk, PowerLawDisk, SingleDisk
+from repro.testbeds.specs import Testbed
+
+__all__ = ["KNOBS", "perturb_testbed", "SensitivityRow", "sensitivity_report", "render_sensitivity"]
+
+
+def _scale_server(testbed: Testbed, **changes) -> Testbed:
+    server = dataclasses.replace(testbed.source.server, **changes)
+    return dataclasses.replace(
+        testbed,
+        source=dataclasses.replace(testbed.source, server=server),
+        destination=dataclasses.replace(testbed.destination, server=server),
+    )
+
+
+def _scale_disk(testbed: Testbed, factor: float) -> Testbed:
+    disk = testbed.source.server.disk
+    if isinstance(disk, SingleDisk):
+        new = dataclasses.replace(disk, peak_rate=disk.peak_rate * factor)
+    elif isinstance(disk, ParallelDisk):
+        new = dataclasses.replace(
+            disk,
+            per_accessor_rate=disk.per_accessor_rate * factor,
+            array_rate=disk.array_rate * factor,
+        )
+    elif isinstance(disk, PowerLawDisk):
+        new = dataclasses.replace(disk, single_rate=disk.single_rate * factor)
+    else:  # pragma: no cover - future disk types
+        raise TypeError(f"cannot scale disk {type(disk).__name__}")
+    return _scale_server(testbed, disk=new)
+
+
+#: Named calibration knobs -> (testbed, factor) -> perturbed testbed.
+KNOBS: Mapping[str, Callable[[Testbed, float], Testbed]] = {
+    "per_channel_rate": lambda tb, f: _scale_server(
+        tb, per_channel_rate=tb.source.server.per_channel_rate * f
+    ),
+    "core_rate": lambda tb, f: _scale_server(
+        tb, core_rate=tb.source.server.core_rate * f
+    ),
+    "disk_rate": _scale_disk,
+    "active_overhead": lambda tb, f: _scale_server(
+        tb, active_overhead=tb.source.server.active_overhead * f
+    ),
+    "thrash_factor": lambda tb, f: _scale_server(
+        tb, thrash_factor=tb.source.server.thrash_factor * f
+    ),
+    "protocol_efficiency": lambda tb, f: dataclasses.replace(
+        tb,
+        path=dataclasses.replace(
+            tb.path, protocol_efficiency=min(1.0, tb.path.protocol_efficiency * f)
+        ),
+    ),
+    "congestion_knee": lambda tb, f: dataclasses.replace(
+        tb,
+        path=dataclasses.replace(
+            tb.path, congestion_knee=max(1, round(tb.path.congestion_knee * f))
+        ),
+    ),
+    "coefficient_scale": lambda tb, f: dataclasses.replace(
+        tb, coefficients=tb.coefficients.scaled(tb.coefficients.scale * f)
+    ),
+}
+
+
+def perturb_testbed(testbed: Testbed, knob: str, factor: float) -> Testbed:
+    """A copy of ``testbed`` with one calibration constant scaled."""
+    if knob not in KNOBS:
+        raise KeyError(f"unknown knob {knob!r}; known: {sorted(KNOBS)}")
+    if factor <= 0:
+        raise ValueError("factor must be > 0")
+    return KNOBS[knob](testbed, factor)
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Impact of one knob perturbation on the reference run."""
+
+    knob: str
+    factor: float
+    throughput_change: float  # fractional, vs baseline
+    energy_change: float  # fractional, vs baseline
+
+    @property
+    def elasticity(self) -> float:
+        """Throughput response per unit of knob change (|dT/T| / |df|)."""
+        df = abs(self.factor - 1.0)
+        return abs(self.throughput_change) / df if df > 0 else 0.0
+
+
+def sensitivity_report(
+    testbed: Testbed,
+    run: Callable[[Testbed], TransferOutcome],
+    *,
+    knobs: Sequence[str] = tuple(KNOBS),
+    factors: Sequence[float] = (0.8, 1.2),
+) -> list[SensitivityRow]:
+    """One-at-a-time sensitivity of ``run`` to each calibration knob.
+
+    ``run`` is any closure executing a reference experiment on a
+    testbed (e.g. ProMC at cc=12 on a fixed dataset).
+    """
+    baseline = run(testbed)
+    if baseline.throughput <= 0 or baseline.energy_joules <= 0:
+        raise ValueError("baseline run produced no throughput/energy")
+    rows = []
+    for knob in knobs:
+        for factor in factors:
+            outcome = run(perturb_testbed(testbed, knob, factor))
+            rows.append(
+                SensitivityRow(
+                    knob=knob,
+                    factor=factor,
+                    throughput_change=outcome.throughput / baseline.throughput - 1.0,
+                    energy_change=outcome.energy_joules / baseline.energy_joules - 1.0,
+                )
+            )
+    return rows
+
+
+def render_sensitivity(rows: Sequence[SensitivityRow]) -> str:
+    """The sensitivity table, most throughput-sensitive knob first."""
+    ordered = sorted(rows, key=lambda r: -abs(r.throughput_change))
+    lines = [f"{'knob':>20s} {'factor':>7s} {'d(throughput)':>14s} {'d(energy)':>10s}"]
+    for row in ordered:
+        lines.append(
+            f"{row.knob:>20s} {row.factor:7.2f} "
+            f"{100 * row.throughput_change:+13.1f}% {100 * row.energy_change:+9.1f}%"
+        )
+    return "\n".join(lines)

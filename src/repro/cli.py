@@ -1,0 +1,376 @@
+"""Command-line interface.
+
+::
+
+    python -m repro testbeds
+    python -m repro dataset   -t xsede
+    python -m repro transfer  -t xsede -a HTEE -c 12 --sparkline
+    python -m repro sweep     -t futuregrid -l 1 2 4 8
+    python -m repro sla       -t xsede --targets 95 80 50
+    python -m repro figures   fig02 fig10
+    python -m repro validate
+
+Every command prints human-readable tables; ``--json`` writes the raw
+results for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro import units
+from repro.core.scheduler import engine_options
+from repro.harness import figures as figure_renderers
+from repro.harness.reporting import (
+    outcome_to_dict,
+    render_trace,
+    save_outcomes_json,
+    save_trace_csv,
+)
+from repro.harness.runner import ALGORITHMS, dataset_for, run_algorithm
+from repro.harness.sweeps import (
+    PAPER_SLA_TARGETS,
+    brute_force_sweep,
+    concurrency_sweep,
+    energy_decomposition,
+    sla_sweep,
+)
+from repro.netenergy.topology import didclab_topology, futuregrid_topology, xsede_topology
+from repro.testbeds import ALL_TESTBEDS, testbed_by_name
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro argument parser (exposed for shell-completion tools)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Energy-aware data transfer algorithms (SC'15 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("testbeds", help="list the evaluation testbeds")
+
+    p = sub.add_parser("dataset", help="describe a testbed's paper dataset")
+    _add_testbed(p)
+
+    p = sub.add_parser("transfer", help="run one algorithm on one testbed")
+    _add_testbed(p)
+    p.add_argument("-a", "--algorithm", default="HTEE", choices=sorted(ALGORITHMS),
+                   help="transfer algorithm (default HTEE)")
+    p.add_argument("-c", "--max-channels", type=int, default=12,
+                   help="channel budget (default 12)")
+    p.add_argument("--json", type=Path, default=None, help="write the outcome as JSON")
+    p.add_argument("--trace", type=Path, default=None,
+                   help="write the per-step engine trace as CSV")
+    p.add_argument("--sparkline", action="store_true",
+                   help="print throughput/power sparklines")
+
+    p = sub.add_parser("sweep", help="concurrency sweep (Figures 2-4 panels a/b)")
+    _add_testbed(p)
+    p.add_argument("-a", "--algorithms", nargs="+", default=None,
+                   help="algorithms to sweep (default: the paper's six)")
+    p.add_argument("-l", "--levels", nargs="+", type=int, default=None,
+                   help="concurrency levels (default: 1 2 4 6 8 10 12)")
+    p.add_argument("--json", type=Path, default=None)
+
+    p = sub.add_parser("sla", help="SLAEE target sweep (Figures 5-7)")
+    _add_testbed(p)
+    p.add_argument("--targets", nargs="+", type=float, default=list(PAPER_SLA_TARGETS),
+                   help="target percentages of the ProMC maximum")
+
+    p = sub.add_parser("figures", help="regenerate paper figures/tables as text")
+    p.add_argument("names", nargs="*", default=["all"],
+                   help="fig01 fig02 ... fig10 table1 (default: all)")
+
+    p = sub.add_parser("advise", help="closed-form plan: parameters + predictions")
+    _add_testbed(p)
+    p.add_argument("-c", "--max-channels", type=int, default=12)
+    p.add_argument("-w", "--workload", default=None,
+                   help="workload preset (default: the testbed's paper dataset); "
+                        "one of: genomics climate video logs vm-images")
+
+    p = sub.add_parser("fleet", help="annual provider-scale policy comparison")
+    _add_testbed(p)
+    p.add_argument("--jobs-per-day", type=float, default=4.0,
+                   help="daily runs of the testbed's paper dataset (default 4)")
+    p.add_argument("--sla", type=float, default=0.8,
+                   help="SLA level for the slaee policy (default 0.8)")
+
+    sub.add_parser("workloads", help="list the workload presets")
+
+    p = sub.add_parser("pareto", help="throughput/energy frontier of a sweep")
+    _add_testbed(p)
+    p.add_argument("-l", "--levels", nargs="+", type=int, default=None)
+
+    p = sub.add_parser("history", help="inspect a result store (.jsonl)")
+    p.add_argument("store", type=Path, help="path to the result store")
+    p.add_argument("--best", default=None, metavar="METRIC",
+                   help="print the best run by this outcome metric "
+                        "(e.g. efficiency, throughput)")
+
+    p = sub.add_parser("report", help="regenerate the whole evaluation as markdown")
+    p.add_argument("-o", "--output", type=Path, default=Path("evaluation_report.md"))
+    p.add_argument("--quick", action="store_true",
+                   help="restricted concurrency axis and SLA targets")
+
+    sub.add_parser("validate", help="quick self-check: Eq. 2 + device table")
+    return parser
+
+
+def _add_testbed(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-t", "--testbed", default="xsede",
+        help="xsede | futuregrid | didclab, or a path to a testbed "
+             "definition JSON file (default xsede)",
+    )
+
+
+def _resolve_testbed(name: str):
+    """A built-in testbed by name, or a JSON definition by path."""
+    candidate = Path(name)
+    if candidate.suffix == ".json" or candidate.is_file():
+        from repro.testbeds.io import load_testbed
+
+        return load_testbed(candidate)
+    return testbed_by_name(name)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "testbeds": _cmd_testbeds,
+        "dataset": _cmd_dataset,
+        "transfer": _cmd_transfer,
+        "sweep": _cmd_sweep,
+        "sla": _cmd_sla,
+        "figures": _cmd_figures,
+        "advise": _cmd_advise,
+        "fleet": _cmd_fleet,
+        "workloads": _cmd_workloads,
+        "pareto": _cmd_pareto,
+        "history": _cmd_history,
+        "report": _cmd_report,
+        "validate": _cmd_validate,
+    }[args.command]
+    return handler(args)
+
+
+def _cmd_testbeds(args: argparse.Namespace) -> int:
+    print(figure_renderers.render_testbed_specs())
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    testbed = _resolve_testbed(args.testbed)
+    print(testbed.dataset().describe())
+    return 0
+
+
+def _cmd_transfer(args: argparse.Namespace) -> int:
+    testbed = _resolve_testbed(args.testbed)
+    want_trace = args.trace is not None or args.sparkline
+    with engine_options(record_trace=want_trace):
+        outcome = run_algorithm(testbed, args.algorithm, args.max_channels)
+    print(outcome.summary())
+    if outcome.final_concurrency is not None:
+        print(f"  final concurrency: {outcome.final_concurrency}")
+    print(f"  efficiency: {outcome.efficiency:.4f} Mbps/J")
+    trace = outcome.extra.get("trace", [])
+    if args.sparkline and trace:
+        print(render_trace(trace))
+    if args.trace is not None and trace:
+        save_trace_csv(trace, args.trace)
+        print(f"  trace written to {args.trace}")
+    if args.json is not None:
+        outcome.extra.pop("trace", None)  # traces go to CSV, not JSON
+        save_outcomes_json([outcome], args.json)
+        print(f"  outcome written to {args.json}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    testbed = _resolve_testbed(args.testbed)
+    kwargs = {}
+    if args.algorithms:
+        kwargs["algorithms"] = args.algorithms
+    if args.levels:
+        kwargs["levels"] = args.levels
+    sweep = concurrency_sweep(testbed, **kwargs)
+    print(figure_renderers.render_concurrency_figure(sweep))
+    if args.json is not None:
+        outcomes = [o for series in sweep.series.values() for o in series]
+        save_outcomes_json(outcomes, args.json)
+        print(f"\nresults written to {args.json}")
+    return 0
+
+
+def _cmd_sla(args: argparse.Namespace) -> int:
+    testbed = _resolve_testbed(args.testbed)
+    records = sla_sweep(testbed, targets_pct=args.targets)
+    print(figure_renderers.render_sla_figure(testbed.name, records))
+    return 0
+
+
+_FIGURES = {
+    "fig01": lambda: figure_renderers.render_testbed_specs(),
+    "fig02": lambda: _concurrency_figure("xsede"),
+    "fig03": lambda: _concurrency_figure("futuregrid"),
+    "fig04": lambda: _concurrency_figure("didclab"),
+    "fig05": lambda: _sla_figure("xsede"),
+    "fig06": lambda: _sla_figure("futuregrid"),
+    "fig07": lambda: _sla_figure("didclab"),
+    "fig08": lambda: figure_renderers.render_device_model_curves(),
+    "fig09": lambda: figure_renderers.render_topologies(
+        [xsede_topology(), futuregrid_topology(), didclab_topology()]
+    ),
+    "fig10": lambda: figure_renderers.render_decomposition(
+        [energy_decomposition(tb) for tb in ALL_TESTBEDS]
+    ),
+    "table1": lambda: figure_renderers.render_table1(),
+}
+
+
+def _concurrency_figure(name: str) -> str:
+    testbed = testbed_by_name(name)
+    sweep = concurrency_sweep(testbed)
+    brute = brute_force_sweep(testbed)
+    return (
+        figure_renderers.render_concurrency_figure(sweep)
+        + "\n\n"
+        + figure_renderers.render_efficiency_panel(sweep, brute)
+    )
+
+
+def _sla_figure(name: str) -> str:
+    testbed = testbed_by_name(name)
+    return figure_renderers.render_sla_figure(testbed.name, sla_sweep(testbed))
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    names = list(args.names)
+    if not names or names == ["all"]:
+        names = list(_FIGURES)
+    unknown = [n for n in names if n not in _FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}; "
+              f"known: {', '.join(_FIGURES)}", file=sys.stderr)
+        return 2
+    for name in names:
+        print(f"===== {name} =====")
+        print(_FIGURES[name]())
+        print()
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.core.advisor import advise
+    from repro.datasets.presets import WORKLOAD_PRESETS
+
+    testbed = _resolve_testbed(args.testbed)
+    if args.workload is not None:
+        if args.workload not in WORKLOAD_PRESETS:
+            print(f"unknown workload {args.workload!r}; "
+                  f"known: {', '.join(sorted(WORKLOAD_PRESETS))}", file=sys.stderr)
+            return 2
+        dataset = WORKLOAD_PRESETS[args.workload]()
+    else:
+        dataset = testbed.dataset()
+    print(dataset.describe())
+    print(advise(testbed, dataset, args.max_channels).render())
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetModel, JobClass
+
+    testbed = _resolve_testbed(args.testbed)
+    fleet = FleetModel(
+        testbed,
+        [
+            JobClass(
+                "paper-dataset",
+                testbed.dataset_factory,
+                jobs_per_day=args.jobs_per_day,
+                sla_level=args.sla,
+            )
+        ],
+    )
+    print(f"{args.jobs_per_day:g} jobs/day of {testbed.dataset().describe()}")
+    print(fleet.render_comparison())
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.datasets.presets import WORKLOAD_PRESETS
+
+    for name, factory in WORKLOAD_PRESETS.items():
+        print(f"{name:<10s} {factory().describe()}")
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    """Sweep the testbed, then classify every configuration."""
+    from repro.harness.pareto import pareto_frontier, render_frontier
+
+    testbed = _resolve_testbed(args.testbed)
+    kwargs = {"levels": args.levels} if args.levels else {}
+    sweep = concurrency_sweep(testbed, **kwargs)
+    outcomes, seen = [], set()
+    for algorithm, series in sweep.series.items():
+        for outcome in series:
+            key = (algorithm, outcome.max_channels)
+            if key not in seen:
+                seen.add(key)
+                outcomes.append(outcome)
+    print(render_frontier(pareto_frontier(outcomes)))
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    """Summarize (or query) a JSONL result store."""
+    from repro.harness.store import ResultStore
+
+    store = ResultStore(args.store)
+    if args.best is not None:
+        best = store.best(args.best)
+        if best is None:
+            print("(empty store)")
+            return 1
+        print(best.summary())
+        return 0
+    print(store.summary())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Write the regenerated evaluation report to disk."""
+    from repro.harness.report import write_report
+
+    path = write_report(args.output, quick=args.quick)
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.power.coefficients import cpu_coefficient
+
+    ok = True
+    expected = {1: 0.273, 2: 0.224, 4: 0.192}
+    for n, value in expected.items():
+        got = cpu_coefficient(n)
+        status = "ok" if abs(got - value) < 1e-9 else "MISMATCH"
+        if status != "ok":
+            ok = False
+        print(f"Eq.2 C_cpu,{n} = {got:.3f} (expected {value:.3f}) {status}")
+    print(figure_renderers.render_table1())
+    print("validate:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""The paper's contribution: energy-aware transfer algorithms and the
+baselines they are evaluated against."""
+
+from repro.core.allocation import (
+    chunk_params,
+    htee_channel_allocation,
+    htee_weights,
+    mine_concurrency,
+    mine_walk,
+    parallelism_level,
+    pipelining_level,
+    proportional_allocation,
+)
+from repro.core.baselines import (
+    GlobusOnlineAlgorithm,
+    GucAlgorithm,
+    ProMCAlgorithm,
+    SingleChunkAlgorithm,
+)
+from repro.core.advisor import ChunkAdvice, TransferAdvice, advise
+from repro.core.chunks import Chunk, ChunkClass, PartitionPolicy, merge_chunks, partition_files
+from repro.core.historical import HistoricalTuner
+from repro.core.htee import BruteForceAlgorithm, HTEEAlgorithm, scaled_allocation
+from repro.core.mine import MinEAlgorithm
+from repro.core.related import BufferTuningAlgorithm, PCPAlgorithm
+from repro.core.scheduler import (
+    PROBE_INTERVAL_S,
+    TransferOutcome,
+    make_engine,
+    make_plans,
+    run_to_completion,
+)
+from repro.core.slaee import SLAEEAlgorithm, sla_allocation
+
+__all__ = [
+    "BruteForceAlgorithm",
+    "BufferTuningAlgorithm",
+    "Chunk",
+    "ChunkAdvice",
+    "ChunkClass",
+    "PCPAlgorithm",
+    "TransferAdvice",
+    "advise",
+    "GlobusOnlineAlgorithm",
+    "GucAlgorithm",
+    "HTEEAlgorithm",
+    "HistoricalTuner",
+    "MinEAlgorithm",
+    "PROBE_INTERVAL_S",
+    "PartitionPolicy",
+    "ProMCAlgorithm",
+    "SLAEEAlgorithm",
+    "SingleChunkAlgorithm",
+    "TransferOutcome",
+    "chunk_params",
+    "htee_channel_allocation",
+    "htee_weights",
+    "make_engine",
+    "make_plans",
+    "merge_chunks",
+    "mine_concurrency",
+    "mine_walk",
+    "parallelism_level",
+    "partition_files",
+    "pipelining_level",
+    "proportional_allocation",
+    "run_to_completion",
+    "scaled_allocation",
+    "sla_allocation",
+]

@@ -1,0 +1,219 @@
+"""Transfer planning advisor: closed-form what-if analysis.
+
+Downstream users often want a recommendation *before* moving anything:
+which parameters to use on a path, what throughput to expect, what the
+transfer will cost in joules. This module answers those questions
+analytically from the same first-order model the simulator integrates
+— per-channel caps, shared link/disk capacities, pipelining efficiency,
+and the Eq. 1 power model — so its predictions can be checked against
+engine runs (see ``tests/test_advisor.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.core.allocation import chunk_params, mine_walk
+from repro.core.chunks import Chunk, ChunkClass, PartitionPolicy, partition_files
+from repro.datasets.files import Dataset
+from repro.netsim import tcp
+from repro.netsim.disk import SingleDisk
+from repro.netsim.params import TransferParams
+from repro.netsim.utilization import compute_utilization
+from repro.power.models import FineGrainedPowerModel
+from repro.testbeds.specs import Testbed
+
+__all__ = ["ChunkAdvice", "TransferAdvice", "advise"]
+
+
+@dataclass(frozen=True)
+class ChunkAdvice:
+    """Recommendation and first-order prediction for one chunk."""
+
+    name: str
+    file_count: int
+    total_bytes: int
+    params: TransferParams
+    per_channel_rate: float
+    bottleneck: str
+    pipelining_efficiency: float
+
+    @property
+    def effective_rate(self) -> float:
+        """Aggregate chunk rate after pipelining stalls (bytes/s)."""
+        return (
+            self.params.concurrency
+            * self.per_channel_rate
+            * self.pipelining_efficiency
+        )
+
+
+@dataclass(frozen=True)
+class TransferAdvice:
+    """The full plan: per-chunk advice plus whole-transfer predictions."""
+
+    testbed: str
+    chunks: tuple[ChunkAdvice, ...]
+    total_bytes: int
+    predicted_throughput: float
+    predicted_duration_s: float
+    predicted_power_w: float
+    predicted_energy_j: float
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def predicted_throughput_mbps(self) -> float:
+        return units.to_mbps(self.predicted_throughput)
+
+    def render(self) -> str:
+        """The plan as an aligned, human-readable block of text."""
+        lines = [f"Transfer plan for {self.testbed}:"]
+        for advice in self.chunks:
+            lines.append(
+                f"  {advice.name:<7s} {advice.file_count:>6d} files "
+                f"{units.to_GB(advice.total_bytes):7.2f} GB -> "
+                f"pp={advice.params.pipelining} p={advice.params.parallelism} "
+                f"cc={advice.params.concurrency} "
+                f"(~{units.to_mbps(advice.effective_rate):.0f} Mbps, "
+                f"{advice.bottleneck}-bound)"
+            )
+        lines.append(
+            f"  predicted: {self.predicted_throughput_mbps:.0f} Mbps, "
+            f"{self.predicted_duration_s:.0f} s, "
+            f"{self.predicted_power_w:.1f} W, "
+            f"{units.kilojoules(self.predicted_energy_j):.1f} kJ"
+        )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _channel_cap(testbed: Testbed, parallelism: int) -> tuple[float, str]:
+    """One channel's rate cap and the name of the binding constraint."""
+    candidates = {
+        "network": tcp.channel_network_cap(testbed.path, parallelism),
+        "host": min(
+            testbed.source.server.per_channel_rate,
+            testbed.destination.server.per_channel_rate,
+        ),
+    }
+    bottleneck = min(candidates, key=candidates.get)
+    return candidates[bottleneck], bottleneck
+
+
+def _pipelining_efficiency(testbed: Testbed, chunk: Chunk, params: TransferParams,
+                           per_channel_rate: float) -> float:
+    """Fraction of channel time spent moving payload, given per-file
+    control gaps (mirrors Channel.per_file_gap)."""
+    avg = chunk.average_file_size
+    if avg <= 0 or per_channel_rate <= 0:
+        return 1.0
+    transfer_time = avg / per_channel_rate
+    gap = (
+        2.5 * testbed.path.rtt / params.pipelining
+        + testbed.source.server.per_file_overhead
+        + testbed.destination.server.per_file_overhead
+    )
+    return transfer_time / (transfer_time + gap)
+
+
+def advise(
+    testbed: Testbed,
+    dataset: Dataset,
+    max_channels: int,
+    *,
+    policy: PartitionPolicy = PartitionPolicy(),
+) -> TransferAdvice:
+    """Recommend parameters and predict the transfer's cost.
+
+    Uses the MinE parameter walk for the per-chunk recommendation (the
+    paper's energy-minimal defaults), then bounds the aggregate rate by
+    the shared link and per-server disk capacities and evaluates the
+    testbed's power model at the predicted operating point.
+    """
+    if max_channels < 1:
+        raise ValueError("max_channels must be >= 1")
+    bdp = testbed.path.bdp
+    chunks = partition_files(dataset, bdp, policy)
+    if not chunks:
+        return TransferAdvice(
+            testbed=testbed.name,
+            chunks=(),
+            total_bytes=0,
+            predicted_throughput=0.0,
+            predicted_duration_s=0.0,
+            predicted_power_w=0.0,
+            predicted_energy_j=0.0,
+            notes=("empty dataset",),
+        )
+    params = mine_walk(chunks, bdp, testbed.path.tcp_buffer, max_channels)
+
+    advices = []
+    for chunk, p in zip(chunks, params):
+        cap, bottleneck = _channel_cap(testbed, p.parallelism)
+        efficiency = _pipelining_efficiency(testbed, chunk, p, cap)
+        advices.append(
+            ChunkAdvice(
+                name=chunk.name,
+                file_count=chunk.file_count,
+                total_bytes=chunk.total_size,
+                params=p,
+                per_channel_rate=cap,
+                bottleneck=bottleneck,
+                pipelining_efficiency=efficiency,
+            )
+        )
+
+    total_channels = sum(a.params.concurrency for a in advices)
+    total_streams = sum(a.params.concurrency * a.params.parallelism for a in advices)
+    demand = sum(a.effective_rate for a in advices)
+    link = tcp.aggregate_goodput(testbed.path, max(1, total_streams))
+    src_disk = testbed.source.server.disk.aggregate_capacity(max(1, total_channels))
+    dst_disk = testbed.destination.server.disk.aggregate_capacity(max(1, total_channels))
+    nic = min(testbed.source.server.nic_rate, testbed.destination.server.nic_rate)
+    aggregate = min(demand, link, src_disk, dst_disk, nic)
+
+    total_bytes = sum(a.total_bytes for a in advices)
+    duration = total_bytes / aggregate if aggregate > 0 else 0.0
+
+    # Power at the predicted operating point (PACK binding: one server
+    # per side carries everything).
+    model = FineGrainedPowerModel(testbed.coefficients)
+    power = 0.0
+    for site in (testbed.source, testbed.destination):
+        util = compute_utilization(
+            site.server,
+            channels=max(1, total_channels),
+            streams=max(1, total_streams),
+            throughput=aggregate,
+        )
+        power += model.power(site.server, util)
+
+    notes = []
+    if isinstance(testbed.source.server.disk, SingleDisk) and max_channels > 1:
+        notes.append(
+            "single-spindle storage: concurrency above 1 will reduce throughput"
+        )
+    if testbed.path.tcp_buffer < bdp:
+        notes.append(
+            f"TCP buffer ({units.to_MB(testbed.path.tcp_buffer):.0f} MB) below BDP "
+            f"({units.to_MB(bdp):.0f} MB): parallelism recommended on large files"
+        )
+    small = [a for a in advices if a.name == "small"]
+    if small and small[0].pipelining_efficiency < 0.8:
+        notes.append(
+            "small files dominate: expect control-channel overhead even with "
+            f"pipelining {small[0].params.pipelining}"
+        )
+
+    return TransferAdvice(
+        testbed=testbed.name,
+        chunks=tuple(advices),
+        total_bytes=total_bytes,
+        predicted_throughput=aggregate,
+        predicted_duration_s=duration,
+        predicted_power_w=power,
+        predicted_energy_j=power * duration,
+        notes=tuple(notes),
+    )

@@ -1,0 +1,176 @@
+"""Per-chunk parameter formulas and channel-allocation strategies.
+
+These are the arithmetic hearts of Algorithms 1 and 2:
+
+* Algorithm 1 (MinE), lines 8-10::
+
+      pipelining  = ceil(BDP / avgFileSize)
+      parallelism = max(min(ceil(BDP/bufSize), ceil(avgFileSize/bufSize)), 1)
+      concurrency = min(ceil(BDP/avgFileSize), ceil((availChannel+1)/2))
+
+  walked small -> large with ``availChannel`` decremented as channels
+  are claimed — small chunks grab up to half the remaining pool, large
+  chunks land at a single channel.
+
+* Algorithm 2 (HTEE), lines 6-13::
+
+      weight_i = log(chunk_i.size) * log(chunk_i.fileCount)
+      channelAllocation_i = floor(maxChannel * weight_i / totalWeight)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.chunks import Chunk
+from repro.netsim.params import TransferParams
+
+__all__ = [
+    "pipelining_level",
+    "parallelism_level",
+    "mine_concurrency",
+    "chunk_params",
+    "htee_weights",
+    "htee_channel_allocation",
+    "mine_walk",
+    "proportional_allocation",
+]
+
+
+def pipelining_level(bdp: float, avg_file_size: float) -> int:
+    """Line 8: ``ceil(BDP / avgFileSize)``, at least 1.
+
+    Many small files (avg << BDP) get deep pipelines; large files get 1.
+    """
+    if avg_file_size <= 0:
+        return 1
+    return max(1, math.ceil(bdp / avg_file_size))
+
+
+def parallelism_level(bdp: float, avg_file_size: float, buffer_size: float) -> int:
+    """Line 9: ``max(min(ceil(BDP/buf), ceil(avgFileSize/buf)), 1)``.
+
+    Streams are only added when the buffer is the binding constraint
+    (``buf < BDP``) *and* files are big enough to split (``avg > buf``).
+    """
+    if buffer_size <= 0:
+        raise ValueError(f"buffer_size must be > 0, got {buffer_size}")
+    by_bdp = math.ceil(bdp / buffer_size)
+    by_file = math.ceil(avg_file_size / buffer_size) if avg_file_size > 0 else 1
+    return max(min(by_bdp, by_file), 1)
+
+
+def mine_concurrency(bdp: float, avg_file_size: float, available_channels: int) -> int:
+    """Line 10: ``min(ceil(BDP/avgFileSize), ceil((availChannel+1)/2))``,
+    additionally capped by the channels actually left in the pool.
+
+    The published formula returns 1 even with an empty pool
+    (``ceil(1/2)``); we cap at ``available_channels`` so the user's
+    channel budget is honored (the paper's Figures 2-4 evaluate MinE
+    *at* each concurrency level, which implies the budget binds). A
+    chunk allotted zero channels is reached later via the multi-chunk
+    work-stealing mechanism.
+    """
+    if available_channels < 0:
+        raise ValueError("available_channels must be >= 0")
+    if available_channels == 0:
+        return 0
+    by_size = max(1, math.ceil(bdp / avg_file_size)) if avg_file_size > 0 else 1
+    by_pool = math.ceil((available_channels + 1) / 2)
+    return min(by_size, by_pool, available_channels)
+
+
+def chunk_params(chunk: Chunk, bdp: float, buffer_size: float, concurrency: int) -> TransferParams:
+    """The full parameter set of one chunk under the MinE formulas."""
+    avg = chunk.average_file_size
+    return TransferParams(
+        pipelining=pipelining_level(bdp, avg),
+        parallelism=parallelism_level(bdp, avg, buffer_size),
+        concurrency=concurrency,
+    )
+
+
+def mine_walk(chunks: list[Chunk], bdp: float, buffer_size: float, max_channels: int) -> list[TransferParams]:
+    """Algorithm 1's small->large walk: returns one parameter set per
+    chunk (same order), decrementing the channel pool as it goes."""
+    if max_channels < 1:
+        raise ValueError("max_channels must be >= 1")
+    available = max_channels
+    params: list[TransferParams] = []
+    for chunk in chunks:
+        concurrency = mine_concurrency(bdp, chunk.average_file_size, available)
+        params.append(chunk_params(chunk, bdp, buffer_size, concurrency))
+        available = max(0, available - concurrency)
+    return params
+
+
+def htee_weights(chunks: list[Chunk]) -> list[float]:
+    """Lines 6-11 of Algorithm 2: normalized ``log(size)*log(count)``
+    weights. Degenerate chunks (a single tiny file) get a floor weight
+    so they are never starved."""
+    if not chunks:
+        return []
+    raw = []
+    for chunk in chunks:
+        weight = math.log(max(chunk.total_size, 2)) * math.log(max(chunk.file_count, 2))
+        raw.append(max(weight, 1e-9))
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def htee_channel_allocation(chunks: list[Chunk], max_channels: int) -> list[int]:
+    """Line 12: ``floor(maxChannel * weight_i)`` with two practical
+    guards — every non-empty chunk keeps at least one channel, and the
+    total never exceeds ``max_channels`` (channels are reclaimed from
+    the heaviest chunks first when the +1 floors overflow)."""
+    if max_channels < 1:
+        raise ValueError("max_channels must be >= 1")
+    weights = htee_weights(chunks)
+    if max_channels < len(chunks):
+        allocation = [0] * len(chunks)
+        heaviest = sorted(range(len(chunks)), key=lambda i: weights[i], reverse=True)
+        for i in heaviest[:max_channels]:
+            allocation[i] = 1
+        return allocation
+    allocation = [max(1, math.floor(max_channels * w)) for w in weights]
+    while sum(allocation) > max_channels and any(a > 1 for a in allocation):
+        richest = max(range(len(allocation)), key=lambda i: allocation[i])
+        allocation[richest] -= 1
+    return allocation
+
+
+def proportional_allocation(chunks: list[Chunk], max_channels: int) -> list[int]:
+    """ProMC-style aggressive allocation: spread the entire channel
+    budget across chunks proportional to their bytes (largest-remainder
+    rounding). Every non-empty chunk keeps at least one channel when
+    the budget allows; with fewer channels than chunks, the largest
+    chunks are served first (the rest drain via work stealing). The
+    result always sums to exactly ``max_channels``."""
+    if max_channels < 1:
+        raise ValueError("max_channels must be >= 1")
+    if not chunks:
+        return []
+    n = len(chunks)
+    if max_channels <= n:
+        allocation = [0] * n
+        by_size = sorted(range(n), key=lambda i: chunks[i].total_size, reverse=True)
+        for i in by_size[:max_channels]:
+            allocation[i] = 1
+        return allocation
+    total = sum(c.total_size for c in chunks)
+    if total <= 0:
+        allocation = [1] * n
+        allocation[0] += max_channels - n
+        return allocation
+    shares = [max_channels * c.total_size / total for c in chunks]
+    allocation = [max(1, math.floor(s)) for s in shares]
+    remainders = sorted(range(n), key=lambda i: shares[i] - math.floor(shares[i]), reverse=True)
+    idx = 0
+    while sum(allocation) < max_channels:
+        allocation[remainders[idx % n]] += 1
+        idx += 1
+    while sum(allocation) > max_channels and any(a > 1 for a in allocation):
+        richest = max(range(n), key=lambda i: allocation[i])
+        allocation[richest] -= 1
+    return allocation

@@ -1,0 +1,257 @@
+"""Energy-agnostic baselines the paper compares against (Section 3).
+
+* **GUC** (globus-url-copy) — no tuning at all: one chunk, pipelining,
+  parallelism and concurrency all 1. "A use case in which a user
+  without much experience on GridFTP wants to transfer his/her files."
+* **GO** (Globus Online) — fixed file-size buckets (<50 MB, 50-250 MB,
+  >250 MB), fixed per-bucket parameters (e.g. pipelining 20 /
+  parallelism 2 for small files), concurrency fixed at 2, chunks
+  transferred one by one, and channels spread over every available
+  transfer server (the energy-expensive implementation detail the
+  paper highlights).
+* **SC** (Single Chunk) — network-aware per-chunk parameters (same
+  formulas as MinE) but chunks transferred *sequentially*, the whole
+  user-chosen channel budget pointed at the current chunk.
+* **ProMC** (Pro-active Multi Chunk) — same partitioning, all chunks
+  transferred *simultaneously*, the channel budget spread across
+  chunks proportional to bytes; the throughput champion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro import units
+from repro.core.allocation import chunk_params, proportional_allocation
+from repro.core.chunks import Chunk, ChunkClass, PartitionPolicy, partition_files
+from repro.core.scheduler import TransferOutcome, make_engine, make_plans, run_to_completion
+from repro.datasets.files import Dataset, FileInfo
+from repro.netsim.engine import Binding, ChunkPlan, TransferEngine
+from repro.netsim.params import TransferParams
+from repro.testbeds.specs import Testbed
+
+__all__ = ["GucAlgorithm", "GlobusOnlineAlgorithm", "SingleChunkAlgorithm", "ProMCAlgorithm"]
+
+
+def _run_sequential(
+    engine: TransferEngine,
+    plans: list[ChunkPlan],
+    *,
+    algorithm: str,
+    testbed: str,
+    max_channels: int,
+) -> TransferOutcome:
+    """Divide-and-transfer: chunks one by one, each with its own
+    channel set (the SC / GO schedule)."""
+    for plan in plans:
+        engine.add_chunk(plan, open_channels=False)
+    for plan in plans:
+        engine.set_chunk_channels(plan.name, plan.params.concurrency)
+        state = engine.chunks[plan.name]
+        while not (state.exhausted and all(not c.busy for c in engine.channels_for(plan.name))):
+            engine.step()
+            if engine.time > 1e7:  # pragma: no cover - safety net
+                raise RuntimeError("sequential transfer failed to converge")
+        engine.set_chunk_channels(plan.name, 0)
+    outcome = TransferOutcome(
+        algorithm=algorithm,
+        testbed=testbed,
+        max_channels=max_channels,
+        duration_s=engine.time,
+        bytes_moved=engine.total_bytes,
+        energy_joules=engine.total_energy,
+        files_moved=engine.total_files,
+    )
+    if engine.record_trace and engine.trace:
+        outcome.extra["trace"] = engine.trace
+    if engine.component_energy:
+        outcome.extra["component_energy"] = dict(engine.component_energy)
+    outcome.extra["wire_bytes"] = engine.total_wire_bytes
+    return outcome
+
+
+@dataclass(frozen=True)
+class GucAlgorithm:
+    """globus-url-copy with default parameters (the untuned floor)."""
+
+    pipelining: int = 1
+    parallelism: int = 1
+    concurrency: int = 1
+    name: str = "GUC"
+
+    def run(self, testbed: Testbed, dataset: Dataset, max_channels: int = 1) -> TransferOutcome:
+        """One untuned transfer: a single channel, stream and pipeline."""
+        # GUC ignores max_channels: its performance is concurrency-
+        # independent in the paper's figures (a flat reference line).
+        plan = ChunkPlan(
+            name="all-files",
+            files=tuple(dataset),
+            params=TransferParams(
+                pipelining=self.pipelining,
+                parallelism=self.parallelism,
+                concurrency=self.concurrency,
+            ),
+        )
+        engine = make_engine(testbed, binding=Binding.SPREAD, work_stealing=False)
+        engine.add_chunk(plan)
+        return run_to_completion(
+            engine, algorithm=self.name, testbed=testbed.name, max_channels=self.concurrency
+        )
+
+
+@dataclass(frozen=True)
+class GlobusOnlineAlgorithm:
+    """The cloud-hosted Globus Online tuning profile.
+
+    Fixed size buckets and fixed parameters; concurrency is always 2
+    and channels are spread over every data-transfer node of the site.
+
+    ``verify_checksums`` models GO's integrity feature, which the paper
+    disabled for a fair comparison because it "causes significant
+    slowdowns in average transfer throughput": every byte is hashed on
+    both ends, costing extra CPU work per byte and capping per-channel
+    rate at the hash pipeline's speed.
+    """
+
+    small_threshold: float = 50 * units.MB
+    large_threshold: float = 250 * units.MB
+    concurrency: int = 2
+    verify_checksums: bool = False
+    #: MD5-class hash pipeline rate on 2015 server cores, bytes/s.
+    checksum_rate: float = 60 * units.MB
+    #: Extra payload-CPU work factor while checksumming.
+    checksum_cpu_factor: float = 1.6
+    name: str = "GO"
+
+    #: Fixed per-bucket (pipelining, parallelism): the paper quotes
+    #: pipelining 20 / parallelism 2 for small files; medium and large
+    #: buckets keep parallelism 2 with shallower pipelines.
+    small_params: tuple[int, int] = (20, 2)
+    medium_params: tuple[int, int] = (5, 2)
+    large_params: tuple[int, int] = (1, 2)
+
+    def buckets(self, dataset: Dataset) -> list[tuple[str, tuple[FileInfo, ...], tuple[int, int]]]:
+        """GO's fixed size buckets: (name, files, (pipelining, parallelism))."""
+        small = tuple(f for f in dataset if f.size < self.small_threshold)
+        medium = tuple(
+            f for f in dataset if self.small_threshold <= f.size <= self.large_threshold
+        )
+        large = tuple(f for f in dataset if f.size > self.large_threshold)
+        out = []
+        for name, files, fixed in (
+            ("go-small", small, self.small_params),
+            ("go-medium", medium, self.medium_params),
+            ("go-large", large, self.large_params),
+        ):
+            if files:
+                out.append((name, files, fixed))
+        return out
+
+    def _checksum_testbed(self, testbed: Testbed) -> Testbed:
+        """A copy of the testbed whose servers pay the hashing tax."""
+        server = testbed.source.server
+        slowed = dataclasses.replace(
+            server,
+            per_channel_rate=min(server.per_channel_rate, self.checksum_rate),
+            core_rate=server.core_rate / self.checksum_cpu_factor,
+        )
+        return dataclasses.replace(
+            testbed,
+            source=dataclasses.replace(testbed.source, server=slowed),
+            destination=dataclasses.replace(testbed.destination, server=slowed),
+        )
+
+    def run(self, testbed: Testbed, dataset: Dataset, max_channels: int = 2) -> TransferOutcome:
+        """Transfer the fixed buckets one by one at concurrency 2,
+        channels spread over every transfer node."""
+        # GO's concurrency is fixed at 2; max_channels is ignored, as in
+        # the paper ("its performance is independent of user-defined
+        # maximum value of concurrency").
+        if self.verify_checksums:
+            testbed = self._checksum_testbed(testbed)
+        plans = [
+            ChunkPlan(
+                name=name,
+                files=files,
+                params=TransferParams(
+                    pipelining=pp, parallelism=p, concurrency=self.concurrency
+                ),
+            )
+            for name, files, (pp, p) in self.buckets(dataset)
+        ]
+        engine = make_engine(testbed, binding=Binding.SPREAD, work_stealing=False)
+        outcome = _run_sequential(
+            engine,
+            plans,
+            algorithm=self.name,
+            testbed=testbed.name,
+            max_channels=self.concurrency,
+        )
+        outcome.extra["verify_checksums"] = self.verify_checksums
+        return outcome
+
+
+@dataclass(frozen=True)
+class SingleChunkAlgorithm:
+    """SC: network-aware divide-and-transfer, chunks one at a time."""
+
+    policy: PartitionPolicy = PartitionPolicy()
+    name: str = "SC"
+
+    def plan(self, testbed: Testbed, dataset: Dataset, max_channels: int) -> list[ChunkPlan]:
+        """Per-chunk parameters with the whole budget given to each chunk
+        (chunks run one at a time)."""
+        bdp = testbed.path.bdp
+        chunks = partition_files(dataset, bdp, self.policy)
+        params = [
+            chunk_params(chunk, bdp, testbed.path.tcp_buffer, max_channels)
+            for chunk in chunks
+        ]
+        return make_plans(chunks, params)
+
+    def run(self, testbed: Testbed, dataset: Dataset, max_channels: int) -> TransferOutcome:
+        """Divide and transfer: each chunk sequentially with its own
+        network-aware parameter set."""
+        if max_channels < 1:
+            raise ValueError("max_channels must be >= 1")
+        plans = self.plan(testbed, dataset, max_channels)
+        engine = make_engine(testbed, binding=Binding.PACK, work_stealing=False)
+        return _run_sequential(
+            engine, plans, algorithm=self.name, testbed=testbed.name, max_channels=max_channels
+        )
+
+
+@dataclass(frozen=True)
+class ProMCAlgorithm:
+    """ProMC: all chunks at once, aggressive channel usage."""
+
+    policy: PartitionPolicy = PartitionPolicy()
+    name: str = "ProMC"
+
+    def plan(self, testbed: Testbed, dataset: Dataset, max_channels: int) -> list[ChunkPlan]:
+        """Per-chunk parameters with the channel budget spread across
+        chunks proportional to their bytes."""
+        bdp = testbed.path.bdp
+        chunks = partition_files(dataset, bdp, self.policy)
+        allocation = proportional_allocation(chunks, max_channels)
+        params = [
+            chunk_params(chunk, bdp, testbed.path.tcp_buffer, cc)
+            for chunk, cc in zip(chunks, allocation)
+        ]
+        return make_plans(chunks, params)
+
+    def run(self, testbed: Testbed, dataset: Dataset, max_channels: int) -> TransferOutcome:
+        """Transfer every chunk simultaneously with aggressive channel
+        use (the throughput-first schedule)."""
+        if max_channels < 1:
+            raise ValueError("max_channels must be >= 1")
+        plans = self.plan(testbed, dataset, max_channels)
+        engine = make_engine(testbed, binding=Binding.PACK, work_stealing=True)
+        for plan in plans:
+            engine.add_chunk(plan)
+        outcome = run_to_completion(
+            engine, algorithm=self.name, testbed=testbed.name, max_channels=max_channels
+        )
+        outcome.final_concurrency = sum(p.params.concurrency for p in plans)
+        return outcome

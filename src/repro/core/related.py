@@ -1,0 +1,145 @@
+"""Related-work baselines (Section 5 of the paper).
+
+The paper positions its contribution against two older lines of
+throughput-optimization work, both energy-agnostic:
+
+* **TCP buffer tuning** [29, 37, 40] — "The first attempts to improve
+  the data transfer throughput at the application layer were made
+  through buffer size tuning." A single stream with its buffer sized to
+  the BDP (subject to the OS maximum).
+* **PCP-style staged probing** [47] — "PCP algorithm is proposed to
+  find optimal values for transfer parameters such as pipelining,
+  concurrency and parallelism." A throughput-only online search: set
+  per-chunk pipelining/parallelism by formula, then climb concurrency
+  (doubling) while the measured throughput keeps improving — no energy
+  term anywhere.
+
+Implementing them makes the paper's §5 claims testable: parallel
+streams beat buffer tuning once the OS buffer ceiling is below the BDP
+(Lu et al. [33]), and throughput-only tuning lands near ProMC's energy
+bill rather than HTEE's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.allocation import chunk_params, htee_weights
+from repro.core.chunks import PartitionPolicy, partition_files
+from repro.core.htee import scaled_allocation
+from repro.core.scheduler import (
+    PROBE_INTERVAL_S,
+    TransferOutcome,
+    make_engine,
+    make_plans,
+    run_to_completion,
+)
+from repro.datasets.files import Dataset
+from repro.netsim.engine import Binding, ChunkPlan, TransferEngine
+from repro.netsim.params import TransferParams
+from repro.power.models import FineGrainedPowerModel
+from repro.testbeds.specs import Testbed
+
+__all__ = ["BufferTuningAlgorithm", "PCPAlgorithm"]
+
+
+@dataclass(frozen=True)
+class BufferTuningAlgorithm:
+    """Single-stream transfer with an auto-tuned TCP buffer.
+
+    The classic recipe: size the socket buffer to the bandwidth-delay
+    product, clamped by the OS-configurable maximum (``os_max_buffer``;
+    the testbed's configured TCP buffer is treated as that maximum).
+    Everything else stays untuned — one channel, one stream, no
+    pipelining.
+    """
+
+    os_max_buffer: Optional[float] = None  # default: the testbed's max
+    name: str = "BufTune"
+
+    def tuned_buffer(self, testbed: Testbed) -> float:
+        """BDP-sized buffer, clamped by the OS-configurable maximum."""
+        ceiling = self.os_max_buffer if self.os_max_buffer is not None else testbed.path.tcp_buffer
+        return min(testbed.path.bdp, ceiling) if testbed.path.bdp > 0 else ceiling
+
+    def run(self, testbed: Testbed, dataset: Dataset, max_channels: int = 1) -> TransferOutcome:
+        """One single-stream transfer with the auto-tuned buffer."""
+        buffer = self.tuned_buffer(testbed)
+        tuned_path = dataclasses.replace(testbed.path, tcp_buffer=buffer)
+        model = FineGrainedPowerModel(testbed.coefficients)
+        engine = TransferEngine(
+            tuned_path,
+            testbed.source,
+            testbed.destination,
+            model.power,
+            dt=testbed.engine_dt,
+            binding=Binding.SPREAD,
+            work_stealing=False,
+        )
+        engine.add_chunk(
+            ChunkPlan("all-files", tuple(dataset), TransferParams(1, 1, 1))
+        )
+        outcome = run_to_completion(
+            engine, algorithm=self.name, testbed=testbed.name, max_channels=1
+        )
+        outcome.extra["tuned_buffer"] = buffer
+        return outcome
+
+
+@dataclass(frozen=True)
+class PCPAlgorithm:
+    """Throughput-only staged parameter search (after Yildirim et al.).
+
+    Per-chunk pipelining and parallelism come from the same formulas as
+    the energy-aware algorithms (they are throughput formulas); the
+    concurrency search doubles the channel count every probe window as
+    long as throughput improves by at least ``improvement_threshold``,
+    then settles on the best-throughput level — energy never enters the
+    decision.
+    """
+
+    policy: PartitionPolicy = PartitionPolicy()
+    probe_interval: float = PROBE_INTERVAL_S
+    improvement_threshold: float = 0.05
+    name: str = "PCP"
+
+    def run(self, testbed: Testbed, dataset: Dataset, max_channels: int) -> TransferOutcome:
+        """Double the concurrency each probe while throughput improves,
+        then finish at the best-throughput level (energy-blind)."""
+        if max_channels < 1:
+            raise ValueError("max_channels must be >= 1")
+        bdp = testbed.path.bdp
+        chunks = partition_files(dataset, bdp, self.policy)
+        weights = htee_weights(chunks)
+        plans = make_plans(
+            chunks, [chunk_params(c, bdp, testbed.path.tcp_buffer, 1) for c in chunks]
+        )
+        engine = make_engine(testbed, binding=Binding.PACK, work_stealing=True)
+        for plan in plans:
+            engine.add_chunk(plan, open_channels=False)
+        names = [p.name for p in plans]
+
+        probes: list[tuple[int, float]] = []
+        level = 1
+        best_throughput = 0.0
+        while level <= max_channels and not engine.finished:
+            engine.set_allocation(dict(zip(names, scaled_allocation(weights, level))))
+            before = engine.snapshot()
+            engine.run(self.probe_interval)
+            throughput = engine.snapshot().throughput_since(before)
+            probes.append((level, throughput))
+            if throughput < best_throughput * (1.0 + self.improvement_threshold):
+                break  # stopped improving
+            best_throughput = max(best_throughput, throughput)
+            level = min(level * 2, max_channels) if level != max_channels else max_channels + 1
+
+        best_level = max(probes, key=lambda p: p[1])[0] if probes else 1
+        engine.set_allocation(dict(zip(names, scaled_allocation(weights, best_level))))
+        outcome = run_to_completion(
+            engine, algorithm=self.name, testbed=testbed.name, max_channels=max_channels
+        )
+        outcome.final_concurrency = best_level
+        outcome.extra["probes"] = probes
+        return outcome

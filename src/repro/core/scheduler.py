@@ -1,0 +1,165 @@
+"""Shared algorithm driver: engine construction, probe windows, and the
+result record every algorithm returns."""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro import units
+from repro.core.chunks import Chunk
+from repro.datasets.files import Dataset
+from repro.netsim.engine import Binding, ChunkPlan, TransferEngine
+from repro.netsim.params import TransferParams
+from repro.power.models import FineGrainedPowerModel
+from repro.testbeds.specs import Testbed
+
+__all__ = [
+    "TransferOutcome",
+    "engine_options",
+    "make_engine",
+    "make_plans",
+    "run_to_completion",
+    "PROBE_INTERVAL_S",
+]
+
+#: Process-wide defaults applied by :func:`make_engine`; mutated only
+#: through :func:`engine_options`.
+_ENGINE_DEFAULTS: dict = {"record_trace": False, "background_traffic": None}
+
+
+@contextlib.contextmanager
+def engine_options(*, record_trace: bool = False, background_traffic=None) -> Iterator[None]:
+    """Temporarily change how :func:`make_engine` builds engines.
+
+    Algorithms construct their engines internally; wrapping a run in
+    ``with engine_options(record_trace=True):`` makes every engine
+    record its per-step trace, which :func:`run_to_completion` then
+    attaches to the outcome as ``extra["trace"]``. Passing
+    ``background_traffic`` (time -> competing bytes/s) subjects every
+    engine to changing network conditions — the scenario the adaptive
+    algorithms are designed for.
+    """
+    previous = dict(_ENGINE_DEFAULTS)
+    _ENGINE_DEFAULTS["record_trace"] = record_trace
+    _ENGINE_DEFAULTS["background_traffic"] = background_traffic
+    try:
+        yield
+    finally:
+        _ENGINE_DEFAULTS.update(previous)
+
+#: The paper's probe window: "Each concurrency level is executed for
+#: five second time intervals" (HTEE), "calculates the throughput in
+#: every five seconds" (SLAEE).
+PROBE_INTERVAL_S = 5.0
+
+
+@dataclass
+class TransferOutcome:
+    """What one algorithm run produced on one testbed.
+
+    ``throughput`` is the whole-transfer average payload rate in
+    bytes/s; ``steady_throughput`` excludes any adaptive search phase
+    (equal to ``throughput`` for non-adaptive algorithms).
+    ``efficiency`` is the paper's throughput/energy ratio, in
+    Mbps per joule — comparable within a testbed, normalized by the
+    brute-force best when plotted.
+    """
+
+    algorithm: str
+    testbed: str
+    max_channels: int
+    duration_s: float
+    bytes_moved: float
+    energy_joules: float
+    files_moved: int = 0
+    steady_throughput: Optional[float] = None
+    final_concurrency: Optional[int] = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Average payload rate over the whole transfer (bytes/s)."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.bytes_moved / self.duration_s
+
+    @property
+    def throughput_mbps(self) -> float:
+        return units.to_mbps(self.throughput)
+
+    @property
+    def efficiency(self) -> float:
+        """Throughput/energy ratio (Mbps per joule)."""
+        if self.energy_joules <= 0:
+            return 0.0
+        return self.throughput_mbps / self.energy_joules
+
+    def summary(self) -> str:
+        """One human-readable line: algorithm, testbed, rate, joules."""
+        return (
+            f"{self.algorithm:>7s} @cc={self.max_channels:<3d} on {self.testbed}: "
+            f"{self.throughput_mbps:8.1f} Mbps, {self.energy_joules:9.1f} J, "
+            f"{self.duration_s:7.1f} s"
+        )
+
+
+def make_engine(
+    testbed: Testbed,
+    *,
+    binding: Binding = Binding.PACK,
+    work_stealing: bool = True,
+    record_trace: bool = False,
+) -> TransferEngine:
+    """A transfer engine wired to the testbed's path, endpoints and
+    calibrated fine-grained power model."""
+    model = FineGrainedPowerModel(testbed.coefficients)
+    return TransferEngine(
+        testbed.path,
+        testbed.source,
+        testbed.destination,
+        model.power,
+        dt=testbed.engine_dt,
+        binding=binding,
+        work_stealing=work_stealing,
+        record_trace=record_trace or _ENGINE_DEFAULTS["record_trace"],
+        background_traffic=_ENGINE_DEFAULTS["background_traffic"],
+    )
+
+
+def make_plans(chunks: list[Chunk], params: list[TransferParams]) -> list[ChunkPlan]:
+    """Zip chunks with their parameter sets into engine chunk plans."""
+    if len(chunks) != len(params):
+        raise ValueError("chunks and params must align")
+    return [
+        ChunkPlan(name=chunk.name, files=chunk.files, params=p)
+        for chunk, p in zip(chunks, params)
+    ]
+
+
+def run_to_completion(
+    engine: TransferEngine,
+    *,
+    algorithm: str,
+    testbed: str,
+    max_channels: int,
+    max_time: float = 1e7,
+) -> TransferOutcome:
+    """Drive ``engine`` to the end and package the outcome."""
+    engine.run(max_time=max_time)
+    outcome = TransferOutcome(
+        algorithm=algorithm,
+        testbed=testbed,
+        max_channels=max_channels,
+        duration_s=engine.time,
+        bytes_moved=engine.total_bytes,
+        energy_joules=engine.total_energy,
+        files_moved=engine.total_files,
+    )
+    if engine.record_trace and engine.trace:
+        outcome.extra["trace"] = engine.trace
+    if engine.component_energy:
+        outcome.extra["component_energy"] = dict(engine.component_energy)
+    outcome.extra["wire_bytes"] = engine.total_wire_bytes
+    return outcome

@@ -1,0 +1,228 @@
+"""Algorithm 3 — SLA-based Energy-Efficient (SLAEE) transfer.
+
+The user promises to tolerate a throughput of ``SLA_level`` times the
+maximum achievable on the path (e.g. 0.9 = "at most 10% slower than
+the best possible"); SLAEE delivers that floor with the minimum energy
+it can manage. It starts from a single channel, jumps straight to the
+proportionally estimated concurrency (line 11: ``concurrency =
+target/actual``), then climbs one channel at a time — measuring
+five-second windows — until the target is met. Channel assignment
+favors small chunks and pins Large chunks at one channel; only when
+the concurrency cap is hit without meeting the SLA does
+``reArrangeChannels`` start feeding extra channels to the Large chunk
+(lines 14-22).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.allocation import chunk_params, htee_weights
+from repro.core.chunks import Chunk, ChunkClass, PartitionPolicy, partition_files
+from repro.core.scheduler import (
+    PROBE_INTERVAL_S,
+    TransferOutcome,
+    make_engine,
+    make_plans,
+    run_to_completion,
+)
+from repro.datasets.files import Dataset
+from repro.netsim.engine import Binding
+from repro.testbeds.specs import Testbed
+
+__all__ = ["SLAEEAlgorithm", "sla_allocation"]
+
+
+def sla_allocation(chunks: list[Chunk], total_channels: int, extra_large: int = 0) -> list[int]:
+    """SLAEE's channel assignment at a given total concurrency.
+
+    Small chunks first (they are energy-cheap throughput), Large chunks
+    capped at ``1 + extra_large`` channels (``extra_large > 0`` only
+    after ``reArrangeChannels`` fires). Totals always sum to
+    ``total_channels`` (when at least one channel per chunk fits).
+    """
+    if total_channels < 0:
+        raise ValueError("total_channels must be >= 0")
+    if extra_large < 0:
+        raise ValueError("extra_large must be >= 0")
+    n = len(chunks)
+    if n == 0:
+        return []
+    allocation = [0] * n
+    order = sorted(range(n), key=lambda i: int(chunks[i].chunk_class))
+    remaining = total_channels
+    # one channel each, smallest class first
+    for i in order:
+        if remaining <= 0:
+            break
+        allocation[i] = 1
+        remaining -= 1
+    # large chunks may take their rearranged extras
+    for i in order:
+        if chunks[i].chunk_class is ChunkClass.LARGE and allocation[i] > 0:
+            take = min(extra_large, remaining)
+            allocation[i] += take
+            remaining -= take
+    # the rest goes to non-large chunks by HTEE-style weights
+    non_large = [i for i in order if chunks[i].chunk_class is not ChunkClass.LARGE]
+    if not non_large:
+        non_large = order
+    weights = htee_weights([chunks[i] for i in non_large])
+    idx = 0
+    while remaining > 0:
+        # round-robin weighted by repeatedly giving to the most
+        # underweighted chunk
+        deficits = [
+            weights[k] * (sum(allocation[j] for j in non_large) + 1) - allocation[non_large[k]]
+            for k in range(len(non_large))
+        ]
+        target = non_large[max(range(len(non_large)), key=lambda k: deficits[k])]
+        allocation[target] += 1
+        remaining -= 1
+        idx += 1
+    return allocation
+
+
+@dataclass(frozen=True)
+class SLAEEAlgorithm:
+    """SLA-based Energy-Efficient transfer (Algorithm 3).
+
+    ``adaptive_monitoring`` enables the extension the paper's critique
+    of Globus Online motivates ("the protocol tuning Globus Online
+    performs is non-adaptive; it does not change depending on network
+    conditions"): after converging on a concurrency level, SLAEE keeps
+    measuring five-second windows for the rest of the transfer and
+    re-adjusts — adding channels when competing traffic pushes the
+    delivered rate below the SLA, and *shedding* channels (saving
+    energy) when the window rate overshoots the target by more than the
+    tolerance. The published Algorithm 3 (default) tunes once and runs
+    the remainder open-loop.
+    """
+
+    policy: PartitionPolicy = PartitionPolicy()
+    probe_interval: float = PROBE_INTERVAL_S
+    adaptive_monitoring: bool = False
+    tolerance: float = 0.05
+    name: str = "SLAEE"
+
+    def run(
+        self,
+        testbed: Testbed,
+        dataset: Dataset,
+        max_channels: int,
+        *,
+        sla_level: float,
+        max_throughput: float,
+    ) -> TransferOutcome:
+        """Deliver ``sla_level * max_throughput`` bytes/s at minimum energy.
+
+        ``max_throughput`` is the maximum achievable rate on this path
+        (the paper uses ProMC's best observed throughput).
+        """
+        if not (0 < sla_level <= 1):
+            raise ValueError("sla_level must be in (0, 1]")
+        if max_throughput <= 0:
+            raise ValueError("max_throughput must be > 0")
+        if max_channels < 1:
+            raise ValueError("max_channels must be >= 1")
+
+        target = sla_level * max_throughput
+        bdp = testbed.path.bdp
+        chunks = partition_files(dataset, bdp, self.policy)
+        plans = make_plans(
+            chunks,
+            [chunk_params(c, bdp, testbed.path.tcp_buffer, 1) for c in chunks],
+        )
+        engine = make_engine(testbed, binding=Binding.PACK, work_stealing=True)
+        for plan in plans:
+            engine.add_chunk(plan, open_channels=False)
+        names = [p.name for p in plans]
+
+        def apply(concurrency: int, extra_large: int) -> None:
+            engine.set_allocation(
+                dict(zip(names, sla_allocation(chunks, concurrency, extra_large)))
+            )
+
+        def probe() -> float:
+            before = engine.snapshot()
+            engine.run(self.probe_interval)
+            return engine.snapshot().throughput_since(before)
+
+        # Lines 7-9: start at one channel and measure. A one-second
+        # warmup lets the channel finish its control-channel setup so
+        # the first five-second window reflects steady throughput.
+        concurrency, extra_large = 1, 0
+        apply(concurrency, extra_large)
+        engine.run(1.0)
+        actual = probe()
+
+        # Line 10-13: proportional jump toward the target.
+        if actual <= target and not engine.finished and actual > 0:
+            concurrency = max(1, min(max_channels, math.ceil(target / actual)))
+            apply(concurrency, extra_large)
+            actual = probe()
+
+        # Lines 14-22: incremental climb / channel rearrangement.
+        max_extra = max(0, max_channels - len(chunks))
+        adjustments = 0
+        while actual <= target and not engine.finished:
+            if concurrency < max_channels:
+                concurrency += 1
+            elif extra_large < max_extra:
+                extra_large += 1  # reArrangeChannels()
+            else:
+                break  # SLA unreachable on this path; do our best
+            apply(concurrency, extra_large)
+            actual = probe()
+            adjustments += 1
+            if adjustments > 4 * max_channels:  # pragma: no cover - safety
+                break
+
+        converged = engine.snapshot()
+        adjustments_up = adjustments_down = 0
+        if self.adaptive_monitoring:
+            # Closed-loop tail: keep the SLA under changing conditions
+            # and shed channels the moment they stop being needed.
+            while not engine.finished:
+                window = probe()
+                if engine.finished:
+                    break
+                if window < target * (1.0 - self.tolerance):
+                    if concurrency < max_channels:
+                        concurrency += 1
+                        adjustments_up += 1
+                    elif extra_large < max_extra:
+                        extra_large += 1
+                        adjustments_up += 1
+                    else:
+                        continue  # at capacity; keep doing our best
+                    apply(concurrency, extra_large)
+                elif window > target * (1.0 + 2.0 * self.tolerance) and concurrency > 1:
+                    concurrency -= 1
+                    adjustments_down += 1
+                    apply(concurrency, extra_large)
+        outcome = run_to_completion(
+            engine, algorithm=self.name, testbed=testbed.name, max_channels=max_channels
+        )
+        end = engine.snapshot()
+        if end.time > converged.time:
+            outcome.steady_throughput = end.throughput_since(converged)
+        else:
+            # transfer ended during the search; the last window is the
+            # best steady estimate available
+            outcome.steady_throughput = actual if actual > 0 else outcome.throughput
+        outcome.final_concurrency = concurrency
+        outcome.extra.update(
+            {
+                "target_throughput": target,
+                "sla_level": sla_level,
+                "extra_large": extra_large,
+            }
+        )
+        if self.adaptive_monitoring:
+            outcome.extra["monitor_adjustments"] = {
+                "up": adjustments_up,
+                "down": adjustments_down,
+            }
+        return outcome

@@ -1,0 +1,42 @@
+"""Workload substrate: file/dataset containers and synthetic generators."""
+
+from repro.datasets.files import Dataset, FileInfo
+from repro.datasets.presets import (
+    WORKLOAD_PRESETS,
+    climate_model_dataset,
+    genomics_dataset,
+    log_shipping_dataset,
+    video_archive_dataset,
+    vm_image_dataset,
+)
+from repro.datasets.generators import (
+    SizeBand,
+    banded_dataset,
+    large_files_dataset,
+    log_uniform_dataset,
+    lognormal_dataset,
+    paper_dataset_10g,
+    paper_dataset_1g,
+    small_files_dataset,
+    uniform_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "FileInfo",
+    "SizeBand",
+    "WORKLOAD_PRESETS",
+    "banded_dataset",
+    "climate_model_dataset",
+    "genomics_dataset",
+    "log_shipping_dataset",
+    "video_archive_dataset",
+    "vm_image_dataset",
+    "log_uniform_dataset",
+    "lognormal_dataset",
+    "uniform_dataset",
+    "paper_dataset_10g",
+    "paper_dataset_1g",
+    "small_files_dataset",
+    "large_files_dataset",
+]

@@ -1,0 +1,101 @@
+"""File and dataset containers.
+
+A *dataset* in the paper is simply a directory of files of mixed sizes
+queued for transfer. The transfer algorithms only ever look at file
+sizes (never contents), so :class:`FileInfo` carries a name and a size
+and :class:`Dataset` provides the aggregate statistics the algorithms
+consume (total size, count, average file size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro import units
+
+__all__ = ["FileInfo", "Dataset"]
+
+
+@dataclass(frozen=True, slots=True)
+class FileInfo:
+    """A single transferable file: a name and a size in bytes."""
+
+    name: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"file size must be >= 0, got {self.size}")
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An immutable collection of files queued for one transfer job."""
+
+    files: tuple[FileInfo, ...]
+    name: str = "dataset"
+
+    def __init__(self, files: Iterable[FileInfo], name: str = "dataset") -> None:
+        object.__setattr__(self, "files", tuple(files))
+        object.__setattr__(self, "name", name)
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+    def __iter__(self) -> Iterator[FileInfo]:
+        return iter(self.files)
+
+    def __getitem__(self, index: int) -> FileInfo:
+        return self.files[index]
+
+    @property
+    def total_size(self) -> int:
+        """Sum of all file sizes in bytes."""
+        return sum(f.size for f in self.files)
+
+    @property
+    def file_count(self) -> int:
+        return len(self.files)
+
+    @property
+    def average_file_size(self) -> float:
+        """Mean file size in bytes (0.0 for an empty dataset)."""
+        if not self.files:
+            return 0.0
+        return self.total_size / len(self.files)
+
+    @property
+    def min_file_size(self) -> int:
+        if not self.files:
+            return 0
+        return min(f.size for f in self.files)
+
+    @property
+    def max_file_size(self) -> int:
+        if not self.files:
+            return 0
+        return max(f.size for f in self.files)
+
+    def sorted_by_size(self) -> "Dataset":
+        """A copy with files ordered smallest-first (stable)."""
+        return Dataset(sorted(self.files, key=lambda f: (f.size, f.name)), name=self.name)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by the harness."""
+        return (
+            f"{self.name}: {self.file_count} files, "
+            f"{units.to_GB(self.total_size):.2f} GB total, "
+            f"sizes {units.to_MB(self.min_file_size):.1f}-"
+            f"{units.to_MB(self.max_file_size):.1f} MB, "
+            f"avg {units.to_MB(self.average_file_size):.1f} MB"
+        )
+
+    @staticmethod
+    def from_sizes(sizes: Sequence[int], name: str = "dataset", prefix: str = "file") -> "Dataset":
+        """Build a dataset from raw sizes; names are generated."""
+        width = max(1, len(str(max(len(sizes) - 1, 0))))
+        return Dataset(
+            (FileInfo(f"{prefix}{i:0{width}d}", int(s)) for i, s in enumerate(sizes)),
+            name=name,
+        )

@@ -1,0 +1,20 @@
+"""Provider-scale energy/cost projection built on the transfer
+algorithms (the paper's economic motivation, made computable)."""
+
+from repro.fleet.model import (
+    WORLD_TRANSFER_TWH_PER_YEAR,
+    FleetModel,
+    JobClass,
+    PolicyReport,
+    TariffModel,
+    global_projection_twh,
+)
+
+__all__ = [
+    "FleetModel",
+    "JobClass",
+    "PolicyReport",
+    "TariffModel",
+    "WORLD_TRANSFER_TWH_PER_YEAR",
+    "global_projection_twh",
+]

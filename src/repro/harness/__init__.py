@@ -1,0 +1,82 @@
+"""Experiment harness: runners, sweeps, metrics and figure renderers."""
+
+from repro.harness.metrics import (
+    DecompositionRecord,
+    SlaRecord,
+    deviation_ratio,
+    efficiency_ratio,
+    energy_saving_pct,
+    normalized_efficiencies,
+)
+from repro.harness.runner import (
+    ALGORITHMS,
+    CONCURRENCY_INDEPENDENT,
+    dataset_for,
+    run_algorithm,
+    run_brute_force,
+    run_slaee,
+)
+from repro.harness.campaign import Campaign, CampaignProgress
+from repro.harness.charts import line_chart
+from repro.harness.pareto import ParetoPoint, dominated_by, pareto_frontier, render_frontier
+from repro.harness.report import generate_report, write_report
+from repro.harness.reporting import (
+    load_outcomes_json,
+    load_trace_csv,
+    outcome_from_dict,
+    outcome_to_dict,
+    render_trace,
+    save_outcomes_json,
+    save_trace_csv,
+    sparkline,
+)
+from repro.harness.store import ResultStore
+from repro.harness.sweeps import (
+    PAPER_SLA_TARGETS,
+    ConcurrencySweep,
+    best_efficiency,
+    brute_force_sweep,
+    concurrency_sweep,
+    energy_decomposition,
+    sla_sweep,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "CONCURRENCY_INDEPENDENT",
+    "Campaign",
+    "CampaignProgress",
+    "ParetoPoint",
+    "dominated_by",
+    "generate_report",
+    "pareto_frontier",
+    "render_frontier",
+    "write_report",
+    "ConcurrencySweep",
+    "DecompositionRecord",
+    "PAPER_SLA_TARGETS",
+    "SlaRecord",
+    "best_efficiency",
+    "brute_force_sweep",
+    "concurrency_sweep",
+    "dataset_for",
+    "deviation_ratio",
+    "efficiency_ratio",
+    "energy_decomposition",
+    "energy_saving_pct",
+    "normalized_efficiencies",
+    "ResultStore",
+    "line_chart",
+    "load_outcomes_json",
+    "load_trace_csv",
+    "outcome_from_dict",
+    "outcome_to_dict",
+    "render_trace",
+    "run_algorithm",
+    "run_brute_force",
+    "run_slaee",
+    "save_outcomes_json",
+    "save_trace_csv",
+    "sla_sweep",
+    "sparkline",
+]

@@ -1,0 +1,134 @@
+"""Resumable experiment campaigns.
+
+A campaign is a grid — testbeds x algorithms x concurrency levels —
+run once, archived to a :class:`~repro.harness.store.ResultStore`, and
+safely resumable: combinations already in the store are skipped, so an
+interrupted overnight sweep continues where it stopped instead of
+starting over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.core.scheduler import TransferOutcome
+from repro.harness.runner import ALGORITHMS, CONCURRENCY_INDEPENDENT, dataset_for, run_algorithm
+from repro.harness.store import ResultStore
+from repro.testbeds.specs import Testbed
+
+__all__ = ["Campaign", "CampaignProgress"]
+
+
+@dataclass(frozen=True)
+class CampaignProgress:
+    """A snapshot of how far a campaign has come."""
+
+    total: int
+    completed: int
+    skipped: int
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.completed
+
+    @property
+    def fraction_done(self) -> float:
+        return self.completed / self.total if self.total else 1.0
+
+
+@dataclass
+class Campaign:
+    """A named experiment grid with an on-disk archive.
+
+    ``on_result`` (optional) is invoked after every fresh run — e.g.
+    for progress logging.
+    """
+
+    name: str
+    store_path: Path
+    testbeds: Sequence[Testbed]
+    algorithms: Sequence[str] = ("GUC", "GO", "SC", "MinE", "ProMC", "HTEE")
+    levels: Optional[Sequence[int]] = None
+    on_result: Optional[Callable[[TransferOutcome], None]] = None
+
+    def __post_init__(self) -> None:
+        if not self.testbeds:
+            raise ValueError("need at least one testbed")
+        unknown = [a for a in self.algorithms if a not in ALGORITHMS]
+        if unknown:
+            raise ValueError(f"unknown algorithms: {unknown}")
+        self.store = ResultStore(Path(self.store_path))
+
+    # ------------------------------------------------------------------
+
+    def cells(self) -> Iterator[tuple[Testbed, str, int]]:
+        """Every (testbed, algorithm, level) combination in the grid.
+
+        Concurrency-independent algorithms contribute one cell per
+        testbed (at level 1), matching how the paper treats them.
+        """
+        for testbed in self.testbeds:
+            levels = tuple(self.levels) if self.levels is not None else testbed.concurrency_levels
+            for algorithm in self.algorithms:
+                if algorithm in CONCURRENCY_INDEPENDENT:
+                    yield testbed, algorithm, 1
+                else:
+                    for level in levels:
+                        yield testbed, algorithm, level
+
+    def _done_keys(self) -> set[tuple[str, str, int]]:
+        done = set()
+        for record in self.store._records():
+            tags = record.get("tags", {})
+            if tags.get("campaign") != self.name:
+                continue
+            done.add(
+                (record["testbed"], record["algorithm"], int(record["max_channels"]))
+            )
+        return done
+
+    def progress(self) -> CampaignProgress:
+        """How much of the grid the archive already covers."""
+        done = self._done_keys()
+        cells = list(self.cells())
+        completed = sum(
+            1 for tb, alg, lvl in cells if (tb.name, alg, lvl) in done
+        )
+        return CampaignProgress(total=len(cells), completed=completed, skipped=completed)
+
+    # ------------------------------------------------------------------
+
+    def run(self, *, max_cells: Optional[int] = None) -> CampaignProgress:
+        """Run every not-yet-archived cell (up to ``max_cells``)."""
+        done = self._done_keys()
+        executed = 0
+        skipped = 0
+        cells = list(self.cells())
+        for testbed, algorithm, level in cells:
+            key = (testbed.name, algorithm, level)
+            if key in done:
+                skipped += 1
+                continue
+            if max_cells is not None and executed >= max_cells:
+                break
+            outcome = run_algorithm(testbed, algorithm, level, dataset_for(testbed))
+            self.store.append(outcome, campaign=self.name)
+            done.add(key)
+            executed += 1
+            if self.on_result is not None:
+                self.on_result(outcome)
+        completed = sum(1 for tb, alg, lvl in cells if (tb.name, alg, lvl) in done)
+        return CampaignProgress(total=len(cells), completed=completed, skipped=skipped)
+
+    def results(self, **filters) -> list[TransferOutcome]:
+        """Archived outcomes belonging to this campaign."""
+        base = self.store.load(
+            where=lambda r: r.get("tags", {}).get("campaign") == self.name
+        )
+        if filters.get("algorithm"):
+            base = [o for o in base if o.algorithm == filters["algorithm"]]
+        if filters.get("testbed"):
+            base = [o for o in base if o.testbed == filters["testbed"]]
+        return base

@@ -1,0 +1,86 @@
+"""Plain-text line charts.
+
+The benchmark harness renders every figure as tables; for quick visual
+shape-checking in a terminal (is the parabola a parabola?) this module
+draws multi-series ASCII line charts with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart"]
+
+#: Series are marked with these glyphs, in order.
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_labels: Sequence[object] | None = None,
+    height: int = 12,
+    width: int = 60,
+    y_format: str = "{:>10.0f}",
+    title: str = "",
+) -> str:
+    """Render ``{name: values}`` as an ASCII chart.
+
+    All series must share a length; x positions are spread evenly over
+    ``width`` columns, values are scaled into ``height`` rows. Returns
+    the chart with a y-axis, an x-axis line, optional x labels, and a
+    legend mapping markers to series names.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    (n,) = lengths
+    if n < 1:
+        raise ValueError("series must be non-empty")
+    if height < 2 or width < n:
+        raise ValueError("chart too small for the data")
+
+    all_values = [v for values in series.values() for v in values]
+    low, high = min(all_values), max(all_values)
+    span = high - low if high > low else 1.0
+
+    def row_of(value: float) -> int:
+        return int(round((value - low) / span * (height - 1)))
+
+    def col_of(index: int) -> int:
+        if n == 1:
+            return 0
+        return int(round(index * (width - 1) / (n - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, values) in zip(_MARKERS, series.items()):
+        for i, value in enumerate(values):
+            r = height - 1 - row_of(value)
+            c = col_of(i)
+            grid[r][c] = marker if grid[r][c] == " " else "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        value = high - r * span / (height - 1)
+        lines.append(y_format.format(value) + " |" + "".join(row))
+    lines.append(" " * 10 + " +" + "-" * width)
+    if x_labels is not None:
+        if len(x_labels) != n:
+            raise ValueError("x_labels must match series length")
+        label_row = [" "] * width
+        for i, label in enumerate(x_labels):
+            text = str(label)
+            c = min(col_of(i), width - len(text))
+            for j, ch in enumerate(text):
+                if c + j < width:
+                    label_row[c + j] = ch
+        lines.append(" " * 12 + "".join(label_row))
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""Text renderings of every paper figure/table.
+
+Each ``render_*`` function returns the figure's data as aligned text
+(the same rows/series the paper plots), so the benchmark harness can
+regenerate and print every figure without a display.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro import units
+from repro.core.scheduler import TransferOutcome
+from repro.harness.metrics import DecompositionRecord, SlaRecord
+from repro.harness.sweeps import ConcurrencySweep
+from repro.netenergy.devices import TABLE1_DEVICES
+from repro.netenergy.models import (
+    LinearPowerModel,
+    NonLinearPowerModel,
+    StateBasedPowerModel,
+)
+from repro.netenergy.topology import NetworkTopology
+from repro.testbeds.specs import ALL_TESTBEDS
+
+__all__ = [
+    "render_testbed_specs",
+    "render_concurrency_charts",
+    "render_concurrency_figure",
+    "render_efficiency_panel",
+    "render_sla_figure",
+    "render_device_model_curves",
+    "render_topologies",
+    "render_decomposition",
+    "render_table1",
+]
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    cols = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+            for i, h in enumerate(headers)]
+    def fmt(row: Sequence[object]) -> str:
+        return "  ".join(str(v).rjust(w) for v, w in zip(row, cols))
+    lines = [fmt(headers), fmt(["-" * w for w in cols])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def render_testbed_specs() -> str:
+    """Figure 1: the testbed spec sheet."""
+    rows = []
+    for tb in ALL_TESTBEDS:
+        rows.append(
+            [
+                tb.name,
+                f"{tb.source.name}->{tb.destination.name}",
+                f"{units.to_gbps(tb.path.bandwidth):.0f} Gbps",
+                f"{tb.path.rtt * 1e3:.0f} ms",
+                f"{units.to_MB(tb.path.tcp_buffer):.0f} MB",
+                f"{units.to_MB(tb.path.bdp):.1f} MB",
+                tb.source.server_count,
+                tb.source.server.cores,
+            ]
+        )
+    return _table(
+        ["testbed", "route", "bandwidth", "RTT", "TCP buf", "BDP", "servers", "cores"], rows
+    )
+
+
+def render_concurrency_charts(sweep: ConcurrencySweep) -> str:
+    """ASCII line-chart view of a concurrency sweep (panels a and b) —
+    the quick visual check that the curves have the paper's shapes."""
+    from repro.harness.charts import line_chart
+
+    throughput = {a: sweep.throughputs_mbps(a) for a in sweep.series}
+    energy = {a: sweep.energies_joules(a) for a in sweep.series}
+    labels = list(sweep.levels)
+    return (
+        line_chart(
+            throughput, x_labels=labels, height=10, width=56,
+            title=f"[{sweep.testbed}] throughput (Mbps) vs concurrency",
+        )
+        + "\n\n"
+        + line_chart(
+            energy, x_labels=labels, height=10, width=56,
+            title=f"[{sweep.testbed}] energy (J) vs concurrency",
+        )
+    )
+
+
+def render_concurrency_figure(sweep: ConcurrencySweep) -> str:
+    """Figures 2-4 panels (a) throughput and (b) energy."""
+    algorithms = list(sweep.series)
+    thr_rows = []
+    en_rows = []
+    for level_idx, level in enumerate(sweep.levels):
+        thr_rows.append(
+            [level] + [f"{sweep.series[a][level_idx].throughput_mbps:.0f}" for a in algorithms]
+        )
+        en_rows.append(
+            [level] + [f"{sweep.series[a][level_idx].energy_joules:.0f}" for a in algorithms]
+        )
+    part_a = _table(["cc"] + [f"{a} Mbps" for a in algorithms], thr_rows)
+    part_b = _table(["cc"] + [f"{a} J" for a in algorithms], en_rows)
+    return (
+        f"[{sweep.testbed}] (a) Throughput vs concurrency\n{part_a}\n\n"
+        f"[{sweep.testbed}] (b) Energy vs concurrency\n{part_b}"
+    )
+
+
+def render_efficiency_panel(
+    sweep: ConcurrencySweep, brute_force: Sequence[TransferOutcome]
+) -> str:
+    """Figures 2-4 panel (c): efficiencies normalized by the BF best."""
+    reference = max(o.efficiency for o in brute_force)
+    rows = [
+        [a, f"{sweep.best_efficiency(a) / reference:.3f}"]
+        for a in sweep.series
+    ]
+    bf_rows = [
+        [o.max_channels, f"{o.efficiency / reference:.3f}"] for o in brute_force
+    ]
+    part1 = _table(["algorithm", "best eff / BF best"], rows)
+    part2 = _table(["BF cc", "eff / best"], bf_rows)
+    return (
+        f"[{sweep.testbed}] (c) Normalized throughput/energy ratio\n{part1}\n\n"
+        f"Brute-force sweep\n{part2}"
+    )
+
+
+def render_sla_figure(testbed_name: str, records: Sequence[SlaRecord]) -> str:
+    """Figures 5-7: SLA throughput / energy / deviation panels."""
+    rows = []
+    for r in records:
+        rows.append(
+            [
+                f"{r.target_pct:.0f}%",
+                f"{units.to_mbps(r.target_throughput):.0f}",
+                f"{units.to_mbps(r.achieved_throughput):.0f}",
+                f"{units.to_mbps(r.reference_throughput):.0f}",
+                f"{r.energy_joules:.0f}",
+                f"{r.reference_energy_joules:.0f}",
+                f"{r.deviation_pct:+.1f}%",
+                f"{r.energy_saving_vs_reference_pct:+.1f}%",
+                r.final_concurrency,
+            ]
+        )
+    return f"[{testbed_name}] SLA transfers (target % of ProMC max)\n" + _table(
+        [
+            "target",
+            "target Mbps",
+            "achieved Mbps",
+            "ProMC Mbps",
+            "energy J",
+            "ProMC J",
+            "deviation",
+            "energy saved",
+            "cc",
+        ],
+        rows,
+    )
+
+
+def render_device_model_curves(points: int = 11) -> str:
+    """Figure 8: dynamic power vs traffic rate under the three models."""
+    nonlinear = NonLinearPowerModel(idle_watts=0.0, max_dynamic_watts=100.0)
+    linear = LinearPowerModel(idle_watts=0.0, max_dynamic_watts=100.0)
+    state = StateBasedPowerModel(idle_watts=0.0, max_dynamic_watts=100.0)
+    rows = []
+    for u in np.linspace(0.0, 1.0, points):
+        rows.append(
+            [
+                f"{100 * u:.0f}%",
+                f"{nonlinear.dynamic_power(float(u)):.1f}",
+                f"{linear.dynamic_power(float(u)):.1f}",
+                f"{state.dynamic_power(float(u)):.1f}",
+            ]
+        )
+    return "Figure 8: dynamic power (% of max) vs traffic rate\n" + _table(
+        ["rate", "non-linear", "linear", "state-based"], rows
+    )
+
+
+def render_topologies(topologies: Sequence[NetworkTopology]) -> str:
+    """Figure 9: the device chain of each testbed."""
+    return "\n".join(t.describe() for t in topologies)
+
+
+def render_decomposition(records: Sequence[DecompositionRecord]) -> str:
+    """Figure 10: end-system vs network energy shares."""
+    rows = [
+        [
+            r.testbed,
+            f"{units.kilojoules(r.end_system_joules):.1f} kJ",
+            f"{units.kilojoules(r.network_joules):.2f} kJ",
+            f"{r.network_share_pct:.1f}%",
+        ]
+        for r in records
+    ]
+    return "Figure 10: end-system vs network load-dependent energy\n" + _table(
+        ["testbed", "end-system", "network", "network share"], rows
+    )
+
+
+def render_table1() -> str:
+    """Table 1: per-packet power coefficients."""
+    rows = [
+        [d.name, f"{d.processing_nw:.0f}", f"{d.store_forward_pw:.2f}"]
+        for d in TABLE1_DEVICES
+    ]
+    return "Table 1: per-packet coefficients\n" + _table(
+        ["device", "P_p (nW)", "P_s-f (pW)"], rows
+    )

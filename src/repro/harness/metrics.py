@@ -1,0 +1,90 @@
+"""Comparison metrics used by the evaluation (Section 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.scheduler import TransferOutcome
+
+__all__ = [
+    "efficiency_ratio",
+    "normalized_efficiencies",
+    "deviation_ratio",
+    "energy_saving_pct",
+    "SlaRecord",
+    "DecompositionRecord",
+]
+
+
+def efficiency_ratio(outcome: TransferOutcome) -> float:
+    """The paper's throughput/energy ratio (Mbps per joule)."""
+    return outcome.efficiency
+
+
+def normalized_efficiencies(
+    outcomes: dict[str, TransferOutcome], reference: float
+) -> dict[str, float]:
+    """Each algorithm's efficiency normalized by the brute-force best
+    (Figures 2-4, panel c)."""
+    if reference <= 0:
+        raise ValueError("reference efficiency must be > 0")
+    return {name: outcome.efficiency / reference for name, outcome in outcomes.items()}
+
+
+def deviation_ratio(achieved: float, target: float) -> float:
+    """SLA deviation percentage (Figures 5-7, panel c).
+
+    Positive = overshoot (delivered more than promised), negative =
+    SLA miss. ``(achieved - target) / target * 100``.
+    """
+    if target <= 0:
+        raise ValueError("target must be > 0")
+    return 100.0 * (achieved - target) / target
+
+
+def energy_saving_pct(baseline_joules: float, candidate_joules: float) -> float:
+    """Percent energy saved by ``candidate`` relative to ``baseline``."""
+    if baseline_joules <= 0:
+        raise ValueError("baseline_joules must be > 0")
+    return 100.0 * (baseline_joules - candidate_joules) / baseline_joules
+
+
+@dataclass(frozen=True)
+class SlaRecord:
+    """One row of the SLA figures (5-7): a target level and what
+    SLAEE delivered against the ProMC maximum."""
+
+    target_pct: float
+    target_throughput: float
+    achieved_throughput: float
+    energy_joules: float
+    reference_throughput: float
+    reference_energy_joules: float
+    final_concurrency: int
+
+    @property
+    def deviation_pct(self) -> float:
+        return deviation_ratio(self.achieved_throughput, self.target_throughput)
+
+    @property
+    def energy_saving_vs_reference_pct(self) -> float:
+        return energy_saving_pct(self.reference_energy_joules, self.energy_joules)
+
+
+@dataclass(frozen=True)
+class DecompositionRecord:
+    """One bar pair of Figure 10: end-system vs network energy."""
+
+    testbed: str
+    end_system_joules: float
+    network_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        return self.end_system_joules + self.network_joules
+
+    @property
+    def network_share_pct(self) -> float:
+        if self.total_joules <= 0:
+            return 0.0
+        return 100.0 * self.network_joules / self.total_joules

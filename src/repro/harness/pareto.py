@@ -1,0 +1,89 @@
+"""Throughput-energy Pareto analysis.
+
+The whole paper is a walk along the throughput/energy frontier: ProMC
+sits at the high-throughput end, MinE at the low-energy end, HTEE hunts
+the knee and SLAEE picks a point by contract. This module computes the
+frontier over any set of runs — which (algorithm, concurrency)
+configurations are undominated, which are strictly wasteful, and how
+far each sits from the frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.scheduler import TransferOutcome
+
+__all__ = ["ParetoPoint", "pareto_frontier", "dominated_by", "render_frontier"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One configuration in the throughput/energy plane."""
+
+    outcome: TransferOutcome
+    on_frontier: bool
+    #: Fractional extra energy vs the cheapest frontier point with at
+    #: least this throughput (0 for frontier members).
+    energy_excess: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.outcome.algorithm}@{self.outcome.max_channels}"
+
+
+def dominated_by(a: TransferOutcome, b: TransferOutcome) -> bool:
+    """True if ``b`` dominates ``a``: at least as fast AND at most as
+    expensive, strictly better in one dimension."""
+    faster_or_equal = b.throughput >= a.throughput
+    cheaper_or_equal = b.energy_joules <= a.energy_joules
+    strictly_better = b.throughput > a.throughput or b.energy_joules < a.energy_joules
+    return faster_or_equal and cheaper_or_equal and strictly_better
+
+
+def pareto_frontier(outcomes: Sequence[TransferOutcome]) -> list[ParetoPoint]:
+    """Classify every outcome; returns points sorted by throughput.
+
+    ``energy_excess`` measures how wasteful a dominated point is: the
+    fractional extra energy it spends compared to the cheapest
+    undominated configuration that delivers at least its throughput.
+    """
+    if not outcomes:
+        return []
+    frontier = [
+        o for o in outcomes if not any(dominated_by(o, other) for other in outcomes)
+    ]
+    points = []
+    for outcome in sorted(outcomes, key=lambda o: o.throughput):
+        on_frontier = outcome in frontier
+        if on_frontier:
+            excess = 0.0
+        else:
+            eligible = [f for f in frontier if f.throughput >= outcome.throughput]
+            reference = min(
+                (f.energy_joules for f in eligible),
+                default=min(f.energy_joules for f in frontier),
+            )
+            excess = (
+                outcome.energy_joules / reference - 1.0 if reference > 0 else 0.0
+            )
+        points.append(
+            ParetoPoint(outcome=outcome, on_frontier=on_frontier, energy_excess=excess)
+        )
+    return points
+
+
+def render_frontier(points: Sequence[ParetoPoint]) -> str:
+    """A text table of the classification, fastest first."""
+    lines = [
+        f"{'config':>12s} {'Mbps':>8s} {'joules':>9s} {'frontier':>9s} {'waste':>7s}"
+    ]
+    for point in sorted(points, key=lambda p: -p.outcome.throughput):
+        lines.append(
+            f"{point.label:>12s} {point.outcome.throughput_mbps:8.0f} "
+            f"{point.outcome.energy_joules:9.0f} "
+            f"{'yes' if point.on_frontier else 'no':>9s} "
+            f"{100 * point.energy_excess:+6.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""One-shot evaluation report.
+
+``generate_report()`` re-runs the paper's entire evaluation — the
+concurrency sweeps with their brute-force references, the SLA sweeps,
+the energy decomposition, the device table and model curves — and
+renders everything into a single markdown document. It is the
+"regenerate the paper" button; the per-figure benchmarks under
+``benchmarks/`` remain the assertion-carrying variants.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.harness import figures
+from repro.harness.sweeps import (
+    PAPER_SLA_TARGETS,
+    brute_force_sweep,
+    concurrency_sweep,
+    energy_decomposition,
+    sla_sweep,
+)
+from repro.netenergy.topology import didclab_topology, futuregrid_topology, xsede_topology
+from repro.testbeds.specs import ALL_TESTBEDS, Testbed
+
+__all__ = ["generate_report", "write_report"]
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```text\n{body}\n```\n"
+
+
+def generate_report(
+    testbeds: Sequence[Testbed] = ALL_TESTBEDS,
+    *,
+    quick: bool = False,
+    include_sla: bool = True,
+) -> str:
+    """The full evaluation as markdown.
+
+    ``quick=True`` restricts the concurrency axis and SLA targets to a
+    small subset (used by tests and impatient humans); the full report
+    takes a couple of minutes.
+    """
+    levels = (1, 4, 12) if quick else None
+    bf_levels = (1, 4, 8, 12) if quick else None
+    targets = (80.0, 50.0) if quick else PAPER_SLA_TARGETS
+
+    parts = [
+        "# Energy-aware data transfer algorithms — regenerated evaluation",
+        "",
+        "Every table/figure of Alan, Arslan & Kosar (SC 2015), re-run on",
+        "the calibrated simulator. See EXPERIMENTS.md for the",
+        "paper-vs-measured comparison and the deviation list.",
+        "",
+        _section("Figure 1 — testbeds", figures.render_testbed_specs()),
+    ]
+
+    for testbed in testbeds:
+        sweep = concurrency_sweep(testbed, levels=levels)
+        brute = brute_force_sweep(testbed, levels=bf_levels)
+        parts.append(
+            _section(
+                f"Figures 2-4 — {testbed.name} concurrency sweep",
+                figures.render_concurrency_figure(sweep)
+                + "\n\n"
+                + figures.render_efficiency_panel(sweep, brute),
+            )
+        )
+        if include_sla:
+            records = sla_sweep(testbed, targets_pct=targets)
+            parts.append(
+                _section(
+                    f"Figures 5-7 — {testbed.name} SLA transfers",
+                    figures.render_sla_figure(testbed.name, records),
+                )
+            )
+
+    parts.append(
+        _section("Figure 8 — device power models", figures.render_device_model_curves())
+    )
+    parts.append(
+        _section(
+            "Figure 9 — topologies",
+            figures.render_topologies(
+                [xsede_topology(), futuregrid_topology(), didclab_topology()]
+            ),
+        )
+    )
+    decompositions = [energy_decomposition(tb) for tb in testbeds]
+    parts.append(
+        _section(
+            "Figure 10 — end-system vs network energy",
+            figures.render_decomposition(decompositions),
+        )
+    )
+    parts.append(_section("Table 1 — device coefficients", figures.render_table1()))
+    return "\n".join(parts)
+
+
+def write_report(
+    path: Path | str,
+    testbeds: Sequence[Testbed] = ALL_TESTBEDS,
+    *,
+    quick: bool = False,
+) -> Path:
+    """Generate and write the report; returns the path."""
+    path = Path(path)
+    path.write_text(generate_report(testbeds, quick=quick) + "\n")
+    return path

@@ -1,0 +1,166 @@
+"""Result export and lightweight text visualization.
+
+Production users want machine-readable outputs (JSON results, CSV
+traces) and a quick look at a transfer's dynamics without a plotting
+stack. This module serializes :class:`TransferOutcome` objects and
+engine traces, and renders Unicode sparklines for time series.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core.scheduler import TransferOutcome
+from repro.netsim.engine import StepRecord
+
+__all__ = [
+    "outcome_to_dict",
+    "outcome_from_dict",
+    "save_outcomes_json",
+    "load_outcomes_json",
+    "save_trace_csv",
+    "load_trace_csv",
+    "sparkline",
+    "render_trace",
+]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def outcome_to_dict(outcome: TransferOutcome) -> dict:
+    """A JSON-safe dict of everything a run produced (plus derived
+    throughput/efficiency, for spreadsheet convenience)."""
+    return {
+        "algorithm": outcome.algorithm,
+        "testbed": outcome.testbed,
+        "max_channels": outcome.max_channels,
+        "duration_s": outcome.duration_s,
+        "bytes_moved": outcome.bytes_moved,
+        "energy_joules": outcome.energy_joules,
+        "files_moved": outcome.files_moved,
+        "steady_throughput": outcome.steady_throughput,
+        "final_concurrency": outcome.final_concurrency,
+        "throughput_mbps": outcome.throughput_mbps,
+        "efficiency": outcome.efficiency,
+        "extra": _jsonable(outcome.extra),
+    }
+
+
+def _jsonable(value):
+    """Best-effort conversion of `extra` payloads to JSON-safe types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def outcome_from_dict(data: dict) -> TransferOutcome:
+    """Rebuild a :class:`TransferOutcome` from :func:`outcome_to_dict`
+    output (derived fields are recomputed, not trusted)."""
+    return TransferOutcome(
+        algorithm=data["algorithm"],
+        testbed=data["testbed"],
+        max_channels=int(data["max_channels"]),
+        duration_s=float(data["duration_s"]),
+        bytes_moved=float(data["bytes_moved"]),
+        energy_joules=float(data["energy_joules"]),
+        files_moved=int(data.get("files_moved", 0)),
+        steady_throughput=data.get("steady_throughput"),
+        final_concurrency=data.get("final_concurrency"),
+        extra=data.get("extra", {}),
+    )
+
+
+def save_outcomes_json(outcomes: Iterable[TransferOutcome], path: Path | str) -> Path:
+    """Write a list of outcomes as a JSON array."""
+    path = Path(path)
+    path.write_text(
+        json.dumps([outcome_to_dict(o) for o in outcomes], indent=2) + "\n"
+    )
+    return path
+
+
+def load_outcomes_json(path: Path | str) -> list[TransferOutcome]:
+    """Read back a JSON array written by :func:`save_outcomes_json`."""
+    data = json.loads(Path(path).read_text())
+    return [outcome_from_dict(entry) for entry in data]
+
+
+def save_trace_csv(trace: Sequence[StepRecord], path: Path | str) -> Path:
+    """Write an engine step trace as CSV (time, throughput, power,
+    active_channels)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_s", "throughput_bytes_per_s", "power_watts", "active_channels"])
+        for record in trace:
+            writer.writerow(
+                [f"{record.time:.6f}", f"{record.throughput:.3f}",
+                 f"{record.power:.6f}", record.active_channels]
+            )
+    return path
+
+
+def load_trace_csv(path: Path | str) -> list[StepRecord]:
+    """Read back a trace written by :func:`save_trace_csv`."""
+    records = []
+    with Path(path).open() as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            records.append(
+                StepRecord(
+                    time=float(row["time_s"]),
+                    throughput=float(row["throughput_bytes_per_s"]),
+                    power=float(row["power_watts"]),
+                    active_channels=int(row["active_channels"]),
+                )
+            )
+    return records
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A Unicode sparkline of ``values`` downsampled to ``width`` cells."""
+    if not values:
+        return ""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    # bucket-average down to `width` samples
+    buckets: list[float] = []
+    n = len(values)
+    per = max(1, n // width)
+    for start in range(0, n, per):
+        window = values[start : start + per]
+        buckets.append(sum(window) / len(window))
+        if len(buckets) == width:
+            break
+    low, high = min(buckets), max(buckets)
+    if high <= low:
+        return _SPARK_LEVELS[0] * len(buckets)
+    span = high - low
+    return "".join(
+        _SPARK_LEVELS[min(len(_SPARK_LEVELS) - 1, int((v - low) / span * len(_SPARK_LEVELS)))]
+        for v in buckets
+    )
+
+
+def render_trace(trace: Sequence[StepRecord], width: int = 60) -> str:
+    """Throughput and power sparklines plus summary stats for one run."""
+    if not trace:
+        return "(empty trace)"
+    throughput = [r.throughput for r in trace]
+    power = [r.power for r in trace]
+    duration = trace[-1].time
+    lines = [
+        f"trace: {len(trace)} steps over {duration:.1f} s",
+        f"  throughput {sparkline(throughput, width)} "
+        f"(peak {max(throughput) * 8 / 1e6:.0f} Mbps)",
+        f"  power      {sparkline(power, width)} "
+        f"(peak {max(power):.1f} W)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Experiment runner: one place that knows how to run every algorithm
+on every testbed with the paper's datasets."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+from repro.core.baselines import (
+    GlobusOnlineAlgorithm,
+    GucAlgorithm,
+    ProMCAlgorithm,
+    SingleChunkAlgorithm,
+)
+from repro.core.htee import BruteForceAlgorithm, HTEEAlgorithm
+from repro.core.mine import MinEAlgorithm
+from repro.core.scheduler import TransferOutcome
+from repro.core.slaee import SLAEEAlgorithm
+from repro.datasets.files import Dataset
+from repro.testbeds.specs import Testbed
+
+__all__ = ["ALGORITHMS", "CONCURRENCY_INDEPENDENT", "dataset_for", "run_algorithm", "run_slaee"]
+
+#: The comparison set of Figures 2-4. GUC and GO ignore the concurrency
+#: axis (flat reference lines in the paper).
+ALGORITHMS = {
+    "GUC": GucAlgorithm(),
+    "GO": GlobusOnlineAlgorithm(),
+    "SC": SingleChunkAlgorithm(),
+    "MinE": MinEAlgorithm(),
+    "ProMC": ProMCAlgorithm(),
+    "HTEE": HTEEAlgorithm(),
+}
+
+CONCURRENCY_INDEPENDENT = frozenset({"GUC", "GO"})
+
+
+@lru_cache(maxsize=8)
+def _dataset_cache(testbed_name: str) -> Dataset:
+    from repro.testbeds.specs import testbed_by_name
+
+    return testbed_by_name(testbed_name).dataset()
+
+
+def dataset_for(testbed: Testbed) -> Dataset:
+    """The testbed's dataset (cached for the built-in testbeds —
+    generation is seeded and deterministic either way)."""
+    try:
+        return _dataset_cache(testbed.name)
+    except KeyError:
+        # custom (e.g. JSON-defined) testbed: build directly
+        return testbed.dataset()
+
+
+def run_algorithm(
+    testbed: Testbed,
+    algorithm: str,
+    max_channels: int,
+    dataset: Optional[Dataset] = None,
+) -> TransferOutcome:
+    """Run one named algorithm at one concurrency level."""
+    if algorithm not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}")
+    data = dataset if dataset is not None else dataset_for(testbed)
+    return ALGORITHMS[algorithm].run(testbed, data, max_channels)
+
+
+def run_brute_force(
+    testbed: Testbed,
+    concurrency: int,
+    dataset: Optional[Dataset] = None,
+) -> TransferOutcome:
+    """Run the BF oracle at one fixed concurrency."""
+    data = dataset if dataset is not None else dataset_for(testbed)
+    return BruteForceAlgorithm().run(testbed, data, concurrency)
+
+
+def run_slaee(
+    testbed: Testbed,
+    sla_level: float,
+    max_throughput: float,
+    max_channels: Optional[int] = None,
+    dataset: Optional[Dataset] = None,
+) -> TransferOutcome:
+    """Run SLAEE against a target fraction of ``max_throughput``."""
+    data = dataset if dataset is not None else dataset_for(testbed)
+    channels = max_channels if max_channels is not None else testbed.brute_force_max_concurrency
+    return SLAEEAlgorithm().run(
+        testbed, data, channels, sla_level=sla_level, max_throughput=max_throughput
+    )

@@ -1,0 +1,108 @@
+"""Append-only experiment store.
+
+Long calibration or comparison campaigns want every run kept and
+queryable. :class:`ResultStore` appends one JSON object per line to a
+``.jsonl`` file (crash-safe: a torn final line is skipped on load) and
+offers simple filtering/aggregation over the history.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator, Optional
+
+from repro.core.scheduler import TransferOutcome
+from repro.harness.reporting import outcome_from_dict, outcome_to_dict
+
+__all__ = ["ResultStore"]
+
+
+@dataclass
+class ResultStore:
+    """A JSONL-backed archive of :class:`TransferOutcome` records."""
+
+    path: Path
+
+    def __post_init__(self) -> None:
+        self.path = Path(self.path)
+
+    # ------------------------------------------------------------------
+
+    def append(self, outcome: TransferOutcome, **tags: object) -> None:
+        """Append one outcome; ``tags`` (e.g. ``campaign="cal-v2"``) are
+        stored alongside and usable in queries."""
+        record = outcome_to_dict(outcome)
+        record.pop("extra", None)  # traces/probes stay out of the archive
+        if tags:
+            record["tags"] = {str(k): v for k, v in tags.items()}
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record) + "\n")
+
+    def append_many(self, outcomes, **tags: object) -> int:
+        """Append several outcomes; returns how many were written."""
+        count = 0
+        for outcome in outcomes:
+            self.append(outcome, **tags)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+
+    def _records(self) -> Iterator[dict]:
+        if not self.path.exists():
+            return
+        with self.path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn trailing line from a crash
+
+    def load(
+        self,
+        *,
+        algorithm: Optional[str] = None,
+        testbed: Optional[str] = None,
+        where: Optional[Callable[[dict], bool]] = None,
+    ) -> list[TransferOutcome]:
+        """All stored outcomes matching the filters, in append order."""
+        results = []
+        for record in self._records():
+            if algorithm is not None and record.get("algorithm") != algorithm:
+                continue
+            if testbed is not None and record.get("testbed") != testbed:
+                continue
+            if where is not None and not where(record):
+                continue
+            results.append(outcome_from_dict(record))
+        return results
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._records())
+
+    # ------------------------------------------------------------------
+
+    def best(self, metric: str = "efficiency", **filters) -> Optional[TransferOutcome]:
+        """The stored run maximizing ``metric`` (an outcome attribute)."""
+        candidates = self.load(**filters)
+        if not candidates:
+            return None
+        return max(candidates, key=lambda o: getattr(o, metric))
+
+    def summary(self) -> str:
+        """Counts per (testbed, algorithm) pair."""
+        counts: dict[tuple[str, str], int] = {}
+        for record in self._records():
+            key = (record.get("testbed", "?"), record.get("algorithm", "?"))
+            counts[key] = counts.get(key, 0) + 1
+        if not counts:
+            return "(empty store)"
+        lines = [f"{len(self)} runs in {self.path}"]
+        for (testbed, algorithm), n in sorted(counts.items()):
+            lines.append(f"  {testbed:<12s} {algorithm:<8s} {n:4d}")
+        return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Parameter sweeps behind every evaluation figure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.scheduler import TransferOutcome
+from repro.datasets.files import Dataset
+from repro.harness.metrics import DecompositionRecord, SlaRecord
+from repro.harness.runner import (
+    ALGORITHMS,
+    CONCURRENCY_INDEPENDENT,
+    dataset_for,
+    run_algorithm,
+    run_brute_force,
+    run_slaee,
+)
+from repro.netenergy.topology import topology_for
+from repro.testbeds.specs import Testbed
+
+__all__ = [
+    "ConcurrencySweep",
+    "concurrency_sweep",
+    "brute_force_sweep",
+    "best_efficiency",
+    "sla_sweep",
+    "energy_decomposition",
+    "PAPER_SLA_TARGETS",
+]
+
+#: Figure 5-7 target percentages.
+PAPER_SLA_TARGETS: tuple[float, ...] = (95.0, 90.0, 80.0, 70.0, 50.0)
+
+
+@dataclass
+class ConcurrencySweep:
+    """Results of one Figures 2-4 style sweep.
+
+    ``series[alg]`` is a list aligned with ``levels`` — for the
+    concurrency-independent algorithms (GUC, GO) the same outcome is
+    repeated at every level, matching the flat lines of the paper's
+    plots.
+    """
+
+    testbed: str
+    levels: tuple[int, ...]
+    series: dict[str, list[TransferOutcome]] = field(default_factory=dict)
+
+    def throughputs_mbps(self, algorithm: str) -> list[float]:
+        """Throughput series (Mbps) aligned with ``levels``."""
+        return [o.throughput_mbps for o in self.series[algorithm]]
+
+    def energies_joules(self, algorithm: str) -> list[float]:
+        """Energy series (J) aligned with ``levels``."""
+        return [o.energy_joules for o in self.series[algorithm]]
+
+    def efficiencies(self, algorithm: str) -> list[float]:
+        """Throughput/energy ratio series aligned with ``levels``."""
+        return [o.efficiency for o in self.series[algorithm]]
+
+    def best_efficiency(self, algorithm: str) -> float:
+        """The algorithm's best ratio across the swept levels."""
+        return max(self.efficiencies(algorithm))
+
+
+def concurrency_sweep(
+    testbed: Testbed,
+    *,
+    algorithms: Sequence[str] = ("GUC", "GO", "SC", "MinE", "ProMC", "HTEE"),
+    levels: Optional[Sequence[int]] = None,
+    dataset: Optional[Dataset] = None,
+) -> ConcurrencySweep:
+    """Run every algorithm across the concurrency axis (Fig. 2-4 a/b)."""
+    lv = tuple(levels) if levels is not None else testbed.concurrency_levels
+    data = dataset if dataset is not None else dataset_for(testbed)
+    sweep = ConcurrencySweep(testbed=testbed.name, levels=lv)
+    for name in algorithms:
+        if name not in ALGORITHMS:
+            raise KeyError(f"unknown algorithm {name!r}")
+        if name in CONCURRENCY_INDEPENDENT:
+            outcome = run_algorithm(testbed, name, 1, data)
+            sweep.series[name] = [outcome] * len(lv)
+        else:
+            sweep.series[name] = [run_algorithm(testbed, name, c, data) for c in lv]
+    return sweep
+
+
+def brute_force_sweep(
+    testbed: Testbed,
+    *,
+    levels: Optional[Sequence[int]] = None,
+    dataset: Optional[Dataset] = None,
+) -> list[TransferOutcome]:
+    """The BF oracle across cc = 1..maxChannel (Fig. 2-4 panel c)."""
+    lv = (
+        tuple(levels)
+        if levels is not None
+        else tuple(range(1, testbed.brute_force_max_concurrency + 1))
+    )
+    data = dataset if dataset is not None else dataset_for(testbed)
+    return [run_brute_force(testbed, c, data) for c in lv]
+
+
+def best_efficiency(outcomes: Sequence[TransferOutcome]) -> float:
+    """The best throughput/energy ratio in a set of runs."""
+    if not outcomes:
+        raise ValueError("need at least one outcome")
+    return max(o.efficiency for o in outcomes)
+
+
+def sla_sweep(
+    testbed: Testbed,
+    *,
+    targets_pct: Sequence[float] = PAPER_SLA_TARGETS,
+    dataset: Optional[Dataset] = None,
+    reference: Optional[TransferOutcome] = None,
+) -> list[SlaRecord]:
+    """Figures 5-7: SLAEE at each target percentage of the ProMC max.
+
+    ``reference`` (ProMC at the testbed's reference concurrency) is
+    computed when not supplied.
+    """
+    data = dataset if dataset is not None else dataset_for(testbed)
+    if reference is None:
+        reference = run_algorithm(
+            testbed, "ProMC", testbed.sla_reference_concurrency, data
+        )
+    max_throughput = reference.throughput
+    records = []
+    for pct in targets_pct:
+        outcome = run_slaee(testbed, pct / 100.0, max_throughput, dataset=data)
+        achieved = (
+            outcome.steady_throughput
+            if outcome.steady_throughput is not None
+            else outcome.throughput
+        )
+        records.append(
+            SlaRecord(
+                target_pct=pct,
+                target_throughput=max_throughput * pct / 100.0,
+                achieved_throughput=achieved,
+                energy_joules=outcome.energy_joules,
+                reference_throughput=max_throughput,
+                reference_energy_joules=reference.energy_joules,
+                final_concurrency=outcome.final_concurrency or 0,
+            )
+        )
+    return records
+
+
+def energy_decomposition(
+    testbed: Testbed,
+    *,
+    algorithm: str = "HTEE",
+    max_channels: Optional[int] = None,
+    dataset: Optional[Dataset] = None,
+) -> DecompositionRecord:
+    """Figure 10: end-system vs network load-dependent energy for one
+    algorithm's transfer on one testbed."""
+    data = dataset if dataset is not None else dataset_for(testbed)
+    channels = max_channels if max_channels is not None else testbed.sla_reference_concurrency
+    outcome = run_algorithm(testbed, algorithm, channels, data)
+    topology = topology_for(testbed.name)
+    # the network carries wire bytes (headers + retransmissions), not
+    # just the payload
+    carried = outcome.extra.get("wire_bytes", outcome.bytes_moved)
+    network = topology.dynamic_transfer_energy(carried)
+    return DecompositionRecord(
+        testbed=testbed.name,
+        end_system_joules=outcome.energy_joules,
+        network_joules=network,
+    )

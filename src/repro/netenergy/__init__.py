@@ -1,0 +1,55 @@
+"""Network infrastructure energy substrate (Section 4 of the paper)."""
+
+from repro.netenergy.devices import (
+    EDGE_ROUTER,
+    EDGE_SWITCH,
+    ENTERPRISE_SWITCH,
+    METRO_ROUTER,
+    TABLE1_DEVICES,
+    DeviceType,
+)
+from repro.netenergy.integration import (
+    DeviceEnergyBreakdown,
+    integrate_device_energy,
+    integrate_path_energy,
+)
+from repro.netenergy.models import (
+    DynamicPowerModel,
+    LinearPowerModel,
+    NonLinearPowerModel,
+    StateBasedPowerModel,
+    transfer_energy,
+)
+from repro.netenergy.topology import (
+    DEFAULT_MTU_BYTES,
+    NetworkTopology,
+    didclab_topology,
+    futuregrid_topology,
+    packet_count,
+    topology_for,
+    xsede_topology,
+)
+
+__all__ = [
+    "DEFAULT_MTU_BYTES",
+    "DeviceEnergyBreakdown",
+    "DeviceType",
+    "DynamicPowerModel",
+    "integrate_device_energy",
+    "integrate_path_energy",
+    "EDGE_ROUTER",
+    "EDGE_SWITCH",
+    "ENTERPRISE_SWITCH",
+    "LinearPowerModel",
+    "METRO_ROUTER",
+    "NetworkTopology",
+    "NonLinearPowerModel",
+    "StateBasedPowerModel",
+    "TABLE1_DEVICES",
+    "didclab_topology",
+    "futuregrid_topology",
+    "packet_count",
+    "topology_for",
+    "transfer_energy",
+    "xsede_topology",
+]

@@ -1,0 +1,82 @@
+"""Network device catalog (Table 1 of the paper).
+
+Per-packet power coefficients for load-dependent operations, from
+Vishwanath et al.'s measurement-driven router/switch models:
+
+====================== ========== ============
+Device                 P_p (nW)   P_s-f (pW)
+====================== ========== ============
+Enterprise Ethernet Sw     40         0.42
+Edge Ethernet Switch     1571        14.1
+Metro IP Router          1375        21.6
+Edge IP Router           1707        15.3
+====================== ========== ============
+
+``P_p`` is per-packet *processing* energy and ``P_s-f`` per-packet
+*store-and-forward* energy (both per packet, i.e. nJ/pJ scale when a
+packet transits the device once). Idle power is load-independent and
+excluded from the paper's comparison, as Section 4 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DeviceType",
+    "ENTERPRISE_SWITCH",
+    "EDGE_SWITCH",
+    "METRO_ROUTER",
+    "EDGE_ROUTER",
+    "TABLE1_DEVICES",
+]
+
+_NANO = 1e-9
+_PICO = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceType:
+    """A network device class with Table 1 per-packet coefficients."""
+
+    name: str
+    processing_nw: float
+    store_forward_pw: float
+    idle_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.processing_nw < 0 or self.store_forward_pw < 0 or self.idle_watts < 0:
+            raise ValueError("device coefficients must be >= 0")
+
+    @property
+    def per_packet_joules(self) -> float:
+        """Load-dependent energy to process + store-forward one packet."""
+        return self.processing_nw * _NANO + self.store_forward_pw * _PICO
+
+    def dynamic_energy(self, packet_count: float) -> float:
+        """Eq. 5's load-dependent part: ``packetCount * (P_p + P_s-f)``."""
+        if packet_count < 0:
+            raise ValueError(f"packet_count must be >= 0, got {packet_count}")
+        return packet_count * self.per_packet_joules
+
+    def total_energy(self, packet_count: float, duration_s: float) -> float:
+        """Eq. 4: idle power over the whole window + dynamic part."""
+        if duration_s < 0:
+            raise ValueError(f"duration_s must be >= 0, got {duration_s}")
+        return self.idle_watts * duration_s + self.dynamic_energy(packet_count)
+
+
+#: Table 1 rows. Idle wattages are representative catalog values used
+#: only when total (Eq. 4) energy is requested; the paper's Figure 10
+#: comparison uses the load-dependent part exclusively.
+ENTERPRISE_SWITCH = DeviceType("Enterprise Ethernet Switch", 40.0, 0.42, idle_watts=60.0)
+EDGE_SWITCH = DeviceType("Edge Ethernet Switch", 1571.0, 14.1, idle_watts=150.0)
+METRO_ROUTER = DeviceType("Metro IP Router", 1375.0, 21.6, idle_watts=4100.0)
+EDGE_ROUTER = DeviceType("Edge IP Router", 1707.0, 15.3, idle_watts=4550.0)
+
+TABLE1_DEVICES: tuple[DeviceType, ...] = (
+    ENTERPRISE_SWITCH,
+    EDGE_SWITCH,
+    METRO_ROUTER,
+    EDGE_ROUTER,
+)

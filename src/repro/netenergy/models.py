@@ -1,0 +1,148 @@
+"""Dynamic power models for network devices (Section 4, Figure 8).
+
+Vendors publish power at 50% and 100% port utilization and nothing in
+between, so the paper evaluates three hypotheses about how dynamic
+power scales with traffic rate:
+
+* **non-linear** — power grows sub-linearly (square-root-like) with
+  rate, following Mahadevan et al.'s edge-switch measurements. Under
+  this model, transferring a fixed dataset *faster* costs *less*
+  network energy (the paper's worked example: 4x rate -> 2x power ->
+  half the energy).
+* **linear** — power proportional to rate (Vishwanath et al.); total
+  dynamic energy for a fixed dataset is then rate-invariant.
+* **state-based** — power steps up at discrete rate thresholds (link
+  rate adaptation); its fitted regression line is linear, so fixed-size
+  transfers are again roughly rate-invariant.
+
+All three share a device's maximum dynamic power ``max_dynamic_watts``
+at 100% utilization and an idle floor ``idle_watts`` (Eq. 4 separates
+the two).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = [
+    "DynamicPowerModel",
+    "NonLinearPowerModel",
+    "LinearPowerModel",
+    "StateBasedPowerModel",
+    "transfer_energy",
+]
+
+
+class DynamicPowerModel(ABC):
+    """Dynamic (load-dependent) device power as a function of rate."""
+
+    idle_watts: float
+    max_dynamic_watts: float
+
+    @abstractmethod
+    def dynamic_power(self, utilization: float) -> float:
+        """Watts above idle at ``utilization`` in [0, 1] of line rate."""
+
+    def power(self, utilization: float) -> float:
+        """Total watts (idle + dynamic) at ``utilization``."""
+        return self.idle_watts + self.dynamic_power(utilization)
+
+    def _check(self, utilization: float) -> float:
+        if not (0.0 <= utilization <= 1.0):
+            raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+        return utilization
+
+
+@dataclass
+class NonLinearPowerModel(DynamicPowerModel):
+    """Sub-linear rate->power: ``P_d = max_dynamic * u**exponent``.
+
+    ``exponent = 0.5`` reproduces the paper's square-root worked
+    example exactly (rate x4 => dynamic power x2 => energy halves).
+    """
+
+    idle_watts: float
+    max_dynamic_watts: float
+    exponent: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not (0 < self.exponent < 1):
+            raise ValueError("exponent must be in (0, 1) for a sub-linear model")
+
+    def dynamic_power(self, utilization: float) -> float:
+        u = self._check(utilization)
+        return self.max_dynamic_watts * u**self.exponent
+
+
+@dataclass
+class LinearPowerModel(DynamicPowerModel):
+    """Linear rate->power: ``P_d = max_dynamic * u``."""
+
+    idle_watts: float
+    max_dynamic_watts: float
+
+    def dynamic_power(self, utilization: float) -> float:
+        return self.max_dynamic_watts * self._check(utilization)
+
+
+@dataclass
+class StateBasedPowerModel(DynamicPowerModel):
+    """Stepwise rate->power: power jumps at discrete rate thresholds.
+
+    ``thresholds`` are the utilization breakpoints (ascending, in
+    (0, 1]); crossing the k-th threshold engages fraction ``(k+1)/K``
+    of the dynamic budget. Its least-squares fit over [0, 1] is linear,
+    which is why the paper treats it as behaving like the linear case.
+    """
+
+    idle_watts: float
+    max_dynamic_watts: float
+    thresholds: Sequence[float] = field(default_factory=lambda: (0.2, 0.4, 0.6, 0.8))
+
+    def __post_init__(self) -> None:
+        ts = tuple(self.thresholds)
+        if not ts:
+            raise ValueError("need at least one threshold")
+        if any(not (0 < t <= 1) for t in ts):
+            raise ValueError("thresholds must lie in (0, 1]")
+        if list(ts) != sorted(set(ts)):
+            raise ValueError("thresholds must be strictly ascending")
+        self.thresholds = ts
+
+    def dynamic_power(self, utilization: float) -> float:
+        u = self._check(utilization)
+        if u == 0.0:
+            return 0.0
+        k = sum(1 for t in self.thresholds if u >= t)
+        steps = len(self.thresholds)
+        return self.max_dynamic_watts * (k + 1) / (steps + 1)
+
+
+def transfer_energy(
+    model: DynamicPowerModel,
+    dataset_bytes: float,
+    rate_bytes_per_s: float,
+    line_rate_bytes_per_s: float,
+    *,
+    include_idle: bool = False,
+) -> float:
+    """Device energy to push ``dataset_bytes`` through at a fixed rate.
+
+    This is the quantity behind the paper's Section 4 argument: under
+    the non-linear model, raising the rate lowers the total; under the
+    linear model it is invariant.
+    """
+    if dataset_bytes < 0:
+        raise ValueError("dataset_bytes must be >= 0")
+    if rate_bytes_per_s <= 0 or line_rate_bytes_per_s <= 0:
+        raise ValueError("rates must be > 0")
+    if rate_bytes_per_s > line_rate_bytes_per_s:
+        raise ValueError("rate cannot exceed line rate")
+    duration = dataset_bytes / rate_bytes_per_s
+    utilization = rate_bytes_per_s / line_rate_bytes_per_s
+    energy = model.dynamic_power(utilization) * duration
+    if include_idle:
+        energy += model.idle_watts * duration
+    return energy

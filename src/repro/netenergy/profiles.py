@@ -1,0 +1,80 @@
+"""Ready-made device power-model profiles.
+
+Figure 8's three model *shapes* plus Table 1's per-device magnitudes,
+combined: a profile maps every device class to a concrete
+:class:`~repro.netenergy.models.DynamicPowerModel` whose dynamic budget
+scales with the device's per-packet cost (routers dwarf enterprise
+switches) and whose idle floor follows the catalog wattages. Use these
+with :func:`~repro.netenergy.integration.integrate_path_energy` to put
+a whole transfer trace through a topology under any of the three §4
+hypotheses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.netenergy.devices import EDGE_SWITCH, DeviceType
+from repro.netenergy.integration import DeviceEnergyBreakdown, integrate_path_energy
+from repro.netenergy.models import (
+    DynamicPowerModel,
+    LinearPowerModel,
+    NonLinearPowerModel,
+    StateBasedPowerModel,
+)
+from repro.netenergy.topology import NetworkTopology
+from repro.netsim.engine import StepRecord
+
+__all__ = ["MODEL_KINDS", "device_model_factory", "path_energy_under_model"]
+
+#: The three Section 4 hypotheses.
+MODEL_KINDS = ("non-linear", "linear", "state-based")
+
+#: Dynamic power of the reference edge switch at full rate, watts. Each
+#: device's budget scales with its per-packet cost relative to this
+#: reference, keeping the Table 1 ordering.
+_REFERENCE_DYNAMIC_WATTS = 25.0
+
+
+def device_model_factory(kind: str) -> Callable[[DeviceType], DynamicPowerModel]:
+    """A factory mapping a Table 1 device class to a §4 power model.
+
+    ``kind`` is one of :data:`MODEL_KINDS`. The returned callable suits
+    :func:`~repro.netenergy.integration.integrate_path_energy`.
+    """
+    if kind not in MODEL_KINDS:
+        raise KeyError(f"unknown model kind {kind!r}; known: {MODEL_KINDS}")
+
+    def build(device: DeviceType) -> DynamicPowerModel:
+        scale = device.per_packet_joules / EDGE_SWITCH.per_packet_joules
+        dynamic = _REFERENCE_DYNAMIC_WATTS * scale
+        if kind == "non-linear":
+            return NonLinearPowerModel(idle_watts=device.idle_watts,
+                                       max_dynamic_watts=dynamic)
+        if kind == "linear":
+            return LinearPowerModel(idle_watts=device.idle_watts,
+                                    max_dynamic_watts=dynamic)
+        return StateBasedPowerModel(idle_watts=device.idle_watts,
+                                    max_dynamic_watts=dynamic)
+
+    return build
+
+
+def path_energy_under_model(
+    trace: Sequence[StepRecord],
+    topology: NetworkTopology,
+    kind: str,
+    line_rate: float,
+    *,
+    dt: float,
+    include_idle: bool = False,
+) -> list[DeviceEnergyBreakdown]:
+    """Per-device energy of one transfer trace under one §4 hypothesis."""
+    return integrate_path_energy(
+        trace,
+        topology,
+        device_model_factory(kind),
+        line_rate,
+        dt=dt,
+        include_idle=include_idle,
+    )

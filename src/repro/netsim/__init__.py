@@ -1,0 +1,50 @@
+"""End-to-end transfer simulator substrate.
+
+Models the mechanisms the paper's algorithms exploit: buffer-limited
+TCP streams, the congestion knee, control-channel pipelining gaps, disk
+scaling/contention, multi-server endpoints, and per-component
+utilization that feeds the power models.
+"""
+
+from repro.netsim.channel import Channel, FileProgress
+from repro.netsim.disk import DiskSubsystem, ParallelDisk, PowerLawDisk, SingleDisk
+from repro.netsim.endpoint import EndSystem, ServerSpec
+from repro.netsim.engine import (
+    Binding,
+    ChunkPlan,
+    ChunkState,
+    EngineSnapshot,
+    StepRecord,
+    TransferEngine,
+)
+from repro.netsim.link import NetworkPath
+from repro.netsim.multi import JobRecord, MultiTransferSimulator
+from repro.netsim.params import TransferParams
+from repro.netsim.tcp import aggregate_goodput, channel_network_cap, stream_throughput
+from repro.netsim.utilization import Utilization, compute_utilization
+
+__all__ = [
+    "Binding",
+    "Channel",
+    "ChunkPlan",
+    "ChunkState",
+    "DiskSubsystem",
+    "EndSystem",
+    "EngineSnapshot",
+    "FileProgress",
+    "JobRecord",
+    "MultiTransferSimulator",
+    "NetworkPath",
+    "ParallelDisk",
+    "PowerLawDisk",
+    "ServerSpec",
+    "SingleDisk",
+    "StepRecord",
+    "TransferEngine",
+    "TransferParams",
+    "Utilization",
+    "aggregate_goodput",
+    "channel_network_cap",
+    "compute_utilization",
+    "stream_throughput",
+]

@@ -1,0 +1,154 @@
+"""Data-channel state machine.
+
+A channel is one GridFTP-style data connection: it repeatedly pulls the
+next file off its chunk's queue, streams its bytes (possibly over
+several parallel TCP streams), and pays a control-channel gap between
+files. Pipelining level ``pp`` keeps ``pp`` file requests in flight, so
+the acknowledgement round-trip is amortized to ``RTT / pp`` per file —
+this is the entire throughput benefit of pipelining for small files
+(Section 2.1) and the entire energy cost of not using it (idle,
+powered-up end systems waiting on ACKs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.datasets.files import FileInfo
+
+__all__ = ["FileProgress", "Channel", "StepOutcome"]
+
+
+@dataclass(slots=True)
+class FileProgress:
+    """A file with transfer progress attached (bytes still to move)."""
+
+    file: FileInfo
+    remaining: float
+
+    @classmethod
+    def fresh(cls, file: FileInfo) -> "FileProgress":
+        return cls(file=file, remaining=float(file.size))
+
+
+@dataclass
+class StepOutcome:
+    """What one channel did during one engine step."""
+
+    bytes_moved: float = 0.0
+    files_completed: int = 0
+
+
+@dataclass(eq=False)  # identity semantics: two channels are never "equal"
+class Channel:
+    """One live data channel bound to a chunk and a server pair.
+
+    The channel is a small explicit state machine advanced by
+    :meth:`advance`: it is either in a *control gap* (``gap_remaining``
+    seconds of zero payload), mid-file, or idle waiting for work.
+    """
+
+    chunk_name: str
+    parallelism: int
+    pipelining: int
+    src_server: int
+    dst_server: int
+    rtt: float
+    setup_delay: float = 0.0
+    file_overhead: float = 0.0
+    #: Control-channel round trips a file costs without pipelining
+    #: (command, transfer-complete acknowledgement, next command).
+    control_rtt_factor: float = 2.5
+    current: Optional[FileProgress] = None
+    gap_remaining: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1 or self.pipelining < 1:
+            raise ValueError("parallelism and pipelining must be >= 1")
+        if self.rtt < 0 or self.setup_delay < 0 or self.file_overhead < 0:
+            raise ValueError("rtt, setup_delay and file_overhead must be >= 0")
+        # Opening a channel costs a control-channel round trip before the
+        # first byte flows (connection establishment + authentication).
+        self.gap_remaining = self.rtt + self.setup_delay
+
+    @property
+    def per_file_gap(self) -> float:
+        """Control-channel stall after each file completion.
+
+        Without pipelining every file pays ``control_rtt_factor`` RTTs
+        of control-channel exchange; pipelining level ``pp`` keeps
+        ``pp`` requests in flight, overlapping that exchange with the
+        next transfers, so each file pays ``factor * RTT / pp`` on
+        average. The end-system per-file overhead (``file_overhead``,
+        filesystem metadata etc.) cannot be pipelined away.
+        """
+        return self.control_rtt_factor * self.rtt / self.pipelining + self.file_overhead
+
+    @property
+    def transferring(self) -> bool:
+        """True when the channel would move payload bytes right now."""
+        return self.current is not None and self.gap_remaining <= 0.0
+
+    @property
+    def busy(self) -> bool:
+        """True when the channel holds a file (even if inside a gap)."""
+        return self.current is not None
+
+    def take_from(self, queue) -> bool:
+        """Pull the next file from ``queue`` (a deque of FileProgress).
+
+        Returns True if a file was acquired.
+        """
+        if self.current is not None:
+            return True
+        if not queue:
+            return False
+        self.current = queue.popleft()
+        return True
+
+    def release_to(self, queue) -> None:
+        """Return the in-progress file to the front of ``queue``.
+
+        Used when the adaptive algorithms close a channel mid-file: no
+        bytes are lost, the remainder is picked up by another channel.
+        """
+        if self.current is not None:
+            queue.appendleft(self.current)
+            self.current = None
+
+    def advance(self, rate: float, dt: float, queue) -> StepOutcome:
+        """Advance the channel ``dt`` seconds at payload rate ``rate``.
+
+        Processes as many gap/transfer transitions as fit in the step,
+        so channels chewing through many small files per step are
+        handled exactly rather than one-file-per-step.
+        """
+        if rate < 0 or dt < 0:
+            raise ValueError("rate and dt must be >= 0")
+        outcome = StepOutcome()
+        time_left = dt
+        while time_left > 1e-12:
+            if self.gap_remaining > 0.0:
+                consumed = min(self.gap_remaining, time_left)
+                self.gap_remaining -= consumed
+                time_left -= consumed
+                continue
+            if self.current is None and not self.take_from(queue):
+                break  # queue drained; channel idles out the step
+            assert self.current is not None
+            if rate <= 0.0:
+                break  # stalled by allocation; gap time still elapsed above
+            time_to_finish = self.current.remaining / rate
+            if time_to_finish > time_left:
+                moved = rate * time_left
+                self.current.remaining -= moved
+                outcome.bytes_moved += moved
+                time_left = 0.0
+            else:
+                outcome.bytes_moved += self.current.remaining
+                time_left -= time_to_finish
+                self.current = None
+                outcome.files_completed += 1
+                self.gap_remaining = self.per_file_gap
+        return outcome

@@ -1,0 +1,110 @@
+"""End-system (server) hardware model.
+
+An :class:`EndSystem` is one *site* of a transfer — e.g. Stampede at
+TACC — consisting of ``server_count`` identical data-transfer nodes
+described by a :class:`ServerSpec`. The paper's custom GridFTP client
+packs all data channels onto a single node, while Globus Online and
+globus-url-copy spread channels across all nodes; which nodes are awake
+drives the end-system energy difference the paper measures (Section 3,
+the "GO consumes ~60% more energy" observation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.netsim.disk import DiskSubsystem
+
+__all__ = ["ServerSpec", "EndSystem"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServerSpec:
+    """One data-transfer node.
+
+    Parameters
+    ----------
+    cores:
+        Physical cores; the per-core CPU power coefficient of Eq. 2
+        depends on how many are active, and running more transfer
+        processes than cores costs context-switch overhead.
+    tdp_watts:
+        CPU thermal design power; used by the TDP-scaled CPU power
+        model (Eq. 3) to port coefficients across machines.
+    nic_rate:
+        NIC line rate, bytes/s.
+    disk:
+        The node's storage subsystem model.
+    per_channel_rate:
+        Host-side processing cap of one data channel (one worker
+        process with its protocol/copy pipeline), bytes/s — this is
+        what bounds a single untuned transfer regardless of the
+        network, and why concurrency is the paper's most influential
+        parameter.
+    core_rate:
+        Transfer payload one fully-busy core can move, bytes/s; converts
+        carried throughput into CPU utilization.
+    channel_cpu_overhead / stream_cpu_overhead:
+        Fixed CPU cost (in cores) per active channel process / stream
+        thread.
+    active_overhead:
+        CPU cost (in cores) of merely participating in a transfer
+        (GridFTP server process, bookkeeping). Paid once per awake
+        node, which is what makes spreading channels across nodes
+        expensive.
+    thrash_factor:
+        Extra CPU work fraction per unit of channels/cores oversubscription,
+        modeling context-switch cost once channels exceed cores.
+    mem_rate:
+        Memory-bandwidth proxy used for the memory utilization metric.
+    per_file_overhead:
+        Seconds of per-file end-system overhead (filesystem metadata,
+        data-channel handshake) that pipelining cannot hide; the reason
+        many-small-files workloads run below line rate even when tuned.
+    """
+
+    name: str
+    cores: int
+    tdp_watts: float
+    nic_rate: float
+    disk: DiskSubsystem
+    per_channel_rate: float
+    core_rate: float
+    channel_cpu_overhead: float = 0.02
+    stream_cpu_overhead: float = 0.005
+    active_overhead: float = 0.30
+    thrash_factor: float = 0.05
+    mem_rate: float = 10 * units.GB
+    per_file_overhead: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.tdp_watts <= 0:
+            raise ValueError("tdp_watts must be > 0")
+        for field_name in ("nic_rate", "per_channel_rate", "core_rate", "mem_rate"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be > 0")
+        for field_name in (
+            "channel_cpu_overhead",
+            "stream_cpu_overhead",
+            "active_overhead",
+            "thrash_factor",
+            "per_file_overhead",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class EndSystem:
+    """A site with one or more identical data-transfer servers."""
+
+    name: str
+    server: ServerSpec
+    server_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.server_count < 1:
+            raise ValueError(f"server_count must be >= 1, got {self.server_count}")

@@ -1,0 +1,663 @@
+"""Fluid-flow transfer engine.
+
+The engine advances a set of live data channels in fixed time steps
+(default 0.25 s). Each step it
+
+1. solves a **max-min fair rate allocation** for all busy channels,
+   subject to per-channel caps (buffer-limited TCP, host per-stream
+   processing) and shared capacities (link goodput with the congestion
+   knee, per-server NIC and disk aggregates);
+2. advances every channel's file/gap state machine by the step;
+3. converts each server's carried load into component utilizations and
+   integrates the supplied power model into joules.
+
+Everything is deterministic; the adaptive algorithms of the paper
+(HTEE's probe phase, SLAEE's feedback loop) interact with a running
+engine through :meth:`TransferEngine.run` (bounded horizons) and
+:meth:`TransferEngine.set_chunk_channels` (live re-allocation), exactly
+the control surface the custom GridFTP client exposes.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.datasets.files import FileInfo
+from repro.netsim import tcp
+from repro.netsim.channel import Channel, FileProgress
+from repro.netsim.endpoint import EndSystem, ServerSpec
+from repro.netsim.link import NetworkPath
+from repro.netsim.params import TransferParams
+from repro.netsim.utilization import Utilization, compute_utilization
+
+__all__ = [
+    "Binding",
+    "ChunkPlan",
+    "ChunkState",
+    "EngineEvent",
+    "EngineSnapshot",
+    "StepRecord",
+    "TransferEngine",
+    "PowerFn",
+]
+
+#: Signature of the pluggable end-system power model: watts drawn by a
+#: server of the given spec at the given utilization (load-dependent part).
+PowerFn = Callable[[ServerSpec, Utilization], float]
+
+
+class Binding(enum.Enum):
+    """How new channels are bound to a site's transfer servers.
+
+    ``PACK`` is the paper's custom GridFTP client behaviour (all
+    channels on one node, keeping the other nodes asleep); ``SPREAD``
+    is Globus Online / globus-url-copy behaviour (round-robin across
+    every node, waking all of them).
+    """
+
+    PACK = "pack"
+    SPREAD = "spread"
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """A chunk as planned by a transfer algorithm: files + parameters.
+
+    ``params.concurrency`` is the *initial* channel count; adaptive
+    algorithms change it later through the engine.
+    """
+
+    name: str
+    files: tuple[FileInfo, ...]
+    params: TransferParams
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("chunk name must be non-empty")
+
+    @property
+    def total_size(self) -> int:
+        return sum(f.size for f in self.files)
+
+    @property
+    def file_count(self) -> int:
+        return len(self.files)
+
+
+@dataclass
+class ChunkState:
+    """Live transfer state of one chunk inside the engine."""
+
+    plan: ChunkPlan
+    queue: deque[FileProgress]
+    bytes_done: float = 0.0
+    files_done: int = 0
+
+    @property
+    def remaining_bytes(self) -> float:
+        queued = sum(fp.remaining for fp in self.queue)
+        return queued  # in-flight remainders are tracked by channels
+
+    @property
+    def exhausted(self) -> bool:
+        return not self.queue
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """A point-in-time measurement used by adaptive controllers."""
+
+    time: float
+    bytes: float
+    energy: float
+    files: int
+
+    def throughput_since(self, earlier: "EngineSnapshot") -> float:
+        """Mean payload rate (bytes/s) since ``earlier`` (0 if no time passed)."""
+        dt = self.time - earlier.time
+        if dt <= 0:
+            return 0.0
+        return (self.bytes - earlier.bytes) / dt
+
+    def energy_since(self, earlier: "EngineSnapshot") -> float:
+        """Joules accumulated since ``earlier``."""
+        return self.energy - earlier.energy
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Optional per-step trace entry (enable with ``record_trace=True``)."""
+
+    time: float
+    throughput: float
+    power: float
+    active_channels: int
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """One entry of the structured event log (``record_events=True``).
+
+    ``kind`` is one of: ``channel_opened``, ``channel_closed``,
+    ``channel_reassigned``, ``channel_failed``, ``server_failed``,
+    ``server_recovered``, ``chunk_drained``, ``file_completed``.
+    ``detail`` carries the kind-specific facts (chunk, servers, file).
+    """
+
+    time: float
+    kind: str
+    detail: dict
+
+
+class TransferEngine:
+    """Simulates one end-to-end transfer job between two sites."""
+
+    def __init__(
+        self,
+        path: NetworkPath,
+        source: EndSystem,
+        destination: EndSystem,
+        power_model: PowerFn,
+        *,
+        dt: float = 0.25,
+        binding: Binding = Binding.PACK,
+        work_stealing: bool = True,
+        record_trace: bool = False,
+        record_events: bool = False,
+        background_traffic: Optional[Callable[[float], float]] = None,
+    ) -> None:
+        """``background_traffic`` (optional) maps simulated time to the
+        number of competing TCP streams sharing the path. The link is
+        divided per-stream (TCP fairness), so the transfer's share is
+        ``ours / (ours + competing)`` of the aggregate goodput — which
+        is exactly why opening more channels/streams claws bandwidth
+        back from cross-traffic, and how the adaptive algorithms are
+        exercised against changing network conditions."""
+        if dt <= 0:
+            raise ValueError(f"dt must be > 0, got {dt}")
+        self.path = path
+        self.source = source
+        self.destination = destination
+        self.power_model = power_model
+        self.dt = dt
+        self.binding = binding
+        self.work_stealing = work_stealing
+        self.record_trace = record_trace
+        self.record_events = record_events
+        self.background_traffic = background_traffic
+
+        self.time = 0.0
+        self.total_bytes = 0.0
+        #: Bytes the network actually carried: payload + framing
+        #: headers + retransmitted segments under congestion loss.
+        self.total_wire_bytes = 0.0
+        self.total_energy = 0.0
+        self.total_files = 0
+        self.trace: list[StepRecord] = []
+        #: Structured event log (populated when ``record_events``).
+        self.events: list[EngineEvent] = []
+        self._drained_logged: set[str] = set()
+        self.chunks: dict[str, ChunkState] = {}
+        self.channels: list[Channel] = []
+        self._spread_counter = 0
+        #: Servers currently failed, mapped to their recovery time.
+        self._down_servers: dict[tuple[str, int], float] = {}
+        #: Counters for post-mortem inspection.
+        self.channel_failures = 0
+        self.server_failures = 0
+        #: Joules attributed per component (cpu/memory/disk/nic), filled
+        #: when the power model exposes ``power_components`` (the
+        #: fine-grained Eq. 1 model does).
+        self.component_energy: dict[str, float] = {}
+        owner = getattr(power_model, "__self__", None)
+        self._component_fn = getattr(owner, "power_components", None)
+
+    # ------------------------------------------------------------------
+    # setup / channel management
+    # ------------------------------------------------------------------
+
+    def add_chunk(self, plan: ChunkPlan, *, open_channels: bool = True) -> ChunkState:
+        """Register a chunk; optionally open its planned channels.
+
+        Files are queued largest-first (longest-processing-time order),
+        the standard makespan heuristic — it prevents a many-gigabyte
+        file landing on a single channel as the very last item while
+        every other channel idles.
+        """
+        if plan.name in self.chunks:
+            raise ValueError(f"duplicate chunk name: {plan.name!r}")
+        ordered = sorted(plan.files, key=lambda f: f.size, reverse=True)
+        state = ChunkState(plan=plan, queue=deque(FileProgress.fresh(f) for f in ordered))
+        self.chunks[plan.name] = state
+        if open_channels:
+            for _ in range(plan.params.concurrency):
+                self.open_channel(plan.name)
+        return state
+
+    def _available_servers(self, side: str) -> list[int]:
+        count = (self.source if side == "src" else self.destination).server_count
+        return [i for i in range(count) if (side, i) not in self._down_servers]
+
+    def open_channel(self, chunk_name: str) -> Channel:
+        """Open one new data channel serving ``chunk_name``.
+
+        Server choice honors the binding strategy but skips servers
+        currently marked failed.
+        """
+        plan = self.chunks[chunk_name].plan
+        src_avail = self._available_servers("src")
+        dst_avail = self._available_servers("dst")
+        if not src_avail or not dst_avail:
+            raise RuntimeError("no available transfer server to open a channel on")
+        if self.binding is Binding.PACK:
+            src, dst = src_avail[0], dst_avail[0]
+        else:
+            src = src_avail[self._spread_counter % len(src_avail)]
+            dst = dst_avail[self._spread_counter % len(dst_avail)]
+            self._spread_counter += 1
+        channel = Channel(
+            chunk_name=chunk_name,
+            parallelism=plan.params.parallelism,
+            pipelining=plan.params.pipelining,
+            src_server=src,
+            dst_server=dst,
+            rtt=self.path.rtt,
+            file_overhead=(
+                self.source.server.per_file_overhead
+                + self.destination.server.per_file_overhead
+            ),
+        )
+        self.channels.append(channel)
+        self._log_event("channel_opened",
+                        chunk=chunk_name, src_server=src, dst_server=dst)
+        return channel
+
+    def close_channel(self, channel: Channel) -> None:
+        """Close a channel, returning any in-flight file to its queue."""
+        channel.release_to(self.chunks[channel.chunk_name].queue)
+        self.channels.remove(channel)
+        self._log_event("channel_closed", chunk=channel.chunk_name)
+
+    def channels_for(self, chunk_name: str) -> list[Channel]:
+        """The channels currently assigned to ``chunk_name``."""
+        return [c for c in self.channels if c.chunk_name == chunk_name]
+
+    def set_chunk_channels(self, chunk_name: str, count: int) -> None:
+        """Grow or shrink a chunk's channel set to exactly ``count``."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        current = self.channels_for(chunk_name)
+        for channel in current[count:]:
+            self.close_channel(channel)
+        for _ in range(count - len(current)):
+            self.open_channel(chunk_name)
+
+    def set_allocation(self, allocation: dict[str, int]) -> None:
+        """Apply a full chunk -> channel-count allocation at once."""
+        for chunk_name, count in allocation.items():
+            self.set_chunk_channels(chunk_name, count)
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+
+    def fail_channel(self, channel: Channel, *, restart_file: bool = False) -> None:
+        """Kill one data channel (connection reset, process crash).
+
+        The in-flight file returns to its chunk's queue; with
+        ``restart_file=True`` its progress is discarded (no GridFTP
+        restart markers), otherwise the remaining bytes are picked up
+        where the failed channel left off.
+        """
+        if channel not in self.channels:
+            raise ValueError("channel is not open on this engine")
+        if restart_file and channel.current is not None:
+            channel.current.remaining = float(channel.current.file.size)
+        self.close_channel(channel)
+        self.channel_failures += 1
+        self._log_event("channel_failed",
+                        chunk=channel.chunk_name, restart_file=restart_file)
+
+    def fail_server(
+        self,
+        side: str,
+        index: int,
+        *,
+        downtime: float = 60.0,
+        restart_files: bool = False,
+        reopen: bool = True,
+    ) -> int:
+        """Take one transfer server down for ``downtime`` seconds.
+
+        Every channel bound to it fails (files requeued); with
+        ``reopen=True`` the client immediately reconnects the same
+        number of channels on the surviving servers, as a real transfer
+        client would. Returns the number of channels that failed.
+        """
+        if side not in ("src", "dst"):
+            raise ValueError("side must be 'src' or 'dst'")
+        count = (self.source if side == "src" else self.destination).server_count
+        if not (0 <= index < count):
+            raise ValueError(f"server index {index} out of range")
+        if downtime <= 0:
+            raise ValueError("downtime must be > 0")
+        attr = "src_server" if side == "src" else "dst_server"
+        victims = [c for c in self.channels if getattr(c, attr) == index]
+        self._down_servers[(side, index)] = self.time + downtime
+        if not self._available_servers(side):
+            # cannot operate with every server down; undo and refuse
+            del self._down_servers[(side, index)]
+            raise RuntimeError("cannot fail the last available server")
+        by_chunk: dict[str, int] = {}
+        for channel in victims:
+            by_chunk[channel.chunk_name] = by_chunk.get(channel.chunk_name, 0) + 1
+            if restart_files and channel.current is not None:
+                channel.current.remaining = float(channel.current.file.size)
+            self.close_channel(channel)
+        self.server_failures += 1
+        self._log_event("server_failed", side=side, index=index,
+                        downtime=downtime, channels_lost=len(victims))
+        if reopen:
+            for chunk_name, n in by_chunk.items():
+                for _ in range(n):
+                    self.open_channel(chunk_name)
+        return len(victims)
+
+    @property
+    def down_servers(self) -> dict[tuple[str, int], float]:
+        """Currently failed servers and their recovery times."""
+        return dict(self._down_servers)
+
+    def _recover_servers(self) -> None:
+        for key, until in list(self._down_servers.items()):
+            if self.time >= until:
+                del self._down_servers[key]
+                self._log_event("server_recovered", side=key[0], index=key[1])
+
+    def _log_event(self, kind: str, **detail) -> None:
+        if self.record_events:
+            self.events.append(EngineEvent(time=self.time, kind=kind, detail=detail))
+
+    @property
+    def active_channel_count(self) -> int:
+        return sum(1 for c in self.channels if c.busy or not self._queue_empty_for(c))
+
+    # ------------------------------------------------------------------
+    # progress accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """True when every file of every chunk has fully transferred."""
+        return all(s.exhausted for s in self.chunks.values()) and not any(
+            c.busy for c in self.channels
+        )
+
+    @property
+    def total_planned_bytes(self) -> float:
+        return float(sum(s.plan.total_size for s in self.chunks.values()))
+
+    def snapshot(self) -> EngineSnapshot:
+        """An immutable (time, bytes, energy, files) measurement point."""
+        return EngineSnapshot(
+            time=self.time,
+            bytes=self.total_bytes,
+            energy=self.total_energy,
+            files=self.total_files,
+        )
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+
+    def run(self, duration: Optional[float] = None, *, max_time: float = 1e7) -> float:
+        """Advance until completion or for ``duration`` seconds.
+
+        Returns the simulated time that actually elapsed. ``max_time``
+        is a safety net against configurations that can never finish.
+        """
+        start = self.time
+        horizon = min(self.time + duration, max_time) if duration is not None else max_time
+        while not self.finished and self.time < horizon - 1e-12:
+            self.step()
+        return self.time - start
+
+    def step(self) -> None:
+        """Advance the simulation one ``dt`` step."""
+        self._recover_servers()
+        self._assign_work()
+        busy = [c for c in self.channels if c.busy]
+        rates = self._allocate_rates(busy)
+
+        total_streams = sum(c.parallelism for c in busy)
+        step_loss = tcp.loss_fraction(self.path, total_streams)
+        wire_factor = (1.0 + self.path.header_overhead) / max(1e-9, 1.0 - step_loss)
+
+        moved_per_server_src: dict[int, float] = {}
+        moved_per_server_dst: dict[int, float] = {}
+        for channel in busy:
+            queue = self._effective_queue(channel)
+            outcome = channel.advance(rates.get(id(channel), 0.0), self.dt, queue)
+            state = self.chunks[channel.chunk_name]
+            state.bytes_done += outcome.bytes_moved
+            state.files_done += outcome.files_completed
+            self.total_bytes += outcome.bytes_moved
+            self.total_wire_bytes += outcome.bytes_moved * wire_factor
+            self.total_files += outcome.files_completed
+            if self.record_events and outcome.files_completed:
+                self._log_event(
+                    "file_completed",
+                    chunk=channel.chunk_name,
+                    count=outcome.files_completed,
+                )
+                if state.exhausted and channel.chunk_name not in self._drained_logged:
+                    self._drained_logged.add(channel.chunk_name)
+                    self._log_event("chunk_drained", chunk=channel.chunk_name)
+            moved_per_server_src[channel.src_server] = (
+                moved_per_server_src.get(channel.src_server, 0.0) + outcome.bytes_moved
+            )
+            moved_per_server_dst[channel.dst_server] = (
+                moved_per_server_dst.get(channel.dst_server, 0.0) + outcome.bytes_moved
+            )
+
+        power = self._instant_power(busy, moved_per_server_src, moved_per_server_dst)
+        self.total_energy += power * self.dt
+        self.time += self.dt
+
+        if self.record_trace:
+            step_throughput = (
+                sum(moved_per_server_src.values()) / self.dt if moved_per_server_src else 0.0
+            )
+            self.trace.append(
+                StepRecord(
+                    time=self.time,
+                    throughput=step_throughput,
+                    power=power,
+                    active_channels=len(busy),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _queue_empty_for(self, channel: Channel) -> bool:
+        return not self.chunks[channel.chunk_name].queue
+
+    def _effective_queue(self, channel: Channel) -> deque[FileProgress]:
+        """The queue a channel draws from (its current chunk's)."""
+        return self.chunks[channel.chunk_name].queue
+
+    def _assign_work(self) -> None:
+        """Give every idle channel a file before allocating rates.
+
+        With work stealing on, an idle channel whose own chunk has
+        drained is *re-allocated* to the chunk with the most remaining
+        bytes — it adopts that chunk's pipelining and parallelism, just
+        as the custom GridFTP client reopens a freed channel against a
+        different chunk (the paper's multi-chunk mechanism).
+        """
+        for channel in self.channels:
+            if channel.busy:
+                continue
+            own = self.chunks[channel.chunk_name].queue
+            if not own and self.work_stealing:
+                candidates = [s for s in self.chunks.values() if s.queue]
+                if candidates:
+                    target = max(
+                        candidates, key=lambda s: sum(fp.remaining for fp in s.queue)
+                    )
+                    self._log_event(
+                        "channel_reassigned",
+                        from_chunk=channel.chunk_name,
+                        to_chunk=target.plan.name,
+                    )
+                    channel.chunk_name = target.plan.name
+                    channel.parallelism = max(1, target.plan.params.parallelism)
+                    channel.pipelining = max(1, target.plan.params.pipelining)
+                    own = target.queue
+            channel.take_from(own)
+
+    def _allocate_rates(self, busy: Sequence[Channel]) -> dict[int, float]:
+        """Max-min fair (progressive-filling) rate allocation.
+
+        Individual caps: buffer-limited TCP for the channel's stream
+        count, host per-stream processing on both endpoints. Shared
+        capacities: link aggregate goodput (congestion knee), and each
+        server's NIC rate and disk aggregate.
+        """
+        if not busy:
+            return {}
+        src_spec = self.source.server
+        dst_spec = self.destination.server
+
+        caps: dict[int, float] = {}
+        for c in busy:
+            caps[id(c)] = min(
+                tcp.channel_network_cap(self.path, c.parallelism),
+                src_spec.per_channel_rate,
+                dst_spec.per_channel_rate,
+            )
+
+        total_streams = sum(c.parallelism for c in busy)
+        if self.background_traffic is not None:
+            competing = max(0.0, self.background_traffic(self.time))
+            shared = tcp.aggregate_goodput(self.path, total_streams + competing)
+            link_capacity = shared * total_streams / (total_streams + competing)
+        else:
+            link_capacity = tcp.aggregate_goodput(self.path, total_streams)
+        groups: list[tuple[float, list[int]]] = [
+            (link_capacity, [id(c) for c in busy])
+        ]
+        for side, spec, attr in (
+            ("src", src_spec, "src_server"),
+            ("dst", dst_spec, "dst_server"),
+        ):
+            by_server: dict[int, list[Channel]] = {}
+            for c in busy:
+                by_server.setdefault(getattr(c, attr), []).append(c)
+            for server_channels in by_server.values():
+                capacity = min(
+                    spec.nic_rate,
+                    spec.disk.aggregate_capacity(len(server_channels)),
+                )
+                groups.append((capacity, [id(c) for c in server_channels]))
+
+        # TCP fairness is per *stream*, so a channel carrying p parallel
+        # streams claims p shares of any shared capacity.
+        weights = {id(c): float(c.parallelism) for c in busy}
+        return _max_min_fill(caps, groups, weights)
+
+    def _instant_power(
+        self,
+        busy: Sequence[Channel],
+        moved_src: dict[int, float],
+        moved_dst: dict[int, float],
+    ) -> float:
+        """Total load-dependent watts across both sites right now."""
+        power = 0.0
+        for site, moved, attr in (
+            (self.source, moved_src, "src_server"),
+            (self.destination, moved_dst, "dst_server"),
+        ):
+            by_server: dict[int, list[Channel]] = {}
+            for c in busy:
+                by_server.setdefault(getattr(c, attr), []).append(c)
+            for server_idx, server_channels in by_server.items():
+                throughput = moved.get(server_idx, 0.0) / self.dt
+                util = compute_utilization(
+                    site.server,
+                    channels=len(server_channels),
+                    streams=sum(c.parallelism for c in server_channels),
+                    throughput=throughput,
+                )
+                power += self.power_model(site.server, util)
+                if self._component_fn is not None:
+                    for name, watts in self._component_fn(site.server, util).items():
+                        self.component_energy[name] = (
+                            self.component_energy.get(name, 0.0) + watts * self.dt
+                        )
+        return power
+
+    def server_utilizations(self) -> dict[str, Utilization]:
+        """Current utilization per active server (for inspection/tests)."""
+        result: dict[str, Utilization] = {}
+        busy = [c for c in self.channels if c.busy]
+        for site, attr in ((self.source, "src_server"), (self.destination, "dst_server")):
+            by_server: dict[int, list[Channel]] = {}
+            for c in busy:
+                by_server.setdefault(getattr(c, attr), []).append(c)
+            for server_idx, server_channels in by_server.items():
+                result[f"{site.name}[{server_idx}]"] = compute_utilization(
+                    site.server,
+                    channels=len(server_channels),
+                    streams=sum(c.parallelism for c in server_channels),
+                    throughput=0.0,
+                )
+        return result
+
+
+def _max_min_fill(
+    caps: dict[int, float],
+    groups: Iterable[tuple[float, list[int]]],
+    weights: Optional[dict[int, float]] = None,
+) -> dict[int, float]:
+    """Weighted progressive filling: raise all unfrozen flows at rates
+    proportional to their weights, freezing flows as they hit their
+    individual cap or exhaust a shared group capacity. Weighted max-min
+    fairness; terminates because each round freezes at least one flow
+    or one group."""
+    if weights is None:
+        weights = {k: 1.0 for k in caps}
+    rates = {k: 0.0 for k in caps}
+    remaining = [(capacity, list(members)) for capacity, members in groups]
+    active = set(caps)
+    eps = 1e-9
+
+    while active:
+        # `increment` is the common per-unit-weight raise this round.
+        increment = min((caps[k] - rates[k]) / weights[k] for k in active)
+        for capacity, members in remaining:
+            live_weight = sum(weights[m] for m in members if m in active)
+            if live_weight > 0:
+                increment = min(increment, capacity / live_weight)
+        if increment <= eps:
+            break
+        for k in active:
+            rates[k] += increment * weights[k]
+        new_remaining = []
+        frozen: set[int] = set()
+        for capacity, members in remaining:
+            live = [m for m in members if m in active]
+            capacity -= increment * sum(weights[m] for m in live)
+            if capacity <= eps:
+                frozen.update(live)
+            new_remaining.append((capacity, members))
+        remaining = new_remaining
+        for k in list(active):
+            if k in frozen or rates[k] >= caps[k] - eps:
+                active.discard(k)
+    return rates

@@ -1,0 +1,85 @@
+"""End-to-end network path model.
+
+A :class:`NetworkPath` captures the published characteristics of each
+testbed link — nominal bandwidth, round-trip time, and the maximum TCP
+buffer the end systems can allocate — plus the two parameters of the
+congestion model (see :mod:`repro.netsim.tcp`): the stream count at
+which aggregate goodput starts to degrade and how fast it degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+
+__all__ = ["NetworkPath"]
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkPath:
+    """A bidirectional end-to-end path between two sites.
+
+    Parameters
+    ----------
+    bandwidth:
+        Nominal bottleneck capacity, bytes/second.
+    rtt:
+        Round-trip time, seconds.
+    tcp_buffer:
+        Maximum TCP buffer size per stream, bytes (the paper's
+        ``bufSize``; 32 MB on all three testbeds).
+    protocol_efficiency:
+        Fraction of nominal bandwidth achievable by TCP goodput once
+        headers, ACK traffic and kernel overheads are paid (~0.93 for a
+        well-tuned path). This caps aggregate goodput.
+    congestion_knee:
+        Total simultaneous streams beyond which packet loss starts to
+        reduce aggregate goodput ("too many streams cause network
+        congestion and throughput decline", Section 2.1).
+    congestion_slope:
+        Per-extra-stream multiplicative loss factor past the knee.
+    header_overhead:
+        Wire bytes per payload byte spent on TCP/IP/Ethernet framing
+        (~0.037 for 1460-byte MSS in 1514-byte frames). Used for wire-
+        level accounting (what the switches actually carry), not for
+        goodput.
+    """
+
+    bandwidth: float
+    rtt: float
+    tcp_buffer: float
+    protocol_efficiency: float = 0.93
+    congestion_knee: int = 24
+    congestion_slope: float = 0.01
+    header_overhead: float = 0.037
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+        if self.rtt < 0:
+            raise ValueError(f"rtt must be >= 0, got {self.rtt}")
+        if self.tcp_buffer <= 0:
+            raise ValueError(f"tcp_buffer must be > 0, got {self.tcp_buffer}")
+        if not (0 < self.protocol_efficiency <= 1):
+            raise ValueError("protocol_efficiency must be in (0, 1]")
+        if self.congestion_knee < 1:
+            raise ValueError("congestion_knee must be >= 1")
+        if self.congestion_slope < 0:
+            raise ValueError("congestion_slope must be >= 0")
+        if self.header_overhead < 0:
+            raise ValueError("header_overhead must be >= 0")
+
+    @property
+    def bdp(self) -> float:
+        """Bandwidth-delay product in bytes."""
+        return units.bdp_bytes(self.bandwidth, self.rtt)
+
+    def describe(self) -> str:
+        """One line of link facts (rate, RTT, buffer, BDP)."""
+        return (
+            f"{units.to_gbps(self.bandwidth):.1f} Gbps, "
+            f"RTT {self.rtt * 1e3:.1f} ms, "
+            f"TCP buffer {units.to_MB(self.tcp_buffer):.0f} MB, "
+            f"BDP {units.to_MB(self.bdp):.1f} MB"
+        )

@@ -1,0 +1,191 @@
+"""Multiple transfers sharing one path.
+
+A transfer service rarely moves one dataset at a time. This module runs
+several :class:`TransferEngine` instances in lock-step against the same
+path: at every step each job sees every *other* active job's TCP
+streams as competing traffic, so the link is divided per-stream across
+jobs exactly as it is within one (TCP fairness), and per-job energy is
+accounted separately.
+
+It deliberately supports **statically planned** jobs (a list of
+``ChunkPlan``\\ s — what MinE, ProMC, SC, GUC produce); the adaptive
+algorithms own their engine's control loop and are exercised against
+cross-traffic through ``engine_options(background_traffic=...)``
+instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.netsim.engine import Binding, ChunkPlan, TransferEngine
+from repro.power.models import FineGrainedPowerModel
+from repro.testbeds.specs import Testbed
+
+__all__ = ["JobRecord", "MultiTransferSimulator"]
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle and cost of one job in a multi-transfer run."""
+
+    name: str
+    arrival_time: float
+    total_bytes: float
+    start_time: Optional[float] = None
+    completion_time: Optional[float] = None
+    energy_joules: float = 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.completion_time is not None
+
+    @property
+    def turnaround_s(self) -> float:
+        """Arrival-to-completion time (raises if unfinished)."""
+        if self.completion_time is None:
+            raise ValueError(f"job {self.name!r} has not finished")
+        return self.completion_time - self.arrival_time
+
+    @property
+    def throughput(self) -> float:
+        """Mean rate while running, bytes/s."""
+        if self.completion_time is None or self.start_time is None:
+            return 0.0
+        elapsed = self.completion_time - self.start_time
+        return self.total_bytes / elapsed if elapsed > 0 else 0.0
+
+
+class MultiTransferSimulator:
+    """Lock-step coordinator for jobs sharing a testbed's path.
+
+    ``max_concurrent_jobs`` models the provider's admission policy:
+    arrived jobs beyond the cap queue (FIFO by arrival, ties by
+    submission order) until a slot frees up.
+    """
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        *,
+        max_concurrent_jobs: Optional[int] = None,
+        binding: Binding = Binding.PACK,
+    ) -> None:
+        if max_concurrent_jobs is not None and max_concurrent_jobs < 1:
+            raise ValueError("max_concurrent_jobs must be >= 1")
+        self.testbed = testbed
+        self.max_concurrent_jobs = max_concurrent_jobs
+        self.binding = binding
+        self.dt = testbed.engine_dt
+        self.time = 0.0
+        self._jobs: list[tuple[JobRecord, TransferEngine]] = []
+
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        name: str,
+        plans: Sequence[ChunkPlan],
+        *,
+        arrival_time: float = 0.0,
+    ) -> JobRecord:
+        """Queue a statically planned job."""
+        if arrival_time < 0:
+            raise ValueError("arrival_time must be >= 0")
+        if any(record.name == name for record, _ in self._jobs):
+            raise ValueError(f"duplicate job name {name!r}")
+        model = FineGrainedPowerModel(self.testbed.coefficients)
+        engine = TransferEngine(
+            self.testbed.path,
+            self.testbed.source,
+            self.testbed.destination,
+            model.power,
+            dt=self.dt,
+            binding=self.binding,
+            work_stealing=True,
+        )
+        record = JobRecord(
+            name=name,
+            arrival_time=arrival_time,
+            total_bytes=float(sum(p.total_size for p in plans)),
+        )
+        # chunks registered up front; channels open when the job starts
+        for plan in plans:
+            engine.add_chunk(plan, open_channels=False)
+        engine._pending_plans = list(plans)  # opened on admission
+        self._jobs.append((record, engine))
+        return record
+
+    # ------------------------------------------------------------------
+
+    def _running(self) -> list[tuple[JobRecord, TransferEngine]]:
+        return [
+            (record, engine)
+            for record, engine in self._jobs
+            if record.start_time is not None and not record.finished
+        ]
+
+    def _admit_jobs(self) -> None:
+        running = self._running()
+        slots = (
+            self.max_concurrent_jobs - len(running)
+            if self.max_concurrent_jobs is not None
+            else None
+        )
+        waiting = [
+            (record, engine)
+            for record, engine in self._jobs
+            if record.start_time is None and record.arrival_time <= self.time + 1e-12
+        ]
+        waiting.sort(key=lambda pair: pair[0].arrival_time)
+        for record, engine in waiting:
+            if slots is not None and slots <= 0:
+                break
+            record.start_time = self.time
+            for plan in engine._pending_plans:
+                engine.set_chunk_channels(plan.name, plan.params.concurrency)
+            if slots is not None:
+                slots -= 1
+
+    @staticmethod
+    def _busy_streams(engine: TransferEngine) -> int:
+        return sum(c.parallelism for c in engine.channels if c.busy)
+
+    def step(self) -> None:
+        """Advance every running job one shared time step."""
+        self._admit_jobs()
+        running = self._running()
+        stream_counts = {id(engine): self._busy_streams(engine) for _, engine in running}
+        total_streams = sum(stream_counts.values())
+        for record, engine in running:
+            others = total_streams - stream_counts[id(engine)]
+            engine.background_traffic = (lambda n: (lambda t: float(n)))(others)
+            before_energy = engine.total_energy
+            engine.step()
+            record.energy_joules += engine.total_energy - before_energy
+            if engine.finished and not record.finished:
+                record.completion_time = self.time + self.dt
+        self.time += self.dt
+
+    def run(self, *, max_time: float = 1e7) -> list[JobRecord]:
+        """Run until every submitted job completes (or ``max_time``)."""
+        while self.time < max_time and not all(r.finished for r, _ in self._jobs):
+            self.step()
+        return self.records()
+
+    # ------------------------------------------------------------------
+
+    def records(self) -> list[JobRecord]:
+        """Every submitted job's record, in submission order."""
+        return [record for record, _ in self._jobs]
+
+    @property
+    def total_energy(self) -> float:
+        return sum(record.energy_joules for record, _ in self._jobs)
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last finished job (0 if none)."""
+        times = [r.completion_time for r, _ in self._jobs if r.completion_time]
+        return max(times) if times else 0.0

@@ -1,0 +1,57 @@
+"""Application-layer transfer parameters.
+
+The paper tunes exactly three knobs (Section 2.1):
+
+* **pipelining** — how many file requests are kept in flight on the
+  control channel, hiding one RTT of acknowledgement latency per file;
+* **parallelism** — how many TCP streams carry a single file, multiplying
+  the buffer-limited per-stream throughput;
+* **concurrency** — how many files are transferred at once over separate
+  data channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["TransferParams"]
+
+
+@dataclass(frozen=True, slots=True)
+class TransferParams:
+    """One (pipelining, parallelism, concurrency) setting.
+
+    ``concurrency`` here is the number of data channels allotted to the
+    chunk this parameter set applies to; the algorithms of the paper
+    decide it per chunk out of a global channel budget. It may be 0: a
+    chunk with no dedicated channels is served later through the
+    engine's work stealing (the multi-chunk channel-reallocation
+    mechanism of the custom GridFTP client).
+    """
+
+    pipelining: int = 1
+    parallelism: int = 1
+    concurrency: int = 1
+
+    def __post_init__(self) -> None:
+        for field_name in ("pipelining", "parallelism", "concurrency"):
+            value = getattr(self, field_name)
+            if not isinstance(value, int):
+                raise TypeError(f"{field_name} must be an int, got {type(value).__name__}")
+        if self.pipelining < 1 or self.parallelism < 1:
+            raise ValueError("pipelining and parallelism must be >= 1")
+        if self.concurrency < 0:
+            raise ValueError(f"concurrency must be >= 0, got {self.concurrency}")
+
+    @property
+    def total_streams(self) -> int:
+        """TCP streams opened by this setting (channels x streams each)."""
+        return self.parallelism * self.concurrency
+
+    def with_concurrency(self, concurrency: int) -> "TransferParams":
+        """A copy with a different channel count (used by the adaptive
+        algorithms when they re-allocate channels mid-transfer)."""
+        return replace(self, concurrency=concurrency)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"pp={self.pipelining} p={self.parallelism} cc={self.concurrency}"

@@ -1,0 +1,74 @@
+"""Steady-state TCP throughput model.
+
+The fluid engine needs two facts about TCP, both taken straight from
+the mechanisms the paper's parameter formulas exploit:
+
+1. **A single stream is buffer-limited.** On a path with round-trip
+   time ``RTT`` and a send/receive buffer of ``buf`` bytes, a stream
+   can keep at most one buffer in flight per RTT, so its goodput is
+   ``min(buf / RTT, link bandwidth)``. When ``buf < BDP`` the stream
+   cannot fill the pipe — this is exactly why *parallelism* helps on
+   high-BDP paths (Section 2.1).
+
+2. **Aggregate goodput degrades past a knee.** Opening ever more
+   simultaneous streams increases loss and end-system overhead; beyond
+   ``congestion_knee`` streams the achievable aggregate goodput shrinks
+   multiplicatively per extra stream ("using too many simultaneous
+   streams can cause network congestion and throughput decline").
+"""
+
+from __future__ import annotations
+
+from repro.netsim.link import NetworkPath
+
+__all__ = ["stream_throughput", "channel_network_cap", "aggregate_goodput", "loss_fraction"]
+
+
+def loss_fraction(path: NetworkPath, total_streams: float) -> float:
+    """Fraction of transmitted segments lost (and retransmitted) at a
+    given live stream count: zero up to the congestion knee, then the
+    complement of the goodput-degradation factor. Used for wire-byte
+    accounting — lost segments are carried by the network and paid for
+    by every device on the path, even though they add no goodput."""
+    if total_streams < 0:
+        raise ValueError(f"total_streams must be >= 0, got {total_streams}")
+    excess = max(0.0, total_streams - path.congestion_knee)
+    return 1.0 - (1.0 - path.congestion_slope) ** excess
+
+
+def stream_throughput(path: NetworkPath) -> float:
+    """Steady-state goodput of one TCP stream on ``path`` (bytes/s)."""
+    if path.rtt == 0:
+        return path.bandwidth * path.protocol_efficiency
+    return min(path.tcp_buffer / path.rtt, path.bandwidth) * path.protocol_efficiency
+
+
+def channel_network_cap(path: NetworkPath, parallelism: int) -> float:
+    """Network-side cap of one data channel using ``parallelism`` streams.
+
+    Parallel streams multiply the buffer-limited term but can never
+    exceed the link itself.
+    """
+    if parallelism < 1:
+        raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+    if path.rtt == 0:
+        return path.bandwidth * path.protocol_efficiency
+    buffer_limited = parallelism * path.tcp_buffer / path.rtt
+    return min(buffer_limited, path.bandwidth) * path.protocol_efficiency
+
+
+def aggregate_goodput(path: NetworkPath, total_streams: int) -> float:
+    """Aggregate achievable goodput with ``total_streams`` live streams.
+
+    Flat at ``protocol_efficiency * bandwidth`` up to the congestion
+    knee, then declining multiplicatively, floored at 10% of nominal so
+    the model never predicts a dead link.
+    """
+    if total_streams < 0:
+        raise ValueError(f"total_streams must be >= 0, got {total_streams}")
+    if total_streams == 0:
+        return 0.0
+    base = path.bandwidth * path.protocol_efficiency
+    excess = max(0, total_streams - path.congestion_knee)
+    factor = (1.0 - path.congestion_slope) ** excess
+    return max(base * factor, 0.10 * path.bandwidth)

@@ -1,0 +1,92 @@
+"""Component utilization model.
+
+The power models of the paper (Eq. 1 and Eq. 3) are driven entirely by
+operating-system utilization metrics of four components: CPU, memory,
+disk and NIC. This module converts the fluid engine's per-server view
+(how many channels/streams are active, how much throughput they carry)
+into those utilization metrics.
+
+Conventions:
+
+* ``cpu_pct`` is the *total* CPU percentage summed over cores, as
+  reported by ``top``-style tools — a 4-core box fully busy reads 400.
+  Eq. 1 multiplies it by the per-core coefficient of Eq. 2.
+* ``mem_pct``, ``disk_pct``, ``nic_pct`` are 0-100 per-component
+  utilizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.endpoint import ServerSpec
+
+__all__ = ["Utilization", "compute_utilization"]
+
+
+@dataclass(frozen=True, slots=True)
+class Utilization:
+    """Instantaneous utilization snapshot of one server."""
+
+    cpu_pct: float = 0.0
+    mem_pct: float = 0.0
+    disk_pct: float = 0.0
+    nic_pct: float = 0.0
+    active_cores: int = 0
+    channels: int = 0
+    streams: int = 0
+    throughput: float = 0.0
+
+    @property
+    def is_idle(self) -> bool:
+        return self.channels == 0
+
+
+def compute_utilization(
+    spec: ServerSpec,
+    channels: int,
+    streams: int,
+    throughput: float,
+) -> Utilization:
+    """Utilization of ``spec`` carrying ``throughput`` bytes/s over
+    ``channels`` data channels totalling ``streams`` TCP streams.
+
+    CPU cost has three parts: payload work (``throughput/core_rate``
+    cores, inflated by context-switch thrash once channels exceed
+    cores), per-channel/per-stream bookkeeping, and the fixed
+    participation overhead of an awake transfer node.
+    """
+    if channels < 0 or streams < 0:
+        raise ValueError("channels and streams must be >= 0")
+    if throughput < 0:
+        raise ValueError("throughput must be >= 0")
+    if channels == 0:
+        return Utilization()
+    if streams < channels:
+        raise ValueError(f"streams ({streams}) cannot be < channels ({channels})")
+
+    active_cores = min(spec.cores, channels)
+
+    work_cores = throughput / spec.core_rate
+    if channels > spec.cores:
+        work_cores *= 1.0 + spec.thrash_factor * (channels - spec.cores) / spec.cores
+    overhead_cores = (
+        spec.active_overhead
+        + spec.channel_cpu_overhead * channels
+        + spec.stream_cpu_overhead * streams
+    )
+    cpu_pct = min(100.0 * spec.cores, 100.0 * (work_cores + overhead_cores))
+
+    disk_capacity = spec.disk.aggregate_capacity(channels)
+    disk_pct = min(100.0, 100.0 * throughput / disk_capacity) if disk_capacity > 0 else 0.0
+
+    return Utilization(
+        cpu_pct=cpu_pct,
+        mem_pct=min(100.0, 100.0 * throughput / spec.mem_rate),
+        disk_pct=disk_pct,
+        nic_pct=min(100.0, 100.0 * throughput / spec.nic_rate),
+        active_cores=active_cores,
+        channels=channels,
+        streams=streams,
+        throughput=throughput,
+    )

@@ -1,0 +1,47 @@
+"""End-system power substrate: Eq. 1-3 models, metering, calibration,
+and a RAPL/powercap-style counter interface."""
+
+from repro.power.calibration import (
+    CalibrationSample,
+    fit_coefficients,
+    fit_cpu_quadratic,
+    generate_load_sweep,
+    mean_absolute_percentage_error,
+)
+from repro.power.coefficients import (
+    PAPER_COEFFICIENTS,
+    CoefficientSet,
+    cpu_coefficient,
+)
+from repro.power.meter import EnergyMeter
+from repro.power.models import CpuTdpPowerModel, FineGrainedPowerModel
+from repro.power.rapl import (
+    DEFAULT_MAX_ENERGY_RANGE_UJ,
+    EnergyDelta,
+    PowercapReader,
+    SimulatedPowercapTree,
+    SimulatedRaplDomain,
+)
+from repro.power.tools import TOOL_PROFILES, ToolProfile, generate_tool_run
+
+__all__ = [
+    "CalibrationSample",
+    "CoefficientSet",
+    "CpuTdpPowerModel",
+    "DEFAULT_MAX_ENERGY_RANGE_UJ",
+    "EnergyDelta",
+    "EnergyMeter",
+    "FineGrainedPowerModel",
+    "PAPER_COEFFICIENTS",
+    "PowercapReader",
+    "SimulatedPowercapTree",
+    "SimulatedRaplDomain",
+    "TOOL_PROFILES",
+    "ToolProfile",
+    "cpu_coefficient",
+    "fit_coefficients",
+    "fit_cpu_quadratic",
+    "generate_load_sweep",
+    "generate_tool_run",
+    "mean_absolute_percentage_error",
+]

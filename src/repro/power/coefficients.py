@@ -1,0 +1,83 @@
+"""Power-model coefficient sets.
+
+Section 2.2 of the paper: a one-time model-building phase measures each
+component (CPU, memory, disk, NIC) at varying load levels and fits a
+linear regression; the fitted coefficients then predict full-system
+transfer power from OS utilization metrics.
+
+The CPU coefficient is special — it depends on the number of active
+cores ``n`` (Eq. 2)::
+
+    C_cpu,n = 0.011 n^2 - 0.082 n + 0.344
+
+a parabola whose vertex sits near n = 3.7: per-core power *decreases*
+as cores 1-4 come online, then rises again — the published explanation
+for ProMC's energy minimum at concurrency 4 on 4-core servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "CPU_QUAD_A",
+    "CPU_QUAD_B",
+    "CPU_QUAD_C",
+    "cpu_coefficient",
+    "CoefficientSet",
+    "PAPER_COEFFICIENTS",
+]
+
+#: Eq. 2 constants, straight from the paper.
+CPU_QUAD_A = 0.011
+CPU_QUAD_B = -0.082
+CPU_QUAD_C = 0.344
+
+
+def cpu_coefficient(active_cores: int, a: float = CPU_QUAD_A, b: float = CPU_QUAD_B, c: float = CPU_QUAD_C) -> float:
+    """Per-core-percentage CPU power coefficient (Eq. 2), W per CPU-%.
+
+    ``active_cores`` is the number of cores running transfer work.
+    """
+    if active_cores < 1:
+        raise ValueError(f"active_cores must be >= 1, got {active_cores}")
+    n = active_cores
+    return a * n * n + b * n + c
+
+
+@dataclass(frozen=True, slots=True)
+class CoefficientSet:
+    """Fitted component coefficients of the fine-grained model (Eq. 1).
+
+    ``cpu_a/b/c`` parameterize Eq. 2; ``memory``, ``disk`` and ``nic``
+    are watts per utilization-percent of the respective component.
+    ``scale`` is a whole-model multiplier used when porting the set to
+    hardware with a different power envelope (the per-testbed
+    calibration documented in DESIGN.md).
+    """
+
+    cpu_a: float = CPU_QUAD_A
+    cpu_b: float = CPU_QUAD_B
+    cpu_c: float = CPU_QUAD_C
+    memory: float = 0.01
+    disk: float = 0.08
+    nic: float = 0.05
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("memory", "disk", "nic", "scale"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be >= 0")
+
+    def cpu(self, active_cores: int) -> float:
+        """Eq. 2 evaluated with this set's quadratic."""
+        return cpu_coefficient(active_cores, self.cpu_a, self.cpu_b, self.cpu_c)
+
+    def scaled(self, scale: float) -> "CoefficientSet":
+        """A copy with a different whole-model scale."""
+        return replace(self, scale=scale)
+
+
+#: The coefficient set published in / implied by the paper (Intel
+#: reference server, Eq. 2 CPU quadratic, modest mem/disk/NIC terms).
+PAPER_COEFFICIENTS = CoefficientSet()

@@ -1,0 +1,51 @@
+"""Energy metering.
+
+:class:`EnergyMeter` integrates instantaneous power samples into joules
+(left-rectangle rule over the sampling grid, matching the fluid
+engine's fixed step), and supports windowed readings so the adaptive
+algorithms can ask "how much energy did the last five seconds cost?" —
+the quantity HTEE's throughput/energy probe and SLAEE's accounting are
+built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EnergyMeter"]
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates ``P * dt`` and exposes window deltas."""
+
+    total_joules: float = 0.0
+    elapsed: float = 0.0
+    _marks: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    def record(self, power_watts: float, dt: float) -> None:
+        """Add one sample of ``power_watts`` held for ``dt`` seconds."""
+        if dt < 0:
+            raise ValueError(f"dt must be >= 0, got {dt}")
+        if power_watts < 0:
+            raise ValueError(f"power must be >= 0, got {power_watts}")
+        self.total_joules += power_watts * dt
+        self.elapsed += dt
+
+    def mark(self, name: str = "default") -> None:
+        """Remember the current reading under ``name``."""
+        self._marks[name] = (self.total_joules, self.elapsed)
+
+    def since_mark(self, name: str = "default") -> tuple[float, float]:
+        """(joules, seconds) accumulated since :meth:`mark` was called."""
+        if name not in self._marks:
+            raise KeyError(f"no mark named {name!r}")
+        joules, elapsed = self._marks[name]
+        return self.total_joules - joules, self.elapsed - elapsed
+
+    @property
+    def average_power(self) -> float:
+        """Mean watts over the metered interval (0 before any sample)."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.total_joules / self.elapsed

@@ -1,0 +1,95 @@
+"""End-system power models (Section 2.2).
+
+Two models, mirroring the two access-privilege cases of the paper:
+
+* :class:`FineGrainedPowerModel` — Eq. 1: needs utilization of all four
+  components (CPU, memory, disk, NIC). Lowest error (<6% in the paper's
+  validation).
+* :class:`CpuTdpPowerModel` — Eq. 3: needs only CPU utilization, and
+  ports across machines by scaling with the ratio of CPU Thermal Design
+  Power values. 2-3% worse than fine-grained when extended to a foreign
+  server, still <8% in the paper's validation.
+
+Both satisfy the :data:`repro.netsim.engine.PowerFn` protocol so they
+plug straight into the transfer engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.endpoint import ServerSpec
+from repro.netsim.utilization import Utilization
+from repro.power.coefficients import PAPER_COEFFICIENTS, CoefficientSet
+
+__all__ = ["FineGrainedPowerModel", "CpuTdpPowerModel"]
+
+
+@dataclass(frozen=True)
+class FineGrainedPowerModel:
+    """Eq. 1: ``P_t = C_cpu,n u_cpu + C_mem u_mem + C_disk u_disk + C_nic u_nic``.
+
+    ``u_cpu`` is total CPU percent summed over cores (``top``
+    convention); the per-core coefficient comes from Eq. 2 with the
+    server's active core count.
+    """
+
+    coefficients: CoefficientSet = PAPER_COEFFICIENTS
+
+    def power_components(self, spec: ServerSpec, util: Utilization) -> dict[str, float]:
+        """Per-component watts — the Eq. 1 terms individually.
+
+        Keys: ``cpu``, ``memory``, ``disk``, ``nic``. This is the
+        fine-grained model's raison d'etre: attributing the bill to
+        the component that ran it up.
+        """
+        if util.is_idle:
+            return {"cpu": 0.0, "memory": 0.0, "disk": 0.0, "nic": 0.0}
+        coeff = self.coefficients
+        return {
+            "cpu": coeff.scale * coeff.cpu(util.active_cores) * util.cpu_pct,
+            "memory": coeff.scale * coeff.memory * util.mem_pct,
+            "disk": coeff.scale * coeff.disk * util.disk_pct,
+            "nic": coeff.scale * coeff.nic * util.nic_pct,
+        }
+
+    def power(self, spec: ServerSpec, util: Utilization) -> float:
+        """Load-dependent watts for one server at one utilization point."""
+        return max(0.0, sum(self.power_components(spec, util).values()))
+
+    # PowerFn protocol
+    __call__ = power
+
+
+@dataclass(frozen=True)
+class CpuTdpPowerModel:
+    """Eq. 3: ``P_t = (C_cpu,n u_cpu) * TDP_remote / TDP_local``.
+
+    ``local_tdp_watts`` identifies the server the coefficients were
+    fitted on; a transfer node with a beefier (or weaker) CPU is scaled
+    by its nameplate TDP ratio. ``cpu_share`` inflates the CPU-only
+    estimate to approximate full-system power, since the paper's
+    regression found CPU utilization explains ~89.7% of consumed power.
+    """
+
+    local_tdp_watts: float
+    coefficients: CoefficientSet = PAPER_COEFFICIENTS
+    cpu_share: float = 0.897
+
+    def __post_init__(self) -> None:
+        if self.local_tdp_watts <= 0:
+            raise ValueError("local_tdp_watts must be > 0")
+        if not (0 < self.cpu_share <= 1):
+            raise ValueError("cpu_share must be in (0, 1]")
+
+    def power(self, spec: ServerSpec, util: Utilization) -> float:
+        """Eq. 3 watts: CPU-only estimate scaled by the TDP ratio and
+        inflated to full-system power by ``cpu_share``."""
+        if util.is_idle:
+            return 0.0
+        coeff = self.coefficients
+        cpu_watts = coeff.cpu(util.active_cores) * util.cpu_pct
+        tdp_ratio = spec.tdp_watts / self.local_tdp_watts
+        return coeff.scale * max(0.0, cpu_watts) * tdp_ratio / self.cpu_share
+
+    __call__ = power

@@ -1,0 +1,170 @@
+"""RAPL / powercap-style energy counters.
+
+Real deployments of the paper's algorithms read CPU package energy from
+Intel RAPL through the Linux *powercap* sysfs tree
+(``/sys/class/powercap/intel-rapl:*/energy_uj``). This module provides
+
+* :class:`SimulatedRaplDomain` — a RAPL domain fed by the simulator's
+  power model, with the authentic microjoule counter semantics
+  (monotone, wrapping at ``max_energy_range_uj``);
+* :class:`SimulatedPowercapTree` — writes those domains out as an
+  actual powercap-shaped directory tree, so tooling written against
+  sysfs paths runs unmodified against the simulation;
+* :class:`PowercapReader` — reads any powercap-shaped tree (the real
+  ``/sys/class/powercap`` when present, or a simulated one) and turns
+  raw wrapping counters into joule deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "DEFAULT_MAX_ENERGY_RANGE_UJ",
+    "SimulatedRaplDomain",
+    "SimulatedPowercapTree",
+    "PowercapReader",
+    "EnergyDelta",
+]
+
+#: Typical max_energy_range_uj of an Intel package domain (~262 kJ).
+DEFAULT_MAX_ENERGY_RANGE_UJ = 262_143_328_850
+
+
+@dataclass
+class SimulatedRaplDomain:
+    """One RAPL domain (e.g. ``package-0``) with a wrapping uJ counter."""
+
+    name: str
+    max_energy_range_uj: int = DEFAULT_MAX_ENERGY_RANGE_UJ
+    energy_uj: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_energy_range_uj <= 0:
+            raise ValueError("max_energy_range_uj must be > 0")
+        if not (0 <= self.energy_uj <= self.max_energy_range_uj):
+            raise ValueError("energy_uj out of counter range")
+
+    def feed(self, power_watts: float, dt: float) -> None:
+        """Advance the counter by ``power * dt`` (wrapping like hardware)."""
+        if power_watts < 0 or dt < 0:
+            raise ValueError("power and dt must be >= 0")
+        increment = int(round(power_watts * dt * 1e6))
+        self.energy_uj = (self.energy_uj + increment) % (self.max_energy_range_uj + 1)
+
+
+@dataclass
+class SimulatedPowercapTree:
+    """A powercap-shaped sysfs tree backed by simulated domains.
+
+    Layout (mirroring Linux)::
+
+        <root>/intel-rapl:0/name                 "package-0"
+        <root>/intel-rapl:0/energy_uj            wrapping counter
+        <root>/intel-rapl:0/max_energy_range_uj  counter modulus
+    """
+
+    root: Path
+    domains: list[SimulatedRaplDomain] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def add_domain(self, domain: SimulatedRaplDomain) -> SimulatedRaplDomain:
+        """Register one simulated domain in the tree."""
+        self.domains.append(domain)
+        return domain
+
+    def domain_dir(self, index: int) -> Path:
+        """Filesystem directory of the index-th domain."""
+        return self.root / f"intel-rapl:{index}"
+
+    def sync(self) -> None:
+        """Write all domain counters out to the filesystem tree."""
+        for index, domain in enumerate(self.domains):
+            directory = self.domain_dir(index)
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / "name").write_text(domain.name + "\n")
+            (directory / "energy_uj").write_text(f"{domain.energy_uj}\n")
+            (directory / "max_energy_range_uj").write_text(f"{domain.max_energy_range_uj}\n")
+
+    def feed_all(self, power_watts: float, dt: float) -> None:
+        """Feed every domain equally and sync to disk."""
+        for domain in self.domains:
+            domain.feed(power_watts, dt)
+        self.sync()
+
+
+@dataclass(frozen=True)
+class EnergyDelta:
+    """A joule reading between two counter samples of one domain."""
+
+    domain: str
+    joules: float
+    wrapped: bool
+
+
+class PowercapReader:
+    """Reads powercap-shaped trees and computes wrap-safe deltas."""
+
+    def __init__(self, root: Path | str = "/sys/class/powercap") -> None:
+        self.root = Path(root)
+        self._last: dict[str, int] = {}
+
+    def available(self) -> bool:
+        """True if the tree exists and exposes at least one domain."""
+        return bool(self.domain_paths())
+
+    def domain_paths(self) -> list[Path]:
+        """Directories of every readable RAPL domain under the root."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p
+            for p in self.root.iterdir()
+            if p.is_dir() and (p / "energy_uj").is_file()
+        )
+
+    def read_domain(self, path: Path) -> tuple[str, int, int]:
+        """(name, energy_uj, max_energy_range_uj) of one domain dir."""
+        name_file = path / "name"
+        name = name_file.read_text().strip() if name_file.is_file() else path.name
+        energy = int((path / "energy_uj").read_text().strip())
+        max_file = path / "max_energy_range_uj"
+        max_range = (
+            int(max_file.read_text().strip())
+            if max_file.is_file()
+            else DEFAULT_MAX_ENERGY_RANGE_UJ
+        )
+        return name, energy, max_range
+
+    def sample(self) -> list[EnergyDelta]:
+        """Joules per domain since the previous :meth:`sample` call.
+
+        The first call primes the baselines and returns an empty list.
+        Counter wraparound (the counter is modular) is detected and
+        corrected — a *decrease* means exactly one wrap for any sane
+        sampling interval.
+        """
+        deltas: list[EnergyDelta] = []
+        primed = bool(self._last)
+        for path in self.domain_paths():
+            name, energy, max_range = self.read_domain(path)
+            key = str(path)
+            if key in self._last:
+                previous = self._last[key]
+                raw = energy - previous
+                wrapped = raw < 0
+                if wrapped:
+                    raw += max_range + 1
+                deltas.append(EnergyDelta(domain=name, joules=raw / 1e6, wrapped=wrapped))
+            self._last[key] = energy
+        return deltas if primed else []
+
+    def total_joules(self, deltas: Optional[list[EnergyDelta]] = None) -> float:
+        """Convenience: sum of a sample's joules (0.0 for the priming call)."""
+        if deltas is None:
+            deltas = self.sample()
+        return sum(d.joules for d in deltas)

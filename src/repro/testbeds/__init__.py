@@ -1,0 +1,19 @@
+"""Evaluation testbed profiles (Figure 1)."""
+
+from repro.testbeds.specs import (
+    ALL_TESTBEDS,
+    DIDCLAB,
+    FUTUREGRID,
+    XSEDE,
+    Testbed,
+    testbed_by_name,
+)
+
+__all__ = [
+    "ALL_TESTBEDS",
+    "DIDCLAB",
+    "FUTUREGRID",
+    "Testbed",
+    "XSEDE",
+    "testbed_by_name",
+]

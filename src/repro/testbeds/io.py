@@ -1,0 +1,231 @@
+"""Testbed (de)serialization.
+
+Downstream users have their own paths and hosts; this module lets them
+describe an environment as JSON instead of code and run every
+algorithm, sweep and figure against it::
+
+    {
+      "name": "MyLab",
+      "path": {"bandwidth_gbps": 40, "rtt_ms": 12, "tcp_buffer_mb": 64},
+      "server": {"cores": 16, "tdp_watts": 150, "nic_gbps": 40,
+                 "per_channel_rate_mbytes": 300, "core_rate_mbytes": 800,
+                 "disk": {"type": "parallel",
+                          "per_accessor_mbytes": 400, "array_mbytes": 3000}},
+      "server_count": 2,
+      "dataset": {"type": "log_uniform", "total_gb": 100,
+                  "min_mb": 10, "max_gb": 10}
+    }
+
+The CLI accepts a path to such a file anywhere a testbed name is
+expected.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable
+
+from repro import units
+from repro.datasets.files import Dataset
+from repro.datasets.generators import SizeBand, banded_dataset, log_uniform_dataset, uniform_dataset
+from repro.datasets.presets import WORKLOAD_PRESETS
+from repro.netsim.disk import DiskSubsystem, ParallelDisk, PowerLawDisk, SingleDisk
+from repro.netsim.endpoint import EndSystem, ServerSpec
+from repro.netsim.link import NetworkPath
+from repro.power.coefficients import CoefficientSet
+from repro.testbeds.specs import Testbed
+
+__all__ = ["testbed_from_dict", "testbed_to_dict", "load_testbed", "save_testbed"]
+
+
+# ----------------------------------------------------------------------
+# disks
+# ----------------------------------------------------------------------
+
+def _disk_from_dict(data: dict) -> DiskSubsystem:
+    kind = data.get("type")
+    if kind == "single":
+        return SingleDisk(
+            peak_rate=float(data["peak_mbytes"]) * units.MB,
+            contention_alpha=float(data.get("contention_alpha", 0.12)),
+        )
+    if kind == "parallel":
+        return ParallelDisk(
+            per_accessor_rate=float(data["per_accessor_mbytes"]) * units.MB,
+            array_rate=float(data["array_mbytes"]) * units.MB,
+        )
+    if kind == "powerlaw":
+        return PowerLawDisk(
+            single_rate=float(data["single_mbytes"]) * units.MB,
+            exponent=float(data["exponent"]),
+        )
+    raise ValueError(f"unknown disk type {kind!r}; known: single, parallel, powerlaw")
+
+
+def _disk_to_dict(disk: DiskSubsystem) -> dict:
+    if isinstance(disk, SingleDisk):
+        return {
+            "type": "single",
+            "peak_mbytes": disk.peak_rate / units.MB,
+            "contention_alpha": disk.contention_alpha,
+        }
+    if isinstance(disk, ParallelDisk):
+        return {
+            "type": "parallel",
+            "per_accessor_mbytes": disk.per_accessor_rate / units.MB,
+            "array_mbytes": disk.array_rate / units.MB,
+        }
+    if isinstance(disk, PowerLawDisk):
+        return {
+            "type": "powerlaw",
+            "single_mbytes": disk.single_rate / units.MB,
+            "exponent": disk.exponent,
+        }
+    raise ValueError(f"cannot serialize disk type {type(disk).__name__}")
+
+
+# ----------------------------------------------------------------------
+# datasets
+# ----------------------------------------------------------------------
+
+def _dataset_factory_from_dict(data: dict) -> Callable[[], Dataset]:
+    kind = data.get("type")
+    seed = int(data.get("seed", 0))
+    if kind == "log_uniform":
+        total = float(data["total_gb"]) * units.GB
+        lo = float(data["min_mb"]) * units.MB
+        hi = float(data["max_gb"]) * units.GB if "max_gb" in data else float(data["max_mb"]) * units.MB
+        return lambda: log_uniform_dataset(total, lo, hi, seed=seed)
+    if kind == "uniform":
+        return lambda: uniform_dataset(
+            int(data["file_count"]), int(float(data["file_mb"]) * units.MB)
+        )
+    if kind == "banded":
+        total = float(data["total_gb"]) * units.GB
+        bands = tuple(
+            SizeBand(float(b["fraction"]), float(b["min_mb"]) * units.MB,
+                     float(b["max_mb"]) * units.MB)
+            for b in data["bands"]
+        )
+        return lambda: banded_dataset(total, bands, seed=seed)
+    if kind == "preset":
+        name = data["name"]
+        if name not in WORKLOAD_PRESETS:
+            raise ValueError(f"unknown preset {name!r}; known: {sorted(WORKLOAD_PRESETS)}")
+        return WORKLOAD_PRESETS[name]
+    raise ValueError(
+        f"unknown dataset type {kind!r}; known: log_uniform, uniform, banded, preset"
+    )
+
+
+# ----------------------------------------------------------------------
+# testbeds
+# ----------------------------------------------------------------------
+
+def testbed_from_dict(data: dict) -> Testbed:
+    """Build a :class:`Testbed` from a plain dict (see module docs)."""
+    path_data = data["path"]
+    path = NetworkPath(
+        bandwidth=float(path_data["bandwidth_gbps"]) * units.gbps(1),
+        rtt=units.ms(float(path_data["rtt_ms"])),
+        tcp_buffer=float(path_data["tcp_buffer_mb"]) * units.MB,
+        protocol_efficiency=float(path_data.get("protocol_efficiency", 0.93)),
+        congestion_knee=int(path_data.get("congestion_knee", 24)),
+        congestion_slope=float(path_data.get("congestion_slope", 0.01)),
+    )
+    server_data = data["server"]
+    server = ServerSpec(
+        name=server_data.get("name", f"{data['name']}-server"),
+        cores=int(server_data["cores"]),
+        tdp_watts=float(server_data["tdp_watts"]),
+        nic_rate=float(server_data["nic_gbps"]) * units.gbps(1),
+        disk=_disk_from_dict(server_data["disk"]),
+        per_channel_rate=float(server_data["per_channel_rate_mbytes"]) * units.MB,
+        core_rate=float(server_data["core_rate_mbytes"]) * units.MB,
+        channel_cpu_overhead=float(server_data.get("channel_cpu_overhead", 0.05)),
+        stream_cpu_overhead=float(server_data.get("stream_cpu_overhead", 0.02)),
+        active_overhead=float(server_data.get("active_overhead", 0.10)),
+        thrash_factor=float(server_data.get("thrash_factor", 0.15)),
+        per_file_overhead=float(server_data.get("per_file_overhead", 0.01)),
+    )
+    count = int(data.get("server_count", 1))
+    coeff_data = data.get("coefficients", {})
+    coefficients = CoefficientSet(
+        memory=float(coeff_data.get("memory", 0.01)),
+        disk=float(coeff_data.get("disk", 0.08)),
+        nic=float(coeff_data.get("nic", 0.05)),
+        scale=float(coeff_data.get("scale", 1.0)),
+    )
+    return Testbed(
+        name=str(data["name"]),
+        path=path,
+        source=EndSystem(f"{data['name']}-src", server, count),
+        destination=EndSystem(f"{data['name']}-dst", server, count),
+        coefficients=coefficients,
+        dataset_factory=_dataset_factory_from_dict(
+            data.get("dataset", {"type": "log_uniform", "total_gb": 10,
+                                 "min_mb": 10, "max_gb": 1})
+        ),
+        concurrency_levels=tuple(data.get("concurrency_levels", (1, 2, 4, 6, 8, 10, 12))),
+        brute_force_max_concurrency=int(data.get("brute_force_max_concurrency", 20)),
+        sla_reference_concurrency=int(data.get("sla_reference_concurrency", 12)),
+        engine_dt=float(data.get("engine_dt", 0.25)),
+    )
+
+
+def testbed_to_dict(testbed: Testbed, dataset: dict | None = None) -> dict:
+    """Serialize a testbed's hardware (the dataset spec, which is a
+    factory function, must be supplied as a dict or is emitted as a
+    generic placeholder)."""
+    server = testbed.source.server
+    return {
+        "name": testbed.name,
+        "path": {
+            "bandwidth_gbps": units.to_gbps(testbed.path.bandwidth),
+            "rtt_ms": testbed.path.rtt * 1e3,
+            "tcp_buffer_mb": testbed.path.tcp_buffer / units.MB,
+            "protocol_efficiency": testbed.path.protocol_efficiency,
+            "congestion_knee": testbed.path.congestion_knee,
+            "congestion_slope": testbed.path.congestion_slope,
+        },
+        "server": {
+            "name": server.name,
+            "cores": server.cores,
+            "tdp_watts": server.tdp_watts,
+            "nic_gbps": units.to_gbps(server.nic_rate),
+            "disk": _disk_to_dict(server.disk),
+            "per_channel_rate_mbytes": server.per_channel_rate / units.MB,
+            "core_rate_mbytes": server.core_rate / units.MB,
+            "channel_cpu_overhead": server.channel_cpu_overhead,
+            "stream_cpu_overhead": server.stream_cpu_overhead,
+            "active_overhead": server.active_overhead,
+            "thrash_factor": server.thrash_factor,
+            "per_file_overhead": server.per_file_overhead,
+        },
+        "server_count": testbed.source.server_count,
+        "coefficients": {
+            "memory": testbed.coefficients.memory,
+            "disk": testbed.coefficients.disk,
+            "nic": testbed.coefficients.nic,
+            "scale": testbed.coefficients.scale,
+        },
+        "dataset": dataset
+        or {"type": "log_uniform", "total_gb": 10, "min_mb": 10, "max_gb": 1},
+        "concurrency_levels": list(testbed.concurrency_levels),
+        "brute_force_max_concurrency": testbed.brute_force_max_concurrency,
+        "sla_reference_concurrency": testbed.sla_reference_concurrency,
+        "engine_dt": testbed.engine_dt,
+    }
+
+
+def load_testbed(path: Path | str) -> Testbed:
+    """Load a testbed definition from a JSON file."""
+    return testbed_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_testbed(testbed: Testbed, path: Path | str, dataset: dict | None = None) -> Path:
+    """Write a testbed definition to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(testbed_to_dict(testbed, dataset), indent=2) + "\n")
+    return path

@@ -1,0 +1,100 @@
+"""Unit conventions and converters.
+
+Everything inside :mod:`repro` uses a single internal unit system:
+
+* **sizes** in bytes (``int`` or ``float``),
+* **time** in seconds,
+* **data rates** in bytes per second,
+* **power** in watts, **energy** in joules.
+
+Networking literature (and the paper) quotes link speeds in megabits per
+second, file sizes in MB/GB, and round-trip times in milliseconds. The
+helpers here are the only sanctioned way to cross between those surface
+units and the internal ones, so unit bugs cannot creep in silently.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "kbps",
+    "mbps",
+    "gbps",
+    "ms",
+    "to_mbps",
+    "to_gbps",
+    "to_MB",
+    "to_GB",
+    "bdp_bytes",
+    "kilojoules",
+]
+
+#: Decimal byte multipliers (the networking convention the paper uses).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+_BITS_PER_BYTE = 8
+
+
+def kbps(value: float) -> float:
+    """Kilobits/second -> bytes/second."""
+    return value * 1_000 / _BITS_PER_BYTE
+
+
+def mbps(value: float) -> float:
+    """Megabits/second -> bytes/second."""
+    return value * 1_000_000 / _BITS_PER_BYTE
+
+
+def gbps(value: float) -> float:
+    """Gigabits/second -> bytes/second."""
+    return value * 1_000_000_000 / _BITS_PER_BYTE
+
+
+def ms(value: float) -> float:
+    """Milliseconds -> seconds."""
+    return value / 1_000
+
+
+def to_mbps(rate_bytes_per_s: float) -> float:
+    """Bytes/second -> megabits/second (for reporting)."""
+    return rate_bytes_per_s * _BITS_PER_BYTE / 1_000_000
+
+
+def to_gbps(rate_bytes_per_s: float) -> float:
+    """Bytes/second -> gigabits/second (for reporting)."""
+    return rate_bytes_per_s * _BITS_PER_BYTE / 1_000_000_000
+
+
+def to_MB(size_bytes: float) -> float:
+    """Bytes -> megabytes."""
+    return size_bytes / MB
+
+
+def to_GB(size_bytes: float) -> float:
+    """Bytes -> gigabytes."""
+    return size_bytes / GB
+
+
+def bdp_bytes(bandwidth_bytes_per_s: float, rtt_s: float) -> float:
+    """Bandwidth-delay product in bytes.
+
+    The BDP is the pivotal quantity in every parameter formula of the
+    paper: chunk boundaries, pipelining, and parallelism levels are all
+    expressed relative to it.
+    """
+    if bandwidth_bytes_per_s < 0:
+        raise ValueError(f"bandwidth must be >= 0, got {bandwidth_bytes_per_s}")
+    if rtt_s < 0:
+        raise ValueError(f"rtt must be >= 0, got {rtt_s}")
+    return bandwidth_bytes_per_s * rtt_s
+
+
+def kilojoules(energy_joules: float) -> float:
+    """Joules -> kilojoules (for reporting)."""
+    return energy_joules / 1_000

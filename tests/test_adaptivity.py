@@ -1,0 +1,143 @@
+"""Background cross-traffic and SLAEE's adaptive-monitoring extension."""
+
+import pytest
+
+from repro import units
+from repro.core.scheduler import engine_options
+from repro.core.slaee import SLAEEAlgorithm
+from repro.datasets.files import Dataset, FileInfo
+from repro.netsim.disk import ParallelDisk
+from repro.netsim.endpoint import EndSystem, ServerSpec
+from repro.netsim.engine import ChunkPlan, TransferEngine
+from repro.netsim.link import NetworkPath
+from repro.netsim.params import TransferParams
+from repro.testbeds.specs import Testbed as TestbedSpec
+from repro.power.coefficients import CoefficientSet
+
+
+def link_bound_testbed() -> TestbedSpec:
+    """A path where the link (not disk/host) is the bottleneck, so
+    stream share against cross-traffic is what matters."""
+    server = ServerSpec(
+        name="fat-host",
+        cores=8,
+        tdp_watts=100.0,
+        nic_rate=units.gbps(1),
+        disk=ParallelDisk(per_accessor_rate=100 * units.MB, array_rate=800 * units.MB),
+        per_channel_rate=40 * units.MB,
+        core_rate=400 * units.MB,
+        per_file_overhead=0.0,
+    )
+    site = EndSystem("site", server, 1)
+    path = NetworkPath(
+        bandwidth=units.gbps(1),
+        rtt=units.ms(5),
+        tcp_buffer=16 * units.MB,
+        protocol_efficiency=1.0,
+        congestion_knee=64,
+    )
+    dataset = Dataset.from_sizes([40 * units.MB] * 100, name="link-bound-4GB")
+    return TestbedSpec(
+        name="LinkBound",
+        path=path,
+        source=site,
+        destination=site,
+        coefficients=CoefficientSet(),
+        dataset_factory=lambda: dataset,
+        engine_dt=0.1,
+    )
+
+
+class TestBackgroundTraffic:
+    def _engine(self, background=None) -> TransferEngine:
+        tb = link_bound_testbed()
+        return TransferEngine(
+            tb.path, tb.source, tb.destination, lambda s, u: 10.0,
+            dt=0.1, background_traffic=background,
+        )
+
+    def test_no_background_matches_plain(self):
+        plain = self._engine(None)
+        zero = self._engine(lambda t: 0.0)
+        files = tuple(FileInfo(f"f{i}", 40 * units.MB) for i in range(20))
+        for engine in (plain, zero):
+            engine.add_chunk(ChunkPlan("c", files, TransferParams(concurrency=2)))
+            engine.run()
+        assert plain.time == zero.time
+
+    def test_competing_streams_cut_our_share(self):
+        files = tuple(FileInfo(f"f{i}", 40 * units.MB) for i in range(20))
+        free = self._engine(None)
+        busy = self._engine(lambda t: 2.0)  # two competing streams
+        for engine in (free, busy):
+            engine.add_chunk(ChunkPlan("c", files, TransferParams(concurrency=2)))
+            engine.run()
+        # uncontended, the 2x40 MB/s channels are host-bound (80 MB/s);
+        # contended, our 2-of-4 stream share (62.5 MB/s) binds instead
+        assert busy.time > 1.2 * free.time
+
+    def test_more_channels_reclaim_share(self):
+        files = tuple(FileInfo(f"f{i}", 40 * units.MB) for i in range(25))
+        few = self._engine(lambda t: 4.0)
+        many = self._engine(lambda t: 4.0)
+        few.add_chunk(ChunkPlan("c", files, TransferParams(concurrency=2)))
+        many.add_chunk(ChunkPlan("c", files, TransferParams(concurrency=8)))
+        few.run()
+        many.run()
+        assert many.time < few.time
+
+    def test_time_varying_traffic(self):
+        # traffic appears at t=5s; early progress is faster than late
+        engine = self._engine(lambda t: 0.0 if t < 5.0 else 8.0)
+        files = tuple(FileInfo(f"f{i}", 40 * units.MB) for i in range(40))
+        engine.add_chunk(ChunkPlan("c", files, TransferParams(concurrency=2)))
+        engine.run(5.0)
+        early = engine.total_bytes
+        engine.run(5.0)
+        late = engine.total_bytes - early
+        assert late < early
+
+
+class TestSlaeeMonitoring:
+    def test_monitoring_defends_sla_against_traffic_surge(self):
+        tb = link_bound_testbed()
+        ds = tb.dataset()
+        # competing streams appear after SLAEE's initial convergence
+        surge = lambda t: 0.0 if t < 30.0 else 6.0
+        max_thr = 125 * units.MB  # the uncontended link
+        kwargs = dict(sla_level=0.5, max_throughput=max_thr)
+
+        with engine_options(background_traffic=surge):
+            open_loop = SLAEEAlgorithm().run(tb, ds, 16, **kwargs)
+            closed_loop = SLAEEAlgorithm(adaptive_monitoring=True).run(tb, ds, 16, **kwargs)
+
+        # the monitor reacts to the surge with extra channels
+        adjustments = closed_loop.extra["monitor_adjustments"]
+        assert adjustments["up"] > 0
+        assert closed_loop.final_concurrency > open_loop.final_concurrency
+        # and delivers more of the promised rate over the disturbed tail
+        assert closed_loop.throughput > open_loop.throughput
+
+    def test_monitoring_sheds_channels_on_overshoot(self):
+        tb = link_bound_testbed()
+        ds = tb.dataset()
+        # ask for very little; the converged level overshoots wildly once
+        # the competing traffic that was present at the start disappears
+        fade = lambda t: 6.0 if t < 20.0 else 0.0
+        with engine_options(background_traffic=fade):
+            outcome = SLAEEAlgorithm(adaptive_monitoring=True).run(
+                tb, ds, 16, sla_level=0.3, max_throughput=125 * units.MB
+            )
+        assert outcome.extra["monitor_adjustments"]["down"] > 0
+
+    def test_monitoring_noop_on_stable_path(self, small_testbed):
+        ds = small_testbed.dataset()
+        outcome = SLAEEAlgorithm(adaptive_monitoring=True).run(
+            small_testbed, ds, 6, sla_level=0.6,
+            max_throughput=100 * units.MB,
+        )
+        assert outcome.bytes_moved == pytest.approx(ds.total_size)
+
+    def test_default_algorithm_unchanged(self):
+        algo = SLAEEAlgorithm()
+        assert not algo.adaptive_monitoring

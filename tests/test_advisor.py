@@ -1,0 +1,83 @@
+"""The planning advisor: recommendations and prediction accuracy."""
+
+import pytest
+
+from repro import units
+from repro.core.advisor import advise
+from repro.core.mine import MinEAlgorithm
+from repro.datasets.files import Dataset
+from repro.testbeds import DIDCLAB, FUTUREGRID, XSEDE
+
+
+class TestAdviceStructure:
+    def test_chunks_cover_dataset(self, small_testbed):
+        ds = small_testbed.dataset()
+        advice = advise(small_testbed, ds, 4)
+        assert advice.total_bytes == ds.total_size
+        assert sum(a.file_count for a in advice.chunks) == ds.file_count
+
+    def test_params_match_mine_plan(self, small_testbed):
+        ds = small_testbed.dataset()
+        advice = advise(small_testbed, ds, 4)
+        plans = MinEAlgorithm().plan(small_testbed, ds, 4)
+        assert [a.params for a in advice.chunks] == [p.params for p in plans]
+
+    def test_empty_dataset(self, small_testbed):
+        advice = advise(small_testbed, Dataset([]), 4)
+        assert advice.total_bytes == 0
+        assert advice.predicted_energy_j == 0.0
+        assert "empty dataset" in advice.notes
+
+    def test_render(self, small_testbed):
+        text = advise(small_testbed, small_testbed.dataset(), 4).render()
+        assert "Transfer plan" in text
+        assert "predicted:" in text
+
+    def test_invalid_channels(self, small_testbed):
+        with pytest.raises(ValueError):
+            advise(small_testbed, small_testbed.dataset(), 0)
+
+
+class TestAdviceNotes:
+    def test_single_disk_warning_on_didclab(self):
+        advice = advise(DIDCLAB, DIDCLAB.dataset(), 8)
+        assert any("single-spindle" in note for note in advice.notes)
+
+    def test_buffer_below_bdp_warning_on_xsede(self):
+        advice = advise(XSEDE, XSEDE.dataset(), 8)
+        assert any("below BDP" in note for note in advice.notes)
+
+    def test_no_buffer_warning_on_futuregrid(self):
+        # FutureGrid's 32 MB buffer exceeds its 3.5 MB BDP
+        advice = advise(FUTUREGRID, FUTUREGRID.dataset(), 8)
+        assert not any("below BDP" in note for note in advice.notes)
+
+
+class TestPredictionAccuracy:
+    """The advisor's closed-form numbers must track the simulator."""
+
+    @pytest.mark.parametrize("testbed", [XSEDE, FUTUREGRID, DIDCLAB],
+                             ids=lambda tb: tb.name)
+    def test_throughput_within_25pct_of_engine(self, testbed):
+        ds = testbed.dataset()
+        advice = advise(testbed, ds, 12)
+        outcome = MinEAlgorithm().run(testbed, ds, 12)
+        assert advice.predicted_throughput == pytest.approx(
+            outcome.throughput, rel=0.25
+        )
+
+    @pytest.mark.parametrize("testbed", [XSEDE, FUTUREGRID, DIDCLAB],
+                             ids=lambda tb: tb.name)
+    def test_energy_within_35pct_of_engine(self, testbed):
+        ds = testbed.dataset()
+        advice = advise(testbed, ds, 12)
+        outcome = MinEAlgorithm().run(testbed, ds, 12)
+        assert advice.predicted_energy_j == pytest.approx(
+            outcome.energy_joules, rel=0.35
+        )
+
+    def test_duration_consistent_with_throughput(self, small_testbed):
+        advice = advise(small_testbed, small_testbed.dataset(), 4)
+        assert advice.predicted_duration_s == pytest.approx(
+            advice.total_bytes / advice.predicted_throughput
+        )

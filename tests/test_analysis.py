@@ -1,0 +1,164 @@
+"""Sensitivity and crossover analyses."""
+
+import pytest
+
+from repro import units
+from repro.analysis.crossover import Crossover, argmax_interpolated, find_crossovers
+from repro.analysis.sensitivity import (
+    KNOBS,
+    perturb_testbed,
+    render_sensitivity,
+    sensitivity_report,
+)
+from repro.core.baselines import ProMCAlgorithm
+from repro.testbeds import DIDCLAB, FUTUREGRID, XSEDE
+
+
+class TestPerturbTestbed:
+    def test_server_knob(self):
+        perturbed = perturb_testbed(XSEDE, "per_channel_rate", 1.5)
+        assert perturbed.source.server.per_channel_rate == pytest.approx(
+            1.5 * XSEDE.source.server.per_channel_rate
+        )
+        # source and destination share the perturbed spec
+        assert perturbed.destination.server.per_channel_rate == pytest.approx(
+            perturbed.source.server.per_channel_rate
+        )
+
+    def test_original_untouched(self):
+        before = XSEDE.source.server.per_channel_rate
+        perturb_testbed(XSEDE, "per_channel_rate", 2.0)
+        assert XSEDE.source.server.per_channel_rate == before
+
+    @pytest.mark.parametrize("knob", sorted(KNOBS))
+    @pytest.mark.parametrize("testbed", [XSEDE, FUTUREGRID, DIDCLAB],
+                             ids=lambda t: t.name)
+    def test_every_knob_applies_on_every_testbed(self, knob, testbed):
+        perturbed = perturb_testbed(testbed, knob, 1.1)
+        assert perturbed.name == testbed.name
+
+    def test_disk_knob_scales_each_disk_type(self):
+        assert (
+            perturb_testbed(DIDCLAB, "disk_rate", 2.0).source.server.disk.peak_rate
+            == pytest.approx(2.0 * DIDCLAB.source.server.disk.peak_rate)
+        )
+        assert (
+            perturb_testbed(FUTUREGRID, "disk_rate", 2.0).source.server.disk.single_rate
+            == pytest.approx(2.0 * FUTUREGRID.source.server.disk.single_rate)
+        )
+
+    def test_protocol_efficiency_capped_at_one(self):
+        perturbed = perturb_testbed(XSEDE, "protocol_efficiency", 2.0)
+        assert perturbed.path.protocol_efficiency <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            perturb_testbed(XSEDE, "warp_drive", 1.1)
+        with pytest.raises(ValueError):
+            perturb_testbed(XSEDE, "disk_rate", 0.0)
+
+
+class TestSensitivityReport:
+    @pytest.fixture(scope="class")
+    def rows(self, ):
+        dataset = DIDCLAB.dataset()
+        run = lambda tb: ProMCAlgorithm().run(tb, dataset, 4)
+        return sensitivity_report(
+            DIDCLAB, run, knobs=("disk_rate", "coefficient_scale"), factors=(0.8, 1.2)
+        )
+
+    def test_row_per_knob_factor(self, rows):
+        assert len(rows) == 4
+
+    def test_disk_rate_moves_didclab_throughput(self, rows):
+        disk_rows = [r for r in rows if r.knob == "disk_rate"]
+        # DIDCLAB is disk-bound: throughput tracks the disk knob ~1:1
+        for row in disk_rows:
+            assert row.throughput_change == pytest.approx(row.factor - 1.0, abs=0.07)
+
+    def test_coefficient_scale_moves_energy_not_throughput(self, rows):
+        coeff_rows = [r for r in rows if r.knob == "coefficient_scale"]
+        for row in coeff_rows:
+            assert abs(row.throughput_change) < 0.01
+            assert row.energy_change == pytest.approx(row.factor - 1.0, abs=0.02)
+
+    def test_elasticity(self, rows):
+        disk_up = next(r for r in rows if r.knob == "disk_rate" and r.factor > 1)
+        assert disk_up.elasticity == pytest.approx(
+            abs(disk_up.throughput_change) / 0.2
+        )
+
+    def test_render(self, rows):
+        text = render_sensitivity(rows)
+        assert "disk_rate" in text and "coefficient_scale" in text
+
+
+class TestCrossovers:
+    def test_single_crossing(self):
+        x = [1, 2, 3, 4]
+        a = [1, 2, 3, 4]
+        b = [4, 3, 2, 1]
+        (crossing,) = find_crossovers(x, a, b)
+        assert crossing.x == pytest.approx(2.5)
+        assert crossing.direction == "a_above"
+
+    def test_no_crossing(self):
+        assert find_crossovers([1, 2], [1, 2], [3, 4]) == []
+
+    def test_multiple_crossings(self):
+        x = [0, 1, 2, 3]
+        a = [0, 2, 0, 2]
+        b = [1, 1, 1, 1]
+        crossings = find_crossovers(x, a, b)
+        assert len(crossings) == 3
+        directions = [c.direction for c in crossings]
+        assert directions == ["a_above", "b_above", "a_above"]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            find_crossovers([1], [1, 2], [1, 2])
+
+    def test_short_series(self):
+        assert find_crossovers([1], [1], [2]) == []
+
+    def test_sc_energy_overtakes_mine_on_xsede(self):
+        """The figure-2 reading: SC and MinE start equal-cheap, SC's
+        energy pulls away at higher concurrency."""
+        from repro.harness.sweeps import concurrency_sweep
+
+        sweep = concurrency_sweep(XSEDE, algorithms=("SC", "MinE"))
+        x = list(sweep.levels)
+        sc = sweep.energies_joules("SC")
+        mine = sweep.energies_joules("MinE")
+        # by the top of the axis SC is clearly dearer
+        assert sc[-1] > 1.15 * mine[-1]
+
+
+class TestArgmaxInterpolated:
+    def test_interior_peak_refined(self):
+        # samples of -(x-2.5)^2: peak between the samples at 2 and 3
+        x = [0, 1, 2, 3, 4]
+        y = [-(v - 2.5) ** 2 for v in x]
+        assert argmax_interpolated(x, y) == pytest.approx(2.5)
+
+    def test_edge_peak_unrefined(self):
+        assert argmax_interpolated([1, 2, 3], [5, 2, 1]) == 1
+
+    def test_flat_series(self):
+        assert argmax_interpolated([1, 2, 3], [2, 2, 2]) in (1.0, 2.0, 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            argmax_interpolated([], [])
+        with pytest.raises(ValueError):
+            argmax_interpolated([1], [1, 2])
+
+    def test_promc_energy_minimum_near_four_on_xsede(self):
+        """Reading the parabola's vertex off the sampled Fig. 2(b)."""
+        from repro.harness.sweeps import concurrency_sweep
+
+        sweep = concurrency_sweep(XSEDE, algorithms=("ProMC",))
+        x = list(sweep.levels)
+        inverted = [-e for e in sweep.energies_joules("ProMC")]
+        vertex = argmax_interpolated(x, inverted)
+        assert 3.0 <= vertex <= 6.5

@@ -1,0 +1,91 @@
+"""Resumable experiment campaigns."""
+
+import pytest
+
+from repro.harness.campaign import Campaign
+
+
+@pytest.fixture
+def campaign(small_testbed, tmp_path) -> Campaign:
+    return Campaign(
+        name="unit",
+        store_path=tmp_path / "campaign.jsonl",
+        testbeds=[small_testbed],
+        algorithms=("GUC", "MinE"),
+        levels=(1, 2),
+    )
+
+
+class TestGrid:
+    def test_cells_enumerate_grid(self, campaign):
+        cells = list(campaign.cells())
+        # GUC is concurrency-independent (1 cell), MinE gets 2 levels
+        assert len(cells) == 3
+        algorithms = [alg for _, alg, _ in cells]
+        assert algorithms.count("GUC") == 1
+        assert algorithms.count("MinE") == 2
+
+    def test_validation(self, small_testbed, tmp_path):
+        with pytest.raises(ValueError):
+            Campaign("x", tmp_path / "s.jsonl", testbeds=[])
+        with pytest.raises(ValueError):
+            Campaign("x", tmp_path / "s.jsonl", testbeds=[small_testbed],
+                     algorithms=("nope",))
+
+
+class TestRunAndResume:
+    def test_full_run(self, campaign):
+        progress = campaign.run()
+        assert progress.completed == progress.total == 3
+        assert progress.fraction_done == 1.0
+        assert len(campaign.results()) == 3
+
+    def test_resume_skips_archived_cells(self, campaign):
+        first = campaign.run(max_cells=1)
+        assert first.completed == 1
+        second = campaign.run()
+        assert second.skipped == 1
+        assert second.completed == 3
+        # no duplicates in the archive
+        assert len(campaign.results()) == 3
+
+    def test_rerun_is_noop(self, campaign):
+        campaign.run()
+        again = campaign.run()
+        assert again.skipped == again.total
+        assert len(campaign.results()) == 3
+
+    def test_progress_before_and_after(self, campaign):
+        assert campaign.progress().completed == 0
+        campaign.run()
+        assert campaign.progress().completed == 3
+        assert campaign.progress().remaining == 0
+
+    def test_on_result_hook(self, small_testbed, tmp_path):
+        seen = []
+        campaign = Campaign(
+            name="hooked",
+            store_path=tmp_path / "c.jsonl",
+            testbeds=[small_testbed],
+            algorithms=("GUC",),
+            on_result=seen.append,
+        )
+        campaign.run()
+        assert len(seen) == 1
+        assert seen[0].algorithm == "GUC"
+
+    def test_campaigns_share_a_store_independently(self, small_testbed, tmp_path):
+        store = tmp_path / "shared.jsonl"
+        a = Campaign("a", store, [small_testbed], algorithms=("GUC",))
+        b = Campaign("b", store, [small_testbed], algorithms=("GUC",))
+        a.run()
+        assert b.progress().completed == 0  # b's cells not covered by a
+        b.run()
+        assert len(a.results()) == 1
+        assert len(b.results()) == 1
+
+    def test_results_filters(self, campaign):
+        campaign.run()
+        assert len(campaign.results(algorithm="MinE")) == 2
+        assert len(campaign.results(testbed="TestBed")) == 3
+        assert campaign.results(algorithm="HTEE") == []

@@ -1,0 +1,61 @@
+"""ASCII line charts."""
+
+import pytest
+
+from repro.harness.charts import line_chart
+
+
+class TestLineChart:
+    def test_single_series(self):
+        text = line_chart({"a": [1, 2, 3, 4]}, height=4, width=20)
+        assert "o" in text
+        assert "o=a" in text
+
+    def test_marker_positions_monotone_for_rising_series(self):
+        text = line_chart({"a": [0, 10]}, height=5, width=10)
+        rows = [line for line in text.splitlines() if "|" in line]
+        first = next(i for i, r in enumerate(rows) if "o" in r)
+        last = max(i for i, r in enumerate(rows) if "o" in r)
+        assert first < last  # higher value drawn on a higher row
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = line_chart({"a": [1, 2], "b": [2, 1]}, height=4, width=10)
+        assert "o=a" in text and "x=b" in text
+
+    def test_overlap_marked_with_star(self):
+        text = line_chart({"a": [5.0], "b": [5.0]}, height=3, width=3)
+        assert "*" in text
+
+    def test_x_labels(self):
+        text = line_chart({"a": [1, 2, 3]}, x_labels=["p", "q", "r"], height=3, width=12)
+        assert "p" in text and "r" in text
+
+    def test_title(self):
+        text = line_chart({"a": [1]}, title="My chart", height=3, width=4)
+        assert text.splitlines()[0] == "My chart"
+
+    def test_constant_series(self):
+        text = line_chart({"a": [7, 7, 7]}, height=4, width=10)
+        plot_rows = [line for line in text.splitlines() if "|" in line]
+        assert sum(row.count("o") for row in plot_rows) == 3
+
+    def test_y_axis_shows_extremes(self):
+        text = line_chart({"a": [0.0, 100.0]}, height=4, width=10)
+        assert "100" in text
+        assert " 0 |" in text or "0 |" in text
+
+    @pytest.mark.parametrize(
+        "kwargs,error",
+        [
+            (dict(series={}), "at least one series"),
+            (dict(series={"a": [1], "b": [1, 2]}), "same length"),
+            (dict(series={"a": []}), "non-empty"),
+            (dict(series={"a": [1, 2]}, height=1), "too small"),
+            (dict(series={"a": [1, 2, 3]}, width=2), "too small"),
+            (dict(series={"a": [1, 2]}, x_labels=["only-one"]), "x_labels"),
+        ],
+    )
+    def test_validation(self, kwargs, error):
+        series = kwargs.pop("series")
+        with pytest.raises(ValueError, match=error):
+            line_chart(series, **kwargs)

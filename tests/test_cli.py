@@ -1,0 +1,134 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_transfer_defaults(self):
+        args = build_parser().parse_args(["transfer"])
+        assert args.testbed == "xsede"
+        assert args.algorithm == "HTEE"
+        assert args.max_channels == 12
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["transfer", "-a", "bogus"])
+
+
+class TestCommands:
+    def test_testbeds(self, capsys):
+        assert main(["testbeds"]) == 0
+        out = capsys.readouterr().out
+        assert "XSEDE" in out and "DIDCLAB" in out
+
+    def test_dataset(self, capsys):
+        assert main(["dataset", "-t", "didclab"]) == 0
+        assert "40.00 GB" in capsys.readouterr().out
+
+    def test_transfer_didclab(self, capsys):
+        assert main(["transfer", "-t", "didclab", "-a", "MinE", "-c", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "MinE" in out
+        assert "Mbps" in out
+
+    def test_transfer_json_and_trace(self, tmp_path, capsys):
+        json_path = tmp_path / "out.json"
+        trace_path = tmp_path / "trace.csv"
+        code = main(
+            [
+                "transfer", "-t", "didclab", "-a", "GUC",
+                "--json", str(json_path), "--trace", str(trace_path),
+            ]
+        )
+        assert code == 0
+        data = json.loads(json_path.read_text())
+        assert data[0]["algorithm"] == "GUC"
+        assert trace_path.read_text().startswith("time_s,")
+
+    def test_transfer_sparkline(self, capsys):
+        assert main(["transfer", "-t", "didclab", "-a", "GUC", "--sparkline"]) == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_sweep(self, capsys, tmp_path):
+        json_path = tmp_path / "sweep.json"
+        code = main(
+            ["sweep", "-t", "didclab", "-a", "GUC", "MinE", "-l", "1", "2",
+             "--json", str(json_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Throughput vs concurrency" in out
+        assert len(json.loads(json_path.read_text())) == 4
+
+    def test_sla(self, capsys):
+        assert main(["sla", "-t", "didclab", "--targets", "80"]) == 0
+        assert "80%" in capsys.readouterr().out
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "fig01", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "===== fig01 =====" in out
+        assert "===== table1 =====" in out
+
+    def test_figures_unknown(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_validate(self, capsys):
+        assert main(["validate"]) == 0
+        assert "validate: OK" in capsys.readouterr().out
+
+    def test_advise_default_dataset(self, capsys):
+        assert main(["advise", "-t", "didclab", "-c", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Transfer plan" in out
+        assert "single-spindle" in out
+
+    def test_advise_workload_preset(self, capsys):
+        assert main(["advise", "-t", "xsede", "-w", "logs"]) == 0
+        assert "predicted:" in capsys.readouterr().out
+
+    def test_advise_unknown_workload(self, capsys):
+        assert main(["advise", "-w", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("genomics", "climate", "video", "logs", "vm-images"):
+            assert name in out
+
+    def test_fleet(self, capsys):
+        assert main(["fleet", "-t", "didclab", "--jobs-per-day", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "vs ProMC" in out
+        assert "slaee" in out
+
+    def test_pareto(self, capsys):
+        assert main(["pareto", "-t", "didclab", "-l", "1", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "frontier" in out
+        assert "MinE@" in out
+
+    def test_history_summary_and_best(self, tmp_path, capsys):
+        json_path = tmp_path / "runs.jsonl"
+        from repro.harness.store import ResultStore
+        from repro.core.scheduler import TransferOutcome
+
+        store = ResultStore(json_path)
+        store.append(TransferOutcome("HTEE", "XSEDE", 4, 10.0, 1e9, 100.0))
+        assert main(["history", str(json_path)]) == 0
+        assert "1 runs" in capsys.readouterr().out
+        assert main(["history", str(json_path), "--best", "efficiency"]) == 0
+        assert "HTEE" in capsys.readouterr().out
+
+    def test_history_empty_best(self, tmp_path, capsys):
+        assert main(["history", str(tmp_path / "none.jsonl"), "--best", "efficiency"]) == 1

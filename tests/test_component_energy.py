@@ -1,0 +1,80 @@
+"""Per-component energy attribution (the fine-grained model's output)."""
+
+import pytest
+
+from repro import units
+from repro.harness.runner import run_algorithm
+from repro.netsim.disk import ParallelDisk
+from repro.netsim.endpoint import ServerSpec
+from repro.netsim.utilization import Utilization
+from repro.power.coefficients import CoefficientSet, cpu_coefficient
+from repro.power.models import FineGrainedPowerModel
+
+
+def util(cpu=100.0, mem=10.0, disk=20.0, nic=30.0, cores=1):
+    return Utilization(cpu_pct=cpu, mem_pct=mem, disk_pct=disk, nic_pct=nic,
+                       active_cores=cores, channels=1, streams=1, throughput=0.0)
+
+
+def server():
+    return ServerSpec(
+        name="s", cores=4, tdp_watts=100.0, nic_rate=units.gbps(1),
+        disk=ParallelDisk(50e6, 200e6), per_channel_rate=50e6, core_rate=200e6,
+    )
+
+
+class TestPowerComponents:
+    def test_components_sum_to_power(self):
+        model = FineGrainedPowerModel(CoefficientSet(memory=0.02, disk=0.05, nic=0.03))
+        u = util(cpu=150, mem=40, disk=60, nic=80, cores=2)
+        parts = model.power_components(server(), u)
+        assert sum(parts.values()) == pytest.approx(model.power(server(), u))
+
+    def test_component_values(self):
+        coeff = CoefficientSet(memory=0.02, disk=0.05, nic=0.03)
+        model = FineGrainedPowerModel(coeff)
+        parts = model.power_components(server(), util(cpu=100, mem=50, disk=40, nic=30))
+        assert parts["cpu"] == pytest.approx(cpu_coefficient(1) * 100)
+        assert parts["memory"] == pytest.approx(0.02 * 50)
+        assert parts["disk"] == pytest.approx(0.05 * 40)
+        assert parts["nic"] == pytest.approx(0.03 * 30)
+
+    def test_idle_all_zero(self):
+        model = FineGrainedPowerModel()
+        parts = model.power_components(server(), Utilization())
+        assert all(v == 0.0 for v in parts.values())
+
+    def test_scale_applies_per_component(self):
+        base = FineGrainedPowerModel(CoefficientSet(scale=1.0))
+        half = FineGrainedPowerModel(CoefficientSet(scale=0.5))
+        u = util()
+        for key in ("cpu", "memory", "disk", "nic"):
+            assert half.power_components(server(), u)[key] == pytest.approx(
+                0.5 * base.power_components(server(), u)[key]
+            )
+
+
+class TestEngineAttribution:
+    def test_components_accumulate_to_total_energy(self, small_testbed):
+        outcome = run_algorithm(small_testbed, "ProMC", 2)
+        parts = outcome.extra["component_energy"]
+        assert set(parts) == {"cpu", "memory", "disk", "nic"}
+        assert sum(parts.values()) == pytest.approx(outcome.energy_joules, rel=1e-9)
+
+    def test_cpu_dominates_transfer_energy(self, small_testbed):
+        # the paper: CPU utilization explains ~90% of transfer power
+        outcome = run_algorithm(small_testbed, "ProMC", 2)
+        parts = outcome.extra["component_energy"]
+        assert parts["cpu"] == max(parts.values())
+
+    def test_sequential_runner_attributes_too(self, small_testbed):
+        outcome = run_algorithm(small_testbed, "SC", 2)
+        assert "component_energy" in outcome.extra
+
+    def test_paper_testbeds_attribute(self):
+        from repro.testbeds import DIDCLAB
+
+        outcome = run_algorithm(DIDCLAB, "GUC", 1)
+        parts = outcome.extra["component_energy"]
+        assert sum(parts.values()) == pytest.approx(outcome.energy_joules, rel=1e-9)
+        assert parts["disk"] > 0  # the single spindle works hard

@@ -1,0 +1,289 @@
+"""Algorithm-level behaviour on the miniature testbed."""
+
+import pytest
+
+from repro import units
+from repro.core.baselines import (
+    GlobusOnlineAlgorithm,
+    GucAlgorithm,
+    ProMCAlgorithm,
+    SingleChunkAlgorithm,
+)
+from repro.core.htee import BruteForceAlgorithm, HTEEAlgorithm, scaled_allocation
+from repro.core.mine import MinEAlgorithm
+from repro.core.slaee import SLAEEAlgorithm, sla_allocation
+from repro.core.chunks import Chunk, ChunkClass
+from repro.datasets.files import Dataset, FileInfo
+
+
+@pytest.fixture
+def ds(small_testbed):
+    return small_testbed.dataset()
+
+
+def assert_complete(outcome, dataset):
+    assert outcome.bytes_moved == pytest.approx(dataset.total_size)
+    assert outcome.duration_s > 0
+    assert outcome.energy_joules > 0
+
+
+class TestGuc:
+    def test_completes(self, small_testbed, ds):
+        outcome = GucAlgorithm().run(small_testbed, ds)
+        assert_complete(outcome, ds)
+        assert outcome.algorithm == "GUC"
+        assert outcome.max_channels == 1
+
+    def test_untuned_parameters(self):
+        guc = GucAlgorithm()
+        assert (guc.pipelining, guc.parallelism, guc.concurrency) == (1, 1, 1)
+
+    def test_ignores_max_channels(self, small_testbed, ds):
+        a = GucAlgorithm().run(small_testbed, ds, 1)
+        b = GucAlgorithm().run(small_testbed, ds, 8)
+        assert a.duration_s == b.duration_s
+        assert a.energy_joules == b.energy_joules
+
+
+class TestGlobusOnline:
+    def test_completes(self, small_testbed, ds):
+        outcome = GlobusOnlineAlgorithm().run(small_testbed, ds)
+        assert_complete(outcome, ds)
+
+    def test_buckets_partition_completely(self, ds):
+        go = GlobusOnlineAlgorithm()
+        buckets = go.buckets(ds)
+        names = sorted(f.name for _, files, _ in buckets for f in files)
+        assert names == sorted(f.name for f in ds)
+
+    def test_bucket_thresholds(self):
+        go = GlobusOnlineAlgorithm()
+        ds = Dataset(
+            [FileInfo("s", 10 * units.MB), FileInfo("m", 100 * units.MB),
+             FileInfo("l", 500 * units.MB)]
+        )
+        buckets = dict((name, files) for name, files, _ in go.buckets(ds))
+        assert [f.name for f in buckets["go-small"]] == ["s"]
+        assert [f.name for f in buckets["go-medium"]] == ["m"]
+        assert [f.name for f in buckets["go-large"]] == ["l"]
+
+    def test_small_bucket_uses_pipelining_20_parallelism_2(self):
+        assert GlobusOnlineAlgorithm().small_params == (20, 2)
+
+    def test_fixed_concurrency_2(self, small_testbed, ds):
+        outcome = GlobusOnlineAlgorithm().run(small_testbed, ds, max_channels=10)
+        assert outcome.max_channels == 2
+
+    def test_checksums_slow_the_transfer(self, small_testbed, ds):
+        """The paper disabled GO's checksum feature because it 'causes
+        significant slowdowns in average transfer throughput'."""
+        plain = GlobusOnlineAlgorithm().run(small_testbed, ds)
+        verified = GlobusOnlineAlgorithm(
+            verify_checksums=True, checksum_rate=20 * units.MB
+        ).run(small_testbed, ds)
+        assert verified.throughput < plain.throughput
+        assert verified.extra["verify_checksums"] is True
+        assert verified.bytes_moved == pytest.approx(ds.total_size)
+
+    def test_checksums_do_not_mutate_shared_testbed(self, small_testbed, ds):
+        original_rate = small_testbed.source.server.per_channel_rate
+        GlobusOnlineAlgorithm(verify_checksums=True).run(small_testbed, ds)
+        assert small_testbed.source.server.per_channel_rate == original_rate
+
+
+class TestSingleChunk:
+    def test_completes(self, small_testbed, ds):
+        outcome = SingleChunkAlgorithm().run(small_testbed, ds, 3)
+        assert_complete(outcome, ds)
+
+    def test_faster_with_more_channels(self, small_testbed, ds):
+        slow = SingleChunkAlgorithm().run(small_testbed, ds, 1)
+        fast = SingleChunkAlgorithm().run(small_testbed, ds, 3)
+        assert fast.duration_s < slow.duration_s
+
+    def test_plan_uses_full_budget_per_chunk(self, small_testbed, ds):
+        plans = SingleChunkAlgorithm().plan(small_testbed, ds, 4)
+        assert all(p.params.concurrency == 4 for p in plans)
+
+    def test_invalid_channels(self, small_testbed, ds):
+        with pytest.raises(ValueError):
+            SingleChunkAlgorithm().run(small_testbed, ds, 0)
+
+
+class TestProMC:
+    def test_completes(self, small_testbed, ds):
+        outcome = ProMCAlgorithm().run(small_testbed, ds, 4)
+        assert_complete(outcome, ds)
+
+    def test_plan_spends_entire_budget(self, small_testbed, ds):
+        plans = ProMCAlgorithm().plan(small_testbed, ds, 6)
+        assert sum(p.params.concurrency for p in plans) == 6
+
+    def test_not_slower_than_sc(self, small_testbed, ds):
+        sc = SingleChunkAlgorithm().run(small_testbed, ds, 4)
+        promc = ProMCAlgorithm().run(small_testbed, ds, 4)
+        assert promc.duration_s <= sc.duration_s * 1.05
+
+
+class TestMinE:
+    def test_completes(self, small_testbed, ds):
+        outcome = MinEAlgorithm().run(small_testbed, ds, 4)
+        assert_complete(outcome, ds)
+
+    def test_plan_within_budget(self, small_testbed, ds):
+        for budget in (1, 2, 4, 8):
+            plans = MinEAlgorithm().plan(small_testbed, ds, budget)
+            assert sum(p.params.concurrency for p in plans) <= budget
+
+    def test_records_plan_in_extra(self, small_testbed, ds):
+        outcome = MinEAlgorithm().run(small_testbed, ds, 4)
+        assert "plans" in outcome.extra
+        assert outcome.final_concurrency >= 1
+
+    def test_invalid_channels(self, small_testbed, ds):
+        with pytest.raises(ValueError):
+            MinEAlgorithm().run(small_testbed, ds, 0)
+
+
+class TestScaledAllocation:
+    def test_sums_to_total(self):
+        weights = [0.5, 0.3, 0.2]
+        for total in range(0, 15):
+            assert sum(scaled_allocation(weights, total)) == total
+
+    def test_proportionality(self):
+        allocation = scaled_allocation([0.5, 0.25, 0.25], 8)
+        assert allocation == [4, 2, 2]
+
+    def test_empty(self):
+        assert scaled_allocation([], 4) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_allocation([1.0], -1)
+
+
+class TestHTEE:
+    def test_completes(self, small_testbed, ds):
+        outcome = HTEEAlgorithm().run(small_testbed, ds, 4)
+        assert_complete(outcome, ds)
+
+    def test_probes_odd_levels(self, small_testbed, ds):
+        outcome = HTEEAlgorithm().run(small_testbed, ds, 6)
+        probed = [p[0] for p in outcome.extra["probes"]]
+        assert probed == [lvl for lvl in (1, 3, 5) if lvl <= 6][: len(probed)]
+
+    def test_picks_highest_level_within_noise_of_best_ratio(self, small_testbed, ds):
+        outcome = HTEEAlgorithm().run(small_testbed, ds, 6)
+        probes = outcome.extra["probes"]
+        best_ratio = max(p[3] for p in probes)
+        eligible = [p[0] for p in probes if p[3] >= 0.95 * best_ratio]
+        assert outcome.final_concurrency == max(eligible)
+
+    def test_steady_throughput_reported(self, small_testbed, ds):
+        outcome = HTEEAlgorithm().run(small_testbed, ds, 4)
+        assert outcome.steady_throughput is not None
+        assert outcome.steady_throughput > 0
+
+    def test_invalid_channels(self, small_testbed, ds):
+        with pytest.raises(ValueError):
+            HTEEAlgorithm().run(small_testbed, ds, 0)
+
+
+class TestBruteForce:
+    def test_completes_at_each_level(self, small_testbed, ds):
+        for cc in (1, 3, 5):
+            outcome = BruteForceAlgorithm().run(small_testbed, ds, cc)
+            assert_complete(outcome, ds)
+            assert outcome.final_concurrency == cc
+
+    def test_no_search_phase(self, small_testbed, ds):
+        # BF at HTEE's chosen level should be at least as efficient as
+        # HTEE (which paid for its probes)
+        htee = HTEEAlgorithm().run(small_testbed, ds, 6)
+        bf = BruteForceAlgorithm().run(small_testbed, ds, htee.final_concurrency)
+        assert bf.efficiency >= htee.efficiency * 0.9
+
+    def test_invalid(self, small_testbed, ds):
+        with pytest.raises(ValueError):
+            BruteForceAlgorithm().run(small_testbed, ds, 0)
+
+
+def chunk(cls, count, size):
+    return Chunk(cls, tuple(FileInfo(f"{cls.name}{i}", int(size)) for i in range(count)))
+
+
+class TestSlaAllocation:
+    CHUNKS = [
+        chunk(ChunkClass.SMALL, 50, units.MB),
+        chunk(ChunkClass.MEDIUM, 10, 20 * units.MB),
+        chunk(ChunkClass.LARGE, 3, 200 * units.MB),
+    ]
+
+    def test_sums_to_total(self):
+        for total in range(0, 12):
+            assert sum(sla_allocation(self.CHUNKS, total)) == total
+
+    def test_small_chunks_first(self):
+        allocation = sla_allocation(self.CHUNKS, 2)
+        assert allocation == [1, 1, 0]
+
+    def test_large_capped_at_one_without_rearrange(self):
+        allocation = sla_allocation(self.CHUNKS, 10)
+        assert allocation[2] == 1
+
+    def test_rearrange_feeds_large(self):
+        base = sla_allocation(self.CHUNKS, 10, extra_large=0)
+        rearranged = sla_allocation(self.CHUNKS, 10, extra_large=2)
+        assert rearranged[2] == base[2] + 2
+        assert sum(rearranged) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sla_allocation(self.CHUNKS, -1)
+        with pytest.raises(ValueError):
+            sla_allocation(self.CHUNKS, 1, extra_large=-1)
+
+    def test_empty(self):
+        assert sla_allocation([], 4) == []
+
+
+class TestSLAEE:
+    def test_completes(self, small_testbed, ds):
+        max_thr = ProMCAlgorithm().run(small_testbed, ds, 4).throughput
+        outcome = SLAEEAlgorithm().run(
+            small_testbed, ds, 6, sla_level=0.8, max_throughput=max_thr
+        )
+        assert_complete(outcome, ds)
+        assert outcome.extra["sla_level"] == 0.8
+
+    def test_meets_feasible_target(self, small_testbed, ds):
+        max_thr = ProMCAlgorithm().run(small_testbed, ds, 4).throughput
+        outcome = SLAEEAlgorithm().run(
+            small_testbed, ds, 6, sla_level=0.5, max_throughput=max_thr
+        )
+        achieved = outcome.steady_throughput
+        assert achieved >= 0.5 * max_thr * 0.85  # modest tolerance
+
+    def test_concurrency_within_bounds(self, small_testbed, ds):
+        max_thr = ProMCAlgorithm().run(small_testbed, ds, 4).throughput
+        outcome = SLAEEAlgorithm().run(
+            small_testbed, ds, 6, sla_level=0.95, max_throughput=max_thr
+        )
+        assert 1 <= outcome.final_concurrency <= 6
+
+    def test_lower_target_uses_fewer_channels(self, small_testbed, ds):
+        max_thr = ProMCAlgorithm().run(small_testbed, ds, 4).throughput
+        low = SLAEEAlgorithm().run(small_testbed, ds, 6, sla_level=0.4,
+                                   max_throughput=max_thr)
+        high = SLAEEAlgorithm().run(small_testbed, ds, 6, sla_level=0.95,
+                                    max_throughput=max_thr)
+        assert low.final_concurrency <= high.final_concurrency
+
+    def test_validation(self, small_testbed, ds):
+        with pytest.raises(ValueError):
+            SLAEEAlgorithm().run(small_testbed, ds, 6, sla_level=0.0, max_throughput=1.0)
+        with pytest.raises(ValueError):
+            SLAEEAlgorithm().run(small_testbed, ds, 6, sla_level=0.5, max_throughput=0.0)
+        with pytest.raises(ValueError):
+            SLAEEAlgorithm().run(small_testbed, ds, 0, sla_level=0.5, max_throughput=1.0)

@@ -1,0 +1,210 @@
+"""Parameter formulas of Algorithms 1-2, line by line."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.core.allocation import (
+    chunk_params,
+    htee_channel_allocation,
+    htee_weights,
+    mine_concurrency,
+    mine_walk,
+    parallelism_level,
+    pipelining_level,
+    proportional_allocation,
+)
+from repro.core.chunks import Chunk, ChunkClass
+from repro.datasets.files import FileInfo
+
+BDP = 50 * units.MB
+BUF = 32 * units.MB
+
+
+def chunk(cls, count, size):
+    return Chunk(cls, tuple(FileInfo(f"{cls.name}{i}", int(size)) for i in range(count)))
+
+
+class TestPipelining:
+    def test_line8_formula(self):
+        # pipelining = ceil(BDP / avgFileSize)
+        assert pipelining_level(BDP, 10 * units.MB) == 5
+        assert pipelining_level(BDP, 3 * units.MB) == math.ceil(50 / 3)
+
+    def test_large_files_get_one(self):
+        assert pipelining_level(BDP, 5 * units.GB) == 1
+
+    def test_exact_division(self):
+        assert pipelining_level(BDP, 25 * units.MB) == 2
+
+    def test_zero_avg_degenerates_to_one(self):
+        assert pipelining_level(BDP, 0) == 1
+
+    def test_zero_bdp(self):
+        assert pipelining_level(0, units.MB) == 1
+
+
+class TestParallelism:
+    def test_line9_formula_xsede(self):
+        # max(min(ceil(BDP/buf), ceil(avg/buf)), 1) with BDP 50, buf 32
+        assert parallelism_level(BDP, 500 * units.MB, BUF) == 2  # min(2, 16)
+        assert parallelism_level(BDP, 10 * units.MB, BUF) == 1  # min(2, 1)
+
+    def test_buffer_larger_than_bdp_gives_one(self):
+        assert parallelism_level(3.5 * units.MB, units.GB, BUF) == 1
+
+    def test_never_below_one(self):
+        assert parallelism_level(0, 0, BUF) == 1
+
+    def test_invalid_buffer(self):
+        with pytest.raises(ValueError):
+            parallelism_level(BDP, units.MB, 0)
+
+
+class TestMineConcurrency:
+    def test_line10_small_files_capped_by_half_pool(self):
+        # min(ceil(BDP/avg), ceil((avail+1)/2))
+        assert mine_concurrency(BDP, 3 * units.MB, 12) == min(17, 7)
+
+    def test_large_files_get_one(self):
+        assert mine_concurrency(BDP, 5 * units.GB, 12) == 1
+
+    def test_capped_by_available(self):
+        assert mine_concurrency(BDP, units.MB, 1) == 1
+
+    def test_zero_pool_gives_zero(self):
+        assert mine_concurrency(BDP, units.MB, 0) == 0
+
+    def test_negative_pool_rejected(self):
+        with pytest.raises(ValueError):
+            mine_concurrency(BDP, units.MB, -1)
+
+
+class TestMineWalk:
+    CHUNKS = [
+        chunk(ChunkClass.SMALL, 100, 10 * units.MB),
+        chunk(ChunkClass.MEDIUM, 20, 300 * units.MB),
+        chunk(ChunkClass.LARGE, 5, 4 * units.GB),
+    ]
+
+    def test_walk_respects_budget(self):
+        for max_channels in (1, 2, 4, 6, 12):
+            params = mine_walk(self.CHUNKS, BDP, BUF, max_channels)
+            assert sum(p.concurrency for p in params) <= max_channels
+
+    def test_large_chunk_gets_at_most_one_channel(self):
+        params = mine_walk(self.CHUNKS, BDP, BUF, 12)
+        assert params[2].concurrency <= 1
+
+    def test_small_chunk_gets_most_channels(self):
+        params = mine_walk(self.CHUNKS, BDP, BUF, 12)
+        assert params[0].concurrency >= params[1].concurrency
+        assert params[0].concurrency >= params[2].concurrency
+
+    def test_small_files_get_deep_pipelines(self):
+        params = mine_walk(self.CHUNKS, BDP, BUF, 12)
+        assert params[0].pipelining == 5  # ceil(50/10)
+        assert params[2].pipelining == 1
+
+    def test_parameters_match_formulas(self):
+        params = mine_walk(self.CHUNKS, BDP, BUF, 12)
+        for c, p in zip(self.CHUNKS, params):
+            assert p.pipelining == pipelining_level(BDP, c.average_file_size)
+            assert p.parallelism == parallelism_level(BDP, c.average_file_size, BUF)
+
+    def test_single_channel_budget(self):
+        params = mine_walk(self.CHUNKS, BDP, BUF, 1)
+        assert sum(p.concurrency for p in params) == 1
+        assert params[0].concurrency == 1  # smallest chunk served first
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            mine_walk(self.CHUNKS, BDP, BUF, 0)
+
+
+class TestHteeWeights:
+    CHUNKS = [
+        chunk(ChunkClass.SMALL, 1000, units.MB),
+        chunk(ChunkClass.MEDIUM, 100, 100 * units.MB),
+        chunk(ChunkClass.LARGE, 10, 4 * units.GB),
+    ]
+
+    def test_weights_normalized(self):
+        weights = htee_weights(self.CHUNKS)
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(w > 0 for w in weights)
+
+    def test_weight_formula(self):
+        # weight = log(size) * log(count), normalized
+        raws = [
+            math.log(c.total_size) * math.log(c.file_count) for c in self.CHUNKS
+        ]
+        expected = [r / sum(raws) for r in raws]
+        assert htee_weights(self.CHUNKS) == pytest.approx(expected)
+
+    def test_empty(self):
+        assert htee_weights([]) == []
+
+    def test_degenerate_chunk_gets_floor_weight(self):
+        tiny = [chunk(ChunkClass.SMALL, 1, 1)]
+        assert htee_weights(tiny) == [1.0]
+
+
+class TestHteeAllocation:
+    CHUNKS = TestHteeWeights.CHUNKS
+
+    def test_respects_budget(self):
+        for budget in range(1, 20):
+            allocation = htee_channel_allocation(self.CHUNKS, budget)
+            assert sum(allocation) <= budget
+
+    def test_every_chunk_served_when_budget_allows(self):
+        allocation = htee_channel_allocation(self.CHUNKS, 12)
+        assert all(a >= 1 for a in allocation)
+
+    def test_budget_below_chunk_count(self):
+        allocation = htee_channel_allocation(self.CHUNKS, 2)
+        assert sum(allocation) == 2
+        assert max(allocation) == 1
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            htee_channel_allocation(self.CHUNKS, 0)
+
+
+class TestProportionalAllocation:
+    CHUNKS = TestHteeWeights.CHUNKS
+
+    def test_sums_exactly_to_budget(self):
+        for budget in range(1, 25):
+            allocation = proportional_allocation(self.CHUNKS, budget)
+            assert sum(allocation) == budget
+
+    def test_largest_chunk_gets_most(self):
+        allocation = proportional_allocation(self.CHUNKS, 12)
+        assert allocation[2] == max(allocation)
+
+    def test_small_budget_prefers_large_chunks(self):
+        allocation = proportional_allocation(self.CHUNKS, 1)
+        assert allocation == [0, 0, 1]
+
+    def test_every_chunk_served_with_ample_budget(self):
+        allocation = proportional_allocation(self.CHUNKS, 12)
+        assert all(a >= 1 for a in allocation)
+
+    def test_empty_chunks(self):
+        assert proportional_allocation([], 4) == []
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            proportional_allocation(self.CHUNKS, 0)
+
+
+class TestChunkParams:
+    def test_combines_formulas(self):
+        c = chunk(ChunkClass.SMALL, 10, 10 * units.MB)
+        p = chunk_params(c, BDP, BUF, 3)
+        assert p.pipelining == 5
+        assert p.parallelism == 1
+        assert p.concurrency == 3

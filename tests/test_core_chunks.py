@@ -1,0 +1,120 @@
+"""Dataset partitioning: partitionFiles / mergeChunks."""
+
+import pytest
+
+from repro import units
+from repro.core.chunks import Chunk, ChunkClass, PartitionPolicy, merge_chunks, partition_files
+from repro.datasets.files import Dataset, FileInfo
+
+BDP = 50 * units.MB
+
+
+def dataset(*sizes):
+    return Dataset.from_sizes(list(sizes))
+
+
+class TestPartitionPolicy:
+    def test_default_classification(self):
+        policy = PartitionPolicy()
+        assert policy.classify(10 * units.MB, BDP) is ChunkClass.SMALL
+        assert policy.classify(100 * units.MB, BDP) is ChunkClass.MEDIUM
+        assert policy.classify(2 * units.GB, BDP) is ChunkClass.LARGE
+
+    def test_boundaries(self):
+        policy = PartitionPolicy(small_factor=1.0, large_factor=20.0)
+        assert policy.classify(BDP - 1, BDP) is ChunkClass.SMALL
+        assert policy.classify(BDP, BDP) is ChunkClass.MEDIUM
+        assert policy.classify(20 * BDP, BDP) is ChunkClass.LARGE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionPolicy(small_factor=0)
+        with pytest.raises(ValueError):
+            PartitionPolicy(small_factor=2.0, large_factor=1.0)
+        with pytest.raises(ValueError):
+            PartitionPolicy(min_bytes_fraction=1.0)
+
+
+class TestPartitionFiles:
+    def test_every_file_assigned_exactly_once(self):
+        ds = dataset(*(units.MB * (i + 1) for i in range(100)))
+        chunks = partition_files(ds, 20 * units.MB)
+        names = sorted(f.name for c in chunks for f in c.files)
+        assert names == sorted(f.name for f in ds)
+
+    def test_three_classes_with_mixed_dataset(self):
+        ds = dataset(units.MB, units.MB, 200 * units.MB, 300 * units.MB, 2 * units.GB, 3 * units.GB)
+        chunks = partition_files(ds, BDP, PartitionPolicy(min_files=0, min_bytes_fraction=0.0))
+        assert [c.chunk_class for c in chunks] == [
+            ChunkClass.SMALL,
+            ChunkClass.MEDIUM,
+            ChunkClass.LARGE,
+        ]
+
+    def test_order_small_to_large(self):
+        ds = dataset(3 * units.GB, units.MB, 200 * units.MB, 2 * units.MB, 4 * units.GB,
+                     300 * units.MB)
+        chunks = partition_files(ds, BDP, PartitionPolicy(min_files=0, min_bytes_fraction=0.0))
+        classes = [int(c.chunk_class) for c in chunks]
+        assert classes == sorted(classes)
+
+    def test_homogeneous_dataset_single_chunk(self):
+        ds = dataset(*[units.MB] * 10)
+        chunks = partition_files(ds, BDP)
+        assert len(chunks) == 1
+        assert chunks[0].chunk_class is ChunkClass.SMALL
+
+    def test_empty_dataset(self):
+        assert partition_files(Dataset([]), BDP) == []
+
+    def test_negative_bdp_rejected(self):
+        with pytest.raises(ValueError):
+            partition_files(dataset(units.MB), -1)
+
+    def test_chunk_statistics(self):
+        ds = dataset(10 * units.MB, 20 * units.MB)
+        (chunk,) = partition_files(ds, BDP)
+        assert chunk.total_size == 30 * units.MB
+        assert chunk.file_count == 2
+        assert chunk.average_file_size == pytest.approx(15 * units.MB)
+        assert chunk.name == "small"
+
+
+class TestMergeChunks:
+    def test_tiny_chunk_merged_into_neighbor(self):
+        # one lone small file among a sea of large files
+        ds = dataset(units.MB, *[2 * units.GB] * 10)
+        chunks = partition_files(ds, BDP, PartitionPolicy(min_files=2, min_bytes_fraction=0.02))
+        assert len(chunks) == 1
+        assert chunks[0].file_count == 11
+
+    def test_substantial_chunks_not_merged(self):
+        ds = dataset(*[units.MB] * 100, *[2 * units.GB] * 5)
+        chunks = partition_files(ds, BDP)
+        assert len(chunks) == 2
+
+    def test_merge_preserves_files(self):
+        ds = dataset(units.MB, 100 * units.MB, *[2 * units.GB] * 5)
+        chunks = partition_files(ds, BDP)
+        total = sum(c.total_size for c in chunks)
+        assert total == ds.total_size
+
+    def test_single_chunk_never_merged_away(self):
+        chunk = Chunk(ChunkClass.SMALL, (FileInfo("a", 1),))
+        assert merge_chunks([chunk], 1) == [chunk]
+
+    def test_merge_prefers_nearest_class(self):
+        small = Chunk(ChunkClass.SMALL, tuple(FileInfo(f"s{i}", units.MB) for i in range(50)))
+        medium = Chunk(ChunkClass.MEDIUM, (FileInfo("m", 100 * units.MB),))
+        large = Chunk(ChunkClass.LARGE, tuple(FileInfo(f"l{i}", units.GB) for i in range(50)))
+        total = small.total_size + medium.total_size + large.total_size
+        merged = merge_chunks([small, medium, large], total)
+        # the lone medium file should fold into large (closest by class,
+        # larger by bytes)
+        assert len(merged) == 2
+        large_result = [c for c in merged if c.chunk_class is ChunkClass.LARGE][0]
+        assert any(f.name == "m" for f in large_result.files)
+
+    def test_merge_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            merge_chunks([], -1)

@@ -1,0 +1,54 @@
+"""Related-work baseline algorithms."""
+
+import pytest
+
+from repro import units
+from repro.core.related import BufferTuningAlgorithm, PCPAlgorithm
+
+
+class TestBufferTuning:
+    def test_completes(self, small_testbed):
+        ds = small_testbed.dataset()
+        outcome = BufferTuningAlgorithm().run(small_testbed, ds)
+        assert outcome.bytes_moved == pytest.approx(ds.total_size)
+        assert outcome.algorithm == "BufTune"
+
+    def test_buffer_clamped_to_bdp(self, small_testbed):
+        # small testbed BDP = 1.25 MB < 8 MB max buffer
+        algo = BufferTuningAlgorithm()
+        assert algo.tuned_buffer(small_testbed) == pytest.approx(small_testbed.path.bdp)
+
+    def test_buffer_clamped_to_os_ceiling(self, small_testbed):
+        algo = BufferTuningAlgorithm(os_max_buffer=512 * units.KB)
+        assert algo.tuned_buffer(small_testbed) == pytest.approx(512 * units.KB)
+
+    def test_records_tuned_buffer(self, small_testbed):
+        outcome = BufferTuningAlgorithm().run(small_testbed, small_testbed.dataset())
+        assert outcome.extra["tuned_buffer"] == pytest.approx(small_testbed.path.bdp)
+
+    def test_single_channel_single_stream(self, small_testbed):
+        outcome = BufferTuningAlgorithm().run(small_testbed, small_testbed.dataset())
+        assert outcome.max_channels == 1
+
+
+class TestPCP:
+    def test_completes(self, small_testbed):
+        ds = small_testbed.dataset()
+        outcome = PCPAlgorithm().run(small_testbed, ds, 4)
+        assert outcome.bytes_moved == pytest.approx(ds.total_size)
+        assert outcome.final_concurrency >= 1
+
+    def test_probe_levels_double(self, small_testbed):
+        outcome = PCPAlgorithm().run(small_testbed, ds := small_testbed.dataset(), 8)
+        levels = [p[0] for p in outcome.extra["probes"]]
+        for a, b in zip(levels, levels[1:]):
+            assert b == min(a * 2, 8)
+
+    def test_picks_best_throughput_level(self, small_testbed):
+        outcome = PCPAlgorithm().run(small_testbed, small_testbed.dataset(), 8)
+        probes = outcome.extra["probes"]
+        assert outcome.final_concurrency == max(probes, key=lambda p: p[1])[0]
+
+    def test_invalid_channels(self, small_testbed):
+        with pytest.raises(ValueError):
+            PCPAlgorithm().run(small_testbed, small_testbed.dataset(), 0)

@@ -1,0 +1,129 @@
+"""Edge cases across modules: boundary values, error paths, invariants
+not covered by the per-module suites."""
+
+import pytest
+
+from repro import units
+from repro.core.baselines import GlobusOnlineAlgorithm
+from repro.core.chunks import Chunk, ChunkClass, PartitionPolicy, merge_chunks
+from repro.datasets.files import Dataset, FileInfo
+from repro.netsim.multi import JobRecord
+from repro.netsim.params import TransferParams
+
+
+class TestGoBucketBoundaries:
+    GO = GlobusOnlineAlgorithm()
+
+    def test_exactly_50mb_is_medium(self):
+        ds = Dataset([FileInfo("f", 50 * units.MB)])
+        (bucket,) = self.GO.buckets(ds)
+        assert bucket[0] == "go-medium"
+
+    def test_exactly_250mb_is_medium(self):
+        ds = Dataset([FileInfo("f", 250 * units.MB)])
+        (bucket,) = self.GO.buckets(ds)
+        assert bucket[0] == "go-medium"
+
+    def test_just_above_250mb_is_large(self):
+        ds = Dataset([FileInfo("f", 250 * units.MB + 1)])
+        (bucket,) = self.GO.buckets(ds)
+        assert bucket[0] == "go-large"
+
+    def test_empty_buckets_dropped(self):
+        ds = Dataset([FileInfo("f", units.MB)])
+        buckets = self.GO.buckets(ds)
+        assert [b[0] for b in buckets] == ["go-small"]
+
+    def test_empty_dataset_no_buckets(self):
+        assert self.GO.buckets(Dataset([])) == []
+
+
+class TestMergeThresholds:
+    def chunk(self, cls, count, size):
+        return Chunk(cls, tuple(FileInfo(f"{cls.name}{i}", size) for i in range(count)))
+
+    def test_count_alone_does_not_merge_if_bytes_substantial(self):
+        # one file, but it holds half the dataset's bytes
+        small = self.chunk(ChunkClass.SMALL, 10, units.MB)
+        large = self.chunk(ChunkClass.LARGE, 1, 10 * units.MB)
+        total = small.total_size + large.total_size
+        policy = PartitionPolicy(min_files=2, min_bytes_fraction=0.02)
+        assert len(merge_chunks([small, large], total, policy)) == 2
+
+    def test_bytes_alone_does_not_merge_if_count_substantial(self):
+        many_tiny = self.chunk(ChunkClass.SMALL, 100, 1)
+        large = self.chunk(ChunkClass.LARGE, 2, units.GB)
+        total = many_tiny.total_size + large.total_size
+        policy = PartitionPolicy(min_files=2, min_bytes_fraction=0.02)
+        assert len(merge_chunks([many_tiny, large], total, policy)) == 2
+
+    def test_both_thresholds_triggers_merge(self):
+        lone = self.chunk(ChunkClass.SMALL, 1, 1)
+        large = self.chunk(ChunkClass.LARGE, 5, units.GB)
+        total = lone.total_size + large.total_size
+        merged = merge_chunks([lone, large], total)
+        assert len(merged) == 1
+
+    def test_cascading_merges_terminate(self):
+        chunks = [
+            self.chunk(ChunkClass.SMALL, 1, 1),
+            self.chunk(ChunkClass.MEDIUM, 1, 2),
+            self.chunk(ChunkClass.LARGE, 1, 3),
+        ]
+        # an aggressive policy keeps merging until survivors are big
+        policy = PartitionPolicy(min_files=2, min_bytes_fraction=0.5)
+        merged = merge_chunks(chunks, 6, policy)
+        assert 1 <= len(merged) < 3  # terminated, actually merged
+        assert sum(c.file_count for c in merged) == 3  # nothing lost
+
+
+class TestJobRecord:
+    def test_turnaround_requires_completion(self):
+        record = JobRecord("j", arrival_time=0.0, total_bytes=1.0)
+        with pytest.raises(ValueError):
+            record.turnaround_s
+
+    def test_throughput_zero_before_completion(self):
+        record = JobRecord("j", arrival_time=0.0, total_bytes=1.0)
+        assert record.throughput == 0.0
+
+    def test_throughput_after_completion(self):
+        record = JobRecord(
+            "j", arrival_time=1.0, total_bytes=100.0,
+            start_time=2.0, completion_time=12.0,
+        )
+        assert record.turnaround_s == pytest.approx(11.0)
+        assert record.throughput == pytest.approx(10.0)
+
+
+class TestTransferParamsEdge:
+    def test_zero_concurrency_total_streams(self):
+        assert TransferParams(parallelism=4, concurrency=0).total_streams == 0
+
+    def test_str(self):
+        assert "pp=2" in str(TransferParams(pipelining=2))
+
+
+class TestDatasetEdge:
+    def test_dataset_factory_determinism(self, small_testbed):
+        a = small_testbed.dataset()
+        b = small_testbed.dataset()
+        assert [f.size for f in a] == [f.size for f in b]
+
+    def test_sorted_by_size_stable_for_ties(self):
+        ds = Dataset([FileInfo("b", 5), FileInfo("a", 5)])
+        assert [f.name for f in ds.sorted_by_size()] == ["a", "b"]
+
+
+class TestSweepGuards:
+    def test_run_algorithm_requires_known_name(self, small_testbed):
+        from repro.harness.sweeps import concurrency_sweep
+
+        with pytest.raises(KeyError):
+            concurrency_sweep(small_testbed, algorithms=("HAL9000",), levels=(1,))
+
+    def test_best_efficiency_requires_outcomes(self):
+        from repro.harness.sweeps import best_efficiency
+
+        with pytest.raises(ValueError):
+            best_efficiency([])

@@ -1,0 +1,92 @@
+"""Structured engine event log."""
+
+import pytest
+
+from repro import units
+from repro.datasets.files import FileInfo
+from repro.netsim.disk import ParallelDisk
+from repro.netsim.endpoint import EndSystem, ServerSpec
+from repro.netsim.engine import ChunkPlan, TransferEngine
+from repro.netsim.link import NetworkPath
+from repro.netsim.params import TransferParams
+
+
+def build_engine(record_events=True, server_count=2, **kwargs) -> TransferEngine:
+    server = ServerSpec(
+        name="s", cores=4, tdp_watts=100.0, nic_rate=units.gbps(1),
+        disk=ParallelDisk(50e6, 200e6), per_channel_rate=50e6, core_rate=200e6,
+        per_file_overhead=0.0,
+    )
+    site = EndSystem("site", server, server_count)
+    path = NetworkPath(bandwidth=units.gbps(1), rtt=units.ms(5), tcp_buffer=8 * units.MB)
+    return TransferEngine(path, site, site, lambda s, u: 5.0, dt=0.1,
+                          record_events=record_events, **kwargs)
+
+
+def plan(name="c", n=5, size=5 * units.MB, cc=2):
+    files = tuple(FileInfo(f"{name}{i}", int(size)) for i in range(n))
+    return ChunkPlan(name, files, TransferParams(concurrency=cc))
+
+
+def kinds(engine):
+    return [e.kind for e in engine.events]
+
+
+class TestEventLog:
+    def test_disabled_by_default(self):
+        engine = build_engine(record_events=False)
+        engine.add_chunk(plan())
+        engine.run()
+        assert engine.events == []
+
+    def test_channel_lifecycle_events(self):
+        engine = build_engine()
+        engine.add_chunk(plan(cc=2))
+        assert kinds(engine).count("channel_opened") == 2
+        engine.set_chunk_channels("c", 1)
+        assert kinds(engine).count("channel_closed") == 1
+
+    def test_file_and_chunk_completion_events(self):
+        engine = build_engine()
+        engine.add_chunk(plan(n=4, cc=2))
+        engine.run()
+        file_events = [e for e in engine.events if e.kind == "file_completed"]
+        assert sum(e.detail["count"] for e in file_events) == 4
+        assert kinds(engine).count("chunk_drained") == 1
+
+    def test_reassignment_event_on_steal(self):
+        engine = build_engine()
+        engine.add_chunk(plan("fast", n=1, cc=1))
+        engine.add_chunk(plan("slow", n=4, cc=0), open_channels=False)
+        engine.run()
+        reassignments = [e for e in engine.events if e.kind == "channel_reassigned"]
+        assert reassignments
+        assert reassignments[0].detail == {"from_chunk": "fast", "to_chunk": "slow"}
+
+    def test_failure_and_recovery_events(self):
+        engine = build_engine()
+        engine.add_chunk(plan(n=30, size=10 * units.MB, cc=4))
+        engine.run(0.3)
+        engine.fail_server("src", 0, downtime=0.5)
+        engine.run(1.0)
+        assert "server_failed" in kinds(engine)
+        assert "server_recovered" in kinds(engine)
+        failed = next(e for e in engine.events if e.kind == "server_failed")
+        assert failed.detail["side"] == "src"
+        assert failed.detail["channels_lost"] >= 1
+
+    def test_channel_failure_event(self):
+        engine = build_engine()
+        engine.add_chunk(plan(n=10, size=20 * units.MB, cc=2))
+        engine.run(0.3)
+        victim = next(c for c in engine.channels if c.busy)
+        engine.fail_channel(victim, restart_file=True)
+        event = next(e for e in engine.events if e.kind == "channel_failed")
+        assert event.detail["restart_file"] is True
+
+    def test_events_are_time_ordered(self):
+        engine = build_engine()
+        engine.add_chunk(plan(n=8, cc=2))
+        engine.run()
+        times = [e.time for e in engine.events]
+        assert times == sorted(times)

@@ -1,0 +1,125 @@
+"""Property-based tests on the transfer engine: conservation and
+capacity invariants under random workloads and channel counts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro import units
+from repro.datasets.files import FileInfo
+from repro.netsim.disk import ParallelDisk
+from repro.netsim.endpoint import EndSystem, ServerSpec
+from repro.netsim.engine import ChunkPlan, TransferEngine
+from repro.netsim.link import NetworkPath
+from repro.netsim.params import TransferParams
+
+
+def build_engine() -> TransferEngine:
+    server = ServerSpec(
+        name="s",
+        cores=4,
+        tdp_watts=100.0,
+        nic_rate=units.gbps(1),
+        disk=ParallelDisk(per_accessor_rate=50e6, array_rate=150e6),
+        per_channel_rate=50e6,
+        core_rate=200e6,
+        per_file_overhead=0.0,
+    )
+    site = EndSystem("site", server, server_count=2)
+    path = NetworkPath(bandwidth=units.gbps(1), rtt=units.ms(5), tcp_buffer=4 * units.MB)
+    return TransferEngine(path, site, site, lambda spec, u: 10.0, dt=0.1)
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=20 * units.MB), min_size=1, max_size=40),
+    cc=st.integers(min_value=1, max_value=8),
+    pp=st.integers(min_value=1, max_value=8),
+    p=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_engine_conserves_bytes_and_files(sizes, cc, pp, p):
+    engine = build_engine()
+    files = tuple(FileInfo(f"f{i}", s) for i, s in enumerate(sizes))
+    engine.add_chunk(ChunkPlan("c", files, TransferParams(pp, p, cc)))
+    engine.run()
+    assert engine.finished
+    assert engine.total_bytes == pytest.approx(sum(sizes))
+    assert engine.total_files == len(sizes)
+    assert engine.total_energy > 0
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=units.MB, max_value=20 * units.MB), min_size=2, max_size=20
+    ),
+    split=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=25, deadline=None)
+def test_engine_conserves_across_multiple_chunks(sizes, split):
+    engine = build_engine()
+    half = len(sizes) // 2
+    chunk_a = tuple(FileInfo(f"a{i}", s) for i, s in enumerate(sizes[:half]))
+    chunk_b = tuple(FileInfo(f"b{i}", s) for i, s in enumerate(sizes[half:]))
+    if chunk_a:
+        engine.add_chunk(ChunkPlan("a", chunk_a, TransferParams(concurrency=split)))
+    if chunk_b:
+        engine.add_chunk(ChunkPlan("b", chunk_b, TransferParams(concurrency=1)))
+    engine.run()
+    assert engine.finished
+    assert engine.total_bytes == pytest.approx(sum(sizes))
+
+
+@given(
+    cc=st.integers(min_value=1, max_value=10),
+    duration=st.floats(min_value=0.2, max_value=2.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_throughput_never_exceeds_capacity(cc, duration):
+    engine = build_engine()
+    files = tuple(FileInfo(f"f{i}", 100 * units.MB) for i in range(cc))
+    engine.add_chunk(ChunkPlan("c", files, TransferParams(concurrency=cc)))
+    engine.run(duration)
+    # aggregate rate can never exceed the shared disk array on one
+    # server; the engine quantizes to whole steps, so bound by the
+    # actually elapsed simulated time
+    max_possible = 150e6 * engine.time
+    assert engine.total_bytes <= max_possible + 1e-3
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=5 * units.MB), min_size=1, max_size=30),
+    interrupt_at=st.floats(min_value=0.1, max_value=1.0),
+    new_cc=st.integers(min_value=0, max_value=6),
+)
+@settings(max_examples=30, deadline=None)
+def test_reallocation_mid_transfer_loses_nothing(sizes, interrupt_at, new_cc):
+    engine = build_engine()
+    files = tuple(FileInfo(f"f{i}", s) for i, s in enumerate(sizes))
+    engine.add_chunk(ChunkPlan("c", files, TransferParams(concurrency=2)))
+    engine.run(interrupt_at)
+    engine.set_chunk_channels("c", new_cc)
+    if new_cc == 0:
+        engine.set_chunk_channels("c", 1)
+    engine.run()
+    assert engine.finished
+    assert engine.total_bytes == pytest.approx(sum(sizes))
+
+
+@given(seed=st.integers(min_value=0, max_value=5))
+@settings(max_examples=6, deadline=None)
+def test_time_monotone_and_energy_nondecreasing(seed):
+    engine = build_engine()
+    files = tuple(FileInfo(f"f{i}", 5 * units.MB) for i in range(10))
+    engine.add_chunk(ChunkPlan("c", files, TransferParams(concurrency=2 + seed % 3)))
+    last_time, last_energy, last_bytes = 0.0, 0.0, 0.0
+    while not engine.finished:
+        engine.step()
+        assert engine.time > last_time
+        assert engine.total_energy >= last_energy
+        assert engine.total_bytes >= last_bytes
+        last_time, last_energy, last_bytes = (
+            engine.time,
+            engine.total_energy,
+            engine.total_bytes,
+        )

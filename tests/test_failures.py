@@ -1,0 +1,156 @@
+"""Failure injection: channel and server failures never lose data."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.datasets.files import FileInfo
+from repro.netsim.disk import ParallelDisk
+from repro.netsim.endpoint import EndSystem, ServerSpec
+from repro.netsim.engine import Binding, ChunkPlan, TransferEngine
+from repro.netsim.link import NetworkPath
+from repro.netsim.params import TransferParams
+
+
+def build_engine(server_count=3, binding=Binding.SPREAD) -> TransferEngine:
+    server = ServerSpec(
+        name="s", cores=4, tdp_watts=100.0, nic_rate=units.gbps(1),
+        disk=ParallelDisk(50e6, 200e6), per_channel_rate=50e6, core_rate=200e6,
+        per_file_overhead=0.0,
+    )
+    site = EndSystem("site", server, server_count)
+    path = NetworkPath(bandwidth=units.gbps(1), rtt=units.ms(5), tcp_buffer=8 * units.MB)
+    return TransferEngine(path, site, site, lambda s, u: 5.0, dt=0.1, binding=binding)
+
+
+def add_files(engine, count=12, size=10 * units.MB, cc=4) -> float:
+    files = tuple(FileInfo(f"f{i}", int(size)) for i in range(count))
+    engine.add_chunk(ChunkPlan("c", files, TransferParams(concurrency=cc)))
+    return count * size
+
+
+class TestChannelFailure:
+    def test_resume_keeps_progress(self):
+        engine = build_engine()
+        total = add_files(engine)
+        engine.run(0.5)
+        victim = next(c for c in engine.channels if c.busy)
+        engine.fail_channel(victim)
+        engine.open_channel("c")
+        engine.run()
+        assert engine.finished
+        assert engine.total_bytes == pytest.approx(total)
+        assert engine.channel_failures == 1
+
+    def test_restart_discards_progress(self):
+        engine = build_engine()
+        total = add_files(engine)
+        engine.run(0.5)
+        victim = next(c for c in engine.channels if c.busy)
+        engine.fail_channel(victim, restart_file=True)
+        engine.open_channel("c")
+        engine.run()
+        assert engine.finished
+        # redone work: more bytes moved than the dataset holds
+        assert engine.total_bytes > total
+        assert engine.total_files == 12
+
+    def test_unknown_channel_rejected(self):
+        a = build_engine()
+        b = build_engine()
+        add_files(a)
+        add_files(b)
+        with pytest.raises(ValueError):
+            a.fail_channel(b.channels[0])
+
+
+class TestServerFailure:
+    def test_reopen_moves_channels_to_survivors(self):
+        engine = build_engine(server_count=3)
+        add_files(engine, cc=6)
+        engine.run(0.3)
+        failed = engine.fail_server("src", 0, downtime=5.0)
+        assert failed > 0
+        assert all(c.src_server != 0 for c in engine.channels)
+        assert len(engine.channels) == 6  # reconnected elsewhere
+        engine.run()
+        assert engine.finished
+
+    def test_recovery_after_downtime(self):
+        engine = build_engine(server_count=2)
+        add_files(engine, count=40, cc=2)
+        engine.run(0.3)
+        engine.fail_server("src", 0, downtime=1.0)
+        assert ("src", 0) in engine.down_servers
+        engine.run(2.0)
+        assert ("src", 0) not in engine.down_servers
+        # new channels may use server 0 again (round-robin over both)
+        engine.open_channel("c")
+        engine.open_channel("c")
+        assert any(c.src_server == 0 for c in engine.channels)
+
+    def test_cannot_fail_last_server(self):
+        engine = build_engine(server_count=1)
+        add_files(engine)
+        with pytest.raises(RuntimeError):
+            engine.fail_server("src", 0)
+        assert engine.down_servers == {}
+
+    def test_validation(self):
+        engine = build_engine()
+        add_files(engine)
+        with pytest.raises(ValueError):
+            engine.fail_server("middle", 0)
+        with pytest.raises(ValueError):
+            engine.fail_server("src", 99)
+        with pytest.raises(ValueError):
+            engine.fail_server("src", 0, downtime=0)
+
+    def test_pack_binding_fails_over_to_next_server(self):
+        engine = build_engine(server_count=2, binding=Binding.PACK)
+        add_files(engine, cc=3)
+        assert {c.src_server for c in engine.channels} == {0}
+        engine.fail_server("src", 0, downtime=10.0)
+        assert {c.src_server for c in engine.channels} == {1}
+
+
+class TestFailureStorm:
+    @given(
+        failures=st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=2.0),  # when
+                st.booleans(),  # restart_file
+            ),
+            min_size=0,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_channel_failures_never_lose_files(self, failures):
+        engine = build_engine()
+        add_files(engine, count=15, size=5 * units.MB, cc=4)
+        for when, restart in sorted(failures):
+            engine.run(when - engine.time if when > engine.time else 0.1)
+            busy = [c for c in engine.channels if c.busy]
+            if busy:
+                engine.fail_channel(busy[0], restart_file=restart)
+                engine.open_channel("c")
+        engine.run()
+        assert engine.finished
+        assert engine.total_files == 15
+        assert engine.total_bytes >= 15 * 5 * units.MB - 1e-6
+
+    @given(seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=10, deadline=None)
+    def test_rolling_server_failures(self, seed):
+        engine = build_engine(server_count=3)
+        add_files(engine, count=20, size=5 * units.MB, cc=6)
+        victim = seed % 3
+        engine.run(0.4)
+        engine.fail_server("src", victim, downtime=0.5)
+        engine.run(0.4)
+        engine.fail_server("dst", (victim + 1) % 3, downtime=0.5)
+        engine.run()
+        assert engine.finished
+        assert engine.total_files == 20

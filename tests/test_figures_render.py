@@ -1,0 +1,115 @@
+"""Figure renderers: structural assertions on the generated text."""
+
+import re
+
+import pytest
+
+from repro import units
+from repro.core.scheduler import TransferOutcome
+from repro.harness.figures import (
+    render_concurrency_charts,
+    render_concurrency_figure,
+    render_device_model_curves,
+    render_efficiency_panel,
+    render_sla_figure,
+    render_table1,
+    render_testbed_specs,
+)
+from repro.harness.metrics import SlaRecord
+from repro.harness.sweeps import ConcurrencySweep
+
+
+def outcome(alg, cc, thr_mbps, joules):
+    rate = units.mbps(thr_mbps)
+    return TransferOutcome(
+        algorithm=alg, testbed="T", max_channels=cc,
+        duration_s=10.0, bytes_moved=rate * 10.0, energy_joules=joules,
+    )
+
+
+@pytest.fixture
+def sweep():
+    s = ConcurrencySweep(testbed="T", levels=(1, 2, 4))
+    s.series["A"] = [outcome("A", c, 100 * c, 50 * c) for c in (1, 2, 4)]
+    s.series["B"] = [outcome("B", c, 80 * c, 40 * c) for c in (1, 2, 4)]
+    return s
+
+
+class TestConcurrencyFigure:
+    def test_row_per_level(self, sweep):
+        text = render_concurrency_figure(sweep)
+        throughput_part = text.split("(b)")[0]
+        data_rows = [
+            line for line in throughput_part.splitlines() if re.match(r"\s*\d+\s", line)
+        ]
+        assert len(data_rows) == 3
+
+    def test_values_present(self, sweep):
+        text = render_concurrency_figure(sweep)
+        assert "400" in text  # A at cc=4
+        assert "320" in text  # B at cc=4
+
+    def test_column_per_algorithm(self, sweep):
+        text = render_concurrency_figure(sweep)
+        assert "A Mbps" in text and "B Mbps" in text
+        assert "A J" in text and "B J" in text
+
+
+class TestEfficiencyPanel:
+    def test_normalization_against_best_bf(self, sweep):
+        bf = [outcome("BF", c, 100 * c, 50 * c) for c in (1, 2)]
+        text = render_efficiency_panel(sweep, bf)
+        # the best BF point normalizes to exactly 1.000
+        assert "1.000" in text
+
+    def test_bf_rows(self, sweep):
+        bf = [outcome("BF", c, 100, 50) for c in (1, 2, 3)]
+        text = render_efficiency_panel(sweep, bf)
+        bf_section = text.split("Brute-force sweep")[1]
+        rows = [line for line in bf_section.splitlines() if re.match(r"\s*\d+\s", line)]
+        assert len(rows) == 3
+
+
+class TestSlaFigure:
+    def test_columns(self):
+        rec = SlaRecord(
+            target_pct=80.0,
+            target_throughput=units.mbps(800),
+            achieved_throughput=units.mbps(760),
+            energy_joules=900.0,
+            reference_throughput=units.mbps(1000),
+            reference_energy_joules=1200.0,
+            final_concurrency=5,
+        )
+        text = render_sla_figure("T", [rec])
+        assert "80%" in text
+        assert "-5.0%" in text  # deviation
+        assert "+25.0%" in text  # energy saved
+
+
+class TestStaticRenderers:
+    def test_device_model_curves_monotone_columns(self):
+        text = render_device_model_curves(points=5)
+        rows = [l for l in text.splitlines() if l.strip().endswith(("0", "5"))]
+        assert "non-linear" in text
+
+    def test_device_curves_endpoints(self):
+        text = render_device_model_curves(points=3)
+        assert "0%" in text and "100%" in text
+
+    def test_table1_all_devices(self):
+        text = render_table1()
+        for name in ("Enterprise", "Edge Ethernet", "Metro IP", "Edge IP"):
+            assert name in text
+
+    def test_testbed_specs_units(self):
+        text = render_testbed_specs()
+        assert "Gbps" in text and "ms" in text and "MB" in text
+
+
+class TestConcurrencyCharts:
+    def test_charts_contain_both_panels(self, sweep):
+        text = render_concurrency_charts(sweep)
+        assert "throughput (Mbps)" in text
+        assert "energy (J)" in text
+        assert "o=A" in text and "x=B" in text

@@ -1,0 +1,209 @@
+"""Harness: metrics, runner registry, sweeps, figure renderers."""
+
+import pytest
+
+from repro import units
+from repro.core.scheduler import TransferOutcome
+from repro.harness.metrics import (
+    DecompositionRecord,
+    SlaRecord,
+    deviation_ratio,
+    energy_saving_pct,
+    normalized_efficiencies,
+)
+from repro.harness.runner import ALGORITHMS, CONCURRENCY_INDEPENDENT, run_algorithm
+from repro.harness.sweeps import (
+    brute_force_sweep,
+    concurrency_sweep,
+    energy_decomposition,
+    sla_sweep,
+)
+from repro.harness import figures
+
+
+def outcome(alg="X", thr_mbps=1000.0, joules=1000.0, seconds=100.0) -> TransferOutcome:
+    rate = units.mbps(thr_mbps)
+    return TransferOutcome(
+        algorithm=alg,
+        testbed="T",
+        max_channels=4,
+        duration_s=seconds,
+        bytes_moved=rate * seconds,
+        energy_joules=joules,
+    )
+
+
+class TestMetrics:
+    def test_throughput_and_efficiency(self):
+        o = outcome(thr_mbps=800.0, joules=400.0)
+        assert o.throughput_mbps == pytest.approx(800.0)
+        assert o.efficiency == pytest.approx(2.0)
+
+    def test_zero_duration(self):
+        o = TransferOutcome("a", "t", 1, 0.0, 0.0, 0.0)
+        assert o.throughput == 0.0
+        assert o.efficiency == 0.0
+
+    def test_deviation_ratio(self):
+        assert deviation_ratio(110.0, 100.0) == pytest.approx(10.0)
+        assert deviation_ratio(95.0, 100.0) == pytest.approx(-5.0)
+        with pytest.raises(ValueError):
+            deviation_ratio(1.0, 0.0)
+
+    def test_energy_saving(self):
+        assert energy_saving_pct(100.0, 70.0) == pytest.approx(30.0)
+        assert energy_saving_pct(100.0, 120.0) == pytest.approx(-20.0)
+        with pytest.raises(ValueError):
+            energy_saving_pct(0.0, 1.0)
+
+    def test_normalized_efficiencies(self):
+        outs = {"a": outcome(joules=500.0), "b": outcome(joules=1000.0)}
+        normalized = normalized_efficiencies(outs, reference=outs["a"].efficiency)
+        assert normalized["a"] == pytest.approx(1.0)
+        assert normalized["b"] == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            normalized_efficiencies(outs, reference=0.0)
+
+    def test_sla_record(self):
+        rec = SlaRecord(
+            target_pct=80.0,
+            target_throughput=units.mbps(800),
+            achieved_throughput=units.mbps(840),
+            energy_joules=700.0,
+            reference_throughput=units.mbps(1000),
+            reference_energy_joules=1000.0,
+            final_concurrency=4,
+        )
+        assert rec.deviation_pct == pytest.approx(5.0)
+        assert rec.energy_saving_vs_reference_pct == pytest.approx(30.0)
+
+    def test_decomposition_record(self):
+        rec = DecompositionRecord("X", end_system_joules=90.0, network_joules=10.0)
+        assert rec.total_joules == pytest.approx(100.0)
+        assert rec.network_share_pct == pytest.approx(10.0)
+
+    def test_decomposition_zero_total(self):
+        assert DecompositionRecord("X", 0.0, 0.0).network_share_pct == 0.0
+
+    def test_summary_string(self):
+        text = outcome().summary()
+        assert "X" in text and "Mbps" in text
+
+
+class TestRunner:
+    def test_registry_contains_paper_algorithms(self):
+        assert set(ALGORITHMS) == {"GUC", "GO", "SC", "MinE", "ProMC", "HTEE"}
+        assert CONCURRENCY_INDEPENDENT == {"GUC", "GO"}
+
+    def test_run_algorithm_by_name(self, small_testbed):
+        ds = small_testbed.dataset()
+        out = run_algorithm(small_testbed, "MinE", 4, ds)
+        assert out.algorithm == "MinE"
+        assert out.bytes_moved == pytest.approx(ds.total_size)
+
+    def test_unknown_algorithm(self, small_testbed):
+        with pytest.raises(KeyError):
+            run_algorithm(small_testbed, "nope", 4, small_testbed.dataset())
+
+
+class TestSweeps:
+    def test_concurrency_sweep_structure(self, small_testbed):
+        ds = small_testbed.dataset()
+        sweep = concurrency_sweep(
+            small_testbed, algorithms=("GUC", "SC", "MinE"), levels=(1, 2), dataset=ds
+        )
+        assert sweep.levels == (1, 2)
+        assert set(sweep.series) == {"GUC", "SC", "MinE"}
+        for series in sweep.series.values():
+            assert len(series) == 2
+
+    def test_concurrency_independent_algorithms_flat(self, small_testbed):
+        ds = small_testbed.dataset()
+        sweep = concurrency_sweep(
+            small_testbed, algorithms=("GUC",), levels=(1, 2, 4), dataset=ds
+        )
+        energies = sweep.energies_joules("GUC")
+        assert energies[0] == energies[1] == energies[2]
+
+    def test_sweep_accessors(self, small_testbed):
+        ds = small_testbed.dataset()
+        sweep = concurrency_sweep(small_testbed, algorithms=("SC",), levels=(1, 2), dataset=ds)
+        assert len(sweep.throughputs_mbps("SC")) == 2
+        assert sweep.best_efficiency("SC") == max(sweep.efficiencies("SC"))
+
+    def test_unknown_algorithm_rejected(self, small_testbed):
+        with pytest.raises(KeyError):
+            concurrency_sweep(small_testbed, algorithms=("nope",), levels=(1,))
+
+    def test_brute_force_sweep(self, small_testbed):
+        ds = small_testbed.dataset()
+        outcomes = brute_force_sweep(small_testbed, levels=(1, 2, 3), dataset=ds)
+        assert [o.max_channels for o in outcomes] == [1, 2, 3]
+
+    def test_sla_sweep_records(self, small_testbed):
+        ds = small_testbed.dataset()
+        records = sla_sweep(small_testbed, targets_pct=(90.0, 50.0), dataset=ds)
+        assert [r.target_pct for r in records] == [90.0, 50.0]
+        for r in records:
+            assert r.achieved_throughput > 0
+            assert r.energy_joules > 0
+            assert r.reference_throughput > 0
+
+    def test_energy_decomposition_uses_topology(self):
+        from repro.testbeds import DIDCLAB
+        from repro.datasets.files import Dataset, FileInfo
+
+        tiny = Dataset([FileInfo("a", 50 * units.MB), FileInfo("b", 20 * units.MB)])
+        rec = energy_decomposition(DIDCLAB, max_channels=1, dataset=tiny)
+        assert rec.testbed == "DIDCLAB"
+        assert rec.end_system_joules > rec.network_joules > 0
+
+
+class TestFigureRenderers:
+    def test_testbed_specs_table(self):
+        text = figures.render_testbed_specs()
+        for name in ("XSEDE", "FutureGrid", "DIDCLAB"):
+            assert name in text
+        assert "10 Gbps" in text
+
+    def test_concurrency_figure(self, small_testbed):
+        ds = small_testbed.dataset()
+        sweep = concurrency_sweep(small_testbed, algorithms=("GUC", "SC"), levels=(1, 2),
+                                  dataset=ds)
+        text = figures.render_concurrency_figure(sweep)
+        assert "Throughput vs concurrency" in text
+        assert "Energy vs concurrency" in text
+
+    def test_efficiency_panel(self, small_testbed):
+        ds = small_testbed.dataset()
+        sweep = concurrency_sweep(small_testbed, algorithms=("SC",), levels=(1, 2), dataset=ds)
+        bf = brute_force_sweep(small_testbed, levels=(1, 2), dataset=ds)
+        text = figures.render_efficiency_panel(sweep, bf)
+        assert "Normalized throughput/energy" in text
+
+    def test_sla_figure(self, small_testbed):
+        ds = small_testbed.dataset()
+        records = sla_sweep(small_testbed, targets_pct=(80.0,), dataset=ds)
+        text = figures.render_sla_figure("T", records)
+        assert "80%" in text
+        assert "deviation" in text
+
+    def test_device_model_curves(self):
+        text = figures.render_device_model_curves()
+        assert "non-linear" in text
+        assert "state-based" in text
+
+    def test_topologies(self):
+        from repro.netenergy.topology import xsede_topology
+
+        text = figures.render_topologies([xsede_topology()])
+        assert "XSEDE" in text
+
+    def test_decomposition(self):
+        recs = [DecompositionRecord("X", 90.0, 10.0)]
+        text = figures.render_decomposition(recs)
+        assert "network share" in text
+
+    def test_table1(self):
+        text = figures.render_table1()
+        assert "1571" in text and "21.60" in text

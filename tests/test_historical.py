@@ -1,0 +1,65 @@
+"""History-informed tuning."""
+
+import pytest
+
+from repro.core.historical import HistoricalTuner
+from repro.harness.store import ResultStore
+
+
+@pytest.fixture
+def tuner(tmp_path) -> HistoricalTuner:
+    return HistoricalTuner(store=ResultStore(tmp_path / "history.jsonl"), min_history=2)
+
+
+class TestColdStart:
+    def test_falls_back_to_live_search(self, tuner, small_testbed):
+        ds = small_testbed.dataset()
+        outcome = tuner.run(small_testbed, ds, 4)
+        assert outcome.extra["history_used"] is False
+        assert outcome.bytes_moved == pytest.approx(ds.total_size)
+        # the run was archived
+        assert len(tuner.store) == 1
+
+    def test_best_known_none_when_thin(self, tuner, small_testbed):
+        assert tuner.best_known_concurrency(small_testbed) is None
+
+
+class TestWarmArchive:
+    def test_uses_history_after_min_runs(self, tuner, small_testbed):
+        ds = small_testbed.dataset()
+        tuner.run(small_testbed, ds, 4)
+        tuner.run(small_testbed, ds, 4)
+        third = tuner.run(small_testbed, ds, 4)
+        assert third.extra["history_used"] is True
+        assert third.algorithm == "HistTune"
+        assert third.bytes_moved == pytest.approx(ds.total_size)
+
+    def test_historical_run_skips_probe_overhead(self, tuner, small_testbed):
+        ds = small_testbed.dataset()
+        cold = tuner.run(small_testbed, ds, 6)
+        tuner.run(small_testbed, ds, 6)
+        warm = tuner.run(small_testbed, ds, 6)
+        # no search phase: at least as fast as the probing cold run
+        assert warm.duration_s <= cold.duration_s * 1.02
+        assert "probes" not in warm.extra
+
+    def test_level_clamped_to_budget(self, tuner, small_testbed):
+        ds = small_testbed.dataset()
+        tuner.run(small_testbed, ds, 6)
+        tuner.run(small_testbed, ds, 6)
+        constrained = tuner.run(small_testbed, ds, 1)
+        assert constrained.final_concurrency == 1
+
+    def test_history_is_per_testbed(self, tuner, small_testbed):
+        ds = small_testbed.dataset()
+        tuner.run(small_testbed, ds, 4)
+        tuner.run(small_testbed, ds, 4)
+        # a different testbed name sees no history
+        import dataclasses
+
+        other = dataclasses.replace(small_testbed, name="Elsewhere")
+        assert tuner.best_known_concurrency(other) is None
+
+    def test_validation(self, tuner, small_testbed):
+        with pytest.raises(ValueError):
+            tuner.run(small_testbed, small_testbed.dataset(), 0)

@@ -1,0 +1,204 @@
+"""Network-device energy: Table 1, Eq. 4/5, Figure 8 models, Figure 9
+topologies."""
+
+import pytest
+
+from repro import units
+from repro.netenergy.devices import (
+    EDGE_ROUTER,
+    EDGE_SWITCH,
+    ENTERPRISE_SWITCH,
+    METRO_ROUTER,
+    TABLE1_DEVICES,
+    DeviceType,
+)
+from repro.netenergy.models import (
+    LinearPowerModel,
+    NonLinearPowerModel,
+    StateBasedPowerModel,
+    transfer_energy,
+)
+from repro.netenergy.topology import (
+    DEFAULT_MTU_BYTES,
+    didclab_topology,
+    futuregrid_topology,
+    packet_count,
+    topology_for,
+    xsede_topology,
+)
+
+
+class TestTable1:
+    def test_published_coefficients(self):
+        assert ENTERPRISE_SWITCH.processing_nw == 40.0
+        assert ENTERPRISE_SWITCH.store_forward_pw == 0.42
+        assert EDGE_SWITCH.processing_nw == 1571.0
+        assert EDGE_SWITCH.store_forward_pw == 14.1
+        assert METRO_ROUTER.processing_nw == 1375.0
+        assert METRO_ROUTER.store_forward_pw == 21.6
+        assert EDGE_ROUTER.processing_nw == 1707.0
+        assert EDGE_ROUTER.store_forward_pw == 15.3
+
+    def test_four_device_classes(self):
+        assert len(TABLE1_DEVICES) == 4
+
+    def test_per_packet_joules(self):
+        expected = 40.0e-9 + 0.42e-12
+        assert ENTERPRISE_SWITCH.per_packet_joules == pytest.approx(expected)
+
+    def test_dynamic_energy_eq5(self):
+        packets = 1e8
+        energy = EDGE_SWITCH.dynamic_energy(packets)
+        assert energy == pytest.approx(packets * (1571e-9 + 14.1e-12))
+
+    def test_total_energy_eq4(self):
+        # E_T = P_i * T + P_d * T_d with the dynamic part per packet
+        energy = EDGE_SWITCH.total_energy(packet_count=1e6, duration_s=100.0)
+        assert energy == pytest.approx(
+            EDGE_SWITCH.idle_watts * 100.0 + EDGE_SWITCH.dynamic_energy(1e6)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceType("bad", -1.0, 0.0)
+        with pytest.raises(ValueError):
+            EDGE_SWITCH.dynamic_energy(-1)
+
+
+class TestDynamicModels:
+    def test_nonlinear_is_sublinear(self):
+        m = NonLinearPowerModel(idle_watts=10.0, max_dynamic_watts=100.0)
+        assert m.dynamic_power(0.25) == pytest.approx(50.0)  # sqrt
+        assert m.dynamic_power(1.0) == pytest.approx(100.0)
+        assert m.dynamic_power(0.0) == 0.0
+
+    def test_paper_worked_example_4x_rate_2x_power(self):
+        m = NonLinearPowerModel(idle_watts=0.0, max_dynamic_watts=100.0)
+        assert m.dynamic_power(0.8) == pytest.approx(2.0 * m.dynamic_power(0.2))
+
+    def test_linear(self):
+        m = LinearPowerModel(idle_watts=5.0, max_dynamic_watts=100.0)
+        assert m.dynamic_power(0.5) == pytest.approx(50.0)
+        assert m.power(0.5) == pytest.approx(55.0)
+
+    def test_state_based_steps(self):
+        m = StateBasedPowerModel(idle_watts=0.0, max_dynamic_watts=100.0,
+                                 thresholds=(0.5,))
+        assert m.dynamic_power(0.2) == pytest.approx(50.0)
+        assert m.dynamic_power(0.7) == pytest.approx(100.0)
+
+    def test_state_based_default_staircase_monotone(self):
+        m = StateBasedPowerModel(idle_watts=0.0, max_dynamic_watts=100.0)
+        values = [m.dynamic_power(u / 100) for u in range(0, 101, 5)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[0] == 0.0
+
+    def test_utilization_bounds(self):
+        for model in (
+            NonLinearPowerModel(0, 10),
+            LinearPowerModel(0, 10),
+            StateBasedPowerModel(0, 10),
+        ):
+            with pytest.raises(ValueError):
+                model.dynamic_power(1.5)
+            with pytest.raises(ValueError):
+                model.dynamic_power(-0.1)
+
+    def test_state_threshold_validation(self):
+        with pytest.raises(ValueError):
+            StateBasedPowerModel(0, 10, thresholds=())
+        with pytest.raises(ValueError):
+            StateBasedPowerModel(0, 10, thresholds=(0.5, 0.2))
+        with pytest.raises(ValueError):
+            StateBasedPowerModel(0, 10, thresholds=(0.0,))
+
+    def test_nonlinear_exponent_validation(self):
+        with pytest.raises(ValueError):
+            NonLinearPowerModel(0, 10, exponent=1.0)
+
+
+class TestTransferEnergy:
+    """Section 4's analysis of rate vs energy."""
+
+    def test_linear_model_energy_rate_invariant(self):
+        m = LinearPowerModel(idle_watts=50.0, max_dynamic_watts=100.0)
+        low = transfer_energy(m, units.GB, units.mbps(100), units.gbps(1))
+        high = transfer_energy(m, units.GB, units.mbps(400), units.gbps(1))
+        assert low == pytest.approx(high)
+
+    def test_nonlinear_model_rewards_speed(self):
+        m = NonLinearPowerModel(idle_watts=50.0, max_dynamic_watts=100.0)
+        low = transfer_energy(m, units.GB, units.mbps(100), units.gbps(1))
+        high = transfer_energy(m, units.GB, units.mbps(400), units.gbps(1))
+        assert high == pytest.approx(0.5 * low)  # the paper's worked example
+
+    def test_idle_inclusion_penalizes_slow_transfers(self):
+        m = LinearPowerModel(idle_watts=50.0, max_dynamic_watts=100.0)
+        low = transfer_energy(m, units.GB, units.mbps(100), units.gbps(1), include_idle=True)
+        high = transfer_energy(m, units.GB, units.mbps(400), units.gbps(1), include_idle=True)
+        assert high < low
+
+    def test_validation(self):
+        m = LinearPowerModel(0, 10)
+        with pytest.raises(ValueError):
+            transfer_energy(m, -1, 1, 2)
+        with pytest.raises(ValueError):
+            transfer_energy(m, 1, 0, 2)
+        with pytest.raises(ValueError):
+            transfer_energy(m, 1, 3, 2)
+
+
+class TestTopologies:
+    def test_packet_count(self):
+        assert packet_count(1500 * 10) == pytest.approx(10)
+        with pytest.raises(ValueError):
+            packet_count(-1)
+        with pytest.raises(ValueError):
+            packet_count(10, 0)
+
+    def test_xsede_chain(self):
+        topo = xsede_topology()
+        devices = topo.path_devices()
+        assert len(devices) == 8
+        names = [d.name for d in devices]
+        assert names.count("Edge Ethernet Switch") == 2
+        assert names.count("Enterprise Ethernet Switch") == 2
+        assert names.count("Edge IP Router") == 2
+        assert names.count("Metro IP Router") == 2
+
+    def test_futuregrid_is_metro_heavy(self):
+        devices = futuregrid_topology().path_devices()
+        metro = sum(1 for d in devices if d is METRO_ROUTER)
+        assert metro == 4
+
+    def test_didclab_single_switch(self):
+        devices = didclab_topology().path_devices()
+        assert len(devices) == 1
+        assert devices[0] is EDGE_SWITCH
+
+    def test_dynamic_transfer_energy_sums_devices(self):
+        topo = didclab_topology()
+        energy = topo.dynamic_transfer_energy(1500 * 1e6)  # 1e6 packets
+        assert energy == pytest.approx(EDGE_SWITCH.dynamic_energy(1e6))
+
+    def test_per_device_energy_rows(self):
+        rows = xsede_topology().per_device_energy(units.GB)
+        assert len(rows) == 8
+        assert all(e > 0 for _, e in rows)
+
+    def test_per_packet_share_ordering(self):
+        # FutureGrid's per-packet cost exceeds DIDCLAB's single switch
+        fg = futuregrid_topology().dynamic_transfer_energy(units.GB)
+        lab = didclab_topology().dynamic_transfer_energy(units.GB)
+        assert fg > lab
+
+    def test_topology_for_lookup(self):
+        assert topology_for("xsede").name == "XSEDE"
+        assert topology_for("FutureGrid").name == "FutureGrid"
+        with pytest.raises(KeyError):
+            topology_for("unknown")
+
+    def test_describe_shows_path(self):
+        text = xsede_topology().describe()
+        assert "gordon-sdsc" in text
+        assert "stampede-tacc" in text

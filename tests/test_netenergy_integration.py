@@ -1,0 +1,116 @@
+"""Trace-based device-energy integration."""
+
+import pytest
+
+from repro import units
+from repro.netenergy.integration import (
+    DeviceEnergyBreakdown,
+    integrate_device_energy,
+    integrate_path_energy,
+)
+from repro.netenergy.models import LinearPowerModel, NonLinearPowerModel
+from repro.netenergy.topology import xsede_topology
+from repro.netsim.engine import StepRecord
+
+
+def trace(rates, dt=1.0):
+    return [
+        StepRecord(time=(i + 1) * dt, throughput=r, power=0.0, active_channels=1)
+        for i, r in enumerate(rates)
+    ]
+
+
+LINE = units.gbps(10)
+
+
+class TestIntegrateDeviceEnergy:
+    def test_constant_rate_linear_model(self):
+        model = LinearPowerModel(idle_watts=0.0, max_dynamic_watts=100.0)
+        # half line rate for 10 s at 100 W max -> 50 W * 10 s
+        t = trace([LINE / 2] * 10)
+        assert integrate_device_energy(t, model, LINE, dt=1.0) == pytest.approx(500.0)
+
+    def test_rate_invariance_for_linear_model(self):
+        model = LinearPowerModel(idle_watts=0.0, max_dynamic_watts=100.0)
+        slow = trace([LINE / 4] * 8)  # 2 line-seconds of data
+        fast = trace([LINE / 2] * 4)  # same data, twice the rate
+        assert integrate_device_energy(slow, model, LINE, dt=1.0) == pytest.approx(
+            integrate_device_energy(fast, model, LINE, dt=1.0)
+        )
+
+    def test_sublinear_rewards_speed(self):
+        model = NonLinearPowerModel(idle_watts=0.0, max_dynamic_watts=100.0)
+        slow = trace([LINE / 4] * 8)
+        fast = trace([LINE / 2] * 4)
+        assert integrate_device_energy(fast, model, LINE, dt=1.0) < integrate_device_energy(
+            slow, model, LINE, dt=1.0
+        )
+
+    def test_idle_included(self):
+        model = LinearPowerModel(idle_watts=10.0, max_dynamic_watts=100.0)
+        t = trace([0.0] * 5)
+        assert integrate_device_energy(
+            t, model, LINE, dt=1.0, include_idle=True
+        ) == pytest.approx(50.0)
+
+    def test_utilization_clamped(self):
+        model = LinearPowerModel(idle_watts=0.0, max_dynamic_watts=100.0)
+        t = trace([2 * LINE])  # fluid-step burst above line rate
+        assert integrate_device_energy(t, model, LINE, dt=1.0) == pytest.approx(100.0)
+
+    def test_empty_trace(self):
+        model = LinearPowerModel(idle_watts=0.0, max_dynamic_watts=100.0)
+        assert integrate_device_energy([], model, LINE, dt=1.0) == 0.0
+
+    def test_validation(self):
+        model = LinearPowerModel(0.0, 1.0)
+        with pytest.raises(ValueError):
+            integrate_device_energy([], model, 0.0, dt=1.0)
+        with pytest.raises(ValueError):
+            integrate_device_energy([], model, LINE, dt=0.0)
+
+
+class TestIntegratePathEnergy:
+    def test_one_breakdown_per_device(self):
+        topo = xsede_topology()
+        t = trace([LINE / 2] * 4)
+        breakdowns = integrate_path_energy(
+            t,
+            topo,
+            lambda device: LinearPowerModel(
+                idle_watts=0.0, max_dynamic_watts=device.processing_nw
+            ),
+            LINE,
+            dt=1.0,
+        )
+        assert len(breakdowns) == len(topo.path_devices())
+        assert all(b.dynamic_joules > 0 for b in breakdowns)
+
+    def test_factory_scales_by_device(self):
+        topo = xsede_topology()
+        t = trace([LINE] * 2)
+        breakdowns = integrate_path_energy(
+            t,
+            topo,
+            lambda device: LinearPowerModel(0.0, device.processing_nw),
+            LINE,
+            dt=1.0,
+        )
+        by_name = {b.device_name: b.dynamic_joules for b in breakdowns}
+        # edge routers (1707 nW) draw more than enterprise switches (40 nW)
+        assert by_name["edge-router-sdsc"] > by_name["enterprise-switch-sdsc"]
+
+    def test_idle_accounting(self):
+        topo = xsede_topology()
+        t = trace([0.0] * 3)
+        breakdowns = integrate_path_energy(
+            t, topo, lambda d: LinearPowerModel(5.0, 1.0), LINE, dt=1.0,
+            include_idle=True,
+        )
+        for b in breakdowns:
+            assert b.idle_joules == pytest.approx(15.0)
+            assert b.total_joules == pytest.approx(15.0)
+
+    def test_breakdown_total(self):
+        b = DeviceEnergyBreakdown("x", dynamic_joules=3.0, idle_joules=4.0)
+        assert b.total_joules == 7.0

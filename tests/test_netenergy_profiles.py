@@ -1,0 +1,92 @@
+"""Device power-model profiles (Fig. 8 shapes x Table 1 magnitudes)."""
+
+import pytest
+
+from repro import units
+from repro.netenergy.devices import EDGE_ROUTER, EDGE_SWITCH, ENTERPRISE_SWITCH
+from repro.netenergy.models import (
+    LinearPowerModel,
+    NonLinearPowerModel,
+    StateBasedPowerModel,
+)
+from repro.netenergy.profiles import (
+    MODEL_KINDS,
+    device_model_factory,
+    path_energy_under_model,
+)
+from repro.netenergy.topology import xsede_topology
+from repro.netsim.engine import StepRecord
+
+
+def trace(rates, dt=1.0):
+    return [
+        StepRecord(time=(i + 1) * dt, throughput=r, power=0.0, active_channels=1)
+        for i, r in enumerate(rates)
+    ]
+
+
+class TestFactory:
+    def test_kind_selects_model_shape(self):
+        assert isinstance(device_model_factory("non-linear")(EDGE_SWITCH),
+                          NonLinearPowerModel)
+        assert isinstance(device_model_factory("linear")(EDGE_SWITCH),
+                          LinearPowerModel)
+        assert isinstance(device_model_factory("state-based")(EDGE_SWITCH),
+                          StateBasedPowerModel)
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            device_model_factory("quadratic")
+
+    def test_budget_scales_with_per_packet_cost(self):
+        build = device_model_factory("linear")
+        router = build(EDGE_ROUTER)
+        enterprise = build(ENTERPRISE_SWITCH)
+        assert router.max_dynamic_watts > 20 * enterprise.max_dynamic_watts
+
+    def test_reference_device_gets_reference_budget(self):
+        model = device_model_factory("linear")(EDGE_SWITCH)
+        assert model.max_dynamic_watts == pytest.approx(25.0)
+
+    def test_idle_follows_catalog(self):
+        model = device_model_factory("linear")(EDGE_ROUTER)
+        assert model.idle_watts == EDGE_ROUTER.idle_watts
+
+
+class TestPathEnergy:
+    LINE = units.gbps(10)
+
+    def test_every_device_accounted(self):
+        topo = xsede_topology()
+        breakdowns = path_energy_under_model(
+            trace([self.LINE / 2] * 4), topo, "linear", self.LINE, dt=1.0
+        )
+        assert len(breakdowns) == len(topo.path_devices())
+
+    def test_routers_dominate_switches(self):
+        topo = xsede_topology()
+        breakdowns = path_energy_under_model(
+            trace([self.LINE / 2] * 4), topo, "linear", self.LINE, dt=1.0
+        )
+        by_name = {b.device_name: b.dynamic_joules for b in breakdowns}
+        assert by_name["edge-router-sdsc"] > by_name["enterprise-switch-sdsc"]
+
+    def test_nonlinear_exceeds_linear_below_full_rate(self):
+        topo = xsede_topology()
+        t = trace([self.LINE / 4] * 4)
+        nonlinear = sum(
+            b.dynamic_joules
+            for b in path_energy_under_model(t, topo, "non-linear", self.LINE, dt=1.0)
+        )
+        linear = sum(
+            b.dynamic_joules
+            for b in path_energy_under_model(t, topo, "linear", self.LINE, dt=1.0)
+        )
+        assert nonlinear > linear
+
+    def test_idle_inclusion(self):
+        topo = xsede_topology()
+        breakdowns = path_energy_under_model(
+            trace([0.0] * 2), topo, "linear", self.LINE, dt=1.0, include_idle=True
+        )
+        assert all(b.idle_joules > 0 for b in breakdowns)

@@ -1,0 +1,157 @@
+"""Channel state machine: gaps, pipelining amortization, advancement."""
+
+from collections import deque
+
+import pytest
+
+from repro.datasets.files import FileInfo
+from repro.netsim.channel import Channel, FileProgress
+
+
+def make_channel(pp=1, p=1, rtt=0.0, file_overhead=0.0, factor=2.5) -> Channel:
+    return Channel(
+        chunk_name="c",
+        parallelism=p,
+        pipelining=pp,
+        src_server=0,
+        dst_server=0,
+        rtt=rtt,
+        file_overhead=file_overhead,
+        control_rtt_factor=factor,
+    )
+
+
+def queue_of(*sizes) -> deque:
+    return deque(FileProgress.fresh(FileInfo(f"f{i}", s)) for i, s in enumerate(sizes))
+
+
+class TestGapModel:
+    def test_per_file_gap_without_pipelining(self):
+        ch = make_channel(pp=1, rtt=0.040)
+        assert ch.per_file_gap == pytest.approx(2.5 * 0.040)
+
+    def test_pipelining_amortizes_control_rtts(self):
+        ch = make_channel(pp=10, rtt=0.040)
+        assert ch.per_file_gap == pytest.approx(2.5 * 0.040 / 10)
+
+    def test_file_overhead_not_amortized(self):
+        ch = make_channel(pp=10, rtt=0.040, file_overhead=0.02)
+        assert ch.per_file_gap == pytest.approx(0.010 + 0.02)
+
+    def test_initial_setup_gap_is_one_rtt(self):
+        ch = make_channel(rtt=0.040)
+        assert ch.gap_remaining == pytest.approx(0.040)
+
+    def test_zero_rtt_no_gaps(self):
+        ch = make_channel(rtt=0.0)
+        assert ch.gap_remaining == 0.0
+        assert ch.per_file_gap == 0.0
+
+
+class TestAdvance:
+    def test_transfers_bytes_at_rate(self):
+        ch = make_channel()
+        q = queue_of(1000)
+        out = ch.advance(rate=100.0, dt=1.0, queue=q)
+        assert out.bytes_moved == pytest.approx(100.0)
+        assert ch.current.remaining == pytest.approx(900.0)
+
+    def test_completes_file_exactly(self):
+        ch = make_channel()
+        q = queue_of(100)
+        out = ch.advance(rate=100.0, dt=2.0, queue=q)
+        assert out.bytes_moved == pytest.approx(100.0)
+        assert out.files_completed == 1
+        assert ch.current is None
+
+    def test_multiple_small_files_per_step(self):
+        ch = make_channel()
+        q = queue_of(*([10] * 20))
+        out = ch.advance(rate=100.0, dt=1.0, queue=q)
+        assert out.files_completed == 10
+        assert out.bytes_moved == pytest.approx(100.0)
+
+    def test_gap_consumes_time_before_transfer(self):
+        ch = make_channel(rtt=0.5)  # setup gap 0.5 s
+        q = queue_of(1000)
+        out = ch.advance(rate=100.0, dt=1.0, queue=q)
+        assert out.bytes_moved == pytest.approx(50.0)  # only half the step moved bytes
+
+    def test_gaps_between_files(self):
+        # rtt 0.1 -> per-file gap 0.25 with factor 2.5, pp=1
+        ch = make_channel(rtt=0.1)
+        ch.gap_remaining = 0.0  # skip setup for clarity
+        q = queue_of(100, 100)
+        out = ch.advance(rate=100.0, dt=2.25, queue=q)
+        # 1s file + 0.25 gap + 1s file = 2.25s
+        assert out.files_completed == 2
+        assert out.bytes_moved == pytest.approx(200.0)
+
+    def test_zero_rate_stalls(self):
+        ch = make_channel()
+        q = queue_of(100)
+        out = ch.advance(rate=0.0, dt=1.0, queue=q)
+        assert out.bytes_moved == 0.0
+        assert ch.busy
+
+    def test_empty_queue_idles(self):
+        ch = make_channel()
+        out = ch.advance(rate=100.0, dt=1.0, queue=deque())
+        assert out.bytes_moved == 0.0
+        assert not ch.busy
+
+    def test_zero_size_files_complete(self):
+        ch = make_channel()
+        q = queue_of(0, 0, 100)
+        out = ch.advance(rate=100.0, dt=1.0, queue=q)
+        assert out.files_completed >= 2
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            make_channel().advance(-1.0, 1.0, deque())
+
+
+class TestReleaseAndTake:
+    def test_release_returns_file_to_front(self):
+        ch = make_channel()
+        q = queue_of(100, 200)
+        ch.take_from(q)
+        ch.advance(rate=10.0, dt=1.0, queue=q)
+        ch.release_to(q)
+        assert not ch.busy
+        assert q[0].remaining == pytest.approx(90.0)
+        assert len(q) == 2
+
+    def test_take_from_empty_returns_false(self):
+        assert make_channel().take_from(deque()) is False
+
+    def test_take_keeps_existing_file(self):
+        ch = make_channel()
+        q = queue_of(100, 200)
+        ch.take_from(q)
+        first = ch.current
+        ch.take_from(q)
+        assert ch.current is first
+        assert len(q) == 1
+
+    def test_transferring_flag(self):
+        ch = make_channel(rtt=1.0)
+        q = queue_of(100)
+        ch.take_from(q)
+        assert ch.busy and not ch.transferring  # still in setup gap
+        ch.advance(rate=100.0, dt=1.0, queue=q)
+        assert ch.transferring
+
+
+class TestValidation:
+    def test_bad_parallelism(self):
+        with pytest.raises(ValueError):
+            make_channel(p=0)
+
+    def test_bad_pipelining(self):
+        with pytest.raises(ValueError):
+            make_channel(pp=0)
+
+    def test_negative_rtt(self):
+        with pytest.raises(ValueError):
+            Channel("c", 1, 1, 0, 0, rtt=-1.0)

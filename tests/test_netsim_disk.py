@@ -1,0 +1,93 @@
+"""Disk subsystem models: contention, striping, diminishing returns."""
+
+import pytest
+
+from repro import units
+from repro.netsim.disk import ParallelDisk, PowerLawDisk, SingleDisk
+
+
+class TestSingleDisk:
+    def test_single_accessor_gets_peak(self):
+        d = SingleDisk(peak_rate=74 * units.MB, contention_alpha=0.12)
+        assert d.aggregate_capacity(1) == pytest.approx(74 * units.MB)
+
+    def test_aggregate_decreases_with_accessors(self):
+        d = SingleDisk(peak_rate=74 * units.MB, contention_alpha=0.12)
+        caps = [d.aggregate_capacity(n) for n in range(1, 13)]
+        assert all(b < a for a, b in zip(caps, caps[1:]))
+
+    def test_didclab_magnitude(self):
+        # ~25% decline from 1 to 12 accessors (Fig. 4a)
+        d = SingleDisk(peak_rate=74 * units.MB, contention_alpha=0.12)
+        ratio = d.aggregate_capacity(12) / d.aggregate_capacity(1)
+        assert 0.70 < ratio < 0.80
+
+    def test_zero_accessors(self):
+        assert SingleDisk(1e6).aggregate_capacity(0) == 0.0
+
+    def test_zero_alpha_is_flat(self):
+        d = SingleDisk(peak_rate=1e6, contention_alpha=0.0)
+        assert d.aggregate_capacity(10) == pytest.approx(1e6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SingleDisk(peak_rate=0)
+        with pytest.raises(ValueError):
+            SingleDisk(peak_rate=1e6, contention_alpha=-0.1)
+        with pytest.raises(ValueError):
+            SingleDisk(1e6).aggregate_capacity(-1)
+
+
+class TestParallelDisk:
+    def test_scales_linearly_up_to_array_rate(self):
+        d = ParallelDisk(per_accessor_rate=100.0, array_rate=400.0)
+        assert d.aggregate_capacity(1) == 100.0
+        assert d.aggregate_capacity(3) == 300.0
+        assert d.aggregate_capacity(4) == 400.0
+
+    def test_saturates_at_array_rate(self):
+        d = ParallelDisk(per_accessor_rate=100.0, array_rate=400.0)
+        assert d.aggregate_capacity(50) == 400.0
+
+    def test_zero_accessors(self):
+        assert ParallelDisk(100.0, 400.0).aggregate_capacity(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelDisk(per_accessor_rate=0, array_rate=10)
+        with pytest.raises(ValueError):
+            ParallelDisk(per_accessor_rate=100, array_rate=50)
+
+
+class TestPowerLawDisk:
+    def test_single_accessor(self):
+        d = PowerLawDisk(single_rate=62.5 * units.MB, exponent=0.2)
+        assert d.aggregate_capacity(1) == pytest.approx(62.5 * units.MB)
+
+    def test_diminishing_returns(self):
+        d = PowerLawDisk(single_rate=100.0, exponent=0.2)
+        caps = [d.aggregate_capacity(n) for n in range(1, 13)]
+        gains = [b - a for a, b in zip(caps, caps[1:])]
+        assert all(b > a for a, b in zip(caps, caps[1:]))  # still increasing
+        assert all(g2 < g1 for g1, g2 in zip(gains, gains[1:]))  # concave
+
+    def test_futuregrid_shape(self):
+        # one channel already delivers >half of the 12-channel aggregate
+        d = PowerLawDisk(single_rate=62.5 * units.MB, exponent=0.2)
+        assert d.aggregate_capacity(1) > 0.5 * d.aggregate_capacity(12)
+
+    def test_negative_exponent_contends(self):
+        d = PowerLawDisk(single_rate=100.0, exponent=-0.12)
+        assert d.aggregate_capacity(12) < d.aggregate_capacity(1)
+
+    def test_zero_exponent_flat(self):
+        d = PowerLawDisk(single_rate=100.0, exponent=0.0)
+        assert d.aggregate_capacity(7) == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerLawDisk(single_rate=0, exponent=0.2)
+        with pytest.raises(ValueError):
+            PowerLawDisk(single_rate=10, exponent=1.0)
+        with pytest.raises(ValueError):
+            PowerLawDisk(single_rate=10, exponent=-1.0)

@@ -1,0 +1,225 @@
+"""Transfer engine: conservation, rate allocation, adaptivity."""
+
+import pytest
+
+from repro import units
+from repro.datasets.files import Dataset, FileInfo
+from repro.netsim.engine import Binding, ChunkPlan, TransferEngine, _max_min_fill
+from repro.netsim.params import TransferParams
+
+
+def plan(name="chunk", sizes=(10 * units.MB,), pp=1, p=1, cc=1) -> ChunkPlan:
+    files = tuple(FileInfo(f"{name}-{i}", int(s)) for i, s in enumerate(sizes))
+    return ChunkPlan(name=name, files=files, params=TransferParams(pp, p, cc))
+
+
+class TestMaxMinFill:
+    def test_single_flow_gets_cap(self):
+        rates = _max_min_fill({1: 100.0}, [(1000.0, [1])])
+        assert rates[1] == pytest.approx(100.0)
+
+    def test_group_capacity_shared_equally(self):
+        rates = _max_min_fill({1: 100.0, 2: 100.0}, [(100.0, [1, 2])])
+        assert rates[1] == pytest.approx(50.0)
+        assert rates[2] == pytest.approx(50.0)
+
+    def test_capped_flow_releases_share(self):
+        rates = _max_min_fill({1: 20.0, 2: 100.0}, [(100.0, [1, 2])])
+        assert rates[1] == pytest.approx(20.0)
+        assert rates[2] == pytest.approx(80.0)
+
+    def test_weighted_shares(self):
+        weights = {1: 1.0, 2: 3.0}
+        rates = _max_min_fill({1: 100.0, 2: 100.0}, [(80.0, [1, 2])], weights)
+        assert rates[1] == pytest.approx(20.0)
+        assert rates[2] == pytest.approx(60.0)
+
+    def test_multiple_groups(self):
+        # flow 1 constrained by group A, flow 2 only by group B
+        rates = _max_min_fill(
+            {1: 100.0, 2: 100.0},
+            [(30.0, [1]), (500.0, [1, 2])],
+        )
+        assert rates[1] == pytest.approx(30.0)
+        assert rates[2] == pytest.approx(100.0)
+
+    def test_total_never_exceeds_group_capacity(self):
+        caps = {i: 1000.0 for i in range(7)}
+        rates = _max_min_fill(caps, [(100.0, list(range(7)))])
+        assert sum(rates.values()) <= 100.0 + 1e-6
+
+    def test_empty(self):
+        assert _max_min_fill({}, []) == {}
+
+
+class TestEngineBasics:
+    def test_transfers_all_bytes(self, make_small_engine, small_dataset):
+        engine = make_small_engine()
+        engine.add_chunk(
+            ChunkPlan("all", tuple(small_dataset), TransferParams(concurrency=2))
+        )
+        engine.run()
+        assert engine.finished
+        assert engine.total_bytes == pytest.approx(small_dataset.total_size)
+        assert engine.total_files == small_dataset.file_count
+
+    def test_energy_positive_and_time_positive(self, make_small_engine, small_dataset):
+        engine = make_small_engine()
+        engine.add_chunk(ChunkPlan("all", tuple(small_dataset), TransferParams(concurrency=2)))
+        engine.run()
+        assert engine.total_energy > 0
+        assert engine.time > 0
+
+    def test_deterministic(self, make_small_engine, small_dataset):
+        results = []
+        for _ in range(2):
+            engine = make_small_engine()
+            engine.add_chunk(ChunkPlan("all", tuple(small_dataset), TransferParams(concurrency=3)))
+            engine.run()
+            results.append((engine.time, engine.total_bytes, engine.total_energy))
+        assert results[0] == results[1]
+
+    def test_duplicate_chunk_rejected(self, make_small_engine):
+        engine = make_small_engine()
+        engine.add_chunk(plan("x"))
+        with pytest.raises(ValueError):
+            engine.add_chunk(plan("x"))
+
+    def test_empty_chunk_finishes_immediately(self, make_small_engine):
+        engine = make_small_engine()
+        engine.add_chunk(ChunkPlan("empty", (), TransferParams()))
+        assert engine.finished
+        engine.run()
+        assert engine.time == 0.0
+
+    def test_run_with_duration_stops_early(self, make_small_engine, small_dataset):
+        engine = make_small_engine()
+        engine.add_chunk(ChunkPlan("all", tuple(small_dataset), TransferParams(concurrency=1)))
+        elapsed = engine.run(0.5)
+        assert elapsed == pytest.approx(0.5)
+        assert not engine.finished
+
+    def test_rate_never_exceeds_per_channel_cap(self, make_small_engine):
+        engine = make_small_engine()
+        engine.add_chunk(plan("one", sizes=(50 * units.MB,), cc=1))
+        engine.run(0.5)
+        # 50 MB/s channel cap with dt=0.1: at most 5 MB per step after setup
+        assert engine.total_bytes <= 50e6 * 0.5 + 1e-6
+
+    def test_more_channels_faster_on_parallel_disk(self, make_small_engine, small_dataset):
+        times = []
+        for cc in (1, 3):
+            engine = make_small_engine()
+            engine.add_chunk(ChunkPlan("all", tuple(small_dataset), TransferParams(concurrency=cc)))
+            engine.run()
+            times.append(engine.time)
+        assert times[1] < times[0]
+
+    def test_trace_recording(self, make_small_engine, small_dataset):
+        engine = make_small_engine(record_trace=True)
+        engine.add_chunk(ChunkPlan("all", tuple(small_dataset), TransferParams(concurrency=2)))
+        engine.run()
+        assert len(engine.trace) > 0
+        assert all(r.power >= 0 for r in engine.trace)
+        # trace throughput integrates back to total bytes
+        total = sum(r.throughput * engine.dt for r in engine.trace)
+        assert total == pytest.approx(engine.total_bytes, rel=1e-6)
+
+
+class TestChannelManagement:
+    def test_set_chunk_channels_grows_and_shrinks(self, make_small_engine):
+        engine = make_small_engine()
+        engine.add_chunk(plan("c", sizes=[units.MB] * 50, cc=0), open_channels=False)
+        engine.set_chunk_channels("c", 4)
+        assert len(engine.channels_for("c")) == 4
+        engine.set_chunk_channels("c", 1)
+        assert len(engine.channels_for("c")) == 1
+
+    def test_closing_channel_preserves_bytes(self, make_small_engine):
+        engine = make_small_engine()
+        engine.add_chunk(plan("c", sizes=(20 * units.MB,), cc=1))
+        engine.run(0.3)
+        moved_before = engine.total_bytes
+        engine.set_chunk_channels("c", 0)
+        engine.set_chunk_channels("c", 2)
+        engine.run()
+        assert engine.finished
+        assert engine.total_bytes == pytest.approx(20 * units.MB)
+        assert engine.total_bytes >= moved_before
+
+    def test_pack_binding_uses_single_server(self, make_small_engine):
+        engine = make_small_engine(binding=Binding.PACK)
+        engine.add_chunk(plan("c", sizes=[units.MB] * 10, cc=4))
+        assert {c.src_server for c in engine.channels} == {0}
+
+    def test_spread_binding_round_robins(self, make_small_engine):
+        engine = make_small_engine(binding=Binding.SPREAD)
+        engine.add_chunk(plan("c", sizes=[units.MB] * 10, cc=4))
+        assert {c.src_server for c in engine.channels} == {0, 1}
+
+    def test_negative_count_rejected(self, make_small_engine):
+        engine = make_small_engine()
+        engine.add_chunk(plan("c"))
+        with pytest.raises(ValueError):
+            engine.set_chunk_channels("c", -1)
+
+
+class TestWorkStealing:
+    def test_stealing_drains_other_chunks(self, make_small_engine):
+        engine = make_small_engine(work_stealing=True)
+        engine.add_chunk(plan("fast", sizes=(units.MB,), cc=3))
+        engine.add_chunk(plan("slow", sizes=[10 * units.MB] * 9, cc=0), open_channels=False)
+        engine.run()
+        assert engine.finished
+        assert engine.total_bytes == pytest.approx(units.MB + 90 * units.MB)
+
+    def test_stealing_adopts_target_params(self, make_small_engine):
+        engine = make_small_engine(work_stealing=True)
+        engine.add_chunk(plan("fast", sizes=(units.MB,), pp=1, p=1, cc=1))
+        engine.add_chunk(plan("slow", sizes=[10 * units.MB] * 5, pp=4, p=2, cc=0),
+                         open_channels=False)
+        engine.run()
+        channel = engine.channels[0]
+        assert channel.chunk_name == "slow"
+        assert channel.parallelism == 2
+        assert channel.pipelining == 4
+
+    def test_no_stealing_strands_unserved_chunk(self, make_small_engine):
+        engine = make_small_engine(work_stealing=False)
+        engine.add_chunk(plan("fast", sizes=(units.MB,), cc=1))
+        engine.add_chunk(plan("stranded", sizes=(units.MB,), cc=0), open_channels=False)
+        engine.run(5.0)
+        assert not engine.finished
+        assert engine.chunks["stranded"].queue
+
+
+class TestSnapshots:
+    def test_throughput_since(self, make_small_engine, small_dataset):
+        engine = make_small_engine()
+        engine.add_chunk(ChunkPlan("all", tuple(small_dataset), TransferParams(concurrency=2)))
+        before = engine.snapshot()
+        engine.run(1.0)
+        after = engine.snapshot()
+        expected = (after.bytes - before.bytes) / 1.0
+        assert after.throughput_since(before) == pytest.approx(expected)
+
+    def test_energy_since(self, make_small_engine, small_dataset):
+        engine = make_small_engine()
+        engine.add_chunk(ChunkPlan("all", tuple(small_dataset), TransferParams(concurrency=2)))
+        before = engine.snapshot()
+        engine.run(1.0)
+        assert engine.snapshot().energy_since(before) > 0
+
+    def test_same_snapshot_zero(self, make_small_engine):
+        engine = make_small_engine()
+        snap = engine.snapshot()
+        assert snap.throughput_since(snap) == 0.0
+
+
+class TestLptOrdering:
+    def test_queue_is_largest_first(self, make_small_engine):
+        engine = make_small_engine()
+        engine.add_chunk(plan("c", sizes=(units.MB, 30 * units.MB, 5 * units.MB), cc=0),
+                         open_channels=False)
+        remaining = [fp.remaining for fp in engine.chunks["c"].queue]
+        assert remaining == sorted(remaining, reverse=True)

@@ -1,0 +1,133 @@
+"""TransferParams, ServerSpec / EndSystem validation, utilization."""
+
+import pytest
+
+from repro import units
+from repro.netsim.disk import ParallelDisk
+from repro.netsim.endpoint import EndSystem, ServerSpec
+from repro.netsim.params import TransferParams
+from repro.netsim.utilization import Utilization, compute_utilization
+
+
+class TestTransferParams:
+    def test_defaults(self):
+        p = TransferParams()
+        assert (p.pipelining, p.parallelism, p.concurrency) == (1, 1, 1)
+
+    def test_total_streams(self):
+        assert TransferParams(parallelism=4, concurrency=3).total_streams == 12
+
+    def test_zero_concurrency_allowed(self):
+        assert TransferParams(concurrency=0).concurrency == 0
+
+    def test_with_concurrency(self):
+        p = TransferParams(pipelining=5, parallelism=2, concurrency=1)
+        q = p.with_concurrency(8)
+        assert q.concurrency == 8
+        assert q.pipelining == 5 and q.parallelism == 2
+        assert p.concurrency == 1  # original untouched
+
+    @pytest.mark.parametrize("bad", [dict(pipelining=0), dict(parallelism=0), dict(concurrency=-1)])
+    def test_invalid_values(self, bad):
+        with pytest.raises(ValueError):
+            TransferParams(**bad)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            TransferParams(pipelining=1.5)
+
+
+def spec(**overrides) -> ServerSpec:
+    base = dict(
+        name="s",
+        cores=4,
+        tdp_watts=100.0,
+        nic_rate=units.gbps(1),
+        disk=ParallelDisk(per_accessor_rate=50e6, array_rate=200e6),
+        per_channel_rate=50e6,
+        core_rate=200e6,
+    )
+    base.update(overrides)
+    return ServerSpec(**base)
+
+
+class TestServerSpec:
+    def test_valid(self):
+        assert spec().cores == 4
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(cores=0),
+            dict(tdp_watts=0),
+            dict(nic_rate=0),
+            dict(per_channel_rate=0),
+            dict(core_rate=0),
+            dict(channel_cpu_overhead=-1),
+            dict(active_overhead=-0.1),
+            dict(per_file_overhead=-0.1),
+        ],
+    )
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            spec(**bad)
+
+
+class TestEndSystem:
+    def test_valid(self):
+        assert EndSystem("site", spec(), server_count=4).server_count == 4
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ValueError):
+            EndSystem("site", spec(), server_count=0)
+
+
+class TestComputeUtilization:
+    def test_idle_when_no_channels(self):
+        u = compute_utilization(spec(), channels=0, streams=0, throughput=0)
+        assert u.is_idle
+        assert u.cpu_pct == 0.0
+
+    def test_active_cores_capped_by_cores(self):
+        u = compute_utilization(spec(), channels=10, streams=10, throughput=0)
+        assert u.active_cores == 4
+
+    def test_active_cores_tracks_channels_below_cores(self):
+        u = compute_utilization(spec(), channels=2, streams=2, throughput=0)
+        assert u.active_cores == 2
+
+    def test_cpu_grows_with_throughput(self):
+        low = compute_utilization(spec(), 2, 2, 50e6)
+        high = compute_utilization(spec(), 2, 2, 150e6)
+        assert high.cpu_pct > low.cpu_pct
+
+    def test_cpu_capped_at_total_cores(self):
+        u = compute_utilization(spec(), 4, 4, 1e12)
+        assert u.cpu_pct == pytest.approx(400.0)
+
+    def test_work_term_linear_in_throughput(self):
+        s = spec(active_overhead=0.0, channel_cpu_overhead=0.0, stream_cpu_overhead=0.0)
+        u = compute_utilization(s, 1, 1, 100e6)
+        assert u.cpu_pct == pytest.approx(100.0 * 100e6 / 200e6)
+
+    def test_thrash_inflates_cpu_beyond_cores(self):
+        s = spec(thrash_factor=0.5, active_overhead=0.0, channel_cpu_overhead=0.0,
+                 stream_cpu_overhead=0.0)
+        within = compute_utilization(s, 4, 4, 100e6)
+        beyond = compute_utilization(s, 8, 8, 100e6)
+        assert beyond.cpu_pct == pytest.approx(within.cpu_pct * 1.5)
+
+    def test_nic_and_disk_fractions(self):
+        u = compute_utilization(spec(), 2, 2, 100e6)
+        assert u.nic_pct == pytest.approx(100.0 * 100e6 / units.gbps(1))
+        assert u.disk_pct == pytest.approx(100.0)  # 100e6 over 2x50e6 accessors
+
+    def test_streams_less_than_channels_rejected(self):
+        with pytest.raises(ValueError):
+            compute_utilization(spec(), channels=4, streams=2, throughput=0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            compute_utilization(spec(), -1, 0, 0)
+        with pytest.raises(ValueError):
+            compute_utilization(spec(), 1, 1, -5)

@@ -1,0 +1,118 @@
+"""TCP throughput model: buffer-limited streams and the congestion knee."""
+
+import pytest
+
+from repro import units
+from repro.netsim.link import NetworkPath
+from repro.netsim.tcp import aggregate_goodput, channel_network_cap, stream_throughput
+
+
+def path(bw_gbps=10, rtt_ms=40, buf_mb=32, eff=1.0, knee=10, slope=0.02) -> NetworkPath:
+    return NetworkPath(
+        bandwidth=units.gbps(bw_gbps),
+        rtt=units.ms(rtt_ms),
+        tcp_buffer=buf_mb * units.MB,
+        protocol_efficiency=eff,
+        congestion_knee=knee,
+        congestion_slope=slope,
+    )
+
+
+class TestStreamThroughput:
+    def test_buffer_limited_when_buf_below_bdp(self):
+        p = path()  # BDP 50 MB > buf 32 MB
+        assert stream_throughput(p) == pytest.approx(32 * units.MB / 0.040)
+
+    def test_bandwidth_limited_when_buf_above_bdp(self):
+        p = path(bw_gbps=1, rtt_ms=10, buf_mb=32)  # BDP 1.25 MB << buf
+        assert stream_throughput(p) == pytest.approx(units.gbps(1))
+
+    def test_zero_rtt_gives_link_rate(self):
+        p = path(rtt_ms=0)
+        assert stream_throughput(p) == pytest.approx(units.gbps(10))
+
+    def test_protocol_efficiency_scales(self):
+        full = stream_throughput(path(eff=1.0))
+        scaled = stream_throughput(path(eff=0.9))
+        assert scaled == pytest.approx(0.9 * full)
+
+
+class TestChannelNetworkCap:
+    def test_parallelism_multiplies_buffer_limited_term(self):
+        p = path()
+        one = channel_network_cap(p, 1)
+        two = channel_network_cap(p, 2)
+        assert one == pytest.approx(32 * units.MB / 0.040)
+        # 2 x 32 MB > BDP, so two streams fill the pipe
+        assert two == pytest.approx(units.gbps(10))
+
+    def test_never_exceeds_link(self):
+        p = path()
+        assert channel_network_cap(p, 100) <= units.gbps(10)
+
+    def test_monotone_in_parallelism(self):
+        p = path(buf_mb=4)
+        caps = [channel_network_cap(p, k) for k in range(1, 20)]
+        assert all(b >= a for a, b in zip(caps, caps[1:]))
+
+    def test_parallelism_validation(self):
+        with pytest.raises(ValueError):
+            channel_network_cap(path(), 0)
+
+    def test_zero_rtt(self):
+        assert channel_network_cap(path(rtt_ms=0), 4) == pytest.approx(units.gbps(10))
+
+
+class TestAggregateGoodput:
+    def test_zero_streams(self):
+        assert aggregate_goodput(path(), 0) == 0.0
+
+    def test_flat_up_to_knee(self):
+        p = path(knee=10)
+        assert aggregate_goodput(p, 1) == aggregate_goodput(p, 10)
+
+    def test_declines_past_knee(self):
+        p = path(knee=10, slope=0.02)
+        at_knee = aggregate_goodput(p, 10)
+        past = aggregate_goodput(p, 15)
+        assert past < at_knee
+        assert past == pytest.approx(at_knee * 0.98**5)
+
+    def test_monotone_nonincreasing(self):
+        p = path(knee=5, slope=0.05)
+        values = [aggregate_goodput(p, s) for s in range(1, 60)]
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_floor_at_ten_percent(self):
+        p = path(knee=1, slope=0.5)
+        assert aggregate_goodput(p, 1000) == pytest.approx(0.10 * units.gbps(10))
+
+    def test_negative_streams_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_goodput(path(), -1)
+
+
+class TestNetworkPathValidation:
+    def test_bdp_property(self):
+        assert path().bdp == pytest.approx(50 * units.MB)
+
+    def test_describe(self):
+        text = path().describe()
+        assert "10.0 Gbps" in text
+        assert "40.0 ms" in text
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(bandwidth=0, rtt=0.01, tcp_buffer=1),
+            dict(bandwidth=1, rtt=-1, tcp_buffer=1),
+            dict(bandwidth=1, rtt=0.01, tcp_buffer=0),
+            dict(bandwidth=1, rtt=0.01, tcp_buffer=1, protocol_efficiency=0),
+            dict(bandwidth=1, rtt=0.01, tcp_buffer=1, protocol_efficiency=1.2),
+            dict(bandwidth=1, rtt=0.01, tcp_buffer=1, congestion_knee=0),
+            dict(bandwidth=1, rtt=0.01, tcp_buffer=1, congestion_slope=-0.1),
+        ],
+    )
+    def test_invalid_paths_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            NetworkPath(**kwargs)

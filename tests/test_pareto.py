@@ -1,0 +1,104 @@
+"""Pareto-frontier analysis of the throughput/energy plane."""
+
+import pytest
+
+from repro import units
+from repro.core.scheduler import TransferOutcome
+from repro.harness.pareto import dominated_by, pareto_frontier, render_frontier
+
+
+def outcome(alg, cc, thr_mbps, joules) -> TransferOutcome:
+    rate = units.mbps(thr_mbps)
+    return TransferOutcome(
+        algorithm=alg, testbed="T", max_channels=cc,
+        duration_s=100.0, bytes_moved=rate * 100.0, energy_joules=joules,
+    )
+
+
+class TestDomination:
+    def test_strictly_better_dominates(self):
+        slow_dear = outcome("A", 1, 100, 1000)
+        fast_cheap = outcome("B", 2, 200, 500)
+        assert dominated_by(slow_dear, fast_cheap)
+        assert not dominated_by(fast_cheap, slow_dear)
+
+    def test_tradeoff_points_do_not_dominate(self):
+        fast_dear = outcome("A", 1, 200, 1000)
+        slow_cheap = outcome("B", 2, 100, 500)
+        assert not dominated_by(fast_dear, slow_cheap)
+        assert not dominated_by(slow_cheap, fast_dear)
+
+    def test_identical_points_do_not_dominate(self):
+        a = outcome("A", 1, 100, 500)
+        b = outcome("B", 2, 100, 500)
+        assert not dominated_by(a, b)
+
+    def test_equal_energy_faster_dominates(self):
+        a = outcome("A", 1, 100, 500)
+        b = outcome("B", 2, 150, 500)
+        assert dominated_by(a, b)
+
+
+class TestFrontier:
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+    def test_all_on_frontier_when_tradeoffs(self):
+        points = pareto_frontier(
+            [outcome("A", 1, 100, 400), outcome("B", 2, 200, 800),
+             outcome("C", 4, 300, 1500)]
+        )
+        assert all(p.on_frontier for p in points)
+        assert all(p.energy_excess == 0.0 for p in points)
+
+    def test_dominated_point_flagged_with_excess(self):
+        runs = [
+            outcome("good", 4, 200, 500),
+            outcome("bad", 8, 150, 1000),  # slower AND dearer
+        ]
+        points = {p.label: p for p in pareto_frontier(runs)}
+        assert points["good@4"].on_frontier
+        assert not points["bad@8"].on_frontier
+        assert points["bad@8"].energy_excess == pytest.approx(1.0)  # 2x the joules
+
+    def test_sorted_by_throughput(self):
+        points = pareto_frontier(
+            [outcome("A", 1, 300, 900), outcome("B", 2, 100, 300),
+             outcome("C", 4, 200, 600)]
+        )
+        throughputs = [p.outcome.throughput for p in points]
+        assert throughputs == sorted(throughputs)
+
+    def test_excess_uses_cheapest_faster_frontier_point(self):
+        runs = [
+            outcome("frontier-fast", 1, 300, 600),
+            outcome("frontier-cheap", 2, 100, 200),
+            outcome("mid-dominated", 4, 150, 900),
+        ]
+        points = {p.label: p for p in pareto_frontier(runs)}
+        # cheapest frontier point delivering >= 150 Mbps is 600 J
+        assert points["mid-dominated@4"].energy_excess == pytest.approx(900 / 600 - 1)
+
+    def test_render(self):
+        text = render_frontier(
+            pareto_frontier([outcome("A", 1, 100, 400), outcome("B", 2, 50, 800)])
+        )
+        assert "A@1" in text and "B@2" in text
+        assert "yes" in text and "no" in text
+
+
+class TestOnRealSweep:
+    def test_mine_and_promc_land_on_xsede_frontier(self):
+        """The paper's two extreme algorithms must be undominated."""
+        from repro.harness.sweeps import concurrency_sweep
+        from repro.testbeds import XSEDE
+
+        sweep = concurrency_sweep(XSEDE, algorithms=("GUC", "SC", "MinE", "ProMC"),
+                                  levels=(4, 12))
+        outcomes = [o for series in sweep.series.values() for o in series]
+        points = pareto_frontier(outcomes)
+        frontier_algs = {p.outcome.algorithm for p in points if p.on_frontier}
+        assert "MinE" in frontier_algs  # cheapest
+        assert "ProMC" in frontier_algs  # fastest
+        guc_points = [p for p in points if p.outcome.algorithm == "GUC"]
+        assert all(not p.on_frontier for p in guc_points)  # strictly wasteful

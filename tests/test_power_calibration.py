@@ -1,0 +1,145 @@
+"""Model-building phase: regression recovers coefficients; tool
+validation reproduces the Section 2.2 error-rate ordering."""
+
+import pytest
+
+from repro import units
+from repro.netsim.disk import ParallelDisk
+from repro.netsim.endpoint import ServerSpec
+from repro.power.calibration import (
+    fit_coefficients,
+    fit_cpu_quadratic,
+    generate_load_sweep,
+    mean_absolute_percentage_error,
+)
+from repro.power.coefficients import CoefficientSet, cpu_coefficient
+from repro.power.models import CpuTdpPowerModel, FineGrainedPowerModel
+from repro.power.tools import TOOL_PROFILES, generate_tool_run
+
+
+def server(tdp=100.0) -> ServerSpec:
+    return ServerSpec(
+        name="cal", cores=4, tdp_watts=tdp, nic_rate=units.gbps(1),
+        disk=ParallelDisk(50e6, 200e6), per_channel_rate=50e6, core_rate=200e6,
+    )
+
+
+TRUE = CoefficientSet(memory=0.012, disk=0.07, nic=0.045)
+
+
+class TestLoadSweep:
+    def test_sweep_shape(self):
+        samples = generate_load_sweep(server(), TRUE, seed=1)
+        assert len(samples) == 4 * 20  # 4 components x 20 levels
+        assert all(s.measured_watts >= 0 for s in samples)
+
+    def test_noise_free_sweep_matches_model(self):
+        samples = generate_load_sweep(server(), TRUE, noise_fraction=0.0, seed=1)
+        model = FineGrainedPowerModel(TRUE)
+        for s in samples:
+            assert model.power(server(), s.utilization) == pytest.approx(s.measured_watts)
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            generate_load_sweep(server(), TRUE, active_cores=9)
+
+
+class TestFitCoefficients:
+    def test_recovers_true_coefficients(self):
+        samples = generate_load_sweep(server(), TRUE, noise_fraction=0.01, seed=3)
+        cpu_at_1, fitted = fit_coefficients(samples, active_cores=1)
+        assert cpu_at_1 == pytest.approx(cpu_coefficient(1), rel=0.05)
+        assert fitted.memory == pytest.approx(TRUE.memory, rel=0.25)
+        assert fitted.disk == pytest.approx(TRUE.disk, rel=0.15)
+        assert fitted.nic == pytest.approx(TRUE.nic, rel=0.15)
+
+    def test_fitted_model_predicts_holdout_well(self):
+        train = generate_load_sweep(server(), TRUE, noise_fraction=0.02, seed=5)
+        _, fitted = fit_coefficients(train, active_cores=1)
+        holdout = generate_load_sweep(server(), TRUE, noise_fraction=0.02, seed=6)
+        model = FineGrainedPowerModel(fitted)
+        error = mean_absolute_percentage_error(
+            lambda u: model.power(server(), u), holdout
+        )
+        assert error < 6.0  # the paper's fine-grained bound
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_coefficients([])
+
+
+class TestFitCpuQuadratic:
+    def test_recovers_equation_2(self):
+        points = {n: cpu_coefficient(n) for n in (1, 2, 3, 4, 6, 8)}
+        a, b, c = fit_cpu_quadratic(points)
+        assert a == pytest.approx(0.011, abs=1e-9)
+        assert b == pytest.approx(-0.082, abs=1e-9)
+        assert c == pytest.approx(0.344, abs=1e-9)
+
+    def test_end_to_end_per_core_fits(self):
+        # fit per-core coefficients from separate sweeps, then Eq. 2
+        points = {}
+        for n in (1, 2, 3, 4):
+            samples = generate_load_sweep(
+                server(), TRUE, active_cores=n, noise_fraction=0.005, seed=n
+            )
+            cpu_at_n, _ = fit_coefficients(samples, active_cores=n)
+            points[n] = cpu_at_n
+        a, b, c = fit_cpu_quadratic(points)
+        assert a == pytest.approx(0.011, abs=0.01)
+        assert c == pytest.approx(0.344, abs=0.05)
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            fit_cpu_quadratic({1: 0.27, 2: 0.22})
+
+
+class TestToolValidation:
+    """Reproduces the Section 2.2 validation table qualitatively."""
+
+    def _errors(self, profile_name: str, remote_tdp=100.0, tdp_mismatch=1.0):
+        profile = TOOL_PROFILES[profile_name]
+        run = generate_tool_run(profile, TRUE, seed=11)
+        fine = FineGrainedPowerModel(TRUE)
+        cpu_model = CpuTdpPowerModel(local_tdp_watts=100.0, cpu_share=0.897,
+                                     coefficients=TRUE)
+        srv = server(tdp=remote_tdp * tdp_mismatch)
+        fine_err = mean_absolute_percentage_error(
+            lambda u: fine.power(server(), u), run
+        )
+        cpu_err = mean_absolute_percentage_error(
+            lambda u: cpu_model.power(srv, u), run
+        )
+        return fine_err, cpu_err
+
+    @pytest.mark.parametrize("tool", sorted(TOOL_PROFILES))
+    def test_fine_grained_error_below_paper_bound(self, tool):
+        fine_err, _ = self._errors(tool)
+        assert fine_err < 8.0  # "below 6% even in the worst case" + margin
+
+    @pytest.mark.parametrize("tool", ["ftp", "bbcp", "gridftp"])
+    def test_light_tools_have_low_error(self, tool):
+        fine_err, _ = self._errors(tool)
+        assert fine_err < 5.0
+
+    def test_tool_profiles_cover_paper_tools(self):
+        assert set(TOOL_PROFILES) == {"scp", "rsync", "ftp", "bbcp", "gridftp"}
+
+    def test_tdp_extension_adds_error(self):
+        # extending the CPU model to a foreign server whose true power
+        # scale deviates substantially from the TDP ratio costs accuracy
+        # (the paper's +2-3% moving from the Intel to the AMD server);
+        # a mismatch in at least one direction must hurt
+        _, matched = self._errors("gridftp", remote_tdp=100.0)
+        _, low = self._errors("gridftp", remote_tdp=100.0, tdp_mismatch=0.7)
+        _, high = self._errors("gridftp", remote_tdp=100.0, tdp_mismatch=1.4)
+        assert max(low, high) > matched
+
+    def test_runs_are_deterministic(self):
+        a = generate_tool_run(TOOL_PROFILES["scp"], TRUE, seed=2)
+        b = generate_tool_run(TOOL_PROFILES["scp"], TRUE, seed=2)
+        assert [s.measured_watts for s in a] == [s.measured_watts for s in b]
+
+    def test_duration_validation(self):
+        with pytest.raises(ValueError):
+            generate_tool_run(TOOL_PROFILES["scp"], TRUE, duration_steps=0)

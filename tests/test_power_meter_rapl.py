@@ -1,0 +1,150 @@
+"""Energy meter and RAPL/powercap counter semantics."""
+
+import pytest
+
+from repro.power.meter import EnergyMeter
+from repro.power.rapl import (
+    DEFAULT_MAX_ENERGY_RANGE_UJ,
+    PowercapReader,
+    SimulatedPowercapTree,
+    SimulatedRaplDomain,
+)
+
+
+class TestEnergyMeter:
+    def test_integrates_power(self):
+        meter = EnergyMeter()
+        meter.record(100.0, 2.0)
+        meter.record(50.0, 1.0)
+        assert meter.total_joules == pytest.approx(250.0)
+        assert meter.elapsed == pytest.approx(3.0)
+
+    def test_average_power(self):
+        meter = EnergyMeter()
+        meter.record(100.0, 2.0)
+        meter.record(200.0, 2.0)
+        assert meter.average_power == pytest.approx(150.0)
+
+    def test_average_power_before_samples(self):
+        assert EnergyMeter().average_power == 0.0
+
+    def test_marks(self):
+        meter = EnergyMeter()
+        meter.record(10.0, 1.0)
+        meter.mark("window")
+        meter.record(20.0, 2.0)
+        joules, elapsed = meter.since_mark("window")
+        assert joules == pytest.approx(40.0)
+        assert elapsed == pytest.approx(2.0)
+
+    def test_unknown_mark(self):
+        with pytest.raises(KeyError):
+            EnergyMeter().since_mark("nope")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnergyMeter().record(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            EnergyMeter().record(1.0, -1.0)
+
+
+class TestSimulatedRaplDomain:
+    def test_feed_accumulates_microjoules(self):
+        d = SimulatedRaplDomain("package-0")
+        d.feed(power_watts=50.0, dt=2.0)
+        assert d.energy_uj == 100_000_000  # 100 J
+
+    def test_counter_wraps_like_hardware(self):
+        d = SimulatedRaplDomain("package-0", max_energy_range_uj=1000)
+        d.energy_uj = 900
+        d.feed(power_watts=1.0, dt=0.0002)  # 200 uJ
+        assert d.energy_uj == (900 + 200) % 1001
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedRaplDomain("x", max_energy_range_uj=0)
+        with pytest.raises(ValueError):
+            SimulatedRaplDomain("x").feed(-1.0, 1.0)
+
+
+class TestPowercapTreeAndReader:
+    def test_tree_layout_matches_sysfs(self, tmp_path):
+        tree = SimulatedPowercapTree(root=tmp_path / "powercap")
+        tree.add_domain(SimulatedRaplDomain("package-0"))
+        tree.sync()
+        domain_dir = tmp_path / "powercap" / "intel-rapl:0"
+        assert (domain_dir / "name").read_text().strip() == "package-0"
+        assert (domain_dir / "energy_uj").read_text().strip() == "0"
+        assert (
+            int((domain_dir / "max_energy_range_uj").read_text())
+            == DEFAULT_MAX_ENERGY_RANGE_UJ
+        )
+
+    def test_reader_computes_joule_deltas(self, tmp_path):
+        tree = SimulatedPowercapTree(root=tmp_path)
+        tree.add_domain(SimulatedRaplDomain("package-0"))
+        tree.sync()
+        reader = PowercapReader(tmp_path)
+        assert reader.sample() == []  # priming call
+        tree.feed_all(power_watts=100.0, dt=1.5)
+        deltas = reader.sample()
+        assert len(deltas) == 1
+        assert deltas[0].domain == "package-0"
+        assert deltas[0].joules == pytest.approx(150.0)
+        assert not deltas[0].wrapped
+
+    def test_reader_handles_wraparound(self, tmp_path):
+        domain = SimulatedRaplDomain("package-0", max_energy_range_uj=10_000_000)  # 10 J
+        domain.energy_uj = 9_000_000
+        tree = SimulatedPowercapTree(root=tmp_path, domains=[domain])
+        tree.sync()
+        reader = PowercapReader(tmp_path)
+        reader.sample()
+        tree.feed_all(power_watts=2.0, dt=1.0)  # +2 J wraps past 10 J
+        deltas = reader.sample()
+        assert deltas[0].wrapped
+        assert deltas[0].joules == pytest.approx(2.0, rel=1e-3)
+
+    def test_reader_multiple_domains(self, tmp_path):
+        tree = SimulatedPowercapTree(root=tmp_path)
+        tree.add_domain(SimulatedRaplDomain("package-0"))
+        tree.add_domain(SimulatedRaplDomain("dram"))
+        tree.sync()
+        reader = PowercapReader(tmp_path)
+        reader.sample()
+        tree.feed_all(10.0, 1.0)
+        deltas = reader.sample()
+        assert {d.domain for d in deltas} == {"package-0", "dram"}
+        assert reader.total_joules(deltas) == pytest.approx(20.0)
+
+    def test_reader_missing_tree(self, tmp_path):
+        reader = PowercapReader(tmp_path / "nonexistent")
+        assert not reader.available()
+        assert reader.sample() == []
+
+    def test_available(self, tmp_path):
+        tree = SimulatedPowercapTree(root=tmp_path)
+        tree.add_domain(SimulatedRaplDomain("package-0"))
+        tree.sync()
+        assert PowercapReader(tmp_path).available()
+
+    def test_engine_power_feeds_rapl_tree(self, tmp_path, make_small_engine, small_dataset):
+        """End-to-end: simulated transfer power lands in powercap counters."""
+        from repro.datasets.files import FileInfo
+        from repro.netsim.engine import ChunkPlan
+        from repro.netsim.params import TransferParams
+
+        tree = SimulatedPowercapTree(root=tmp_path)
+        tree.add_domain(SimulatedRaplDomain("package-0"))
+        tree.sync()
+        reader = PowercapReader(tmp_path)
+        reader.sample()
+
+        engine = make_small_engine()
+        engine.add_chunk(ChunkPlan("all", tuple(small_dataset), TransferParams(concurrency=2)))
+        while not engine.finished:
+            before = engine.total_energy
+            engine.step()
+            tree.feed_all((engine.total_energy - before) / engine.dt, engine.dt)
+        total = reader.total_joules()
+        assert total == pytest.approx(engine.total_energy, rel=1e-3)

@@ -1,0 +1,67 @@
+"""Domain workload presets."""
+
+import pytest
+
+from repro import units
+from repro.core.chunks import ChunkClass, partition_files
+from repro.datasets.presets import (
+    WORKLOAD_PRESETS,
+    climate_model_dataset,
+    genomics_dataset,
+    log_shipping_dataset,
+    video_archive_dataset,
+    vm_image_dataset,
+)
+
+
+class TestPresetShapes:
+    def test_genomics_bimodal(self):
+        ds = genomics_dataset()
+        small = [f for f in ds if f.size < 10 * units.MB]
+        large = [f for f in ds if f.size > 400 * units.MB]
+        assert small and large
+        assert sum(f.size for f in large) > 0.7 * ds.total_size
+
+    def test_climate_uniform(self):
+        ds = climate_model_dataset()
+        assert ds.min_file_size == ds.max_file_size
+        assert ds.total_size == pytest.approx(80 * units.GB, rel=0.01)
+
+    def test_video_archive_masters_dominate(self):
+        ds = video_archive_dataset()
+        masters = sum(f.size for f in ds if f.size >= 4 * units.GB)
+        assert masters > 0.6 * ds.total_size
+
+    def test_log_shipping_many_small(self):
+        ds = log_shipping_dataset()
+        assert ds.file_count > 1000
+        assert ds.average_file_size < 20 * units.MB
+
+    def test_vm_images(self):
+        ds = vm_image_dataset(count=4, image_size=units.GB)
+        assert ds.file_count == 4
+        assert all(f.size == units.GB for f in ds)
+
+
+class TestPresetProperties:
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_PRESETS))
+    def test_deterministic(self, name):
+        a = WORKLOAD_PRESETS[name]()
+        b = WORKLOAD_PRESETS[name]()
+        assert [f.size for f in a] == [f.size for f in b]
+
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_PRESETS))
+    def test_nonempty_positive_sizes(self, name):
+        ds = WORKLOAD_PRESETS[name]()
+        assert ds.file_count > 0
+        assert ds.min_file_size > 0
+
+    def test_presets_span_partitioning_regimes(self):
+        # across the preset library, the XSEDE partitioner should see
+        # every chunk class (that is what makes them useful fixtures)
+        bdp = 50 * units.MB
+        seen = set()
+        for factory in WORKLOAD_PRESETS.values():
+            for chunk in partition_files(factory(), bdp):
+                seen.add(chunk.chunk_class)
+        assert seen == {ChunkClass.SMALL, ChunkClass.MEDIUM, ChunkClass.LARGE}

@@ -1,0 +1,271 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.core.allocation import (
+    htee_channel_allocation,
+    htee_weights,
+    mine_concurrency,
+    mine_walk,
+    parallelism_level,
+    pipelining_level,
+    proportional_allocation,
+)
+from repro.core.chunks import Chunk, ChunkClass, PartitionPolicy, partition_files
+from repro.core.htee import scaled_allocation
+from repro.core.slaee import sla_allocation
+from repro.datasets.files import Dataset, FileInfo
+from repro.netenergy.models import LinearPowerModel, NonLinearPowerModel, transfer_energy
+from repro.netsim.engine import _max_min_fill
+from repro.netsim.link import NetworkPath
+from repro.netsim.tcp import aggregate_goodput, channel_network_cap
+from repro.power.coefficients import cpu_coefficient
+from repro.power.meter import EnergyMeter
+
+sizes_strategy = st.lists(
+    st.integers(min_value=1, max_value=50 * units.GB), min_size=1, max_size=200
+)
+
+
+def chunks_from_sizes(groups: list[list[int]]) -> list[Chunk]:
+    classes = list(ChunkClass)
+    return [
+        Chunk(classes[i % 3], tuple(FileInfo(f"c{i}f{j}", s) for j, s in enumerate(g)))
+        for i, g in enumerate(groups)
+    ]
+
+
+class TestPartitionProperties:
+    @given(sizes=sizes_strategy, bdp_mb=st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_is_a_partition(self, sizes, bdp_mb):
+        ds = Dataset.from_sizes(sizes)
+        chunks = partition_files(ds, bdp_mb * units.MB)
+        names = sorted(f.name for c in chunks for f in c.files)
+        assert names == sorted(f.name for f in ds)
+        assert sum(c.total_size for c in chunks) == ds.total_size
+
+    @given(sizes=sizes_strategy, bdp_mb=st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=60, deadline=None)
+    def test_chunks_ordered_and_nonempty(self, sizes, bdp_mb):
+        ds = Dataset.from_sizes(sizes)
+        chunks = partition_files(ds, bdp_mb * units.MB)
+        assert all(c.file_count > 0 for c in chunks)
+        classes = [int(c.chunk_class) for c in chunks]
+        assert classes == sorted(classes)
+
+    @given(sizes=sizes_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_no_merge_policy_classifies_correctly(self, sizes):
+        policy = PartitionPolicy(min_files=0, min_bytes_fraction=0.0)
+        bdp = 50 * units.MB
+        ds = Dataset.from_sizes(sizes)
+        for chunk in partition_files(ds, bdp, policy):
+            for f in chunk.files:
+                assert policy.classify(f.size, bdp) is chunk.chunk_class
+
+
+class TestFormulaProperties:
+    @given(
+        bdp=st.floats(min_value=1, max_value=1e9),
+        avg=st.floats(min_value=1, max_value=1e11),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pipelining_bounds(self, bdp, avg):
+        pp = pipelining_level(bdp, avg)
+        assert pp >= 1
+        assert pp == max(1, math.ceil(bdp / avg))
+
+    @given(
+        bdp=st.floats(min_value=1, max_value=1e9),
+        avg=st.floats(min_value=1, max_value=1e11),
+        buf=st.floats(min_value=1e3, max_value=1e8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_parallelism_at_least_one_and_buffer_bounded(self, bdp, avg, buf):
+        p = parallelism_level(bdp, avg, buf)
+        assert p >= 1
+        assert p <= max(1, math.ceil(bdp / buf))
+
+    @given(
+        bdp=st.floats(min_value=1, max_value=1e9),
+        avg=st.floats(min_value=1, max_value=1e11),
+        avail=st.integers(min_value=0, max_value=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mine_concurrency_never_exceeds_pool(self, bdp, avg, avail):
+        cc = mine_concurrency(bdp, avg, avail)
+        assert 0 <= cc <= avail or (avail > 0 and cc >= 1)
+        assert cc <= avail
+
+    @given(
+        groups=st.lists(
+            st.lists(st.integers(min_value=1, max_value=10**9), min_size=1, max_size=20),
+            min_size=1,
+            max_size=3,
+        ),
+        budget=st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_mine_walk_within_budget(self, groups, budget):
+        chunks = chunks_from_sizes(groups)
+        params = mine_walk(chunks, 50 * units.MB, 32 * units.MB, budget)
+        assert sum(p.concurrency for p in params) <= budget
+        assert all(p.pipelining >= 1 and p.parallelism >= 1 for p in params)
+
+
+class TestAllocationProperties:
+    chunk_groups = st.lists(
+        st.lists(st.integers(min_value=1, max_value=10**10), min_size=1, max_size=30),
+        min_size=1,
+        max_size=3,
+    )
+
+    @given(groups=chunk_groups)
+    @settings(max_examples=60, deadline=None)
+    def test_htee_weights_normalized(self, groups):
+        weights = htee_weights(chunks_from_sizes(groups))
+        assert abs(sum(weights) - 1.0) < 1e-9
+        assert all(w > 0 for w in weights)
+
+    @given(groups=chunk_groups, budget=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=60, deadline=None)
+    def test_htee_allocation_within_budget(self, groups, budget):
+        allocation = htee_channel_allocation(chunks_from_sizes(groups), budget)
+        assert sum(allocation) <= budget
+        assert all(a >= 0 for a in allocation)
+
+    @given(groups=chunk_groups, budget=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=60, deadline=None)
+    def test_proportional_allocation_exact(self, groups, budget):
+        allocation = proportional_allocation(chunks_from_sizes(groups), budget)
+        assert sum(allocation) == budget
+
+    @given(
+        weights=st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=6),
+        total=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_scaled_allocation_exact(self, weights, total):
+        norm = [w / sum(weights) for w in weights]
+        allocation = scaled_allocation(norm, total)
+        assert sum(allocation) == total
+        assert all(a >= 0 for a in allocation)
+
+    @given(
+        groups=chunk_groups,
+        total=st.integers(min_value=0, max_value=30),
+        extra=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sla_allocation_exact(self, groups, total, extra):
+        allocation = sla_allocation(chunks_from_sizes(groups), total, extra)
+        assert sum(allocation) == total
+        assert all(a >= 0 for a in allocation)
+
+
+class TestMaxMinProperties:
+    @given(
+        caps=st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=10),
+        group_cap=st.floats(min_value=1.0, max_value=1e6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_respects_caps_and_group(self, caps, group_cap):
+        cap_map = dict(enumerate(caps))
+        rates = _max_min_fill(cap_map, [(group_cap, list(cap_map))])
+        for k, rate in rates.items():
+            assert rate <= cap_map[k] + 1e-6
+        assert sum(rates.values()) <= group_cap + 1e-5
+
+    @given(
+        caps=st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=2, max_size=10),
+        group_cap=st.floats(min_value=1.0, max_value=1e6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_work_conserving(self, caps, group_cap):
+        # either the group is exhausted or every flow hit its own cap
+        cap_map = dict(enumerate(caps))
+        rates = _max_min_fill(cap_map, [(group_cap, list(cap_map))])
+        total = sum(rates.values())
+        all_capped = all(rates[k] >= cap_map[k] - 1e-6 for k in cap_map)
+        assert total >= min(group_cap, sum(caps)) - 1e-3 or all_capped
+
+
+class TestTcpProperties:
+    @given(
+        bw=st.floats(min_value=1e6, max_value=2e9),
+        rtt=st.floats(min_value=1e-4, max_value=0.5),
+        buf=st.floats(min_value=1e4, max_value=1e8),
+        p=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_channel_cap_bounded_by_link(self, bw, rtt, buf, p):
+        path = NetworkPath(bandwidth=bw, rtt=rtt, tcp_buffer=buf)
+        cap = channel_network_cap(path, p)
+        assert 0 < cap <= bw * path.protocol_efficiency + 1e-6
+
+    @given(
+        bw=st.floats(min_value=1e6, max_value=2e9),
+        streams=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_goodput_positive_and_bounded(self, bw, streams):
+        path = NetworkPath(bandwidth=bw, rtt=0.01, tcp_buffer=1e6)
+        goodput = aggregate_goodput(path, streams)
+        assert 0 < goodput <= bw
+
+
+class TestEnergyProperties:
+    @given(
+        samples=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e4),
+                st.floats(min_value=0, max_value=100),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_meter_matches_analytic_sum(self, samples):
+        meter = EnergyMeter()
+        for power, dt in samples:
+            meter.record(power, dt)
+        expected = sum(p * t for p, t in samples)
+        assert meter.total_joules == (
+            expected if expected == 0 else meter.total_joules
+        )
+        assert abs(meter.total_joules - expected) <= 1e-6 * max(1.0, expected)
+
+    @given(n=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=32, deadline=None)
+    def test_cpu_coefficient_positive(self, n):
+        assert cpu_coefficient(n) > 0
+
+    @given(
+        data=st.floats(min_value=1e6, max_value=1e12),
+        rate_frac=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_linear_device_energy_rate_invariant(self, data, rate_frac):
+        line = units.gbps(1)
+        model = LinearPowerModel(idle_watts=0.0, max_dynamic_watts=50.0)
+        base = transfer_energy(model, data, line, line)
+        at_frac = transfer_energy(model, data, rate_frac * line, line)
+        assert at_frac == base or abs(at_frac - base) / base < 1e-9
+
+    @given(
+        data=st.floats(min_value=1e6, max_value=1e12),
+        low=st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sublinear_device_energy_decreases_with_rate(self, data, low):
+        line = units.gbps(1)
+        model = NonLinearPowerModel(idle_watts=0.0, max_dynamic_watts=50.0)
+        slow = transfer_energy(model, data, low * line, line)
+        fast = transfer_energy(model, data, min(1.0, 2 * low) * line, line)
+        assert fast < slow

@@ -1,0 +1,190 @@
+"""Additional property-based suites: multi-transfer conservation,
+testbed-definition fuzzing, store round-trips, advisor bounds."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.core.advisor import advise
+from repro.core.scheduler import TransferOutcome
+from repro.datasets.files import Dataset, FileInfo
+from repro.harness.reporting import outcome_from_dict, outcome_to_dict
+from repro.harness.store import ResultStore
+from repro.netsim.disk import ParallelDisk
+from repro.netsim.endpoint import EndSystem, ServerSpec
+from repro.netsim.engine import ChunkPlan
+from repro.netsim.link import NetworkPath
+from repro.netsim.multi import MultiTransferSimulator
+from repro.netsim.params import TransferParams
+from repro.power.coefficients import CoefficientSet
+from repro.testbeds.io import testbed_from_dict as build_testbed
+from repro.testbeds.specs import Testbed as TestbedSpec
+
+
+def shared_testbed() -> TestbedSpec:
+    server = ServerSpec(
+        name="s", cores=8, tdp_watts=100.0, nic_rate=units.gbps(1),
+        disk=ParallelDisk(50e6, 400e6), per_channel_rate=50e6, core_rate=200e6,
+        per_file_overhead=0.0,
+    )
+    site = EndSystem("site", server, 1)
+    return TestbedSpec(
+        name="Shared",
+        path=NetworkPath(bandwidth=units.gbps(1), rtt=units.ms(2),
+                         tcp_buffer=8 * units.MB, protocol_efficiency=1.0),
+        source=site,
+        destination=site,
+        coefficients=CoefficientSet(),
+        dataset_factory=lambda: Dataset([]),
+        engine_dt=0.1,
+    )
+
+
+class TestMultiTransferProperties:
+    @given(
+        jobs=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=8),   # files
+                st.integers(min_value=1, max_value=3),   # cc
+                st.floats(min_value=0.0, max_value=3.0),  # arrival
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        cap=st.one_of(st.none(), st.integers(min_value=1, max_value=3)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_every_job_finishes_with_exact_bytes(self, jobs, cap):
+        sim = MultiTransferSimulator(shared_testbed(), max_concurrent_jobs=cap)
+        expected = {}
+        for i, (n, cc, arrival) in enumerate(jobs):
+            files = tuple(FileInfo(f"j{i}f{k}", 5 * units.MB) for k in range(n))
+            plans = [ChunkPlan(f"j{i}", files, TransferParams(concurrency=cc))]
+            sim.submit(f"job{i}", plans, arrival_time=arrival)
+            expected[f"job{i}"] = n * 5 * units.MB
+        records = sim.run()
+        for record in records:
+            assert record.finished
+            assert record.total_bytes == expected[record.name]
+            assert record.start_time >= record.arrival_time - 1e-9
+            assert record.completion_time > record.start_time
+            assert record.energy_joules > 0
+
+    @given(cap=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=6, deadline=None)
+    def test_admission_cap_never_exceeded(self, cap):
+        sim = MultiTransferSimulator(shared_testbed(), max_concurrent_jobs=cap)
+        for i in range(5):
+            files = tuple(FileInfo(f"j{i}f{k}", 5 * units.MB) for k in range(4))
+            sim.submit(f"job{i}", [ChunkPlan(f"j{i}", files, TransferParams(concurrency=2))])
+        max_running = 0
+        while not all(r.finished for r in sim.records()):
+            sim.step()
+            running = sum(
+                1 for r in sim.records()
+                if r.start_time is not None and not r.finished
+            )
+            max_running = max(max_running, running)
+        assert max_running <= cap
+
+
+class TestTestbedDefinitionFuzz:
+    @given(
+        bandwidth=st.floats(min_value=0.1, max_value=100.0),
+        rtt=st.floats(min_value=0.1, max_value=300.0),
+        buffer_mb=st.floats(min_value=0.5, max_value=256.0),
+        cores=st.integers(min_value=1, max_value=64),
+        servers=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_sane_definition_builds_and_runs(self, bandwidth, rtt, buffer_mb,
+                                                 cores, servers):
+        definition = {
+            "name": "Fuzz",
+            "path": {"bandwidth_gbps": bandwidth, "rtt_ms": rtt,
+                     "tcp_buffer_mb": buffer_mb},
+            "server": {
+                "cores": cores, "tdp_watts": 100, "nic_gbps": bandwidth,
+                "per_channel_rate_mbytes": 50, "core_rate_mbytes": 200,
+                "disk": {"type": "parallel", "per_accessor_mbytes": 50,
+                         "array_mbytes": 200},
+            },
+            "server_count": servers,
+            "dataset": {"type": "uniform", "file_count": 2, "file_mb": 5},
+            "engine_dt": 0.1,
+        }
+        testbed = build_testbed(definition)
+        from repro.core.mine import MinEAlgorithm
+
+        outcome = MinEAlgorithm().run(testbed, testbed.dataset(), 2)
+        assert outcome.bytes_moved == pytest.approx(10 * units.MB)
+
+
+class TestStoreFuzz:
+    @given(
+        records=st.lists(
+            st.tuples(
+                st.text(min_size=1, max_size=20),
+                st.text(min_size=1, max_size=20),
+                st.floats(min_value=0.1, max_value=1e6),
+                st.floats(min_value=0.1, max_value=1e9),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_any_names(self, records, tmp_path_factory):
+        store = ResultStore(tmp_path_factory.mktemp("store") / "s.jsonl")
+        for alg, testbed, joules, bytes_moved in records:
+            store.append(
+                TransferOutcome(alg, testbed, 1, 10.0, bytes_moved, joules)
+            )
+        loaded = store.load()
+        assert len(loaded) == len(records)
+        for (alg, testbed, joules, bytes_moved), outcome in zip(records, loaded):
+            assert outcome.algorithm == alg
+            assert outcome.testbed == testbed
+            assert outcome.energy_joules == pytest.approx(joules)
+
+    @given(
+        data=st.fixed_dictionaries(
+            {
+                "algorithm": st.text(min_size=1, max_size=10),
+                "testbed": st.text(min_size=1, max_size=10),
+                "max_channels": st.integers(min_value=0, max_value=100),
+                "duration_s": st.floats(min_value=0, max_value=1e6),
+                "bytes_moved": st.floats(min_value=0, max_value=1e15),
+                "energy_joules": st.floats(min_value=0, max_value=1e9),
+            }
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_outcome_dict_round_trip(self, data):
+        outcome = outcome_from_dict(data)
+        again = outcome_from_dict(outcome_to_dict(outcome))
+        assert again.algorithm == outcome.algorithm
+        assert again.bytes_moved == pytest.approx(outcome.bytes_moved)
+
+
+class TestAdvisorProperties:
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=units.MB, max_value=2 * units.GB),
+            min_size=1,
+            max_size=40,
+        ),
+        channels=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_prediction_bounded_by_physics(self, sizes, channels):
+        from repro.testbeds import XSEDE
+
+        dataset = Dataset.from_sizes(sizes)
+        advice = advise(XSEDE, dataset, channels)
+        # never above the link or the storage array
+        assert advice.predicted_throughput <= XSEDE.path.bandwidth + 1e-6
+        array = XSEDE.source.server.disk.aggregate_capacity(max(1, channels))
+        assert advice.predicted_throughput <= array * 1.001 + 1e-6
+        assert advice.predicted_energy_j >= 0

@@ -1,0 +1,60 @@
+"""The one-shot evaluation report generator."""
+
+import pytest
+
+from repro.harness.report import generate_report, write_report
+from repro.testbeds import DIDCLAB
+
+
+@pytest.fixture(scope="module")
+def quick_report() -> str:
+    return generate_report([DIDCLAB], quick=True)
+
+
+class TestGenerateReport:
+    def test_contains_every_section(self, quick_report):
+        for heading in (
+            "Figure 1 — testbeds",
+            "DIDCLAB concurrency sweep",
+            "DIDCLAB SLA transfers",
+            "Figure 8 — device power models",
+            "Figure 9 — topologies",
+            "Figure 10 — end-system vs network energy",
+            "Table 1 — device coefficients",
+        ):
+            assert heading in quick_report
+
+    def test_is_markdown(self, quick_report):
+        assert quick_report.startswith("# ")
+        assert "```text" in quick_report
+
+    def test_quick_restricts_levels(self, quick_report):
+        import re
+
+        panel_a = quick_report.split("(a) Throughput vs concurrency")[1].split("(b)")[0]
+        level_rows = [
+            line for line in panel_a.splitlines() if re.match(r"\s*\d+\s{2}", line)
+        ]
+        assert len(level_rows) == 3  # quick mode: cc in {1, 4, 12}
+
+    def test_sla_optional(self):
+        text = generate_report([DIDCLAB], quick=True, include_sla=False)
+        assert "SLA transfers" not in text
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "report.md", [DIDCLAB], quick=True)
+        assert path.exists()
+        assert "Figure 10" in path.read_text()
+
+
+class TestReportCli:
+    def test_cli_report_quick(self, tmp_path, capsys, monkeypatch):
+        # patch the testbed list so the CLI quick report stays fast
+        import repro.harness.report as report_module
+        from repro.cli import main
+
+        monkeypatch.setattr(report_module, "ALL_TESTBEDS", (DIDCLAB,))
+        out_path = tmp_path / "eval.md"
+        assert main(["report", "-o", str(out_path), "--quick"]) == 0
+        assert out_path.exists()
+        assert "report written" in capsys.readouterr().out

@@ -1,0 +1,141 @@
+"""Result export, trace serialization, sparklines."""
+
+import pytest
+
+from repro import units
+from repro.core.scheduler import TransferOutcome, engine_options
+from repro.harness.reporting import (
+    load_outcomes_json,
+    load_trace_csv,
+    outcome_from_dict,
+    outcome_to_dict,
+    render_trace,
+    save_outcomes_json,
+    save_trace_csv,
+    sparkline,
+)
+from repro.netsim.engine import StepRecord
+
+
+def outcome(**overrides) -> TransferOutcome:
+    base = dict(
+        algorithm="HTEE",
+        testbed="XSEDE",
+        max_channels=12,
+        duration_s=200.0,
+        bytes_moved=160 * units.GB,
+        energy_joules=17000.0,
+        files_moved=2500,
+        steady_throughput=8e8,
+        final_concurrency=7,
+        extra={"probes": [(1, 2.0, 3.0, 4.0)]},
+    )
+    base.update(overrides)
+    return TransferOutcome(**base)
+
+
+class TestOutcomeSerialization:
+    def test_round_trip(self):
+        original = outcome()
+        restored = outcome_from_dict(outcome_to_dict(original))
+        assert restored.algorithm == original.algorithm
+        assert restored.bytes_moved == original.bytes_moved
+        assert restored.energy_joules == original.energy_joules
+        assert restored.final_concurrency == original.final_concurrency
+        assert restored.throughput == pytest.approx(original.throughput)
+
+    def test_dict_contains_derived_fields(self):
+        data = outcome_to_dict(outcome())
+        assert data["throughput_mbps"] == pytest.approx(6400.0)
+        assert data["efficiency"] > 0
+
+    def test_extra_is_json_safe(self):
+        import json
+
+        data = outcome_to_dict(outcome(extra={"obj": object(), "nested": {"k": (1, 2)}}))
+        json.dumps(data)  # must not raise
+
+    def test_save_and_load_json(self, tmp_path):
+        path = tmp_path / "runs.json"
+        save_outcomes_json([outcome(), outcome(algorithm="MinE")], path)
+        loaded = load_outcomes_json(path)
+        assert [o.algorithm for o in loaded] == ["HTEE", "MinE"]
+
+
+class TestTraceSerialization:
+    TRACE = [
+        StepRecord(time=0.25, throughput=1e8, power=50.0, active_channels=4),
+        StepRecord(time=0.50, throughput=1.2e8, power=55.0, active_channels=4),
+    ]
+
+    def test_round_trip_csv(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(self.TRACE, path)
+        loaded = load_trace_csv(path)
+        assert len(loaded) == 2
+        assert loaded[0].time == pytest.approx(0.25)
+        assert loaded[1].throughput == pytest.approx(1.2e8)
+        assert loaded[1].active_channels == 4
+
+    def test_render_trace(self):
+        text = render_trace(self.TRACE)
+        assert "2 steps" in text
+        assert "Mbps" in text
+
+    def test_render_empty(self):
+        assert render_trace([]) == "(empty trace)"
+
+
+class TestSparkline:
+    def test_constant_series(self):
+        assert sparkline([5.0] * 10) == "▁" * 10
+
+    def test_monotone_series_is_nondecreasing(self):
+        line = sparkline(list(range(100)), width=10)
+        levels = "▁▂▃▄▅▆▇█"
+        indices = [levels.index(ch) for ch in line]
+        assert indices == sorted(indices)
+        assert len(line) == 10
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_short_series(self):
+        assert len(sparkline([1.0, 2.0], width=60)) == 2
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+
+class TestEngineOptions:
+    def test_trace_attached_when_enabled(self, small_testbed):
+        from repro.harness.runner import run_algorithm
+
+        ds = small_testbed.dataset()
+        with engine_options(record_trace=True):
+            traced = run_algorithm(small_testbed, "ProMC", 2, ds)
+        assert "trace" in traced.extra
+        assert len(traced.extra["trace"]) > 0
+
+    def test_trace_absent_by_default(self, small_testbed):
+        from repro.harness.runner import run_algorithm
+
+        ds = small_testbed.dataset()
+        plain = run_algorithm(small_testbed, "ProMC", 2, ds)
+        assert "trace" not in plain.extra
+
+    def test_option_is_restored_after_context(self, small_testbed):
+        from repro.core.scheduler import _ENGINE_DEFAULTS
+
+        with engine_options(record_trace=True):
+            assert _ENGINE_DEFAULTS["record_trace"]
+        assert not _ENGINE_DEFAULTS["record_trace"]
+
+    def test_sequential_runner_attaches_trace(self, small_testbed):
+        from repro.harness.runner import run_algorithm
+
+        ds = small_testbed.dataset()
+        with engine_options(record_trace=True):
+            traced = run_algorithm(small_testbed, "SC", 2, ds)
+        assert "trace" in traced.extra

@@ -1,0 +1,92 @@
+"""JSONL experiment store."""
+
+import json
+
+import pytest
+
+from repro import units
+from repro.core.scheduler import TransferOutcome
+from repro.harness.store import ResultStore
+
+
+def outcome(alg="HTEE", testbed="XSEDE", joules=1000.0, thr_mbps=1000.0) -> TransferOutcome:
+    rate = units.mbps(thr_mbps)
+    return TransferOutcome(
+        algorithm=alg, testbed=testbed, max_channels=4,
+        duration_s=100.0, bytes_moved=rate * 100.0, energy_joules=joules,
+    )
+
+
+@pytest.fixture
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "runs.jsonl")
+
+
+class TestAppendAndLoad:
+    def test_round_trip(self, store):
+        store.append(outcome())
+        loaded = store.load()
+        assert len(loaded) == 1
+        assert loaded[0].algorithm == "HTEE"
+        assert loaded[0].energy_joules == 1000.0
+
+    def test_append_many(self, store):
+        n = store.append_many([outcome(), outcome("MinE")])
+        assert n == 2
+        assert len(store) == 2
+
+    def test_empty_store(self, store):
+        assert store.load() == []
+        assert len(store) == 0
+        assert store.summary() == "(empty store)"
+
+    def test_extra_not_persisted(self, store):
+        o = outcome()
+        o.extra["trace"] = ["huge"]
+        store.append(o)
+        assert store.load()[0].extra == {}
+
+    def test_torn_final_line_skipped(self, store):
+        store.append(outcome())
+        with store.path.open("a") as handle:
+            handle.write('{"algorithm": "trunc')  # simulated crash
+        assert len(store.load()) == 1
+
+
+class TestQueries:
+    def test_filter_by_algorithm_and_testbed(self, store):
+        store.append(outcome("HTEE", "XSEDE"))
+        store.append(outcome("MinE", "XSEDE"))
+        store.append(outcome("HTEE", "DIDCLAB"))
+        assert len(store.load(algorithm="HTEE")) == 2
+        assert len(store.load(testbed="XSEDE")) == 2
+        assert len(store.load(algorithm="HTEE", testbed="XSEDE")) == 1
+
+    def test_where_predicate(self, store):
+        store.append(outcome(joules=100.0))
+        store.append(outcome(joules=5000.0))
+        cheap = store.load(where=lambda r: r["energy_joules"] < 1000)
+        assert len(cheap) == 1
+
+    def test_tags_stored_and_queryable(self, store):
+        store.append(outcome(), campaign="v1")
+        store.append(outcome(), campaign="v2")
+        v2 = store.load(where=lambda r: r.get("tags", {}).get("campaign") == "v2")
+        assert len(v2) == 1
+
+    def test_best_by_efficiency(self, store):
+        store.append(outcome("A", joules=2000.0))
+        store.append(outcome("B", joules=500.0))
+        best = store.best("efficiency")
+        assert best.algorithm == "B"
+
+    def test_best_empty(self, store):
+        assert store.best() is None
+
+    def test_summary_counts(self, store):
+        store.append(outcome("HTEE"))
+        store.append(outcome("HTEE"))
+        store.append(outcome("MinE"))
+        text = store.summary()
+        assert "3 runs" in text
+        assert "HTEE" in text and "MinE" in text

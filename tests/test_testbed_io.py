@@ -1,0 +1,137 @@
+"""Testbed JSON (de)serialization and CLI integration."""
+
+import json
+
+import pytest
+
+from repro import units
+from repro.cli import main
+from repro.netsim.disk import ParallelDisk, PowerLawDisk, SingleDisk
+from repro.testbeds import XSEDE
+from repro.testbeds.io import load_testbed, save_testbed
+from repro.testbeds.io import testbed_from_dict as build_testbed
+from repro.testbeds.io import testbed_to_dict as dump_testbed
+
+
+def minimal_definition(**overrides) -> dict:
+    base = {
+        "name": "MyLab",
+        "path": {"bandwidth_gbps": 40, "rtt_ms": 12, "tcp_buffer_mb": 64},
+        "server": {
+            "cores": 16,
+            "tdp_watts": 150,
+            "nic_gbps": 40,
+            "per_channel_rate_mbytes": 300,
+            "core_rate_mbytes": 800,
+            "disk": {"type": "parallel", "per_accessor_mbytes": 400, "array_mbytes": 3000},
+        },
+        "server_count": 2,
+        "dataset": {"type": "uniform", "file_count": 10, "file_mb": 100},
+    }
+    base.update(overrides)
+    return base
+
+
+class TestFromDict:
+    def test_minimal(self):
+        tb = build_testbed(minimal_definition())
+        assert tb.name == "MyLab"
+        assert tb.path.bandwidth == pytest.approx(units.gbps(40))
+        assert tb.path.rtt == pytest.approx(units.ms(12))
+        assert tb.source.server.cores == 16
+        assert tb.source.server_count == 2
+        assert isinstance(tb.source.server.disk, ParallelDisk)
+
+    def test_dataset_built(self):
+        tb = build_testbed(minimal_definition())
+        ds = tb.dataset()
+        assert ds.file_count == 10
+        assert ds.total_size == 10 * 100 * units.MB
+
+    def test_preset_dataset(self):
+        data = minimal_definition(dataset={"type": "preset", "name": "genomics"})
+        tb = build_testbed(data)
+        assert tb.dataset().file_count > 0
+
+    def test_banded_dataset(self):
+        data = minimal_definition(
+            dataset={
+                "type": "banded",
+                "total_gb": 1,
+                "bands": [
+                    {"fraction": 0.5, "min_mb": 1, "max_mb": 10},
+                    {"fraction": 0.5, "min_mb": 10, "max_mb": 100},
+                ],
+            }
+        )
+        assert build_testbed(data).dataset().total_size == units.GB
+
+    @pytest.mark.parametrize(
+        "disk,cls",
+        [
+            ({"type": "single", "peak_mbytes": 74}, SingleDisk),
+            ({"type": "powerlaw", "single_mbytes": 60, "exponent": 0.2}, PowerLawDisk),
+        ],
+    )
+    def test_disk_types(self, disk, cls):
+        data = minimal_definition()
+        data["server"]["disk"] = disk
+        assert isinstance(build_testbed(data).source.server.disk, cls)
+
+    def test_unknown_disk_type(self):
+        data = minimal_definition()
+        data["server"]["disk"] = {"type": "quantum"}
+        with pytest.raises(ValueError, match="unknown disk type"):
+            build_testbed(data)
+
+    def test_unknown_dataset_type(self):
+        with pytest.raises(ValueError, match="unknown dataset type"):
+            build_testbed(minimal_definition(dataset={"type": "mystery"}))
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            build_testbed(
+                minimal_definition(dataset={"type": "preset", "name": "nope"})
+            )
+
+
+class TestRoundTrip:
+    def test_builtin_testbed_round_trips(self):
+        data = dump_testbed(XSEDE)
+        rebuilt = build_testbed(data)
+        assert rebuilt.path.bandwidth == pytest.approx(XSEDE.path.bandwidth)
+        assert rebuilt.path.rtt == pytest.approx(XSEDE.path.rtt)
+        assert rebuilt.source.server.cores == XSEDE.source.server.cores
+        assert rebuilt.source.server_count == XSEDE.source.server_count
+        assert rebuilt.coefficients.scale == XSEDE.coefficients.scale
+        assert type(rebuilt.source.server.disk) is type(XSEDE.source.server.disk)
+
+    def test_file_round_trip(self, tmp_path):
+        path = save_testbed(XSEDE, tmp_path / "xsede.json")
+        rebuilt = load_testbed(path)
+        assert rebuilt.name == "XSEDE"
+        assert rebuilt.engine_dt == XSEDE.engine_dt
+
+
+class TestCliIntegration:
+    def test_transfer_on_json_testbed(self, tmp_path, capsys):
+        path = tmp_path / "lab.json"
+        path.write_text(json.dumps(minimal_definition()))
+        assert main(["transfer", "-t", str(path), "-a", "MinE", "-c", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "MyLab" in out
+
+    def test_advise_on_json_testbed(self, tmp_path, capsys):
+        path = tmp_path / "lab.json"
+        path.write_text(json.dumps(minimal_definition()))
+        assert main(["advise", "-t", str(path), "-c", "4"]) == 0
+        assert "Transfer plan for MyLab" in capsys.readouterr().out
+
+
+class TestAlgorithmsOnCustomTestbed:
+    def test_full_stack_runs(self):
+        from repro.harness.runner import run_algorithm
+
+        tb = build_testbed(minimal_definition())
+        outcome = run_algorithm(tb, "HTEE", 4)
+        assert outcome.bytes_moved == pytest.approx(tb.dataset().total_size)

@@ -1,0 +1,69 @@
+"""Testbed profiles match the published Figure 1 constants."""
+
+import pytest
+
+from repro import units
+from repro.netsim.disk import ParallelDisk, PowerLawDisk, SingleDisk
+from repro.testbeds.specs import ALL_TESTBEDS, DIDCLAB, FUTUREGRID, XSEDE
+from repro.testbeds.specs import testbed_by_name as lookup_testbed
+
+
+class TestPublishedConstants:
+    def test_xsede_link(self):
+        assert XSEDE.path.bandwidth == pytest.approx(units.gbps(10))
+        assert XSEDE.path.rtt == pytest.approx(units.ms(40))
+        assert XSEDE.path.tcp_buffer == pytest.approx(32 * units.MB)
+        assert XSEDE.path.bdp == pytest.approx(50 * units.MB)
+
+    def test_futuregrid_link(self):
+        assert FUTUREGRID.path.bandwidth == pytest.approx(units.gbps(1))
+        assert FUTUREGRID.path.rtt == pytest.approx(units.ms(28))
+        assert FUTUREGRID.path.tcp_buffer == pytest.approx(32 * units.MB)
+
+    def test_didclab_is_lan(self):
+        assert DIDCLAB.path.bandwidth == pytest.approx(units.gbps(1))
+        assert DIDCLAB.path.rtt <= units.ms(1)
+
+    def test_xsede_has_four_transfer_servers(self):
+        assert XSEDE.source.server_count == 4
+        assert XSEDE.destination.server_count == 4
+
+    def test_four_cores_everywhere(self):
+        # the Eq. 2 parabola discussion assumes 4-core transfer nodes
+        for tb in ALL_TESTBEDS:
+            assert tb.source.server.cores == 4
+
+    def test_disk_regimes(self):
+        assert isinstance(XSEDE.source.server.disk, ParallelDisk)
+        assert isinstance(FUTUREGRID.source.server.disk, PowerLawDisk)
+        assert isinstance(DIDCLAB.source.server.disk, SingleDisk)
+
+    def test_sla_reference_concurrency(self):
+        assert XSEDE.sla_reference_concurrency == 12
+        assert FUTUREGRID.sla_reference_concurrency == 12
+        assert DIDCLAB.sla_reference_concurrency == 1
+
+    def test_paper_concurrency_axis(self):
+        for tb in ALL_TESTBEDS:
+            assert tb.concurrency_levels == (1, 2, 4, 6, 8, 10, 12)
+            assert tb.brute_force_max_concurrency == 20
+
+    def test_datasets_match_network_class(self):
+        assert XSEDE.dataset().total_size == 160 * units.GB
+        assert FUTUREGRID.dataset().total_size == 40 * units.GB
+        assert DIDCLAB.dataset().total_size == 40 * units.GB
+
+
+class TestLookup:
+    def test_by_name_case_insensitive(self):
+        assert lookup_testbed("xsede") is XSEDE
+        assert lookup_testbed(" FutureGrid ") is FUTUREGRID
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            lookup_testbed("cern")
+
+    def test_describe(self):
+        text = XSEDE.describe()
+        assert "stampede-tacc" in text
+        assert "4 transfer server(s)/site" in text

@@ -1,0 +1,76 @@
+"""Unit-conversion sanity — the one true unit system."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestSizeConstants:
+    def test_decimal_multipliers(self):
+        assert units.KB == 1_000
+        assert units.MB == 1_000_000
+        assert units.GB == 1_000_000_000
+        assert units.TB == 1_000_000_000_000
+
+    def test_multipliers_are_consistent(self):
+        assert units.MB == 1000 * units.KB
+        assert units.GB == 1000 * units.MB
+        assert units.TB == 1000 * units.GB
+
+
+class TestRateConversions:
+    def test_mbps_is_bytes_per_second(self):
+        # 8 Mbit/s == 1 MB/s
+        assert units.mbps(8) == pytest.approx(1_000_000)
+
+    def test_gbps(self):
+        assert units.gbps(1) == pytest.approx(125_000_000)
+
+    def test_kbps(self):
+        assert units.kbps(8) == pytest.approx(1_000)
+
+    def test_round_trip_mbps(self):
+        for value in (0.0, 1.0, 9.5, 10_000.0):
+            assert units.to_mbps(units.mbps(value)) == pytest.approx(value)
+
+    def test_round_trip_gbps(self):
+        assert units.to_gbps(units.gbps(10)) == pytest.approx(10)
+
+    def test_gbps_is_1000_mbps(self):
+        assert units.gbps(1) == pytest.approx(units.mbps(1000))
+
+
+class TestTimeAndSize:
+    def test_ms(self):
+        assert units.ms(40) == pytest.approx(0.040)
+
+    def test_to_MB_GB(self):
+        assert units.to_MB(5 * units.MB) == pytest.approx(5)
+        assert units.to_GB(2.5 * units.GB) == pytest.approx(2.5)
+
+    def test_kilojoules(self):
+        assert units.kilojoules(21_000) == pytest.approx(21.0)
+
+
+class TestBdp:
+    def test_xsede_bdp_is_50_megabytes(self):
+        # 10 Gbps x 40 ms, the paper's headline BDP.
+        bdp = units.bdp_bytes(units.gbps(10), units.ms(40))
+        assert bdp == pytest.approx(50 * units.MB)
+
+    def test_futuregrid_bdp(self):
+        bdp = units.bdp_bytes(units.gbps(1), units.ms(28))
+        assert bdp == pytest.approx(3.5 * units.MB)
+
+    def test_zero_rtt_gives_zero_bdp(self):
+        assert units.bdp_bytes(units.gbps(1), 0.0) == 0.0
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            units.bdp_bytes(-1.0, 0.01)
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            units.bdp_bytes(1.0, -0.01)

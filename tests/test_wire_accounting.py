@@ -1,0 +1,83 @@
+"""Wire-byte accounting: headers and congestion retransmissions."""
+
+import pytest
+
+from repro import units
+from repro.datasets.files import FileInfo
+from repro.netsim.disk import ParallelDisk
+from repro.netsim.endpoint import EndSystem, ServerSpec
+from repro.netsim.engine import ChunkPlan, TransferEngine
+from repro.netsim.link import NetworkPath
+from repro.netsim.params import TransferParams
+from repro.netsim.tcp import loss_fraction
+
+
+def path(knee=8, slope=0.02, header=0.037) -> NetworkPath:
+    return NetworkPath(
+        bandwidth=units.gbps(1), rtt=0.0, tcp_buffer=8 * units.MB,
+        protocol_efficiency=1.0, congestion_knee=knee, congestion_slope=slope,
+        header_overhead=header,
+    )
+
+
+def engine(p=None, cc=1) -> TransferEngine:
+    server = ServerSpec(
+        name="s", cores=8, tdp_watts=100.0, nic_rate=units.gbps(1),
+        disk=ParallelDisk(50e6, 400e6), per_channel_rate=50e6, core_rate=200e6,
+        per_file_overhead=0.0,
+    )
+    site = EndSystem("site", server, 1)
+    e = TransferEngine(p or path(), site, site, lambda s, u: 1.0, dt=0.1)
+    files = tuple(FileInfo(f"f{i}", 10 * units.MB) for i in range(10 * cc))
+    e.add_chunk(ChunkPlan("c", files, TransferParams(concurrency=cc)))
+    return e
+
+
+class TestLossFraction:
+    def test_zero_below_knee(self):
+        assert loss_fraction(path(knee=8), 8) == 0.0
+        assert loss_fraction(path(knee=8), 1) == 0.0
+
+    def test_grows_past_knee(self):
+        p = path(knee=8, slope=0.02)
+        assert loss_fraction(p, 9) == pytest.approx(0.02)
+        assert loss_fraction(p, 13) == pytest.approx(1 - 0.98**5)
+
+    def test_monotone(self):
+        p = path(knee=4, slope=0.05)
+        values = [loss_fraction(p, s) for s in range(0, 40)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            loss_fraction(path(), -1)
+
+
+class TestEngineWireBytes:
+    def test_headers_only_below_knee(self):
+        e = engine(cc=1)
+        e.run()
+        expected = e.total_bytes * 1.037
+        assert e.total_wire_bytes == pytest.approx(expected, rel=1e-9)
+
+    def test_retransmissions_past_knee(self):
+        # 12 channels, knee at 8: every step pays the loss tax
+        e = engine(path(knee=8, slope=0.02), cc=12)
+        e.run()
+        headers_only = e.total_bytes * 1.037
+        assert e.total_wire_bytes > headers_only * 1.02
+
+    def test_zero_header_configuration(self):
+        e = engine(path(header=0.0), cc=1)
+        e.run()
+        assert e.total_wire_bytes == pytest.approx(e.total_bytes)
+
+    def test_header_validation(self):
+        with pytest.raises(ValueError):
+            path(header=-0.1)
+
+    def test_outcome_carries_wire_bytes(self, small_testbed):
+        from repro.harness.runner import run_algorithm
+
+        outcome = run_algorithm(small_testbed, "ProMC", 2)
+        assert outcome.extra["wire_bytes"] >= outcome.bytes_moved
