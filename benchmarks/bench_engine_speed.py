@@ -1,0 +1,155 @@
+"""Engine-speed microbenchmark: event-horizon fast path vs fixed-dt.
+
+Runs a set of Figure-2 XSEDE cells (algorithm x concurrency on the
+Stampede-Gordon testbed) twice — once with the engine's event-horizon
+fast path (the default) and once forced onto the pure fixed-``dt``
+stepper — and writes ``BENCH_engine.json`` with wall-clock per cell,
+the fast/fixed speedup, equivalent simulation steps per second, and
+the maximum relative error between the two modes. The JSON is tracked
+across PRs so the perf trajectory stays visible.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_speed.py            # full
+    PYTHONPATH=src python benchmarks/bench_engine_speed.py --smoke    # CI
+    PYTHONPATH=src python benchmarks/bench_engine_speed.py -o out.json
+
+Not a pytest file on purpose: it is a standalone script so CI can run
+it in smoke mode and upload the JSON artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.core.scheduler import engine_options
+from repro.harness.runner import dataset_for, run_algorithm
+from repro.testbeds.specs import XSEDE
+
+#: The benchmarked Figure-2 cells. The first entry is the headline
+#: "fig-2 XSEDE cell" reported at the top level of the JSON.
+CELLS: tuple[tuple[str, int], ...] = (
+    ("GUC", 1),
+    ("GO", 2),
+    ("SC", 4),
+    ("ProMC", 4),
+    ("MinE", 4),
+)
+
+SMOKE_CELLS: tuple[tuple[str, int], ...] = (("GUC", 1), ("GO", 2))
+
+
+def _time_cell(algorithm: str, level: int, dataset, *, repeats: int, fast: bool):
+    """Best-of-``repeats`` wall-clock and the final outcome."""
+    best = float("inf")
+    outcome = None
+    with engine_options(fast_path=fast):
+        for _ in range(repeats):
+            start = time.perf_counter()
+            outcome = run_algorithm(XSEDE, algorithm, level, dataset)
+            best = min(best, time.perf_counter() - start)
+    return best, outcome
+
+
+def run_benchmark(*, smoke: bool = False, repeats: int = 3) -> dict:
+    cells = SMOKE_CELLS if smoke else CELLS
+    repeats = 1 if smoke else repeats
+    dataset = dataset_for(XSEDE)
+    dt = XSEDE.engine_dt
+
+    results = []
+    total_fast = 0.0
+    total_fixed = 0.0
+    for algorithm, level in cells:
+        # warm every process-level cache (TCP model, allocation memo)
+        _time_cell(algorithm, level, dataset, repeats=1, fast=True)
+        fast_s, fast_out = _time_cell(algorithm, level, dataset, repeats=repeats, fast=True)
+        fixed_s, fixed_out = _time_cell(algorithm, level, dataset, repeats=repeats, fast=False)
+        sim_steps = fixed_out.duration_s / dt
+        rel = lambda a, b: abs(a - b) / max(abs(b), 1e-12)
+        results.append(
+            {
+                "algorithm": algorithm,
+                "max_channels": level,
+                "fast_wall_s": fast_s,
+                "fixed_wall_s": fixed_s,
+                "speedup": fixed_s / fast_s,
+                "sim_duration_s": fixed_out.duration_s,
+                "sim_steps": sim_steps,
+                "fixed_steps_per_sec": sim_steps / fixed_s,
+                "fast_steps_per_sec": sim_steps / fast_s,
+                "rel_err_bytes": rel(fast_out.bytes_moved, fixed_out.bytes_moved),
+                "rel_err_energy": rel(fast_out.energy_joules, fixed_out.energy_joules),
+                "rel_err_duration": rel(fast_out.duration_s, fixed_out.duration_s),
+            }
+        )
+        total_fast += fast_s
+        total_fixed += fixed_s
+
+    headline = results[0]
+    report = {
+        "benchmark": "engine_speed",
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "smoke": smoke,
+        "testbed": XSEDE.name,
+        "dt": dt,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "cells": results,
+        "fig2_xsede_cell": {
+            "algorithm": headline["algorithm"],
+            "max_channels": headline["max_channels"],
+            "speedup": headline["speedup"],
+        },
+        "fig2_xsede_aggregate_speedup": total_fixed / total_fast,
+        "max_rel_err_bytes": max(r["rel_err_bytes"] for r in results),
+        "max_rel_err_energy": max(r["rel_err_energy"] for r in results),
+        "max_rel_err_duration": max(r["rel_err_duration"] for r in results),
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small-horizon CI mode: fewer cells, one repeat",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing")
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(smoke=args.smoke, repeats=args.repeats)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"engine-speed benchmark ({'smoke' if args.smoke else 'full'}) -> {args.output}")
+    for cell in report["cells"]:
+        print(
+            f"  {cell['algorithm']:>6s}@cc={cell['max_channels']:<2d} "
+            f"fast {cell['fast_wall_s']*1e3:7.1f} ms  fixed {cell['fixed_wall_s']*1e3:7.1f} ms  "
+            f"speedup {cell['speedup']:5.1f}x  "
+            f"err(bytes {cell['rel_err_bytes']:.1e}, energy {cell['rel_err_energy']:.1e})"
+        )
+    print(
+        f"  headline fig-2 cell {report['fig2_xsede_cell']['algorithm']}"
+        f"@cc={report['fig2_xsede_cell']['max_channels']}: "
+        f"{report['fig2_xsede_cell']['speedup']:.1f}x; "
+        f"aggregate {report['fig2_xsede_aggregate_speedup']:.1f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,10 +49,15 @@ def _run_sequential(
     for plan in plans:
         engine.set_chunk_channels(plan.name, plan.params.concurrency)
         state = engine.chunks[plan.name]
-        while not (state.exhausted and all(not c.busy for c in engine.channels_for(plan.name))):
-            engine.step()
-            if engine.time > 1e7:  # pragma: no cover - safety net
-                raise RuntimeError("sequential transfer failed to converge")
+
+        def chunk_done(state=state, name=plan.name) -> bool:
+            return state.exhausted and all(
+                not c.busy for c in engine.channels_for(name)
+            )
+
+        engine.run(until=chunk_done, max_time=1e7)
+        if not chunk_done():  # pragma: no cover - safety net
+            raise RuntimeError("sequential transfer failed to converge")
         engine.set_chunk_channels(plan.name, 0)
     outcome = TransferOutcome(
         algorithm=algorithm,

@@ -26,11 +26,17 @@ __all__ = [
 
 #: Process-wide defaults applied by :func:`make_engine`; mutated only
 #: through :func:`engine_options`.
-_ENGINE_DEFAULTS: dict = {"record_trace": False, "background_traffic": None}
+_ENGINE_DEFAULTS: dict = {
+    "record_trace": False,
+    "background_traffic": None,
+    "fast_path": True,
+}
 
 
 @contextlib.contextmanager
-def engine_options(*, record_trace: bool = False, background_traffic=None) -> Iterator[None]:
+def engine_options(
+    *, record_trace: bool = False, background_traffic=None, fast_path: bool = True
+) -> Iterator[None]:
     """Temporarily change how :func:`make_engine` builds engines.
 
     Algorithms construct their engines internally; wrapping a run in
@@ -39,11 +45,14 @@ def engine_options(*, record_trace: bool = False, background_traffic=None) -> It
     attaches to the outcome as ``extra["trace"]``. Passing
     ``background_traffic`` (time -> competing bytes/s) subjects every
     engine to changing network conditions — the scenario the adaptive
-    algorithms are designed for.
+    algorithms are designed for. ``fast_path=False`` forces every
+    engine onto the pure fixed-``dt`` stepper (used by the equivalence
+    tests and the benchmark's baseline arm).
     """
     previous = dict(_ENGINE_DEFAULTS)
     _ENGINE_DEFAULTS["record_trace"] = record_trace
     _ENGINE_DEFAULTS["background_traffic"] = background_traffic
+    _ENGINE_DEFAULTS["fast_path"] = fast_path
     try:
         yield
     finally:
@@ -125,6 +134,7 @@ def make_engine(
         work_stealing=work_stealing,
         record_trace=record_trace or _ENGINE_DEFAULTS["record_trace"],
         background_traffic=_ENGINE_DEFAULTS["background_traffic"],
+        fast_path=_ENGINE_DEFAULTS["fast_path"],
     )
 
 

@@ -5,15 +5,24 @@ run once, archived to a :class:`~repro.harness.store.ResultStore`, and
 safely resumable: combinations already in the store are skipped, so an
 interrupted overnight sweep continues where it stopped instead of
 starting over.
+
+Independent grid cells can be fanned out over worker processes with
+``Campaign.run(workers=N)``: each worker simulates its cell and streams
+the outcome straight into the (multi-process safe) store, so an
+interrupted parallel run resumes exactly like a serial one — every
+archived cell is skipped on the next call.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import concurrent.futures
+import dataclasses
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator, Optional, Sequence
 
 from repro.core.scheduler import TransferOutcome
+from repro.datasets.files import Dataset
 from repro.harness.runner import ALGORITHMS, CONCURRENCY_INDEPENDENT, dataset_for, run_algorithm
 from repro.harness.store import ResultStore
 from repro.testbeds.specs import Testbed
@@ -38,6 +47,41 @@ class CampaignProgress:
         return self.completed / self.total if self.total else 1.0
 
 
+@dataclass(frozen=True)
+class _FixedDataset:
+    """A picklable dataset factory closing over a concrete dataset.
+
+    Built-in testbeds carry module-level factory functions (picklable),
+    but ad-hoc testbeds frequently use lambdas, which cannot cross a
+    process boundary. Before dispatching a cell to a worker the campaign
+    swaps the factory for this wrapper around the already-materialized
+    dataset — which also spares every worker from regenerating it.
+    """
+
+    dataset: Dataset
+
+    def __call__(self) -> Dataset:
+        return self.dataset
+
+
+def _run_cell(
+    testbed: Testbed,
+    algorithm: str,
+    level: int,
+    store_path: str,
+    campaign_name: str,
+) -> TransferOutcome:
+    """Worker entry point: simulate one grid cell and archive it.
+
+    Module-level so it pickles; appends directly to the store (safe
+    under concurrency) so a completed cell survives even if the parent
+    dies before collecting the future.
+    """
+    outcome = run_algorithm(testbed, algorithm, level, dataset_for(testbed))
+    ResultStore(Path(store_path)).append(outcome, campaign=campaign_name)
+    return outcome
+
+
 @dataclass
 class Campaign:
     """A named experiment grid with an on-disk archive.
@@ -60,6 +104,10 @@ class Campaign:
         if unknown:
             raise ValueError(f"unknown algorithms: {unknown}")
         self.store = ResultStore(Path(self.store_path))
+        #: Lazily-built index of archived (testbed, algorithm, level)
+        #: keys; kept in sync on append so ``progress()``/``run()``
+        #: never re-scan the whole store.
+        self._done_index: Optional[set[tuple[str, str, int]]] = None
 
     # ------------------------------------------------------------------
 
@@ -79,15 +127,24 @@ class Campaign:
                         yield testbed, algorithm, level
 
     def _done_keys(self) -> set[tuple[str, str, int]]:
-        done = set()
-        for record in self.store._records():
-            tags = record.get("tags", {})
-            if tags.get("campaign") != self.name:
-                continue
-            done.add(
-                (record["testbed"], record["algorithm"], int(record["max_channels"]))
-            )
-        return done
+        """The maintained done-key index (built once per instance from
+        the store's public record iterator, then updated in place)."""
+        if self._done_index is None:
+            done: set[tuple[str, str, int]] = set()
+            for record in self.store.records():
+                tags = record.get("tags", {})
+                if tags.get("campaign") != self.name:
+                    continue
+                done.add(
+                    (record["testbed"], record["algorithm"], int(record["max_channels"]))
+                )
+            self._done_index = done
+        return self._done_index
+
+    def refresh_index(self) -> None:
+        """Drop the done-key index so the next query re-reads the store
+        (use after another process appended to the same archive)."""
+        self._done_index = None
 
     def progress(self) -> CampaignProgress:
         """How much of the grid the archive already covers."""
@@ -100,8 +157,22 @@ class Campaign:
 
     # ------------------------------------------------------------------
 
-    def run(self, *, max_cells: Optional[int] = None) -> CampaignProgress:
-        """Run every not-yet-archived cell (up to ``max_cells``)."""
+    def run(
+        self,
+        *,
+        max_cells: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> CampaignProgress:
+        """Run every not-yet-archived cell (up to ``max_cells``).
+
+        With ``workers=N`` (N > 1) independent cells are dispatched to a
+        :class:`~concurrent.futures.ProcessPoolExecutor`; each worker
+        appends its outcome to the store itself, so interrupting a
+        parallel run loses at most the in-flight cells and a re-run
+        (serial or parallel) skips everything already archived.
+        """
+        if workers is not None and workers > 1:
+            return self._run_parallel(workers=workers, max_cells=max_cells)
         done = self._done_keys()
         executed = 0
         skipped = 0
@@ -119,6 +190,47 @@ class Campaign:
             executed += 1
             if self.on_result is not None:
                 self.on_result(outcome)
+        completed = sum(1 for tb, alg, lvl in cells if (tb.name, alg, lvl) in done)
+        return CampaignProgress(total=len(cells), completed=completed, skipped=skipped)
+
+    def _run_parallel(self, *, workers: int, max_cells: Optional[int]) -> CampaignProgress:
+        done = self._done_keys()
+        cells = list(self.cells())
+        pending: list[tuple[Testbed, str, int]] = []
+        skipped = 0
+        for testbed, algorithm, level in cells:
+            if (testbed.name, algorithm, level) in done:
+                skipped += 1
+                continue
+            if max_cells is not None and len(pending) >= max_cells:
+                break
+            pending.append((testbed, algorithm, level))
+        if pending:
+            # One picklable testbed per distinct spec: the dataset is
+            # materialized once here and shipped to the workers.
+            picklable: dict[int, Testbed] = {}
+            for testbed, _, _ in pending:
+                if id(testbed) not in picklable:
+                    picklable[id(testbed)] = dataclasses.replace(
+                        testbed, dataset_factory=_FixedDataset(dataset_for(testbed))
+                    )
+            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(
+                        _run_cell,
+                        picklable[id(testbed)],
+                        algorithm,
+                        level,
+                        str(self.store.path),
+                        self.name,
+                    ): (testbed.name, algorithm, level)
+                    for testbed, algorithm, level in pending
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    outcome = future.result()  # re-raises worker errors
+                    done.add(futures[future])
+                    if self.on_result is not None:
+                        self.on_result(outcome)
         completed = sum(1 for tb, alg, lvl in cells if (tb.name, alg, lvl) in done)
         return CampaignProgress(total=len(cells), completed=completed, skipped=skipped)
 

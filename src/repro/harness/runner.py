@@ -44,12 +44,23 @@ def _dataset_cache(testbed_name: str) -> Dataset:
 
 def dataset_for(testbed: Testbed) -> Dataset:
     """The testbed's dataset (cached for the built-in testbeds —
-    generation is seeded and deterministic either way)."""
+    generation is seeded and deterministic either way).
+
+    The cache is keyed by name but only consulted when ``testbed`` *is*
+    the registered built-in instance: a custom/JSON testbed that reuses
+    a built-in name ("xsede", ...) must get its own dataset, not the
+    built-in one (cache poisoning).
+    """
+    from repro.testbeds.specs import testbed_by_name
+
     try:
-        return _dataset_cache(testbed.name)
+        registered = testbed_by_name(testbed.name)
     except KeyError:
+        registered = None
+    if registered is not testbed:
         # custom (e.g. JSON-defined) testbed: build directly
         return testbed.dataset()
+    return _dataset_cache(testbed.name)
 
 
 def run_algorithm(

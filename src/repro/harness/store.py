@@ -4,17 +4,29 @@ Long calibration or comparison campaigns want every run kept and
 queryable. :class:`ResultStore` appends one JSON object per line to a
 ``.jsonl`` file (crash-safe: a torn final line is skipped on load) and
 offers simple filtering/aggregation over the history.
+
+Appends are **multi-process safe**: each record is written with a
+single ``write(2)`` on an ``O_APPEND`` descriptor under an exclusive
+``flock`` (where available) and fsync'd before the lock is released,
+so concurrent campaign workers can stream results into one archive
+without interleaving or losing lines.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator, Optional
 
 from repro.core.scheduler import TransferOutcome
 from repro.harness.reporting import outcome_from_dict, outcome_to_dict
+
+try:  # POSIX advisory locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = ["ResultStore"]
 
@@ -32,13 +44,29 @@ class ResultStore:
 
     def append(self, outcome: TransferOutcome, **tags: object) -> None:
         """Append one outcome; ``tags`` (e.g. ``campaign="cal-v2"``) are
-        stored alongside and usable in queries."""
+        stored alongside and usable in queries.
+
+        Safe under concurrent writers: one atomic ``O_APPEND`` write per
+        record, serialized by an exclusive ``flock`` and fsync'd so a
+        crashed process can lose at most its own in-flight record.
+        """
         record = outcome_to_dict(outcome)
         record.pop("extra", None)  # traces/probes stay out of the archive
         if tags:
             record["tags"] = {str(k): v for k, v in tags.items()}
-        with self.path.open("a") as handle:
-            handle.write(json.dumps(record) + "\n")
+        data = (json.dumps(record) + "\n").encode("utf-8")
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            try:
+                os.write(fd, data)
+                os.fsync(fd)
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
 
     def append_many(self, outcomes, **tags: object) -> int:
         """Append several outcomes; returns how many were written."""
@@ -50,7 +78,13 @@ class ResultStore:
 
     # ------------------------------------------------------------------
 
-    def _records(self) -> Iterator[dict]:
+    def records(self) -> Iterator[dict]:
+        """Every stored record as a raw dict, in append order.
+
+        Torn trailing lines (a writer crashed mid-record) are skipped.
+        This is the public iteration surface — prefer it over opening
+        the JSONL file directly.
+        """
         if not self.path.exists():
             return
         with self.path.open() as handle:
@@ -63,6 +97,10 @@ class ResultStore:
                 except json.JSONDecodeError:
                     continue  # torn trailing line from a crash
 
+    # Backwards-compatible alias (pre-1.x callers used the private name).
+    def _records(self) -> Iterator[dict]:
+        return self.records()
+
     def load(
         self,
         *,
@@ -72,7 +110,7 @@ class ResultStore:
     ) -> list[TransferOutcome]:
         """All stored outcomes matching the filters, in append order."""
         results = []
-        for record in self._records():
+        for record in self.records():
             if algorithm is not None and record.get("algorithm") != algorithm:
                 continue
             if testbed is not None and record.get("testbed") != testbed:
@@ -83,7 +121,7 @@ class ResultStore:
         return results
 
     def __len__(self) -> int:
-        return sum(1 for _ in self._records())
+        return sum(1 for _ in self.records())
 
     # ------------------------------------------------------------------
 
@@ -97,7 +135,7 @@ class ResultStore:
     def summary(self) -> str:
         """Counts per (testbed, algorithm) pair."""
         counts: dict[tuple[str, str], int] = {}
-        for record in self._records():
+        for record in self.records():
             key = (record.get("testbed", "?"), record.get("algorithm", "?"))
             counts[key] = counts.get(key, 0) + 1
         if not counts:

@@ -12,6 +12,7 @@ powered-up end systems waiting on ACKs).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -32,7 +33,7 @@ class FileProgress:
         return cls(file=file, remaining=float(file.size))
 
 
-@dataclass
+@dataclass(slots=True)
 class StepOutcome:
     """What one channel did during one engine step."""
 
@@ -94,6 +95,20 @@ class Channel:
     def busy(self) -> bool:
         """True when the channel holds a file (even if inside a gap)."""
         return self.current is not None
+
+    def time_to_completion(self, rate: float) -> float:
+        """Seconds until the in-flight file completes at payload ``rate``.
+
+        The pending control-channel gap is served before payload flows,
+        so the completion horizon is ``gap_remaining + remaining/rate``.
+        Returns ``inf`` when the channel holds no file or is stalled
+        (``rate <= 0``) — no completion event will ever fire from this
+        state without external change. Used by the engine's event-horizon
+        fast path to find the next state change.
+        """
+        if self.current is None or rate <= 0.0:
+            return math.inf
+        return self.gap_remaining + self.current.remaining / rate
 
     def take_from(self, queue) -> bool:
         """Pull the next file from ``queue`` (a deque of FileProgress).

@@ -11,6 +11,20 @@ The engine advances a set of live data channels in fixed time steps
 3. converts each server's carried load into component utilizations and
    integrates the supplied power model into joules.
 
+On top of the fixed-``dt`` stepper sits an **event-horizon fast path**
+(:meth:`TransferEngine.run` with ``fast_path=True``, the default): when
+the channel/queue/failure configuration is stable, the engine computes
+the time to the next state change — the earliest file completion that
+could change the rate allocation, the next server recovery, the next
+background-traffic change point, or the caller's horizon — and advances
+bytes and energy analytically in one macro-step at the frozen rate
+vector, quantized to the ``dt`` grid. Around events it falls back to
+fixed-``dt`` stepping, so results are numerically equivalent to the
+pure stepper (see DESIGN.md, "Fast path / fixed-dt duality": bytes and
+durations agree to floating-point round-off, energy to <=1e-3 relative
+because power inside a macro-step is integrated at the interval-average
+throughput).
+
 Everything is deterministic; the adaptive algorithms of the paper
 (HTEE's probe phase, SLAEE's feedback loop) interact with a running
 engine through :meth:`TransferEngine.run` (bounded horizons) and
@@ -21,6 +35,9 @@ the control surface the custom GridFTP client exposes.
 from __future__ import annotations
 
 import enum
+import heapq
+import math
+from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
@@ -39,6 +56,7 @@ __all__ = [
     "ChunkState",
     "EngineEvent",
     "EngineSnapshot",
+    "PiecewiseTraffic",
     "StepRecord",
     "TransferEngine",
     "PowerFn",
@@ -60,6 +78,40 @@ class Binding(enum.Enum):
 
     PACK = "pack"
     SPREAD = "spread"
+
+
+@dataclass(frozen=True)
+class PiecewiseTraffic:
+    """Piecewise-constant background-traffic profile.
+
+    ``points`` is a sorted sequence of ``(start_time, competing_streams)``
+    plateaus; the value at time ``t`` is the last plateau whose start is
+    ``<= t`` (0 before the first). Unlike an opaque callable, this
+    profile exposes :meth:`next_change`, so the engine's event-horizon
+    fast path can jump analytically between plateaus instead of
+    sampling every fixed step. Opaque callables remain fully supported
+    — the engine simply keeps fixed-``dt`` stepping for them.
+    """
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        times = [t for t, _ in self.points]
+        if times != sorted(times):
+            raise ValueError("PiecewiseTraffic points must be sorted by time")
+        if any(v < 0 for _, v in self.points):
+            raise ValueError("competing stream counts must be >= 0")
+
+    def __call__(self, t: float) -> float:
+        """Competing stream count at simulated time ``t``."""
+        idx = bisect_right(self.points, (t, math.inf)) - 1
+        return self.points[idx][1] if idx >= 0 else 0.0
+
+    def next_change(self, t: float) -> float:
+        """Time of the next plateau boundary strictly after ``t``
+        (``inf`` once past the last one)."""
+        idx = bisect_right(self.points, (t, math.inf))
+        return self.points[idx][0] if idx < len(self.points) else math.inf
 
 
 @dataclass(frozen=True)
@@ -95,6 +147,12 @@ class ChunkState:
     queue: deque[FileProgress]
     bytes_done: float = 0.0
     files_done: int = 0
+    #: Monotone lower bound on the smallest ``remaining`` of any queued
+    #: file — set from the plan at registration, lowered whenever a
+    #: partially-transferred file is requeued, never raised. Staleness
+    #: is safe: the fast path uses it to *under*-estimate future file
+    #: sizes, which only makes its event horizon more conservative.
+    min_queued_lb: float = math.inf
 
     @property
     def remaining_bytes(self) -> float:
@@ -129,7 +187,11 @@ class EngineSnapshot:
 
 @dataclass(frozen=True)
 class StepRecord:
-    """Optional per-step trace entry (enable with ``record_trace=True``)."""
+    """Optional per-step trace entry (enable with ``record_trace=True``).
+
+    Under the fast path, records inside a macro-step are synthesized at
+    the interval-average throughput/power (still one record per ``dt``).
+    """
 
     time: float
     throughput: float
@@ -145,6 +207,10 @@ class EngineEvent:
     ``channel_reassigned``, ``channel_failed``, ``server_failed``,
     ``server_recovered``, ``chunk_drained``, ``file_completed``.
     ``detail`` carries the kind-specific facts (chunk, servers, file).
+
+    Causal ordering is guaranteed: a ``channel_failed`` precedes the
+    ``channel_closed`` it causes, and a ``server_failed`` precedes the
+    closures (and reconnections) it triggers.
     """
 
     time: float
@@ -168,6 +234,7 @@ class TransferEngine:
         record_trace: bool = False,
         record_events: bool = False,
         background_traffic: Optional[Callable[[float], float]] = None,
+        fast_path: bool = True,
     ) -> None:
         """``background_traffic`` (optional) maps simulated time to the
         number of competing TCP streams sharing the path. The link is
@@ -175,7 +242,15 @@ class TransferEngine:
         ``ours / (ours + competing)`` of the aggregate goodput — which
         is exactly why opening more channels/streams claws bandwidth
         back from cross-traffic, and how the adaptive algorithms are
-        exercised against changing network conditions."""
+        exercised against changing network conditions.
+
+        ``fast_path`` enables the event-horizon macro-stepper used by
+        :meth:`run` (``step`` always performs one fixed-``dt`` step).
+        Pass a :class:`PiecewiseTraffic` (or any callable exposing
+        ``next_change(t)``) as ``background_traffic`` to keep the fast
+        path active under cross-traffic; opaque callables silently
+        disable it (the engine then behaves exactly like the fixed
+        stepper)."""
         if dt <= 0:
             raise ValueError(f"dt must be > 0, got {dt}")
         self.path = path
@@ -188,6 +263,7 @@ class TransferEngine:
         self.record_trace = record_trace
         self.record_events = record_events
         self.background_traffic = background_traffic
+        self.fast_path = fast_path
 
         self.time = 0.0
         self.total_bytes = 0.0
@@ -201,13 +277,26 @@ class TransferEngine:
         self.events: list[EngineEvent] = []
         self._drained_logged: set[str] = set()
         self.chunks: dict[str, ChunkState] = {}
-        self.channels: list[Channel] = []
+        #: Open channels, insertion-ordered (id(channel) -> channel).
+        #: O(1) membership/removal; the public ``channels`` property
+        #: materializes the ordered list.
+        self._channels: dict[int, Channel] = {}
+        #: Per-chunk channel registry (chunk name -> ordered channels),
+        #: kept in sync by open/close/reassign.
+        self._by_chunk: dict[str, list[Channel]] = {}
+        #: Memoized rate allocations, keyed on the busy-channel
+        #: signature (see :meth:`_allocate_rates`); invalidated on any
+        #: open/close/reassign/failure.
+        self._alloc_cache: dict = {}
         self._spread_counter = 0
         #: Servers currently failed, mapped to their recovery time.
         self._down_servers: dict[tuple[str, int], float] = {}
         #: Counters for post-mortem inspection.
         self.channel_failures = 0
         self.server_failures = 0
+        #: Macro-steps taken / fixed steps taken (perf introspection).
+        self.macro_steps = 0
+        self.fixed_steps = 0
         #: Joules attributed per component (cpu/memory/disk/nic), filled
         #: when the power model exposes ``power_components`` (the
         #: fine-grained Eq. 1 model does).
@@ -218,6 +307,11 @@ class TransferEngine:
     # ------------------------------------------------------------------
     # setup / channel management
     # ------------------------------------------------------------------
+
+    @property
+    def channels(self) -> list[Channel]:
+        """The open channels, in opening order."""
+        return list(self._channels.values())
 
     def add_chunk(self, plan: ChunkPlan, *, open_channels: bool = True) -> ChunkState:
         """Register a chunk; optionally open its planned channels.
@@ -230,7 +324,11 @@ class TransferEngine:
         if plan.name in self.chunks:
             raise ValueError(f"duplicate chunk name: {plan.name!r}")
         ordered = sorted(plan.files, key=lambda f: f.size, reverse=True)
-        state = ChunkState(plan=plan, queue=deque(FileProgress.fresh(f) for f in ordered))
+        state = ChunkState(
+            plan=plan,
+            queue=deque(FileProgress.fresh(f) for f in ordered),
+            min_queued_lb=float(ordered[-1].size) if ordered else math.inf,
+        )
         self.chunks[plan.name] = state
         if open_channels:
             for _ in range(plan.params.concurrency):
@@ -270,20 +368,27 @@ class TransferEngine:
                 + self.destination.server.per_file_overhead
             ),
         )
-        self.channels.append(channel)
+        self._channels[id(channel)] = channel
+        self._by_chunk.setdefault(chunk_name, []).append(channel)
+        self._alloc_cache.clear()
         self._log_event("channel_opened",
                         chunk=chunk_name, src_server=src, dst_server=dst)
         return channel
 
     def close_channel(self, channel: Channel) -> None:
         """Close a channel, returning any in-flight file to its queue."""
-        channel.release_to(self.chunks[channel.chunk_name].queue)
-        self.channels.remove(channel)
+        state = self.chunks[channel.chunk_name]
+        if channel.current is not None:
+            state.min_queued_lb = min(state.min_queued_lb, channel.current.remaining)
+        channel.release_to(state.queue)
+        del self._channels[id(channel)]
+        self._by_chunk[channel.chunk_name].remove(channel)
+        self._alloc_cache.clear()
         self._log_event("channel_closed", chunk=channel.chunk_name)
 
     def channels_for(self, chunk_name: str) -> list[Channel]:
         """The channels currently assigned to ``chunk_name``."""
-        return [c for c in self.channels if c.chunk_name == chunk_name]
+        return list(self._by_chunk.get(chunk_name, ()))
 
     def set_chunk_channels(self, chunk_name: str, count: int) -> None:
         """Grow or shrink a chunk's channel set to exactly ``count``."""
@@ -310,16 +415,17 @@ class TransferEngine:
         The in-flight file returns to its chunk's queue; with
         ``restart_file=True`` its progress is discarded (no GridFTP
         restart markers), otherwise the remaining bytes are picked up
-        where the failed channel left off.
+        where the failed channel left off. The ``channel_failed`` event
+        is logged before the ``channel_closed`` it causes.
         """
-        if channel not in self.channels:
+        if id(channel) not in self._channels:
             raise ValueError("channel is not open on this engine")
         if restart_file and channel.current is not None:
             channel.current.remaining = float(channel.current.file.size)
-        self.close_channel(channel)
         self.channel_failures += 1
         self._log_event("channel_failed",
                         chunk=channel.chunk_name, restart_file=restart_file)
+        self.close_channel(channel)
 
     def fail_server(
         self,
@@ -335,7 +441,9 @@ class TransferEngine:
         Every channel bound to it fails (files requeued); with
         ``reopen=True`` the client immediately reconnects the same
         number of channels on the surviving servers, as a real transfer
-        client would. Returns the number of channels that failed.
+        client would. Returns the number of channels that failed. The
+        ``server_failed`` event precedes the channel closures (and
+        reconnections) it triggers.
         """
         if side not in ("src", "dst"):
             raise ValueError("side must be 'src' or 'dst'")
@@ -345,21 +453,21 @@ class TransferEngine:
         if downtime <= 0:
             raise ValueError("downtime must be > 0")
         attr = "src_server" if side == "src" else "dst_server"
-        victims = [c for c in self.channels if getattr(c, attr) == index]
+        victims = [c for c in self._channels.values() if getattr(c, attr) == index]
         self._down_servers[(side, index)] = self.time + downtime
         if not self._available_servers(side):
             # cannot operate with every server down; undo and refuse
             del self._down_servers[(side, index)]
             raise RuntimeError("cannot fail the last available server")
+        self.server_failures += 1
+        self._log_event("server_failed", side=side, index=index,
+                        downtime=downtime, channels_lost=len(victims))
         by_chunk: dict[str, int] = {}
         for channel in victims:
             by_chunk[channel.chunk_name] = by_chunk.get(channel.chunk_name, 0) + 1
             if restart_files and channel.current is not None:
                 channel.current.remaining = float(channel.current.file.size)
             self.close_channel(channel)
-        self.server_failures += 1
-        self._log_event("server_failed", side=side, index=index,
-                        downtime=downtime, channels_lost=len(victims))
         if reopen:
             for chunk_name, n in by_chunk.items():
                 for _ in range(n):
@@ -383,7 +491,9 @@ class TransferEngine:
 
     @property
     def active_channel_count(self) -> int:
-        return sum(1 for c in self.channels if c.busy or not self._queue_empty_for(c))
+        return sum(
+            1 for c in self._channels.values() if c.busy or not self._queue_empty_for(c)
+        )
 
     # ------------------------------------------------------------------
     # progress accounting
@@ -393,7 +503,7 @@ class TransferEngine:
     def finished(self) -> bool:
         """True when every file of every chunk has fully transferred."""
         return all(s.exhausted for s in self.chunks.values()) and not any(
-            c.busy for c in self.channels
+            c.busy for c in self._channels.values()
         )
 
     @property
@@ -413,25 +523,61 @@ class TransferEngine:
     # stepping
     # ------------------------------------------------------------------
 
-    def run(self, duration: Optional[float] = None, *, max_time: float = 1e7) -> float:
+    def run(
+        self,
+        duration: Optional[float] = None,
+        *,
+        max_time: float = 1e7,
+        until: Optional[Callable[[], bool]] = None,
+    ) -> float:
         """Advance until completion or for ``duration`` seconds.
 
         Returns the simulated time that actually elapsed. ``max_time``
         is a safety net against configurations that can never finish.
+        ``until`` (optional) is an extra stop predicate evaluated
+        between steps — the loop ends as soon as it returns True.
+
+        With ``fast_path`` enabled, stable stretches are advanced in
+        macro-steps (see the module docstring). ``until`` is evaluated
+        between fast-path iterations: predicates watching
+        allocation-changing events — queue drains, channels leaving the
+        busy set, failures/recoveries, traffic change points — are
+        honored at the same ``dt`` granularity as fixed stepping
+        (those events bound every macro-step), while predicates on
+        finer-grained state (e.g. per-file counters mid-queue) may
+        overshoot by up to one macro-step. Controllers needing
+        sub-second sampling should call ``run(duration=...)`` with the
+        sampling window instead.
         """
         start = self.time
         horizon = min(self.time + duration, max_time) if duration is not None else max_time
-        while not self.finished and self.time < horizon - 1e-12:
-            self.step()
+        if self.fast_path:
+            while (
+                not self.finished
+                and self.time < horizon - 1e-12
+                and not (until is not None and until())
+            ):
+                self._fast_step(horizon)
+        else:
+            while (
+                not self.finished
+                and self.time < horizon - 1e-12
+                and not (until is not None and until())
+            ):
+                self.step()
         return self.time - start
 
     def step(self) -> None:
-        """Advance the simulation one ``dt`` step."""
+        """Advance the simulation one fixed ``dt`` step."""
         self._recover_servers()
         self._assign_work()
-        busy = [c for c in self.channels if c.busy]
+        busy = [c for c in self._channels.values() if c.busy]
         rates = self._allocate_rates(busy)
+        self._advance_fixed(busy, rates)
 
+    def _advance_fixed(self, busy: list[Channel], rates: dict[int, float]) -> None:
+        """The fixed-``dt`` step body, after work assignment/allocation."""
+        self.fixed_steps += 1
         total_streams = sum(c.parallelism for c in busy)
         step_loss = tcp.loss_fraction(self.path, total_streams)
         wire_factor = (1.0 + self.path.header_overhead) / max(1e-9, 1.0 - step_loss)
@@ -463,7 +609,9 @@ class TransferEngine:
                 moved_per_server_dst.get(channel.dst_server, 0.0) + outcome.bytes_moved
             )
 
-        power = self._instant_power(busy, moved_per_server_src, moved_per_server_dst)
+        power = self._instant_power(
+            busy, moved_per_server_src, moved_per_server_dst, self.dt
+        )
         self.total_energy += power * self.dt
         self.time += self.dt
 
@@ -478,6 +626,260 @@ class TransferEngine:
                     power=power,
                     active_channels=len(busy),
                 )
+            )
+
+    # ------------------------------------------------------------------
+    # event-horizon fast path
+    # ------------------------------------------------------------------
+
+    def _fast_step(self, horizon: float) -> None:
+        """One fast-path iteration: a macro-step across the stable
+        stretch when the event horizon allows it, otherwise one exact
+        fixed-``dt`` step."""
+        self._recover_servers()
+        self._assign_work()
+        busy = [c for c in self._channels.values() if c.busy]
+        rates = self._allocate_rates(busy)
+        k = self._stable_steps(busy, rates, horizon)
+        if k < 2:
+            self._advance_fixed(busy, rates)
+        else:
+            self._advance_macro(busy, rates, k)
+
+    def _stable_steps(
+        self, busy: list[Channel], rates: dict[int, float], horizon: float
+    ) -> int:
+        """How many whole ``dt`` steps can be taken before the next
+        event could change the rate allocation (the event horizon).
+
+        Events considered: the earliest possible drain of any non-empty
+        chunk queue (a drained chunk idles or re-assigns its channels),
+        any file completion on a chunk whose queue is already empty
+        (the completing channel leaves the busy set or steals work),
+        the next server recovery, the next background-traffic change
+        point, and the caller's ``run`` horizon. Returns 0 when the
+        fast path must fall back to fixed stepping.
+        """
+        dt = self.dt
+        # Steps the fixed-dt loop would take to reach the horizon.
+        steps_cap = max(0, math.ceil((horizon - self.time - 1e-12) / dt))
+        if steps_cap < 2:
+            return 0
+        if self.background_traffic is not None:
+            next_change = getattr(self.background_traffic, "next_change", None)
+            if next_change is None:
+                return 0  # opaque traffic profile: sample every step
+            t_event = next_change(self.time) - self.time
+        else:
+            t_event = math.inf
+        for until in self._down_servers.values():
+            t_event = min(t_event, until - self.time)
+        cap_time = min(t_event, steps_cap * dt)
+        for name, state in self.chunks.items():
+            chans = self._by_chunk.get(name)
+            if not chans:
+                continue
+            busy_chans = [c for c in chans if c.busy]
+            if not busy_chans:
+                continue
+            if state.queue:
+                t_chunk = self._drain_lower_bound(state, busy_chans, rates, cap_time)
+            else:
+                t_chunk = min(
+                    c.time_to_completion(rates.get(id(c), 0.0)) for c in busy_chans
+                )
+            cap_time = min(cap_time, t_chunk)
+            if cap_time < 2 * dt:
+                return 0
+        if math.isinf(cap_time):
+            return steps_cap
+        return min(int((cap_time - 1e-9) // dt), steps_cap)
+
+    @staticmethod
+    def _drain_lower_bound(
+        state: ChunkState,
+        busy_chans: list[Channel],
+        rates: dict[int, float],
+        cap_time: float,
+    ) -> float:
+        """A safe lower bound on when ``state``'s queue could empty.
+
+        The queue loses one file per completion on the chunk's
+        channels, so its earliest possible drain is the time of the
+        L-th completion under the *optimistic* schedule where every
+        post-completion file is the smallest one that could still be
+        queued (the chunk's maintained ``min_queued_lb``) and every
+        channel runs at its allocated rate. For short queues the
+        channels' optimistic completion sequences are heap-merged
+        exactly; for long ones an O(channels) analytic bound is used:
+        by time ``t`` channel ``i`` has completed at most
+        ``(t - first_i)/spacing_i + 1`` files, so the L-th completion
+        cannot happen before ``min(first) + (L - C) / sum(1/spacing)``.
+        """
+        queue = state.queue
+        pops_needed = len(queue)
+        s_min = state.min_queued_lb
+        merged: list[tuple[float, float]] = []
+        for c in busy_chans:
+            rate = rates.get(id(c), 0.0)
+            if rate <= 0.0 or c.current is None:
+                continue  # stalled channels never complete
+            first = c.gap_remaining + c.current.remaining / rate
+            merged.append((first, c.per_file_gap + s_min / rate))
+        if not merged:
+            return math.inf
+        if any(spacing <= 0.0 for _, spacing in merged):
+            return min(first for first, _ in merged)  # degenerate: free pops
+        if pops_needed > 64:
+            f_min = min(first for first, _ in merged)
+            per_sec = sum(1.0 / spacing for _, spacing in merged)
+            return f_min + max(0.0, (pops_needed - len(merged)) / per_sec)
+        heapq.heapify(merged)
+        t = 0.0
+        for _ in range(pops_needed):
+            t, spacing = heapq.heappop(merged)
+            if t >= cap_time:
+                return t
+            heapq.heappush(merged, (t + spacing, spacing))
+        return t
+
+    def _advance_macro(
+        self, busy: list[Channel], rates: dict[int, float], k: int
+    ) -> None:
+        """Advance ``k`` whole steps analytically at the frozen rates.
+
+        Chunks whose shared queue will be popped inside the interval by
+        two or more channels are sub-stepped per ``dt`` (preserving the
+        fixed stepper's pop interleaving exactly); every other channel
+        is advanced with a single state-machine call, which is exact.
+        Energy is integrated once at the interval-average throughput.
+        """
+        self.macro_steps += 1
+        dt = self.dt
+        span = k * dt
+        total_streams = sum(c.parallelism for c in busy)
+        step_loss = tcp.loss_fraction(self.path, total_streams)
+        wire_factor = (1.0 + self.path.header_overhead) / max(1e-9, 1.0 - step_loss)
+
+        # Chunks needing dt-granular pop interleaving: >=2 busy channels
+        # sharing a queue, with at least one completion inside the span.
+        dense_chunks: set[str] = set()
+        for name, state in self.chunks.items():
+            chans = self._by_chunk.get(name)
+            if not chans or not state.queue:
+                continue
+            busy_chans = [c for c in chans if c.busy]
+            if len(busy_chans) < 2:
+                continue
+            if any(
+                c.time_to_completion(rates.get(id(c), 0.0)) <= span
+                for c in busy_chans
+            ):
+                dense_chunks.add(name)
+
+        moved_src: dict[int, float] = {}
+        moved_dst: dict[int, float] = {}
+
+        def account(channel: Channel, bytes_moved: float, files_completed: int) -> None:
+            state = self.chunks[channel.chunk_name]
+            state.bytes_done += bytes_moved
+            state.files_done += files_completed
+            self.total_bytes += bytes_moved
+            self.total_wire_bytes += bytes_moved * wire_factor
+            self.total_files += files_completed
+            if self.record_events and files_completed:
+                self._log_event(
+                    "file_completed", chunk=channel.chunk_name, count=files_completed
+                )
+            moved_src[channel.src_server] = (
+                moved_src.get(channel.src_server, 0.0) + bytes_moved
+            )
+            moved_dst[channel.dst_server] = (
+                moved_dst.get(channel.dst_server, 0.0) + bytes_moved
+            )
+
+        dense = [c for c in busy if c.chunk_name in dense_chunks]
+        for channel in busy:
+            if channel.chunk_name in dense_chunks:
+                continue
+            outcome = channel.advance(
+                rates.get(id(channel), 0.0), span, self._effective_queue(channel)
+            )
+            account(channel, outcome.bytes_moved, outcome.files_completed)
+        if dense:
+            # Dense chunks need the fixed stepper's queue-pop interleaving
+            # preserved: pops only happen at file completions (and the
+            # take_from at the following step boundary), so stretches with
+            # no completion on any dense channel are advanced in a single
+            # exact call, and only the completion steps themselves are
+            # replayed at dt granularity in channel order.
+            queues = {id(c): self._effective_queue(c) for c in dense}
+            crates = {id(c): rates.get(id(c), 0.0) for c in dense}
+            acc: dict[int, list] = {id(c): [0.0, 0] for c in dense}
+            steps_left = k
+            while steps_left > 0:
+                jump = steps_left
+                for c in dense:
+                    if c.current is None:
+                        # File-less channel: it would pop (and possibly
+                        # finish) a file mid-jump, unseen by the jump
+                        # bound. Replay at dt until it holds a file.
+                        jump = 0
+                        break
+                    ttc = c.time_to_completion(crates[id(c)])
+                    if math.isinf(ttc):
+                        continue
+                    j = int(ttc / dt)
+                    if j * dt >= ttc:  # land strictly before the completion
+                        j -= 1
+                    if j < jump:
+                        jump = j
+                if jump > 0:
+                    for c in dense:
+                        out = c.advance(crates[id(c)], jump * dt, queues[id(c)])
+                        a = acc[id(c)]
+                        a[0] += out.bytes_moved
+                        a[1] += out.files_completed
+                    steps_left -= jump
+                    if steps_left <= 0:
+                        break
+                # completion step: replay one fixed-dt step exactly
+                for c in dense:
+                    if not c.busy:
+                        c.take_from(queues[id(c)])
+                for c in dense:
+                    out = c.advance(crates[id(c)], dt, queues[id(c)])
+                    a = acc[id(c)]
+                    a[0] += out.bytes_moved
+                    a[1] += out.files_completed
+                steps_left -= 1
+            for c in dense:
+                moved, completed = acc[id(c)]
+                account(c, moved, completed)
+
+        power = self._instant_power(busy, moved_src, moved_dst, span)
+        self.total_energy += power * span
+        # Accumulate time exactly as the fixed stepper would (k repeated
+        # additions), so the two modes agree on `time` to the last bit —
+        # float addition is not associative, and `+= k*dt` would drift.
+        t = self.time
+        step_times = []
+        for _ in range(k):
+            t += dt
+            step_times.append(t)
+        self.time = t
+
+        if self.record_trace:
+            avg_throughput = sum(moved_src.values()) / span if moved_src else 0.0
+            active = len(busy)
+            self.trace.extend(
+                StepRecord(
+                    time=st,
+                    throughput=avg_throughput,
+                    power=power,
+                    active_channels=active,
+                )
+                for st in step_times
             )
 
     # ------------------------------------------------------------------
@@ -500,7 +902,7 @@ class TransferEngine:
         as the custom GridFTP client reopens a freed channel against a
         different chunk (the paper's multi-chunk mechanism).
         """
-        for channel in self.channels:
+        for channel in self._channels.values():
             if channel.busy:
                 continue
             own = self.chunks[channel.chunk_name].queue
@@ -515,6 +917,9 @@ class TransferEngine:
                         from_chunk=channel.chunk_name,
                         to_chunk=target.plan.name,
                     )
+                    self._by_chunk[channel.chunk_name].remove(channel)
+                    self._by_chunk.setdefault(target.plan.name, []).append(channel)
+                    self._alloc_cache.clear()
                     channel.chunk_name = target.plan.name
                     channel.parallelism = max(1, target.plan.params.parallelism)
                     channel.pipelining = max(1, target.plan.params.pipelining)
@@ -528,9 +933,28 @@ class TransferEngine:
         count, host per-stream processing on both endpoints. Shared
         capacities: link aggregate goodput (congestion knee), and each
         server's NIC rate and disk aggregate.
+
+        Allocations are memoized on the busy-channel signature — the
+        per-channel (parallelism, src, dst) tuple plus the competing
+        background stream count — because the engine re-solves an
+        unchanged configuration on almost every step of a stable
+        stretch. The cache is invalidated whenever a channel opens,
+        closes, fails or is reassigned.
         """
         if not busy:
             return {}
+        if self.background_traffic is not None:
+            competing = max(0.0, self.background_traffic(self.time))
+        else:
+            competing = 0.0
+        signature = (
+            tuple((c.parallelism, c.src_server, c.dst_server) for c in busy),
+            competing,
+        )
+        cached = self._alloc_cache.get(signature)
+        if cached is not None:
+            return {id(c): r for c, r in zip(busy, cached)}
+
         src_spec = self.source.server
         dst_spec = self.destination.server
 
@@ -543,8 +967,7 @@ class TransferEngine:
             )
 
         total_streams = sum(c.parallelism for c in busy)
-        if self.background_traffic is not None:
-            competing = max(0.0, self.background_traffic(self.time))
+        if competing > 0.0:
             shared = tcp.aggregate_goodput(self.path, total_streams + competing)
             link_capacity = shared * total_streams / (total_streams + competing)
         else:
@@ -569,15 +992,22 @@ class TransferEngine:
         # TCP fairness is per *stream*, so a channel carrying p parallel
         # streams claims p shares of any shared capacity.
         weights = {id(c): float(c.parallelism) for c in busy}
-        return _max_min_fill(caps, groups, weights)
+        rates = _max_min_fill(caps, groups, weights)
+        if len(self._alloc_cache) >= 256:
+            self._alloc_cache.clear()
+        self._alloc_cache[signature] = tuple(rates[id(c)] for c in busy)
+        return rates
 
     def _instant_power(
         self,
         busy: Sequence[Channel],
         moved_src: dict[int, float],
         moved_dst: dict[int, float],
+        interval: float,
     ) -> float:
-        """Total load-dependent watts across both sites right now."""
+        """Total load-dependent watts across both sites over
+        ``interval`` seconds of carried load (``interval`` is ``dt``
+        for a fixed step, the whole span for a macro-step)."""
         power = 0.0
         for site, moved, attr in (
             (self.source, moved_src, "src_server"),
@@ -587,7 +1017,7 @@ class TransferEngine:
             for c in busy:
                 by_server.setdefault(getattr(c, attr), []).append(c)
             for server_idx, server_channels in by_server.items():
-                throughput = moved.get(server_idx, 0.0) / self.dt
+                throughput = moved.get(server_idx, 0.0) / interval
                 util = compute_utilization(
                     site.server,
                     channels=len(server_channels),
@@ -598,14 +1028,14 @@ class TransferEngine:
                 if self._component_fn is not None:
                     for name, watts in self._component_fn(site.server, util).items():
                         self.component_energy[name] = (
-                            self.component_energy.get(name, 0.0) + watts * self.dt
+                            self.component_energy.get(name, 0.0) + watts * interval
                         )
         return power
 
     def server_utilizations(self) -> dict[str, Utilization]:
         """Current utilization per active server (for inspection/tests)."""
         result: dict[str, Utilization] = {}
-        busy = [c for c in self.channels if c.busy]
+        busy = [c for c in self._channels.values() if c.busy]
         for site, attr in ((self.source, "src_server"), (self.destination, "dst_server")):
             by_server: dict[int, list[Channel]] = {}
             for c in busy:

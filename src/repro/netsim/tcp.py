@@ -19,11 +19,19 @@ the mechanisms the paper's parameter formulas exploit:
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.netsim.link import NetworkPath
 
 __all__ = ["stream_throughput", "channel_network_cap", "aggregate_goodput", "loss_fraction"]
 
+# NetworkPath is a frozen dataclass, hence hashable: the model functions
+# below are pure in (path, arg), so they memoize cleanly. The engine
+# evaluates them with the same arguments on nearly every step of a
+# stable stretch.
 
+
+@lru_cache(maxsize=4096)
 def loss_fraction(path: NetworkPath, total_streams: float) -> float:
     """Fraction of transmitted segments lost (and retransmitted) at a
     given live stream count: zero up to the congestion knee, then the
@@ -36,6 +44,7 @@ def loss_fraction(path: NetworkPath, total_streams: float) -> float:
     return 1.0 - (1.0 - path.congestion_slope) ** excess
 
 
+@lru_cache(maxsize=1024)
 def stream_throughput(path: NetworkPath) -> float:
     """Steady-state goodput of one TCP stream on ``path`` (bytes/s)."""
     if path.rtt == 0:
@@ -43,6 +52,7 @@ def stream_throughput(path: NetworkPath) -> float:
     return min(path.tcp_buffer / path.rtt, path.bandwidth) * path.protocol_efficiency
 
 
+@lru_cache(maxsize=4096)
 def channel_network_cap(path: NetworkPath, parallelism: int) -> float:
     """Network-side cap of one data channel using ``parallelism`` streams.
 
@@ -57,6 +67,7 @@ def channel_network_cap(path: NetworkPath, parallelism: int) -> float:
     return min(buffer_limited, path.bandwidth) * path.protocol_efficiency
 
 
+@lru_cache(maxsize=4096)
 def aggregate_goodput(path: NetworkPath, total_streams: int) -> float:
     """Aggregate achievable goodput with ``total_streams`` live streams.
 

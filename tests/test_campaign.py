@@ -89,3 +89,84 @@ class TestRunAndResume:
         assert len(campaign.results(algorithm="MinE")) == 2
         assert len(campaign.results(testbed="TestBed")) == 3
         assert campaign.results(algorithm="HTEE") == []
+
+
+class TestDoneIndex:
+    def test_progress_does_not_rescan_store(self, campaign, monkeypatch):
+        campaign.run()
+        scans = []
+        original = campaign.store.records
+
+        def counting_records():
+            scans.append(1)
+            return original()
+
+        monkeypatch.setattr(campaign.store, "records", counting_records)
+        campaign.progress()
+        campaign.progress()
+        campaign.run()  # everything archived: skip via the index
+        assert scans == []  # index was built during run(); never rebuilt
+
+    def test_refresh_index_picks_up_external_appends(self, small_testbed, tmp_path):
+        store = tmp_path / "shared.jsonl"
+        a = Campaign("same", store, [small_testbed], algorithms=("GUC",))
+        b = Campaign("same", store, [small_testbed], algorithms=("GUC",))
+        assert a.progress().completed == 0  # builds a's (empty) index
+        b.run()
+        assert a.progress().completed == 0  # stale by design
+        a.refresh_index()
+        assert a.progress().completed == 1
+
+
+class TestParallelRun:
+    def test_parallel_matches_serial_result_set(self, small_testbed, tmp_path):
+        serial = Campaign(
+            "par", tmp_path / "serial.jsonl", [small_testbed],
+            algorithms=("GUC", "SC"), levels=(1, 2),
+        )
+        parallel = Campaign(
+            "par", tmp_path / "parallel.jsonl", [small_testbed],
+            algorithms=("GUC", "SC"), levels=(1, 2),
+        )
+        p_serial = serial.run()
+        p_parallel = parallel.run(workers=4)
+        assert p_parallel.total == p_serial.total
+        assert p_parallel.completed == p_serial.completed == 3
+
+        def keyed(campaign):
+            return sorted(
+                (r["testbed"], r["algorithm"], r["max_channels"],
+                 r["duration_s"], r["bytes_moved"], r["energy_joules"])
+                for r in campaign.store.records()
+            )
+
+        assert keyed(parallel) == keyed(serial)
+
+    def test_parallel_resume_skips_completed_cells(self, small_testbed, tmp_path):
+        store = tmp_path / "resume.jsonl"
+        first = Campaign("par", store, [small_testbed], algorithms=("GUC", "SC"), levels=(1, 2))
+        partial = first.run(workers=2, max_cells=2)
+        assert partial.completed == 2
+        # a fresh Campaign (fresh index) resumes and skips the archive
+        second = Campaign("par", store, [small_testbed], algorithms=("GUC", "SC"), levels=(1, 2))
+        final = second.run(workers=2)
+        assert final.skipped == 2
+        assert final.completed == final.total == 3
+        keys = [
+            (r["algorithm"], r["max_channels"]) for r in second.store.records()
+        ]
+        assert len(keys) == len(set(keys)) == 3  # no duplicates
+
+    def test_parallel_on_result_hook_fires(self, small_testbed, tmp_path):
+        seen = []
+        campaign = Campaign(
+            "par", tmp_path / "hook.jsonl", [small_testbed],
+            algorithms=("GUC",), on_result=seen.append,
+        )
+        campaign.run(workers=2)
+        assert len(seen) == 1
+        assert seen[0].algorithm == "GUC"
+
+    def test_workers_one_is_serial(self, campaign):
+        progress = campaign.run(workers=1)
+        assert progress.completed == progress.total == 3

@@ -90,3 +90,79 @@ class TestEventLog:
         engine.run()
         times = [e.time for e in engine.events]
         assert times == sorted(times)
+
+
+class TestEventCausalOrdering:
+    """Failure events precede the state changes they cause."""
+
+    def test_channel_failed_precedes_its_channel_closed(self):
+        engine = build_engine()
+        engine.add_chunk(plan(n=10, size=20 * units.MB, cc=2))
+        engine.run(0.3)
+        victim = next(c for c in engine.channels if c.busy)
+        engine.fail_channel(victim)
+        sequence = kinds(engine)
+        assert "channel_failed" in sequence
+        assert "channel_closed" in sequence
+        assert sequence.index("channel_failed") < sequence.index("channel_closed")
+
+    def test_server_failed_precedes_closures_and_reopens(self):
+        engine = build_engine()
+        engine.add_chunk(plan(n=30, size=10 * units.MB, cc=4))
+        engine.run(0.3)
+        mark = len(engine.events)
+        engine.fail_server("src", 0, downtime=0.5)
+        tail = [e.kind for e in engine.events[mark:]]
+        assert tail[0] == "server_failed"
+        lost = next(
+            e for e in engine.events if e.kind == "server_failed"
+        ).detail["channels_lost"]
+        # every closure (and the reopen replacing it) comes after
+        assert tail.count("channel_closed") == lost
+        assert tail.count("channel_opened") == lost
+        first_closed = tail.index("channel_closed")
+        assert first_closed > 0
+
+    def test_channel_failure_events_all_logged_at_same_time(self):
+        engine = build_engine()
+        engine.add_chunk(plan(n=10, size=20 * units.MB, cc=2))
+        engine.run(0.3)
+        victim = next(c for c in engine.channels if c.busy)
+        mark = len(engine.events)
+        engine.fail_channel(victim)
+        assert len({e.time for e in engine.events[mark:]}) == 1
+
+
+class TestWorkStealingAdoption:
+    """A stolen channel adopts the target chunk's pp/p parameters."""
+
+    def test_reassigned_channel_adopts_target_params(self):
+        engine = build_engine()
+        files_fast = tuple(FileInfo(f"f{i}", 2 * units.MB) for i in range(2))
+        files_slow = tuple(FileInfo(f"s{i}", 30 * units.MB) for i in range(6))
+        engine.add_chunk(
+            ChunkPlan("fast", files_fast, TransferParams(pipelining=1, parallelism=1, concurrency=1))
+        )
+        engine.add_chunk(
+            ChunkPlan("slow", files_slow, TransferParams(pipelining=8, parallelism=4, concurrency=1))
+        )
+        engine.run()
+        reassigned = [e for e in engine.events if e.kind == "channel_reassigned"]
+        assert reassigned and reassigned[0].detail["to_chunk"] == "slow"
+        # after the steal the channel carries the slow chunk's parameters
+        stolen = engine.channels_for("slow")
+        assert all(c.pipelining == 8 and c.parallelism == 4 for c in stolen)
+
+    def test_registry_follows_reassignment(self):
+        engine = build_engine()
+        files_fast = tuple(FileInfo(f"f{i}", 2 * units.MB) for i in range(2))
+        files_slow = tuple(FileInfo(f"s{i}", 30 * units.MB) for i in range(6))
+        engine.add_chunk(ChunkPlan("fast", files_fast, TransferParams(concurrency=1)))
+        engine.add_chunk(ChunkPlan("slow", files_slow, TransferParams(concurrency=1)))
+        engine.run()
+        # per-chunk registry stayed consistent through the steal
+        assert engine.channels_for("fast") == []
+        assert len(engine.channels_for("slow")) == 2
+        assert sorted(map(id, engine.channels)) == sorted(
+            map(id, engine.channels_for("slow"))
+        )

@@ -1,0 +1,219 @@
+"""Event-horizon fast path: numerical equivalence with fixed-dt stepping.
+
+The fast path must be indistinguishable from the pure fixed-``dt``
+stepper within the documented tolerance (DESIGN.md): bytes within
+1e-6 relative, energy within 1e-3 relative, on all three paper
+testbeds. These tests run both modes over identical scenarios —
+full transfers, bounded horizons, failure injection, piecewise
+background traffic — and compare.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import units
+from repro.core.baselines import GucAlgorithm, ProMCAlgorithm, SingleChunkAlgorithm
+from repro.core.scheduler import engine_options
+from repro.datasets.files import FileInfo
+from repro.harness.runner import dataset_for
+from repro.netsim.engine import ChunkPlan, PiecewiseTraffic, TransferEngine
+from repro.netsim.params import TransferParams
+from repro.testbeds.specs import ALL_TESTBEDS, Testbed
+
+#: Documented equivalence tolerances (see DESIGN.md).
+BYTES_RTOL = 1e-6
+ENERGY_RTOL = 1e-3
+DURATION_RTOL = 1e-9
+
+
+def rel(a: float, b: float) -> float:
+    return abs(a - b) / max(abs(b), 1e-12)
+
+
+def paired_engines(make_engine, **kwargs):
+    fast = make_engine(fast_path=True, **kwargs)
+    fixed = make_engine(fast_path=False, **kwargs)
+    return fast, fixed
+
+
+def assert_equivalent(fast: TransferEngine, fixed: TransferEngine) -> None:
+    assert rel(fast.total_bytes, fixed.total_bytes) <= BYTES_RTOL
+    assert rel(fast.total_energy, fixed.total_energy) <= ENERGY_RTOL
+    assert rel(fast.time, fixed.time) <= DURATION_RTOL
+    assert fast.total_files == fixed.total_files
+
+
+class TestPaperTestbedEquivalence:
+    """Both modes agree on every paper testbed (the acceptance bar)."""
+
+    @pytest.mark.parametrize("testbed", ALL_TESTBEDS, ids=lambda tb: tb.name)
+    @pytest.mark.parametrize(
+        "algorithm,level",
+        [(GucAlgorithm(), 1), (SingleChunkAlgorithm(), 4), (ProMCAlgorithm(), 4)],
+        ids=["GUC", "SC", "ProMC"],
+    )
+    def test_full_transfer_equivalence(self, testbed: Testbed, algorithm, level):
+        dataset = dataset_for(testbed)
+        fast = algorithm.run(testbed, dataset, level)
+        with engine_options(fast_path=False):
+            fixed = algorithm.run(testbed, dataset, level)
+        assert rel(fast.bytes_moved, fixed.bytes_moved) <= BYTES_RTOL
+        assert rel(fast.energy_joules, fixed.energy_joules) <= ENERGY_RTOL
+        assert rel(fast.duration_s, fixed.duration_s) <= DURATION_RTOL
+        assert fast.files_moved == fixed.files_moved
+
+
+class TestScenarioEquivalence:
+    """Horizons, failures and cross-traffic behave identically."""
+
+    def _files(self, n=24, size=8 * units.MB, name="f"):
+        return tuple(FileInfo(f"{name}{i}", int(size)) for i in range(n))
+
+    def test_bounded_horizon_equivalence(self, make_small_engine):
+        fast, fixed = paired_engines(make_small_engine)
+        for engine in (fast, fixed):
+            engine.add_chunk(ChunkPlan("c", self._files(), TransferParams(concurrency=3)))
+            engine.run(1.7)   # mid-transfer horizon
+            engine.run(0.05)  # sub-dt horizon still advances one step
+            engine.run()      # to completion
+        assert_equivalent(fast, fixed)
+
+    def test_failure_injection_equivalence(self, make_small_engine):
+        fast, fixed = paired_engines(make_small_engine)
+        for engine in (fast, fixed):
+            engine.add_chunk(
+                ChunkPlan("c", self._files(n=40), TransferParams(concurrency=4))
+            )
+            engine.run(0.5)
+            victim = next(c for c in engine.channels if c.busy)
+            engine.fail_channel(victim, restart_file=True)
+            engine.run(0.5)
+            engine.fail_server("src", 0, downtime=0.7)
+            engine.run()
+        assert_equivalent(fast, fixed)
+        assert fast.channel_failures == fixed.channel_failures == 1
+        assert fast.server_failures == fixed.server_failures == 1
+
+    def test_piecewise_traffic_keeps_fast_path(self, make_small_engine):
+        profile = PiecewiseTraffic(points=((0.0, 0.0), (1.0, 6.0), (3.0, 0.0)))
+        fast, fixed = paired_engines(make_small_engine, background_traffic=profile)
+        for engine in (fast, fixed):
+            engine.add_chunk(ChunkPlan("c", self._files(), TransferParams(concurrency=2)))
+            engine.run()
+        assert_equivalent(fast, fixed)
+        assert fast.macro_steps > 0  # profile change points did not kill it
+
+    def test_opaque_traffic_disables_fast_path(self, make_small_engine):
+        engine = make_small_engine(background_traffic=lambda t: 0.0)
+        engine.add_chunk(ChunkPlan("c", self._files(), TransferParams(concurrency=2)))
+        engine.run()
+        assert engine.macro_steps == 0
+        assert engine.fixed_steps > 0
+
+    def test_until_predicate_equivalence_on_event_state(self, make_small_engine):
+        # Predicates watching allocation-changing events (queue drain +
+        # busy set, the sequential baselines' predicate) are dt-accurate
+        # under the fast path: those events bound every macro-step.
+        fast, fixed = paired_engines(make_small_engine)
+        for engine in (fast, fixed):
+            engine.add_chunk(ChunkPlan("a", self._files(name="a"), TransferParams(concurrency=2)))
+            engine.add_chunk(
+                ChunkPlan("b", self._files(name="b"), TransferParams(concurrency=1)),
+                open_channels=False,
+            )
+            state = engine.chunks["a"]
+
+            def drained(state=state, engine=engine):
+                return state.exhausted and not any(
+                    c.busy for c in engine.channels_for("a")
+                )
+
+            engine.run(until=drained)
+            assert drained()
+        assert_equivalent(fast, fixed)
+
+    def test_until_predicate_stops_the_loop(self, make_small_engine):
+        # Fine-grained predicates still stop the run; they may overshoot
+        # by at most one macro-step (documented), never miss.
+        engine = make_small_engine()
+        engine.add_chunk(ChunkPlan("c", self._files(), TransferParams(concurrency=2)))
+        state = engine.chunks["c"]
+        engine.run(until=lambda: state.files_done >= 10)
+        assert state.files_done >= 10
+        assert not engine.finished
+
+    def test_trace_is_step_accurate_under_macro_steps(self, make_small_engine):
+        fast, fixed = paired_engines(make_small_engine, record_trace=True)
+        for engine in (fast, fixed):
+            engine.add_chunk(ChunkPlan("c", self._files(), TransferParams(concurrency=1)))
+            engine.run()
+        assert fast.macro_steps > 0
+        # same number of records, at the same (bit-exact) step times
+        assert len(fast.trace) == len(fixed.trace)
+        assert [r.time for r in fast.trace] == [r.time for r in fixed.trace]
+        # byte-weighted totals agree even though macro records hold the
+        # interval-average throughput
+        dt = fast.dt
+        assert rel(
+            sum(r.throughput for r in fast.trace) * dt,
+            sum(r.throughput for r in fixed.trace) * dt,
+        ) <= BYTES_RTOL
+        assert rel(
+            sum(r.power for r in fast.trace) * dt,
+            sum(r.power for r in fixed.trace) * dt,
+        ) <= ENERGY_RTOL
+
+
+class TestFastPathMechanics:
+    def test_macro_steps_taken_on_stable_stretch(self, make_small_engine):
+        engine = make_small_engine()
+        files = (FileInfo("big", 200 * units.MB),)
+        engine.add_chunk(ChunkPlan("c", files, TransferParams(concurrency=1)))
+        engine.run()
+        assert engine.macro_steps >= 1
+        # one long file: almost everything is one macro-step
+        assert engine.fixed_steps < 10
+
+    def test_piecewise_traffic_profile(self):
+        profile = PiecewiseTraffic(points=((0.0, 0.0), (5.0, 4.0), (9.0, 1.0)))
+        assert profile(0.0) == 0.0
+        assert profile(4.999) == 0.0
+        assert profile(5.0) == 4.0
+        assert profile(100.0) == 1.0
+        assert profile.next_change(0.0) == 5.0
+        assert profile.next_change(5.0) == 9.0
+        assert math.isinf(profile.next_change(9.0))
+
+    def test_piecewise_traffic_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseTraffic(points=((5.0, 1.0), (0.0, 2.0)))
+        with pytest.raises(ValueError):
+            PiecewiseTraffic(points=((0.0, -1.0),))
+
+    def test_allocation_cache_invalidated_on_channel_change(self, make_small_engine):
+        engine = make_small_engine()
+        files = tuple(FileInfo(f"f{i}", 50 * units.MB) for i in range(8))
+        engine.add_chunk(ChunkPlan("c", files, TransferParams(concurrency=2)))
+        engine.step()
+        assert engine._alloc_cache
+        engine.open_channel("c")
+        assert not engine._alloc_cache
+        engine.step()
+        assert engine._alloc_cache
+        engine.close_channel(engine.channels[-1])
+        assert not engine._alloc_cache
+
+    def test_server_recovery_bounds_macro_step(self, make_small_engine):
+        fast, fixed = paired_engines(make_small_engine)
+        for engine in (fast, fixed):
+            files = tuple(FileInfo(f"f{i}", 40 * units.MB) for i in range(12))
+            engine.add_chunk(ChunkPlan("c", files, TransferParams(concurrency=4)))
+            engine.run(0.4)
+            engine.fail_server("dst", 1, downtime=1.0, reopen=True)
+            engine.run()
+        assert_equivalent(fast, fixed)
+        # the recovery actually happened in both
+        assert not fast.down_servers and not fixed.down_servers

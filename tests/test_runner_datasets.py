@@ -1,0 +1,53 @@
+"""``dataset_for`` caching semantics.
+
+Regression for a cache-poisoning bug: the dataset cache was keyed only
+on ``testbed.name``, so a custom/JSON testbed that reused a built-in
+name ("xsede", "futuregrid", "didclab") silently received the built-in
+dataset. The cache must only serve the *registered* testbed instances.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import units
+from repro.datasets.files import Dataset
+from repro.harness.runner import dataset_for
+from repro.testbeds.specs import ALL_TESTBEDS, XSEDE
+
+
+def _custom_clone(testbed, dataset: Dataset):
+    """A look-alike testbed reusing the built-in name but with its own data."""
+    return dataclasses.replace(testbed, dataset_factory=lambda: dataset)
+
+
+class TestDatasetForCache:
+    def test_builtin_testbeds_are_cached(self):
+        for testbed in ALL_TESTBEDS:
+            first = dataset_for(testbed)
+            second = dataset_for(testbed)
+            assert first is second  # registry instances hit the cache
+
+    def test_custom_testbed_reusing_builtin_name_gets_own_dataset(self):
+        own = Dataset.from_sizes([units.MB] * 3, name="tiny-own")
+        clone = _custom_clone(XSEDE, own)
+        assert clone.name == XSEDE.name
+        # the clone must get its own data, not the cached built-in set
+        got = dataset_for(clone)
+        assert got is own
+        assert got.total_size != dataset_for(XSEDE).total_size
+
+    def test_cache_not_poisoned_by_custom_clone(self):
+        own = Dataset.from_sizes([units.MB] * 2, name="tiny-own")
+        clone = _custom_clone(XSEDE, own)
+        dataset_for(clone)  # must not write into the built-in cache slot
+        builtin = dataset_for(XSEDE)
+        assert builtin is not own
+        assert builtin.total_size > own.total_size
+
+    def test_unknown_name_builds_directly(self):
+        own = Dataset.from_sizes([units.MB] * 4, name="tiny-own")
+        custom = dataclasses.replace(
+            XSEDE, name="my-lab", dataset_factory=lambda: own
+        )
+        assert dataset_for(custom) is own

@@ -90,3 +90,57 @@ class TestQueries:
         text = store.summary()
         assert "3 runs" in text
         assert "HTEE" in text and "MinE" in text
+
+
+class TestPublicRecords:
+    def test_records_iterates_raw_dicts_in_order(self, store):
+        store.append(outcome("A"), campaign="x")
+        store.append(outcome("B"))
+        records = list(store.records())
+        assert [r["algorithm"] for r in records] == ["A", "B"]
+        assert records[0]["tags"] == {"campaign": "x"}
+
+    def test_records_empty_store(self, store):
+        assert list(store.records()) == []
+
+    def test_records_skips_torn_line(self, store):
+        store.append(outcome())
+        with store.path.open("a") as handle:
+            handle.write('{"algorithm": "torn')
+        assert len(list(store.records())) == 1
+
+    def test_private_alias_still_works(self, store):
+        store.append(outcome())
+        assert len(list(store._records())) == 1
+
+
+def _append_worker(args):
+    path, worker_id, count = args
+    from repro.harness.store import ResultStore
+
+    s = ResultStore(path)
+    for i in range(count):
+        s.append(outcome(alg=f"w{worker_id}", joules=float(i)))
+    return worker_id
+
+
+class TestConcurrentAppend:
+    def test_parallel_appends_never_interleave(self, tmp_path):
+        """N processes hammering one store: every line stays intact."""
+        import concurrent.futures
+
+        path = tmp_path / "concurrent.jsonl"
+        workers, per_worker = 4, 25
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(_append_worker, [(path, w, per_worker) for w in range(workers)]))
+        store = ResultStore(path)
+        # every line parses (records() only skips torn lines; a clean
+        # run must have none) and nothing was lost
+        raw_lines = [l for l in path.read_text().splitlines() if l.strip()]
+        records = list(store.records())
+        assert len(raw_lines) == len(records) == workers * per_worker
+        for w in range(workers):
+            mine = [r for r in records if r["algorithm"] == f"w{w}"]
+            assert sorted(r["energy_joules"] for r in mine) == [
+                float(i) for i in range(per_worker)
+            ]
