@@ -15,7 +15,7 @@ from repro import units
 from repro.core.htee import HTEEAlgorithm
 from repro.core.baselines import ProMCAlgorithm
 from repro.core.related import BufferTuningAlgorithm, PCPAlgorithm
-from repro.datasets.files import Dataset, FileInfo
+from repro.datasets.files import Dataset
 from repro.netsim.disk import ParallelDisk
 from repro.netsim.endpoint import EndSystem, ServerSpec
 from repro.netsim.engine import ChunkPlan, TransferEngine

@@ -11,7 +11,6 @@ are replayed through each model on the XSEDE device chain."""
 
 from conftest import emit, run_once
 
-from repro import units
 from repro.core.baselines import GucAlgorithm
 from repro.core.htee import HTEEAlgorithm
 from repro.core.scheduler import engine_options
@@ -21,7 +20,6 @@ from repro.netenergy.models import (
     StateBasedPowerModel,
 )
 from repro.netenergy.integration import integrate_device_energy
-from repro.netenergy.topology import xsede_topology
 from repro.testbeds import XSEDE
 
 

@@ -21,16 +21,14 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro import units
 from repro.core.scheduler import engine_options
 from repro.harness import figures as figure_renderers
 from repro.harness.reporting import (
-    outcome_to_dict,
     render_trace,
     save_outcomes_json,
     save_trace_csv,
 )
-from repro.harness.runner import ALGORITHMS, dataset_for, run_algorithm
+from repro.harness.runner import ALGORITHMS, run_algorithm
 from repro.harness.sweeps import (
     PAPER_SLA_TARGETS,
     brute_force_sweep,
@@ -112,10 +110,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the best run by this outcome metric "
                         "(e.g. efficiency, throughput)")
 
-    p = sub.add_parser("report", help="regenerate the whole evaluation as markdown")
+    p = sub.add_parser(
+        "report",
+        help="regenerate the evaluation as markdown, or inspect the "
+             "observability layer (--events / --metrics)",
+    )
     p.add_argument("-o", "--output", type=Path, default=Path("evaluation_report.md"))
     p.add_argument("--quick", action="store_true",
                    help="restricted concurrency axis and SLA targets")
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument("--events", action="store_true",
+                      help="run one observed transfer and print its "
+                           "structured event stream")
+    mode.add_argument("--metrics", action="store_true",
+                      help="run one observed transfer and print its metric "
+                           "summary (or merge archived summaries with --store)")
+    p.add_argument("-t", "--testbed", default="xsede",
+                   help="testbed for the observed transfer (default xsede)")
+    p.add_argument("-a", "--algorithm", default="HTEE", choices=sorted(ALGORITHMS),
+                   help="algorithm for the observed transfer (default HTEE)")
+    p.add_argument("-c", "--max-channels", type=int, default=8,
+                   help="channel budget for the observed transfer (default 8)")
+    p.add_argument("--kind", default=None,
+                   help="only print events of this kind (e.g. probe_window)")
+    p.add_argument("--store", type=Path, default=None,
+                   help="with --metrics: merge the archived per-cell metrics "
+                        "tags of this result store instead of running")
+    p.add_argument("--campaign", default=None,
+                   help="with --store: restrict to one campaign name")
+    p.add_argument("--json", type=Path, default=None,
+                   help="also write the events/metrics as JSON")
 
     sub.add_parser("validate", help="quick self-check: Eq. 2 + device table")
     return parser
@@ -348,11 +372,64 @@ def _cmd_history(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    """Write the regenerated evaluation report to disk."""
+    """Write the evaluation report, or inspect the observability layer."""
+    if args.events or args.metrics:
+        return _cmd_report_observe(args)
     from repro.harness.report import write_report
 
     path = write_report(args.output, quick=args.quick)
     print(f"report written to {path}")
+    return 0
+
+
+def _cmd_report_observe(args: argparse.Namespace) -> int:
+    """``report --events`` / ``report --metrics``: run one observed
+    transfer (or, with ``--metrics --store``, merge the archived
+    per-cell metric summaries) and print the result."""
+    import json as _json
+
+    from repro.obs import Observer, merge_summaries, render_events, render_metrics
+
+    if args.store is not None:
+        if args.events:
+            print("--events cannot be read from a store: event streams "
+                  "stay process-local; only metric summaries are archived "
+                  "(use --metrics --store)", file=sys.stderr)
+            return 2
+        from repro.harness.store import ResultStore
+
+        summaries = ResultStore(args.store).metrics_summaries(args.campaign)
+        if not summaries:
+            print("(no archived metrics tags"
+                  + (f" for campaign {args.campaign!r}" if args.campaign else "")
+                  + f" in {args.store})")
+            return 1
+        merged = merge_summaries(summaries)
+        print(f"{len(summaries)} archived cell summaries from {args.store}")
+        print(render_metrics(merged))
+        if args.json is not None:
+            args.json.write_text(_json.dumps(merged, indent=2) + "\n")
+            print(f"metrics written to {args.json}")
+        return 0
+
+    testbed = _resolve_testbed(args.testbed)
+    observer = Observer()
+    with engine_options(observe=observer):
+        outcome = run_algorithm(testbed, args.algorithm, args.max_channels)
+    print(outcome.summary())
+    print()
+    if args.events:
+        print(render_events(observer.events, kind=args.kind))
+        if args.json is not None:
+            args.json.write_text(
+                _json.dumps(observer.events.to_dicts(), indent=2) + "\n"
+            )
+            print(f"\nevents written to {args.json}")
+    else:
+        print(render_metrics(observer.summary()))
+        if args.json is not None:
+            args.json.write_text(_json.dumps(observer.summary(), indent=2) + "\n")
+            print(f"\nmetrics written to {args.json}")
     return 0
 
 

@@ -14,8 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import units
-from repro.core.allocation import chunk_params, mine_walk
-from repro.core.chunks import Chunk, ChunkClass, PartitionPolicy, partition_files
+from repro.core.allocation import mine_walk
+from repro.core.chunks import Chunk, PartitionPolicy, partition_files
 from repro.datasets.files import Dataset
 from repro.netsim import tcp
 from repro.netsim.disk import SingleDisk

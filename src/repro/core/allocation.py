@@ -21,7 +21,6 @@ These are the arithmetic hearts of Algorithms 1 and 2:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 from repro.core.chunks import Chunk
 from repro.netsim.params import TransferParams

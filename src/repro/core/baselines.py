@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 from repro import units
 from repro.core.allocation import chunk_params, proportional_allocation
-from repro.core.chunks import Chunk, ChunkClass, PartitionPolicy, partition_files
+from repro.core.chunks import Chunk, PartitionPolicy, partition_files
 from repro.core.scheduler import TransferOutcome, make_engine, make_plans, run_to_completion
 from repro.datasets.files import Dataset, FileInfo
 from repro.netsim.engine import Binding, ChunkPlan, TransferEngine

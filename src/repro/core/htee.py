@@ -26,27 +26,54 @@ from repro.core.chunks import Chunk, PartitionPolicy, partition_files
 from repro.core.scheduler import (
     PROBE_INTERVAL_S,
     TransferOutcome,
+    current_observer,
     make_engine,
     make_plans,
     run_to_completion,
 )
 from repro.datasets.files import Dataset
-from repro.netsim.engine import Binding, ChunkPlan, TransferEngine
+from repro.netsim.engine import Binding
 from repro.testbeds.specs import Testbed
 from repro import units
 
-__all__ = ["HTEEAlgorithm", "BruteForceAlgorithm", "scaled_allocation"]
+__all__ = ["HTEEAlgorithm", "BruteForceAlgorithm", "probe_ladder", "scaled_allocation"]
+
+
+def probe_ladder(max_channels: int) -> list[int]:
+    """The paper's search ladder: "1, 3, 5, ... maxChannel".
+
+    Stepping in twos halves the search cost, but a literal
+    ``range(1, max+1, 2)`` silently skips ``maxChannel`` whenever it is
+    even (cap 8 would probe only 1/3/5/7, so the cap could never win
+    the argmax — contradicting the quoted ladder). A final probe at
+    ``max_channels`` is appended whenever the stride skips it.
+    """
+    if max_channels < 1:
+        raise ValueError("max_channels must be >= 1")
+    levels = list(range(1, max_channels + 1, 2))
+    if levels[-1] != max_channels:
+        levels.append(max_channels)
+    return levels
 
 
 def scaled_allocation(weights: list[float], total_channels: int) -> list[int]:
     """Distribute ``total_channels`` across chunks by weight (largest
-    remainder). Zeros are allowed when there are fewer channels than
-    chunks — work stealing keeps the starved chunk's files reachable."""
+    remainder). Weights are normalized internally, so the result sums
+    to exactly ``total_channels`` for *any* non-negative weight list —
+    not just pre-normalized ones. Zeros are allowed when there are
+    fewer channels than chunks — work stealing keeps the starved
+    chunk's files reachable."""
     if total_channels < 0:
         raise ValueError("total_channels must be >= 0")
     if not weights:
         return []
-    shares = [total_channels * w for w in weights]
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be >= 0")
+    total_weight = sum(weights)
+    if total_weight <= 0:
+        weights = [1.0] * len(weights)
+        total_weight = float(len(weights))
+    shares = [total_channels * w / total_weight for w in weights]
     allocation = [math.floor(s) for s in shares]
     order = sorted(range(len(weights)), key=lambda i: shares[i] - allocation[i], reverse=True)
     idx = 0
@@ -84,15 +111,19 @@ class HTEEAlgorithm:
         for plan in plans:
             engine.add_chunk(plan, open_channels=False)
 
-        # --- search phase (lines 14-22): probe cc = 1, 3, 5, ... ---
-        # Each probe estimates the *whole-transfer* throughput/energy
-        # ratio the figure plots: at window rate R and window power P,
-        # finishing the dataset would take D/R seconds and cost P*D/R
-        # joules, so the projected ratio is R / (P*D/R) = R^2/(P*D).
-        # D is common to every level, so the score is R^2 / E_window.
+        # --- search phase (lines 14-22): probe cc = 1, 3, 5, ...
+        # maxChannel (the ladder includes the cap even when the stride
+        # of two would skip it — see probe_ladder). Each probe estimates
+        # the *whole-transfer* throughput/energy ratio the figure plots:
+        # at window rate R and window power P, finishing the dataset
+        # would take D/R seconds and cost P*D/R joules, so the projected
+        # ratio is R / (P*D/R) = R^2/(P*D). D is common to every level,
+        # so the score is R^2 / E_window.
+        observer = current_observer()
         probes: list[tuple[int, float, float, float]] = []  # (cc, thr, joules, score)
-        level = 1
-        while level <= max_channels and not engine.finished:
+        for level in probe_ladder(max_channels):
+            if engine.finished:
+                break
             allocation = scaled_allocation(weights, level)
             engine.set_allocation(dict(zip((p.name for p in plans), allocation)))
             before = engine.snapshot()
@@ -103,7 +134,10 @@ class HTEEAlgorithm:
             mbps = units.to_mbps(throughput)
             score = mbps * mbps / joules if joules > 0 else 0.0
             probes.append((level, throughput, joules, score))
-            level += 2
+            if observer is not None:
+                observer.probe_window(
+                    engine.time, self.name, level, throughput, joules, score
+                )
 
         # --- line 23-24: run the rest at the most efficient level.
         # Among levels whose ratios are within measurement noise of the

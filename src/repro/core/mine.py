@@ -15,11 +15,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.allocation import mine_walk
-from repro.core.chunks import Chunk, PartitionPolicy, partition_files
-from repro.core.scheduler import TransferOutcome, make_engine, make_plans, run_to_completion
+from repro.core.chunks import PartitionPolicy, partition_files
+from repro.core.scheduler import (
+    TransferOutcome,
+    current_observer,
+    make_engine,
+    make_plans,
+    run_to_completion,
+)
 from repro.datasets.files import Dataset
 from repro.netsim.engine import Binding, ChunkPlan
-from repro.netsim.params import TransferParams
 from repro.testbeds.specs import Testbed
 
 __all__ = ["MinEAlgorithm"]
@@ -48,6 +53,14 @@ class MinEAlgorithm:
         engine = make_engine(testbed, binding=Binding.PACK, work_stealing=True)
         for plan in plans:
             engine.add_chunk(plan)
+        observer = current_observer()
+        if observer is not None:
+            # MinE tunes once up front: record its planned allocation so
+            # the event stream shows the starting point work stealing
+            # later reshuffles.
+            observer.allocation_change(
+                engine.time, {p.name: p.params.concurrency for p in plans}
+            )
         outcome = run_to_completion(
             engine,
             algorithm=self.name,

@@ -5,19 +5,21 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Union
 
 from repro import units
 from repro.core.chunks import Chunk
-from repro.datasets.files import Dataset
 from repro.netsim.engine import Binding, ChunkPlan, TransferEngine
 from repro.netsim.params import TransferParams
+from repro.obs import Observer
 from repro.power.models import FineGrainedPowerModel
 from repro.testbeds.specs import Testbed
 
 __all__ = [
     "TransferOutcome",
     "engine_options",
+    "current_engine_options",
+    "current_observer",
     "make_engine",
     "make_plans",
     "run_to_completion",
@@ -30,12 +32,17 @@ _ENGINE_DEFAULTS: dict = {
     "record_trace": False,
     "background_traffic": None,
     "fast_path": True,
+    "observer": None,
 }
 
 
 @contextlib.contextmanager
 def engine_options(
-    *, record_trace: bool = False, background_traffic=None, fast_path: bool = True
+    *,
+    record_trace: bool = False,
+    background_traffic=None,
+    fast_path: bool = True,
+    observe: Union[Observer, bool, None] = None,
 ) -> Iterator[None]:
     """Temporarily change how :func:`make_engine` builds engines.
 
@@ -48,15 +55,53 @@ def engine_options(
     algorithms are designed for. ``fast_path=False`` forces every
     engine onto the pure fixed-``dt`` stepper (used by the equivalence
     tests and the benchmark's baseline arm).
+
+    ``observe`` attaches an observability layer (metrics + structured
+    events, see ``repro.obs``): pass an :class:`~repro.obs.Observer`
+    to collect into, or ``True`` to create a fresh one — retrieve it
+    with :func:`current_observer` inside the block. ``None``/``False``
+    (the default) keeps every instrumented call site on its zero-cost
+    disabled path.
     """
     previous = dict(_ENGINE_DEFAULTS)
+    if observe is True:
+        observer: Optional[Observer] = Observer()
+    elif isinstance(observe, Observer):
+        observer = observe
+    else:
+        observer = None
     _ENGINE_DEFAULTS["record_trace"] = record_trace
     _ENGINE_DEFAULTS["background_traffic"] = background_traffic
     _ENGINE_DEFAULTS["fast_path"] = fast_path
+    _ENGINE_DEFAULTS["observer"] = observer
     try:
         yield
     finally:
         _ENGINE_DEFAULTS.update(previous)
+
+
+def current_engine_options() -> dict:
+    """The active :func:`engine_options` as a picklable dict.
+
+    ``observe`` is reduced to a bool (observers hold process-local
+    state and never cross a process boundary); ``background_traffic``
+    must itself be picklable to ship to campaign workers —
+    :class:`~repro.netsim.engine.PiecewiseTraffic` is, lambdas are not.
+    Used by ``Campaign.run(workers=N)`` to re-apply the caller's
+    options inside every worker process.
+    """
+    return {
+        "record_trace": _ENGINE_DEFAULTS["record_trace"],
+        "background_traffic": _ENGINE_DEFAULTS["background_traffic"],
+        "fast_path": _ENGINE_DEFAULTS["fast_path"],
+        "observe": _ENGINE_DEFAULTS["observer"] is not None,
+    }
+
+
+def current_observer() -> Optional[Observer]:
+    """The active observer (``None`` unless inside an
+    ``engine_options(observe=...)`` block)."""
+    return _ENGINE_DEFAULTS["observer"]
 
 #: The paper's probe window: "Each concurrency level is executed for
 #: five second time intervals" (HTEE), "calculates the throughput in
@@ -135,6 +180,7 @@ def make_engine(
         record_trace=record_trace or _ENGINE_DEFAULTS["record_trace"],
         background_traffic=_ENGINE_DEFAULTS["background_traffic"],
         fast_path=_ENGINE_DEFAULTS["fast_path"],
+        observer=_ENGINE_DEFAULTS["observer"],
     )
 
 

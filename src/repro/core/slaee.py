@@ -23,6 +23,7 @@ from repro.core.chunks import Chunk, ChunkClass, PartitionPolicy, partition_file
 from repro.core.scheduler import (
     PROBE_INTERVAL_S,
     TransferOutcome,
+    current_observer,
     make_engine,
     make_plans,
     run_to_completion,
@@ -30,8 +31,20 @@ from repro.core.scheduler import (
 from repro.datasets.files import Dataset
 from repro.netsim.engine import Binding
 from repro.testbeds.specs import Testbed
+from repro import units
 
-__all__ = ["SLAEEAlgorithm", "sla_allocation"]
+__all__ = ["SLAEEAlgorithm", "sla_allocation", "sla_met"]
+
+
+def sla_met(actual: float, target: float) -> bool:
+    """Whether a measured window rate satisfies the SLA target.
+
+    The paper's Algorithm 3 climbs "until it reaches target", so a
+    window that *equals* the target meets the SLA — the boundary is
+    inclusive (``actual >= target``). Pinned here (and tested) so the
+    jump and climb loops cannot drift apart on the boundary again.
+    """
+    return actual >= target
 
 
 def sla_allocation(chunks: list[Chunk], total_channels: int, extra_large: int = 0) -> list[int]:
@@ -69,18 +82,21 @@ def sla_allocation(chunks: list[Chunk], total_channels: int, extra_large: int = 
     if not non_large:
         non_large = order
     weights = htee_weights([chunks[i] for i in non_large])
-    idx = 0
+    # Weighted round-robin: repeatedly give the next channel to the
+    # most underweighted chunk. The pool total only changes by the
+    # channel just granted, so it is maintained as a running sum
+    # instead of being recomputed inside the deficit comprehension
+    # (which made each grant O(n^2) in the chunk count).
+    pool_total = sum(allocation[j] for j in non_large)
     while remaining > 0:
-        # round-robin weighted by repeatedly giving to the most
-        # underweighted chunk
         deficits = [
-            weights[k] * (sum(allocation[j] for j in non_large) + 1) - allocation[non_large[k]]
+            weights[k] * (pool_total + 1) - allocation[non_large[k]]
             for k in range(len(non_large))
         ]
         target = non_large[max(range(len(non_large)), key=lambda k: deficits[k])]
         allocation[target] += 1
+        pool_total += 1
         remaining -= 1
-        idx += 1
     return allocation
 
 
@@ -139,6 +155,8 @@ class SLAEEAlgorithm:
             engine.add_chunk(plan, open_channels=False)
         names = [p.name for p in plans]
 
+        observer = current_observer()
+
         def apply(concurrency: int, extra_large: int) -> None:
             engine.set_allocation(
                 dict(zip(names, sla_allocation(chunks, concurrency, extra_large)))
@@ -147,7 +165,16 @@ class SLAEEAlgorithm:
         def probe() -> float:
             before = engine.snapshot()
             engine.run(self.probe_interval)
-            return engine.snapshot().throughput_since(before)
+            after = engine.snapshot()
+            throughput = after.throughput_since(before)
+            if observer is not None:
+                joules = after.energy_since(before)
+                mbps = units.to_mbps(throughput)
+                score = mbps * mbps / joules if joules > 0 else 0.0
+                observer.probe_window(
+                    engine.time, self.name, concurrency, throughput, joules, score
+                )
+            return throughput
 
         # Lines 7-9: start at one channel and measure. A one-second
         # warmup lets the channel finish its control-channel setup so
@@ -157,8 +184,9 @@ class SLAEEAlgorithm:
         engine.run(1.0)
         actual = probe()
 
-        # Line 10-13: proportional jump toward the target.
-        if actual <= target and not engine.finished and actual > 0:
+        # Line 10-13: proportional jump toward the target (a window
+        # already *at* the target meets the SLA — see sla_met).
+        if not sla_met(actual, target) and not engine.finished and actual > 0:
             concurrency = max(1, min(max_channels, math.ceil(target / actual)))
             apply(concurrency, extra_large)
             actual = probe()
@@ -166,11 +194,13 @@ class SLAEEAlgorithm:
         # Lines 14-22: incremental climb / channel rearrangement.
         max_extra = max(0, max_channels - len(chunks))
         adjustments = 0
-        while actual <= target and not engine.finished:
+        while not sla_met(actual, target) and not engine.finished:
             if concurrency < max_channels:
                 concurrency += 1
             elif extra_large < max_extra:
                 extra_large += 1  # reArrangeChannels()
+                if observer is not None:
+                    observer.rearrange_channels(engine.time, self.name, extra_large)
             else:
                 break  # SLA unreachable on this path; do our best
             apply(concurrency, extra_large)

@@ -9,7 +9,7 @@ consume (total size, count, average file size).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro import units

@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import units
-from repro.datasets.files import Dataset, FileInfo
+from repro.datasets.files import Dataset
 
 __all__ = [
     "SizeBand",

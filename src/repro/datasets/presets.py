@@ -14,7 +14,7 @@ import numpy as np
 
 from repro import units
 from repro.datasets.files import Dataset
-from repro.datasets.generators import SizeBand, banded_dataset, lognormal_dataset, uniform_dataset
+from repro.datasets.generators import SizeBand, banded_dataset, uniform_dataset
 
 __all__ = [
     "genomics_dataset",

@@ -14,7 +14,7 @@ job class and policy — results are cached, the jobs are deterministic).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core.baselines import ProMCAlgorithm

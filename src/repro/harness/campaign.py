@@ -21,10 +21,16 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator, Optional, Sequence
 
-from repro.core.scheduler import TransferOutcome
+from repro.core.scheduler import (
+    TransferOutcome,
+    current_engine_options,
+    current_observer,
+    engine_options,
+)
 from repro.datasets.files import Dataset
 from repro.harness.runner import ALGORITHMS, CONCURRENCY_INDEPENDENT, dataset_for, run_algorithm
 from repro.harness.store import ResultStore
+from repro.obs import Observer, merge_summaries
 from repro.testbeds.specs import Testbed
 
 __all__ = ["Campaign", "CampaignProgress"]
@@ -70,16 +76,35 @@ def _run_cell(
     level: int,
     store_path: str,
     campaign_name: str,
-) -> TransferOutcome:
+    options: Optional[dict] = None,
+) -> tuple[TransferOutcome, Optional[dict]]:
     """Worker entry point: simulate one grid cell and archive it.
 
     Module-level so it pickles; appends directly to the store (safe
     under concurrency) so a completed cell survives even if the parent
     dies before collecting the future.
+
+    ``options`` is the parent's :func:`current_engine_options` snapshot
+    — module-global engine defaults do NOT cross the process boundary,
+    so the worker re-applies them explicitly around the run (the fix
+    for parallel cells silently ignoring ``with engine_options(...)``
+    blocks). When the caller observed (``observe=True``), the worker
+    builds a fresh process-local :class:`~repro.obs.Observer`, archives
+    its metric summary as the record's ``metrics`` tag, and returns the
+    summary for cross-worker merging; the worker's event stream stays
+    local (it can be arbitrarily large).
     """
-    outcome = run_algorithm(testbed, algorithm, level, dataset_for(testbed))
-    ResultStore(Path(store_path)).append(outcome, campaign=campaign_name)
-    return outcome
+    options = dict(options or {})
+    observe = options.pop("observe", False)
+    observer = Observer() if observe else None
+    with engine_options(**options, observe=observer):
+        outcome = run_algorithm(testbed, algorithm, level, dataset_for(testbed))
+    summary = observer.summary() if observer is not None else None
+    tags: dict = {"campaign": campaign_name}
+    if summary is not None:
+        tags["metrics"] = summary
+    ResultStore(Path(store_path)).append(outcome, **tags)
+    return outcome, summary
 
 
 @dataclass
@@ -108,6 +133,11 @@ class Campaign:
         #: keys; kept in sync on append so ``progress()``/``run()``
         #: never re-scan the whole store.
         self._done_index: Optional[set[tuple[str, str, int]]] = None
+        #: Merged metric summary of the cells executed by the most
+        #: recent ``run()`` call (``None`` unless observing — see
+        #: ``engine_options(observe=...)``). Per-cell summaries are
+        #: additionally archived as each record's ``metrics`` tag.
+        self.last_metrics: Optional[dict] = None
 
     # ------------------------------------------------------------------
 
@@ -170,12 +200,24 @@ class Campaign:
         appends its outcome to the store itself, so interrupting a
         parallel run loses at most the in-flight cells and a re-run
         (serial or parallel) skips everything already archived.
+
+        The caller's active :func:`engine_options` — ``fast_path``,
+        ``background_traffic`` (must be picklable, e.g.
+        :class:`~repro.netsim.engine.PiecewiseTraffic`),
+        ``record_trace``, ``observe`` — are captured here and re-applied
+        inside every worker, so a parallel run honors a surrounding
+        ``with engine_options(...):`` block exactly like a serial one.
+        When observing, each cell's metric summary is archived as a
+        ``metrics`` tag and the cross-cell merge lands in
+        ``self.last_metrics`` (also folded into the caller's observer).
         """
         if workers is not None and workers > 1:
             return self._run_parallel(workers=workers, max_cells=max_cells)
         done = self._done_keys()
         executed = 0
         skipped = 0
+        options = current_engine_options()
+        summaries: list[dict] = []
         cells = list(self.cells())
         for testbed, algorithm, level in cells:
             key = (testbed.name, algorithm, level)
@@ -184,14 +226,28 @@ class Campaign:
                 continue
             if max_cells is not None and executed >= max_cells:
                 break
-            outcome = run_algorithm(testbed, algorithm, level, dataset_for(testbed))
-            self.store.append(outcome, campaign=self.name)
+            outcome, summary = _run_cell(
+                testbed, algorithm, level, str(self.store.path), self.name, options
+            )
+            self._collect_summary(summary, summaries)
             done.add(key)
             executed += 1
             if self.on_result is not None:
                 self.on_result(outcome)
+        self.last_metrics = merge_summaries(summaries) if summaries else None
         completed = sum(1 for tb, alg, lvl in cells if (tb.name, alg, lvl) in done)
         return CampaignProgress(total=len(cells), completed=completed, skipped=skipped)
+
+    @staticmethod
+    def _collect_summary(summary: Optional[dict], summaries: list[dict]) -> None:
+        """Gather one cell's metric summary and fold it into the
+        caller's observer (if one is active)."""
+        if summary is None:
+            return
+        summaries.append(summary)
+        caller = current_observer()
+        if caller is not None:
+            caller.merge_summary(summary)
 
     def _run_parallel(self, *, workers: int, max_cells: Optional[int]) -> CampaignProgress:
         done = self._done_keys()
@@ -205,6 +261,8 @@ class Campaign:
             if max_cells is not None and len(pending) >= max_cells:
                 break
             pending.append((testbed, algorithm, level))
+        options = current_engine_options()
+        summaries: list[dict] = []
         if pending:
             # One picklable testbed per distinct spec: the dataset is
             # materialized once here and shipped to the workers.
@@ -223,14 +281,17 @@ class Campaign:
                         level,
                         str(self.store.path),
                         self.name,
+                        options,
                     ): (testbed.name, algorithm, level)
                     for testbed, algorithm, level in pending
                 }
                 for future in concurrent.futures.as_completed(futures):
-                    outcome = future.result()  # re-raises worker errors
+                    outcome, summary = future.result()  # re-raises worker errors
+                    self._collect_summary(summary, summaries)
                     done.add(futures[future])
                     if self.on_result is not None:
                         self.on_result(outcome)
+        self.last_metrics = merge_summaries(summaries) if summaries else None
         completed = sum(1 for tb, alg, lvl in cells if (tb.name, alg, lvl) in done)
         return CampaignProgress(total=len(cells), completed=completed, skipped=skipped)
 

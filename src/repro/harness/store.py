@@ -125,6 +125,20 @@ class ResultStore:
 
     # ------------------------------------------------------------------
 
+    def metrics_summaries(self, campaign: Optional[str] = None) -> list[dict]:
+        """Every archived per-cell ``metrics`` tag (observed campaign
+        cells), optionally restricted to one campaign. Merge them with
+        :func:`repro.obs.merge_summaries` for a whole-campaign view."""
+        summaries = []
+        for record in self.records():
+            tags = record.get("tags", {})
+            if campaign is not None and tags.get("campaign") != campaign:
+                continue
+            metrics = tags.get("metrics")
+            if metrics is not None:
+                summaries.append(metrics)
+        return summaries
+
     def best(self, metric: str = "efficiency", **filters) -> Optional[TransferOutcome]:
         """The stored run maximizing ``metric`` (an outcome attribute)."""
         candidates = self.load(**filters)

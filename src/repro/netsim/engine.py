@@ -39,7 +39,7 @@ import heapq
 import math
 from bisect import bisect_right
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.datasets.files import FileInfo
@@ -235,6 +235,7 @@ class TransferEngine:
         record_events: bool = False,
         background_traffic: Optional[Callable[[float], float]] = None,
         fast_path: bool = True,
+        observer=None,
     ) -> None:
         """``background_traffic`` (optional) maps simulated time to the
         number of competing TCP streams sharing the path. The link is
@@ -250,7 +251,15 @@ class TransferEngine:
         ``next_change(t)``) as ``background_traffic`` to keep the fast
         path active under cross-traffic; opaque callables silently
         disable it (the engine then behaves exactly like the fixed
-        stepper)."""
+        stepper).
+
+        ``observer`` (optional, a :class:`repro.obs.Observer`) receives
+        structured events — allocation changes, work-stealing
+        adoptions, failures/recoveries, macro-steps vs fixed-``dt``
+        fallback stretches — and metric updates. With ``observer=None``
+        (the default) every instrumentation site reduces to one
+        ``is not None`` check and the engine allocates nothing extra
+        per step (the zero-cost guarantee DESIGN.md documents)."""
         if dt <= 0:
             raise ValueError(f"dt must be > 0, got {dt}")
         self.path = path
@@ -264,6 +273,10 @@ class TransferEngine:
         self.record_events = record_events
         self.background_traffic = background_traffic
         self.fast_path = fast_path
+        self.observer = observer
+        #: Fixed steps taken since the last macro-step while an observer
+        #: is attached (coalesced into one ``fixed_dt_fallback`` event).
+        self._fallback_steps = 0
 
         self.time = 0.0
         self.total_bytes = 0.0
@@ -401,9 +414,16 @@ class TransferEngine:
             self.open_channel(chunk_name)
 
     def set_allocation(self, allocation: dict[str, int]) -> None:
-        """Apply a full chunk -> channel-count allocation at once."""
+        """Apply a full chunk -> channel-count allocation at once.
+
+        Emits exactly one ``allocation_change`` observability event per
+        call (not one per chunk), so adaptive controllers can replay
+        their decision history from the event stream.
+        """
         for chunk_name, count in allocation.items():
             self.set_chunk_channels(chunk_name, count)
+        if self.observer is not None:
+            self.observer.allocation_change(self.time, dict(allocation))
 
     # ------------------------------------------------------------------
     # failure injection
@@ -488,6 +508,8 @@ class TransferEngine:
     def _log_event(self, kind: str, **detail) -> None:
         if self.record_events:
             self.events.append(EngineEvent(time=self.time, kind=kind, detail=detail))
+        if self.observer is not None:
+            self.observer.engine_event(self.time, kind, detail)
 
     @property
     def active_channel_count(self) -> int:
@@ -550,6 +572,8 @@ class TransferEngine:
         sampling window instead.
         """
         start = self.time
+        observer = self.observer
+        fixed_before = self.fixed_steps
         horizon = min(self.time + duration, max_time) if duration is not None else max_time
         if self.fast_path:
             while (
@@ -565,6 +589,12 @@ class TransferEngine:
                 and not (until is not None and until())
             ):
                 self.step()
+        if observer is not None:
+            observer.note_steps(self.fixed_steps - fixed_before)
+            if self._fallback_steps:
+                # close the trailing fallback stretch at the run boundary
+                observer.fixed_fallback(self.time, self._fallback_steps)
+                self._fallback_steps = 0
         return self.time - start
 
     def step(self) -> None:
@@ -593,7 +623,9 @@ class TransferEngine:
             self.total_bytes += outcome.bytes_moved
             self.total_wire_bytes += outcome.bytes_moved * wire_factor
             self.total_files += outcome.files_completed
-            if self.record_events and outcome.files_completed:
+            if outcome.files_completed and (
+                self.record_events or self.observer is not None
+            ):
                 self._log_event(
                     "file_completed",
                     chunk=channel.chunk_name,
@@ -641,9 +673,17 @@ class TransferEngine:
         busy = [c for c in self._channels.values() if c.busy]
         rates = self._allocate_rates(busy)
         k = self._stable_steps(busy, rates, horizon)
+        observer = self.observer
         if k < 2:
+            if observer is not None:
+                self._fallback_steps += 1
             self._advance_fixed(busy, rates)
         else:
+            if observer is not None:
+                if self._fallback_steps:
+                    observer.fixed_fallback(self.time, self._fallback_steps)
+                    self._fallback_steps = 0
+                observer.macro_step(self.time, k, k * self.dt)
             self._advance_macro(busy, rates, k)
 
     def _stable_steps(
@@ -787,7 +827,7 @@ class TransferEngine:
             self.total_bytes += bytes_moved
             self.total_wire_bytes += bytes_moved * wire_factor
             self.total_files += files_completed
-            if self.record_events and files_completed:
+            if files_completed and (self.record_events or self.observer is not None):
                 self._log_event(
                     "file_completed", chunk=channel.chunk_name, count=files_completed
                 )

@@ -16,7 +16,7 @@ instead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.netsim.engine import Binding, ChunkPlan, TransferEngine

@@ -1,0 +1,165 @@
+"""Structured transfer-event stream.
+
+Every *decision-relevant* moment of a transfer — a probe window with
+its measured throughput/energy/score, an allocation change, a
+``reArrangeChannels`` firing, a fast-path macro-step or a fixed-``dt``
+fallback stretch, a work-stealing adoption, a server failure or
+recovery — is appended to an :class:`EventStream` as a schema-checked
+:class:`TransferEvent`.
+
+The schema (:data:`EVENT_SCHEMA`) is enforced at emit time: unknown
+kinds and missing detail keys raise immediately, so a malformed
+instrumentation call site fails in tests rather than producing an
+unparseable archive. Events carry a monotone sequence number in
+addition to the simulated time stamp because several events can share
+one engine timestamp (e.g. a server failure and the channel closures
+it causes) while their causal order still matters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+__all__ = ["EVENT_SCHEMA", "TransferEvent", "EventStream"]
+
+#: kind -> required detail keys. Extra keys are allowed (forward
+#: compatibility); missing required keys are an error.
+EVENT_SCHEMA: dict[str, frozenset[str]] = {
+    # algorithm-level decisions
+    "probe_window": frozenset({"algorithm", "cc", "throughput_bps", "joules", "score"}),
+    "allocation_change": frozenset({"allocation"}),
+    "rearrange_channels": frozenset({"algorithm", "extra_large"}),
+    # engine stepping-mode telemetry
+    "macro_step": frozenset({"steps", "span_s"}),
+    "fixed_dt_fallback": frozenset({"steps"}),
+    # engine structural events (forwarded from the engine event log)
+    "channel_reassigned": frozenset({"from_chunk", "to_chunk"}),
+    "channel_failed": frozenset({"chunk"}),
+    "server_failed": frozenset({"side", "index"}),
+    "server_recovered": frozenset({"side", "index"}),
+}
+
+
+@dataclass(frozen=True)
+class TransferEvent:
+    """One schema-checked entry of the observability event stream."""
+
+    seq: int
+    time: float
+    kind: str
+    detail: dict
+
+    def to_dict(self) -> dict:
+        """The event as a JSON-safe dict."""
+        return {"seq": self.seq, "time": self.time, "kind": self.kind,
+                "detail": self.detail}
+
+
+class EventStream:
+    """An append-only, schema-validated sequence of transfer events."""
+
+    def __init__(self) -> None:
+        self._events: list[TransferEvent] = []
+
+    # -- emission -------------------------------------------------------
+
+    def emit(self, time: float, kind: str, **detail) -> TransferEvent:
+        """Append one event, validating it against :data:`EVENT_SCHEMA`."""
+        required = EVENT_SCHEMA.get(kind)
+        if required is None:
+            raise ValueError(
+                f"unknown event kind {kind!r}; known: {sorted(EVENT_SCHEMA)}"
+            )
+        missing = required - detail.keys()
+        if missing:
+            raise ValueError(
+                f"event {kind!r} missing required detail keys: {sorted(missing)}"
+            )
+        event = TransferEvent(seq=len(self._events), time=time, kind=kind,
+                              detail=detail)
+        self._events.append(event)
+        return event
+
+    def extend(self, other: "EventStream") -> None:
+        """Append every event of ``other`` (re-sequenced to stay monotone)."""
+        for event in other:
+            self._events.append(
+                TransferEvent(seq=len(self._events), time=event.time,
+                              kind=event.kind, detail=event.detail)
+            )
+
+    # -- access ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TransferEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index):
+        return self._events[index]
+
+    @property
+    def events(self) -> list[TransferEvent]:
+        return list(self._events)
+
+    def filter(
+        self, kind: Optional[str] = None, since: Optional[float] = None
+    ) -> list[TransferEvent]:
+        """Events matching the given kind and/or minimum time."""
+        result = self._events
+        if kind is not None:
+            result = [e for e in result if e.kind == kind]
+        if since is not None:
+            result = [e for e in result if e.time >= since]
+        return list(result)
+
+    def kinds(self) -> dict[str, int]:
+        """Event counts per kind."""
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    # -- validation -----------------------------------------------------
+
+    def validate(self) -> None:
+        """Re-check the whole stream: schema conformance and monotone
+        sequence numbers (raises ``ValueError`` on the first violation)."""
+        for i, event in enumerate(self._events):
+            if event.seq != i:
+                raise ValueError(f"non-monotone event sequence at index {i}")
+            required = EVENT_SCHEMA.get(event.kind)
+            if required is None:
+                raise ValueError(f"unknown event kind {event.kind!r} at seq {i}")
+            missing = required - event.detail.keys()
+            if missing:
+                raise ValueError(
+                    f"event {event.kind!r} at seq {i} missing keys: {sorted(missing)}"
+                )
+
+    # -- serialization --------------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        """Every event as a JSON-safe dict, in sequence order."""
+        return [e.to_dict() for e in self._events]
+
+    def save_jsonl(self, path: Path | str) -> Path:
+        """Write the stream as one JSON object per line."""
+        path = Path(path)
+        with path.open("w") as handle:
+            for event in self._events:
+                handle.write(json.dumps(event.to_dict()) + "\n")
+        return path
+
+    @classmethod
+    def from_dicts(cls, records: Iterable[dict]) -> "EventStream":
+        """Rebuild (and re-validate) a stream from :meth:`to_dicts` output."""
+        stream = cls()
+        for record in records:
+            stream.emit(float(record["time"]), str(record["kind"]),
+                        **dict(record["detail"]))
+        return stream

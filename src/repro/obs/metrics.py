@@ -1,0 +1,207 @@
+"""Process-local metric primitives.
+
+The paper's algorithms act on *measurements* (HTEE probes a
+concurrency ladder, SLAEE watches five-second SLA windows), so the
+reproduction carries a first-class metrics layer: counters for
+monotonically growing totals, gauges for last-seen values, and
+fixed-bucket histograms for distributions (probe scores, macro-step
+spans).
+
+Everything here is deliberately plain: no locks (a registry lives in
+one process; campaign workers each own a fresh registry and the
+parent merges the *snapshots*), no background threads, no clock reads
+— so a guarded call site costs one dict lookup plus an addition, and a
+disabled call site costs one ``is not None`` check.
+
+Snapshots are pure JSON-safe dicts, which makes them picklable across
+:class:`~concurrent.futures.ProcessPoolExecutor` boundaries and
+archivable as a ``metrics`` tag in the
+:class:`~repro.harness.store.ResultStore` JSONL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_summaries",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds (log-ish spacing). The last
+#: implicit bucket is +inf.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the running total."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge for deltas")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-written value (e.g. the current concurrency level)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value`` (last write wins)."""
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket histogram with count/sum (Prometheus-style).
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; an
+    implicit overflow bucket catches everything above the last bound.
+    """
+
+    bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted")
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one sample into its bucket (and count/sum)."""
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    Instruments are created on first use (``registry.counter("x")``),
+    so call sites never need registration boilerplate.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument accessors ------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The named counter, created on first use."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge, created on first use."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The named histogram, created on first use with ``bounds``
+        (later callers inherit the creator's bounds)."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(
+                bounds=tuple(bounds) if bounds is not None else DEFAULT_BUCKETS
+            )
+        return instrument
+
+    # -- snapshot / merge ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-safe copy of every instrument's current state."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                }
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_snapshot(self, summary: dict) -> None:
+        """Fold one :meth:`snapshot` (e.g. from a campaign worker) into
+        this registry: counters and histograms add, gauges last-write-win.
+        """
+        for name, value in summary.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in summary.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in summary.get("histograms", {}).items():
+            hist = self.histogram(name, bounds=data["bounds"])
+            if list(hist.bounds) != list(data["bounds"]):
+                raise ValueError(
+                    f"histogram {name!r} bucket bounds differ; cannot merge"
+                )
+            hist.count += data["count"]
+            hist.sum += data["sum"]
+            hist.counts = [a + b for a, b in zip(hist.counts, data["counts"])]
+
+
+def merge_summaries(summaries: Iterable[dict]) -> dict:
+    """Merge several summaries into one (the cross-worker aggregation
+    used by parallel campaigns).
+
+    Accepts either bare registry snapshots (``{"counters": ...}``) or
+    full observer summaries (``{"metrics": ..., "event_counts": ...,
+    "events_total": ...}``); the result mirrors the richer input shape
+    — event counts add — so a merged campaign summary renders exactly
+    like a single cell's.
+    """
+    merged = MetricsRegistry()
+    event_counts: dict[str, int] = {}
+    events_total = 0
+    saw_observer_shape = False
+    for summary in summaries:
+        if "metrics" in summary or "event_counts" in summary:
+            saw_observer_shape = True
+            merged.merge_snapshot(summary.get("metrics", {}))
+            for kind, count in summary.get("event_counts", {}).items():
+                event_counts[kind] = event_counts.get(kind, 0) + count
+            events_total += int(summary.get("events_total", 0))
+        else:
+            merged.merge_snapshot(summary)
+    if saw_observer_shape:
+        return {
+            "metrics": merged.snapshot(),
+            "event_counts": event_counts,
+            "events_total": events_total,
+        }
+    return merged.snapshot()

@@ -1,0 +1,212 @@
+"""The :class:`Observer` facade: one object that instrumented code
+talks to.
+
+An observer couples a :class:`~repro.obs.metrics.MetricsRegistry` with
+an :class:`~repro.obs.events.EventStream` and exposes intent-named
+hooks (``probe_window``, ``allocation_change``, ``macro_step``, ...)
+so call sites never build event dicts by hand. Instrumented code holds
+an ``Optional[Observer]`` and guards every call with ``is not None``
+— the *disabled* cost is one attribute check, the *enabled* cost is a
+couple of dict operations.
+
+Observers are process-local. Parallel campaign workers each create a
+fresh one and ship only its :meth:`summary` (pure dicts) back across
+the process boundary; worker event streams stay in the worker (they
+can be arbitrarily large), while metric summaries are merged by the
+parent — see ``repro.harness.campaign``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.obs.events import EventStream
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Observer", "render_events", "render_metrics"]
+
+#: Engine event-log kinds mirrored into the observer's event stream
+#: (the rest — channel opens/closes, per-file completions — are
+#: high-volume and tracked as counters only).
+_FORWARDED_ENGINE_KINDS = frozenset(
+    {"channel_reassigned", "channel_failed", "server_failed", "server_recovered"}
+)
+
+#: Probe scores are Mbps^2/J; macro-step spans are seconds.
+_SCORE_BUCKETS = (0.01, 0.1, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6)
+_SPAN_BUCKETS = (0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0, 1800.0)
+
+
+class Observer:
+    """Couples metrics and events for one observed scope (a transfer,
+    a campaign cell, a CLI invocation)."""
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        self.events = EventStream()
+
+    # -- algorithm-level hooks -----------------------------------------
+
+    def probe_window(
+        self,
+        time: float,
+        algorithm: str,
+        cc: int,
+        throughput_bps: float,
+        joules: float,
+        score: float,
+    ) -> None:
+        """One HTEE/SLAEE measurement window at concurrency ``cc``."""
+        self.metrics.counter("algo.probe_windows").inc()
+        self.metrics.gauge("algo.last_probe_cc").set(cc)
+        self.metrics.histogram("algo.probe_score", _SCORE_BUCKETS).observe(score)
+        self.events.emit(
+            time,
+            "probe_window",
+            algorithm=algorithm,
+            cc=cc,
+            throughput_bps=throughput_bps,
+            joules=joules,
+            score=score,
+        )
+
+    def allocation_change(self, time: float, allocation: dict[str, int]) -> None:
+        """The engine applied a full chunk -> channel-count allocation."""
+        self.metrics.counter("engine.allocation_changes").inc()
+        self.metrics.gauge("engine.last_allocation_total").set(
+            sum(allocation.values())
+        )
+        self.events.emit(time, "allocation_change", allocation=dict(allocation))
+
+    def rearrange_channels(self, time: float, algorithm: str, extra_large: int) -> None:
+        """SLAEE's ``reArrangeChannels`` fired (large chunks get extras)."""
+        self.metrics.counter("algo.rearrange_firings").inc()
+        self.events.emit(
+            time, "rearrange_channels", algorithm=algorithm, extra_large=extra_large
+        )
+
+    # -- engine stepping hooks -----------------------------------------
+
+    def macro_step(self, time: float, steps: int, span_s: float) -> None:
+        """The fast path advanced ``steps`` whole dt-steps analytically."""
+        self.metrics.counter("engine.macro_steps").inc()
+        self.metrics.counter("engine.macro_stepped_dts").inc(steps)
+        self.metrics.histogram("engine.macro_span_s", _SPAN_BUCKETS).observe(span_s)
+        self.events.emit(time, "macro_step", steps=steps, span_s=span_s)
+
+    def fixed_fallback(self, time: float, steps: int) -> None:
+        """A stretch of ``steps`` fixed-``dt`` fallback steps ended.
+
+        Fallback stretches are coalesced: one event per stretch (not
+        per step), so the stream stays bounded even for dt-dominated
+        configurations. Per-step totals live in the
+        ``engine.fixed_steps`` counter.
+        """
+        self.metrics.counter("engine.fallback_stretches").inc()
+        self.events.emit(time, "fixed_dt_fallback", steps=steps)
+
+    def note_steps(self, fixed_steps: int) -> None:
+        """Accumulate a finished ``run()``'s fixed-``dt`` step total
+        (macro-step totals are counted per :meth:`macro_step` call)."""
+        if fixed_steps:
+            self.metrics.counter("engine.fixed_steps").inc(fixed_steps)
+
+    # -- engine event-log forwarding -----------------------------------
+
+    def engine_event(self, time: float, kind: str, detail: dict) -> None:
+        """Receive one engine event-log entry (always counted; the
+        structurally interesting kinds are mirrored into the stream)."""
+        if kind == "file_completed":
+            self.metrics.counter("engine.files_completed").inc(
+                detail.get("count", 1)
+            )
+        else:
+            self.metrics.counter(f"engine.events.{kind}").inc()
+        if kind == "channel_reassigned":
+            self.metrics.counter("engine.work_steals").inc()
+        if kind in _FORWARDED_ENGINE_KINDS:
+            self.events.emit(time, kind, **detail)
+
+    # -- aggregation ----------------------------------------------------
+
+    def summary(self) -> dict:
+        """A JSON-safe, picklable summary (metrics snapshot plus event
+        counts — the full event stream stays local)."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "event_counts": self.events.kinds(),
+            "events_total": len(self.events),
+        }
+
+    def merge_summary(self, summary: dict) -> None:
+        """Fold a worker's :meth:`summary` into this observer's metrics."""
+        self.metrics.merge_snapshot(summary.get("metrics", {}))
+
+
+# ----------------------------------------------------------------------
+# text rendering (CLI)
+# ----------------------------------------------------------------------
+
+
+def _fmt_detail(kind: str, detail: dict) -> str:
+    if kind == "probe_window":
+        return (
+            f"{detail['algorithm']} cc={detail['cc']} "
+            f"{units.to_mbps(detail['throughput_bps']):8.1f} Mbps "
+            f"{detail['joules']:9.1f} J  score={detail['score']:.3f}"
+        )
+    if kind == "allocation_change":
+        alloc = detail["allocation"]
+        body = ", ".join(f"{k}={v}" for k, v in alloc.items())
+        return f"total={sum(alloc.values())} ({body})"
+    if kind == "macro_step":
+        return f"{detail['steps']} steps ({detail['span_s']:.2f} s)"
+    if kind == "fixed_dt_fallback":
+        return f"{detail['steps']} fixed steps"
+    return ", ".join(f"{k}={v}" for k, v in detail.items())
+
+
+def render_events(stream: EventStream, kind: Optional[str] = None) -> str:
+    """The event stream as an aligned text table."""
+    events = stream.filter(kind=kind)
+    if not events:
+        return "(no events)"
+    lines = [f"{'seq':>5s}  {'time_s':>10s}  {'kind':<20s}  detail"]
+    for event in events:
+        lines.append(
+            f"{event.seq:5d}  {event.time:10.2f}  {event.kind:<20s}  "
+            f"{_fmt_detail(event.kind, event.detail)}"
+        )
+    counts = stream.kinds() if kind is None else {kind: len(events)}
+    tally = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    lines.append(f"({len(events)} events: {tally})")
+    return "\n".join(lines)
+
+
+def render_metrics(summary: dict) -> str:
+    """A metrics summary (one observer or a merged campaign) as text."""
+    metrics = summary.get("metrics", summary)
+    lines = []
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name:<32s} {value:>14.10g}")
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name, value in sorted(gauges.items()):
+            lines.append(f"  {name:<32s} {value:>14.10g}")
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name, data in sorted(histograms.items()):
+            count = data["count"]
+            mean = data["sum"] / count if count else 0.0
+            lines.append(
+                f"  {name:<32s} count={count:<8d} mean={mean:.4g}"
+            )
+    if "events_total" in summary:
+        lines.append(f"events_total: {summary['events_total']}")
+    return "\n".join(lines) if lines else "(no metrics)"

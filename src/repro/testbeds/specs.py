@@ -21,7 +21,7 @@ DESIGN.md and EXPERIMENTS.md document this calibration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro import units

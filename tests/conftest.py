@@ -7,8 +7,8 @@ from __future__ import annotations
 import pytest
 
 from repro import units
-from repro.datasets.files import Dataset, FileInfo
-from repro.netsim.disk import ParallelDisk, SingleDisk
+from repro.datasets.files import Dataset
+from repro.netsim.disk import ParallelDisk
 from repro.netsim.endpoint import EndSystem, ServerSpec
 from repro.netsim.engine import TransferEngine
 from repro.netsim.link import NetworkPath

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import units
 from repro.core.advisor import advise
 from repro.core.mine import MinEAlgorithm
 from repro.datasets.files import Dataset

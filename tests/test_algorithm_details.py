@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import units
 from repro.core.mine import MinEAlgorithm
 from repro.core.htee import HTEEAlgorithm
 from repro.core.slaee import SLAEEAlgorithm

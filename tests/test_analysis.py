@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import units
 from repro.analysis.crossover import Crossover, argmax_interpolated, find_crossovers
 from repro.analysis.sensitivity import (
     KNOBS,

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.scheduler import engine_options
 from repro.harness.campaign import Campaign
 
 
@@ -170,3 +171,63 @@ class TestParallelRun:
     def test_workers_one_is_serial(self, campaign):
         progress = campaign.run(workers=1)
         assert progress.completed == progress.total == 3
+
+
+class TestEngineOptionsAcrossWorkers:
+    """Regression: ``engine_options`` mutates a module-global defaults
+    dict that never crosses the ProcessPoolExecutor boundary, so a
+    surrounding ``with engine_options(...):`` block was silently
+    ignored by every parallel cell."""
+
+    def test_record_trace_reaches_workers(self, small_testbed, tmp_path):
+        seen = []
+        campaign = Campaign(
+            "opts", tmp_path / "opts.jsonl", [small_testbed],
+            algorithms=("GUC", "SC"), levels=(1,), on_result=seen.append,
+        )
+        with engine_options(record_trace=True):
+            campaign.run(workers=2)
+        assert seen, "parallel run produced no outcomes"
+        for outcome in seen:
+            assert "trace" in outcome.extra, (
+                f"{outcome.algorithm}: record_trace was dropped at the "
+                "process boundary"
+            )
+
+    def test_parallel_matches_serial_under_fast_path_off(self, small_testbed, tmp_path):
+        def keyed(campaign):
+            return sorted(
+                (r["testbed"], r["algorithm"], r["max_channels"],
+                 r["duration_s"], r["bytes_moved"], r["energy_joules"])
+                for r in campaign.store.records()
+            )
+
+        serial = Campaign(
+            "fp", tmp_path / "fp-serial.jsonl", [small_testbed],
+            algorithms=("GUC", "SC"), levels=(1, 2),
+        )
+        parallel = Campaign(
+            "fp", tmp_path / "fp-parallel.jsonl", [small_testbed],
+            algorithms=("GUC", "SC"), levels=(1, 2),
+        )
+        with engine_options(fast_path=False):
+            serial.run()
+            parallel.run(workers=2)
+        assert keyed(parallel) == keyed(serial)
+
+    def test_observe_archives_metrics_tags(self, small_testbed, tmp_path):
+        campaign = Campaign(
+            "obs", tmp_path / "obs.jsonl", [small_testbed],
+            algorithms=("MinE",), levels=(1, 2),
+        )
+        with engine_options(observe=True):
+            campaign.run(workers=2)
+        summaries = campaign.store.metrics_summaries("obs")
+        assert len(summaries) == 2
+        for summary in summaries:
+            assert summary["metrics"]["counters"]  # non-empty per cell
+        merged = campaign.last_metrics
+        assert merged is not None
+        fixed = merged["metrics"]["counters"].get("engine.fixed_steps", 0)
+        macro = merged["metrics"]["counters"].get("engine.macro_stepped_dts", 0)
+        assert fixed + macro > 0

@@ -132,3 +132,56 @@ class TestCommands:
 
     def test_history_empty_best(self, tmp_path, capsys):
         assert main(["history", str(tmp_path / "none.jsonl"), "--best", "efficiency"]) == 1
+
+
+class TestReportObservability:
+    def test_events_and_metrics_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "--events", "--metrics"])
+
+    def test_report_events(self, capsys):
+        assert main(["report", "--events", "-t", "didclab", "-c", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "probe_window" in out
+        assert "kind" in out
+
+    def test_report_events_kind_filter_and_json(self, tmp_path, capsys):
+        json_path = tmp_path / "events.json"
+        code = main(["report", "--events", "-t", "didclab", "-c", "2",
+                     "--kind", "probe_window", "--json", str(json_path)])
+        assert code == 0
+        events = json.loads(json_path.read_text())
+        assert events and all("kind" in e for e in events)
+
+    def test_report_metrics(self, capsys):
+        assert main(["report", "--metrics", "-t", "didclab", "-a", "MinE",
+                     "-c", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "events_total:" in out
+
+    def test_report_metrics_from_store(self, tmp_path, capsys):
+        from repro.core.scheduler import engine_options
+        from repro.harness.campaign import Campaign
+        from repro.testbeds import testbed_by_name
+
+        store = tmp_path / "cells.jsonl"
+        campaign = Campaign("cli", store, [testbed_by_name("didclab")],
+                            algorithms=("GUC",))
+        with engine_options(observe=True):
+            campaign.run()
+        assert main(["report", "--metrics", "--store", str(store),
+                     "--campaign", "cli"]) == 0
+        out = capsys.readouterr().out
+        assert "archived cell summaries" in out
+        assert "counters:" in out
+
+    def test_report_metrics_from_empty_store(self, tmp_path, capsys):
+        (tmp_path / "empty.jsonl").write_text("")
+        assert main(["report", "--metrics",
+                     "--store", str(tmp_path / "empty.jsonl")]) == 1
+
+    def test_report_events_from_store_rejected(self, tmp_path, capsys):
+        assert main(["report", "--events",
+                     "--store", str(tmp_path / "s.jsonl")]) == 2
+        assert "process-local" in capsys.readouterr().err

@@ -9,9 +9,14 @@ from repro.core.baselines import (
     ProMCAlgorithm,
     SingleChunkAlgorithm,
 )
-from repro.core.htee import BruteForceAlgorithm, HTEEAlgorithm, scaled_allocation
+from repro.core.htee import (
+    BruteForceAlgorithm,
+    HTEEAlgorithm,
+    probe_ladder,
+    scaled_allocation,
+)
 from repro.core.mine import MinEAlgorithm
-from repro.core.slaee import SLAEEAlgorithm, sla_allocation
+from repro.core.slaee import SLAEEAlgorithm, sla_allocation, sla_met
 from repro.core.chunks import Chunk, ChunkClass
 from repro.datasets.files import Dataset, FileInfo
 
@@ -145,6 +150,30 @@ class TestMinE:
             MinEAlgorithm().run(small_testbed, ds, 0)
 
 
+class TestProbeLadder:
+    def test_odd_cap_is_plain_stride(self):
+        assert probe_ladder(7) == [1, 3, 5, 7]
+        assert probe_ladder(1) == [1]
+
+    def test_even_cap_is_probed(self):
+        """Regression: ``range(1, max+1, 2)`` silently skipped an even
+        ``maxChannel`` — cap 8 probed only 1/3/5/7, so the cap could
+        never win the argmax."""
+        assert probe_ladder(8) == [1, 3, 5, 7, 8]
+        assert probe_ladder(2) == [1, 2]
+
+    def test_every_ladder_ends_at_cap(self):
+        for cap in range(1, 25):
+            levels = probe_ladder(cap)
+            assert levels[-1] == cap
+            assert levels == sorted(set(levels))  # strictly increasing
+            assert all(1 <= lvl <= cap for lvl in levels)
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            probe_ladder(0)
+
+
 class TestScaledAllocation:
     def test_sums_to_total(self):
         weights = [0.5, 0.3, 0.2]
@@ -155,12 +184,33 @@ class TestScaledAllocation:
         allocation = scaled_allocation([0.5, 0.25, 0.25], 8)
         assert allocation == [4, 2, 2]
 
+    def test_non_normalized_weights(self):
+        """Weights are normalized internally: raw (un-normalized)
+        weight vectors keep the sum-to-total invariant instead of
+        over- or under-allocating."""
+        for weights in ([5.0, 3.0, 2.0], [0.1, 0.1], [12.0], [2.5, 0.0, 7.5]):
+            for total in range(0, 13):
+                allocation = scaled_allocation(weights, total)
+                assert sum(allocation) == total
+                assert all(a >= 0 for a in allocation)
+
+    def test_non_normalized_matches_normalized(self):
+        raw = [5.0, 2.5, 2.5]
+        norm = [0.5, 0.25, 0.25]
+        for total in (0, 1, 4, 8, 11):
+            assert scaled_allocation(raw, total) == scaled_allocation(norm, total)
+
+    def test_all_zero_weights_fall_back_to_uniform(self):
+        assert scaled_allocation([0.0, 0.0, 0.0], 6) == [2, 2, 2]
+
     def test_empty(self):
         assert scaled_allocation([], 4) == []
 
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             scaled_allocation([1.0], -1)
+        with pytest.raises(ValueError):
+            scaled_allocation([1.0, -0.5], 4)
 
 
 class TestHTEE:
@@ -168,10 +218,20 @@ class TestHTEE:
         outcome = HTEEAlgorithm().run(small_testbed, ds, 4)
         assert_complete(outcome, ds)
 
-    def test_probes_odd_levels(self, small_testbed, ds):
+    def test_probes_follow_the_ladder(self, small_testbed, ds):
         outcome = HTEEAlgorithm().run(small_testbed, ds, 6)
         probed = [p[0] for p in outcome.extra["probes"]]
-        assert probed == [lvl for lvl in (1, 3, 5) if lvl <= 6][: len(probed)]
+        assert probed == probe_ladder(6)[: len(probed)]
+
+    def test_even_cap_gets_probed(self, small_testbed, ds):
+        """Regression: with an even channel budget the final level used
+        to be skipped by the stride-two ladder, so ``max_channels``
+        never appeared among the probes."""
+        outcome = HTEEAlgorithm().run(small_testbed, ds, 4)
+        probed = [p[0] for p in outcome.extra["probes"]]
+        assert probed == probe_ladder(4)[: len(probed)]
+        if len(probed) == len(probe_ladder(4)):  # dataset outlived the search
+            assert probed[-1] == 4
 
     def test_picks_highest_level_within_noise_of_best_ratio(self, small_testbed, ds):
         outcome = HTEEAlgorithm().run(small_testbed, ds, 6)
@@ -246,6 +306,49 @@ class TestSlaAllocation:
 
     def test_empty(self):
         assert sla_allocation([], 4) == []
+
+    def test_golden_allocations(self):
+        """Pinned outputs captured from the pre-refactor O(n^2)
+        implementation: the running-total rewrite of the weighted
+        round-robin must reproduce them bit-for-bit."""
+        golden = {
+            (5, 0): [2, 2, 1],
+            (8, 0): [4, 3, 1],
+            (8, 2): [3, 2, 3],
+            (12, 0): [7, 4, 1],
+            (20, 2): [10, 7, 3],
+        }
+        for (total, extra), expected in golden.items():
+            assert sla_allocation(self.CHUNKS, total, extra) == expected
+
+    def test_fewer_channels_than_chunks(self):
+        """total_channels < len(chunks): channels go to the smallest
+        classes first, the rest of the chunks get zero, and the sum
+        never exceeds the budget."""
+        assert sla_allocation(self.CHUNKS, 0) == [0, 0, 0]
+        assert sla_allocation(self.CHUNKS, 1) == [1, 0, 0]
+        assert sla_allocation(self.CHUNKS, 2) == [1, 1, 0]
+        # extra_large cannot conjure channels for an unfunded Large chunk
+        assert sla_allocation(self.CHUNKS, 2, extra_large=3) == [1, 1, 0]
+
+    def test_all_large_chunks_still_use_the_budget(self):
+        larges = [chunk(ChunkClass.LARGE, 2, 300 * units.MB) for _ in range(2)]
+        allocation = sla_allocation(larges, 4)
+        assert sum(allocation) == 4
+
+
+class TestSlaMet:
+    def test_boundary_is_inclusive(self):
+        """Regression: the climb loop used ``actual <= target`` (strict
+        miss) while the jump used ``actual < target`` — a window exactly
+        *at* the target flip-flopped between 'met' and 'not met'. The
+        paper climbs 'until it reaches target', so equality satisfies
+        the SLA."""
+        assert sla_met(100.0, 100.0)
+
+    def test_above_and_below(self):
+        assert sla_met(101.0, 100.0)
+        assert not sla_met(99.0, 100.0)
 
 
 class TestSLAEE:

@@ -1,6 +1,5 @@
 """Structured engine event log."""
 
-import pytest
 
 from repro import units
 from repro.datasets.files import FileInfo

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import units
 from repro.fleet import (
     WORLD_TRANSFER_TWH_PER_YEAR,
     FleetModel,

@@ -8,8 +8,6 @@ are slower than unit tests but still land well under a minute total.
 
 import pytest
 
-from repro import units
-from repro.harness.runner import dataset_for, run_algorithm
 from repro.harness.sweeps import concurrency_sweep, energy_decomposition, sla_sweep
 from repro.testbeds import DIDCLAB, FUTUREGRID, XSEDE
 

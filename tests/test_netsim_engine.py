@@ -3,8 +3,8 @@
 import pytest
 
 from repro import units
-from repro.datasets.files import Dataset, FileInfo
-from repro.netsim.engine import Binding, ChunkPlan, TransferEngine, _max_min_fill
+from repro.datasets.files import FileInfo
+from repro.netsim.engine import Binding, ChunkPlan, _max_min_fill
 from repro.netsim.params import TransferParams
 
 

@@ -1,0 +1,339 @@
+"""The observability layer: metric primitives, the schema-checked
+event stream, the Observer facade, and its integration with the
+engine and the algorithms."""
+
+import json
+
+import pytest
+
+from repro.core.htee import HTEEAlgorithm, probe_ladder
+from repro.core.mine import MinEAlgorithm
+from repro.core.scheduler import current_observer, engine_options
+from repro.obs import (
+    EVENT_SCHEMA,
+    Counter,
+    EventStream,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Observer,
+    merge_summaries,
+    render_events,
+    render_metrics,
+)
+
+
+# ----------------------------------------------------------------------
+# metric primitives
+# ----------------------------------------------------------------------
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        g.set(3)
+        g.set(7)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_buckets_and_overflow(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.sum == pytest.approx(55.5)
+        assert h.mean == pytest.approx(55.5 / 3)
+
+    def test_boundary_is_inclusive(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.counts == [1, 0, 0]
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(10.0, 1.0))
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+
+class TestRegistry:
+    def test_instruments_created_on_first_use(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc()
+        assert reg.counter("a").value == 2
+
+    def test_snapshot_is_json_safe(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", (1.0,)).observe(0.2)
+        snap = reg.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["counters"] == {"c": 3.0}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_merge_snapshot(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg, n in ((a, 2), (b, 5)):
+            reg.counter("c").inc(n)
+            reg.gauge("g").set(n)
+            reg.histogram("h", (1.0, 10.0)).observe(n)
+        a.merge_snapshot(b.snapshot())
+        assert a.counter("c").value == 7
+        assert a.gauge("g").value == 5  # last write wins
+        assert a.histogram("h").count == 2
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", (1.0,)).observe(0.5)
+        b.histogram("h", (2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge_snapshot(b.snapshot())
+
+
+class TestMergeSummaries:
+    def test_merges_bare_snapshots(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        merged = merge_summaries([reg.snapshot(), reg.snapshot()])
+        assert merged["counters"]["c"] == 4
+
+    def test_merges_observer_summaries(self):
+        o = Observer()
+        o.probe_window(1.0, "HTEE", 3, 1e9, 10.0, 5.0)
+        merged = merge_summaries([o.summary(), o.summary()])
+        assert merged["metrics"]["counters"]["algo.probe_windows"] == 2
+        assert merged["event_counts"] == {"probe_window": 2}
+        assert merged["events_total"] == 2
+
+    def test_empty_iterable(self):
+        assert merge_summaries([]) == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+
+# ----------------------------------------------------------------------
+# event stream
+# ----------------------------------------------------------------------
+
+
+class TestEventStream:
+    def test_emit_assigns_monotone_seq(self):
+        stream = EventStream()
+        stream.emit(1.0, "macro_step", steps=5, span_s=0.5)
+        stream.emit(2.0, "fixed_dt_fallback", steps=3)
+        assert [e.seq for e in stream] == [0, 1]
+        stream.validate()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            EventStream().emit(0.0, "nope")
+
+    def test_missing_detail_keys_rejected(self):
+        with pytest.raises(ValueError, match="missing required detail keys"):
+            EventStream().emit(0.0, "probe_window", algorithm="HTEE")
+
+    def test_extra_detail_keys_allowed(self):
+        stream = EventStream()
+        stream.emit(0.0, "fixed_dt_fallback", steps=1, note="forward-compat")
+        stream.validate()
+
+    def test_filter_by_kind_and_since(self):
+        stream = EventStream()
+        stream.emit(1.0, "macro_step", steps=1, span_s=0.1)
+        stream.emit(2.0, "fixed_dt_fallback", steps=1)
+        stream.emit(3.0, "macro_step", steps=2, span_s=0.2)
+        assert len(stream.filter(kind="macro_step")) == 2
+        assert len(stream.filter(since=2.5)) == 1
+        assert len(stream.filter(kind="macro_step", since=2.5)) == 1
+
+    def test_kinds_counts(self):
+        stream = EventStream()
+        stream.emit(0.0, "fixed_dt_fallback", steps=1)
+        stream.emit(0.0, "fixed_dt_fallback", steps=2)
+        assert stream.kinds() == {"fixed_dt_fallback": 2}
+
+    def test_roundtrip_dicts(self):
+        stream = EventStream()
+        stream.emit(1.5, "allocation_change", allocation={"c0": 2})
+        rebuilt = EventStream.from_dicts(stream.to_dicts())
+        rebuilt.validate()
+        assert rebuilt[0].detail["allocation"] == {"c0": 2}
+
+    def test_save_jsonl(self, tmp_path):
+        stream = EventStream()
+        stream.emit(1.0, "macro_step", steps=4, span_s=0.4)
+        path = stream.save_jsonl(tmp_path / "events.jsonl")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["kind"] == "macro_step"
+
+    def test_extend_resequences(self):
+        a, b = EventStream(), EventStream()
+        a.emit(1.0, "fixed_dt_fallback", steps=1)
+        b.emit(2.0, "fixed_dt_fallback", steps=2)
+        a.extend(b)
+        assert [e.seq for e in a] == [0, 1]
+        a.validate()
+
+    def test_schema_covers_all_required_kinds(self):
+        expected = {
+            "probe_window", "allocation_change", "rearrange_channels",
+            "macro_step", "fixed_dt_fallback", "channel_reassigned",
+            "channel_failed", "server_failed", "server_recovered",
+        }
+        assert expected <= set(EVENT_SCHEMA)
+
+
+# ----------------------------------------------------------------------
+# observer facade
+# ----------------------------------------------------------------------
+
+
+class TestObserver:
+    def test_probe_window_updates_all_three_instrument_types(self):
+        o = Observer()
+        o.probe_window(5.0, "HTEE", 3, 1e9, 20.0, 4.0)
+        snap = o.metrics.snapshot()
+        assert snap["counters"]["algo.probe_windows"] == 1
+        assert snap["gauges"]["algo.last_probe_cc"] == 3
+        assert snap["histograms"]["algo.probe_score"]["count"] == 1
+        assert o.events.kinds() == {"probe_window": 1}
+
+    def test_engine_event_counts_and_forwards(self):
+        o = Observer()
+        o.engine_event(1.0, "channel_opened", {"chunk": "c0"})
+        o.engine_event(2.0, "channel_reassigned", {"from_chunk": "a", "to_chunk": "b"})
+        o.engine_event(3.0, "file_completed", {"count": 4})
+        snap = o.metrics.snapshot()
+        assert snap["counters"]["engine.events.channel_opened"] == 1
+        assert snap["counters"]["engine.work_steals"] == 1
+        assert snap["counters"]["engine.files_completed"] == 4
+        # only structural kinds reach the stream
+        assert o.events.kinds() == {"channel_reassigned": 1}
+
+    def test_summary_merge_roundtrip(self):
+        a, b = Observer(), Observer()
+        a.macro_step(1.0, 10, 1.0)
+        b.macro_step(2.0, 20, 2.0)
+        a.merge_summary(b.summary())
+        assert a.metrics.counter("engine.macro_stepped_dts").value == 30
+
+    def test_renderers_smoke(self):
+        o = Observer()
+        o.probe_window(5.0, "HTEE", 3, 1e9, 20.0, 4.0)
+        o.allocation_change(6.0, {"c0": 2, "c1": 1})
+        assert "probe_window" in render_events(o.events)
+        assert "(no events)" == render_events(Observer().events)
+        text = render_metrics(o.summary())
+        assert "algo.probe_windows" in text
+        assert "events_total: 2" in text
+        assert render_metrics({"metrics": {}}) == "(no metrics)"
+
+
+# ----------------------------------------------------------------------
+# integration: engine_options(observe=...) and instrumented algorithms
+# ----------------------------------------------------------------------
+
+
+class TestEngineIntegration:
+    def test_observe_true_installs_fresh_observer(self):
+        assert current_observer() is None
+        with engine_options(observe=True):
+            assert isinstance(current_observer(), Observer)
+        assert current_observer() is None
+
+    def test_observe_accepts_instance(self):
+        obs = Observer()
+        with engine_options(observe=obs):
+            assert current_observer() is obs
+
+    def test_htee_emits_schema_valid_stream(self, small_testbed):
+        """ISSUE acceptance: an observed HTEE run yields a non-empty,
+        schema-checked event stream."""
+        obs = Observer()
+        with engine_options(observe=obs):
+            HTEEAlgorithm().run(small_testbed, small_testbed.dataset(), 4)
+        assert len(obs.events) > 0
+        obs.events.validate()  # schema + monotone seq
+        kinds = obs.events.kinds()
+        assert kinds.get("probe_window", 0) >= 1
+        assert kinds.get("allocation_change", 0) >= 1
+
+    def test_probe_events_monotone_in_engine_time(self, small_testbed):
+        obs = Observer()
+        with engine_options(observe=obs):
+            HTEEAlgorithm().run(small_testbed, small_testbed.dataset(), 6)
+        probes = obs.events.filter(kind="probe_window")
+        times = [e.time for e in probes]
+        assert times == sorted(times)
+        seqs = [e.seq for e in probes]
+        assert seqs == sorted(seqs)
+        # probe ladder order is reflected in the stream
+        ccs = [e.detail["cc"] for e in probes]
+        assert ccs == probe_ladder(6)[: len(ccs)]
+
+    def test_one_allocation_change_per_set_allocation(self, small_testbed):
+        """Every set_allocation emits exactly one allocation_change:
+        HTEE applies one allocation per probe plus the final one."""
+        obs = Observer()
+        with engine_options(observe=obs):
+            outcome = HTEEAlgorithm().run(small_testbed, small_testbed.dataset(), 6)
+        probes = len(outcome.extra["probes"])
+        changes = obs.events.filter(kind="allocation_change")
+        assert len(changes) == probes + 1
+
+    def test_mine_records_planned_allocation(self, small_testbed):
+        obs = Observer()
+        with engine_options(observe=obs):
+            MinEAlgorithm().run(small_testbed, small_testbed.dataset(), 4)
+        changes = obs.events.filter(kind="allocation_change")
+        assert len(changes) >= 1
+        assert changes[0].seq == 0  # planned allocation is the first event
+
+    def test_step_accounting_consistent(self, small_testbed):
+        obs = Observer()
+        with engine_options(observe=obs):
+            MinEAlgorithm().run(small_testbed, small_testbed.dataset(), 2)
+        snap = obs.metrics.snapshot()
+        fixed = snap["counters"].get("engine.fixed_steps", 0)
+        macro = snap["counters"].get("engine.macro_stepped_dts", 0)
+        assert fixed + macro > 0
+        # every macro_step event's steps sum to the macro-dts counter
+        event_steps = sum(
+            e.detail["steps"] for e in obs.events.filter(kind="macro_step")
+        )
+        assert event_steps == macro
+
+    def test_slaee_emits_probe_windows(self, small_testbed):
+        from repro.core.slaee import SLAEEAlgorithm
+
+        obs = Observer()
+        with engine_options(observe=obs):
+            SLAEEAlgorithm().run(
+                small_testbed, small_testbed.dataset(), 4,
+                sla_level=0.8, max_throughput=1e9,
+            )
+        obs.events.validate()
+        assert len(obs.events.filter(kind="probe_window")) >= 1
+
+    def test_disabled_by_default(self, small_testbed):
+        MinEAlgorithm().run(small_testbed, small_testbed.dataset(), 2)
+        assert current_observer() is None

@@ -130,7 +130,6 @@ class TestPowercapTreeAndReader:
 
     def test_engine_power_feeds_rapl_tree(self, tmp_path, make_small_engine, small_dataset):
         """End-to-end: simulated transfer power lands in powercap counters."""
-        from repro.datasets.files import FileInfo
         from repro.netsim.engine import ChunkPlan
         from repro.netsim.params import TransferParams
 

@@ -2,7 +2,7 @@
 
 import math
 
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import units

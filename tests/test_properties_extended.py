@@ -2,7 +2,7 @@
 testbed-definition fuzzing, store round-trips, advisor bounds."""
 
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import units

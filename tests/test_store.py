@@ -91,6 +91,16 @@ class TestQueries:
         assert "3 runs" in text
         assert "HTEE" in text and "MinE" in text
 
+    def test_metrics_summaries(self, store):
+        summary_a = {"metrics": {"counters": {"x": 1}}, "events_total": 1}
+        summary_b = {"metrics": {"counters": {"x": 2}}, "events_total": 2}
+        store.append(outcome(), campaign="a", metrics=summary_a)
+        store.append(outcome(), campaign="b", metrics=summary_b)
+        store.append(outcome(), campaign="a")  # unobserved cell: no tag
+        assert store.metrics_summaries() == [summary_a, summary_b]
+        assert store.metrics_summaries("a") == [summary_a]
+        assert store.metrics_summaries("missing") == []
+
 
 class TestPublicRecords:
     def test_records_iterates_raw_dicts_in_order(self, store):

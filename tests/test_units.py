@@ -1,6 +1,5 @@
 """Unit-conversion sanity — the one true unit system."""
 
-import math
 
 import pytest
 
