@@ -1,0 +1,171 @@
+"""Service-day benchmark: deferral policies vs the run-now baseline.
+
+Runs one compressed "day" of diurnal tenant traffic through the
+scheduling service on the paper testbeds under several deferral
+policies and writes ``BENCH_service.json``: per-policy dollars, kWh,
+kgCO2, deadline-miss rate, slowdown percentiles and wall-clock. The
+headline numbers are the price-threshold policy's dollar and carbon
+savings versus run-now — the paper's "low-cost data transfer options
+... in return for delayed transfers", measured end to end at a
+time-of-use tariff.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke    # CI
+    PYTHONPATH=src python benchmarks/bench_service.py -o out.json
+
+Not a pytest file on purpose: it is a standalone script so CI can run
+it in smoke mode and upload the JSON artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.service import (
+    ServiceSimulator,
+    policy_by_name,
+    tariff_by_name,
+    workload_by_name,
+)
+from repro.testbeds.specs import testbed_by_name
+
+POLICIES = ("run-now", "deadline-edf", "price-threshold", "carbon-aware")
+
+#: (testbed, workload, jobs, day seconds). The first entry is the
+#: headline cell reported at the top level of the JSON.
+CELLS: tuple[tuple[str, str, int, float], ...] = (
+    ("xsede", "diurnal", 24, 3600.0),
+    ("futuregrid", "diurnal", 16, 3600.0),
+    ("xsede", "bursty", 24, 3600.0),
+)
+
+SMOKE_CELLS: tuple[tuple[str, str, int, float], ...] = (
+    ("xsede", "diurnal", 8, 1800.0),
+)
+
+
+def _run_cell(
+    testbed_name: str, workload: str, jobs: int, day_s: float, seed: int
+) -> dict:
+    testbed = testbed_by_name(testbed_name)
+    requests = workload_by_name(
+        workload, jobs, day_s=day_s, seed=seed, size_scale=day_s / 86400.0
+    )
+    tariff = tariff_by_name("peak-offpeak", period_s=day_s)
+    rows = {}
+    for policy in POLICIES:
+        start = time.perf_counter()
+        report = ServiceSimulator(
+            testbed,
+            policy=policy_by_name(policy),
+            tariff=tariff,
+        ).run(requests)
+        wall = time.perf_counter() - start
+        rows[policy] = {
+            "cost_usd": report.total_cost_usd,
+            "kwh": report.total_energy_j / 3.6e6,
+            "kg_co2": report.total_kg_co2,
+            "deferred_jobs": report.deferred_jobs,
+            "deadline_miss_rate": report.deadline_miss_rate,
+            "p50_slowdown": report.p50_slowdown,
+            "p95_slowdown": report.p95_slowdown,
+            "mean_queue_wait_s": report.mean_queue_wait_s,
+            "makespan_s": report.makespan_s,
+            "wall_s": wall,
+        }
+    base = rows["run-now"]["cost_usd"]
+    base_co2 = rows["run-now"]["kg_co2"]
+    return {
+        "testbed": testbed_name,
+        "workload": workload,
+        "jobs": jobs,
+        "day_s": day_s,
+        "tariff": "peak-offpeak",
+        "policies": rows,
+        "price_threshold_saving_frac": (
+            1.0 - rows["price-threshold"]["cost_usd"] / base if base > 0 else 0.0
+        ),
+        "carbon_aware_co2_saving_frac": (
+            1.0 - rows["carbon-aware"]["kg_co2"] / base_co2
+            if base_co2 > 0 else 0.0
+        ),
+    }
+
+
+def run_benchmark(*, smoke: bool = False, seed: int = 7) -> dict:
+    cells = [
+        _run_cell(*cell, seed) for cell in (SMOKE_CELLS if smoke else CELLS)
+    ]
+    headline = cells[0]
+    return {
+        "benchmark": "service_day",
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "smoke": smoke,
+        "seed": seed,
+        "python": sys.version.split()[0],
+        "policies": list(POLICIES),
+        "cells": cells,
+        "headline": {
+            "testbed": headline["testbed"],
+            "workload": headline["workload"],
+            "price_threshold_saving_frac":
+                headline["price_threshold_saving_frac"],
+            "price_threshold_miss_rate":
+                headline["policies"]["price-threshold"]["deadline_miss_rate"],
+            "carbon_aware_co2_saving_frac":
+                headline["carbon_aware_co2_saving_frac"],
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI mode: one cell, fewer jobs")
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "-o", "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_service.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(smoke=args.smoke, seed=args.seed)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"service benchmark ({'smoke' if args.smoke else 'full'}) -> {args.output}")
+    for cell in report["cells"]:
+        print(f"  {cell['testbed']} / {cell['workload']} "
+              f"({cell['jobs']} jobs, day {cell['day_s']:.0f} s):")
+        for policy, row in cell["policies"].items():
+            print(
+                f"    {policy:>15s}  ${row['cost_usd']:.6f}  "
+                f"{row['kwh']:.6f} kWh  {row['kg_co2']:.6f} kgCO2  "
+                f"miss {row['deadline_miss_rate']:.0%}  "
+                f"p95 slow {row['p95_slowdown']:7.1f}  "
+                f"wall {row['wall_s']:5.2f} s"
+            )
+        print(
+            f"    price-threshold saves "
+            f"{100 * cell['price_threshold_saving_frac']:.1f}% of $ "
+            f"vs run-now; carbon-aware saves "
+            f"{100 * cell['carbon_aware_co2_saving_frac']:.1f}% of CO2"
+        )
+    head = report["headline"]
+    print(
+        f"  headline {head['testbed']}/{head['workload']}: "
+        f"{100 * head['price_threshold_saving_frac']:.1f}% cheaper at "
+        f"{head['price_threshold_miss_rate']:.0%} deadline misses"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

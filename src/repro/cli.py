@@ -97,6 +97,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="daily runs of the testbed's paper dataset (default 4)")
     p.add_argument("--sla", type=float, default=0.8,
                    help="SLA level for the slaee policy (default 0.8)")
+    p.add_argument("--tariff", default="flat",
+                   help="time-of-use tariff preset: flat | peak-offpeak | "
+                        "green-midday (default flat)")
+    p.add_argument("--start-hour", type=float, default=None,
+                   help="anchor the daily runs at this hour on the tariff "
+                        "clock (0-24); default: mean-rate pricing")
+
+    p = sub.add_parser(
+        "service",
+        help="run a day of tenant traffic through the scheduling service",
+    )
+    _add_testbed(p)
+    p.add_argument("-w", "--workload", default="diurnal",
+                   help="workload preset: steady | diurnal | bursty "
+                        "(default diurnal)")
+    p.add_argument("-p", "--policy", default="price-threshold",
+                   help="deferral policy: run-now | deadline-edf | "
+                        "price-threshold | carbon-aware (default "
+                        "price-threshold)")
+    p.add_argument("--tariff", default="peak-offpeak",
+                   help="tariff preset: flat | peak-offpeak | green-midday "
+                        "(default peak-offpeak)")
+    p.add_argument("--jobs", type=int, default=24,
+                   help="tenant requests over the day (default 24)")
+    p.add_argument("--day", type=float, default=3600.0,
+                   help="length of the simulated day in seconds; job sizes "
+                        "scale proportionally (default 3600)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="workload seed (default 7)")
+    p.add_argument("--max-concurrent", type=int, default=4,
+                   help="admission concurrency cap (default 4)")
+    p.add_argument("--max-per-tenant", type=int, default=None,
+                   help="per-tenant running-job cap (default: none)")
+    p.add_argument("-c", "--max-channels", type=int, default=4,
+                   help="channel budget per ENERGY/BALANCED job (default 4)")
+    p.add_argument("--events", action="store_true",
+                   help="also print the job lifecycle event stream")
+    p.add_argument("--json", type=Path, nargs="?", const=Path("-"),
+                   default=None, metavar="PATH",
+                   help="emit the full report as JSON (to PATH, or stdout "
+                        "when no path is given)")
 
     sub.add_parser("workloads", help="list the workload presets")
 
@@ -175,6 +216,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figures": _cmd_figures,
         "advise": _cmd_advise,
         "fleet": _cmd_fleet,
+        "service": _cmd_service,
         "workloads": _cmd_workloads,
         "pareto": _cmd_pareto,
         "history": _cmd_history,
@@ -310,9 +352,19 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.fleet import FleetModel, JobClass
+    from repro.fleet import FleetModel, JobClass, TariffModel
+    from repro.service.tariff import TARIFF_PRESETS, tariff_by_name
 
     testbed = _resolve_testbed(args.testbed)
+    if args.tariff != "flat" and args.tariff not in TARIFF_PRESETS:
+        print(f"unknown tariff {args.tariff!r}; "
+              f"known: {', '.join(sorted(TARIFF_PRESETS))}", file=sys.stderr)
+        return 2
+    tariff = (
+        TariffModel()
+        if args.tariff == "flat"
+        else TariffModel.from_trace(tariff_by_name(args.tariff))
+    )
     fleet = FleetModel(
         testbed,
         [
@@ -321,11 +373,73 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 testbed.dataset_factory,
                 jobs_per_day=args.jobs_per_day,
                 sla_level=args.sla,
+                start_hour=args.start_hour,
             )
         ],
+        tariff=tariff,
     )
-    print(f"{args.jobs_per_day:g} jobs/day of {testbed.dataset().describe()}")
+    clock = (
+        f", starting {args.start_hour:g}:00 on the {args.tariff} tariff"
+        if args.start_hour is not None
+        else f" ({args.tariff} tariff)"
+    )
+    print(f"{args.jobs_per_day:g} jobs/day of {testbed.dataset().describe()}{clock}")
     print(fleet.render_comparison())
+    return 0
+
+
+def _cmd_service(args: argparse.Namespace) -> int:
+    """One day of tenant traffic through the scheduling service."""
+    import json as _json
+
+    from repro.obs.observer import Observer, render_events
+    from repro.service import (
+        POLICY_PRESETS,
+        ServiceSimulator,
+        TARIFF_PRESETS,
+        WORKLOAD_PRESETS,
+        policy_by_name,
+        tariff_by_name,
+        workload_by_name,
+    )
+
+    for value, known, what in (
+        (args.workload, WORKLOAD_PRESETS, "workload"),
+        (args.policy, POLICY_PRESETS, "policy"),
+        (args.tariff, TARIFF_PRESETS, "tariff"),
+    ):
+        if value not in known:
+            print(f"unknown {what} {value!r}; known: "
+                  f"{', '.join(sorted(known))}", file=sys.stderr)
+            return 2
+    testbed = _resolve_testbed(args.testbed)
+    requests = workload_by_name(
+        args.workload, args.jobs, day_s=args.day, seed=args.seed,
+        size_scale=args.day / 86400.0,
+    )
+    tariff = tariff_by_name(args.tariff, period_s=args.day)
+    observer = Observer()
+    simulator = ServiceSimulator(
+        testbed,
+        policy=policy_by_name(args.policy),
+        tariff=tariff,
+        max_concurrent_jobs=args.max_concurrent,
+        max_per_tenant=args.max_per_tenant,
+        max_channels=args.max_channels,
+        observer=observer,
+    )
+    report = simulator.run(requests)
+    print(report.render())
+    if args.events:
+        print()
+        print(render_events(observer.events))
+    if args.json is not None:
+        payload = _json.dumps(report.to_dict(), indent=2) + "\n"
+        if str(args.json) == "-":
+            sys.stdout.write(payload)
+        else:
+            args.json.write_text(payload)
+            print(f"report written to {args.json}")
     return 0
 
 

@@ -12,6 +12,7 @@ engine runs (see ``tests/test_advisor.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro import units
 from repro.core.allocation import mine_walk
@@ -19,12 +20,13 @@ from repro.core.chunks import Chunk, PartitionPolicy, partition_files
 from repro.datasets.files import Dataset
 from repro.netsim import tcp
 from repro.netsim.disk import SingleDisk
+from repro.netsim.engine import ChunkPlan
 from repro.netsim.params import TransferParams
 from repro.netsim.utilization import compute_utilization
 from repro.power.models import FineGrainedPowerModel
 from repro.testbeds.specs import Testbed
 
-__all__ = ["ChunkAdvice", "TransferAdvice", "advise"]
+__all__ = ["ChunkAdvice", "TransferAdvice", "advise", "predict_plan_performance"]
 
 
 @dataclass(frozen=True)
@@ -102,11 +104,11 @@ def _channel_cap(testbed: Testbed, parallelism: int) -> tuple[float, str]:
     return candidates[bottleneck], bottleneck
 
 
-def _pipelining_efficiency(testbed: Testbed, chunk: Chunk, params: TransferParams,
+def _pipelining_efficiency(testbed: Testbed, avg: float, params: TransferParams,
                            per_channel_rate: float) -> float:
     """Fraction of channel time spent moving payload, given per-file
-    control gaps (mirrors Channel.per_file_gap)."""
-    avg = chunk.average_file_size
+    control gaps (mirrors Channel.per_file_gap). ``avg`` is the chunk's
+    average file size in bytes."""
     if avg <= 0 or per_channel_rate <= 0:
         return 1.0
     transfer_time = avg / per_channel_rate
@@ -116,6 +118,52 @@ def _pipelining_efficiency(testbed: Testbed, chunk: Chunk, params: TransferParam
         + testbed.destination.server.per_file_overhead
     )
     return transfer_time / (transfer_time + gap)
+
+
+def predict_plan_performance(
+    testbed: Testbed, plans: Sequence[ChunkPlan]
+) -> tuple[float, float]:
+    """First-order (throughput bytes/s, power watts) prediction for an
+    arbitrary chunk plan on a testbed.
+
+    This is the closed-form counterpart of one engine run: per-channel
+    caps with pipelining stalls bound the demand; the shared link,
+    per-server disk aggregates and NICs bound the supply; the Eq. 1
+    power model is evaluated at the predicted operating point (PACK
+    binding — one server per side carries everything). Used by
+    :func:`advise` and by the service layer's deadline-feasibility and
+    SLA-class plan selection, so all three reason from the same model.
+    """
+    total_channels = sum(p.params.concurrency for p in plans)
+    total_streams = sum(p.params.concurrency * p.params.parallelism for p in plans)
+    demand = 0.0
+    for plan in plans:
+        if plan.params.concurrency <= 0 or plan.file_count == 0:
+            continue
+        cap, _ = _channel_cap(testbed, plan.params.parallelism)
+        avg = plan.total_size / plan.file_count
+        efficiency = _pipelining_efficiency(testbed, avg, plan.params, cap)
+        demand += plan.params.concurrency * cap * efficiency
+    if demand <= 0:
+        return 0.0, 0.0
+
+    link = tcp.aggregate_goodput(testbed.path, max(1, total_streams))
+    src_disk = testbed.source.server.disk.aggregate_capacity(max(1, total_channels))
+    dst_disk = testbed.destination.server.disk.aggregate_capacity(max(1, total_channels))
+    nic = min(testbed.source.server.nic_rate, testbed.destination.server.nic_rate)
+    aggregate = min(demand, link, src_disk, dst_disk, nic)
+
+    model = FineGrainedPowerModel(testbed.coefficients)
+    power = 0.0
+    for site in (testbed.source, testbed.destination):
+        util = compute_utilization(
+            site.server,
+            channels=max(1, total_channels),
+            streams=max(1, total_streams),
+            throughput=aggregate,
+        )
+        power += model.power(site.server, util)
+    return aggregate, power
 
 
 def advise(
@@ -152,7 +200,7 @@ def advise(
     advices = []
     for chunk, p in zip(chunks, params):
         cap, bottleneck = _channel_cap(testbed, p.parallelism)
-        efficiency = _pipelining_efficiency(testbed, chunk, p, cap)
+        efficiency = _pipelining_efficiency(testbed, chunk.average_file_size, p, cap)
         advices.append(
             ChunkAdvice(
                 name=chunk.name,
@@ -165,30 +213,14 @@ def advise(
             )
         )
 
-    total_channels = sum(a.params.concurrency for a in advices)
-    total_streams = sum(a.params.concurrency * a.params.parallelism for a in advices)
-    demand = sum(a.effective_rate for a in advices)
-    link = tcp.aggregate_goodput(testbed.path, max(1, total_streams))
-    src_disk = testbed.source.server.disk.aggregate_capacity(max(1, total_channels))
-    dst_disk = testbed.destination.server.disk.aggregate_capacity(max(1, total_channels))
-    nic = min(testbed.source.server.nic_rate, testbed.destination.server.nic_rate)
-    aggregate = min(demand, link, src_disk, dst_disk, nic)
+    plans = [
+        ChunkPlan(name=chunk.name, files=chunk.files, params=p)
+        for chunk, p in zip(chunks, params)
+    ]
+    aggregate, power = predict_plan_performance(testbed, plans)
 
     total_bytes = sum(a.total_bytes for a in advices)
     duration = total_bytes / aggregate if aggregate > 0 else 0.0
-
-    # Power at the predicted operating point (PACK binding: one server
-    # per side carries everything).
-    model = FineGrainedPowerModel(testbed.coefficients)
-    power = 0.0
-    for site in (testbed.source, testbed.destination):
-        util = compute_utilization(
-            site.server,
-            channels=max(1, total_channels),
-            streams=max(1, total_streams),
-            throughput=aggregate,
-        )
-        power += model.power(site.server, util)
 
     notes = []
     if isinstance(testbed.source.server.disk, SingleDisk) and max_channels > 1:

@@ -23,6 +23,7 @@ from repro.core.mine import MinEAlgorithm
 from repro.core.scheduler import TransferOutcome
 from repro.core.slaee import SLAEEAlgorithm
 from repro.datasets.files import Dataset
+from repro.service.tariff import TariffTrace
 from repro.testbeds.specs import Testbed
 
 __all__ = [
@@ -44,38 +45,95 @@ _DAYS_PER_YEAR = 365
 
 @dataclass(frozen=True)
 class TariffModel:
-    """Electricity price and carbon intensity of the provider's grid."""
+    """Electricity price and carbon intensity of the provider's grid.
+
+    By default the grid is flat: every joule costs
+    ``dollars_per_kwh`` regardless of the hour. Attach a time-of-use
+    ``schedule`` (a :class:`~repro.service.tariff.TariffTrace`) and
+    pass ``start`` (+ optionally ``duration``) to :meth:`dollars` /
+    :meth:`kg_co2` to price energy at the plateau(s) actually in force
+    — the same trace objects the service layer's deferral policies
+    hunt windows in. Calls without ``start`` keep the flat behaviour,
+    so every pre-schedule caller is unchanged.
+    """
 
     dollars_per_kwh: float = 0.08
     kg_co2_per_kwh: float = 0.37  # US grid average
+    schedule: Optional[TariffTrace] = None
 
     def __post_init__(self) -> None:
         if self.dollars_per_kwh < 0 or self.kg_co2_per_kwh < 0:
             raise ValueError("tariff values must be >= 0")
 
-    def dollars(self, joules: float) -> float:
-        """Electricity cost of ``joules`` at this tariff."""
+    @classmethod
+    def from_trace(cls, trace: TariffTrace) -> "TariffModel":
+        """A TOU tariff whose flat fallback is the trace's time mean."""
+        return cls(
+            dollars_per_kwh=trace.mean_price,
+            kg_co2_per_kwh=trace.mean_carbon,
+            schedule=trace,
+        )
+
+    def price_at(self, t: float) -> float:
+        """$/kWh at absolute time ``t`` (flat rate without a schedule)."""
+        if self.schedule is None:
+            return self.dollars_per_kwh
+        return self.schedule.price_at(t)
+
+    def carbon_at(self, t: float) -> float:
+        """kgCO2/kWh at absolute time ``t``."""
+        if self.schedule is None:
+            return self.kg_co2_per_kwh
+        return self.schedule.carbon_at(t)
+
+    def dollars(
+        self, joules: float, *, start: Optional[float] = None,
+        duration: float = 0.0,
+    ) -> float:
+        """Electricity cost of ``joules`` at this tariff.
+
+        With a schedule and a ``start`` time, the energy is priced over
+        ``[start, start + duration]`` at the schedule's plateaus;
+        otherwise at the flat rate.
+        """
+        if self.schedule is not None and start is not None:
+            return self.schedule.cost(joules, start, duration)
         return joules / _JOULES_PER_KWH * self.dollars_per_kwh
 
-    def kg_co2(self, joules: float) -> float:
+    def kg_co2(
+        self, joules: float, *, start: Optional[float] = None,
+        duration: float = 0.0,
+    ) -> float:
         """Emissions attributable to ``joules`` at this grid intensity."""
+        if self.schedule is not None and start is not None:
+            return self.schedule.carbon(joules, start, duration)
         return joules / _JOULES_PER_KWH * self.kg_co2_per_kwh
 
 
 @dataclass(frozen=True)
 class JobClass:
-    """One recurring transfer job: a dataset and how often it runs."""
+    """One recurring transfer job: a dataset and how often it runs.
+
+    ``start_hour`` (0-24, optional) anchors the class's daily runs on
+    the tariff clock; with a TOU :class:`TariffModel` schedule, the
+    job's energy is then priced at the plateaus it actually spans
+    (a 2 a.m. backup is billed off-peak, a noon sync at peak).
+    Without it the class is priced at the flat/mean rate.
+    """
 
     name: str
     dataset_factory: Callable[[], Dataset]
     jobs_per_day: float
     sla_level: Optional[float] = None  # only used by the "slaee" policy
+    start_hour: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.jobs_per_day < 0:
             raise ValueError("jobs_per_day must be >= 0")
         if self.sla_level is not None and not (0 < self.sla_level <= 1):
             raise ValueError("sla_level must be in (0, 1]")
+        if self.start_hour is not None and not (0 <= self.start_hour < 24):
+            raise ValueError("start_hour must be in [0, 24)")
 
 
 @dataclass(frozen=True)
@@ -161,22 +219,37 @@ class FleetModel:
     # ------------------------------------------------------------------
 
     def report(self, policy: str) -> PolicyReport:
-        """Annualized energy/cost/CO2 of running every job under ``policy``."""
-        joules = hours = jobs = 0.0
+        """Annualized energy/cost/CO2 of running every job under ``policy``.
+
+        With a TOU tariff schedule, classes that declare a
+        ``start_hour`` are billed at the plateaus their daily run
+        actually spans; the rest (and all classes on a flat tariff)
+        are billed at the flat/mean rate.
+        """
+        joules = hours = jobs = dollars = kg = 0.0
         for job in self.job_classes:
             outcome = self._run(policy, job)
             annual = job.jobs_per_day * _DAYS_PER_YEAR
             jobs += annual
             joules += outcome.energy_joules * annual
             hours += outcome.duration_s / 3600.0 * annual
+            start = (
+                job.start_hour * 3600.0 if job.start_hour is not None else None
+            )
+            dollars += annual * self.tariff.dollars(
+                outcome.energy_joules, start=start, duration=outcome.duration_s
+            )
+            kg += annual * self.tariff.kg_co2(
+                outcome.energy_joules, start=start, duration=outcome.duration_s
+            )
         kwh = joules / _JOULES_PER_KWH
         return PolicyReport(
             policy=policy,
             annual_jobs=jobs,
             annual_energy_kwh=kwh,
             annual_transfer_hours=hours,
-            annual_cost_dollars=self.tariff.dollars(joules),
-            annual_kg_co2=self.tariff.kg_co2(joules),
+            annual_cost_dollars=dollars,
+            annual_kg_co2=kg,
         )
 
     def compare(self, policies: Optional[list[str]] = None) -> list[PolicyReport]:

@@ -40,7 +40,7 @@ import math
 from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.datasets.files import FileInfo
 from repro.netsim import tcp
@@ -233,12 +233,14 @@ class TransferEngine:
         work_stealing: bool = True,
         record_trace: bool = False,
         record_events: bool = False,
-        background_traffic: Optional[Callable[[float], float]] = None,
+        background_traffic: Union[Callable[[float], float], float, None] = None,
         fast_path: bool = True,
         observer=None,
     ) -> None:
         """``background_traffic`` (optional) maps simulated time to the
-        number of competing TCP streams sharing the path. The link is
+        number of competing TCP streams sharing the path (a plain
+        number is treated as a constant profile — see
+        :meth:`set_background_streams`). The link is
         divided per-stream (TCP fairness), so the transfer's share is
         ``ours / (ours + competing)`` of the aggregate goodput — which
         is exactly why opening more channels/streams claws bandwidth
@@ -290,6 +292,9 @@ class TransferEngine:
         self.events: list[EngineEvent] = []
         self._drained_logged: set[str] = set()
         self.chunks: dict[str, ChunkState] = {}
+        #: Chunks registered via :meth:`submit_chunk` whose planned
+        #: channels have not been opened yet (deferred admission).
+        self._pending_admission: list[str] = []
         #: Open channels, insertion-ordered (id(channel) -> channel).
         #: O(1) membership/removal; the public ``channels`` property
         #: materializes the ordered list.
@@ -347,6 +352,63 @@ class TransferEngine:
             for _ in range(plan.params.concurrency):
                 self.open_channel(plan.name)
         return state
+
+    def submit_chunk(self, plan: ChunkPlan) -> ChunkState:
+        """Register a chunk whose channels open later (deferred admission).
+
+        The public form of "queue a job before it is admitted": the
+        chunk's files are registered immediately (so ``finished`` and
+        byte accounting see them) but no channel opens — and therefore
+        no energy accrues — until :meth:`admit_pending` runs. Used by
+        :class:`~repro.netsim.multi.MultiTransferSimulator` and the
+        service layer for admission-controlled workloads.
+        """
+        state = self.add_chunk(plan, open_channels=False)
+        self._pending_admission.append(plan.name)
+        return state
+
+    @property
+    def pending_chunks(self) -> list[str]:
+        """Names of submitted chunks still awaiting admission."""
+        return list(self._pending_admission)
+
+    def admit_pending(self) -> int:
+        """Open the planned channels of every pending chunk.
+
+        Returns the number of channels opened. Idempotent once the
+        pending set is drained.
+        """
+        opened = 0
+        for name in self._pending_admission:
+            concurrency = self.chunks[name].plan.params.concurrency
+            self.set_chunk_channels(name, concurrency)
+            opened += concurrency
+        self._pending_admission.clear()
+        return opened
+
+    def set_background_streams(self, streams: float) -> None:
+        """Set a constant competing-stream count without closure churn.
+
+        Coordinators that recompute cross-traffic every step (e.g. the
+        multi-transfer simulator dividing one link between jobs) would
+        otherwise allocate a fresh closure per job per step; a plain
+        number is stored as-is, participates in the allocation memo via
+        its value, and — being constant between calls — never disables
+        the event-horizon fast path.
+        """
+        if streams < 0:
+            raise ValueError("competing stream count must be >= 0")
+        self.background_traffic = float(streams)
+
+    def _competing_streams(self) -> float:
+        """The competing stream count at the current time (numbers and
+        callables both supported as ``background_traffic``)."""
+        bg = self.background_traffic
+        if bg is None:
+            return 0.0
+        if callable(bg):
+            return max(0.0, bg(self.time))
+        return max(0.0, float(bg))
 
     def _available_servers(self, side: str) -> list[int]:
         count = (self.source if side == "src" else self.destination).server_count
@@ -705,13 +767,14 @@ class TransferEngine:
         steps_cap = max(0, math.ceil((horizon - self.time - 1e-12) / dt))
         if steps_cap < 2:
             return 0
-        if self.background_traffic is not None:
-            next_change = getattr(self.background_traffic, "next_change", None)
+        bg = self.background_traffic
+        if bg is None or not callable(bg):
+            t_event = math.inf  # none, or a constant stream count
+        else:
+            next_change = getattr(bg, "next_change", None)
             if next_change is None:
                 return 0  # opaque traffic profile: sample every step
             t_event = next_change(self.time) - self.time
-        else:
-            t_event = math.inf
         for until in self._down_servers.values():
             t_event = min(t_event, until - self.time)
         cap_time = min(t_event, steps_cap * dt)
@@ -983,10 +1046,7 @@ class TransferEngine:
         """
         if not busy:
             return {}
-        if self.background_traffic is not None:
-            competing = max(0.0, self.background_traffic(self.time))
-        else:
-            competing = 0.0
+        competing = self._competing_streams()
         signature = (
             tuple((c.parallelism, c.src_server, c.dst_server) for c in busy),
             competing,

@@ -16,6 +16,7 @@ instead.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -23,7 +24,17 @@ from repro.netsim.engine import Binding, ChunkPlan, TransferEngine
 from repro.power.models import FineGrainedPowerModel
 from repro.testbeds.specs import Testbed
 
-__all__ = ["JobRecord", "MultiTransferSimulator"]
+__all__ = ["JobRecord", "MultiTransferSimulator", "TransferTimeout"]
+
+
+class TransferTimeout(RuntimeError):
+    """``run(max_time=...)`` expired with unfinished jobs.
+
+    Raising (rather than returning truncated records as if they were
+    complete) keeps service-level deadline accounting honest: a job
+    whose completion time is unknown must not be mistaken for one that
+    met — or missed — its deadline.
+    """
 
 
 @dataclass
@@ -36,6 +47,9 @@ class JobRecord:
     start_time: Optional[float] = None
     completion_time: Optional[float] = None
     energy_joules: float = 0.0
+    #: Set when a ``run`` hit its ``max_time`` before this job finished
+    #: (only reachable with ``on_timeout="warn"``; the default raises).
+    truncated: bool = False
 
     @property
     def finished(self) -> bool:
@@ -112,8 +126,7 @@ class MultiTransferSimulator:
         )
         # chunks registered up front; channels open when the job starts
         for plan in plans:
-            engine.add_chunk(plan, open_channels=False)
-        engine._pending_plans = list(plans)  # opened on admission
+            engine.submit_chunk(plan)
         self._jobs.append((record, engine))
         return record
 
@@ -138,13 +151,14 @@ class MultiTransferSimulator:
             for record, engine in self._jobs
             if record.start_time is None and record.arrival_time <= self.time + 1e-12
         ]
+        # FIFO by arrival; ties resolved by submission order (the sort
+        # is stable and ``self._jobs`` is kept in submission order).
         waiting.sort(key=lambda pair: pair[0].arrival_time)
         for record, engine in waiting:
             if slots is not None and slots <= 0:
                 break
             record.start_time = self.time
-            for plan in engine._pending_plans:
-                engine.set_chunk_channels(plan.name, plan.params.concurrency)
+            engine.admit_pending()
             if slots is not None:
                 slots -= 1
 
@@ -160,7 +174,7 @@ class MultiTransferSimulator:
         total_streams = sum(stream_counts.values())
         for record, engine in running:
             others = total_streams - stream_counts[id(engine)]
-            engine.background_traffic = (lambda n: (lambda t: float(n)))(others)
+            engine.set_background_streams(others)
             before_energy = engine.total_energy
             engine.step()
             record.energy_joules += engine.total_energy - before_energy
@@ -168,10 +182,35 @@ class MultiTransferSimulator:
                 record.completion_time = self.time + self.dt
         self.time += self.dt
 
-    def run(self, *, max_time: float = 1e7) -> list[JobRecord]:
-        """Run until every submitted job completes (or ``max_time``)."""
+    def run(
+        self, *, max_time: float = 1e7, on_timeout: str = "raise"
+    ) -> list[JobRecord]:
+        """Run until every submitted job completes (or ``max_time``).
+
+        A truncated run is never silent: with ``on_timeout="raise"``
+        (the default) a :class:`TransferTimeout` lists the unfinished
+        jobs; ``on_timeout="warn"`` emits a :class:`RuntimeWarning`
+        instead and flags the affected records (``truncated=True``) so
+        downstream deadline/queue-wait accounting can exclude them.
+        """
+        if on_timeout not in ("raise", "warn"):
+            raise ValueError(
+                f"on_timeout must be 'raise' or 'warn', got {on_timeout!r}"
+            )
         while self.time < max_time and not all(r.finished for r, _ in self._jobs):
             self.step()
+        unfinished = [r for r, _ in self._jobs if not r.finished]
+        if unfinished:
+            names = ", ".join(r.name for r in unfinished)
+            message = (
+                f"multi-transfer run hit max_time={max_time:g} s with "
+                f"{len(unfinished)} unfinished job(s): {names}"
+            )
+            for record in unfinished:
+                record.truncated = True
+            if on_timeout == "raise":
+                raise TransferTimeout(message)
+            warnings.warn(message, RuntimeWarning, stacklevel=2)
         return self.records()
 
     # ------------------------------------------------------------------

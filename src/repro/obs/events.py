@@ -40,6 +40,12 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "channel_failed": frozenset({"chunk"}),
     "server_failed": frozenset({"side", "index"}),
     "server_recovered": frozenset({"side", "index"}),
+    # service-layer job lifecycle (repro.service.simulate)
+    "job_submitted": frozenset({"job", "tenant", "sla"}),
+    "job_deferred": frozenset({"job", "until", "reason"}),
+    "job_admitted": frozenset({"job", "queue_wait_s"}),
+    "job_completed": frozenset({"job", "duration_s", "energy_j", "cost_usd"}),
+    "deadline_missed": frozenset({"job", "deadline", "completion"}),
 }
 
 

@@ -36,6 +36,9 @@ _FORWARDED_ENGINE_KINDS = frozenset(
 #: Probe scores are Mbps^2/J; macro-step spans are seconds.
 _SCORE_BUCKETS = (0.01, 0.1, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6)
 _SPAN_BUCKETS = (0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0, 1800.0)
+#: Queue waits span seconds (compressed test days) to many hours.
+_QUEUE_WAIT_BUCKETS = (1.0, 10.0, 60.0, 300.0, 1800.0, 3600.0, 4 * 3600.0,
+                       12 * 3600.0, 86400.0)
 
 
 class Observer:
@@ -112,6 +115,48 @@ class Observer:
         if fixed_steps:
             self.metrics.counter("engine.fixed_steps").inc(fixed_steps)
 
+    # -- service-layer job lifecycle -----------------------------------
+
+    def job_submitted(self, time: float, job: str, tenant: str, sla: str) -> None:
+        """A tenant request entered the service queue."""
+        self.metrics.counter("service.jobs_submitted").inc()
+        self.events.emit(time, "job_submitted", job=job, tenant=tenant, sla=sla)
+
+    def job_deferred(self, time: float, job: str, until: float, reason: str) -> None:
+        """A deferral policy pushed a job's release time past *now*."""
+        self.metrics.counter("service.jobs_deferred").inc()
+        self.metrics.counter(f"service.deferrals.{reason}").inc()
+        self.events.emit(time, "job_deferred", job=job, until=until, reason=reason)
+
+    def job_admitted(self, time: float, job: str, queue_wait_s: float) -> None:
+        """A job got a slot; ``queue_wait_s`` covers submit -> admit."""
+        self.metrics.counter("service.jobs_admitted").inc()
+        self.metrics.histogram(
+            "service.queue_wait_s", _QUEUE_WAIT_BUCKETS
+        ).observe(queue_wait_s)
+        self.events.emit(time, "job_admitted", job=job, queue_wait_s=queue_wait_s)
+
+    def job_completed(
+        self, time: float, job: str, duration_s: float, energy_j: float,
+        cost_usd: float,
+    ) -> None:
+        """A job drained its last byte (duration is admit -> done)."""
+        self.metrics.counter("service.jobs_completed").inc()
+        self.events.emit(
+            time, "job_completed", job=job, duration_s=duration_s,
+            energy_j=energy_j, cost_usd=cost_usd,
+        )
+
+    def deadline_missed(
+        self, time: float, job: str, deadline: float, completion: float
+    ) -> None:
+        """A job finished after its completion deadline."""
+        self.metrics.counter("service.deadline_misses").inc()
+        self.events.emit(
+            time, "deadline_missed", job=job, deadline=deadline,
+            completion=completion,
+        )
+
     # -- engine event-log forwarding -----------------------------------
 
     def engine_event(self, time: float, kind: str, detail: dict) -> None:
@@ -164,6 +209,22 @@ def _fmt_detail(kind: str, detail: dict) -> str:
         return f"{detail['steps']} steps ({detail['span_s']:.2f} s)"
     if kind == "fixed_dt_fallback":
         return f"{detail['steps']} fixed steps"
+    if kind == "job_submitted":
+        return f"{detail['job']} tenant={detail['tenant']} sla={detail['sla']}"
+    if kind == "job_deferred":
+        return f"{detail['job']} until={detail['until']:.0f}s ({detail['reason']})"
+    if kind == "job_admitted":
+        return f"{detail['job']} waited {detail['queue_wait_s']:.1f} s"
+    if kind == "job_completed":
+        return (
+            f"{detail['job']} in {detail['duration_s']:.1f} s, "
+            f"{detail['energy_j']:.0f} J, ${detail['cost_usd']:.4f}"
+        )
+    if kind == "deadline_missed":
+        return (
+            f"{detail['job']} deadline={detail['deadline']:.0f}s "
+            f"finished={detail['completion']:.0f}s"
+        )
     return ", ".join(f"{k}={v}" for k, v in detail.items())
 
 

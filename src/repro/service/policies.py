@@ -1,0 +1,151 @@
+"""SLA-class → transfer-plan mapping.
+
+The service promises each tenant a behaviour, not an algorithm; this
+module turns the promise into a concrete chunk plan using the paper's
+planners:
+
+* ``ENERGY``   → MinE's small→large parameter walk (Algorithm 1): the
+  minimum-energy plan, deferrable by the scheduler.
+* ``BALANCED`` → HTEE-tuned parameters (Algorithm 2's ``log(size) *
+  log(count)`` channel weighting), with the concurrency chosen by a
+  closed-form argmax of predicted throughput-per-watt over the probe
+  ladder — the static counterpart of HTEE's online search.
+* ``SLA(x)``   → SLAEE-style channel assignment (Algorithm 3's small-
+  first, Large-pinned allocation) at the concurrency proportional to
+  the target fraction of the path's reference maximum.
+
+Every plan carries first-order duration/energy estimates from
+:func:`repro.core.advisor.predict_plan_performance`, which the
+scheduler uses for deadline feasibility — so planning, deferral and
+admission all reason from one model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.advisor import predict_plan_performance
+from repro.core.allocation import chunk_params, htee_weights
+from repro.core.chunks import PartitionPolicy, partition_files
+from repro.core.htee import probe_ladder, scaled_allocation
+from repro.core.mine import MinEAlgorithm
+from repro.core.scheduler import make_plans
+from repro.core.slaee import sla_allocation
+from repro.netsim.engine import ChunkPlan
+from repro.service.requests import TransferRequest
+from repro.testbeds.specs import Testbed
+
+__all__ = ["JobPlan", "plan_for"]
+
+
+@dataclass(frozen=True)
+class JobPlan:
+    """A request turned into engine-ready chunk plans plus estimates."""
+
+    request: TransferRequest
+    algorithm: str
+    plans: tuple[ChunkPlan, ...]
+    est_duration_s: float
+    est_energy_j: float
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.total_size for p in self.plans)
+
+    @property
+    def planned_channels(self) -> int:
+        return sum(p.params.concurrency for p in self.plans)
+
+
+def _estimate(testbed: Testbed, plans: list[ChunkPlan]) -> tuple[float, float]:
+    """(duration s, energy J) from the closed-form predictor."""
+    throughput, power = predict_plan_performance(testbed, plans)
+    total = sum(p.total_size for p in plans)
+    if throughput <= 0 or total <= 0:
+        return 0.0, 0.0
+    duration = total / throughput
+    return duration, power * duration
+
+
+def _balanced_plans(
+    testbed: Testbed, request: TransferRequest, max_channels: int,
+    policy: PartitionPolicy,
+) -> list[ChunkPlan]:
+    """HTEE weighting, concurrency by closed-form efficiency argmax."""
+    bdp = testbed.path.bdp
+    chunks = partition_files(request.dataset, bdp, policy)
+    weights = htee_weights(chunks)
+    best_plans: Optional[list[ChunkPlan]] = None
+    best_score = -math.inf
+    for cc in probe_ladder(max_channels):
+        allocation = scaled_allocation(weights, cc)
+        params = [
+            chunk_params(chunk, bdp, testbed.path.tcp_buffer, alloc)
+            for chunk, alloc in zip(chunks, allocation)
+        ]
+        plans = make_plans(chunks, params)
+        throughput, power = predict_plan_performance(testbed, plans)
+        score = throughput / power if power > 0 else 0.0
+        if score > best_score + 1e-12:  # ties favor the lower concurrency
+            best_score = score
+            best_plans = plans
+    assert best_plans is not None
+    return best_plans
+
+
+def _sla_plans(
+    testbed: Testbed, request: TransferRequest, policy: PartitionPolicy,
+) -> list[ChunkPlan]:
+    """SLAEE-style static plan at the target-proportional concurrency."""
+    assert request.sla.level is not None
+    bdp = testbed.path.bdp
+    chunks = partition_files(request.dataset, bdp, policy)
+    cc_target = max(
+        1, math.ceil(request.sla.level * testbed.sla_reference_concurrency)
+    )
+    allocation = sla_allocation(chunks, cc_target)
+    params = [
+        chunk_params(chunk, bdp, testbed.path.tcp_buffer, alloc)
+        for chunk, alloc in zip(chunks, allocation)
+    ]
+    return make_plans(chunks, params)
+
+
+def plan_for(
+    testbed: Testbed,
+    request: TransferRequest,
+    max_channels: int = 4,
+    *,
+    partition_policy: PartitionPolicy = PartitionPolicy(),
+) -> JobPlan:
+    """Map one request's SLA class to an engine-ready plan + estimates.
+
+    ``max_channels`` bounds ENERGY/BALANCED jobs; SLA-class jobs size
+    themselves from the testbed's reference concurrency instead (the
+    contract is relative to the path's maximum, not to the service's
+    per-job default budget).
+    """
+    if max_channels < 1:
+        raise ValueError("max_channels must be >= 1")
+    kind = request.sla.kind
+    if kind == "energy":
+        algorithm = "MinE"
+        plans = MinEAlgorithm(policy=partition_policy).plan(
+            testbed, request.dataset, max_channels
+        )
+    elif kind == "balanced":
+        algorithm = "HTEE-static"
+        plans = _balanced_plans(testbed, request, max_channels, partition_policy)
+    else:
+        algorithm = "SLAEE-static"
+        plans = _sla_plans(testbed, request, partition_policy)
+    duration, energy = _estimate(testbed, plans)
+    return JobPlan(
+        request=request,
+        algorithm=algorithm,
+        plans=tuple(plans),
+        est_duration_s=duration,
+        est_energy_j=energy,
+    )

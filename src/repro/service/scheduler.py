@@ -1,0 +1,234 @@
+"""Admission control and deferral policies.
+
+The scheduler answers two questions per job:
+
+1. **When may it start?** (``release_time``) — ``RunNow`` says
+   immediately; ``PriceThreshold`` and ``CarbonAware`` push
+   deferrable (ENERGY-class) jobs to the next cheap/green tariff
+   plateau, but *never* past the latest start that still meets the
+   job's deadline at the estimated duration times a safety factor —
+   the deadline-safety invariant every policy must uphold (tested in
+   ``tests/test_service.py``).
+2. **Who goes first when a slot frees?** (``priority``, lower wins) —
+   ``RunNow`` is FIFO by submission; every deadline-conscious policy
+   orders earliest-deadline-first so urgent jobs preempt queue
+   position (not running jobs — admission is non-preemptive).
+
+Admission itself (the concurrency cap and per-tenant fairness) lives
+in :class:`repro.service.simulate.ServiceSimulator`, which consults
+these decisions each scheduling round.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.service.requests import TransferRequest
+from repro.service.tariff import TariffTrace
+
+__all__ = [
+    "SchedulingDecision",
+    "DeferralPolicy",
+    "RunNow",
+    "DeadlineEDF",
+    "PriceThreshold",
+    "CarbonAware",
+    "POLICY_PRESETS",
+    "policy_by_name",
+    "latest_safe_start",
+]
+
+
+#: Default margin between the estimated duration and the duration the
+#: scheduler *plans* for: contention with other admitted jobs stretches
+#: transfers beyond their solo estimate, so deferral leaves headroom.
+DEFAULT_SAFETY = 1.5
+
+
+def latest_safe_start(
+    request: TransferRequest, est_duration_s: float, safety: float = DEFAULT_SAFETY
+) -> float:
+    """The latest start still expected to meet the deadline (``inf``
+    without one)."""
+    if request.deadline is None:
+        return math.inf
+    return request.deadline - safety * max(0.0, est_duration_s)
+
+
+@dataclass(frozen=True)
+class SchedulingDecision:
+    """One policy's verdict on one job."""
+
+    release_time: float  # earliest moment the job may be admitted
+    priority: float      # admission order when slots are scarce (lower first)
+    reason: str = ""     # non-empty iff the job was deferred
+
+    @property
+    def deferred(self) -> bool:
+        return bool(self.reason)
+
+
+class DeferralPolicy(ABC):
+    """Strategy deciding release times and admission priorities."""
+
+    name: str = "abstract"
+
+    #: Safety factor applied to duration estimates (see module doc).
+    safety: float = DEFAULT_SAFETY
+
+    @abstractmethod
+    def schedule(
+        self,
+        request: TransferRequest,
+        est_duration_s: float,
+        tariff: TariffTrace,
+    ) -> SchedulingDecision:
+        """Decide when ``request`` becomes eligible and how urgent it is."""
+
+    # -- shared helpers -------------------------------------------------
+
+    def _edf_priority(self, request: TransferRequest) -> float:
+        """Earliest-deadline-first key (deadline-less jobs last, FIFO
+        among themselves via the simulator's stable tie-break)."""
+        return request.deadline if request.deadline is not None else math.inf
+
+    def _bounded_deferral(
+        self,
+        request: TransferRequest,
+        est_duration_s: float,
+        window_start: float,
+        reason: str,
+    ) -> SchedulingDecision:
+        """Defer to ``window_start``, clamped by the deadline-safety
+        invariant: a deferral never pushes a feasible job past its
+        latest safe start (and never before its submission)."""
+        safe = latest_safe_start(request, est_duration_s, self.safety)
+        release = max(request.submit_time, min(window_start, safe))
+        if release <= request.submit_time + 1e-9:
+            return SchedulingDecision(
+                release_time=request.submit_time,
+                priority=self._edf_priority(request),
+            )
+        return SchedulingDecision(
+            release_time=release,
+            priority=self._edf_priority(request),
+            reason=reason,
+        )
+
+
+@dataclass
+class RunNow(DeferralPolicy):
+    """The throughput-first baseline: admit everything FIFO, defer
+    nothing. What today's transfer services do — and the arm every
+    price/carbon saving is measured against."""
+
+    name: str = "run-now"
+    safety: float = DEFAULT_SAFETY
+
+    def schedule(
+        self, request: TransferRequest, est_duration_s: float, tariff: TariffTrace
+    ) -> SchedulingDecision:
+        return SchedulingDecision(
+            release_time=request.submit_time, priority=request.submit_time
+        )
+
+
+@dataclass
+class DeadlineEDF(DeferralPolicy):
+    """No deferral, but earliest-deadline-first admission: when the
+    concurrency cap bites, jobs with tight deadlines jump the queue."""
+
+    name: str = "deadline-edf"
+    safety: float = DEFAULT_SAFETY
+
+    def schedule(
+        self, request: TransferRequest, est_duration_s: float, tariff: TariffTrace
+    ) -> SchedulingDecision:
+        return SchedulingDecision(
+            release_time=request.submit_time, priority=self._edf_priority(request)
+        )
+
+
+@dataclass
+class PriceThreshold(DeferralPolicy):
+    """Defer ENERGY-class jobs until the tariff drops to (or below) a
+    price threshold — the paper's "low-cost data transfer options ...
+    in return for delayed transfers", made operational.
+
+    ``threshold`` defaults to the trace's cheapest plateau, i.e. "wait
+    for off-peak"; deadlines always win over waiting (see
+    :meth:`DeferralPolicy._bounded_deferral`). Non-deferrable classes
+    (BALANCED, SLA) are scheduled EDF with no delay.
+    """
+
+    name: str = "price-threshold"
+    threshold: Optional[float] = None
+    safety: float = DEFAULT_SAFETY
+
+    def schedule(
+        self, request: TransferRequest, est_duration_s: float, tariff: TariffTrace
+    ) -> SchedulingDecision:
+        if not request.sla.deferrable:
+            return SchedulingDecision(
+                release_time=request.submit_time,
+                priority=self._edf_priority(request),
+            )
+        threshold = self.threshold if self.threshold is not None else tariff.min_price
+        window = tariff.next_window_at_or_below(threshold, request.submit_time)
+        if math.isinf(window):  # no qualifying plateau: run now
+            window = request.submit_time
+        return self._bounded_deferral(
+            request, est_duration_s, window, reason="peak-price"
+        )
+
+
+@dataclass
+class CarbonAware(DeferralPolicy):
+    """Like :class:`PriceThreshold`, but chasing the grid's *cleanest*
+    window (kgCO2/kWh) instead of its cheapest — e.g. the midday solar
+    plateau of the ``green-midday`` trace."""
+
+    name: str = "carbon-aware"
+    threshold: Optional[float] = None
+    safety: float = DEFAULT_SAFETY
+
+    def schedule(
+        self, request: TransferRequest, est_duration_s: float, tariff: TariffTrace
+    ) -> SchedulingDecision:
+        if not request.sla.deferrable:
+            return SchedulingDecision(
+                release_time=request.submit_time,
+                priority=self._edf_priority(request),
+            )
+        threshold = self.threshold if self.threshold is not None else tariff.min_carbon
+        window = tariff.next_window_at_or_below(
+            threshold, request.submit_time, carbon=True
+        )
+        if math.isinf(window):
+            window = request.submit_time
+        return self._bounded_deferral(
+            request, est_duration_s, window, reason="carbon"
+        )
+
+
+#: Name -> zero-argument factory (CLI / bench iteration).
+POLICY_PRESETS = {
+    "run-now": RunNow,
+    "deadline-edf": DeadlineEDF,
+    "price-threshold": PriceThreshold,
+    "carbon-aware": CarbonAware,
+}
+
+
+def policy_by_name(name: str) -> DeferralPolicy:
+    """Instantiate a deferral policy by preset name."""
+    try:
+        factory = POLICY_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; known: {sorted(POLICY_PRESETS)}"
+        ) from None
+    return factory()

@@ -1,0 +1,547 @@
+"""The service event loop: admission, execution, and accounting.
+
+:class:`ServiceSimulator` is the piece that turns the paper's planners
+into a *service*: tenants submit :class:`TransferRequest`\\ s over a
+simulated day, a :class:`~repro.service.scheduler.DeferralPolicy`
+decides when each becomes eligible, admission control (a concurrency
+cap plus optional per-tenant fairness) decides who runs, and a capless
+:class:`~repro.netsim.multi.MultiTransferSimulator` executes the
+admitted jobs against the shared path.
+
+Where the lower layers account joules, this layer accounts **dollars
+and carbon at the time the joules are drawn**: every shared time step
+prices each running job's energy delta at the tariff plateau in force
+when the step began, so deferring an ENERGY-class job from the peak to
+the off-peak plateau shows up directly as money saved — the paper's
+"low-cost data transfer options ... in return for delayed transfers",
+measured end to end.
+
+The loop is deterministic (no RNG of its own) and skips idle gaps in
+whole ``dt`` multiples, so a compressed "day" of diurnal traffic runs
+in seconds while staying bit-identical to a naive step-by-step run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro import units
+from repro.core.chunks import PartitionPolicy
+from repro.netsim.multi import JobRecord, MultiTransferSimulator, TransferTimeout
+from repro.obs.observer import Observer
+from repro.service.policies import JobPlan, plan_for
+from repro.service.requests import TransferRequest
+from repro.service.scheduler import DeferralPolicy, SchedulingDecision
+from repro.service.tariff import TariffTrace
+from repro.testbeds.specs import Testbed
+
+__all__ = ["JobResult", "ServiceReport", "ServiceSimulator"]
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class JobResult:
+    """One request's full service-side lifecycle and bill."""
+
+    name: str
+    tenant: str
+    sla: str
+    algorithm: str
+    submitted_at: float
+    released_at: float
+    admitted_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    deadline: Optional[float] = None
+    deferral_reason: str = ""
+    total_bytes: int = 0
+    est_duration_s: float = 0.0
+    energy_j: float = 0.0
+    cost_usd: float = 0.0
+    kg_co2: float = 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def deferred(self) -> bool:
+        return bool(self.deferral_reason)
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Submission -> admission (includes policy deferral)."""
+        if self.admitted_at is None:
+            return 0.0
+        return self.admitted_at - self.submitted_at
+
+    @property
+    def duration_s(self) -> float:
+        """Admission -> completion (time actually transferring)."""
+        if self.completed_at is None or self.admitted_at is None:
+            return 0.0
+        return self.completed_at - self.admitted_at
+
+    @property
+    def turnaround_s(self) -> float:
+        """Submission -> completion, the tenant-visible latency."""
+        if self.completed_at is None:
+            return 0.0
+        return self.completed_at - self.submitted_at
+
+    def slowdown(self, floor_s: float = 1.0) -> float:
+        """Turnaround over the job's solo duration estimate (>= 1-ish;
+        deferral and queueing inflate it)."""
+        if self.completed_at is None:
+            return math.inf
+        return self.turnaround_s / max(self.est_duration_s, floor_s)
+
+    @property
+    def deadline_missed(self) -> bool:
+        if self.deadline is None:
+            return False
+        if self.completed_at is None:
+            return True  # unfinished past its deadline counts as a miss
+        return self.completed_at > self.deadline + 1e-9
+
+    def to_dict(self) -> dict:
+        """The lifecycle and bill as a JSON-safe dict (derived fields
+        included)."""
+        return {
+            "name": self.name,
+            "tenant": self.tenant,
+            "sla": self.sla,
+            "algorithm": self.algorithm,
+            "submitted_at": self.submitted_at,
+            "released_at": self.released_at,
+            "admitted_at": self.admitted_at,
+            "completed_at": self.completed_at,
+            "deadline": self.deadline,
+            "deferral_reason": self.deferral_reason,
+            "total_bytes": self.total_bytes,
+            "est_duration_s": self.est_duration_s,
+            "queue_wait_s": self.queue_wait_s,
+            "duration_s": self.duration_s,
+            "turnaround_s": self.turnaround_s,
+            "slowdown": self.slowdown() if self.finished else None,
+            "deadline_missed": self.deadline_missed,
+            "energy_j": self.energy_j,
+            "cost_usd": self.cost_usd,
+            "kg_co2": self.kg_co2,
+        }
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (q in [0, 100]); 0.0 if empty."""
+    if not values:
+        return 0.0
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    pos = (len(data) - 1) * q / 100.0
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return data[lo]
+    return data[lo] + (data[hi] - data[lo]) * (pos - lo)
+
+
+@dataclass
+class ServiceReport:
+    """Fleet- and tenant-level totals for one service day."""
+
+    testbed: str
+    policy: str
+    tariff: str
+    jobs: list[JobResult] = field(default_factory=list)
+    makespan_s: float = 0.0
+
+    # -- aggregates -----------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(j.total_bytes for j in self.jobs)
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(j.energy_j for j in self.jobs)
+
+    @property
+    def total_cost_usd(self) -> float:
+        return sum(j.cost_usd for j in self.jobs)
+
+    @property
+    def total_kg_co2(self) -> float:
+        return sum(j.kg_co2 for j in self.jobs)
+
+    @property
+    def deferred_jobs(self) -> int:
+        return sum(1 for j in self.jobs if j.deferred)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Misses over jobs that *have* deadlines (0.0 if none do)."""
+        with_deadline = [j for j in self.jobs if j.deadline is not None]
+        if not with_deadline:
+            return 0.0
+        return sum(j.deadline_missed for j in with_deadline) / len(with_deadline)
+
+    def slowdowns(self) -> list[float]:
+        """Per-finished-job slowdown factors (for percentiles)."""
+        return [j.slowdown() for j in self.jobs if j.finished]
+
+    @property
+    def p50_slowdown(self) -> float:
+        return _percentile(self.slowdowns(), 50.0)
+
+    @property
+    def p95_slowdown(self) -> float:
+        return _percentile(self.slowdowns(), 95.0)
+
+    @property
+    def mean_queue_wait_s(self) -> float:
+        admitted = [j for j in self.jobs if j.admitted_at is not None]
+        if not admitted:
+            return 0.0
+        return sum(j.queue_wait_s for j in admitted) / len(admitted)
+
+    def per_tenant(self) -> dict[str, dict]:
+        """kWh/$/kgCO2/jobs/misses broken down by tenant."""
+        groups: dict[str, list[JobResult]] = {}
+        for job in self.jobs:
+            groups.setdefault(job.tenant, []).append(job)
+        out: dict[str, dict] = {}
+        for tenant in sorted(groups):
+            jobs = groups[tenant]
+            with_deadline = [j for j in jobs if j.deadline is not None]
+            out[tenant] = {
+                "jobs": len(jobs),
+                "bytes": sum(j.total_bytes for j in jobs),
+                "kwh": sum(j.energy_j for j in jobs) / 3.6e6,
+                "cost_usd": sum(j.cost_usd for j in jobs),
+                "kg_co2": sum(j.kg_co2 for j in jobs),
+                "deferred": sum(1 for j in jobs if j.deferred),
+                "deadline_misses": sum(
+                    1 for j in with_deadline if j.deadline_missed
+                ),
+                "mean_queue_wait_s": (
+                    sum(j.queue_wait_s for j in jobs) / len(jobs)
+                ),
+            }
+        return out
+
+    # -- serialization / rendering --------------------------------------
+
+    def to_dict(self) -> dict:
+        """The full report (totals, per-tenant, per-job) as a
+        JSON-safe dict."""
+        return {
+            "testbed": self.testbed,
+            "policy": self.policy,
+            "tariff": self.tariff,
+            "jobs": len(self.jobs),
+            "total_bytes": self.total_bytes,
+            "total_gb": units.to_GB(self.total_bytes),
+            "total_kwh": self.total_energy_j / 3.6e6,
+            "total_cost_usd": self.total_cost_usd,
+            "total_kg_co2": self.total_kg_co2,
+            "deferred_jobs": self.deferred_jobs,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "p50_slowdown": self.p50_slowdown,
+            "p95_slowdown": self.p95_slowdown,
+            "mean_queue_wait_s": self.mean_queue_wait_s,
+            "makespan_s": self.makespan_s,
+            "per_tenant": self.per_tenant(),
+            "job_results": [j.to_dict() for j in self.jobs],
+        }
+
+    def render(self) -> str:
+        """The report as an aligned, human-readable block of text."""
+        lines = [
+            f"Service day on {self.testbed} "
+            f"(policy={self.policy}, tariff={self.tariff}):",
+            f"  {len(self.jobs)} jobs, {units.to_GB(self.total_bytes):.1f} GB, "
+            f"makespan {self.makespan_s:.0f} s",
+            f"  energy {self.total_energy_j / 3.6e6:.3f} kWh -> "
+            f"${self.total_cost_usd:.4f}, {self.total_kg_co2:.4f} kgCO2",
+            f"  deferred {self.deferred_jobs}, "
+            f"deadline misses {self.deadline_miss_rate:.0%}, "
+            f"slowdown p50 {self.p50_slowdown:.2f} / p95 {self.p95_slowdown:.2f}, "
+            f"mean queue wait {self.mean_queue_wait_s:.0f} s",
+        ]
+        lines.append(
+            f"  {'tenant':<10s} {'jobs':>4s} {'GB':>8s} {'kWh':>8s} "
+            f"{'$':>9s} {'kgCO2':>8s} {'defer':>5s} {'miss':>4s} {'wait s':>8s}"
+        )
+        for tenant, row in self.per_tenant().items():
+            lines.append(
+                f"  {tenant:<10s} {row['jobs']:>4d} "
+                f"{units.to_GB(row['bytes']):>8.1f} {row['kwh']:>8.3f} "
+                f"{row['cost_usd']:>9.4f} {row['kg_co2']:>8.4f} "
+                f"{row['deferred']:>5d} {row['deadline_misses']:>4d} "
+                f"{row['mean_queue_wait_s']:>8.0f}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the simulator
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _JobState:
+    """Book-keeping for one request inside the loop."""
+
+    request: TransferRequest
+    plan: JobPlan
+    decision: SchedulingDecision
+    result: JobResult
+    seq: int
+    record: Optional[JobRecord] = None  # set at admission
+    last_energy: float = 0.0
+
+
+class ServiceSimulator:
+    """Runs one day of tenant traffic through plan -> defer -> admit ->
+    execute -> account.
+
+    Admission control lives *here* (not in the executor): each round,
+    eligible waiting jobs — submitted, past their policy release time —
+    are sorted by ``(priority, release, submit, seq)`` and admitted
+    while slots remain under ``max_concurrent_jobs``; the optional
+    ``max_per_tenant`` cap keeps one tenant's burst from occupying
+    every slot. The underlying :class:`MultiTransferSimulator` runs
+    capless and purely executes what this layer admits.
+    """
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        *,
+        policy: DeferralPolicy,
+        tariff: TariffTrace,
+        max_concurrent_jobs: int = 4,
+        max_per_tenant: Optional[int] = None,
+        max_channels: int = 4,
+        partition_policy: PartitionPolicy = PartitionPolicy(),
+        observer: Optional[Observer] = None,
+    ) -> None:
+        if max_concurrent_jobs < 1:
+            raise ValueError("max_concurrent_jobs must be >= 1")
+        if max_per_tenant is not None and max_per_tenant < 1:
+            raise ValueError("max_per_tenant must be >= 1")
+        self.testbed = testbed
+        self.policy = policy
+        self.tariff = tariff
+        self.max_concurrent_jobs = max_concurrent_jobs
+        self.max_per_tenant = max_per_tenant
+        self.max_channels = max_channels
+        self.partition_policy = partition_policy
+        self.observer = observer
+
+    # ------------------------------------------------------------------
+
+    def _prepare(self, requests: Sequence[TransferRequest]) -> list[_JobState]:
+        """Plan and schedule every request up front (both are pure
+        functions of the request, so doing it eagerly keeps the loop
+        simple without changing any decision)."""
+        states: list[_JobState] = []
+        seen: set[str] = set()
+        for seq, request in enumerate(
+            sorted(requests, key=lambda r: (r.submit_time, r.name))
+        ):
+            if request.name in seen:
+                raise ValueError(f"duplicate request name {request.name!r}")
+            seen.add(request.name)
+            plan = plan_for(
+                self.testbed, request, self.max_channels,
+                partition_policy=self.partition_policy,
+            )
+            decision = self.policy.schedule(
+                request, plan.est_duration_s, self.tariff
+            )
+            result = JobResult(
+                name=request.name,
+                tenant=request.tenant,
+                sla=request.sla.label,
+                algorithm=plan.algorithm,
+                submitted_at=request.submit_time,
+                released_at=decision.release_time,
+                deadline=request.deadline,
+                deferral_reason=decision.reason,
+                total_bytes=plan.total_bytes,
+                est_duration_s=plan.est_duration_s,
+            )
+            states.append(_JobState(request, plan, decision, result, seq))
+        return states
+
+    def _admit(
+        self,
+        now: float,
+        waiting: list[_JobState],
+        running: list[_JobState],
+        sim: MultiTransferSimulator,
+    ) -> None:
+        """Move eligible waiting jobs into the executor, best-first."""
+        slots = self.max_concurrent_jobs - len(running)
+        if slots <= 0:
+            return
+        eligible = [
+            s for s in waiting if s.decision.release_time <= now + 1e-9
+        ]
+        eligible.sort(
+            key=lambda s: (
+                s.decision.priority,
+                s.decision.release_time,
+                s.request.submit_time,
+                s.seq,
+            )
+        )
+        tenant_running: dict[str, int] = {}
+        for s in running:
+            tenant_running[s.request.tenant] = (
+                tenant_running.get(s.request.tenant, 0) + 1
+            )
+        for state in eligible:
+            if slots <= 0:
+                break
+            tenant = state.request.tenant
+            if (
+                self.max_per_tenant is not None
+                and tenant_running.get(tenant, 0) >= self.max_per_tenant
+            ):
+                continue
+            state.record = sim.submit(
+                state.request.name, state.plan.plans, arrival_time=now
+            )
+            state.result.admitted_at = now
+            waiting.remove(state)
+            running.append(state)
+            tenant_running[tenant] = tenant_running.get(tenant, 0) + 1
+            slots -= 1
+            if self.observer is not None:
+                self.observer.job_admitted(
+                    now, state.request.name, state.result.queue_wait_s
+                )
+
+    def _finalize(self, state: _JobState, now: float) -> None:
+        """Close a completed job's books and emit its events."""
+        state.result.completed_at = state.record.completion_time
+        if self.observer is not None:
+            self.observer.job_completed(
+                now,
+                state.request.name,
+                state.result.duration_s,
+                state.result.energy_j,
+                state.result.cost_usd,
+            )
+            if state.result.deadline_missed:
+                self.observer.deadline_missed(
+                    now,
+                    state.request.name,
+                    state.result.deadline,
+                    state.result.completed_at,
+                )
+
+    def run(
+        self,
+        requests: Sequence[TransferRequest],
+        *,
+        max_time: float = 1e7,
+    ) -> ServiceReport:
+        """Run every request to completion and return the day's report.
+
+        Raises :class:`~repro.netsim.multi.TransferTimeout` if
+        ``max_time`` simulated seconds pass with jobs still unfinished
+        — a truncated day must not masquerade as a cheap one.
+        """
+        states = self._prepare(requests)
+        sim = MultiTransferSimulator(self.testbed, max_concurrent_jobs=None)
+        dt = sim.dt
+
+        pending = list(states)      # not yet submitted (future arrivals)
+        waiting: list[_JobState] = []  # submitted, not yet admitted
+        running: list[_JobState] = []  # admitted, transferring
+        done: list[_JobState] = []
+
+        while len(done) < len(states):
+            now = sim.time
+            if now >= max_time:
+                unfinished = [
+                    s.request.name for s in pending + waiting + running
+                ]
+                raise TransferTimeout(
+                    f"service run hit max_time={max_time:g} s with "
+                    f"{len(unfinished)} unfinished job(s): "
+                    + ", ".join(unfinished)
+                )
+
+            # 1. ingest submissions whose time has come
+            while pending and pending[0].request.submit_time <= now + 1e-9:
+                state = pending.pop(0)
+                waiting.append(state)
+                if self.observer is not None:
+                    self.observer.job_submitted(
+                        now,
+                        state.request.name,
+                        state.request.tenant,
+                        state.request.sla.label,
+                    )
+                    if state.decision.deferred:
+                        self.observer.job_deferred(
+                            now,
+                            state.request.name,
+                            state.decision.release_time,
+                            state.decision.reason,
+                        )
+
+            # 2. admission under the cap and per-tenant fairness
+            self._admit(now, waiting, running, sim)
+
+            if running:
+                # 3. one shared step, priced at the tariff in force now
+                for state in running:
+                    state.last_energy = state.record.energy_joules
+                sim.step()
+                finished: list[_JobState] = []
+                for state in running:
+                    delta = state.record.energy_joules - state.last_energy
+                    if delta > 0:
+                        state.result.energy_j += delta
+                        state.result.cost_usd += self.tariff.cost(delta, now)
+                        state.result.kg_co2 += self.tariff.carbon(delta, now)
+                    if state.record.finished:
+                        finished.append(state)
+                for state in finished:
+                    running.remove(state)
+                    done.append(state)
+                    self._finalize(state, sim.time)
+            else:
+                # 4. idle: jump (on the dt grid) to the next submission
+                #    or release, keeping step timestamps identical to a
+                #    naive step-by-step run.
+                horizons = [s.request.submit_time for s in pending[:1]]
+                horizons += [s.decision.release_time for s in waiting]
+                target = min(horizons)
+                if math.isinf(target):
+                    raise RuntimeError(
+                        "service loop stalled: no running jobs and no "
+                        "future events"
+                    )
+                steps = max(1, math.ceil((target - now - 1e-9) / dt))
+                sim.time += steps * dt
+
+        report = ServiceReport(
+            testbed=self.testbed.name,
+            policy=self.policy.name,
+            tariff=self.tariff.name,
+            jobs=[s.result for s in sorted(states, key=lambda s: s.seq)],
+            makespan_s=sim.makespan,
+        )
+        return report

@@ -9,7 +9,7 @@ from repro.datasets.files import Dataset, FileInfo
 from repro.netsim.disk import ParallelDisk
 from repro.netsim.endpoint import EndSystem, ServerSpec
 from repro.netsim.engine import ChunkPlan
-from repro.netsim.multi import MultiTransferSimulator
+from repro.netsim.multi import MultiTransferSimulator, TransferTimeout
 from repro.netsim.link import NetworkPath
 from repro.netsim.params import TransferParams
 from repro.power.coefficients import CoefficientSet
@@ -158,6 +158,106 @@ class TestAdmissionControl:
         second = sim.submit("second", plan("second"), arrival_time=2.0)
         sim.run()
         assert first.start_time < second.start_time
+
+
+class TestAdmissionOrderingAndWaiting:
+    def test_fifo_tie_broken_by_submission_order(self, shared_testbed):
+        """Equal arrival times start in submission order (stable sort)."""
+        sim = MultiTransferSimulator(shared_testbed, max_concurrent_jobs=1)
+        first = sim.submit("first", plan("first"), arrival_time=1.0)
+        second = sim.submit("second", plan("second"), arrival_time=1.0)
+        sim.run()
+        assert first.start_time < second.start_time
+
+    def test_waiting_job_accrues_zero_energy(self, shared_testbed):
+        """A queued job draws no power until it is admitted."""
+        sim = MultiTransferSimulator(shared_testbed, max_concurrent_jobs=1)
+        sim.submit("a", plan("a"))
+        b = sim.submit("b", plan("b"))
+        while b.start_time is None:
+            assert b.energy_joules == 0.0
+            sim.step()
+        assert b.start_time > 0.0
+
+    def test_cap_honored_every_step(self, shared_testbed):
+        sim = MultiTransferSimulator(shared_testbed, max_concurrent_jobs=2)
+        for name in ("a", "b", "c", "d"):
+            sim.submit(name, plan(name))
+        while not all(r.finished for r in sim.records()):
+            sim.step()
+            running = [
+                r for r in sim.records()
+                if r.start_time is not None and not r.finished
+            ]
+            assert len(running) <= 2
+
+
+class TestTimeout:
+    def test_timeout_raises_by_default(self, shared_testbed):
+        sim = MultiTransferSimulator(shared_testbed)
+        sim.submit("slow", plan("slow"))
+        with pytest.raises(TransferTimeout, match="slow"):
+            sim.run(max_time=3 * sim.dt)
+
+    def test_timeout_warn_flags_truncated(self, shared_testbed):
+        sim = MultiTransferSimulator(shared_testbed)
+        record = sim.submit("slow", plan("slow"))
+        with pytest.warns(RuntimeWarning, match="unfinished"):
+            records = sim.run(max_time=3 * sim.dt, on_timeout="warn")
+        assert records[0] is record
+        assert record.truncated and not record.finished
+
+    def test_bad_on_timeout_rejected(self, shared_testbed):
+        sim = MultiTransferSimulator(shared_testbed)
+        sim.submit("a", plan("a"))
+        with pytest.raises(ValueError):
+            sim.run(on_timeout="ignore")
+
+    def test_finished_run_not_truncated(self, shared_testbed):
+        sim = MultiTransferSimulator(shared_testbed)
+        record = sim.submit("a", plan("a"))
+        sim.run()
+        assert record.finished and not record.truncated
+
+
+class TestEngineDeferredAdmission:
+    def _engine(self, testbed, **kwargs):
+        from repro.netsim.engine import TransferEngine
+        from repro.power.models import FineGrainedPowerModel
+
+        model = FineGrainedPowerModel(testbed.coefficients)
+        return TransferEngine(
+            testbed.path, testbed.source, testbed.destination,
+            model.power, dt=testbed.engine_dt, **kwargs,
+        )
+
+    def test_submit_then_admit(self, shared_testbed):
+        engine = self._engine(shared_testbed)
+        engine.submit_chunk(plan("x")[0])
+        assert engine.pending_chunks == ["x"]
+        assert not any(c.busy for c in engine.channels)
+        opened = engine.admit_pending()
+        assert opened == 2  # the plan's concurrency
+        assert engine.pending_chunks == []
+        engine.run()
+        assert engine.finished
+
+    def test_numeric_background_matches_callable(self, shared_testbed):
+        """A constant stream count and an equivalent callable yield the
+        same transfer (the numeric form just keeps the fast path on)."""
+        results = []
+        for bg in (6.0, lambda t: 6.0):
+            engine = self._engine(shared_testbed, background_traffic=bg)
+            engine.add_chunk(plan("x")[0])
+            engine.run()
+            results.append((engine.time, engine.total_energy))
+        assert results[0][0] == pytest.approx(results[1][0], abs=1e-9)
+        assert results[0][1] == pytest.approx(results[1][1], rel=1e-9)
+
+    def test_set_background_streams_rejects_negative(self, shared_testbed):
+        engine = self._engine(shared_testbed)
+        with pytest.raises(ValueError):
+            engine.set_background_streams(-1.0)
 
 
 class TestWithRealPlans:
