@@ -9,7 +9,7 @@ sampled series by sign-change scanning with linear interpolation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 __all__ = ["Crossover", "find_crossovers", "argmax_interpolated"]
 
@@ -23,21 +23,32 @@ class Crossover:
 
 
 def find_crossovers(
-    x: Sequence[float], a: Sequence[float], b: Sequence[float]
+    x: Sequence[float], a: Sequence[float], b: Sequence[float],
+    *, atol: float = 0.0,
 ) -> list[Crossover]:
     """All points where series ``a`` and ``b`` cross, by linear
     interpolation between samples. Touching without crossing is not
-    reported."""
+    reported.
+
+    ``atol`` is the absolute tolerance under which the two series are
+    considered *coincident* on a segment (both endpoint differences
+    within ``atol`` of zero); coincident segments never produce a
+    crossing. The default ``0.0`` keeps the historical exact behaviour:
+    only bit-identical samples coincide. Pass a small positive ``atol``
+    when the series carry fp round-off from the energy integrals.
+    """
     if not (len(x) == len(a) == len(b)):
         raise ValueError("x, a and b must share a length")
+    if atol < 0:
+        raise ValueError(f"atol must be >= 0, got {atol}")
     if len(x) < 2:
         return []
     crossings = []
     for i in range(len(x) - 1):
         d0 = a[i] - b[i]
         d1 = a[i + 1] - b[i + 1]
-        if d0 == 0.0 and d1 == 0.0:
-            continue
+        if abs(d0) <= atol and abs(d1) <= atol:
+            continue  # coincident segment (tolerance-based, not ==)
         if d0 * d1 < 0:
             # linear interpolation of the zero of (a-b)
             t = d0 / (d0 - d1)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 from repro.core.scheduler import TransferOutcome
 from repro.netsim.disk import ParallelDisk, PowerLawDisk, SingleDisk

@@ -19,7 +19,8 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.core.scheduler import engine_options
 from repro.harness import figures as figure_renderers
@@ -182,6 +183,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", type=Path, default=None,
                    help="also write the events/metrics as JSON")
 
+    p = sub.add_parser(
+        "lint",
+        help="domain-aware static analysis (unit literals, determinism, "
+             "float ==, observer guards, event kinds, API hygiene)",
+    )
+    from repro.lint.cli import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(p)
+
     sub.add_parser("validate", help="quick self-check: Eq. 2 + device table")
     return parser
 
@@ -221,6 +231,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "pareto": _cmd_pareto,
         "history": _cmd_history,
         "report": _cmd_report,
+        "lint": _cmd_lint,
         "validate": _cmd_validate,
     }[args.command]
     return handler(args)
@@ -545,6 +556,13 @@ def _cmd_report_observe(args: argparse.Namespace) -> int:
             args.json.write_text(_json.dumps(observer.summary(), indent=2) + "\n")
             print(f"\nmetrics written to {args.json}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the domain linter (see :mod:`repro.lint`)."""
+    from repro.lint.cli import run as run_lint
+
+    return run_lint(args)
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:

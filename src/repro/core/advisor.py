@@ -12,7 +12,7 @@ engine runs (see ``tests/test_advisor.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro import units
 from repro.core.allocation import mine_walk
@@ -198,7 +198,7 @@ def advise(
     params = mine_walk(chunks, bdp, testbed.path.tcp_buffer, max_channels)
 
     advices = []
-    for chunk, p in zip(chunks, params):
+    for chunk, p in zip(chunks, params, strict=True):
         cap, bottleneck = _channel_cap(testbed, p.parallelism)
         efficiency = _pipelining_efficiency(testbed, chunk.average_file_size, p, cap)
         advices.append(
@@ -215,7 +215,7 @@ def advise(
 
     plans = [
         ChunkPlan(name=chunk.name, files=chunk.files, params=p)
-        for chunk, p in zip(chunks, params)
+        for chunk, p in zip(chunks, params, strict=True)
     ]
     aggregate, power = predict_plan_performance(testbed, plans)
 

@@ -242,7 +242,7 @@ class ProMCAlgorithm:
         allocation = proportional_allocation(chunks, max_channels)
         params = [
             chunk_params(chunk, bdp, testbed.path.tcp_buffer, cc)
-            for chunk, cc in zip(chunks, allocation)
+            for chunk, cc in zip(chunks, allocation, strict=True)
         ]
         return make_plans(chunks, params)
 

@@ -79,11 +79,11 @@ class HistoricalTuner:
             chunks,
             [
                 chunk_params(c, bdp, testbed.path.tcp_buffer, max(0, cc))
-                for c, cc in zip(chunks, allocation)
+                for c, cc in zip(chunks, allocation, strict=True)
             ],
         )
         engine = make_engine(testbed, binding=Binding.PACK, work_stealing=True)
-        for plan, cc in zip(plans, allocation):
+        for plan, cc in zip(plans, allocation, strict=True):
             engine.add_chunk(plan, open_channels=False)
             engine.set_chunk_channels(plan.name, cc)
         outcome = run_to_completion(

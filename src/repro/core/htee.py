@@ -125,7 +125,7 @@ class HTEEAlgorithm:
             if engine.finished:
                 break
             allocation = scaled_allocation(weights, level)
-            engine.set_allocation(dict(zip((p.name for p in plans), allocation)))
+            engine.set_allocation(dict(zip((p.name for p in plans), allocation, strict=True)))
             before = engine.snapshot()
             engine.run(self.probe_interval)
             after = engine.snapshot()
@@ -149,7 +149,7 @@ class HTEEAlgorithm:
         else:  # transfer finished before the first probe (tiny dataset)
             best_level = 1
         allocation = scaled_allocation(weights, best_level)
-        engine.set_allocation(dict(zip((p.name for p in plans), allocation)))
+        engine.set_allocation(dict(zip((p.name for p in plans), allocation, strict=True)))
 
         steady_start = engine.snapshot()
         outcome = run_to_completion(
@@ -184,11 +184,11 @@ class BruteForceAlgorithm:
             chunks,
             [
                 chunk_params(c, bdp, testbed.path.tcp_buffer, max(1, cc))
-                for c, cc in zip(chunks, allocation)
+                for c, cc in zip(chunks, allocation, strict=True)
             ],
         )
         engine = make_engine(testbed, binding=Binding.PACK, work_stealing=True)
-        for plan, cc in zip(plans, allocation):
+        for plan, cc in zip(plans, allocation, strict=True):
             engine.add_chunk(plan, open_channels=False)
             engine.set_chunk_channels(plan.name, cc)
         outcome = run_to_completion(

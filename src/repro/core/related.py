@@ -125,7 +125,7 @@ class PCPAlgorithm:
         level = 1
         best_throughput = 0.0
         while level <= max_channels and not engine.finished:
-            engine.set_allocation(dict(zip(names, scaled_allocation(weights, level))))
+            engine.set_allocation(dict(zip(names, scaled_allocation(weights, level), strict=True)))
             before = engine.snapshot()
             engine.run(self.probe_interval)
             throughput = engine.snapshot().throughput_since(before)
@@ -136,7 +136,7 @@ class PCPAlgorithm:
             level = min(level * 2, max_channels) if level != max_channels else max_channels + 1
 
         best_level = max(probes, key=lambda p: p[1])[0] if probes else 1
-        engine.set_allocation(dict(zip(names, scaled_allocation(weights, best_level))))
+        engine.set_allocation(dict(zip(names, scaled_allocation(weights, best_level), strict=True)))
         outcome = run_to_completion(
             engine, algorithm=self.name, testbed=testbed.name, max_channels=max_channels
         )

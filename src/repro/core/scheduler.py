@@ -5,7 +5,8 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Union
+from collections.abc import Iterator
+from typing import Optional, Union
 
 from repro import units
 from repro.core.chunks import Chunk
@@ -14,6 +15,7 @@ from repro.netsim.params import TransferParams
 from repro.obs import Observer
 from repro.power.models import FineGrainedPowerModel
 from repro.testbeds.specs import Testbed
+from repro.units import Bytes, BytesPerSecond, Joules, Seconds
 
 __all__ = [
     "TransferOutcome",
@@ -124,16 +126,16 @@ class TransferOutcome:
     algorithm: str
     testbed: str
     max_channels: int
-    duration_s: float
-    bytes_moved: float
-    energy_joules: float
+    duration_s: Seconds
+    bytes_moved: Bytes
+    energy_joules: Joules
     files_moved: int = 0
-    steady_throughput: Optional[float] = None
+    steady_throughput: Optional[BytesPerSecond] = None
     final_concurrency: Optional[int] = None
     extra: dict = field(default_factory=dict)
 
     @property
-    def throughput(self) -> float:
+    def throughput(self) -> BytesPerSecond:
         """Average payload rate over the whole transfer (bytes/s)."""
         if self.duration_s <= 0:
             return 0.0
@@ -141,6 +143,7 @@ class TransferOutcome:
 
     @property
     def throughput_mbps(self) -> float:
+        """Average payload rate in Mbps (decimal megabits/second)."""
         return units.to_mbps(self.throughput)
 
     @property
@@ -190,7 +193,7 @@ def make_plans(chunks: list[Chunk], params: list[TransferParams]) -> list[ChunkP
         raise ValueError("chunks and params must align")
     return [
         ChunkPlan(name=chunk.name, files=chunk.files, params=p)
-        for chunk, p in zip(chunks, params)
+        for chunk, p in zip(chunks, params, strict=True)
     ]
 
 
@@ -200,9 +203,10 @@ def run_to_completion(
     algorithm: str,
     testbed: str,
     max_channels: int,
-    max_time: float = 1e7,
+    max_time: Seconds = 1e7,
 ) -> TransferOutcome:
-    """Drive ``engine`` to the end and package the outcome."""
+    """Drive ``engine`` to the end (bounded by ``max_time`` seconds of
+    simulated time) and package the outcome."""
     engine.run(max_time=max_time)
     outcome = TransferOutcome(
         algorithm=algorithm,

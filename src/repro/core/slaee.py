@@ -159,7 +159,7 @@ class SLAEEAlgorithm:
 
         def apply(concurrency: int, extra_large: int) -> None:
             engine.set_allocation(
-                dict(zip(names, sla_allocation(chunks, concurrency, extra_large)))
+                dict(zip(names, sla_allocation(chunks, concurrency, extra_large), strict=True))
             )
 
         def probe() -> float:

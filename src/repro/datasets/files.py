@@ -10,7 +10,7 @@ consume (total size, count, average file size).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro import units
 

@@ -15,7 +15,8 @@ job class and policy — results are cached, the jobs are deterministic).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from collections.abc import Callable
+from typing import Optional
 
 from repro.core.baselines import ProMCAlgorithm
 from repro.core.htee import HTEEAlgorithm

@@ -19,7 +19,8 @@ import concurrent.futures
 import dataclasses
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterator, Optional, Sequence
+from collections.abc import Callable, Iterator, Sequence
+from typing import Optional
 
 from repro.core.scheduler import (
     TransferOutcome,

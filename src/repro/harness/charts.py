@@ -7,7 +7,7 @@ draws multi-series ASCII line charts with no plotting dependency.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 __all__ = ["line_chart"]
 
@@ -55,7 +55,7 @@ def line_chart(
         return int(round(index * (width - 1) / (n - 1)))
 
     grid = [[" "] * width for _ in range(height)]
-    for marker, (name, values) in zip(_MARKERS, series.items()):
+    for marker, (name, values) in zip(_MARKERS, series.items(), strict=False):
         for i, value in enumerate(values):
             r = height - 1 - row_of(value)
             c = col_of(i)
@@ -80,7 +80,7 @@ def line_chart(
                     label_row[c + j] = ch
         lines.append(" " * 12 + "".join(label_row))
     legend = "   ".join(
-        f"{marker}={name}" for marker, name in zip(_MARKERS, series)
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series, strict=False)
     )
     lines.append(" " * 12 + legend)
     return "\n".join(lines)

@@ -7,7 +7,7 @@ regenerate and print every figure without a display.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -41,7 +41,7 @@ def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     cols = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
             for i, h in enumerate(headers)]
     def fmt(row: Sequence[object]) -> str:
-        return "  ".join(str(v).rjust(w) for v, w in zip(row, cols))
+        return "  ".join(str(v).rjust(w) for v, w in zip(row, cols, strict=True))
     lines = [fmt(headers), fmt(["-" * w for w in cols])]
     lines.extend(fmt(r) for r in rows)
     return "\n".join(lines)
@@ -56,7 +56,7 @@ def render_testbed_specs() -> str:
                 tb.name,
                 f"{tb.source.name}->{tb.destination.name}",
                 f"{units.to_gbps(tb.path.bandwidth):.0f} Gbps",
-                f"{tb.path.rtt * 1e3:.0f} ms",
+                f"{units.to_ms(tb.path.rtt):.0f} ms",
                 f"{units.to_MB(tb.path.tcp_buffer):.0f} MB",
                 f"{units.to_MB(tb.path.bdp):.1f} MB",
                 tb.source.server_count,

@@ -11,7 +11,7 @@ far each sits from the frontier.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.scheduler import TransferOutcome
 

@@ -11,7 +11,7 @@ renders everything into a single markdown document. It is the
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.harness import figures
 from repro.harness.sweeps import (

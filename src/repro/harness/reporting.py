@@ -11,8 +11,9 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
+from repro import units
 from repro.core.scheduler import TransferOutcome
 from repro.netsim.engine import StepRecord
 
@@ -159,7 +160,7 @@ def render_trace(trace: Sequence[StepRecord], width: int = 60) -> str:
     lines = [
         f"trace: {len(trace)} steps over {duration:.1f} s",
         f"  throughput {sparkline(throughput, width)} "
-        f"(peak {max(throughput) * 8 / 1e6:.0f} Mbps)",
+        f"(peak {units.to_mbps(max(throughput)):.0f} Mbps)",
         f"  power      {sparkline(power, width)} "
         f"(peak {max(power):.1f} W)",
     ]

@@ -18,7 +18,8 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterator, Optional
+from collections.abc import Callable, Iterator
+from typing import Optional
 
 from repro.core.scheduler import TransferOutcome
 from repro.harness.reporting import outcome_from_dict, outcome_to_dict

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.core.scheduler import TransferOutcome
 from repro.datasets.files import Dataset

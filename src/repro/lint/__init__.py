@@ -1,0 +1,54 @@
+"""Domain-aware static analysis for the energy pipeline.
+
+``repro.lint`` checks the invariants that keep the paper's numbers
+trustworthy — unit conversions through :mod:`repro.units`, determinism
+in simulation paths, no float ``==`` in the energy math, the zero-cost
+observer guard idiom, schema-resolved event kinds, and API hygiene
+(``__all__``, unit-suffix docstrings, mutable defaults). See
+:mod:`repro.lint.rules` for the catalogue and ``repro lint --list-rules``
+for a live summary.
+
+Run it as ``repro lint [PATH ...]`` or ``python -m repro.lint``; debt
+is ratcheted through the committed ``.repro-lint-baseline.json``
+(:mod:`repro.lint.baseline`).
+"""
+
+from repro.lint.baseline import (
+    BaselineResult,
+    apply_baseline,
+    baseline_counts,
+    load_baseline,
+    save_baseline,
+)
+from repro.lint.framework import (
+    Finding,
+    ModuleContext,
+    Rule,
+    RULE_REGISTRY,
+    all_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    parse_noqa,
+    register,
+    rules_by_code,
+)
+
+__all__ = [
+    "BaselineResult",
+    "apply_baseline",
+    "baseline_counts",
+    "load_baseline",
+    "save_baseline",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "RULE_REGISTRY",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "parse_noqa",
+    "register",
+    "rules_by_code",
+]

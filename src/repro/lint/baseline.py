@@ -1,0 +1,117 @@
+"""Baseline (ratchet) support.
+
+Existing debt is recorded in a committed JSON file as *counts per
+(file, code) bucket* — line numbers churn too much to pin. The policy
+is a one-way ratchet:
+
+* a bucket at or under its baselined count is **suppressed** (old debt,
+  tolerated),
+* a bucket over its count **fails the run** (new debt, rejected) and
+  every finding in the bucket is reported so the offender is visible,
+* a bucket under its count is **stale** — the run still passes, but
+  the linter nags until ``--fix-baseline`` re-records the smaller
+  number, so debt can only shrink.
+
+An empty ``entries`` map is a perfectly good baseline: it simply means
+the tree is clean and must stay clean.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.framework import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineResult",
+    "load_baseline",
+    "save_baseline",
+    "baseline_counts",
+    "apply_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path | str) -> dict[str, int]:
+    """Read a baseline file into its ``"path::CODE" -> count`` map."""
+    path = Path(path)
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError(f"{path} is not a repro-lint baseline file")
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    entries = data["entries"]
+    if not isinstance(entries, dict):
+        raise ValueError(f"{path}: baseline entries must be an object")
+    return {str(k): int(v) for k, v in entries.items()}
+
+
+def save_baseline(path: Path | str, findings: list[Finding]) -> dict[str, int]:
+    """Write the current findings as the new baseline; returns the map."""
+    entries = baseline_counts(findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "repro-lint ratchet: counts of tolerated pre-existing findings "
+            "per file::code bucket. Regenerate with 'repro lint --fix-baseline'. "
+            "Counts may only go down."
+        ),
+        "entries": {k: entries[k] for k in sorted(entries)},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return entries
+
+
+def baseline_counts(findings: list[Finding]) -> dict[str, int]:
+    """Findings folded into their ``"path::CODE" -> count`` buckets."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.key] = counts.get(finding.key, 0) + 1
+    return counts
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of folding a finding list against a baseline."""
+
+    #: findings that must be reported (buckets over their allowance).
+    new: list[Finding] = field(default_factory=list)
+    #: number of findings suppressed as known debt.
+    suppressed: int = 0
+    #: baseline buckets whose debt shrank (or vanished): ratchet down.
+    stale: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: dict[str, int]
+) -> BaselineResult:
+    """Split findings into new-vs-known against the baseline map."""
+    result = BaselineResult()
+    counts = baseline_counts(findings)
+    for key, allowed in baseline.items():
+        found = counts.get(key, 0)
+        if found < allowed:
+            result.stale[key] = allowed - found
+    by_key: dict[str, list[Finding]] = {}
+    for finding in findings:
+        by_key.setdefault(finding.key, []).append(finding)
+    for key, group in by_key.items():
+        allowed = baseline.get(key, 0)
+        if len(group) > allowed:
+            result.new.extend(group)
+        else:
+            result.suppressed += len(group)
+    result.new.sort()
+    return result

@@ -1,0 +1,180 @@
+"""``repro lint`` / ``python -m repro.lint`` — run the domain linter.
+
+Exit codes: 0 clean (modulo the baseline), 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from collections.abc import Sequence
+from typing import Optional
+
+from repro.lint.baseline import (
+    BaselineResult,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.lint.framework import Finding, all_rules, lint_paths, rules_by_code
+
+__all__ = ["main", "add_arguments", "run"]
+
+#: the committed ratchet file, looked up in the current directory.
+DEFAULT_BASELINE = Path(".repro-lint-baseline.json")
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options (shared by the standalone entry point
+    and the ``repro lint`` subcommand)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="ratchet file of tolerated pre-existing findings "
+             f"(default: {DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--fix-baseline", action="store_true",
+        help="rewrite the baseline to the current findings (ratchet "
+             "down stale buckets / record new debt explicitly)",
+    )
+    parser.add_argument(
+        "--json", type=Path, nargs="?", const=Path("-"), default=None,
+        metavar="PATH",
+        help="emit the machine-readable report as JSON (to PATH, or "
+             "stdout when no path is given)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Domain-aware static analysis for the energy pipeline "
+                    "(unit literals, sim determinism, float ==, observer "
+                    "guards, event kinds, __all__/docstring hygiene).",
+    )
+    add_arguments(parser)
+    return parser
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation."""
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.packages) if rule.packages else "everywhere"
+            print(f"{rule.code}  {rule.name:<24s} [{scope}]")
+            print(f"        {rule.summary}")
+        return 0
+
+    if args.select:
+        try:
+            rules = rules_by_code(
+                code.strip() for code in args.select.split(",") if code.strip()
+            )
+        except KeyError as exc:
+            print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        rules = all_rules()
+
+    findings = lint_paths(args.paths, rules=rules)
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        if DEFAULT_BASELINE.is_file():
+            baseline_path = DEFAULT_BASELINE
+    if args.no_baseline:
+        baseline_path = None
+
+    if args.fix_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        entries = save_baseline(target, findings)
+        print(
+            f"baseline written to {target}: {len(entries)} bucket(s), "
+            f"{sum(entries.values())} finding(s) recorded"
+        )
+        return 0
+
+    baseline: dict[str, int] = {}
+    if baseline_path is not None:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"repro lint: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+
+    result = apply_baseline(findings, baseline)
+
+    if args.json is not None:
+        payload = _json_report(findings, result, baseline_path)
+        text = json.dumps(payload, indent=2) + "\n"
+        if str(args.json) == "-":
+            sys.stdout.write(text)
+        else:
+            args.json.write_text(text, encoding="utf-8")
+            print(f"lint report written to {args.json}")
+    else:
+        _print_human(findings, result, baseline_path)
+
+    return 0 if result.ok else 1
+
+
+def _print_human(
+    findings: list[Finding], result: BaselineResult, baseline_path: Optional[Path]
+) -> None:
+    for finding in result.new:
+        print(finding.render())
+    bits = []
+    if result.new:
+        bits.append(f"{len(result.new)} finding(s)")
+    if result.suppressed:
+        bits.append(
+            f"{result.suppressed} suppressed by baseline {baseline_path}"
+        )
+    if result.stale:
+        bits.append(
+            f"{len(result.stale)} stale baseline bucket(s) — debt shrank; "
+            "run --fix-baseline to ratchet down"
+        )
+    if not findings and not bits:
+        bits.append("clean")
+    print(f"repro lint: {'; '.join(bits) if bits else 'clean'}")
+
+
+def _json_report(
+    findings: list[Finding], result: BaselineResult, baseline_path: Optional[Path]
+) -> dict:
+    counts: dict[str, int] = {}
+    for finding in result.new:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    return {
+        "ok": result.ok,
+        "findings": [f.to_dict() for f in result.new],
+        "counts_by_code": counts,
+        "total_before_baseline": len(findings),
+        "suppressed_by_baseline": result.suppressed,
+        "stale_baseline_buckets": dict(sorted(result.stale.items())),
+        "baseline": str(baseline_path) if baseline_path else None,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    return run(build_parser().parse_args(argv))

@@ -1,0 +1,322 @@
+"""Core machinery of the domain linter: findings, rule registry,
+module contexts, ``# repro: noqa[...]`` suppression, and the file/source
+entry points.
+
+The linter is deliberately dependency-free (stdlib ``ast`` only) so it
+can run in CI images, pre-commit hooks, and the test suite without the
+numeric stack. Rules are small classes registered by decorating with
+:func:`register`; each declares the dotted-package prefixes it applies
+to so domain rules (float ``==`` in the energy math, unseeded RNGs in
+simulation paths) stay scoped to the layers where they are invariants
+rather than style preferences.
+
+Suppression is per-line and per-code: ``# repro: noqa[RPL003]`` on the
+offending line silences exactly that code there and nothing else —
+there is intentionally no blanket ``noqa`` form, so every suppression
+documents which invariant is being waived.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from collections.abc import Callable, Iterable, Iterator
+from typing import Optional
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "RULE_REGISTRY",
+    "register",
+    "all_rules",
+    "rules_by_code",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "parse_noqa",
+]
+
+#: ``# repro: noqa[RPL001]`` / ``# repro: noqa[RPL001, RPL003]``
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  #: repo-relative posix path of the module
+    line: int  #: 1-based source line
+    col: int  #: 0-based column
+    code: str  #: rule code, e.g. ``RPL003``
+    message: str
+
+    @property
+    def key(self) -> str:
+        """The baseline bucket this finding counts against (per file,
+        per code — line numbers churn too much to pin)."""
+        return f"{self.path}::{self.code}"
+
+    def render(self) -> str:
+        """The finding as a one-line ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        """The finding as a JSON-safe dict (``--json`` output)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+class ModuleContext:
+    """Everything a rule may want to know about one parsed module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.module = module_name_for(path)
+        self._parents: Optional[dict[int, ast.AST]] = None
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def parents(self) -> dict[int, ast.AST]:
+        """``id(node) -> parent node`` for every node in the tree."""
+        if self._parents is None:
+            parents: dict[int, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[id(child)] = node
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The node's ancestors, innermost first."""
+        parents = self.parents
+        current = parents.get(id(node))
+        while current is not None:
+            yield current
+            current = parents.get(id(current))
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Does this module live under any of the dotted prefixes?"""
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in prefixes
+        )
+
+    # -- findings -------------------------------------------------------
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        """A :class:`Finding` at ``node``'s source location."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        )
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name of a file path, anchored at the ``repro``
+    package (``src/repro/netsim/engine.py`` -> ``repro.netsim.engine``).
+    Paths outside the package fall back to their stem."""
+    parts = Path(path).with_suffix("").parts
+    for anchor in ("repro",):
+        if anchor in parts:
+            parts = parts[parts.index(anchor):]
+            break
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else Path(path).stem
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``code``/``name``/``summary``, optionally restrict
+    themselves with ``packages`` (dotted prefixes; ``None`` = every
+    module) and ``excluded`` (dotted prefixes that are exempt even
+    inside ``packages``), and implement :meth:`check`.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    packages: Optional[tuple[str, ...]] = None
+    excluded: tuple[str, ...] = ()
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        """Whether the rule is in scope for the module (its ``packages``
+        minus its ``excluded`` prefixes)."""
+        if self.excluded and ctx.in_package(*self.excluded):
+            return False
+        if self.packages is None:
+            return True
+        return ctx.in_package(*self.packages)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation of this rule found in the module."""
+        raise NotImplementedError
+
+
+#: code -> rule class, in registration order.
+RULE_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: add a rule to the global registry."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULE_REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every registered rule."""
+    _ensure_rules_loaded()
+    return [cls() for cls in RULE_REGISTRY.values()]
+
+
+def rules_by_code(codes: Iterable[str]) -> list[Rule]:
+    """Instances for a code selection (raises on unknown codes)."""
+    _ensure_rules_loaded()
+    rules = []
+    for code in codes:
+        if code not in RULE_REGISTRY:
+            raise KeyError(
+                f"unknown rule {code!r}; known: {', '.join(sorted(RULE_REGISTRY))}"
+            )
+        rules.append(RULE_REGISTRY[code]())
+    return rules
+
+
+def _ensure_rules_loaded() -> None:
+    """Import the built-in rule module exactly once (registration is an
+    import side effect)."""
+    from repro.lint import rules  # noqa: F401  (imported for registration)
+
+
+# ----------------------------------------------------------------------
+# suppression
+# ----------------------------------------------------------------------
+
+
+def parse_noqa(lines: list[str]) -> dict[int, frozenset[str]]:
+    """``line -> suppressed codes`` from ``# repro: noqa[...]`` comments
+    (1-based line numbers, matching ``Finding.line``)."""
+    suppressed: dict[int, frozenset[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        match = _NOQA_RE.search(line)
+        if match:
+            codes = frozenset(
+                token.strip() for token in match.group(1).split(",") if token.strip()
+            )
+            if codes:
+                suppressed[i] = codes
+    return suppressed
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Iterable[Rule]] = None,
+) -> list[Finding]:
+    """Lint one module given as text. ``path`` controls which
+    package-scoped rules apply (pass e.g. ``src/repro/netsim/x.py`` in
+    fixtures to exercise simulation-path rules)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code="RPL000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(path=path, source=source, tree=tree)
+    active = list(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for rule in active:
+        if rule.applies(ctx):
+            findings.extend(rule.check(ctx))
+    noqa = parse_noqa(ctx.lines)
+    if noqa:
+        findings = [
+            f for f in findings if f.code not in noqa.get(f.line, frozenset())
+        ]
+    findings.sort()
+    return findings
+
+
+def lint_file(
+    path: Path,
+    rules: Optional[Iterable[Rule]] = None,
+    relative_to: Optional[Path] = None,
+) -> list[Finding]:
+    """Lint one file on disk."""
+    display = _display_path(path, relative_to)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path=display, rules=rules)
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    rules: Optional[Iterable[Rule]] = None,
+    relative_to: Optional[Path] = None,
+) -> list[Finding]:
+    """Lint files and/or directory trees (``*.py``, sorted, hidden and
+    ``__pycache__`` entries skipped)."""
+    if rules is not None:
+        rules = list(rules)
+    if relative_to is None:
+        relative_to = Path.cwd()
+    findings: list[Finding] = []
+    for target in paths:
+        target = Path(target)
+        if target.is_dir():
+            files = sorted(
+                p
+                for p in target.rglob("*.py")
+                if "__pycache__" not in p.parts
+                and not any(part.startswith(".") for part in p.parts)
+            )
+        else:
+            files = [target]
+        for file in files:
+            findings.extend(lint_file(file, rules=rules, relative_to=relative_to))
+    findings.sort()
+    return findings
+
+
+def _display_path(path: Path, relative_to: Optional[Path]) -> str:
+    """Repo-relative posix path when possible (stable baseline keys)."""
+    resolved = path.resolve()
+    for base in filter(None, (relative_to, Path.cwd())):
+        try:
+            return resolved.relative_to(Path(base).resolve()).as_posix()
+        except ValueError:
+            continue
+    return path.as_posix()
+
+
+#: Convenience alias used by the CLI's ``--select``.
+RuleFactory = Callable[[], Rule]

@@ -60,7 +60,8 @@ class DeviceType:
         return packet_count * self.per_packet_joules
 
     def total_energy(self, packet_count: float, duration_s: float) -> float:
-        """Eq. 4: idle power over the whole window + dynamic part."""
+        """Eq. 4: idle power over the ``duration_s``-second window plus
+        the load-dependent part, in joules."""
         if duration_s < 0:
             raise ValueError(f"duration_s must be >= 0, got {duration_s}")
         return self.idle_watts * duration_s + self.dynamic_energy(packet_count)

@@ -15,7 +15,7 @@ drain tails) is reflected in the infrastructure's bill.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.netenergy.models import DynamicPowerModel
 from repro.netenergy.topology import NetworkTopology

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 __all__ = [
     "DynamicPowerModel",
@@ -113,7 +113,11 @@ class StateBasedPowerModel(DynamicPowerModel):
 
     def dynamic_power(self, utilization: float) -> float:
         u = self._check(utilization)
-        if u == 0.0:
+        # Documented-exact comparison: u == 0.0 is the "no traffic at
+        # all" sentinel (idle device, zero dynamic power). Any positive
+        # utilization, however tiny, engages the first power state —
+        # a tolerance here would misclassify trickle traffic as idle.
+        if u == 0.0:  # repro: noqa[RPL003]
             return 0.0
         k = sum(1 for t in self.thresholds if u >= t)
         steps = len(self.thresholds)

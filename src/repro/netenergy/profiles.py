@@ -12,7 +12,7 @@ hypotheses.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.netenergy.devices import EDGE_SWITCH, DeviceType
 from repro.netenergy.integration import DeviceEnergyBreakdown, integrate_path_energy

@@ -88,7 +88,8 @@ class NetworkTopology:
     def per_device_energy(
         self, total_bytes: float, mtu_bytes: int = DEFAULT_MTU_BYTES
     ) -> list[tuple[str, float]]:
-        """(device node name, joules) along the path, for reporting."""
+        """(device node name, joules) along the path, for reporting —
+        ``total_bytes`` bytes of payload in ``mtu_bytes``-byte packets."""
         packets = packet_count(total_bytes, mtu_bytes)
         rows = []
         for node in self.transfer_path():

@@ -40,7 +40,8 @@ import math
 from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence, Union
+from collections.abc import Callable, Iterable, Sequence
+from typing import Optional, Union
 
 from repro.datasets.files import FileInfo
 from repro.netsim import tcp
@@ -49,6 +50,7 @@ from repro.netsim.endpoint import EndSystem, ServerSpec
 from repro.netsim.link import NetworkPath
 from repro.netsim.params import TransferParams
 from repro.netsim.utilization import Utilization, compute_utilization
+from repro.units import Bytes, BytesPerSecond, Joules, Seconds, Watts
 
 __all__ = [
     "Binding",
@@ -64,7 +66,7 @@ __all__ = [
 
 #: Signature of the pluggable end-system power model: watts drawn by a
 #: server of the given spec at the given utilization (load-dependent part).
-PowerFn = Callable[[ServerSpec, Utilization], float]
+PowerFn = Callable[[ServerSpec, Utilization], Watts]
 
 
 class Binding(enum.Enum):
@@ -102,14 +104,14 @@ class PiecewiseTraffic:
         if any(v < 0 for _, v in self.points):
             raise ValueError("competing stream counts must be >= 0")
 
-    def __call__(self, t: float) -> float:
-        """Competing stream count at simulated time ``t``."""
+    def __call__(self, t: Seconds) -> float:
+        """Competing stream count at simulated time ``t`` (seconds)."""
         idx = bisect_right(self.points, (t, math.inf)) - 1
         return self.points[idx][1] if idx >= 0 else 0.0
 
-    def next_change(self, t: float) -> float:
-        """Time of the next plateau boundary strictly after ``t``
-        (``inf`` once past the last one)."""
+    def next_change(self, t: Seconds) -> Seconds:
+        """Time (seconds) of the next plateau boundary strictly after
+        ``t`` (``inf`` once past the last one)."""
         idx = bisect_right(self.points, (t, math.inf))
         return self.points[idx][0] if idx < len(self.points) else math.inf
 
@@ -166,21 +168,25 @@ class ChunkState:
 
 @dataclass(frozen=True)
 class EngineSnapshot:
-    """A point-in-time measurement used by adaptive controllers."""
+    """A point-in-time measurement used by adaptive controllers.
 
-    time: float
-    bytes: float
-    energy: float
+    Fields carry the engine's internal units: ``time`` in seconds,
+    ``bytes`` in bytes, ``energy`` in joules.
+    """
+
+    time: Seconds
+    bytes: Bytes
+    energy: Joules
     files: int
 
-    def throughput_since(self, earlier: "EngineSnapshot") -> float:
+    def throughput_since(self, earlier: "EngineSnapshot") -> BytesPerSecond:
         """Mean payload rate (bytes/s) since ``earlier`` (0 if no time passed)."""
         dt = self.time - earlier.time
         if dt <= 0:
             return 0.0
         return (self.bytes - earlier.bytes) / dt
 
-    def energy_since(self, earlier: "EngineSnapshot") -> float:
+    def energy_since(self, earlier: "EngineSnapshot") -> Joules:
         """Joules accumulated since ``earlier``."""
         return self.energy - earlier.energy
 
@@ -191,11 +197,13 @@ class StepRecord:
 
     Under the fast path, records inside a macro-step are synthesized at
     the interval-average throughput/power (still one record per ``dt``).
+    ``time`` is in seconds, ``throughput`` in bytes/s, ``power`` in
+    watts.
     """
 
-    time: float
-    throughput: float
-    power: float
+    time: Seconds
+    throughput: BytesPerSecond
+    power: Watts
     active_channels: int
 
 
@@ -210,10 +218,11 @@ class EngineEvent:
 
     Causal ordering is guaranteed: a ``channel_failed`` precedes the
     ``channel_closed`` it causes, and a ``server_failed`` precedes the
-    closures (and reconnections) it triggers.
+    closures (and reconnections) it triggers. ``time`` is the simulated
+    time in seconds.
     """
 
-    time: float
+    time: Seconds
     kind: str
     detail: dict
 
@@ -228,7 +237,7 @@ class TransferEngine:
         destination: EndSystem,
         power_model: PowerFn,
         *,
-        dt: float = 0.25,
+        dt: Seconds = 0.25,
         binding: Binding = Binding.PACK,
         work_stealing: bool = True,
         record_trace: bool = False,
@@ -514,7 +523,7 @@ class TransferEngine:
         side: str,
         index: int,
         *,
-        downtime: float = 60.0,
+        downtime: Seconds = 60.0,
         restart_files: bool = False,
         reopen: bool = True,
     ) -> int:
@@ -557,8 +566,8 @@ class TransferEngine:
         return len(victims)
 
     @property
-    def down_servers(self) -> dict[tuple[str, int], float]:
-        """Currently failed servers and their recovery times."""
+    def down_servers(self) -> dict[tuple[str, int], Seconds]:
+        """Currently failed servers and their recovery times (seconds)."""
         return dict(self._down_servers)
 
     def _recover_servers(self) -> None:
@@ -591,7 +600,8 @@ class TransferEngine:
         )
 
     @property
-    def total_planned_bytes(self) -> float:
+    def total_planned_bytes(self) -> Bytes:
+        """Total payload registered across all chunks, in bytes."""
         return float(sum(s.plan.total_size for s in self.chunks.values()))
 
     def snapshot(self) -> EngineSnapshot:
@@ -609,11 +619,11 @@ class TransferEngine:
 
     def run(
         self,
-        duration: Optional[float] = None,
+        duration: Optional[Seconds] = None,
         *,
-        max_time: float = 1e7,
+        max_time: Seconds = 1e7,
         until: Optional[Callable[[], bool]] = None,
-    ) -> float:
+    ) -> Seconds:
         """Advance until completion or for ``duration`` seconds.
 
         Returns the simulated time that actually elapsed. ``max_time``
@@ -1053,7 +1063,7 @@ class TransferEngine:
         )
         cached = self._alloc_cache.get(signature)
         if cached is not None:
-            return {id(c): r for c, r in zip(busy, cached)}
+            return {id(c): r for c, r in zip(busy, cached, strict=True)}
 
         src_spec = self.source.server
         dst_spec = self.destination.server

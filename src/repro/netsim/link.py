@@ -79,7 +79,7 @@ class NetworkPath:
         """One line of link facts (rate, RTT, buffer, BDP)."""
         return (
             f"{units.to_gbps(self.bandwidth):.1f} Gbps, "
-            f"RTT {self.rtt * 1e3:.1f} ms, "
+            f"RTT {units.to_ms(self.rtt):.1f} ms, "
             f"TCP buffer {units.to_MB(self.tcp_buffer):.0f} MB, "
             f"BDP {units.to_MB(self.bdp):.1f} MB"
         )

@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.netsim.engine import Binding, ChunkPlan, TransferEngine
 from repro.power.models import FineGrainedPowerModel
 from repro.testbeds.specs import Testbed
+from repro.units import Bytes, BytesPerSecond, Joules, Seconds
 
 __all__ = ["JobRecord", "MultiTransferSimulator", "TransferTimeout"]
 
@@ -39,14 +41,17 @@ class TransferTimeout(RuntimeError):
 
 @dataclass
 class JobRecord:
-    """Lifecycle and cost of one job in a multi-transfer run."""
+    """Lifecycle and cost of one job in a multi-transfer run.
+
+    Times are simulated seconds, sizes bytes, energy joules.
+    """
 
     name: str
-    arrival_time: float
-    total_bytes: float
-    start_time: Optional[float] = None
-    completion_time: Optional[float] = None
-    energy_joules: float = 0.0
+    arrival_time: Seconds
+    total_bytes: Bytes
+    start_time: Optional[Seconds] = None
+    completion_time: Optional[Seconds] = None
+    energy_joules: Joules = 0.0
     #: Set when a ``run`` hit its ``max_time`` before this job finished
     #: (only reachable with ``on_timeout="warn"``; the default raises).
     truncated: bool = False
@@ -56,14 +61,14 @@ class JobRecord:
         return self.completion_time is not None
 
     @property
-    def turnaround_s(self) -> float:
-        """Arrival-to-completion time (raises if unfinished)."""
+    def turnaround_s(self) -> Seconds:
+        """Arrival-to-completion time in seconds (raises if unfinished)."""
         if self.completion_time is None:
             raise ValueError(f"job {self.name!r} has not finished")
         return self.completion_time - self.arrival_time
 
     @property
-    def throughput(self) -> float:
+    def throughput(self) -> BytesPerSecond:
         """Mean rate while running, bytes/s."""
         if self.completion_time is None or self.start_time is None:
             return 0.0
@@ -102,7 +107,7 @@ class MultiTransferSimulator:
         name: str,
         plans: Sequence[ChunkPlan],
         *,
-        arrival_time: float = 0.0,
+        arrival_time: Seconds = 0.0,
     ) -> JobRecord:
         """Queue a statically planned job."""
         if arrival_time < 0:
@@ -183,7 +188,7 @@ class MultiTransferSimulator:
         self.time += self.dt
 
     def run(
-        self, *, max_time: float = 1e7, on_timeout: str = "raise"
+        self, *, max_time: Seconds = 1e7, on_timeout: str = "raise"
     ) -> list[JobRecord]:
         """Run until every submitted job completes (or ``max_time``).
 
@@ -220,11 +225,12 @@ class MultiTransferSimulator:
         return [record for record, _ in self._jobs]
 
     @property
-    def total_energy(self) -> float:
+    def total_energy(self) -> Joules:
+        """Joules drawn across all jobs so far."""
         return sum(record.energy_joules for record, _ in self._jobs)
 
     @property
-    def makespan(self) -> float:
-        """Completion time of the last finished job (0 if none)."""
+    def makespan(self) -> Seconds:
+        """Completion time (seconds) of the last finished job (0 if none)."""
         times = [r.completion_time for r, _ in self._jobs if r.completion_time]
         return max(times) if times else 0.0

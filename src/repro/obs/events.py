@@ -21,7 +21,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, Optional
+from collections.abc import Iterable, Iterator
+from typing import Optional
 
 __all__ = ["EVENT_SCHEMA", "TransferEvent", "EventStream"]
 

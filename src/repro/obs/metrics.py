@@ -22,7 +22,8 @@ archivable as a ``metrics`` tag in the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Optional
 
 __all__ = [
     "Counter",
@@ -172,7 +173,7 @@ class MetricsRegistry:
                 )
             hist.count += data["count"]
             hist.sum += data["sum"]
-            hist.counts = [a + b for a, b in zip(hist.counts, data["counts"])]
+            hist.counts = [a + b for a, b in zip(hist.counts, data["counts"], strict=True)]
 
 
 def merge_summaries(summaries: Iterable[dict]) -> dict:

@@ -23,6 +23,7 @@ from typing import Optional
 from repro import units
 from repro.obs.events import EventStream
 from repro.obs.metrics import MetricsRegistry
+from repro.units import BytesPerSecond, Joules, Seconds
 
 __all__ = ["Observer", "render_events", "render_metrics"]
 
@@ -53,14 +54,16 @@ class Observer:
 
     def probe_window(
         self,
-        time: float,
+        time: Seconds,
         algorithm: str,
         cc: int,
-        throughput_bps: float,
-        joules: float,
+        throughput_bps: BytesPerSecond,
+        joules: Joules,
         score: float,
     ) -> None:
-        """One HTEE/SLAEE measurement window at concurrency ``cc``."""
+        """One HTEE/SLAEE measurement window at concurrency ``cc``:
+        measured rate in bytes/s, window energy in joules, and the
+        algorithm's ranking score."""
         self.metrics.counter("algo.probe_windows").inc()
         self.metrics.gauge("algo.last_probe_cc").set(cc)
         self.metrics.histogram("algo.probe_score", _SCORE_BUCKETS).observe(score)
@@ -74,7 +77,7 @@ class Observer:
             score=score,
         )
 
-    def allocation_change(self, time: float, allocation: dict[str, int]) -> None:
+    def allocation_change(self, time: Seconds, allocation: dict[str, int]) -> None:
         """The engine applied a full chunk -> channel-count allocation."""
         self.metrics.counter("engine.allocation_changes").inc()
         self.metrics.gauge("engine.last_allocation_total").set(
@@ -82,7 +85,7 @@ class Observer:
         )
         self.events.emit(time, "allocation_change", allocation=dict(allocation))
 
-    def rearrange_channels(self, time: float, algorithm: str, extra_large: int) -> None:
+    def rearrange_channels(self, time: Seconds, algorithm: str, extra_large: int) -> None:
         """SLAEE's ``reArrangeChannels`` fired (large chunks get extras)."""
         self.metrics.counter("algo.rearrange_firings").inc()
         self.events.emit(
@@ -91,14 +94,15 @@ class Observer:
 
     # -- engine stepping hooks -----------------------------------------
 
-    def macro_step(self, time: float, steps: int, span_s: float) -> None:
-        """The fast path advanced ``steps`` whole dt-steps analytically."""
+    def macro_step(self, time: Seconds, steps: int, span_s: Seconds) -> None:
+        """The fast path advanced ``steps`` whole dt-steps analytically,
+        covering ``span_s`` seconds of simulated time."""
         self.metrics.counter("engine.macro_steps").inc()
         self.metrics.counter("engine.macro_stepped_dts").inc(steps)
         self.metrics.histogram("engine.macro_span_s", _SPAN_BUCKETS).observe(span_s)
         self.events.emit(time, "macro_step", steps=steps, span_s=span_s)
 
-    def fixed_fallback(self, time: float, steps: int) -> None:
+    def fixed_fallback(self, time: Seconds, steps: int) -> None:
         """A stretch of ``steps`` fixed-``dt`` fallback steps ended.
 
         Fallback stretches are coalesced: one event per stretch (not
@@ -117,19 +121,20 @@ class Observer:
 
     # -- service-layer job lifecycle -----------------------------------
 
-    def job_submitted(self, time: float, job: str, tenant: str, sla: str) -> None:
+    def job_submitted(self, time: Seconds, job: str, tenant: str, sla: str) -> None:
         """A tenant request entered the service queue."""
         self.metrics.counter("service.jobs_submitted").inc()
         self.events.emit(time, "job_submitted", job=job, tenant=tenant, sla=sla)
 
-    def job_deferred(self, time: float, job: str, until: float, reason: str) -> None:
+    def job_deferred(self, time: Seconds, job: str, until: Seconds, reason: str) -> None:
         """A deferral policy pushed a job's release time past *now*."""
         self.metrics.counter("service.jobs_deferred").inc()
         self.metrics.counter(f"service.deferrals.{reason}").inc()
         self.events.emit(time, "job_deferred", job=job, until=until, reason=reason)
 
-    def job_admitted(self, time: float, job: str, queue_wait_s: float) -> None:
-        """A job got a slot; ``queue_wait_s`` covers submit -> admit."""
+    def job_admitted(self, time: Seconds, job: str, queue_wait_s: Seconds) -> None:
+        """A job got a slot; ``queue_wait_s`` is the submit -> admit
+        wait in seconds."""
         self.metrics.counter("service.jobs_admitted").inc()
         self.metrics.histogram(
             "service.queue_wait_s", _QUEUE_WAIT_BUCKETS
@@ -137,10 +142,11 @@ class Observer:
         self.events.emit(time, "job_admitted", job=job, queue_wait_s=queue_wait_s)
 
     def job_completed(
-        self, time: float, job: str, duration_s: float, energy_j: float,
+        self, time: Seconds, job: str, duration_s: Seconds, energy_j: Joules,
         cost_usd: float,
     ) -> None:
-        """A job drained its last byte (duration is admit -> done)."""
+        """A job drained its last byte: admit -> done duration in
+        seconds, transfer energy in joules, and its billed cost."""
         self.metrics.counter("service.jobs_completed").inc()
         self.events.emit(
             time, "job_completed", job=job, duration_s=duration_s,
@@ -148,7 +154,7 @@ class Observer:
         )
 
     def deadline_missed(
-        self, time: float, job: str, deadline: float, completion: float
+        self, time: Seconds, job: str, deadline: Seconds, completion: Seconds
     ) -> None:
         """A job finished after its completion deadline."""
         self.metrics.counter("service.deadline_misses").inc()
@@ -159,7 +165,7 @@ class Observer:
 
     # -- engine event-log forwarding -----------------------------------
 
-    def engine_event(self, time: float, kind: str, detail: dict) -> None:
+    def engine_event(self, time: Seconds, kind: str, detail: dict) -> None:
         """Receive one engine event-log entry (always counted; the
         structurally interesting kinds are mirrored into the stream)."""
         if kind == "file_completed":

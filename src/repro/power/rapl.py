@@ -21,6 +21,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
+from repro import units
+from repro.units import Joules, Seconds, Watts
+
 __all__ = [
     "DEFAULT_MAX_ENERGY_RANGE_UJ",
     "SimulatedRaplDomain",
@@ -47,11 +50,12 @@ class SimulatedRaplDomain:
         if not (0 <= self.energy_uj <= self.max_energy_range_uj):
             raise ValueError("energy_uj out of counter range")
 
-    def feed(self, power_watts: float, dt: float) -> None:
-        """Advance the counter by ``power * dt`` (wrapping like hardware)."""
+    def feed(self, power_watts: Watts, dt: Seconds) -> None:
+        """Advance the counter by ``power * dt`` — watts over ``dt``
+        seconds, accumulated in microjoules (wrapping like hardware)."""
         if power_watts < 0 or dt < 0:
             raise ValueError("power and dt must be >= 0")
-        increment = int(round(power_watts * dt * 1e6))
+        increment = int(round(units.to_microjoules(power_watts * dt)))
         self.energy_uj = (self.energy_uj + increment) % (self.max_energy_range_uj + 1)
 
 
@@ -90,8 +94,9 @@ class SimulatedPowercapTree:
             (directory / "energy_uj").write_text(f"{domain.energy_uj}\n")
             (directory / "max_energy_range_uj").write_text(f"{domain.max_energy_range_uj}\n")
 
-    def feed_all(self, power_watts: float, dt: float) -> None:
-        """Feed every domain equally and sync to disk."""
+    def feed_all(self, power_watts: Watts, dt: Seconds) -> None:
+        """Feed every domain ``power_watts`` watts for ``dt`` seconds
+        and sync to disk."""
         for domain in self.domains:
             domain.feed(power_watts, dt)
         self.sync()
@@ -159,11 +164,17 @@ class PowercapReader:
                 wrapped = raw < 0
                 if wrapped:
                     raw += max_range + 1
-                deltas.append(EnergyDelta(domain=name, joules=raw / 1e6, wrapped=wrapped))
+                deltas.append(
+                    EnergyDelta(
+                        domain=name,
+                        joules=units.microjoules(raw),
+                        wrapped=wrapped,
+                    )
+                )
             self._last[key] = energy
         return deltas if primed else []
 
-    def total_joules(self, deltas: Optional[list[EnergyDelta]] = None) -> float:
+    def total_joules(self, deltas: Optional[list[EnergyDelta]] = None) -> Joules:
         """Convenience: sum of a sample's joules (0.0 for the priming call)."""
         if deltas is None:
             deltas = self.sample()

@@ -36,19 +36,21 @@ from repro.core.slaee import sla_allocation
 from repro.netsim.engine import ChunkPlan
 from repro.service.requests import TransferRequest
 from repro.testbeds.specs import Testbed
+from repro.units import Joules, Seconds
 
 __all__ = ["JobPlan", "plan_for"]
 
 
 @dataclass(frozen=True)
 class JobPlan:
-    """A request turned into engine-ready chunk plans plus estimates."""
+    """A request turned into engine-ready chunk plans plus estimates
+    (duration in seconds, energy in joules)."""
 
     request: TransferRequest
     algorithm: str
     plans: tuple[ChunkPlan, ...]
-    est_duration_s: float
-    est_energy_j: float
+    est_duration_s: Seconds
+    est_energy_j: Joules
 
     @property
     def total_bytes(self) -> int:
@@ -59,8 +61,8 @@ class JobPlan:
         return sum(p.params.concurrency for p in self.plans)
 
 
-def _estimate(testbed: Testbed, plans: list[ChunkPlan]) -> tuple[float, float]:
-    """(duration s, energy J) from the closed-form predictor."""
+def _estimate(testbed: Testbed, plans: list[ChunkPlan]) -> tuple[Seconds, Joules]:
+    """(duration seconds, energy joules) from the closed-form predictor."""
     throughput, power = predict_plan_performance(testbed, plans)
     total = sum(p.total_size for p in plans)
     if throughput <= 0 or total <= 0:
@@ -83,7 +85,7 @@ def _balanced_plans(
         allocation = scaled_allocation(weights, cc)
         params = [
             chunk_params(chunk, bdp, testbed.path.tcp_buffer, alloc)
-            for chunk, alloc in zip(chunks, allocation)
+            for chunk, alloc in zip(chunks, allocation, strict=True)
         ]
         plans = make_plans(chunks, params)
         throughput, power = predict_plan_performance(testbed, plans)
@@ -108,7 +110,7 @@ def _sla_plans(
     allocation = sla_allocation(chunks, cc_target)
     params = [
         chunk_params(chunk, bdp, testbed.path.tcp_buffer, alloc)
-        for chunk, alloc in zip(chunks, allocation)
+        for chunk, alloc in zip(chunks, allocation, strict=True)
     ]
     return make_plans(chunks, params)
 

@@ -16,13 +16,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
 
 from repro import units
 from repro.datasets.files import Dataset
 from repro.datasets.generators import log_uniform_dataset
+from repro.units import Seconds
 
 __all__ = [
     "SLAClass",
@@ -109,8 +111,8 @@ class TransferRequest:
     tenant: str
     dataset: Dataset
     sla: SLAClass = BALANCED
-    submit_time: float = 0.0
-    deadline: Optional[float] = None
+    submit_time: Seconds = 0.0
+    deadline: Optional[Seconds] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -124,7 +126,7 @@ class TransferRequest:
     def total_bytes(self) -> int:
         return self.dataset.total_size
 
-    def slack_s(self) -> float:
+    def slack_s(self) -> Seconds:
         """Seconds between submission and deadline (``inf`` if none)."""
         if self.deadline is None:
             return math.inf
@@ -189,7 +191,7 @@ def _materialize(
     arrivals: np.ndarray,
     rng: np.random.Generator,
     *,
-    day_s: float,
+    day_s: Seconds,
     tenants: Sequence[TenantProfile],
     size_scale: float,
     label: str,
@@ -234,12 +236,13 @@ def _materialize(
 def poisson_workload(
     n_jobs: int,
     *,
-    day_s: float = 86400.0,
+    day_s: Seconds = 86400.0,
     seed: int = 7,
     tenants: Sequence[TenantProfile] = DEFAULT_TENANTS,
     size_scale: float = 1.0,
 ) -> list[TransferRequest]:
-    """``n_jobs`` Poisson (uniform-conditional) arrivals over one day."""
+    """``n_jobs`` Poisson (uniform-conditional) arrivals over one
+    ``day_s``-second day."""
     _check_workload_args(n_jobs, day_s, size_scale)
     rng = np.random.default_rng(seed)
     arrivals = rng.uniform(0.0, day_s, size=n_jobs)
@@ -265,13 +268,14 @@ def _intensity_arrivals(
 def diurnal_workload(
     n_jobs: int,
     *,
-    day_s: float = 86400.0,
+    day_s: Seconds = 86400.0,
     seed: int = 7,
     tenants: Sequence[TenantProfile] = DEFAULT_TENANTS,
     size_scale: float = 1.0,
 ) -> list[TransferRequest]:
-    """A diurnal load shape: arrivals track business hours, peaking
-    mid-afternoon (~0.6 of the day) at roughly 3x the night rate —
+    """A diurnal load shape over a ``day_s``-second day: arrivals track
+    business hours, peaking mid-afternoon (~0.6 of the day) at roughly
+    3x the night rate —
     squarely inside the peak-tariff window, which is exactly the
     tension the deferral policies exist to resolve."""
     _check_workload_args(n_jobs, day_s, size_scale)
@@ -289,13 +293,14 @@ def diurnal_workload(
 def bursty_workload(
     n_jobs: int,
     *,
-    day_s: float = 86400.0,
+    day_s: Seconds = 86400.0,
     seed: int = 7,
     tenants: Sequence[TenantProfile] = DEFAULT_TENANTS,
     size_scale: float = 1.0,
 ) -> list[TransferRequest]:
     """Two sharp submission bursts (morning ingest, evening backup)
-    over a light background — the admission-control stress case."""
+    over a light background across a ``day_s``-second day — the
+    admission-control stress case."""
     _check_workload_args(n_jobs, day_s, size_scale)
     rng = np.random.default_rng(seed)
 

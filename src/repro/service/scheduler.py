@@ -28,6 +28,7 @@ from typing import Optional
 
 from repro.service.requests import TransferRequest
 from repro.service.tariff import TariffTrace
+from repro.units import Seconds
 
 __all__ = [
     "SchedulingDecision",
@@ -49,10 +50,10 @@ DEFAULT_SAFETY = 1.5
 
 
 def latest_safe_start(
-    request: TransferRequest, est_duration_s: float, safety: float = DEFAULT_SAFETY
-) -> float:
+    request: TransferRequest, est_duration_s: Seconds, safety: float = DEFAULT_SAFETY
+) -> Seconds:
     """The latest start still expected to meet the deadline (``inf``
-    without one)."""
+    without one), given a solo duration estimate in seconds."""
     if request.deadline is None:
         return math.inf
     return request.deadline - safety * max(0.0, est_duration_s)
@@ -62,9 +63,9 @@ def latest_safe_start(
 class SchedulingDecision:
     """One policy's verdict on one job."""
 
-    release_time: float  # earliest moment the job may be admitted
-    priority: float      # admission order when slots are scarce (lower first)
-    reason: str = ""     # non-empty iff the job was deferred
+    release_time: Seconds  # earliest moment the job may be admitted (seconds)
+    priority: float        # admission order when slots are scarce (lower first)
+    reason: str = ""       # non-empty iff the job was deferred
 
     @property
     def deferred(self) -> bool:
@@ -83,10 +84,12 @@ class DeferralPolicy(ABC):
     def schedule(
         self,
         request: TransferRequest,
-        est_duration_s: float,
+        est_duration_s: Seconds,
         tariff: TariffTrace,
     ) -> SchedulingDecision:
-        """Decide when ``request`` becomes eligible and how urgent it is."""
+        """Decide when ``request`` becomes eligible and how urgent it
+        is, from its estimated solo duration (``est_duration_s``,
+        seconds) and the tariff in force."""
 
     # -- shared helpers -------------------------------------------------
 
@@ -98,8 +101,8 @@ class DeferralPolicy(ABC):
     def _bounded_deferral(
         self,
         request: TransferRequest,
-        est_duration_s: float,
-        window_start: float,
+        est_duration_s: Seconds,
+        window_start: Seconds,
         reason: str,
     ) -> SchedulingDecision:
         """Defer to ``window_start``, clamped by the deadline-safety
@@ -129,8 +132,10 @@ class RunNow(DeferralPolicy):
     safety: float = DEFAULT_SAFETY
 
     def schedule(
-        self, request: TransferRequest, est_duration_s: float, tariff: TariffTrace
+        self, request: TransferRequest, est_duration_s: Seconds, tariff: TariffTrace
     ) -> SchedulingDecision:
+        """Immediate release, FIFO priority (the duration estimate in
+        seconds and the tariff are ignored by design)."""
         return SchedulingDecision(
             release_time=request.submit_time, priority=request.submit_time
         )
@@ -145,8 +150,10 @@ class DeadlineEDF(DeferralPolicy):
     safety: float = DEFAULT_SAFETY
 
     def schedule(
-        self, request: TransferRequest, est_duration_s: float, tariff: TariffTrace
+        self, request: TransferRequest, est_duration_s: Seconds, tariff: TariffTrace
     ) -> SchedulingDecision:
+        """Immediate release, earliest-deadline-first priority (the
+        duration estimate in seconds is not needed: nothing defers)."""
         return SchedulingDecision(
             release_time=request.submit_time, priority=self._edf_priority(request)
         )
@@ -169,8 +176,11 @@ class PriceThreshold(DeferralPolicy):
     safety: float = DEFAULT_SAFETY
 
     def schedule(
-        self, request: TransferRequest, est_duration_s: float, tariff: TariffTrace
+        self, request: TransferRequest, est_duration_s: Seconds, tariff: TariffTrace
     ) -> SchedulingDecision:
+        """Defer deferrable jobs to the next at-or-below-threshold price
+        window, bounded by the deadline-safety invariant applied to the
+        solo duration estimate (``est_duration_s``, seconds)."""
         if not request.sla.deferrable:
             return SchedulingDecision(
                 release_time=request.submit_time,
@@ -196,8 +206,11 @@ class CarbonAware(DeferralPolicy):
     safety: float = DEFAULT_SAFETY
 
     def schedule(
-        self, request: TransferRequest, est_duration_s: float, tariff: TariffTrace
+        self, request: TransferRequest, est_duration_s: Seconds, tariff: TariffTrace
     ) -> SchedulingDecision:
+        """Defer deferrable jobs to the next at-or-below-threshold
+        carbon window, bounded by the deadline-safety invariant applied
+        to the solo duration estimate (``est_duration_s``, seconds)."""
         if not request.sla.deferrable:
             return SchedulingDecision(
                 release_time=request.submit_time,

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 from repro import units
 from repro.core.chunks import PartitionPolicy
@@ -36,6 +37,7 @@ from repro.service.requests import TransferRequest
 from repro.service.scheduler import DeferralPolicy, SchedulingDecision
 from repro.service.tariff import TariffTrace
 from repro.testbeds.specs import Testbed
+from repro.units import Joules, Seconds
 
 __all__ = ["JobResult", "ServiceReport", "ServiceSimulator"]
 
@@ -53,15 +55,15 @@ class JobResult:
     tenant: str
     sla: str
     algorithm: str
-    submitted_at: float
-    released_at: float
-    admitted_at: Optional[float] = None
-    completed_at: Optional[float] = None
-    deadline: Optional[float] = None
+    submitted_at: Seconds
+    released_at: Seconds
+    admitted_at: Optional[Seconds] = None
+    completed_at: Optional[Seconds] = None
+    deadline: Optional[Seconds] = None
     deferral_reason: str = ""
     total_bytes: int = 0
-    est_duration_s: float = 0.0
-    energy_j: float = 0.0
+    est_duration_s: Seconds = 0.0
+    energy_j: Joules = 0.0
     cost_usd: float = 0.0
     kg_co2: float = 0.0
 
@@ -74,29 +76,33 @@ class JobResult:
         return bool(self.deferral_reason)
 
     @property
-    def queue_wait_s(self) -> float:
-        """Submission -> admission (includes policy deferral)."""
+    def queue_wait_s(self) -> Seconds:
+        """Submission -> admission wait in seconds (includes policy
+        deferral)."""
         if self.admitted_at is None:
             return 0.0
         return self.admitted_at - self.submitted_at
 
     @property
-    def duration_s(self) -> float:
-        """Admission -> completion (time actually transferring)."""
+    def duration_s(self) -> Seconds:
+        """Admission -> completion in seconds (time actually
+        transferring)."""
         if self.completed_at is None or self.admitted_at is None:
             return 0.0
         return self.completed_at - self.admitted_at
 
     @property
-    def turnaround_s(self) -> float:
-        """Submission -> completion, the tenant-visible latency."""
+    def turnaround_s(self) -> Seconds:
+        """Submission -> completion in seconds, the tenant-visible
+        latency."""
         if self.completed_at is None:
             return 0.0
         return self.completed_at - self.submitted_at
 
-    def slowdown(self, floor_s: float = 1.0) -> float:
+    def slowdown(self, floor_s: Seconds = 1.0) -> float:
         """Turnaround over the job's solo duration estimate (>= 1-ish;
-        deferral and queueing inflate it)."""
+        deferral and queueing inflate it). ``floor_s`` (seconds) guards
+        the ratio against near-zero estimates."""
         if self.completed_at is None:
             return math.inf
         return self.turnaround_s / max(self.est_duration_s, floor_s)
@@ -159,7 +165,7 @@ class ServiceReport:
     policy: str
     tariff: str
     jobs: list[JobResult] = field(default_factory=list)
-    makespan_s: float = 0.0
+    makespan_s: Seconds = 0.0
 
     # -- aggregates -----------------------------------------------------
 
@@ -168,7 +174,8 @@ class ServiceReport:
         return sum(j.total_bytes for j in self.jobs)
 
     @property
-    def total_energy_j(self) -> float:
+    def total_energy_j(self) -> Joules:
+        """Joules drawn across all jobs in the report."""
         return sum(j.energy_j for j in self.jobs)
 
     @property
@@ -204,7 +211,8 @@ class ServiceReport:
         return _percentile(self.slowdowns(), 95.0)
 
     @property
-    def mean_queue_wait_s(self) -> float:
+    def mean_queue_wait_s(self) -> Seconds:
+        """Mean submission -> admission wait in seconds."""
         admitted = [j for j in self.jobs if j.admitted_at is not None]
         if not admitted:
             return 0.0
@@ -304,7 +312,7 @@ class _JobState:
     result: JobResult
     seq: int
     record: Optional[JobRecord] = None  # set at admission
-    last_energy: float = 0.0
+    last_energy: Joules = 0.0
 
 
 class ServiceSimulator:
@@ -383,7 +391,7 @@ class ServiceSimulator:
 
     def _admit(
         self,
-        now: float,
+        now: Seconds,
         waiting: list[_JobState],
         running: list[_JobState],
         sim: MultiTransferSimulator,
@@ -430,7 +438,7 @@ class ServiceSimulator:
                     now, state.request.name, state.result.queue_wait_s
                 )
 
-    def _finalize(self, state: _JobState, now: float) -> None:
+    def _finalize(self, state: _JobState, now: Seconds) -> None:
         """Close a completed job's books and emit its events."""
         state.result.completed_at = state.record.completion_time
         if self.observer is not None:
@@ -453,7 +461,7 @@ class ServiceSimulator:
         self,
         requests: Sequence[TransferRequest],
         *,
-        max_time: float = 1e7,
+        max_time: Seconds = 1e7,
     ) -> ServiceReport:
         """Run every request to completion and return the day's report.
 

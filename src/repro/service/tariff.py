@@ -22,6 +22,8 @@ import math
 from bisect import bisect_right
 from dataclasses import dataclass, replace
 
+from repro.units import Joules, Seconds
+
 __all__ = [
     "TariffTrace",
     "flat_tariff",
@@ -74,17 +76,18 @@ class TariffTrace:
         idx = bisect_right([p[0] for p in self.points], phase) - 1
         return self.points[idx]
 
-    def price_at(self, t: float) -> float:
-        """Electricity price ($/kWh) at absolute time ``t``."""
+    def price_at(self, t: Seconds) -> float:
+        """Electricity price ($/kWh) at absolute time ``t`` (seconds)."""
         return self._segment(t)[1]
 
-    def carbon_at(self, t: float) -> float:
-        """Grid carbon intensity (kgCO2/kWh) at absolute time ``t``."""
+    def carbon_at(self, t: Seconds) -> float:
+        """Grid carbon intensity (kgCO2/kWh) at absolute time ``t``
+        (seconds)."""
         return self._segment(t)[2]
 
-    def next_change(self, t: float) -> float:
-        """Absolute time of the next plateau boundary strictly after
-        ``t`` (``inf`` for a single-plateau trace)."""
+    def next_change(self, t: Seconds) -> Seconds:
+        """Absolute time (seconds) of the next plateau boundary strictly
+        after ``t`` (``inf`` for a single-plateau trace)."""
         if len(self.points) == 1:
             return math.inf
         cycle = math.floor(t / self.period_s)
@@ -140,7 +143,7 @@ class TariffTrace:
             t = boundary
         return total / duration
 
-    def cost(self, joules: float, start: float, duration: float = 0.0) -> float:
+    def cost(self, joules: Joules, start: Seconds, duration: Seconds = 0.0) -> float:
         """Dollars for ``joules`` drawn uniformly over the interval.
 
         With ``duration=0`` the energy is priced at the instantaneous
@@ -152,8 +155,9 @@ class TariffTrace:
             raise ValueError("joules must be >= 0")
         return joules / JOULES_PER_KWH * self._integrate(start, duration, 1)
 
-    def carbon(self, joules: float, start: float, duration: float = 0.0) -> float:
-        """kgCO2 for ``joules`` drawn uniformly over the interval."""
+    def carbon(self, joules: Joules, start: Seconds, duration: Seconds = 0.0) -> float:
+        """kgCO2 for ``joules`` drawn uniformly over the interval
+        (``start``/``duration`` in seconds)."""
         if joules < 0:
             raise ValueError("joules must be >= 0")
         return joules / JOULES_PER_KWH * self._integrate(start, duration, 2)
@@ -161,8 +165,8 @@ class TariffTrace:
     # -- window search (deferral policies) ------------------------------
 
     def next_window_at_or_below(
-        self, threshold: float, now: float, *, carbon: bool = False
-    ) -> float:
+        self, threshold: float, now: Seconds, *, carbon: bool = False
+    ) -> Seconds:
         """Earliest ``t >= now`` whose plateau value is ``<=
         threshold`` (price by default, carbon with ``carbon=True``).
 
@@ -184,8 +188,9 @@ class TariffTrace:
 
     # -- reshaping ------------------------------------------------------
 
-    def scaled_to(self, period_s: float) -> "TariffTrace":
-        """The same shape compressed/stretched to a new period.
+    def scaled_to(self, period_s: Seconds) -> "TariffTrace":
+        """The same shape compressed/stretched to a new period of
+        ``period_s`` seconds.
 
         Lets tests and benchmarks run a whole "day" of tariff structure
         in minutes of simulated time without touching the trace shape.
@@ -212,7 +217,8 @@ def _hours(*segments: tuple[float, float, float]) -> tuple[tuple[float, float, f
 def flat_tariff(
     price: float = 0.08, carbon: float = 0.37, *, period_s: float = DAY_S
 ) -> TariffTrace:
-    """A constant price/intensity (the legacy ``TariffModel`` default)."""
+    """A constant price/intensity (the legacy ``TariffModel`` default)
+    repeating every ``period_s`` seconds."""
     return TariffTrace(name="flat", points=((0.0, price, carbon),), period_s=period_s)
 
 
@@ -223,7 +229,8 @@ def peak_offpeak_tariff(*, period_s: float = DAY_S) -> TariffTrace:
     evening business block (12-20) is the expensive peak served by the
     dirtiest marginal generation. This is the trace that makes delayed
     transfers *worth money*: ENERGY-class jobs arriving at peak can be
-    deferred ~2-10 h for a 3.2x price drop.
+    deferred ~2-10 h for a 3.2x price drop. ``period_s`` rescales the
+    24 h structure onto a period of that many seconds.
     """
     trace = TariffTrace(
         name="peak-offpeak",
@@ -241,7 +248,8 @@ def peak_offpeak_tariff(*, period_s: float = DAY_S) -> TariffTrace:
 def green_midday_tariff(*, period_s: float = DAY_S) -> TariffTrace:
     """A solar-heavy grid: price mildly demand-shaped, carbon lowest in
     the 10-16 solar window and worst at the evening ramp — the trace
-    the carbon-aware deferral policy is designed for."""
+    the carbon-aware deferral policy is designed for. ``period_s``
+    rescales the 24 h structure onto a period of that many seconds."""
     trace = TariffTrace(
         name="green-midday",
         points=_hours(
@@ -264,7 +272,8 @@ TARIFF_PRESETS = {
 
 
 def tariff_by_name(name: str, *, period_s: float = DAY_S) -> TariffTrace:
-    """Look up a preset trace, optionally rescaled to ``period_s``."""
+    """Look up a preset trace, optionally rescaled to a period of
+    ``period_s`` seconds."""
     try:
         factory = TARIFF_PRESETS[name]
     except KeyError:

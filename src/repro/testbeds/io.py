@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Callable
+from collections.abc import Callable
 
 from repro import units
 from repro.datasets.files import Dataset
@@ -183,7 +183,7 @@ def testbed_to_dict(testbed: Testbed, dataset: dict | None = None) -> dict:
         "name": testbed.name,
         "path": {
             "bandwidth_gbps": units.to_gbps(testbed.path.bandwidth),
-            "rtt_ms": testbed.path.rtt * 1e3,
+            "rtt_ms": units.to_ms(testbed.path.rtt),
             "tcp_buffer_mb": testbed.path.tcp_buffer / units.MB,
             "protocol_efficiency": testbed.path.protocol_efficiency,
             "congestion_knee": testbed.path.congestion_knee,

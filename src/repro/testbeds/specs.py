@@ -22,7 +22,7 @@ DESIGN.md and EXPERIMENTS.md document this calibration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro import units
 from repro.datasets.files import Dataset

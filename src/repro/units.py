@@ -15,7 +15,14 @@ units and the internal ones, so unit bugs cannot creep in silently.
 
 from __future__ import annotations
 
+from typing import TypeAlias
+
 __all__ = [
+    "Seconds",
+    "Bytes",
+    "BytesPerSecond",
+    "Watts",
+    "Joules",
     "KB",
     "MB",
     "GB",
@@ -24,13 +31,39 @@ __all__ = [
     "mbps",
     "gbps",
     "ms",
+    "to_ms",
     "to_mbps",
     "to_gbps",
     "to_MB",
     "to_GB",
+    "microjoules",
+    "to_microjoules",
     "bdp_bytes",
     "kilojoules",
 ]
+
+# ----------------------------------------------------------------------
+# typed units
+# ----------------------------------------------------------------------
+#
+# Documentation-grade aliases for the internal unit system. They are
+# plain ``float`` at runtime (zero cost, no wrapping), but annotating
+# signatures with them makes every quantity's unit machine-visible:
+# ``def run(self, max_time: Seconds) -> None`` cannot be misread as
+# milliseconds, and mypy keeps the annotations from drifting into
+# nonsense. The lint rule RPL008 enforces the matching docstring
+# contract for unit-suffixed parameter names.
+
+#: Time in seconds (the only internal time unit).
+Seconds: TypeAlias = float
+#: Sizes in bytes (decimal multiples; see :data:`MB`).
+Bytes: TypeAlias = float
+#: Data rates in bytes per second (never bits — convert at the edge).
+BytesPerSecond: TypeAlias = float
+#: Power in watts.
+Watts: TypeAlias = float
+#: Energy in joules.
+Joules: TypeAlias = float
 
 #: Decimal byte multipliers (the networking convention the paper uses).
 KB = 1_000
@@ -56,9 +89,14 @@ def gbps(value: float) -> float:
     return value * 1_000_000_000 / _BITS_PER_BYTE
 
 
-def ms(value: float) -> float:
+def ms(value: float) -> Seconds:
     """Milliseconds -> seconds."""
     return value / 1_000
+
+
+def to_ms(time_s: Seconds) -> float:
+    """Seconds -> milliseconds (for reporting RTTs and latencies)."""
+    return time_s * 1_000
 
 
 def to_mbps(rate_bytes_per_s: float) -> float:
@@ -81,8 +119,19 @@ def to_GB(size_bytes: float) -> float:
     return size_bytes / GB
 
 
-def bdp_bytes(bandwidth_bytes_per_s: float, rtt_s: float) -> float:
-    """Bandwidth-delay product in bytes.
+def microjoules(energy_uj: float) -> Joules:
+    """Microjoules -> joules (RAPL counters tick in microjoules)."""
+    return energy_uj / 1_000_000
+
+
+def to_microjoules(energy_joules: Joules) -> float:
+    """Joules -> microjoules (to feed simulated RAPL counters)."""
+    return energy_joules * 1_000_000
+
+
+def bdp_bytes(bandwidth_bytes_per_s: BytesPerSecond, rtt_s: Seconds) -> Bytes:
+    """Bandwidth-delay product in bytes, from a link rate in bytes per
+    second and a round-trip time in seconds.
 
     The BDP is the pivotal quantity in every parameter formula of the
     paper: chunk boundaries, pipelining, and parallelism levels are all

@@ -117,6 +117,41 @@ class TestCrossovers:
         with pytest.raises(ValueError):
             find_crossovers([1], [1, 2], [1, 2])
 
+    def test_atol_suppresses_roundoff_crossings(self):
+        """fp noise on coincident curves must not read as crossings
+        once a tolerance is supplied."""
+        x = [0, 1, 2, 3]
+        a = [1.0, 1.0, 1.0, 1.0]
+        b = [1.0 + 1e-13, 1.0 - 1e-13, 1.0 + 1e-13, 1.0 - 1e-13]
+        # exact mode (the historical default) sees the noise as crossings
+        assert len(find_crossovers(x, a, b)) == 3
+        # tolerance mode treats the segments as coincident
+        assert find_crossovers(x, a, b, atol=1e-9) == []
+
+    def test_atol_keeps_genuine_crossings(self):
+        """A real crossing well outside the tolerance is still found,
+        at the same interpolated x as in exact mode."""
+        x = [1, 2, 3, 4]
+        a = [1, 2, 3, 4]
+        b = [4, 3, 2, 1]
+        exact = find_crossovers(x, a, b)
+        tolerant = find_crossovers(x, a, b, atol=1e-6)
+        assert len(tolerant) == 1
+        assert tolerant[0].x == pytest.approx(exact[0].x)
+        assert tolerant[0].direction == exact[0].direction
+
+    def test_atol_default_matches_historical_exact_behaviour(self):
+        """atol=0.0 keeps the seed semantics: only bit-identical
+        samples coincide; a touch-without-cross is not reported."""
+        x = [0, 1, 2]
+        a = [0.0, 1.0, 0.0]
+        b = [1.0, 1.0, 1.0]  # touches a at x=1, never crosses
+        assert find_crossovers(x, a, b) == []
+
+    def test_atol_validation(self):
+        with pytest.raises(ValueError):
+            find_crossovers([1, 2], [1, 2], [2, 1], atol=-1e-9)
+
     def test_short_series(self):
         assert find_crossovers([1], [1], [2]) == []
 

@@ -93,6 +93,21 @@ class TestDynamicModels:
         assert all(b >= a for a, b in zip(values, values[1:]))
         assert values[0] == 0.0
 
+    def test_state_based_zero_boundary_is_exact(self):
+        """The documented-exact idle sentinel: u == 0.0 draws nothing,
+        while any positive utilization — however tiny — engages the
+        first power state (trickle traffic is not idle)."""
+        m = StateBasedPowerModel(idle_watts=0.0, max_dynamic_watts=100.0,
+                                 thresholds=(0.5,))
+        assert m.dynamic_power(0.0) == 0.0
+        # the first state is half the budget with one threshold
+        assert m.dynamic_power(1e-300) == pytest.approx(50.0)
+        assert m.dynamic_power(5e-324) == pytest.approx(50.0)  # min subnormal
+        # idle power is still billed separately through .power()
+        m_idle = StateBasedPowerModel(idle_watts=7.0, max_dynamic_watts=100.0,
+                                      thresholds=(0.5,))
+        assert m_idle.power(0.0) == pytest.approx(7.0)
+
     def test_utilization_bounds(self):
         for model in (
             NonLinearPowerModel(0, 10),
