@@ -9,10 +9,18 @@ savings versus run-now — the paper's "low-cost data transfer options
 ... in return for delayed transfers", measured end to end at a
 time-of-use tariff.
 
+A second sweep measures the event-horizon fast path against the
+reference dt-grid loop at 1k/10k/100k-job scale (chunky-dataset tenant
+mix, constant arrival rate), recording ``fast_wall_s`` / ``grid_wall_s``
+/ ``speedup`` and fast-vs-grid relative errors per cell; ``--check``
+turns the speedup floors and the 1e-6 error budget into a CI gate.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_service.py            # full
     PYTHONPATH=src python benchmarks/bench_service.py --smoke    # CI
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke --check
+    PYTHONPATH=src python benchmarks/bench_service.py --workers 4
     PYTHONPATH=src python benchmarks/bench_service.py -o out.json
 
 Not a pytest file on purpose: it is a standalone script so CI can run
@@ -25,6 +33,7 @@ import argparse
 import json
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
 from datetime import datetime, timezone
 from pathlib import Path
 
@@ -34,7 +43,16 @@ from repro.service import (
     tariff_by_name,
     workload_by_name,
 )
+from repro.service.policies import plan_cache_clear, plan_cache_info
+from repro.service.requests import (
+    BALANCED,
+    ENERGY,
+    TenantProfile,
+    diurnal_workload,
+    sla,
+)
 from repro.testbeds.specs import testbed_by_name
+from repro.units import GB
 
 POLICIES = ("run-now", "deadline-edf", "price-threshold", "carbon-aware")
 
@@ -49,6 +67,166 @@ CELLS: tuple[tuple[str, str, int, float], ...] = (
 SMOKE_CELLS: tuple[tuple[str, str, int, float], ...] = (
     ("xsede", "diurnal", 8, 1800.0),
 )
+
+# ----------------------------------------------------------------------
+# fast-path scale cells
+# ----------------------------------------------------------------------
+
+#: Chunky-dataset tenant mix for the scale cells. The default tenants
+#: spray ~17 small files per job, so every file completion forces a
+#: k=1 engine round on the whole coupled set and caps the macro-step
+#: win; these tenants ship a handful of large archives per job
+#: (``file_fracs`` bounds file sizes to a fraction band of the job),
+#: which is both the shape of real bulk-transfer traffic and the shape
+#: the event-horizon fast path is built for.
+SCALE_TENANTS: tuple[TenantProfile, ...] = (
+    TenantProfile(
+        "backup", share=0.5, sla=ENERGY,
+        mean_size=40 * GB, deadline_slack_frac=0.90,
+        file_fracs=(1 / 6, 1 / 2),
+    ),
+    TenantProfile(
+        "replica", share=0.3, sla=BALANCED,
+        mean_size=24 * GB, deadline_slack_frac=0.35,
+        file_fracs=(1 / 8, 1 / 3),
+    ),
+    TenantProfile(
+        "media", share=0.2, sla=sla(0.8),
+        mean_size=16 * GB, deadline_slack_frac=0.20,
+        file_fracs=(1 / 4, 1 / 2),
+    ),
+)
+
+#: Seconds of simulated day per job — keeps arrival rate (and hence
+#: utilization and the fast/grid work ratio) constant as the job count
+#: grows, so the scale sweep isolates *size*, not load shape.
+SCALE_DAY_PER_JOB_S = 86.4
+SCALE_SIZE_SCALE = 2.0
+SCALE_DATASET_POOL = 32
+SCALE_POLICY = "run-now"
+
+#: ``(jobs, measure_grid)`` — above 10k jobs the reference dt-grid loop
+#: is too slow to run outright, so its wall is extrapolated linearly in
+#: job count from the largest measured cell (grid work is ~linear in
+#: jobs at fixed arrival rate and size mix).
+SCALE_CELLS: tuple[tuple[int, bool], ...] = (
+    (1_000, True),
+    (10_000, True),
+    (100_000, False),
+)
+
+SMOKE_SCALE_CELLS: tuple[tuple[int, bool], ...] = ((1_000, True),)
+
+
+def _scale_case(jobs: int, fast: bool, seed: int) -> dict:
+    """One (job count, engine mode) scale measurement.
+
+    Top-level function so :class:`ProcessPoolExecutor` can pickle it —
+    the scale sweep shards its cases across worker processes exactly
+    like ``Campaign.run(workers=N)`` shards campaign cases.
+    """
+    day_s = SCALE_DAY_PER_JOB_S * jobs
+    testbed = testbed_by_name("xsede")
+    requests = diurnal_workload(
+        jobs,
+        day_s=day_s,
+        seed=seed,
+        tenants=SCALE_TENANTS,
+        size_scale=SCALE_SIZE_SCALE,
+        dataset_pool=SCALE_DATASET_POOL,
+    )
+    tariff = tariff_by_name("peak-offpeak", period_s=day_s)
+    plan_cache_clear()
+    sim = ServiceSimulator(
+        testbed,
+        policy=policy_by_name(SCALE_POLICY),
+        tariff=tariff,
+        max_concurrent_jobs=4,
+        fast=fast,
+    )
+    start = time.perf_counter()
+    report = sim.run(requests, max_time=20.0 * day_s)
+    wall = time.perf_counter() - start
+    return {
+        "jobs": jobs,
+        "fast": fast,
+        "wall_s": wall,
+        "energy_j": report.total_energy_j,
+        "cost_usd": report.total_cost_usd,
+        "kg_co2": report.total_kg_co2,
+        "makespan_s": report.makespan_s,
+        "finished_jobs": sum(1 for j in report.jobs if j.finished),
+        "plan_cache": plan_cache_info(),
+    }
+
+
+def _rel_err(a: float, b: float) -> float:
+    return abs(a - b) / max(abs(a), abs(b), 1e-300)
+
+
+def run_scale_benchmark(
+    *, smoke: bool = False, seed: int = 7, workers: int = 1
+) -> list[dict]:
+    """Fast-vs-grid scale sweep: returns one row per job count with
+    ``fast_wall_s``, ``grid_wall_s`` (measured or extrapolated),
+    ``speedup`` and energy/cost relative errors."""
+    cells = SMOKE_SCALE_CELLS if smoke else SCALE_CELLS
+    cases = [(jobs, fast) for jobs, measure_grid in cells
+             for fast in ((True, False) if measure_grid else (True,))]
+    if workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                case: pool.submit(_scale_case, case[0], case[1], seed)
+                for case in cases
+            }
+            results = {case: fut.result() for case, fut in futures.items()}
+    else:
+        results = {
+            case: _scale_case(case[0], case[1], seed) for case in cases
+        }
+
+    # grid-wall extrapolation baseline: largest cell with a measured grid
+    measured = [jobs for jobs, measure_grid in cells if measure_grid]
+    ref_jobs = max(measured) if measured else None
+
+    rows = []
+    for jobs, measure_grid in cells:
+        fast_row = results[(jobs, True)]
+        row: dict = {
+            "testbed": "xsede",
+            "workload": "diurnal",
+            "tariff": "peak-offpeak",
+            "policy": SCALE_POLICY,
+            "jobs": jobs,
+            "day_s": SCALE_DAY_PER_JOB_S * jobs,
+            "size_scale": SCALE_SIZE_SCALE,
+            "dataset_pool": SCALE_DATASET_POOL,
+            "fast_wall_s": fast_row["wall_s"],
+            "finished_jobs": fast_row["finished_jobs"],
+            "cost_usd": fast_row["cost_usd"],
+            "kwh": fast_row["energy_j"] / 3.6e6,
+            "plan_cache": fast_row["plan_cache"],
+        }
+        if measure_grid:
+            grid_row = results[(jobs, False)]
+            row["grid_wall_s"] = grid_row["wall_s"]
+            row["grid_extrapolated"] = False
+            row["rel_err_energy"] = _rel_err(
+                fast_row["energy_j"], grid_row["energy_j"]
+            )
+            row["rel_err_cost"] = _rel_err(
+                fast_row["cost_usd"], grid_row["cost_usd"]
+            )
+        else:
+            # linear-in-jobs extrapolation from the largest measured cell
+            ref = results[(ref_jobs, False)]
+            row["grid_wall_s"] = ref["wall_s"] * (jobs / ref_jobs)
+            row["grid_extrapolated"] = True
+            row["rel_err_energy"] = None
+            row["rel_err_cost"] = None
+        row["speedup"] = row["grid_wall_s"] / row["fast_wall_s"]
+        rows.append(row)
+    return rows
 
 
 def _run_cell(
@@ -99,19 +277,29 @@ def _run_cell(
     }
 
 
-def run_benchmark(*, smoke: bool = False, seed: int = 7) -> dict:
+def run_benchmark(
+    *, smoke: bool = False, seed: int = 7, workers: int = 1
+) -> dict:
     cells = [
         _run_cell(*cell, seed) for cell in (SMOKE_CELLS if smoke else CELLS)
     ]
+    scale_cells = run_scale_benchmark(smoke=smoke, seed=seed, workers=workers)
     headline = cells[0]
+    # headline speedup: the largest cell whose grid wall was measured
+    scale_headline = max(
+        (row for row in scale_cells if not row["grid_extrapolated"]),
+        key=lambda row: row["jobs"],
+    )
     return {
         "benchmark": "service_day",
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "smoke": smoke,
         "seed": seed,
+        "workers": workers,
         "python": sys.version.split()[0],
         "policies": list(POLICIES),
         "cells": cells,
+        "scale_cells": scale_cells,
         "headline": {
             "testbed": headline["testbed"],
             "workload": headline["workload"],
@@ -121,8 +309,40 @@ def run_benchmark(*, smoke: bool = False, seed: int = 7) -> dict:
                 headline["policies"]["price-threshold"]["deadline_miss_rate"],
             "carbon_aware_co2_saving_frac":
                 headline["carbon_aware_co2_saving_frac"],
+            "fast_path_speedup": scale_headline["speedup"],
+            "fast_path_speedup_jobs": scale_headline["jobs"],
         },
     }
+
+
+def check_benchmark(report: dict) -> list[str]:
+    """CI gate: return a list of failure strings (empty = pass).
+
+    Asserts the fast path is ``>=5x`` the reference grid on the 1k-job
+    scale cell (``>=10x`` on the 10k cell when present) and that every
+    measured fast-vs-grid relative error stays below 1e-6.
+    """
+    failures: list[str] = []
+    by_jobs = {row["jobs"]: row for row in report["scale_cells"]}
+    floors = {1_000: 5.0, 10_000: 10.0}
+    for jobs, floor in floors.items():
+        row = by_jobs.get(jobs)
+        if row is None or row["grid_extrapolated"]:
+            continue
+        if row["speedup"] < floor:
+            failures.append(
+                f"{jobs}-job scale cell: speedup {row['speedup']:.2f}x "
+                f"below the {floor:.0f}x floor"
+            )
+    for row in report["scale_cells"]:
+        for key in ("rel_err_energy", "rel_err_cost"):
+            err = row[key]
+            if err is not None and err > 1e-6:
+                failures.append(
+                    f"{row['jobs']}-job scale cell: {key} {err:.3e} "
+                    "above the 1e-6 floor"
+                )
+    return failures
 
 
 def main(argv=None) -> int:
@@ -131,13 +351,26 @@ def main(argv=None) -> int:
                         help="small CI mode: one cell, fewer jobs")
     parser.add_argument("--seed", type=int, default=7, help="workload seed")
     parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the scale cells across N worker processes "
+             "(like Campaign.run(workers=N); 1 = sequential)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="CI gate: exit non-zero unless the fast path clears its "
+             "speedup floors (5x at 1k jobs, 10x at 10k) with "
+             "fast-vs-grid relative errors below 1e-6",
+    )
+    parser.add_argument(
         "-o", "--output", type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_service.json",
         help="where to write the JSON report",
     )
     args = parser.parse_args(argv)
 
-    report = run_benchmark(smoke=args.smoke, seed=args.seed)
+    report = run_benchmark(
+        smoke=args.smoke, seed=args.seed, workers=args.workers
+    )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
     print(f"service benchmark ({'smoke' if args.smoke else 'full'}) -> {args.output}")
@@ -158,12 +391,31 @@ def main(argv=None) -> int:
             f"vs run-now; carbon-aware saves "
             f"{100 * cell['carbon_aware_co2_saving_frac']:.1f}% of CO2"
         )
+    print("  fast-path scale cells (run-now / diurnal / peak-offpeak):")
+    for row in report["scale_cells"]:
+        grid_note = " (extrapolated)" if row["grid_extrapolated"] else ""
+        err = row["rel_err_cost"]
+        err_s = f"rel-err {err:.1e}" if err is not None else "rel-err   n/a"
+        print(
+            f"    {row['jobs']:>7,} jobs  fast {row['fast_wall_s']:8.2f} s  "
+            f"grid {row['grid_wall_s']:9.2f} s{grid_note}  "
+            f"speedup {row['speedup']:6.1f}x  {err_s}"
+        )
     head = report["headline"]
     print(
         f"  headline {head['testbed']}/{head['workload']}: "
         f"{100 * head['price_threshold_saving_frac']:.1f}% cheaper at "
-        f"{head['price_threshold_miss_rate']:.0%} deadline misses"
+        f"{head['price_threshold_miss_rate']:.0%} deadline misses; "
+        f"fast path {head['fast_path_speedup']:.1f}x the dt-grid at "
+        f"{head['fast_path_speedup_jobs']:,} jobs"
     )
+    if args.check:
+        failures = check_benchmark(report)
+        if failures:
+            for failure in failures:
+                print(f"  CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("  checks passed: speedup floors met, rel-err below 1e-6")
     return 0
 
 

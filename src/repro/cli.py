@@ -135,6 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="channel budget per ENERGY/BALANCED job (default 4)")
     p.add_argument("--events", action="store_true",
                    help="also print the job lifecycle event stream")
+    p.add_argument("--grid", action="store_true",
+                   help="run the reference dt-grid loop instead of the "
+                        "event-horizon fast path (slow; identical results)")
+    p.add_argument("--dataset-pool", type=int, default=None, metavar="N",
+                   help="pre-draw N datasets per tenant and reuse them "
+                        "across arrivals (exercises plan memoization; "
+                        "default: fresh draw per job)")
     p.add_argument("--json", type=Path, nargs="?", const=Path("-"),
                    default=None, metavar="PATH",
                    help="emit the full report as JSON (to PATH, or stdout "
@@ -426,7 +433,7 @@ def _cmd_service(args: argparse.Namespace) -> int:
     testbed = _resolve_testbed(args.testbed)
     requests = workload_by_name(
         args.workload, args.jobs, day_s=args.day, seed=args.seed,
-        size_scale=args.day / 86400.0,
+        size_scale=args.day / 86400.0, dataset_pool=args.dataset_pool,
     )
     tariff = tariff_by_name(args.tariff, period_s=args.day)
     observer = Observer()
@@ -438,6 +445,7 @@ def _cmd_service(args: argparse.Namespace) -> int:
         max_per_tenant=args.max_per_tenant,
         max_channels=args.max_channels,
         observer=observer,
+        fast=not args.grid,
     )
     report = simulator.run(requests)
     print(report.render())

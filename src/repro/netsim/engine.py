@@ -996,6 +996,149 @@ class TransferEngine:
             )
 
     # ------------------------------------------------------------------
+    # lock-step coordination API (multi-transfer macro-stepping)
+    # ------------------------------------------------------------------
+    #
+    # A coordinator running several engines against one path (see
+    # ``repro.netsim.multi``) advances them in shared ``dt`` rounds. To
+    # macro-step a whole *round* it needs the phases of ``step()``
+    # split apart: prepare (recoveries + work assignment + rate
+    # allocation), bound (how many whole steps are stable), advance.
+    # These public wrappers expose exactly that, reusing the fast-path
+    # machinery above, so the coordinator inherits the engine's
+    # "fast path / fixed-dt duality" guarantees.
+
+    def prepare_step(self) -> tuple[list[Channel], dict[int, float]]:
+        """Run the pre-advance phase of one step and return the frozen
+        ``(busy, rates)`` pair (rates in bytes/s per channel id).
+
+        Equivalent to the first half of :meth:`step`: server
+        recoveries, work assignment (idle channels pull files / steal
+        work) and rate allocation. Feed the result to
+        :meth:`stable_steps` / :meth:`advance_prepared`.
+        """
+        self._recover_servers()
+        self._assign_work()
+        busy = [c for c in self._channels.values() if c.busy]
+        rates = self._allocate_rates(busy)
+        return busy, rates
+
+    def stable_steps(
+        self, busy: list[Channel], rates: dict[int, float], max_steps: int
+    ) -> int:
+        """Public :meth:`_stable_steps` with the horizon given in whole
+        ``dt`` steps from now. Returns 0 or 1 when only an exact fixed
+        step is safe."""
+        if max_steps <= 1:
+            return max_steps
+        return self._stable_steps(busy, rates, self.time + max_steps * self.dt)
+
+    def count_stable_steps(self, rates: dict[int, float], max_steps: int) -> int:
+        """Whole ``dt`` steps before this engine's *pre-assignment*
+        busy-stream count could change.
+
+        A lock-step coordinator re-samples every engine's busy
+        parallelism at each round boundary *before* work assignment and
+        feeds it to the other engines as competing traffic. That count
+        dips for one step whenever a file completion's trailing
+        control-channel gap straddles a step boundary (the channel ends
+        the step file-less and is only refilled by the next round's
+        assignment). :meth:`_stable_steps` does not bound those
+        completions — they are invisible to this engine's own rates —
+        so a coordinator running *coupled* engines must additionally
+        bound its macro rounds here.
+
+        For a chunk served by a single busy channel the completion
+        schedule is walked exactly (queue order is deterministic) and
+        only an actual straddling gap bounds the span, ending it *at*
+        the step boundary where the dip becomes visible. For shared
+        queues (two or more busy channels) the pop interleaving is not
+        predicted; the span conservatively ends strictly before the
+        first possible completion. Ending a span early is always safe —
+        counts are re-sampled from true state at every round boundary —
+        so near-boundary fp ties are treated as dips.
+        """
+        dt = self.dt
+        span = max_steps * dt
+        k = max_steps
+        guard = 1e-9
+        for name, state in self.chunks.items():
+            chans = self._by_chunk.get(name)
+            if not chans or not state.queue:
+                continue
+            busy_chans = [c for c in chans if c.busy]
+            if not busy_chans:
+                continue
+            if len(busy_chans) > 1:
+                t_first = min(
+                    c.time_to_completion(rates.get(id(c), 0.0)) for c in busy_chans
+                )
+                if t_first < span:
+                    k = min(k, int((t_first - guard) // dt))
+            else:
+                channel = busy_chans[0]
+                rate = rates.get(id(channel), 0.0)
+                if rate <= 0.0 or channel.current is None:
+                    continue  # stalled: never completes, count frozen
+                gap = channel.per_file_gap
+                t = channel.gap_remaining + channel.current.remaining / rate
+                walked = 0
+                queued = iter(state.queue)
+                while t < span and walked < 512:
+                    boundary = (math.floor(t / dt) + 1.0) * dt
+                    if t + gap > boundary - guard:
+                        # dip visible at ``boundary``: span may end there
+                        k = min(k, int(boundary / dt))
+                        break
+                    walked += 1
+                    nxt = next(queued, None)
+                    if nxt is None:
+                        break  # queue exhausts: the drain bound applies
+                    t += gap + nxt.remaining / rate
+            if k <= 1:
+                return 1
+        return k
+
+    def advance_prepared(
+        self, busy: list[Channel], rates: dict[int, float], steps: int
+    ) -> None:
+        """Advance ``steps`` whole ``dt`` steps at a prepared
+        allocation.
+
+        ``steps == 1`` performs one exact fixed step (identical to the
+        tail of :meth:`step`); ``steps >= 2`` macro-steps analytically
+        with the same observer accounting as :meth:`_fast_step`. The
+        caller is responsible for having bounded ``steps`` with
+        :meth:`stable_steps` (and, when coupled to other engines,
+        :meth:`count_stable_steps`).
+        """
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        observer = self.observer
+        if steps == 1:
+            if observer is not None:
+                self._fallback_steps += 1
+            self._advance_fixed(busy, rates)
+            return
+        if observer is not None:
+            if self._fallback_steps:
+                observer.fixed_fallback(self.time, self._fallback_steps)
+                self._fallback_steps = 0
+            observer.macro_step(self.time, steps, steps * self.dt)
+        self._advance_macro(busy, rates, steps)
+
+    def flush_fallback_events(self) -> None:
+        """Close the trailing coalesced fixed-``dt`` fallback stretch.
+
+        Mirrors what :meth:`run` does at its boundary; coordinators
+        driving the engine through :meth:`advance_prepared` call this
+        when the transfer finishes so the last stretch is not lost.
+        """
+        if self.observer is not None and self._fallback_steps:
+            self.observer.fixed_fallback(self.time, self._fallback_steps)
+            self._fallback_steps = 0
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 

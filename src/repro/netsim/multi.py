@@ -16,11 +16,14 @@ instead.
 
 from __future__ import annotations
 
+import math
 import warnings
+from collections import deque
 from dataclasses import dataclass
 from collections.abc import Sequence
 from typing import Optional
 
+from repro.netsim.channel import Channel
 from repro.netsim.engine import Binding, ChunkPlan, TransferEngine
 from repro.power.models import FineGrainedPowerModel
 from repro.testbeds.specs import Testbed
@@ -99,6 +102,19 @@ class MultiTransferSimulator:
         self.dt = testbed.engine_dt
         self.time = 0.0
         self._jobs: list[tuple[JobRecord, TransferEngine]] = []
+        self._names: set[str] = set()
+        # Incremental indexes: ``step``/``run_until`` never scan the
+        # full submission list. ``_unstarted`` holds jobs in arrival
+        # order (lazily re-sorted only if a submission arrives out of
+        # order), ``_active`` the admitted-but-unfinished jobs.
+        self._unstarted: deque[tuple[JobRecord, TransferEngine]] = deque()
+        self._unstarted_dirty = False
+        self._active: list[tuple[JobRecord, TransferEngine]] = []
+        #: Fast-path accounting (:meth:`run_until` only): macro rounds
+        #: taken, ``dt`` steps they covered, and single-step rounds.
+        self.macro_rounds = 0
+        self.macro_stepped_dts = 0
+        self.fixed_rounds = 0
 
     # ------------------------------------------------------------------
 
@@ -112,7 +128,7 @@ class MultiTransferSimulator:
         """Queue a statically planned job."""
         if arrival_time < 0:
             raise ValueError("arrival_time must be >= 0")
-        if any(record.name == name for record, _ in self._jobs):
+        if name in self._names:
             raise ValueError(f"duplicate job name {name!r}")
         model = FineGrainedPowerModel(self.testbed.coefficients)
         engine = TransferEngine(
@@ -133,37 +149,55 @@ class MultiTransferSimulator:
         for plan in plans:
             engine.submit_chunk(plan)
         self._jobs.append((record, engine))
+        self._names.add(name)
+        if self._unstarted and arrival_time < self._unstarted[-1][0].arrival_time:
+            self._unstarted_dirty = True
+        self._unstarted.append((record, engine))
         return record
 
     # ------------------------------------------------------------------
 
     def _running(self) -> list[tuple[JobRecord, TransferEngine]]:
-        return [
-            (record, engine)
-            for record, engine in self._jobs
-            if record.start_time is not None and not record.finished
-        ]
+        active = self._active
+        if any(record.finished for record, _ in active):
+            self._active = active = [
+                pair for pair in active if not pair[0].finished
+            ]
+        return active
+
+    def _sort_unstarted(self) -> None:
+        """Restore arrival order after an out-of-order submission.
+
+        The sort is stable, so ties keep submission order — the same
+        FIFO tie-break the service contract promises.
+        """
+        if self._unstarted_dirty:
+            self._unstarted = deque(
+                sorted(self._unstarted, key=lambda pair: pair[0].arrival_time)
+            )
+            self._unstarted_dirty = False
 
     def _admit_jobs(self) -> None:
-        running = self._running()
+        if not self._unstarted:
+            return
+        self._sort_unstarted()
         slots = (
-            self.max_concurrent_jobs - len(running)
+            self.max_concurrent_jobs - len(self._running())
             if self.max_concurrent_jobs is not None
             else None
         )
-        waiting = [
-            (record, engine)
-            for record, engine in self._jobs
-            if record.start_time is None and record.arrival_time <= self.time + 1e-12
-        ]
-        # FIFO by arrival; ties resolved by submission order (the sort
-        # is stable and ``self._jobs`` is kept in submission order).
-        waiting.sort(key=lambda pair: pair[0].arrival_time)
-        for record, engine in waiting:
+        # FIFO by arrival; ties resolved by submission order (the
+        # arrival index is kept stable-sorted).
+        while (
+            self._unstarted
+            and self._unstarted[0][0].arrival_time <= self.time + 1e-12
+        ):
             if slots is not None and slots <= 0:
                 break
+            record, engine = self._unstarted.popleft()
             record.start_time = self.time
             engine.admit_pending()
+            self._active.append((record, engine))
             if slots is not None:
                 slots -= 1
 
@@ -186,6 +220,106 @@ class MultiTransferSimulator:
             if engine.finished and not record.finished:
                 record.completion_time = self.time + self.dt
         self.time += self.dt
+
+    def run_until(self, horizon: Seconds) -> list[JobRecord]:
+        """Advance shared time toward ``horizon``, macro-stepping when
+        safe, and return the jobs that completed — stopping at the
+        first round boundary with a completion.
+
+        Numerically equivalent to calling :meth:`step` in a loop while
+        ``time < horizon - 1e-9``: every *round* freezes each running
+        engine's pre-assignment busy-stream count exactly as one grid
+        step does, then advances all engines ``k`` whole ``dt`` steps
+        at once, with ``k`` bounded so that
+
+        * no engine's own event horizon is crossed
+          (:meth:`TransferEngine.stable_steps` — the PR-1 fast path);
+        * no *other* engine could have observed this engine's stream
+          count change mid-span
+          (:meth:`TransferEngine.count_stable_steps`; only checked
+          when two or more jobs run — a lone job sees zero background
+          streams regardless);
+        * work assignment did not just change a busy parallelism the
+          peers sampled (refill check → single exact step);
+        * no queued arrival becomes admittable mid-span.
+
+        Time advances by the same repeated ``+= dt`` additions as the
+        grid loop (``dt`` is a power of two), so round boundaries and
+        completion timestamps are bit-equal to grid stepping. The
+        method returns at the first completion so the caller can bill
+        and re-admit at the completion's grid time, exactly as a
+        per-step loop would.
+        """
+        dt = self.dt
+        completed: list[JobRecord] = []
+        while self.time < horizon - 1e-9:
+            self._admit_jobs()
+            running = self._running()
+            if not running:
+                break
+            k_cap = max(1, math.ceil((horizon - self.time - 1e-9) / dt))
+            if k_cap > 1 and self._unstarted:
+                # Never step past the grid point where a future
+                # arrival becomes admittable. Arrived-but-slot-capped
+                # jobs do not bound the span: their next admission
+                # opportunity is a completion, where we return anyway.
+                self._sort_unstarted()
+                for record, _engine in self._unstarted:
+                    if record.arrival_time > self.time + 1e-12:
+                        k_arr = math.ceil(
+                            (record.arrival_time - self.time - 1e-12) / dt
+                        )
+                        k_cap = min(k_cap, max(1, k_arr))
+                        break
+            counts0 = {id(e): self._busy_streams(e) for _, e in running}
+            total0 = sum(counts0.values())
+            prepared: list[
+                tuple[JobRecord, TransferEngine, list[Channel], dict[int, float]]
+            ] = []
+            for record, engine in running:
+                engine.set_background_streams(total0 - counts0[id(engine)])
+                busy, rates = engine.prepare_step()
+                prepared.append((record, engine, busy, rates))
+            k = k_cap
+            if k > 1 and len(prepared) > 1:
+                # Work assignment refilled or re-bound a channel: the
+                # count the peers sample next round already differs
+                # from the frozen one, so only one exact step is safe.
+                for _record, engine, busy, _rates in prepared:
+                    if sum(c.parallelism for c in busy) != counts0[id(engine)]:
+                        k = 1
+                        break
+            if k > 1:
+                coupled = len(prepared) > 1
+                for _record, engine, busy, rates in prepared:
+                    k = min(k, engine.stable_steps(busy, rates, k))
+                    if k < 2:
+                        k = 1
+                        break
+                    if coupled:
+                        k = min(k, engine.count_stable_steps(rates, k))
+                        if k < 2:
+                            k = 1
+                            break
+            for record, engine, busy, rates in prepared:
+                before_energy = engine.total_energy
+                engine.advance_prepared(busy, rates, k)
+                record.energy_joules += engine.total_energy - before_energy
+            for _ in range(k):  # repeated addition: bit-equal to grid time
+                self.time += dt
+            if k > 1:
+                self.macro_rounds += 1
+                self.macro_stepped_dts += k
+            else:
+                self.fixed_rounds += 1
+            for record, engine, _busy, _rates in prepared:
+                if engine.finished and not record.finished:
+                    record.completion_time = self.time
+                    engine.flush_fallback_events()
+                    completed.append(record)
+            if completed:
+                break
+        return completed
 
     def run(
         self, *, max_time: Seconds = 1e7, on_timeout: str = "raise"

@@ -41,6 +41,10 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "channel_failed": frozenset({"chunk"}),
     "server_failed": frozenset({"side", "index"}),
     "server_recovered": frozenset({"side", "index"}),
+    # service-layer stepping-mode telemetry (repro.service.simulate):
+    # one coalesced event per event-driven jump that macro-stepped,
+    # mirroring the engine's ``macro_step``.
+    "service_macro_step": frozenset({"steps", "span_s", "rounds"}),
     # service-layer job lifecycle (repro.service.simulate)
     "job_submitted": frozenset({"job", "tenant", "sla"}),
     "job_deferred": frozenset({"job", "until", "reason"}),

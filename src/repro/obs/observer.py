@@ -119,6 +119,32 @@ class Observer:
         if fixed_steps:
             self.metrics.counter("engine.fixed_steps").inc(fixed_steps)
 
+    # -- service stepping hooks ----------------------------------------
+
+    def service_macro_step(
+        self, time: Seconds, steps: int, span_s: Seconds, rounds: int
+    ) -> None:
+        """One event-driven service jump ended: ``rounds`` macro rounds
+        advanced ``steps`` whole shared ``dt`` steps, covering
+        ``span_s`` seconds. Coalesced per jump (one event, like the
+        engine's ``macro_step``), so the stream stays bounded for
+        100k-job days."""
+        self.metrics.counter("service.macro_steps").inc(rounds)
+        self.metrics.counter("service.macro_stepped_dts").inc(steps)
+        self.metrics.histogram("service.macro_span_s", _SPAN_BUCKETS).observe(span_s)
+        self.events.emit(
+            time, "service_macro_step", steps=steps, span_s=span_s, rounds=rounds
+        )
+
+    def plan_cache(self, hits: int, misses: int) -> None:
+        """Account a planning round's :func:`repro.service.policies.plan_for`
+        cache traffic (counters only — no event; cache hits are not
+        decision-relevant moments)."""
+        if hits:
+            self.metrics.counter("service.plan_cache_hits").inc(hits)
+        if misses:
+            self.metrics.counter("service.plan_cache_misses").inc(misses)
+
     # -- service-layer job lifecycle -----------------------------------
 
     def job_submitted(self, time: Seconds, job: str, tenant: str, sla: str) -> None:
@@ -215,6 +241,11 @@ def _fmt_detail(kind: str, detail: dict) -> str:
         return f"{detail['steps']} steps ({detail['span_s']:.2f} s)"
     if kind == "fixed_dt_fallback":
         return f"{detail['steps']} fixed steps"
+    if kind == "service_macro_step":
+        return (
+            f"{detail['steps']} steps in {detail['rounds']} rounds "
+            f"({detail['span_s']:.2f} s)"
+        )
     if kind == "job_submitted":
         return f"{detail['job']} tenant={detail['tenant']} sla={detail['sla']}"
     if kind == "job_deferred":

@@ -18,11 +18,24 @@ Every plan carries first-order duration/energy estimates from
 :func:`repro.core.advisor.predict_plan_performance`, which the
 scheduler uses for deadline feasibility — so planning, deferral and
 admission all reason from one model.
+
+Planning is memoized: the MinE/HTEE/SLAEE math is a pure function of
+the testbed, the dataset's file sizes, the SLA class and the planner
+knobs, and real workloads repeat dataset shapes constantly (tenants
+re-send the same backup mixes), so :func:`plan_for` consults a small
+LRU keyed by ``(testbed identity, file-size signature, SLA kind/level,
+max_channels, partition policy)``. Hits return a fresh
+:class:`JobPlan` wrapping the cached chunk plans — byte-identical
+numerics, none of the planning cost. ``use_cache=False`` bypasses it;
+:func:`plan_cache_info` / :func:`plan_cache_clear` expose and reset it
+(clear after mutating a ``Testbed`` in place — identity keying cannot
+see in-place edits).
 """
 
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
@@ -38,7 +51,7 @@ from repro.service.requests import TransferRequest
 from repro.testbeds.specs import Testbed
 from repro.units import Joules, Seconds
 
-__all__ = ["JobPlan", "plan_for"]
+__all__ = ["JobPlan", "plan_for", "plan_cache_info", "plan_cache_clear"]
 
 
 @dataclass(frozen=True)
@@ -59,6 +72,94 @@ class JobPlan:
     @property
     def planned_channels(self) -> int:
         return sum(p.params.concurrency for p in self.plans)
+
+
+# ----------------------------------------------------------------------
+# plan memoization
+# ----------------------------------------------------------------------
+
+#: Cache key: ``(id(testbed), file sizes, sla kind, sla level,
+#: max_channels, partition_policy)``. Cache value: ``(algorithm, plans,
+#: est_duration_s, est_energy_j, testbed)`` — the testbed reference is
+#: stored purely to pin the object alive so its ``id`` cannot be
+#: recycled while the entry lives.
+_CacheKey = tuple[int, tuple[int, ...], str, Optional[float], int, PartitionPolicy]
+_CacheValue = tuple[str, tuple[ChunkPlan, ...], Seconds, Joules, Testbed]
+
+
+class _PlanCache:
+    """A small LRU over planning results with hit/miss accounting."""
+
+    def __init__(self, maxsize: int = 512) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict[_CacheKey, _CacheValue] = OrderedDict()
+
+    def get(self, key: _CacheKey) -> Optional[_CacheValue]:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: _CacheKey, value: _CacheValue) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+_PLAN_CACHE = _PlanCache()
+
+
+def plan_cache_info() -> dict[str, int]:
+    """Current plan-cache statistics: ``hits``, ``misses``, ``size``,
+    ``maxsize``."""
+    return {
+        "hits": _PLAN_CACHE.hits,
+        "misses": _PLAN_CACHE.misses,
+        "size": len(_PLAN_CACHE),
+        "maxsize": _PLAN_CACHE.maxsize,
+    }
+
+
+def plan_cache_clear() -> None:
+    """Drop every memoized plan and reset the hit/miss counters.
+
+    Call this after mutating a :class:`Testbed` in place — cache keys
+    carry testbed *identity*, which cannot observe in-place edits.
+    """
+    _PLAN_CACHE.clear()
+
+
+def _cache_key(
+    testbed: Testbed,
+    request: TransferRequest,
+    max_channels: int,
+    partition_policy: PartitionPolicy,
+) -> _CacheKey:
+    return (
+        id(testbed),
+        tuple(f.size for f in request.dataset.files),
+        request.sla.kind,
+        request.sla.level,
+        max_channels,
+        partition_policy,
+    )
 
 
 def _estimate(testbed: Testbed, plans: list[ChunkPlan]) -> tuple[Seconds, Joules]:
@@ -121,6 +222,7 @@ def plan_for(
     max_channels: int = 4,
     *,
     partition_policy: PartitionPolicy = PartitionPolicy(),
+    use_cache: bool = True,
 ) -> JobPlan:
     """Map one request's SLA class to an engine-ready plan + estimates.
 
@@ -128,10 +230,34 @@ def plan_for(
     themselves from the testbed's reference concurrency instead (the
     contract is relative to the path's maximum, not to the service's
     per-job default budget).
+
+    With ``use_cache=True`` (default) results are memoized on the
+    planning inputs — repeated dataset shapes (identical file-size
+    sequences) skip the MinE/HTEE/SLAEE math entirely. The returned
+    :class:`JobPlan` always wraps *this* request; on a hit its chunk
+    plans are shared with earlier jobs of the same shape (they are
+    immutable inputs: each job's engine copies them into its own
+    mutable state). Note the cached plans carry the file *names* of
+    the first dataset of that shape — sizes, and therefore all
+    simulated numerics, are identical by construction.
     """
     if max_channels < 1:
         raise ValueError("max_channels must be >= 1")
+    key: Optional[_CacheKey] = None
+    if use_cache:
+        key = _cache_key(testbed, request, max_channels, partition_policy)
+        cached = _PLAN_CACHE.get(key)
+        if cached is not None:
+            algorithm, plans_t, duration, energy, _pin = cached
+            return JobPlan(
+                request=request,
+                algorithm=algorithm,
+                plans=plans_t,
+                est_duration_s=duration,
+                est_energy_j=energy,
+            )
     kind = request.sla.kind
+    plans: list[ChunkPlan]
     if kind == "energy":
         algorithm = "MinE"
         plans = MinEAlgorithm(policy=partition_policy).plan(
@@ -144,10 +270,13 @@ def plan_for(
         algorithm = "SLAEE-static"
         plans = _sla_plans(testbed, request, partition_policy)
     duration, energy = _estimate(testbed, plans)
+    plans_tuple = tuple(plans)
+    if key is not None:
+        _PLAN_CACHE.put(key, (algorithm, plans_tuple, duration, energy, testbed))
     return JobPlan(
         request=request,
         algorithm=algorithm,
-        plans=tuple(plans),
+        plans=plans_tuple,
         est_duration_s=duration,
         est_energy_j=energy,
     )

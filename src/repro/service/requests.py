@@ -153,6 +153,12 @@ class TenantProfile:
     sla: SLAClass
     mean_size: float
     deadline_slack_frac: Optional[float] = None
+    #: Optional ``(min_frac, max_frac)`` of the drawn job size bounding
+    #: individual file sizes — e.g. ``(1/8, 1/3)`` models a backup
+    #: tenant shipping a handful of large archives per job instead of
+    #: the default log-uniform spray of small files. ``None`` keeps the
+    #: legacy file-size recipe (and its exact RNG stream) untouched.
+    file_fracs: Optional[tuple[float, float]] = None
 
     def __post_init__(self) -> None:
         if self.share <= 0:
@@ -161,6 +167,12 @@ class TenantProfile:
             raise ValueError("mean_size must be > 0")
         if self.deadline_slack_frac is not None and self.deadline_slack_frac <= 0:
             raise ValueError("deadline_slack_frac must be > 0")
+        if self.file_fracs is not None:
+            lo, hi = self.file_fracs
+            if not (0.0 < lo <= hi <= 1.0):
+                raise ValueError(
+                    "file_fracs must satisfy 0 < min <= max <= 1"
+                )
 
 
 #: The default three-tenant mix: nightly archives that only care about
@@ -187,6 +199,38 @@ DEFAULT_TENANTS: tuple[TenantProfile, ...] = (
 # ----------------------------------------------------------------------
 
 
+def _draw_dataset(
+    rng: np.random.Generator,
+    tenant: TenantProfile,
+    size_scale: float,
+    name: str,
+) -> Dataset:
+    """One tenant-shaped dataset draw (two ``rng`` consumptions:
+    lognormal size jitter, then the dataset seed)."""
+    # lognormal size jitter around the tenant's mean, clamped so a
+    # single request can neither vanish nor swamp the day
+    size = tenant.mean_size * size_scale * float(rng.lognormal(0.0, 0.35))
+    size = float(np.clip(size, 64 * units.MB * min(1.0, size_scale), None))
+    if tenant.file_fracs is not None:
+        # chunky-dataset tenant: file sizes are a fixed fraction band of
+        # the drawn job size (a handful of large archives per job)
+        lo, hi = tenant.file_fracs
+        min_file = size * lo
+        max_file = max(min_file, size * hi)
+    else:
+        max_file = min(
+            size, max(size / 4.0, 64 * units.MB * min(1.0, size_scale))
+        )
+        min_file = max(1 * units.MB * min(1.0, size_scale), max_file / 64.0)
+    return log_uniform_dataset(
+        size,
+        min_file,
+        max_file,
+        seed=int(rng.integers(0, 2**31 - 1)),
+        name=name,
+    )
+
+
 def _materialize(
     arrivals: np.ndarray,
     rng: np.random.Generator,
@@ -195,26 +239,38 @@ def _materialize(
     tenants: Sequence[TenantProfile],
     size_scale: float,
     label: str,
+    dataset_pool: Optional[int] = None,
 ) -> list[TransferRequest]:
     """Turn sorted arrival times into full requests (tenant draw,
-    dataset draw, deadline)."""
+    dataset draw, deadline).
+
+    With ``dataset_pool=N`` each tenant pre-draws a pool of ``N``
+    datasets and every arrival samples one of them instead of drawing
+    a fresh dataset — the "tenants re-send the same mixes" regime that
+    makes plan memoization pay. ``None`` (default) keeps the legacy
+    per-arrival draws and their exact RNG stream.
+    """
+    if dataset_pool is not None and dataset_pool < 1:
+        raise ValueError("dataset_pool must be >= 1")
     shares = np.array([t.share for t in tenants], dtype=float)
     shares /= shares.sum()
+    pools: Optional[list[list[Dataset]]] = None
+    if dataset_pool is not None:
+        pools = [
+            [
+                _draw_dataset(rng, tenant, size_scale, f"{tenant.name}-pool{p}")
+                for p in range(dataset_pool)
+            ]
+            for tenant in tenants
+        ]
     requests: list[TransferRequest] = []
     for i, at in enumerate(np.sort(arrivals)):
-        tenant = tenants[int(rng.choice(len(tenants), p=shares))]
-        # lognormal size jitter around the tenant's mean, clamped so a
-        # single request can neither vanish nor swamp the day
-        size = tenant.mean_size * size_scale * float(rng.lognormal(0.0, 0.35))
-        size = float(np.clip(size, 64 * units.MB * min(1.0, size_scale), None))
-        max_file = min(size, max(size / 4.0, 64 * units.MB * min(1.0, size_scale)))
-        dataset = log_uniform_dataset(
-            size,
-            max(1 * units.MB * min(1.0, size_scale), max_file / 64.0),
-            max_file,
-            seed=int(rng.integers(0, 2**31 - 1)),
-            name=f"{tenant.name}-{i}",
-        )
+        tenant_idx = int(rng.choice(len(tenants), p=shares))
+        tenant = tenants[tenant_idx]
+        if pools is None:
+            dataset = _draw_dataset(rng, tenant, size_scale, f"{tenant.name}-{i}")
+        else:
+            dataset = pools[tenant_idx][int(rng.integers(0, len(pools[tenant_idx])))]
         deadline = (
             float(at) + tenant.deadline_slack_frac * day_s
             if tenant.deadline_slack_frac is not None
@@ -240,6 +296,7 @@ def poisson_workload(
     seed: int = 7,
     tenants: Sequence[TenantProfile] = DEFAULT_TENANTS,
     size_scale: float = 1.0,
+    dataset_pool: Optional[int] = None,
 ) -> list[TransferRequest]:
     """``n_jobs`` Poisson (uniform-conditional) arrivals over one
     ``day_s``-second day."""
@@ -248,7 +305,7 @@ def poisson_workload(
     arrivals = rng.uniform(0.0, day_s, size=n_jobs)
     return _materialize(
         arrivals, rng, day_s=day_s, tenants=tenants,
-        size_scale=size_scale, label="steady",
+        size_scale=size_scale, label="steady", dataset_pool=dataset_pool,
     )
 
 
@@ -272,6 +329,7 @@ def diurnal_workload(
     seed: int = 7,
     tenants: Sequence[TenantProfile] = DEFAULT_TENANTS,
     size_scale: float = 1.0,
+    dataset_pool: Optional[int] = None,
 ) -> list[TransferRequest]:
     """A diurnal load shape over a ``day_s``-second day: arrivals track
     business hours, peaking mid-afternoon (~0.6 of the day) at roughly
@@ -286,7 +344,7 @@ def diurnal_workload(
     )
     return _materialize(
         arrivals, rng, day_s=day_s, tenants=tenants,
-        size_scale=size_scale, label="diurnal",
+        size_scale=size_scale, label="diurnal", dataset_pool=dataset_pool,
     )
 
 
@@ -297,6 +355,7 @@ def bursty_workload(
     seed: int = 7,
     tenants: Sequence[TenantProfile] = DEFAULT_TENANTS,
     size_scale: float = 1.0,
+    dataset_pool: Optional[int] = None,
 ) -> list[TransferRequest]:
     """Two sharp submission bursts (morning ingest, evening backup)
     over a light background across a ``day_s``-second day — the
@@ -311,7 +370,7 @@ def bursty_workload(
     arrivals = _intensity_arrivals(rng, n_jobs, day_s, intensity)
     return _materialize(
         arrivals, rng, day_s=day_s, tenants=tenants,
-        size_scale=size_scale, label="bursty",
+        size_scale=size_scale, label="bursty", dataset_pool=dataset_pool,
     )
 
 
@@ -325,7 +384,7 @@ def _check_workload_args(n_jobs: int, day_s: float, size_scale: float) -> None:
 
 
 #: Name -> generator (CLI / bench iteration). All share the signature
-#: ``(n_jobs, *, day_s, seed, tenants, size_scale)``.
+#: ``(n_jobs, *, day_s, seed, tenants, size_scale, dataset_pool)``.
 WORKLOAD_PRESETS = {
     "steady": poisson_workload,
     "diurnal": diurnal_workload,

@@ -16,26 +16,46 @@ the off-peak plateau shows up directly as money saved — the paper's
 "low-cost data transfer options ... in return for delayed transfers",
 measured end to end.
 
-The loop is deterministic (no RNG of its own) and skips idle gaps in
-whole ``dt`` multiples, so a compressed "day" of diurnal traffic runs
-in seconds while staying bit-identical to a naive step-by-step run.
+The loop is deterministic (no RNG of its own). Two numerically
+equivalent drivers execute the day:
+
+* the **event-driven fast path** (``fast=True``, default) computes the
+  next *service event* — pending arrival, deferred release, job
+  completion, tariff plateau boundary — analytically, macro-steps the
+  shared :class:`~repro.netsim.multi.MultiTransferSimulator` to it in
+  one jump (:meth:`~repro.netsim.multi.MultiTransferSimulator.run_until`,
+  which reuses the engine's event-horizon fast path), and bills each
+  jump's energy delta against the single tariff plateau it provably
+  lies in;
+* the **dt-grid loop** (``fast=False``) is the golden reference: one
+  shared ``dt`` step at a time, per-step billing, idle gaps skipped in
+  whole ``dt`` multiples.
+
+Both make identical admission decisions and produce bit-equal event
+timestamps (all times live on the shared ``dt`` grid and ``dt`` is a
+power of two); bytes, energy, cost and carbon agree to floating-point
+round-off. This mirrors the engine's "fast path / fixed-dt duality"
+one layer up.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
+from collections import deque
 from collections.abc import Sequence
+from functools import cached_property
 from typing import Optional
 
 from repro import units
 from repro.core.chunks import PartitionPolicy
 from repro.netsim.multi import JobRecord, MultiTransferSimulator, TransferTimeout
 from repro.obs.observer import Observer
-from repro.service.policies import JobPlan, plan_for
+from repro.service.policies import JobPlan, plan_cache_info, plan_for
 from repro.service.requests import TransferRequest
 from repro.service.scheduler import DeferralPolicy, SchedulingDecision
-from repro.service.tariff import TariffTrace
+from repro.service.tariff import JOULES_PER_KWH, TariffTrace
 from repro.testbeds.specs import Testbed
 from repro.units import Joules, Seconds
 
@@ -159,7 +179,16 @@ def _percentile(values: Sequence[float], q: float) -> float:
 
 @dataclass
 class ServiceReport:
-    """Fleet- and tenant-level totals for one service day."""
+    """Fleet- and tenant-level totals for one service day.
+
+    Aggregates are ``functools.cached_property``\\ s: they are computed
+    (and, for the percentile fields, sorted) exactly once on first
+    access, which matters for 100k-job reports whose ``render()`` +
+    ``to_dict()`` would otherwise redo every reduction per field. The
+    report is therefore *read-only by convention*: it is built once by
+    :meth:`ServiceSimulator.run`, and mutating ``jobs`` afterwards
+    leaves any already-computed aggregate stale.
+    """
 
     testbed: str
     policy: str
@@ -167,30 +196,30 @@ class ServiceReport:
     jobs: list[JobResult] = field(default_factory=list)
     makespan_s: Seconds = 0.0
 
-    # -- aggregates -----------------------------------------------------
+    # -- aggregates (computed once; see class docstring) ----------------
 
-    @property
+    @cached_property
     def total_bytes(self) -> int:
         return sum(j.total_bytes for j in self.jobs)
 
-    @property
+    @cached_property
     def total_energy_j(self) -> Joules:
         """Joules drawn across all jobs in the report."""
         return sum(j.energy_j for j in self.jobs)
 
-    @property
+    @cached_property
     def total_cost_usd(self) -> float:
         return sum(j.cost_usd for j in self.jobs)
 
-    @property
+    @cached_property
     def total_kg_co2(self) -> float:
         return sum(j.kg_co2 for j in self.jobs)
 
-    @property
+    @cached_property
     def deferred_jobs(self) -> int:
         return sum(1 for j in self.jobs if j.deferred)
 
-    @property
+    @cached_property
     def deadline_miss_rate(self) -> float:
         """Misses over jobs that *have* deadlines (0.0 if none do)."""
         with_deadline = [j for j in self.jobs if j.deadline is not None]
@@ -198,19 +227,20 @@ class ServiceReport:
             return 0.0
         return sum(j.deadline_missed for j in with_deadline) / len(with_deadline)
 
+    @cached_property
     def slowdowns(self) -> list[float]:
         """Per-finished-job slowdown factors (for percentiles)."""
         return [j.slowdown() for j in self.jobs if j.finished]
 
-    @property
+    @cached_property
     def p50_slowdown(self) -> float:
-        return _percentile(self.slowdowns(), 50.0)
+        return _percentile(self.slowdowns, 50.0)
 
-    @property
+    @cached_property
     def p95_slowdown(self) -> float:
-        return _percentile(self.slowdowns(), 95.0)
+        return _percentile(self.slowdowns, 95.0)
 
-    @property
+    @cached_property
     def mean_queue_wait_s(self) -> Seconds:
         """Mean submission -> admission wait in seconds."""
         admitted = [j for j in self.jobs if j.admitted_at is not None]
@@ -218,6 +248,7 @@ class ServiceReport:
             return 0.0
         return sum(j.queue_wait_s for j in admitted) / len(admitted)
 
+    @cached_property
     def per_tenant(self) -> dict[str, dict]:
         """kWh/$/kgCO2/jobs/misses broken down by tenant."""
         groups: dict[str, list[JobResult]] = {}
@@ -264,7 +295,7 @@ class ServiceReport:
             "p95_slowdown": self.p95_slowdown,
             "mean_queue_wait_s": self.mean_queue_wait_s,
             "makespan_s": self.makespan_s,
-            "per_tenant": self.per_tenant(),
+            "per_tenant": self.per_tenant,
             "job_results": [j.to_dict() for j in self.jobs],
         }
 
@@ -286,7 +317,7 @@ class ServiceReport:
             f"  {'tenant':<10s} {'jobs':>4s} {'GB':>8s} {'kWh':>8s} "
             f"{'$':>9s} {'kgCO2':>8s} {'defer':>5s} {'miss':>4s} {'wait s':>8s}"
         )
-        for tenant, row in self.per_tenant().items():
+        for tenant, row in self.per_tenant.items():
             lines.append(
                 f"  {tenant:<10s} {row['jobs']:>4d} "
                 f"{units.to_GB(row['bytes']):>8.1f} {row['kwh']:>8.3f} "
@@ -326,6 +357,12 @@ class ServiceSimulator:
     ``max_per_tenant`` cap keeps one tenant's burst from occupying
     every slot. The underlying :class:`MultiTransferSimulator` runs
     capless and purely executes what this layer admits.
+
+    ``fast=True`` (default) drives the day event-to-event instead of
+    ``dt``-by-``dt``; ``fast=False`` is the golden-reference grid loop.
+    Both produce identical admission decisions, bit-equal timestamps,
+    and energy/cost/carbon equal at floating-point round-off (see the
+    module docstring and ``tests/test_service_fastpath.py``).
     """
 
     def __init__(
@@ -339,6 +376,7 @@ class ServiceSimulator:
         max_channels: int = 4,
         partition_policy: PartitionPolicy = PartitionPolicy(),
         observer: Optional[Observer] = None,
+        fast: bool = True,
     ) -> None:
         if max_concurrent_jobs < 1:
             raise ValueError("max_concurrent_jobs must be >= 1")
@@ -352,6 +390,7 @@ class ServiceSimulator:
         self.max_channels = max_channels
         self.partition_policy = partition_policy
         self.observer = observer
+        self.fast = fast
 
     # ------------------------------------------------------------------
 
@@ -359,6 +398,7 @@ class ServiceSimulator:
         """Plan and schedule every request up front (both are pure
         functions of the request, so doing it eagerly keeps the loop
         simple without changing any decision)."""
+        cache_before = plan_cache_info()
         states: list[_JobState] = []
         seen: set[str] = set()
         for seq, request in enumerate(
@@ -387,6 +427,12 @@ class ServiceSimulator:
                 est_duration_s=plan.est_duration_s,
             )
             states.append(_JobState(request, plan, decision, result, seq))
+        if self.observer is not None:
+            cache_after = plan_cache_info()
+            self.observer.plan_cache(
+                cache_after["hits"] - cache_before["hits"],
+                cache_after["misses"] - cache_before["misses"],
+            )
         return states
 
     def _admit(
@@ -457,6 +503,15 @@ class ServiceSimulator:
                     state.result.completed_at,
                 )
 
+    @staticmethod
+    def _timeout(
+        max_time: Seconds, unfinished: list[str]
+    ) -> TransferTimeout:
+        return TransferTimeout(
+            f"service run hit max_time={max_time:g} s with "
+            f"{len(unfinished)} unfinished job(s): " + ", ".join(unfinished)
+        )
+
     def run(
         self,
         requests: Sequence[TransferRequest],
@@ -471,9 +526,29 @@ class ServiceSimulator:
         """
         states = self._prepare(requests)
         sim = MultiTransferSimulator(self.testbed, max_concurrent_jobs=None)
-        dt = sim.dt
+        if self.fast:
+            self._run_fast(states, sim, max_time)
+        else:
+            self._run_grid(states, sim, max_time)
+        report = ServiceReport(
+            testbed=self.testbed.name,
+            policy=self.policy.name,
+            tariff=self.tariff.name,
+            jobs=[s.result for s in sorted(states, key=lambda s: s.seq)],
+            makespan_s=sim.makespan,
+        )
+        return report
 
-        pending = list(states)      # not yet submitted (future arrivals)
+    # -- golden reference: the dt-grid loop ----------------------------
+
+    def _run_grid(
+        self,
+        states: list[_JobState],
+        sim: MultiTransferSimulator,
+        max_time: Seconds,
+    ) -> None:
+        dt = sim.dt
+        pending = deque(states)     # not yet submitted (future arrivals)
         waiting: list[_JobState] = []  # submitted, not yet admitted
         running: list[_JobState] = []  # admitted, transferring
         done: list[_JobState] = []
@@ -481,18 +556,14 @@ class ServiceSimulator:
         while len(done) < len(states):
             now = sim.time
             if now >= max_time:
-                unfinished = [
-                    s.request.name for s in pending + waiting + running
-                ]
-                raise TransferTimeout(
-                    f"service run hit max_time={max_time:g} s with "
-                    f"{len(unfinished)} unfinished job(s): "
-                    + ", ".join(unfinished)
+                raise self._timeout(
+                    max_time,
+                    [s.request.name for s in [*pending, *waiting, *running]],
                 )
 
             # 1. ingest submissions whose time has come
             while pending and pending[0].request.submit_time <= now + 1e-9:
-                state = pending.pop(0)
+                state = pending.popleft()
                 waiting.append(state)
                 if self.observer is not None:
                     self.observer.job_submitted(
@@ -534,9 +605,11 @@ class ServiceSimulator:
                 # 4. idle: jump (on the dt grid) to the next submission
                 #    or release, keeping step timestamps identical to a
                 #    naive step-by-step run.
-                horizons = [s.request.submit_time for s in pending[:1]]
+                horizons = (
+                    [pending[0].request.submit_time] if pending else []
+                )
                 horizons += [s.decision.release_time for s in waiting]
-                target = min(horizons)
+                target = min(horizons) if horizons else math.inf
                 if math.isinf(target):
                     raise RuntimeError(
                         "service loop stalled: no running jobs and no "
@@ -545,11 +618,207 @@ class ServiceSimulator:
                 steps = max(1, math.ceil((target - now - 1e-9) / dt))
                 sim.time += steps * dt
 
-        report = ServiceReport(
-            testbed=self.testbed.name,
-            policy=self.policy.name,
-            tariff=self.tariff.name,
-            jobs=[s.result for s in sorted(states, key=lambda s: s.seq)],
-            makespan_s=sim.makespan,
-        )
-        return report
+    # -- event-driven fast path ----------------------------------------
+
+    def _admit_fast(
+        self,
+        now: Seconds,
+        eligible: list[tuple[float, Seconds, Seconds, int, _JobState]],
+        running: list[_JobState],
+        sim: MultiTransferSimulator,
+    ) -> None:
+        """Heap-based admission, identical selection order to
+        :meth:`_admit`: pop eligible jobs best-first (same
+        ``(priority, release, submit, seq)`` key), skip tenant-capped
+        ones to the side, stop when the slots run out, push the
+        skipped ones back."""
+        slots = self.max_concurrent_jobs - len(running)
+        if slots <= 0 or not eligible:
+            return
+        tenant_running: dict[str, int] = {}
+        for s in running:
+            tenant_running[s.request.tenant] = (
+                tenant_running.get(s.request.tenant, 0) + 1
+            )
+        skipped: list[tuple[float, Seconds, Seconds, int, _JobState]] = []
+        while eligible and slots > 0:
+            entry = heapq.heappop(eligible)
+            state = entry[4]
+            tenant = state.request.tenant
+            if (
+                self.max_per_tenant is not None
+                and tenant_running.get(tenant, 0) >= self.max_per_tenant
+            ):
+                skipped.append(entry)
+                continue
+            state.record = sim.submit(
+                state.request.name, state.plan.plans, arrival_time=now
+            )
+            state.result.admitted_at = now
+            running.append(state)
+            tenant_running[tenant] = tenant_running.get(tenant, 0) + 1
+            slots -= 1
+            if self.observer is not None:
+                self.observer.job_admitted(
+                    now, state.request.name, state.result.queue_wait_s
+                )
+        for entry in skipped:
+            heapq.heappush(eligible, entry)
+
+    def _run_fast(
+        self,
+        states: list[_JobState],
+        sim: MultiTransferSimulator,
+        max_time: Seconds,
+    ) -> None:
+        """The event-driven day: jump from service event to service
+        event instead of grinding the ``dt`` grid.
+
+        While the running set is frozen — no pending arrival, no
+        deferred release, no completion, no tariff plateau boundary
+        before the horizon — nothing this layer does at a grid point
+        can differ from doing nothing: submissions/releases are not
+        due (their times bound the horizon), admission cannot change
+        (slots only free at completions, where
+        :meth:`MultiTransferSimulator.run_until` returns), and every
+        executed step starts inside one tariff plateau (so per-jump
+        billing at that plateau's price equals the grid loop's
+        per-step billing). ``run_until`` supplies the execution-side
+        guarantees (engine event horizons, cross-job stream-count
+        stability) and stops at completions; idle gaps are jumped on
+        the grid exactly like the reference loop.
+        """
+        dt = sim.dt
+        observer = self.observer
+        tariff = self.tariff
+        pending = deque(states)     # not yet submitted (future arrivals)
+        #: submitted, release time still in the future — keyed so the
+        #: top is the next release
+        future: list[tuple[Seconds, int, _JobState]] = []
+        #: submitted and past release — keyed by admission preference
+        eligible: list[tuple[float, Seconds, Seconds, int, _JobState]] = []
+        running: list[_JobState] = []
+        done: list[_JobState] = []
+        last_macro_rounds = 0
+        last_macro_dts = 0
+
+        def eligible_entry(
+            state: _JobState,
+        ) -> tuple[float, Seconds, Seconds, int, _JobState]:
+            return (
+                state.decision.priority,
+                state.decision.release_time,
+                state.request.submit_time,
+                state.seq,
+                state,
+            )
+
+        while len(done) < len(states):
+            now = sim.time
+            if now >= max_time:
+                waiting = sorted(
+                    [entry[2] for entry in future]
+                    + [entry[4] for entry in eligible],
+                    key=lambda s: s.seq,
+                )
+                raise self._timeout(
+                    max_time,
+                    [s.request.name for s in [*pending, *waiting, *running]],
+                )
+
+            # 1. ingest submissions whose time has come
+            while pending and pending[0].request.submit_time <= now + 1e-9:
+                state = pending.popleft()
+                if observer is not None:
+                    observer.job_submitted(
+                        now,
+                        state.request.name,
+                        state.request.tenant,
+                        state.request.sla.label,
+                    )
+                    if state.decision.deferred:
+                        observer.job_deferred(
+                            now,
+                            state.request.name,
+                            state.decision.release_time,
+                            state.decision.reason,
+                        )
+                if state.decision.release_time <= now + 1e-9:
+                    heapq.heappush(eligible, eligible_entry(state))
+                else:
+                    heapq.heappush(
+                        future,
+                        (state.decision.release_time, state.seq, state),
+                    )
+
+            # 2. deferred releases whose time has come
+            while future and future[0][0] <= now + 1e-9:
+                _release, _seq, state = heapq.heappop(future)
+                heapq.heappush(eligible, eligible_entry(state))
+
+            # 3. admission under the cap and per-tenant fairness
+            self._admit_fast(now, eligible, running, sim)
+
+            if running:
+                # 4. jump to the next service event; bill the energy
+                #    drawn during the jump at the single plateau every
+                #    executed step start provably lies in.
+                price, carbon, boundary = tariff.plateau(now)
+                horizon = min(boundary, max_time + dt)
+                if pending:
+                    horizon = min(horizon, pending[0].request.submit_time)
+                if future:
+                    horizon = min(horizon, future[0][0])
+                if horizon <= now + 1e-9:
+                    # the event sits in the epsilon sliver just above
+                    # ``now`` (e.g. a non-grid-aligned plateau edge):
+                    # take one exact step, billed — as the grid loop
+                    # bills it — at the plateau in force at its start.
+                    horizon = now + dt
+                for state in running:
+                    assert state.record is not None
+                    state.last_energy = state.record.energy_joules
+                sim.run_until(horizon)
+                finished: list[_JobState] = []
+                for state in running:
+                    assert state.record is not None
+                    delta = state.record.energy_joules - state.last_energy
+                    if delta > 0:
+                        kwh = delta / JOULES_PER_KWH
+                        state.result.energy_j += delta
+                        state.result.cost_usd += kwh * price
+                        state.result.kg_co2 += kwh * carbon
+                    if state.record.finished:
+                        finished.append(state)
+                if observer is not None:
+                    d_rounds = sim.macro_rounds - last_macro_rounds
+                    d_dts = sim.macro_stepped_dts - last_macro_dts
+                    if d_rounds:
+                        observer.service_macro_step(
+                            now, d_dts, d_dts * dt, d_rounds
+                        )
+                    last_macro_rounds = sim.macro_rounds
+                    last_macro_dts = sim.macro_stepped_dts
+                for state in finished:
+                    running.remove(state)
+                    done.append(state)
+                    self._finalize(state, sim.time)
+            else:
+                # 5. idle: jump (on the dt grid) to the next submission
+                #    or release — the same arithmetic as the reference
+                #    loop, so timestamps stay bit-equal.
+                horizons = (
+                    [pending[0].request.submit_time] if pending else []
+                )
+                if future:
+                    horizons.append(future[0][0])
+                if eligible:
+                    horizons.append(now)  # slot-capped: advance one dt
+                target = min(horizons) if horizons else math.inf
+                if math.isinf(target):
+                    raise RuntimeError(
+                        "service loop stalled: no running jobs and no "
+                        "future events"
+                    )
+                steps = max(1, math.ceil((target - now - 1e-9) / dt))
+                sim.time += steps * dt

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_right
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.units import Joules, Seconds
 
@@ -53,6 +53,11 @@ class TariffTrace:
     name: str
     points: tuple[tuple[float, float, float], ...]
     period_s: float = DAY_S
+    #: Plateau offsets, cached once for bisection (derived from
+    #: ``points``; excluded from comparison/repr).
+    _offsets: tuple[float, ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
 
     def __post_init__(self) -> None:
         if self.period_s <= 0:
@@ -68,13 +73,39 @@ class TariffTrace:
             raise ValueError("plateau offsets must lie within the period")
         if any(price < 0 or carbon < 0 for _, price, carbon in self.points):
             raise ValueError("prices and carbon intensities must be >= 0")
+        object.__setattr__(self, "_offsets", tuple(offsets))
 
     # -- lookups --------------------------------------------------------
 
     def _segment(self, t: float) -> tuple[float, float, float]:
         phase = t % self.period_s
-        idx = bisect_right([p[0] for p in self.points], phase) - 1
+        idx = bisect_right(self._offsets, phase) - 1
         return self.points[idx]
+
+    def plateau(self, t: Seconds) -> tuple[float, float, Seconds]:
+        """``(price $/kWh, carbon kgCO2/kWh, next boundary time)`` of
+        the plateau in force at absolute time ``t`` (seconds).
+
+        One lookup for callers that need all three — the service fast
+        path bills whole macro-spans against a single plateau and uses
+        the boundary as an event horizon. Unlike :meth:`next_change`
+        (whose epsilon guard rounds a ``t`` sitting within 1e-12 of an
+        edge *past* it), the boundary returned here is derived from the
+        **same segment the price came from**, so every instant in
+        ``[t, boundary)`` is guaranteed to price at the returned values
+        — the invariant plateau-granular billing relies on.
+        """
+        if len(self.points) == 1:
+            _offset, price, carbon = self.points[0]
+            return price, carbon, math.inf
+        phase = t % self.period_s
+        idx = bisect_right(self._offsets, phase) - 1
+        _offset, price, carbon = self.points[idx]
+        if idx + 1 < len(self.points):
+            boundary = t - phase + self._offsets[idx + 1]
+        else:
+            boundary = t - phase + self.period_s  # next period's offset 0
+        return price, carbon, boundary
 
     def price_at(self, t: Seconds) -> float:
         """Electricity price ($/kWh) at absolute time ``t`` (seconds)."""

@@ -269,3 +269,99 @@ class TestWithRealPlans:
         sim.run()
         assert a.finished and b.finished
         assert a.energy_joules > 0 and b.energy_joules > 0
+
+
+class TestRunUntil:
+    """The event-horizon batch API: ``run_until`` must replay the
+    per-``step()`` grid exactly — same timestamps, same energy — while
+    macro-stepping every span it can prove frozen."""
+
+    @staticmethod
+    def _workload(sim: MultiTransferSimulator, overlap: bool):
+        spacing = 2.0 if overlap else 40.0
+        records = []
+        for i in range(4):
+            records.append(
+                sim.submit(
+                    f"j{i}",
+                    plan(f"j{i}", n_files=10, size=30 * units.MB),
+                    arrival_time=i * spacing,
+                )
+            )
+        return records
+
+    @staticmethod
+    def _idle_jump(sim: MultiTransferSimulator) -> None:
+        """Jump an idle gap on the dt grid (the service loop's exact
+        arithmetic, used identically by both drivers below)."""
+        import math as _math
+
+        nxt = min(
+            r.arrival_time for r in sim.records() if r.start_time is None
+        )
+        steps = max(1, _math.ceil((nxt - sim.time - 1e-9) / sim.dt))
+        sim.time += steps * sim.dt
+
+    @classmethod
+    def _drive_fast(cls, sim: MultiTransferSimulator) -> None:
+        while not all(r.finished for r in sim.records()):
+            done = sim.run_until(1e9)
+            if not done:
+                cls._idle_jump(sim)
+
+    @classmethod
+    def _drive_grid(cls, sim: MultiTransferSimulator) -> None:
+        while not all(r.finished for r in sim.records()):
+            if any(
+                r.start_time is not None and not r.finished
+                for r in sim.records()
+            ) or any(
+                r.arrival_time <= sim.time + 1e-12
+                for r in sim.records()
+                if r.start_time is None
+            ):
+                sim.step()
+            else:
+                cls._idle_jump(sim)
+
+    @pytest.mark.parametrize("overlap", [True, False])
+    def test_matches_grid_exactly(self, shared_testbed, overlap):
+        grid = MultiTransferSimulator(shared_testbed, max_concurrent_jobs=3)
+        self._workload(grid, overlap)
+        self._drive_grid(grid)
+
+        fast = MultiTransferSimulator(shared_testbed, max_concurrent_jobs=3)
+        self._workload(fast, overlap)
+        self._drive_fast(fast)
+
+        for rf, rg in zip(fast.records(), grid.records(), strict=True):
+            assert rf.start_time == rg.start_time          # bit-equal
+            assert rf.completion_time == rg.completion_time
+            assert rf.energy_joules == pytest.approx(
+                rg.energy_joules, rel=1e-9
+            )
+
+    def test_returns_at_first_completion(self, shared_testbed):
+        sim = MultiTransferSimulator(shared_testbed)
+        a = sim.submit("a", plan("a", n_files=4, size=10 * units.MB))
+        b = sim.submit("b", plan("b", n_files=40, size=50 * units.MB))
+        done = sim.run_until(1e9)
+        assert [r.name for r in done] == ["a"]
+        assert a.finished and not b.finished
+        assert a.completion_time == sim.time
+
+    def test_horizon_respected(self, shared_testbed):
+        sim = MultiTransferSimulator(shared_testbed)
+        sim.submit("a", plan("a"))
+        done = sim.run_until(1.0)
+        assert done == []
+        assert 1.0 - sim.dt - 1e-9 <= sim.time <= 1.0 + 1e-9
+
+    def test_macro_counters_advance(self, shared_testbed):
+        sim = MultiTransferSimulator(shared_testbed)
+        sim.submit("a", plan("a"))
+        sim.run_until(1e9)
+        assert sim.macro_rounds > 0
+        assert sim.macro_stepped_dts > sim.macro_rounds  # spans of >= 2 dts
+        total = sim.macro_stepped_dts + sim.fixed_rounds
+        assert total == pytest.approx(sim.time / sim.dt, abs=1.0)

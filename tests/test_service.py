@@ -515,7 +515,7 @@ class TestServiceSimulator:
             make_request(name="z", tenant="t2", submit=4.0),
         ]
         report = self._simulator(small_testbed).run(reqs)
-        per = report.per_tenant()
+        per = report.per_tenant
         assert set(per) == {"t1", "t2"}
         assert per["t1"]["jobs"] == 2 and per["t2"]["jobs"] == 1
         assert sum(row["cost_usd"] for row in per.values()) == pytest.approx(
