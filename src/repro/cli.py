@@ -147,6 +147,62 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the full report as JSON (to PATH, or stdout "
                         "when no path is given)")
 
+    p = sub.add_parser(
+        "fleet-service",
+        help="run a day of tenant traffic across a sharded fleet of links",
+    )
+    _add_testbed(p)
+    p.add_argument("-w", "--workload", default="diurnal",
+                   help="workload preset: steady | diurnal | bursty "
+                        "(default diurnal)")
+    p.add_argument("-p", "--policy", default="price-threshold",
+                   help="deferral policy: run-now | deadline-edf | "
+                        "price-threshold | carbon-aware (default "
+                        "price-threshold)")
+    p.add_argument("--tariff", default="peak-offpeak",
+                   help="tariff preset: flat | peak-offpeak | green-midday "
+                        "(default peak-offpeak)")
+    p.add_argument("--shards", type=int, default=8,
+                   help="identical-link shards to run (default 8)")
+    p.add_argument("--routing", default="tenant-hash",
+                   help="dispatch heuristic: tenant-hash | least-loaded | "
+                        "weighted | round-robin (default tenant-hash)")
+    p.add_argument("--steal-threshold", type=float, default=4.0,
+                   help="work-stealing saturation factor over the fleet's "
+                        "mean relative backlog; 0 disables (default 4.0)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="real process parallelism across shards "
+                        "(default: min(shards, cpu count); 1 = inline)")
+    p.add_argument("--jobs", type=int, default=96,
+                   help="tenant requests over the day (default 96)")
+    p.add_argument("--day", type=float, default=3600.0,
+                   help="length of the simulated day in seconds; job sizes "
+                        "scale proportionally (default 3600)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="workload seed (default 7)")
+    p.add_argument("--max-concurrent", type=int, default=4,
+                   help="per-shard admission concurrency cap (default 4)")
+    p.add_argument("--max-per-tenant", type=int, default=None,
+                   help="per-shard per-tenant running-job cap (default: none)")
+    p.add_argument("-c", "--max-channels", type=int, default=4,
+                   help="channel budget per ENERGY/BALANCED job (default 4)")
+    p.add_argument("--dataset-pool", type=int, default=None, metavar="N",
+                   help="pre-draw N datasets per tenant and reuse them "
+                        "across arrivals (exercises plan memoization; "
+                        "default: fresh draw per job)")
+    p.add_argument("--context", type=Path, default=None, metavar="PATH",
+                   help="warm-start plan context file: loaded before the "
+                        "run if it exists, updated after (GContext-style)")
+    p.add_argument("--events", action="store_true",
+                   help="also print the fleet dispatch event stream")
+    p.add_argument("--grid", action="store_true",
+                   help="run every shard on the reference dt-grid loop "
+                        "instead of the fast path (slow; identical results)")
+    p.add_argument("--json", type=Path, nargs="?", const=Path("-"),
+                   default=None, metavar="PATH",
+                   help="emit the fleet report as JSON (to PATH, or stdout "
+                        "when no path is given)")
+
     sub.add_parser("workloads", help="list the workload presets")
 
     p = sub.add_parser("pareto", help="throughput/energy frontier of a sweep")
@@ -234,6 +290,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "advise": _cmd_advise,
         "fleet": _cmd_fleet,
         "service": _cmd_service,
+        "fleet-service": _cmd_fleet_service,
         "workloads": _cmd_workloads,
         "pareto": _cmd_pareto,
         "history": _cmd_history,
@@ -449,6 +506,79 @@ def _cmd_service(args: argparse.Namespace) -> int:
     )
     report = simulator.run(requests)
     print(report.render())
+    if args.events:
+        print()
+        print(render_events(observer.events))
+    if args.json is not None:
+        payload = _json.dumps(report.to_dict(), indent=2) + "\n"
+        if str(args.json) == "-":
+            sys.stdout.write(payload)
+        else:
+            args.json.write_text(payload)
+            print(f"report written to {args.json}")
+    return 0
+
+
+def _cmd_fleet_service(args: argparse.Namespace) -> int:
+    """One day of tenant traffic across a sharded fleet of links."""
+    import json as _json
+
+    from repro.obs.observer import Observer, render_events
+    from repro.service import (
+        FleetContext,
+        FleetSimulator,
+        POLICY_PRESETS,
+        ROUTING_POLICIES,
+        TARIFF_PRESETS,
+        WORKLOAD_PRESETS,
+        policy_by_name,
+        tariff_by_name,
+        workload_by_name,
+    )
+
+    for value, known, what in (
+        (args.workload, WORKLOAD_PRESETS, "workload"),
+        (args.policy, POLICY_PRESETS, "policy"),
+        (args.tariff, TARIFF_PRESETS, "tariff"),
+        (args.routing, ROUTING_POLICIES, "routing"),
+    ):
+        if value not in known:
+            print(f"unknown {what} {value!r}; known: "
+                  f"{', '.join(sorted(known))}", file=sys.stderr)
+            return 2
+    testbed = _resolve_testbed(args.testbed)
+    requests = workload_by_name(
+        args.workload, args.jobs, day_s=args.day, seed=args.seed,
+        size_scale=args.day / 86400.0, dataset_pool=args.dataset_pool,
+    )
+    tariff = tariff_by_name(args.tariff, period_s=args.day)
+    warm = None
+    if args.context is not None and args.context.exists():
+        warm = FleetContext.load(args.context)
+        print(f"warm-start context loaded: {len(warm)} plan entries "
+              f"({warm.source or 'unlabelled'})")
+    observer = Observer()
+    fleet = FleetSimulator(
+        testbed,
+        policy=policy_by_name(args.policy),
+        tariff=tariff,
+        shards=args.shards,
+        routing=args.routing,
+        steal_threshold=args.steal_threshold if args.steal_threshold > 0 else None,
+        max_concurrent_jobs=args.max_concurrent,
+        max_per_tenant=args.max_per_tenant,
+        max_channels=args.max_channels,
+        observer=observer,
+        fast=not args.grid,
+        workers=args.workers,
+        warm_context=warm,
+    )
+    report = fleet.run(requests)
+    print(report.render())
+    if args.context is not None and fleet.last_context is not None:
+        fleet.last_context.save(args.context)
+        print(f"warm-start context saved to {args.context} "
+              f"({len(fleet.last_context)} plan entries)")
     if args.events:
         print()
         print(render_events(observer.events))

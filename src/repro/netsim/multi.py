@@ -23,13 +23,29 @@ from dataclasses import dataclass
 from collections.abc import Sequence
 from typing import Optional
 
+import numpy as np
+
 from repro.netsim.channel import Channel
-from repro.netsim.engine import Binding, ChunkPlan, TransferEngine
+from repro.netsim.engine import (
+    ACCUM_VECTOR_MIN,
+    Binding,
+    ChunkPlan,
+    TransferEngine,
+    accumulate_times,
+)
 from repro.power.models import FineGrainedPowerModel
 from repro.testbeds.specs import Testbed
 from repro.units import Bytes, BytesPerSecond, Joules, Seconds
 
 __all__ = ["JobRecord", "MultiTransferSimulator", "TransferTimeout"]
+
+#: Coupled sets at least this wide take the batched array path through
+#: :meth:`MultiTransferSimulator.run_until` rounds (stream counts,
+#: refill check and energy deltas as single array ops). Narrow sets —
+#: the common service case of a handful of concurrent jobs — keep the
+#: scalar path, whose per-round overhead is lower. Both paths are
+#: bit-equal.
+_VECTOR_MIN_ENGINES = 8
 
 
 class TransferTimeout(RuntimeError):
@@ -249,6 +265,14 @@ class MultiTransferSimulator:
         method returns at the first completion so the caller can bill
         and re-admit at the completion's grid time, exactly as a
         per-step loop would.
+
+        Wide coupled sets (``>= 8`` running engines — a fleet shard
+        with dozens of concurrent jobs) batch the per-round stream
+        counts, the refill check and the energy deltas into single
+        NumPy array passes; long spans batch the time additions into
+        one sequential-fold accumulate. Both are bit-equal to the
+        scalar round (integer compares; float64 subtraction and
+        left-fold addition are the identical scalar operations).
         """
         dt = self.dt
         completed: list[JobRecord] = []
@@ -271,48 +295,90 @@ class MultiTransferSimulator:
                         )
                         k_cap = min(k_cap, max(1, k_arr))
                         break
-            counts0 = {id(e): self._busy_streams(e) for _, e in running}
-            total0 = sum(counts0.values())
-            prepared: list[
-                tuple[JobRecord, TransferEngine, list[Channel], dict[int, float]]
-            ] = []
-            for record, engine in running:
-                engine.set_background_streams(total0 - counts0[id(engine)])
+            n = len(running)
+            engines = [engine for _record, engine in running]
+            counts0 = [self._busy_streams(engine) for engine in engines]
+            total0 = sum(counts0)
+            vector = n >= _VECTOR_MIN_ENGINES
+            if vector:
+                counts_arr = np.array(counts0, dtype=np.int64)
+                backgrounds = (total0 - counts_arr).tolist()
+            else:
+                backgrounds = [total0 - count for count in counts0]
+            prepared_busy: list[list[Channel]] = []
+            prepared_rates: list[dict[int, float]] = []
+            for i, engine in enumerate(engines):
+                engine.set_background_streams(backgrounds[i])
                 busy, rates = engine.prepare_step()
-                prepared.append((record, engine, busy, rates))
+                prepared_busy.append(busy)
+                prepared_rates.append(rates)
             k = k_cap
-            if k > 1 and len(prepared) > 1:
+            if k > 1 and n > 1:
                 # Work assignment refilled or re-bound a channel: the
                 # count the peers sample next round already differs
                 # from the frozen one, so only one exact step is safe.
-                for _record, engine, busy, _rates in prepared:
-                    if sum(c.parallelism for c in busy) != counts0[id(engine)]:
+                if vector:
+                    new_counts = np.fromiter(
+                        (
+                            sum(c.parallelism for c in busy)
+                            for busy in prepared_busy
+                        ),
+                        dtype=np.int64,
+                        count=n,
+                    )
+                    if bool((new_counts != counts_arr).any()):
                         k = 1
-                        break
+                else:
+                    for i, busy in enumerate(prepared_busy):
+                        if sum(c.parallelism for c in busy) != counts0[i]:
+                            k = 1
+                            break
             if k > 1:
-                coupled = len(prepared) > 1
-                for _record, engine, busy, rates in prepared:
-                    k = min(k, engine.stable_steps(busy, rates, k))
+                coupled = n > 1
+                for i, engine in enumerate(engines):
+                    k = min(k, engine.stable_steps(prepared_busy[i], prepared_rates[i], k))
                     if k < 2:
                         k = 1
                         break
                     if coupled:
-                        k = min(k, engine.count_stable_steps(rates, k))
+                        k = min(k, engine.count_stable_steps(prepared_rates[i], k))
                         if k < 2:
                             k = 1
                             break
-            for record, engine, busy, rates in prepared:
-                before_energy = engine.total_energy
-                engine.advance_prepared(busy, rates, k)
-                record.energy_joules += engine.total_energy - before_energy
-            for _ in range(k):  # repeated addition: bit-equal to grid time
-                self.time += dt
+            if vector:
+                before = np.fromiter(
+                    (engine.total_energy for engine in engines),
+                    dtype=np.float64,
+                    count=n,
+                )
+                for i, engine in enumerate(engines):
+                    engine.advance_prepared(prepared_busy[i], prepared_rates[i], k)
+                after = np.fromiter(
+                    (engine.total_energy for engine in engines),
+                    dtype=np.float64,
+                    count=n,
+                )
+                deltas = after - before
+                for i, (record, _engine) in enumerate(running):
+                    record.energy_joules += float(deltas[i])
+            else:
+                for i, (record, engine) in enumerate(running):
+                    before_energy = engine.total_energy
+                    engine.advance_prepared(prepared_busy[i], prepared_rates[i], k)
+                    record.energy_joules += engine.total_energy - before_energy
+            # repeated addition: bit-equal to grid time (long spans
+            # batch the additions into one sequential-fold array op)
+            if k >= ACCUM_VECTOR_MIN:
+                self.time = float(accumulate_times(self.time, dt, k)[-1])
+            else:
+                for _ in range(k):
+                    self.time += dt
             if k > 1:
                 self.macro_rounds += 1
                 self.macro_stepped_dts += k
             else:
                 self.fixed_rounds += 1
-            for record, engine, _busy, _rates in prepared:
+            for record, engine in running:
                 if engine.finished and not record.finished:
                     record.completion_time = self.time
                     engine.flush_fallback_events()

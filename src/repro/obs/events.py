@@ -51,6 +51,11 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "job_admitted": frozenset({"job", "queue_wait_s"}),
     "job_completed": frozenset({"job", "duration_s", "energy_j", "cost_usd"}),
     "deadline_missed": frozenset({"job", "deadline", "completion"}),
+    # fleet-layer sharded dispatch (repro.service.fleet)
+    "shard_started": frozenset({"shard", "jobs"}),
+    "shard_completed": frozenset({"shard", "jobs", "wall_s"}),
+    "job_routed": frozenset({"job", "shard"}),
+    "work_stolen": frozenset({"job", "from_shard", "to_shard"}),
 }
 
 

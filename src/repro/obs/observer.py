@@ -189,6 +189,40 @@ class Observer:
             completion=completion,
         )
 
+    # -- fleet-layer sharded dispatch ----------------------------------
+
+    def job_routed(self, time: Seconds, job: str, shard: str) -> None:
+        """The fleet dispatcher assigned a request to a shard."""
+        self.metrics.counter("fleet.jobs_routed").inc()
+        self.metrics.counter(f"fleet.shard_jobs.{shard}").inc()
+        self.events.emit(time, "job_routed", job=job, shard=shard)
+
+    def work_stolen(
+        self, time: Seconds, job: str, from_shard: str, to_shard: str
+    ) -> None:
+        """A saturated shard's job was rerouted to the least-loaded one."""
+        self.metrics.counter("fleet.work_steals").inc()
+        self.events.emit(
+            time, "work_stolen", job=job, from_shard=from_shard,
+            to_shard=to_shard,
+        )
+
+    def shard_started(self, time: Seconds, shard: str, jobs: int) -> None:
+        """One shard's service day began executing ``jobs`` routed jobs."""
+        self.metrics.counter("fleet.shard_starts").inc()
+        self.events.emit(time, "shard_started", shard=shard, jobs=jobs)
+
+    def shard_completed(
+        self, time: Seconds, shard: str, jobs: int, wall_s: float
+    ) -> None:
+        """One shard's service day finished; ``wall_s`` is real
+        (wall-clock) execution time, not simulated seconds."""
+        self.metrics.counter("fleet.shard_completions").inc()
+        self.metrics.histogram("fleet.shard_wall_s", _SPAN_BUCKETS).observe(wall_s)
+        self.events.emit(
+            time, "shard_completed", shard=shard, jobs=jobs, wall_s=wall_s
+        )
+
     # -- engine event-log forwarding -----------------------------------
 
     def engine_event(self, time: Seconds, kind: str, detail: dict) -> None:
@@ -261,6 +295,17 @@ def _fmt_detail(kind: str, detail: dict) -> str:
         return (
             f"{detail['job']} deadline={detail['deadline']:.0f}s "
             f"finished={detail['completion']:.0f}s"
+        )
+    if kind == "job_routed":
+        return f"{detail['job']} -> {detail['shard']}"
+    if kind == "work_stolen":
+        return f"{detail['job']} {detail['from_shard']} -> {detail['to_shard']}"
+    if kind == "shard_started":
+        return f"{detail['shard']} with {detail['jobs']} jobs"
+    if kind == "shard_completed":
+        return (
+            f"{detail['shard']} {detail['jobs']} jobs in "
+            f"{detail['wall_s']:.2f} s wall"
         )
     return ", ".join(f"{k}={v}" for k, v in detail.items())
 

@@ -14,13 +14,33 @@ delayed transfers". This package models that provider end to end:
 * :mod:`repro.service.scheduler` — deferral policies and admission
   priorities, under a deadline-safety invariant;
 * :mod:`repro.service.simulate` — the event loop that admits,
-  executes and bills each job at the tariff in force while it runs.
+  executes and bills each job at the tariff in force while it runs;
+* :mod:`repro.service.fleet` — the sharded fleet dispatcher that
+  routes a day across many links and merges per-shard reports.
 
-Surfaced as ``repro service`` on the CLI and benchmarked by
-``benchmarks/bench_service.py``.
+Surfaced as ``repro service`` / ``repro fleet-service`` on the CLI and
+benchmarked by ``benchmarks/bench_service.py`` /
+``benchmarks/bench_fleet_service.py``.
 """
 
-from repro.service.policies import JobPlan, plan_for
+from repro.service.fleet import (
+    FleetContext,
+    FleetReport,
+    FleetSimulator,
+    ROUTING_POLICIES,
+    RoutingResult,
+    ShardResult,
+    ShardSpec,
+    route_requests,
+)
+from repro.service.policies import (
+    JobPlan,
+    export_plan_cache,
+    plan_cache_clear,
+    plan_cache_info,
+    plan_for,
+    seed_plan_cache,
+)
 from repro.service.requests import (
     BALANCED,
     DEFAULT_TENANTS,
@@ -66,11 +86,15 @@ __all__ = [
     "TariffTrace", "flat_tariff", "peak_offpeak_tariff",
     "green_midday_tariff", "TARIFF_PRESETS", "tariff_by_name",
     # planning
-    "JobPlan", "plan_for",
+    "JobPlan", "plan_for", "plan_cache_info", "plan_cache_clear",
+    "export_plan_cache", "seed_plan_cache",
     # scheduling
     "SchedulingDecision", "DeferralPolicy", "RunNow", "DeadlineEDF",
     "PriceThreshold", "CarbonAware", "POLICY_PRESETS", "policy_by_name",
     "latest_safe_start",
     # simulation
     "JobResult", "ServiceReport", "ServiceSimulator",
+    # fleet
+    "FleetContext", "FleetReport", "FleetSimulator", "ROUTING_POLICIES",
+    "RoutingResult", "ShardResult", "ShardSpec", "route_requests",
 ]

@@ -1,0 +1,783 @@
+"""Fleet-scale sharded transfer service: many links, one report.
+
+One :class:`~repro.service.simulate.ServiceSimulator` serves one
+link's day well, but a provider operating at millions of jobs per day
+runs a *fleet* of links. This module shards that scale: a
+:class:`FleetSimulator` routes the day's requests across one service
+shard per link (each an unmodified ``ServiceSimulator``), executes the
+shards inline or behind a spawn-safe :class:`ProcessPoolExecutor`, and
+folds the per-shard :class:`~repro.service.simulate.ServiceReport`\\ s
+and observer summaries (via :func:`repro.obs.metrics.merge_summaries`)
+into a single :class:`FleetReport` with fleet-wide and per-tenant /
+per-shard kWh, dollars, kgCO2, deadline-miss rate and slowdown
+percentiles.
+
+Routing is deterministic (load-balancer heuristics, no RNG):
+
+* ``tenant-hash`` — ``crc32(tenant) mod shards``: tenant affinity, the
+  classic consistent-dispatch default;
+* ``least-loaded`` — argmin of weight-relative backlog bytes at
+  dispatch time (psim's least-loaded job placement);
+* ``weighted`` — tenant hash mapped through the cumulative shard
+  weights, so capacity-weighted shards draw proportional traffic;
+* ``round-robin`` — strict rotation.
+
+All of them compose with **work stealing**: when the chosen shard's
+weight-relative backlog exceeds ``steal_threshold`` times the fleet
+mean (its admission queue has saturated relative to its fair share),
+the job is re-routed to the least-loaded shard at dispatch time —
+deterministic, and visible as ``work_stolen`` events.
+
+Warm starts follow psim's ``GContext`` idiom: a run exports every
+shard's memoized planning entries (chunk plans plus their
+``predict_plan_performance`` duration/energy estimates) as a picklable
+:class:`FleetContext`; seeding the next run with it pre-populates each
+shard's plan LRU so repeated dataset shapes never pay the
+MinE/HTEE/SLAEE math again, across runs and across processes.
+
+Determinism contract: same requests, seed, shard count, routing and
+policy knobs → the same routing decisions and bit-identical simulated
+quantities in the :class:`FleetReport` (timestamps, admission
+decisions, energy/cost/carbon). Wall-clock fields (``wall_s``,
+``jobs_per_sec``) measure the real machine and are excluded from the
+contract. A single-shard fleet reproduces ``ServiceSimulator``
+(``fast=True``) exactly.
+
+(The sibling :mod:`repro.fleet` is the paper's *annualized projection*
+model — same word, different axis: it extrapolates one link's day to a
+year; this module actually simulates the fleet's day.)
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+from functools import cached_property
+from pathlib import Path
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from repro import units
+from repro.core.chunks import PartitionPolicy
+from repro.obs.metrics import merge_summaries
+from repro.obs.observer import Observer
+from repro.service.policies import (
+    PlanCacheEntry,
+    export_plan_cache,
+    seed_plan_cache,
+)
+from repro.service.requests import TransferRequest
+from repro.service.scheduler import DeferralPolicy
+from repro.service.simulate import (
+    JobResult,
+    ServiceReport,
+    ServiceSimulator,
+    _percentile,
+)
+from repro.service.tariff import JOULES_PER_KWH, TariffTrace
+from repro.testbeds.specs import Testbed
+from repro.units import Joules, Seconds
+
+__all__ = [
+    "ROUTING_POLICIES",
+    "FleetContext",
+    "FleetReport",
+    "FleetSimulator",
+    "RoutingResult",
+    "ShardResult",
+    "ShardSpec",
+    "route_requests",
+]
+
+#: Deterministic dispatch heuristics understood by :func:`route_requests`.
+ROUTING_POLICIES = ("tenant-hash", "least-loaded", "weighted", "round-robin")
+
+
+def _stable_hash(text: str) -> int:
+    """A process-stable 32-bit hash (Python's ``hash`` is salted)."""
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+# ----------------------------------------------------------------------
+# shard description and routing
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One fleet shard: a named link/testbed with a routing weight.
+
+    ``weight`` scales the shard's fair share under ``least-loaded`` /
+    ``weighted`` routing and the work-stealing saturation test (a
+    weight-2 shard is expected to carry twice the bytes).
+    """
+
+    name: str
+    testbed: Testbed
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("shard name must be non-empty")
+        if not self.weight > 0:
+            raise ValueError("shard weight must be > 0")
+
+
+@dataclass(frozen=True)
+class RoutingResult:
+    """Deterministic dispatch outcome: per-shard request lists (in
+    fleet submit order) plus stealing accounting."""
+
+    buckets: tuple[tuple[TransferRequest, ...], ...]
+    steals: int
+    stolen_in: tuple[int, ...]
+    stolen_out: tuple[int, ...]
+
+
+def route_requests(
+    requests: Sequence[TransferRequest],
+    shards: Sequence[ShardSpec],
+    *,
+    routing: str = "tenant-hash",
+    steal_threshold: Optional[float] = 4.0,
+    observer: Optional[Observer] = None,
+) -> RoutingResult:
+    """Assign every request to a shard with the chosen heuristic.
+
+    Requests are dispatched in ``(submit_time, name)`` order — the same
+    canonical order :class:`~repro.service.simulate.ServiceSimulator`
+    imposes — so the assignment is a pure function of the workload and
+    the shard list, independent of caller ordering. Backlog is tracked
+    in bytes (scaled by shard weight); with ``steal_threshold`` set, a
+    chosen shard whose relative backlog exceeds ``threshold × fleet
+    mean`` hands the job to the least-loaded shard instead (work
+    stealing at dispatch time, so the decision is deterministic and
+    reproducible from the same inputs).
+    """
+    if routing not in ROUTING_POLICIES:
+        raise ValueError(
+            f"unknown routing {routing!r}; known: {', '.join(ROUTING_POLICIES)}"
+        )
+    if steal_threshold is not None and steal_threshold < 1.0:
+        raise ValueError("steal_threshold must be >= 1.0 (or None to disable)")
+    if not shards:
+        raise ValueError("at least one shard is required")
+    names = [spec.name for spec in shards]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate shard names: {sorted(names)}")
+    n = len(shards)
+    weights = np.array([spec.weight for spec in shards], dtype=np.float64)
+    total_weight = float(weights.sum())
+    cumulative = np.cumsum(weights) / total_weight
+    backlog = np.zeros(n, dtype=np.float64)
+    buckets: list[list[TransferRequest]] = [[] for _ in range(n)]
+    stolen_in = [0] * n
+    stolen_out = [0] * n
+    steals = 0
+    rr = 0
+    ordered = sorted(requests, key=lambda r: (r.submit_time, r.name))
+    for request in ordered:
+        if routing == "tenant-hash":
+            chosen = _stable_hash(request.tenant) % n
+        elif routing == "weighted":
+            u = _stable_hash(request.tenant) / 2**32
+            chosen = min(int(np.searchsorted(cumulative, u, side="right")), n - 1)
+        elif routing == "round-robin":
+            chosen = rr % n
+            rr += 1
+        else:  # least-loaded
+            chosen = int(np.argmin(backlog / weights))
+        if steal_threshold is not None and n > 1 and backlog[chosen] > 0.0:
+            relative = backlog / weights
+            mean = float(backlog.sum()) / total_weight
+            if float(relative[chosen]) > steal_threshold * mean:
+                target = int(np.argmin(relative))
+                if target != chosen:
+                    if observer is not None:
+                        observer.work_stolen(
+                            request.submit_time,
+                            request.name,
+                            shards[chosen].name,
+                            shards[target].name,
+                        )
+                    stolen_out[chosen] += 1
+                    stolen_in[target] += 1
+                    steals += 1
+                    chosen = target
+        buckets[chosen].append(request)
+        backlog[chosen] += request.total_bytes
+        if observer is not None:
+            observer.job_routed(
+                request.submit_time, request.name, shards[chosen].name
+            )
+    return RoutingResult(
+        buckets=tuple(tuple(bucket) for bucket in buckets),
+        steals=steals,
+        stolen_in=tuple(stolen_in),
+        stolen_out=tuple(stolen_out),
+    )
+
+
+# ----------------------------------------------------------------------
+# warm-start context
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetContext:
+    """Portable warm-start context (psim ``GContext`` style).
+
+    Carries the fleet's memoized planning entries — chunk plans plus
+    their ``predict_plan_performance`` estimates — in a picklable,
+    identity-free form. Seeding a run with a prior similar run's
+    context pre-populates every shard's plan LRU, so repeated dataset
+    shapes skip the MinE/HTEE/SLAEE math entirely, across processes
+    and across runs (see :func:`repro.service.policies.seed_plan_cache`).
+    """
+
+    entries: tuple[PlanCacheEntry, ...] = ()
+    source: str = ""
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def save(self, path: Union[Path, str]) -> Path:
+        """Pickle the context to ``path`` (plans are plain dataclasses)."""
+        path = Path(path)
+        with path.open("wb") as handle:
+            pickle.dump(self, handle)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[Path, str]) -> "FleetContext":
+        """Unpickle a context written by :meth:`save`."""
+        try:
+            with Path(path).open("rb") as handle:
+                context = pickle.load(handle)
+        except (pickle.UnpicklingError, ValueError, EOFError,
+                AttributeError, ImportError) as exc:
+            raise TypeError(
+                f"{path} does not contain a FleetContext: {exc}"
+            ) from exc
+        if not isinstance(context, cls):
+            raise TypeError(f"{path} does not contain a FleetContext")
+        return context
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ShardResult:
+    """One shard's executed day plus its dispatch accounting.
+
+    ``wall_s`` is real (machine) execution time of the shard's
+    simulation — not simulated seconds — and is excluded from the
+    determinism contract.
+    """
+
+    name: str
+    weight: float
+    routed_jobs: int
+    stolen_in: int
+    stolen_out: int
+    wall_s: float
+    report: ServiceReport
+
+
+@dataclass
+class FleetReport:
+    """Merged fleet-wide view of every shard's service day.
+
+    Aggregates are ``cached_property``\\ s computed once on first
+    access (the report is read-only by convention, like
+    :class:`~repro.service.simulate.ServiceReport`). Unlike a shard
+    report, :meth:`to_dict` carries **no per-job rows** — at fleet
+    scale (1M jobs) those belong in the shard reports, not in one JSON
+    blob.
+    """
+
+    routing: str
+    policy: str
+    tariff: str
+    shards: list[ShardResult] = field(default_factory=list)
+    work_steals: int = 0
+    #: Real dispatch wall-clock for the whole fleet run (seconds); the
+    #: basis of ``jobs_per_sec`` / ``jobs_per_day``. Not simulated
+    #: time, therefore outside the determinism contract.
+    wall_s: float = 0.0
+    #: Merged per-shard observer summaries
+    #: (:func:`repro.obs.metrics.merge_summaries` output), or ``None``
+    #: when the fleet ran unobserved.
+    metrics: Optional[dict] = None
+
+    # -- aggregates (computed once) -------------------------------------
+
+    def _jobs(self) -> list[JobResult]:
+        return [job for shard in self.shards for job in shard.report.jobs]
+
+    @cached_property
+    def jobs_total(self) -> int:
+        return sum(len(shard.report.jobs) for shard in self.shards)
+
+    @cached_property
+    def total_bytes(self) -> int:
+        return sum(shard.report.total_bytes for shard in self.shards)
+
+    @cached_property
+    def total_energy_j(self) -> Joules:
+        return sum(shard.report.total_energy_j for shard in self.shards)
+
+    @cached_property
+    def total_cost_usd(self) -> float:
+        return sum(shard.report.total_cost_usd for shard in self.shards)
+
+    @cached_property
+    def total_kg_co2(self) -> float:
+        return sum(shard.report.total_kg_co2 for shard in self.shards)
+
+    @cached_property
+    def deferred_jobs(self) -> int:
+        return sum(shard.report.deferred_jobs for shard in self.shards)
+
+    @cached_property
+    def deadline_miss_rate(self) -> float:
+        """Misses over jobs that *have* deadlines, fleet-wide."""
+        with_deadline = [j for j in self._jobs() if j.deadline is not None]
+        if not with_deadline:
+            return 0.0
+        return sum(j.deadline_missed for j in with_deadline) / len(with_deadline)
+
+    @cached_property
+    def slowdowns(self) -> list[float]:
+        return [s for shard in self.shards for s in shard.report.slowdowns]
+
+    @cached_property
+    def p50_slowdown(self) -> float:
+        return _percentile(self.slowdowns, 50.0)
+
+    @cached_property
+    def p95_slowdown(self) -> float:
+        return _percentile(self.slowdowns, 95.0)
+
+    @cached_property
+    def turnarounds(self) -> list[Seconds]:
+        """Per-finished-job submit → complete latency (the tenant-visible
+        end-to-end latency, for percentiles)."""
+        return [j.turnaround_s for j in self._jobs() if j.finished]
+
+    @cached_property
+    def p95_turnaround_s(self) -> Seconds:
+        return _percentile(self.turnarounds, 95.0)
+
+    @cached_property
+    def mean_turnaround_s(self) -> Seconds:
+        if not self.turnarounds:
+            return 0.0
+        return sum(self.turnarounds) / len(self.turnarounds)
+
+    @cached_property
+    def mean_queue_wait_s(self) -> Seconds:
+        admitted = [j for j in self._jobs() if j.admitted_at is not None]
+        if not admitted:
+            return 0.0
+        return sum(j.queue_wait_s for j in admitted) / len(admitted)
+
+    @cached_property
+    def makespan_s(self) -> Seconds:
+        """Largest shard makespan (shards simulate the same day in
+        parallel, so the fleet's day ends with its slowest shard)."""
+        return max((s.report.makespan_s for s in self.shards), default=0.0)
+
+    @property
+    def jobs_per_sec(self) -> float:
+        """Simulated jobs per real second of fleet execution."""
+        return self.jobs_total / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def jobs_per_day(self) -> float:
+        """Throughput headline: jobs the fleet simulates per real day."""
+        return self.jobs_per_sec * 86400.0
+
+    @cached_property
+    def per_tenant(self) -> dict[str, dict]:
+        """Shard per-tenant rows merged fleet-wide (counters add; queue
+        waits re-average weighted by job count)."""
+        out: dict[str, dict] = {}
+        for shard in self.shards:
+            for tenant, row in shard.report.per_tenant.items():
+                if tenant not in out:
+                    out[tenant] = dict(row)
+                    out[tenant]["_wait_sum"] = (
+                        row["mean_queue_wait_s"] * row["jobs"]
+                    )
+                    continue
+                merged = out[tenant]
+                for key in (
+                    "jobs", "bytes", "kwh", "cost_usd", "kg_co2",
+                    "deferred", "deadline_misses",
+                ):
+                    merged[key] += row[key]
+                merged["_wait_sum"] += row["mean_queue_wait_s"] * row["jobs"]
+        for tenant in out:
+            row = out[tenant]
+            wait_sum = row.pop("_wait_sum")
+            row["mean_queue_wait_s"] = (
+                wait_sum / row["jobs"] if row["jobs"] else 0.0
+            )
+        return dict(sorted(out.items()))
+
+    @cached_property
+    def per_shard(self) -> list[dict]:
+        """One JSON-safe summary row per shard, in shard order."""
+        rows = []
+        for shard in self.shards:
+            report = shard.report
+            rows.append({
+                "shard": shard.name,
+                "testbed": report.testbed,
+                "weight": shard.weight,
+                "jobs": len(report.jobs),
+                "routed_jobs": shard.routed_jobs,
+                "stolen_in": shard.stolen_in,
+                "stolen_out": shard.stolen_out,
+                "bytes": report.total_bytes,
+                "kwh": report.total_energy_j / JOULES_PER_KWH,
+                "cost_usd": report.total_cost_usd,
+                "kg_co2": report.total_kg_co2,
+                "deferred": report.deferred_jobs,
+                "deadline_miss_rate": report.deadline_miss_rate,
+                "p95_slowdown": report.p95_slowdown,
+                "makespan_s": report.makespan_s,
+                "wall_s": shard.wall_s,
+            })
+        return rows
+
+    # -- serialization / rendering --------------------------------------
+
+    def to_dict(self) -> dict:
+        """Fleet totals, per-tenant and per-shard rows as a JSON-safe
+        dict (no per-job rows — see class docstring)."""
+        return {
+            "routing": self.routing,
+            "policy": self.policy,
+            "tariff": self.tariff,
+            "shards": len(self.shards),
+            "jobs": self.jobs_total,
+            "total_bytes": self.total_bytes,
+            "total_gb": units.to_GB(self.total_bytes),
+            "total_kwh": self.total_energy_j / JOULES_PER_KWH,
+            "total_cost_usd": self.total_cost_usd,
+            "total_kg_co2": self.total_kg_co2,
+            "deferred_jobs": self.deferred_jobs,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "p50_slowdown": self.p50_slowdown,
+            "p95_slowdown": self.p95_slowdown,
+            "mean_queue_wait_s": self.mean_queue_wait_s,
+            "p95_turnaround_s": self.p95_turnaround_s,
+            "mean_turnaround_s": self.mean_turnaround_s,
+            "makespan_s": self.makespan_s,
+            "work_steals": self.work_steals,
+            "wall_s": self.wall_s,
+            "jobs_per_sec": self.jobs_per_sec,
+            "jobs_per_day": self.jobs_per_day,
+            "per_tenant": self.per_tenant,
+            "per_shard": self.per_shard,
+        }
+
+    def render(self) -> str:
+        """The fleet report as an aligned, human-readable block."""
+        lines = [
+            f"Fleet day across {len(self.shards)} shards "
+            f"(routing={self.routing}, policy={self.policy}, "
+            f"tariff={self.tariff}):",
+            f"  {self.jobs_total} jobs, {units.to_GB(self.total_bytes):.1f} GB, "
+            f"makespan {self.makespan_s:.0f} s, "
+            f"wall {self.wall_s:.1f} s "
+            f"({self.jobs_per_sec:.0f} jobs/s, "
+            f"{self.jobs_per_day:.3g} jobs/day)",
+            f"  energy {self.total_energy_j / JOULES_PER_KWH:.3f} kWh -> "
+            f"${self.total_cost_usd:.4f}, {self.total_kg_co2:.4f} kgCO2",
+            f"  deferred {self.deferred_jobs}, "
+            f"deadline misses {self.deadline_miss_rate:.0%}, "
+            f"slowdown p50 {self.p50_slowdown:.2f} / p95 {self.p95_slowdown:.2f}, "
+            f"turnaround p95 {self.p95_turnaround_s:.0f} s, "
+            f"steals {self.work_steals}",
+        ]
+        lines.append(
+            f"  {'shard':<10s} {'jobs':>7s} {'GB':>9s} {'kWh':>8s} "
+            f"{'$':>9s} {'kgCO2':>8s} {'miss':>5s} {'in/out':>7s} {'wall s':>7s}"
+        )
+        for row in self.per_shard:
+            lines.append(
+                f"  {row['shard']:<10s} {row['jobs']:>7d} "
+                f"{units.to_GB(row['bytes']):>9.1f} {row['kwh']:>8.3f} "
+                f"{row['cost_usd']:>9.4f} {row['kg_co2']:>8.4f} "
+                f"{row['deadline_miss_rate']:>5.0%} "
+                f"{row['stolen_in']:>3d}/{row['stolen_out']:<3d} "
+                f"{row['wall_s']:>7.1f}"
+            )
+        lines.append(
+            f"  {'tenant':<10s} {'jobs':>7s} {'GB':>9s} {'kWh':>8s} "
+            f"{'$':>9s} {'kgCO2':>8s} {'defer':>5s} {'miss':>4s} {'wait s':>8s}"
+        )
+        for tenant, row in self.per_tenant.items():
+            lines.append(
+                f"  {tenant:<10s} {row['jobs']:>7d} "
+                f"{units.to_GB(row['bytes']):>9.1f} {row['kwh']:>8.3f} "
+                f"{row['cost_usd']:>9.4f} {row['kg_co2']:>8.4f} "
+                f"{row['deferred']:>5d} {row['deadline_misses']:>4d} "
+                f"{row['mean_queue_wait_s']:>8.0f}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# shard execution (process-pool safe)
+# ----------------------------------------------------------------------
+
+
+def _run_shard(payload: dict) -> dict:
+    """Execute one shard's service day and return picklable results.
+
+    Top-level (not a closure/method) so a spawn-based
+    :class:`ProcessPoolExecutor` can import it; everything it needs
+    travels in the payload dict. Seeds the worker's plan cache from the
+    warm-start entries first, and exports the (now warmer) cache back
+    so the parent can accumulate context across runs.
+    """
+    spec: ShardSpec = payload["spec"]
+    warm: Sequence[PlanCacheEntry] = payload["warm"]
+    if warm:
+        seed_plan_cache(spec.testbed, warm)
+    observer = Observer() if payload["observe"] else None
+    simulator = ServiceSimulator(
+        spec.testbed,
+        policy=payload["policy"],
+        tariff=payload["tariff"],
+        max_concurrent_jobs=payload["max_concurrent_jobs"],
+        max_per_tenant=payload["max_per_tenant"],
+        max_channels=payload["max_channels"],
+        partition_policy=payload["partition_policy"],
+        observer=observer,
+        fast=payload["fast"],
+    )
+    start = time.perf_counter()  # repro: noqa[RPL002] — real shard wall-clock, reported outside the determinism contract
+    report = simulator.run(payload["requests"], max_time=payload["max_time"])
+    wall_s = time.perf_counter() - start  # repro: noqa[RPL002] — see above
+    return {
+        "report": report,
+        "wall_s": wall_s,
+        "summary": observer.summary() if observer is not None else None,
+        "export": export_plan_cache(spec.testbed),
+    }
+
+
+# ----------------------------------------------------------------------
+# the fleet dispatcher
+# ----------------------------------------------------------------------
+
+
+class FleetSimulator:
+    """Routes a day of tenant traffic across service shards and merges
+    the results.
+
+    Construct either with one ``testbed`` replicated ``shards`` times
+    (a homogeneous fleet of identical links, shards named ``s0..sN``)
+    or with explicit ``shard_specs`` (heterogeneous links and weights).
+    Every per-shard knob (``max_concurrent_jobs``, ``max_per_tenant``,
+    ``max_channels``, ``partition_policy``, ``fast``) is passed through
+    to each shard's :class:`~repro.service.simulate.ServiceSimulator`
+    unchanged, so a one-shard fleet reproduces the plain service
+    exactly.
+
+    ``workers`` bounds real parallelism: ``None`` picks
+    ``min(shards, cpu_count)``; ``1`` runs shards inline (no process
+    pool, no pickling); ``>1`` uses a :class:`ProcessPoolExecutor`,
+    which requires picklable testbeds/policies/tariffs. Results are
+    identical either way — shards are independent simulations.
+
+    After :meth:`run`, ``last_context`` holds the accumulated
+    :class:`FleetContext` (input context merged with every shard's
+    exported plan entries, newest winning) ready to seed the next run.
+    """
+
+    def __init__(
+        self,
+        testbed: Optional[Testbed] = None,
+        *,
+        policy: DeferralPolicy,
+        tariff: TariffTrace,
+        shards: int = 8,
+        shard_specs: Optional[Sequence[ShardSpec]] = None,
+        routing: str = "tenant-hash",
+        steal_threshold: Optional[float] = 4.0,
+        max_concurrent_jobs: int = 4,
+        max_per_tenant: Optional[int] = None,
+        max_channels: int = 4,
+        partition_policy: PartitionPolicy = PartitionPolicy(),
+        observer: Optional[Observer] = None,
+        fast: bool = True,
+        workers: Optional[int] = None,
+        warm_context: Optional[FleetContext] = None,
+    ) -> None:
+        if (testbed is None) == (shard_specs is None):
+            raise ValueError("provide exactly one of testbed or shard_specs")
+        if shard_specs is not None:
+            self.shards: list[ShardSpec] = list(shard_specs)
+            if not self.shards:
+                raise ValueError("shard_specs must be non-empty")
+        else:
+            if shards < 1:
+                raise ValueError("shards must be >= 1")
+            assert testbed is not None
+            self.shards = [
+                ShardSpec(name=f"s{i}", testbed=testbed) for i in range(shards)
+            ]
+        names = [spec.name for spec in self.shards]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate shard names: {sorted(names)}")
+        if routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing {routing!r}; known: "
+                f"{', '.join(ROUTING_POLICIES)}"
+            )
+        if steal_threshold is not None and steal_threshold < 1.0:
+            raise ValueError(
+                "steal_threshold must be >= 1.0 (or None to disable)"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.policy = policy
+        self.tariff = tariff
+        self.routing = routing
+        self.steal_threshold = steal_threshold
+        self.max_concurrent_jobs = max_concurrent_jobs
+        self.max_per_tenant = max_per_tenant
+        self.max_channels = max_channels
+        self.partition_policy = partition_policy
+        self.observer = observer
+        self.fast = fast
+        self.workers = workers
+        self.warm_context = warm_context
+        #: Set by :meth:`run`: the accumulated warm-start context.
+        self.last_context: Optional[FleetContext] = None
+
+    # ------------------------------------------------------------------
+
+    def _payloads(
+        self, routed: RoutingResult, max_time: Seconds
+    ) -> list[dict[str, Any]]:
+        warm: tuple[PlanCacheEntry, ...] = (
+            self.warm_context.entries if self.warm_context is not None else ()
+        )
+        observe = self.observer is not None
+        return [
+            {
+                "spec": spec,
+                "requests": list(bucket),
+                "policy": self.policy,
+                "tariff": self.tariff,
+                "max_concurrent_jobs": self.max_concurrent_jobs,
+                "max_per_tenant": self.max_per_tenant,
+                "max_channels": self.max_channels,
+                "partition_policy": self.partition_policy,
+                "fast": self.fast,
+                "max_time": max_time,
+                "observe": observe,
+                "warm": warm,
+            }
+            for spec, bucket in zip(self.shards, routed.buckets, strict=True)
+        ]
+
+    def run(
+        self,
+        requests: Sequence[TransferRequest],
+        *,
+        max_time: Seconds = 1e7,
+    ) -> FleetReport:
+        """Route, execute and merge one fleet day.
+
+        ``max_time`` bounds each shard's *simulated* day; a shard that
+        cannot finish raises
+        :class:`~repro.netsim.multi.TransferTimeout`, exactly as the
+        plain service does.
+        """
+        routed = route_requests(
+            requests,
+            self.shards,
+            routing=self.routing,
+            steal_threshold=self.steal_threshold,
+            observer=self.observer,
+        )
+        payloads = self._payloads(routed, max_time)
+        if self.observer is not None:
+            for spec, bucket in zip(self.shards, routed.buckets, strict=True):
+                self.observer.shard_started(0.0, spec.name, len(bucket))
+        n_workers = (
+            self.workers
+            if self.workers is not None
+            else min(len(self.shards), os.cpu_count() or 1)
+        )
+        start = time.perf_counter()  # repro: noqa[RPL002] — real dispatch wall-clock, reported outside the determinism contract
+        if n_workers <= 1 or len(self.shards) == 1:
+            outs = [_run_shard(payload) for payload in payloads]
+        else:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                outs = list(pool.map(_run_shard, payloads))
+        wall_s = time.perf_counter() - start  # repro: noqa[RPL002] — see above
+        shard_results: list[ShardResult] = []
+        summaries: list[dict] = []
+        for i, (spec, out) in enumerate(zip(self.shards, outs, strict=True)):
+            report: ServiceReport = out["report"]
+            shard_results.append(
+                ShardResult(
+                    name=spec.name,
+                    weight=spec.weight,
+                    routed_jobs=len(routed.buckets[i]),
+                    stolen_in=routed.stolen_in[i],
+                    stolen_out=routed.stolen_out[i],
+                    wall_s=out["wall_s"],
+                    report=report,
+                )
+            )
+            if out["summary"] is not None:
+                summaries.append(out["summary"])
+            if self.observer is not None:
+                self.observer.shard_completed(
+                    report.makespan_s, spec.name, len(report.jobs),
+                    out["wall_s"],
+                )
+                if out["summary"] is not None:
+                    self.observer.merge_summary(out["summary"])
+        merged_metrics = merge_summaries(summaries) if summaries else None
+        warm_entries: tuple[PlanCacheEntry, ...] = (
+            self.warm_context.entries if self.warm_context is not None else ()
+        )
+        accumulated: dict[tuple, PlanCacheEntry] = {}
+        for entry in itertools.chain(
+            warm_entries, *(out["export"] for out in outs)
+        ):
+            accumulated[entry[:5]] = entry
+        self.last_context = FleetContext(
+            entries=tuple(accumulated.values()),
+            source=f"fleet:{len(self.shards)}x{len(requests)}",
+        )
+        return FleetReport(
+            routing=self.routing,
+            policy=self.policy.name,
+            tariff=self.tariff.name,
+            shards=shard_results,
+            work_steals=routed.steals,
+            wall_s=wall_s,
+            metrics=merged_metrics,
+        )

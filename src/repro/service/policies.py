@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
+from collections.abc import Iterable
 from dataclasses import dataclass
 from typing import Optional
 
@@ -51,7 +52,15 @@ from repro.service.requests import TransferRequest
 from repro.testbeds.specs import Testbed
 from repro.units import Joules, Seconds
 
-__all__ = ["JobPlan", "plan_for", "plan_cache_info", "plan_cache_clear"]
+__all__ = [
+    "JobPlan",
+    "PlanCacheEntry",
+    "export_plan_cache",
+    "plan_for",
+    "plan_cache_info",
+    "plan_cache_clear",
+    "seed_plan_cache",
+]
 
 
 @dataclass(frozen=True)
@@ -144,6 +153,61 @@ def plan_cache_clear() -> None:
     carry testbed *identity*, which cannot observe in-place edits.
     """
     _PLAN_CACHE.clear()
+
+
+#: One portable (picklable, identity-free) warm-start entry: the cache
+#: key minus the testbed id — ``(file sizes, sla kind, sla level,
+#: max_channels, partition_policy)`` — plus the cached planning result
+#: ``(algorithm, plans, est_duration_s, est_energy_j)``.
+PlanCacheEntry = tuple[
+    tuple[int, ...],
+    str,
+    Optional[float],
+    int,
+    PartitionPolicy,
+    str,
+    tuple[ChunkPlan, ...],
+    Seconds,
+    Joules,
+]
+
+
+def export_plan_cache(testbed: Testbed) -> list[PlanCacheEntry]:
+    """Snapshot ``testbed``'s memoized plans as portable entries.
+
+    Entries drop the identity half of the cache key (``id(testbed)``
+    does not survive pickling), so they can cross process boundaries
+    and be re-pinned to *any* equivalent testbed object with
+    :func:`seed_plan_cache` — the psim-``GContext`` warm-start idiom.
+    Returned in LRU order (oldest first), so re-seeding preserves
+    eviction order.
+    """
+    tb_id = id(testbed)
+    return [
+        (key[1], key[2], key[3], key[4], key[5], value[0], value[1], value[2], value[3])
+        for key, value in _PLAN_CACHE._data.items()
+        if key[0] == tb_id
+    ]
+
+
+def seed_plan_cache(testbed: Testbed, entries: Iterable[PlanCacheEntry]) -> int:
+    """Warm the plan LRU for ``testbed`` from exported entries.
+
+    Seeds both the memoized chunk plans and their
+    :func:`~repro.core.advisor.predict_plan_performance` estimates, so
+    a service run starting from a prior similar run's context plans
+    repeated dataset shapes without paying the MinE/HTEE/SLAEE math
+    even once. Seeding counts as neither hit nor miss. Returns the
+    number of entries installed. The caller vouches that ``testbed``
+    is equivalent to the exporting one (same path/server/coefficient
+    numbers) — entries carry no identity to check against.
+    """
+    count = 0
+    for sizes, kind, level, max_channels, policy, algorithm, plans, duration, energy in entries:
+        key: _CacheKey = (id(testbed), tuple(sizes), kind, level, max_channels, policy)
+        _PLAN_CACHE.put(key, (algorithm, tuple(plans), duration, energy, testbed))
+        count += 1
+    return count
 
 
 def _cache_key(

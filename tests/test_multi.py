@@ -365,3 +365,53 @@ class TestRunUntil:
         assert sim.macro_stepped_dts > sim.macro_rounds  # spans of >= 2 dts
         total = sim.macro_stepped_dts + sim.fixed_rounds
         assert total == pytest.approx(sim.time / sim.dt, abs=1.0)
+
+    def test_wide_fleet_vector_path_matches_grid(self, shared_testbed):
+        """At >= 8 concurrent engines ``run_until`` batches its
+        per-round bookkeeping into array ops; the wide path must stay
+        bit-equal to the per-``step()`` grid, like the narrow one."""
+        from repro.netsim.multi import _VECTOR_MIN_ENGINES
+
+        def workload(sim: MultiTransferSimulator):
+            for i in range(10):
+                sim.submit(
+                    f"w{i}",
+                    plan(f"w{i}", n_files=6, size=(15 + 5 * (i % 3)) * units.MB),
+                    arrival_time=1.5 * i,
+                )
+
+        grid = MultiTransferSimulator(shared_testbed, max_concurrent_jobs=10)
+        workload(grid)
+        self._drive_grid(grid)
+
+        fast = MultiTransferSimulator(shared_testbed, max_concurrent_jobs=10)
+        workload(fast)
+        self._drive_fast(fast)
+
+        # the cap admits every job, so the vector threshold was crossed
+        assert len(fast.records()) >= _VECTOR_MIN_ENGINES
+        for rf, rg in zip(fast.records(), grid.records(), strict=True):
+            assert rf.start_time == rg.start_time          # bit-equal
+            assert rf.completion_time == rg.completion_time
+            assert rf.energy_joules == pytest.approx(
+                rg.energy_joules, rel=1e-9
+            )
+
+
+class TestAccumulateTimes:
+    """The vectorised running-sum helper underpinning both fast paths
+    must fold exactly like the scalar ``t += dt`` loop it replaces."""
+
+    def test_bit_equal_to_scalar_loop(self):
+        from repro.netsim.engine import accumulate_times
+
+        for t0 in (0.0, 1.0, 123.456789, 9.6e5):
+            for dt in (0.1, 0.05, 0.125, 1.0 / 3.0):
+                for k in (1, 2, 31, 32, 200):
+                    times = accumulate_times(t0, dt, k)
+                    expected = []
+                    t = t0
+                    for _ in range(k):
+                        t += dt
+                        expected.append(t)
+                    assert times.tolist() == expected  # bit-equal, all k
