@@ -1,0 +1,303 @@
+"""Seeded chaos scenario scripts.
+
+A :class:`ScenarioScript` is a declarative fault timeline: a tuple of
+:mod:`~repro.chaos.actions` interventions, optional extra workload
+(flash-crowd arrivals), and the :class:`~repro.chaos.slo.SLOBudget`
+the day must hold under that weather. Scripts are *pure data* — built
+once from ``(day_s, seed, tariff, testbed)`` with a
+``numpy.random.default_rng(seed)`` stream, then replayed identically
+by every simulator flavor (fast or grid, inline or process-pool
+fleet) — which is what makes the chaos suite deterministic: same
+scenario + seed + policy ⇒ byte-identical report.
+
+Five scenario families ship as presets (:data:`SCENARIO_PRESETS`):
+
+* ``brownout`` — the shared link sags to 35% capacity mid-morning and
+  recovers in the afternoon.
+* ``crash-storm`` — a burst of transfer-server crashes with timed
+  recovery (on single-server testbeds, where a side's last server can
+  never be taken down, the storm manifests as transport resets —
+  channel cuts — instead).
+* ``tariff-spike`` — a grid emergency: spot price 3x / carbon 2x for
+  a third of the day, then restoration of the original schedule.
+* ``flash-crowd`` — a seeded burst of extra ``flash``-tenant arrivals
+  compressed into a 5%-of-day window at the worst possible time.
+* ``traffic-surge`` — heavy ambient background traffic (phantom
+  competing streams) through the middle of the day.
+
+All timings are fractions of ``day_s``, so the same scenario stresses
+a 10-minute smoke day and a full 86400 s day identically in shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.chaos.actions import (
+    AmbientTraffic,
+    ChannelCut,
+    LinkScale,
+    ServerOutage,
+    TariffSwap,
+)
+from repro.chaos.slo import SLOBudget, SLORule
+from repro.service.requests import TransferRequest, poisson_workload
+from repro.service.simulate import Intervention
+from repro.service.tariff import TariffTrace
+from repro.testbeds import Testbed
+from repro.units import Seconds
+
+__all__ = [
+    "ScenarioScript",
+    "brownout",
+    "crash_storm",
+    "tariff_spike",
+    "flash_crowd",
+    "traffic_surge",
+    "SCENARIO_PRESETS",
+    "scenario_by_name",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioScript:
+    """One replayable chaos timeline plus its SLO budget."""
+
+    name: str
+    description: str
+    actions: tuple[Intervention, ...]
+    slo: SLOBudget
+    #: Extra arrivals merged into the base workload (flash crowds).
+    extra_requests: tuple[TransferRequest, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        times = [action.time for action in self.actions]
+        if times != sorted(times):
+            raise ValueError("scenario actions must be time-sorted")
+
+
+def brownout(
+    *,
+    day_s: Seconds,
+    seed: int,
+    tariff: TariffTrace,
+    testbed: Testbed,
+    jobs: int = 24,
+) -> ScenarioScript:
+    """Link sags to 35% capacity for ~30% of the day."""
+    rng = np.random.default_rng(seed)
+    start = float(rng.uniform(0.20, 0.30)) * day_s
+    end = start + 0.30 * day_s
+    return ScenarioScript(
+        name="brownout",
+        description=(
+            "shared link at 35% capacity from "
+            f"t={start:.0f}s to t={end:.0f}s"
+        ),
+        actions=(
+            LinkScale(time=start, scale=0.35),
+            LinkScale(time=end, scale=1.0),
+        ),
+        slo=SLOBudget(
+            name="brownout",
+            rules=(
+                SLORule("p95_slowdown", 40.0),
+                SLORule("unfinished_rate", 0.25),
+            ),
+        ),
+    )
+
+
+def crash_storm(
+    *,
+    day_s: Seconds,
+    seed: int,
+    tariff: TariffTrace,
+    testbed: Testbed,
+    jobs: int = 24,
+) -> ScenarioScript:
+    """Three seeded server crashes (timed recovery) across the
+    morning; degrades to channel-cut storms where a side has only one
+    server (the harness refuses to take down a side's last server)."""
+    rng = np.random.default_rng(seed)
+    times = sorted(float(t) for t in rng.uniform(0.15, 0.60, size=3) * day_s)
+    downtime = 0.08 * day_s
+    counts = {
+        "src": testbed.source.server_count,
+        "dst": testbed.destination.server_count,
+    }
+    actions: list[Intervention] = []
+    for at in times:
+        side = str(rng.choice(["src", "dst"]))
+        if counts[side] >= 2:
+            index = int(rng.integers(0, counts[side]))
+            actions.append(
+                ServerOutage(time=at, side=side, index=index,
+                             downtime=downtime)
+            )
+        else:
+            actions.append(ChannelCut(time=at, per_job=1))
+    return ScenarioScript(
+        name="crash-storm",
+        description=(
+            f"3 server crashes ({downtime:.0f}s recovery each) between "
+            f"t={times[0]:.0f}s and t={times[-1]:.0f}s"
+        ),
+        actions=tuple(actions),
+        slo=SLOBudget(
+            name="crash-storm",
+            rules=(
+                SLORule("miss_rate", 0.60),
+                SLORule("unfinished_rate", 0.25),
+            ),
+        ),
+    )
+
+
+def tariff_spike(
+    *,
+    day_s: Seconds,
+    seed: int,
+    tariff: TariffTrace,
+    testbed: Testbed,
+    jobs: int = 24,
+) -> ScenarioScript:
+    """Grid emergency: price 3x / carbon 2x for a third of the day,
+    then the original schedule is restored."""
+    rng = np.random.default_rng(seed)
+    start = float(rng.uniform(0.25, 0.40)) * day_s
+    end = start + day_s / 3.0
+    spiked = tariff.scaled(price_factor=3.0, carbon_factor=2.0)
+    return ScenarioScript(
+        name="tariff-spike",
+        description=(
+            f"price x3 / carbon x2 from t={start:.0f}s to t={end:.0f}s"
+        ),
+        actions=(
+            TariffSwap(time=start, trace=spiked),
+            TariffSwap(time=end, trace=tariff),
+        ),
+        slo=SLOBudget(
+            name="tariff-spike",
+            rules=(
+                SLORule("cost_per_gb", 10.0),
+                SLORule("miss_rate", 0.50),
+            ),
+        ),
+    )
+
+
+def flash_crowd(
+    *,
+    day_s: Seconds,
+    seed: int,
+    tariff: TariffTrace,
+    testbed: Testbed,
+    jobs: int = 24,
+) -> ScenarioScript:
+    """A seeded burst of extra ``flash``-tenant arrivals — one quarter
+    of the base job count — compressed into a 5%-of-day window."""
+    rng = np.random.default_rng(seed)
+    n_extra = max(4, jobs // 4)
+    window = 0.05 * day_s
+    start = float(rng.uniform(0.35, 0.55)) * day_s
+    burst = poisson_workload(
+        n_extra, day_s=window, seed=seed + 104729, size_scale=day_s / 86400.0
+    )
+    extras = tuple(
+        replace(
+            request,
+            name=f"flash-{i:03d}",
+            tenant="flash",
+            submit_time=request.submit_time + start,
+            deadline=(
+                None if request.deadline is None
+                else request.deadline + start
+            ),
+        )
+        for i, request in enumerate(burst)
+    )
+    return ScenarioScript(
+        name="flash-crowd",
+        description=(
+            f"{n_extra} extra arrivals in a {window:.0f}s window at "
+            f"t={start:.0f}s"
+        ),
+        actions=(),
+        slo=SLOBudget(
+            name="flash-crowd",
+            rules=(
+                SLORule("mean_queue_wait_s", 0.5 * day_s),
+                SLORule("unfinished_rate", 0.30),
+            ),
+        ),
+        extra_requests=extras,
+    )
+
+
+def traffic_surge(
+    *,
+    day_s: Seconds,
+    seed: int,
+    tariff: TariffTrace,
+    testbed: Testbed,
+    jobs: int = 24,
+) -> ScenarioScript:
+    """Heavy ambient background traffic (phantom competing streams)
+    through the middle 40% of the day."""
+    rng = np.random.default_rng(seed)
+    start = float(rng.uniform(0.25, 0.35)) * day_s
+    end = start + 0.40 * day_s
+    streams = float(rng.integers(16, 33))
+    return ScenarioScript(
+        name="traffic-surge",
+        description=(
+            f"{streams:.0f} ambient competing streams from "
+            f"t={start:.0f}s to t={end:.0f}s"
+        ),
+        actions=(
+            AmbientTraffic(time=start, streams=streams),
+            AmbientTraffic(time=end, streams=0.0),
+        ),
+        slo=SLOBudget(
+            name="traffic-surge",
+            rules=(
+                SLORule("p95_slowdown", 60.0),
+                SLORule("miss_rate", 0.60),
+            ),
+        ),
+    )
+
+
+#: Name -> factory. All share the signature
+#: ``(*, day_s, seed, tariff, testbed, jobs)``.
+SCENARIO_PRESETS: dict[str, Callable[..., ScenarioScript]] = {
+    "brownout": brownout,
+    "crash-storm": crash_storm,
+    "tariff-spike": tariff_spike,
+    "flash-crowd": flash_crowd,
+    "traffic-surge": traffic_surge,
+}
+
+
+def scenario_by_name(
+    name: str,
+    *,
+    day_s: Seconds,
+    seed: int,
+    tariff: TariffTrace,
+    testbed: Testbed,
+    jobs: int = 24,
+) -> ScenarioScript:
+    """Build a preset scenario by name for one run configuration."""
+    try:
+        factory = SCENARIO_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIO_PRESETS)}"
+        ) from None
+    return factory(day_s=day_s, seed=seed, tariff=tariff, testbed=testbed,
+                   jobs=jobs)

@@ -203,6 +203,59 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the fleet report as JSON (to PATH, or stdout "
                         "when no path is given)")
 
+    p = sub.add_parser(
+        "chaos",
+        help="replay fault scenarios against the service and judge the "
+             "day against SLO budgets",
+    )
+    _add_testbed(p)
+    p.add_argument("-s", "--scenario", default="all",
+                   help="scenario preset: brownout | crash-storm | "
+                        "tariff-spike | flash-crowd | traffic-surge | all "
+                        "(default all)")
+    p.add_argument("-p", "--policy", default="all",
+                   help="deferral policy: run-now | deadline-edf | "
+                        "price-threshold | carbon-aware | all (default all)")
+    p.add_argument("-w", "--workload", default="steady",
+                   help="base workload preset: steady | diurnal | bursty "
+                        "(default steady)")
+    p.add_argument("--tariff", default="peak-offpeak",
+                   help="tariff preset: flat | peak-offpeak | green-midday "
+                        "(default peak-offpeak)")
+    p.add_argument("--jobs", type=int, default=24,
+                   help="tenant requests over the day (default 24)")
+    p.add_argument("--day", type=float, default=3600.0,
+                   help="length of the simulated day in seconds; job sizes "
+                        "and fault timings scale proportionally "
+                        "(default 3600)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="workload + scenario seed (default 7)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="run the scenario against a fleet of this many "
+                        "shards instead of one service (default 1)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="real process parallelism across shards "
+                        "(default 1 = inline)")
+    p.add_argument("--max-concurrent", type=int, default=4,
+                   help="admission concurrency cap (default 4)")
+    p.add_argument("-c", "--max-channels", type=int, default=4,
+                   help="channel budget per ENERGY/BALANCED job (default 4)")
+    p.add_argument("--dataset-pool", type=int, default=None, metavar="N",
+                   help="pre-draw N datasets per tenant and reuse them "
+                        "across arrivals (default: fresh draw per job)")
+    p.add_argument("--grid", action="store_true",
+                   help="run the reference dt-grid loop instead of the "
+                        "event-horizon fast path (slow; identical results)")
+    p.add_argument("--events", action="store_true",
+                   help="also print the fault/SLO event stream")
+    p.add_argument("--check", action="store_true",
+                   help="determinism self-check: run the pack twice and "
+                        "fail unless the reports are byte-identical")
+    p.add_argument("--json", type=Path, nargs="?", const=Path("-"),
+                   default=None, metavar="PATH",
+                   help="emit the pack (reports + SLO verdicts) as JSON "
+                        "(to PATH, or stdout when no path is given)")
+
     sub.add_parser("workloads", help="list the workload presets")
 
     p = sub.add_parser("pareto", help="throughput/energy frontier of a sweep")
@@ -291,6 +344,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fleet": _cmd_fleet,
         "service": _cmd_service,
         "fleet-service": _cmd_fleet_service,
+        "chaos": _cmd_chaos,
         "workloads": _cmd_workloads,
         "pareto": _cmd_pareto,
         "history": _cmd_history,
@@ -589,6 +643,97 @@ def _cmd_fleet_service(args: argparse.Namespace) -> int:
         else:
             args.json.write_text(payload)
             print(f"report written to {args.json}")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault scenarios against the service layer + SLO verdicts."""
+    import json as _json
+
+    from repro.chaos import SCENARIO_PRESETS, run_pack, strip_wall
+    from repro.obs.observer import Observer, render_events
+    from repro.service import (
+        POLICY_PRESETS,
+        TARIFF_PRESETS,
+        WORKLOAD_PRESETS,
+        tariff_by_name,
+    )
+
+    for value, known, what in (
+        (args.workload, WORKLOAD_PRESETS, "workload"),
+        (args.tariff, TARIFF_PRESETS, "tariff"),
+    ):
+        if value not in known:
+            print(f"unknown {what} {value!r}; known: "
+                  f"{', '.join(sorted(known))}", file=sys.stderr)
+            return 2
+    scenarios = (
+        sorted(SCENARIO_PRESETS) if args.scenario == "all"
+        else [args.scenario]
+    )
+    policies = (
+        sorted(POLICY_PRESETS) if args.policy == "all" else [args.policy]
+    )
+    for scenario in scenarios:
+        if scenario not in SCENARIO_PRESETS:
+            print(f"unknown scenario {scenario!r}; known: "
+                  f"{', '.join(sorted(SCENARIO_PRESETS))}", file=sys.stderr)
+            return 2
+    for policy in policies:
+        if policy not in POLICY_PRESETS:
+            print(f"unknown policy {policy!r}; known: "
+                  f"{', '.join(sorted(POLICY_PRESETS))}", file=sys.stderr)
+            return 2
+    testbed = _resolve_testbed(args.testbed)
+    tariff = tariff_by_name(args.tariff, period_s=args.day)
+    observer = Observer()
+    config = dict(
+        scenarios=scenarios, policies=policies,
+        jobs=args.jobs, day_s=args.day, seed=args.seed,
+        workload=args.workload, max_concurrent_jobs=args.max_concurrent,
+        max_channels=args.max_channels, shards=args.shards,
+        workers=args.workers, fast=not args.grid,
+        dataset_pool=args.dataset_pool,
+    )
+    results = run_pack(
+        testbed=testbed, tariff=tariff, observer=observer, **config
+    )
+    if args.check:
+        first = [strip_wall(result.to_dict()) for result in results]
+        rerun = run_pack(testbed=testbed, tariff=tariff, **config)
+        second = [strip_wall(result.to_dict()) for result in rerun]
+        if _json.dumps(first, sort_keys=True) != _json.dumps(
+            second, sort_keys=True
+        ):
+            print("DETERMINISM CHECK FAILED: same-seed rerun diverged",
+                  file=sys.stderr)
+            return 1
+        print(f"determinism check passed: {len(results)} cells "
+              "byte-identical on rerun")
+    for result in results:
+        print(result.render())
+        print()
+    failed = [result for result in results if not result.passed]
+    print(f"pack verdict: {len(results) - len(failed)}/{len(results)} "
+          f"cells passed"
+          + (f" ({', '.join(f'{r.scenario.name}/{r.policy}' for r in failed)}"
+             " breached)" if failed else ""))
+    if args.events:
+        print()
+        print(render_events(observer.events))
+    if args.json is not None:
+        payload = _json.dumps(
+            {
+                "results": [strip_wall(r.to_dict()) for r in results],
+                "passed": not failed,
+            },
+            indent=2,
+        ) + "\n"
+        if str(args.json) == "-":
+            sys.stdout.write(payload)
+        else:
+            args.json.write_text(payload)
+            print(f"pack written to {args.json}")
     return 0
 
 

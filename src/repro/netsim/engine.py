@@ -348,6 +348,9 @@ class TransferEngine:
         self._spread_counter = 0
         #: Servers currently failed, mapped to their recovery time.
         self._down_servers: dict[tuple[str, int], float] = {}
+        #: Link brownout factor applied to the shared aggregate goodput
+        #: (1.0 = healthy; see :meth:`set_link_scale`).
+        self._link_scale = 1.0
         #: Counters for post-mortem inspection.
         self.channel_failures = 0
         self.server_failures = 0
@@ -594,6 +597,65 @@ class TransferEngine:
                 for _ in range(n):
                     self.open_channel(chunk_name)
         return len(victims)
+
+    def mark_server_down(
+        self, side: str, index: int, *, until: Seconds
+    ) -> None:
+        """Register a server as failed until engine time ``until``
+        without touching any channels.
+
+        The channel-churning path is :meth:`fail_server`; this is the
+        bookkeeping-only form used when an engine is admitted *during*
+        an outage injected at the coordinator level — it has no
+        channels to fail yet, but must still avoid the down server
+        until the shared recovery time. Extending an existing outage
+        keeps the later recovery time.
+        """
+        if side not in ("src", "dst"):
+            raise ValueError("side must be 'src' or 'dst'")
+        count = (self.source if side == "src" else self.destination).server_count
+        if not (0 <= index < count):
+            raise ValueError(f"server index {index} out of range")
+        if until <= self.time:
+            return  # already recovered in this engine's clock
+        prior = self._down_servers.get((side, index))
+        self._down_servers[(side, index)] = (
+            until if prior is None else max(prior, until)
+        )
+        if not self._available_servers(side):
+            if prior is None:
+                del self._down_servers[(side, index)]
+            else:
+                self._down_servers[(side, index)] = prior
+            raise RuntimeError("cannot fail the last available server")
+        if prior is None:
+            self._log_event(
+                "server_failed", side=side, index=index,
+                downtime=until - self.time, channels_lost=0,
+            )
+
+    @property
+    def link_scale(self) -> float:
+        """Current brownout factor on the link's aggregate goodput."""
+        return self._link_scale
+
+    def set_link_scale(self, scale: float) -> None:
+        """Scale the shared link capacity (brownout injection).
+
+        ``scale`` multiplies the aggregate-goodput term of
+        :meth:`_allocate_rates` (per-channel and per-server caps are
+        end-system properties and stay untouched). The allocation memo
+        is invalidated here, and the value is constant between calls,
+        so the event-horizon fast path stays bit-consistent with the
+        fixed stepper — exactly the contract
+        :meth:`set_background_streams` follows.
+        """
+        if scale <= 0:
+            raise ValueError(f"link scale must be > 0, got {scale}")
+        if scale != self._link_scale:
+            self._link_scale = float(scale)
+            self._alloc_cache.clear()
+            self._log_event("link_scaled", scale=scale)
 
     @property
     def down_servers(self) -> dict[tuple[str, int], Seconds]:
@@ -1312,6 +1374,12 @@ class TransferEngine:
             link_capacity = shared * total_streams / (total_streams + competing)
         else:
             link_capacity = tcp.aggregate_goodput(self.path, total_streams)
+        # exact 1.0 sentinel set only by set_link_scale
+        if self._link_scale != 1.0:  # repro: noqa[RPL003]
+            # brownout injection; constant between ``set_link_scale``
+            # calls (which clear this memo), so omitting it from the
+            # signature is safe.
+            link_capacity *= self._link_scale
         groups: list[tuple[float, list[int]]] = [
             (link_capacity, [id(c) for c in busy])
         ]

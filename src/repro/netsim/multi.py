@@ -126,6 +126,14 @@ class MultiTransferSimulator:
         self._unstarted: deque[tuple[JobRecord, TransferEngine]] = deque()
         self._unstarted_dirty = False
         self._active: list[tuple[JobRecord, TransferEngine]] = []
+        #: Chaos state shared by every job on this path. ``_link_scale``
+        #: and ``_ambient_streams`` are constant between injection calls
+        #: (the fast-path contract); ``_site_down`` maps a failed
+        #: server to its recovery time *on this simulator's clock* so
+        #: jobs admitted mid-outage inherit the remaining downtime.
+        self._link_scale = 1.0
+        self._ambient_streams = 0.0
+        self._site_down: dict[tuple[str, int], Seconds] = {}
         #: Fast-path accounting (:meth:`run_until` only): macro rounds
         #: taken, ``dt`` steps they covered, and single-step rounds.
         self.macro_rounds = 0
@@ -164,6 +172,9 @@ class MultiTransferSimulator:
         # chunks registered up front; channels open when the job starts
         for plan in plans:
             engine.submit_chunk(plan)
+        # exact 1.0 sentinel set only by set_link_scale
+        if self._link_scale != 1.0:  # repro: noqa[RPL003]
+            engine.set_link_scale(self._link_scale)
         self._jobs.append((record, engine))
         self._names.add(name)
         if self._unstarted and arrival_time < self._unstarted[-1][0].arrival_time:
@@ -212,14 +223,174 @@ class MultiTransferSimulator:
                 break
             record, engine = self._unstarted.popleft()
             record.start_time = self.time
+            self._inherit_outages(engine)
             engine.admit_pending()
             self._active.append((record, engine))
             if slots is not None:
                 slots -= 1
 
+    def _inherit_outages(self, engine: TransferEngine) -> None:
+        """Propagate in-force server outages to a job being admitted.
+
+        The engine's clock starts at zero on admission, so the shared
+        recovery time is translated into the engine-local remaining
+        downtime. Expired outages are purged as a side effect.
+        """
+        if not self._site_down:
+            return
+        for key, until in list(self._site_down.items()):
+            if until <= self.time + 1e-12:
+                del self._site_down[key]
+                continue
+            engine.mark_server_down(
+                key[0], key[1], until=(until - self.time) + engine.time
+            )
+
     @staticmethod
     def _busy_streams(engine: TransferEngine) -> int:
         return sum(c.parallelism for c in engine.channels if c.busy)
+
+    # ------------------------------------------------------------------
+    # fault injection (chaos surface)
+    #
+    # Every injector mutates shared state that is *constant between
+    # calls*, and callers (the service drivers) never macro-step across
+    # an injection time — together that is the fast-path invalidation
+    # contract: a frozen rate vector computed after an injection is
+    # valid for exactly the same span the fixed-dt loop would observe,
+    # so `run_until` stays bit-consistent with grid stepping under
+    # chaos (see DESIGN.md §5g).
+    # ------------------------------------------------------------------
+
+    @property
+    def link_scale(self) -> float:
+        """Current brownout factor applied to the shared link."""
+        return self._link_scale
+
+    def set_link_scale(self, scale: float) -> None:
+        """Scale the path's aggregate goodput for every job (brownout).
+
+        Applies to all submitted engines — running or still queued —
+        and to engines submitted later. Each engine invalidates its
+        allocation memo on the change.
+        """
+        if scale <= 0:
+            raise ValueError(f"link scale must be > 0, got {scale}")
+        self._link_scale = float(scale)
+        for _record, engine in self._jobs:
+            engine.set_link_scale(self._link_scale)
+
+    @property
+    def ambient_streams(self) -> float:
+        """Background TCP streams beyond the coordinated jobs' own."""
+        return self._ambient_streams
+
+    def set_ambient_streams(self, streams: float) -> None:
+        """Add a constant ambient cross-traffic load to the path.
+
+        Every running job sees ``streams`` competing TCP streams *in
+        addition to* the other jobs' — a background-traffic surge that
+        squeezes all of them at once.
+        """
+        if streams < 0:
+            raise ValueError("ambient stream count must be >= 0")
+        self._ambient_streams = float(streams)
+
+    @property
+    def site_down(self) -> dict[tuple[str, int], Seconds]:
+        """Injected server outages still in force (recovery on this
+        simulator's clock)."""
+        return {
+            key: until
+            for key, until in self._site_down.items()
+            if until > self.time + 1e-12
+        }
+
+    def inject_server_failure(
+        self,
+        side: str,
+        index: int,
+        *,
+        downtime: Seconds,
+        restart_files: bool = False,
+    ) -> int:
+        """Crash one transfer server for every job sharing the path.
+
+        Running jobs fail (and immediately reconnect on survivors —
+        :meth:`TransferEngine.fail_server` with ``reopen=True``); jobs
+        admitted during the outage inherit the remaining downtime via
+        :meth:`TransferEngine.mark_server_down`. Returns the number of
+        channels that failed across all running jobs. Refuses to take
+        down the last available server on a side.
+        """
+        if side not in ("src", "dst"):
+            raise ValueError("side must be 'src' or 'dst'")
+        system = (
+            self.testbed.source if side == "src" else self.testbed.destination
+        )
+        if not (0 <= index < system.server_count):
+            raise ValueError(f"server index {index} out of range")
+        if downtime <= 0:
+            raise ValueError("downtime must be > 0")
+        until = self.time + downtime
+        down_now = {
+            key
+            for key, t in self._site_down.items()
+            if key[0] == side and t > self.time + 1e-12
+        }
+        down_now.add((side, index))
+        if len(down_now) >= system.server_count:
+            raise RuntimeError("cannot fail the last available server")
+        prior = self._site_down.get((side, index))
+        self._site_down[(side, index)] = (
+            until if prior is None else max(prior, until)
+        )
+        failed = 0
+        for _record, engine in self._running():
+            failed += engine.fail_server(
+                side, index, downtime=downtime, restart_files=restart_files
+            )
+        return failed
+
+    def inject_channel_failures(
+        self, *, per_job: int = 1, restart_file: bool = False
+    ) -> int:
+        """Kill up to ``per_job`` open channels of every running job.
+
+        Victims are taken in channel-opening order (deterministic under
+        a fixed seed/schedule). A job losing *all* its channels is
+        stranded — requeued files, no transport — until
+        :meth:`readmit_stranded` (or engine-side recovery) re-opens
+        channels for it. Returns the total number of channels killed.
+        """
+        if per_job < 1:
+            raise ValueError("per_job must be >= 1")
+        failed = 0
+        for _record, engine in self._running():
+            for channel in engine.channels[:per_job]:
+                engine.fail_channel(channel, restart_file=restart_file)
+                failed += 1
+        return failed
+
+    def readmit_stranded(self) -> list[str]:
+        """Re-open planned channels for running jobs left with none.
+
+        The service's recovery/rerouting hook: after a fault strands an
+        admitted job (every channel cut), re-admission restores each
+        chunk's planned concurrency on the currently-available servers
+        — the transport-level equivalent of re-routing the job. Jobs
+        with any surviving channel are left alone (work stealing
+        already covers intra-job rebalancing). Returns the re-admitted
+        job names in admission order.
+        """
+        readmitted: list[str] = []
+        for record, engine in self._running():
+            if engine.channels or record.finished:
+                continue
+            for name, state in engine.chunks.items():
+                engine.set_chunk_channels(name, state.plan.params.concurrency)
+            readmitted.append(record.name)
+        return readmitted
 
     def step(self) -> None:
         """Advance every running job one shared time step."""
@@ -227,8 +398,9 @@ class MultiTransferSimulator:
         running = self._running()
         stream_counts = {id(engine): self._busy_streams(engine) for _, engine in running}
         total_streams = sum(stream_counts.values())
+        ambient = self._ambient_streams
         for record, engine in running:
-            others = total_streams - stream_counts[id(engine)]
+            others = total_streams - stream_counts[id(engine)] + ambient
             engine.set_background_streams(others)
             before_energy = engine.total_energy
             engine.step()
@@ -299,12 +471,13 @@ class MultiTransferSimulator:
             engines = [engine for _record, engine in running]
             counts0 = [self._busy_streams(engine) for engine in engines]
             total0 = sum(counts0)
+            ambient = self._ambient_streams
             vector = n >= _VECTOR_MIN_ENGINES
             if vector:
                 counts_arr = np.array(counts0, dtype=np.int64)
-                backgrounds = (total0 - counts_arr).tolist()
+                backgrounds = (total0 - counts_arr + ambient).tolist()
             else:
-                backgrounds = [total0 - count for count in counts0]
+                backgrounds = [total0 - count + ambient for count in counts0]
             prepared_busy: list[list[Channel]] = []
             prepared_rates: list[dict[int, float]] = []
             for i, engine in enumerate(engines):

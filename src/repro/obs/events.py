@@ -56,6 +56,11 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "shard_completed": frozenset({"shard", "jobs", "wall_s"}),
     "job_routed": frozenset({"job", "shard"}),
     "work_stolen": frozenset({"job", "from_shard", "to_shard"}),
+    # chaos harness (repro.chaos): scenario interventions and SLO
+    # verdicts. ``fault`` is the action kind (link_brownout,
+    # server_outage, ...); ``detail`` carries its action-specific facts.
+    "fault_injected": frozenset({"fault", "detail"}),
+    "slo_breach": frozenset({"metric", "value", "budget", "burn"}),
 }
 
 

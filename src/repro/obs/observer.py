@@ -223,6 +223,38 @@ class Observer:
             time, "shard_completed", shard=shard, jobs=jobs, wall_s=wall_s
         )
 
+    # -- chaos harness (repro.chaos) -----------------------------------
+
+    def fault_injected(self, time: Seconds, fault: str, detail: dict) -> None:
+        """A chaos intervention fired mid-day. ``fault`` is the action
+        kind (``link_brownout``, ``server_outage``, ``channel_cut``,
+        ``tariff_swap``, ``traffic_surge``); ``detail`` carries its
+        action-specific facts."""
+        self.metrics.counter("chaos.faults_injected").inc()
+        self.metrics.counter(f"chaos.faults.{fault}").inc()
+        self.events.emit(time, "fault_injected", fault=fault, detail=detail)
+
+    def jobs_readmitted(self, time: Seconds, count: int) -> None:
+        """The recovery hook re-opened transport for ``count`` jobs
+        stranded by a fault (counter only — the re-opened channels
+        already log their own engine events)."""
+        self.metrics.counter("chaos.jobs_readmitted").inc(count)
+
+    def slo_breach(
+        self, time: Seconds, metric: str, value: Optional[float],
+        budget: float, burn: float,
+    ) -> None:
+        """An SLO oracle rule failed: ``value`` exceeded ``budget``
+        (``burn`` = value/budget; ``value=None`` means the metric was
+        unmeasurable — e.g. a slowdown percentile with zero finished
+        jobs — which counts as an infinite burn)."""
+        self.metrics.counter("chaos.slo_breaches").inc()
+        self.metrics.counter(f"chaos.slo_breaches.{metric}").inc()
+        self.events.emit(
+            time, "slo_breach", metric=metric, value=value, budget=budget,
+            burn=burn,
+        )
+
     # -- engine event-log forwarding -----------------------------------
 
     def engine_event(self, time: Seconds, kind: str, detail: dict) -> None:
@@ -306,6 +338,16 @@ def _fmt_detail(kind: str, detail: dict) -> str:
         return (
             f"{detail['shard']} {detail['jobs']} jobs in "
             f"{detail['wall_s']:.2f} s wall"
+        )
+    if kind == "fault_injected":
+        facts = ", ".join(f"{k}={v}" for k, v in detail["detail"].items())
+        return f"{detail['fault']}" + (f" ({facts})" if facts else "")
+    if kind == "slo_breach":
+        value = detail["value"]
+        shown = "n/a" if value is None else f"{value:.4g}"
+        return (
+            f"{detail['metric']} {shown} > budget {detail['budget']:.4g} "
+            f"(burn {detail['burn']:.2f}x)"
         )
     return ", ".join(f"{k}={v}" for k, v in detail.items())
 

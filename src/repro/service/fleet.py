@@ -76,9 +76,11 @@ from repro.service.policies import (
 from repro.service.requests import TransferRequest
 from repro.service.scheduler import DeferralPolicy
 from repro.service.simulate import (
+    Intervention,
     JobResult,
     ServiceReport,
     ServiceSimulator,
+    _fmt_pct,
     _percentile,
 )
 from repro.service.tariff import JOULES_PER_KWH, TariffTrace
@@ -362,11 +364,13 @@ class FleetReport:
         return [s for shard in self.shards for s in shard.report.slowdowns]
 
     @cached_property
-    def p50_slowdown(self) -> float:
+    def p50_slowdown(self) -> Optional[float]:
+        """``None`` when no job finished fleet-wide."""
         return _percentile(self.slowdowns, 50.0)
 
     @cached_property
-    def p95_slowdown(self) -> float:
+    def p95_slowdown(self) -> Optional[float]:
+        """``None`` when no job finished fleet-wide."""
         return _percentile(self.slowdowns, 95.0)
 
     @cached_property
@@ -376,8 +380,18 @@ class FleetReport:
         return [j.turnaround_s for j in self._jobs() if j.finished]
 
     @cached_property
-    def p95_turnaround_s(self) -> Seconds:
+    def p95_turnaround_s(self) -> Optional[Seconds]:
+        """``None`` when no job finished fleet-wide."""
         return _percentile(self.turnarounds, 95.0)
+
+    @cached_property
+    def truncated(self) -> bool:
+        """True when any shard's day was cut off at ``max_time``."""
+        return any(shard.report.truncated for shard in self.shards)
+
+    @cached_property
+    def unfinished_jobs(self) -> int:
+        return sum(shard.report.unfinished_jobs for shard in self.shards)
 
     @cached_property
     def mean_turnaround_s(self) -> Seconds:
@@ -415,24 +429,28 @@ class FleetReport:
         out: dict[str, dict] = {}
         for shard in self.shards:
             for tenant, row in shard.report.per_tenant.items():
+                # weight by *admitted* jobs: a shard where this tenant
+                # had nothing admitted contributes no wait mass, so a
+                # zero-admitted tenant divides by 0 jobs nowhere and a
+                # disjoint-tenant merge reproduces each shard's mean.
                 if tenant not in out:
                     out[tenant] = dict(row)
                     out[tenant]["_wait_sum"] = (
-                        row["mean_queue_wait_s"] * row["jobs"]
+                        row["mean_queue_wait_s"] * row["admitted"]
                     )
                     continue
                 merged = out[tenant]
                 for key in (
-                    "jobs", "bytes", "kwh", "cost_usd", "kg_co2",
-                    "deferred", "deadline_misses",
+                    "jobs", "admitted", "bytes", "kwh", "cost_usd",
+                    "kg_co2", "deferred", "deadline_misses",
                 ):
                     merged[key] += row[key]
-                merged["_wait_sum"] += row["mean_queue_wait_s"] * row["jobs"]
+                merged["_wait_sum"] += row["mean_queue_wait_s"] * row["admitted"]
         for tenant in out:
             row = out[tenant]
             wait_sum = row.pop("_wait_sum")
             row["mean_queue_wait_s"] = (
-                wait_sum / row["jobs"] if row["jobs"] else 0.0
+                wait_sum / row["admitted"] if row["admitted"] else 0.0
             )
         return dict(sorted(out.items()))
 
@@ -458,6 +476,8 @@ class FleetReport:
                 "deadline_miss_rate": report.deadline_miss_rate,
                 "p95_slowdown": report.p95_slowdown,
                 "makespan_s": report.makespan_s,
+                "truncated": report.truncated,
+                "unfinished_jobs": report.unfinished_jobs,
                 "wall_s": shard.wall_s,
             })
         return rows
@@ -486,6 +506,8 @@ class FleetReport:
             "p95_turnaround_s": self.p95_turnaround_s,
             "mean_turnaround_s": self.mean_turnaround_s,
             "makespan_s": self.makespan_s,
+            "truncated": self.truncated,
+            "unfinished_jobs": self.unfinished_jobs,
             "work_steals": self.work_steals,
             "wall_s": self.wall_s,
             "jobs_per_sec": self.jobs_per_sec,
@@ -496,6 +518,16 @@ class FleetReport:
 
     def render(self) -> str:
         """The fleet report as an aligned, human-readable block."""
+        cutoff = (
+            f" (TRUNCATED: {self.unfinished_jobs} unfinished)"
+            if self.truncated
+            else ""
+        )
+        turnaround = (
+            "n/a"
+            if self.p95_turnaround_s is None
+            else f"{self.p95_turnaround_s:.0f} s"
+        )
         lines = [
             f"Fleet day across {len(self.shards)} shards "
             f"(routing={self.routing}, policy={self.policy}, "
@@ -504,13 +536,14 @@ class FleetReport:
             f"makespan {self.makespan_s:.0f} s, "
             f"wall {self.wall_s:.1f} s "
             f"({self.jobs_per_sec:.0f} jobs/s, "
-            f"{self.jobs_per_day:.3g} jobs/day)",
+            f"{self.jobs_per_day:.3g} jobs/day){cutoff}",
             f"  energy {self.total_energy_j / JOULES_PER_KWH:.3f} kWh -> "
             f"${self.total_cost_usd:.4f}, {self.total_kg_co2:.4f} kgCO2",
             f"  deferred {self.deferred_jobs}, "
             f"deadline misses {self.deadline_miss_rate:.0%}, "
-            f"slowdown p50 {self.p50_slowdown:.2f} / p95 {self.p95_slowdown:.2f}, "
-            f"turnaround p95 {self.p95_turnaround_s:.0f} s, "
+            f"slowdown p50 {_fmt_pct(self.p50_slowdown)} "
+            f"/ p95 {_fmt_pct(self.p95_slowdown)}, "
+            f"turnaround p95 {turnaround}, "
             f"steals {self.work_steals}",
         ]
         lines.append(
@@ -572,7 +605,12 @@ def _run_shard(payload: dict) -> dict:
         fast=payload["fast"],
     )
     start = time.perf_counter()  # repro: noqa[RPL002] — real shard wall-clock, reported outside the determinism contract
-    report = simulator.run(payload["requests"], max_time=payload["max_time"])
+    report = simulator.run(
+        payload["requests"],
+        max_time=payload["max_time"],
+        interventions=payload.get("interventions", ()),
+        on_timeout=payload.get("on_timeout", "raise"),
+    )
     wall_s = time.perf_counter() - start  # repro: noqa[RPL002] — see above
     return {
         "report": report,
@@ -675,7 +713,11 @@ class FleetSimulator:
     # ------------------------------------------------------------------
 
     def _payloads(
-        self, routed: RoutingResult, max_time: Seconds
+        self,
+        routed: RoutingResult,
+        max_time: Seconds,
+        interventions: Sequence[Intervention],
+        on_timeout: str,
     ) -> list[dict[str, Any]]:
         warm: tuple[PlanCacheEntry, ...] = (
             self.warm_context.entries if self.warm_context is not None else ()
@@ -695,6 +737,8 @@ class FleetSimulator:
                 "max_time": max_time,
                 "observe": observe,
                 "warm": warm,
+                "interventions": tuple(interventions),
+                "on_timeout": on_timeout,
             }
             for spec, bucket in zip(self.shards, routed.buckets, strict=True)
         ]
@@ -704,13 +748,22 @@ class FleetSimulator:
         requests: Sequence[TransferRequest],
         *,
         max_time: Seconds = 1e7,
+        interventions: Sequence[Intervention] = (),
+        on_timeout: str = "raise",
     ) -> FleetReport:
         """Route, execute and merge one fleet day.
 
         ``max_time`` bounds each shard's *simulated* day; a shard that
         cannot finish raises
         :class:`~repro.netsim.multi.TransferTimeout`, exactly as the
-        plain service does.
+        plain service does — unless ``on_timeout="report"`` asks for
+        honestly-truncated shard reports instead.
+
+        ``interventions`` (picklable :class:`Intervention` actions) are
+        replayed *on every shard*: fleet-level chaos models shared
+        weather — a brownout or tariff spike hits all links of the
+        region at once — while per-shard fault isolation falls out of
+        each shard owning its own executor state.
         """
         routed = route_requests(
             requests,
@@ -719,7 +772,7 @@ class FleetSimulator:
             steal_threshold=self.steal_threshold,
             observer=self.observer,
         )
-        payloads = self._payloads(routed, max_time)
+        payloads = self._payloads(routed, max_time, interventions, on_timeout)
         if self.observer is not None:
             for spec, bucket in zip(self.shards, routed.buckets, strict=True):
                 self.observer.shard_started(0.0, spec.name, len(bucket))

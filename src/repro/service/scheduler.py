@@ -80,6 +80,13 @@ class DeferralPolicy(ABC):
     #: Safety factor applied to duration estimates (see module doc).
     safety: float = DEFAULT_SAFETY
 
+    #: Chaos recovery hook: when a fault intervention strands admitted
+    #: work (every channel of a job cut, a shard's server lost), the
+    #: service re-opens transport for it iff the policy opts in. All
+    #: presets reroute; a policy that would rather re-queue through
+    #: admission can set this to ``False``.
+    reroute_on_failure: bool = True
+
     @abstractmethod
     def schedule(
         self,

@@ -46,7 +46,7 @@ from dataclasses import dataclass, field
 from collections import deque
 from collections.abc import Sequence
 from functools import cached_property
-from typing import Optional
+from typing import Optional, Protocol, runtime_checkable
 
 from repro import units
 from repro.core.chunks import PartitionPolicy
@@ -59,7 +59,30 @@ from repro.service.tariff import JOULES_PER_KWH, TariffTrace
 from repro.testbeds.specs import Testbed
 from repro.units import Joules, Seconds
 
-__all__ = ["JobResult", "ServiceReport", "ServiceSimulator"]
+__all__ = ["Intervention", "JobResult", "ServiceReport", "ServiceSimulator"]
+
+
+@runtime_checkable
+class Intervention(Protocol):
+    """A timed mid-day mutation of the running service (chaos hook).
+
+    Implementations live in :mod:`repro.chaos.actions`; the service
+    only relies on this structural interface so the dependency points
+    chaos -> service, not the other way around. ``apply`` runs at the
+    first loop iteration whose grid time is ``>= time`` (identically
+    in the fast and grid drivers — both bound their jumps by the next
+    intervention time, so neither ever steps across one) and returns a
+    JSON-safe detail dict for the ``fault_injected`` event.
+    """
+
+    #: simulated time (seconds) at which the action fires
+    time: Seconds
+    #: short machine-readable action name (e.g. ``"link_brownout"``)
+    kind: str
+
+    def apply(
+        self, service: "ServiceSimulator", sim: MultiTransferSimulator
+    ) -> dict: ...
 
 
 # ----------------------------------------------------------------------
@@ -162,10 +185,12 @@ class JobResult:
         }
 
 
-def _percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile (q in [0, 100]); 0.0 if empty."""
+def _percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """Linear-interpolated percentile (q in [0, 100]); ``None`` if
+    empty — an all-miss day must not report the same ``0.0`` a perfect
+    day would."""
     if not values:
-        return 0.0
+        return None
     data = sorted(values)
     if len(data) == 1:
         return data[0]
@@ -175,6 +200,11 @@ def _percentile(values: Sequence[float], q: float) -> float:
     if lo == hi:
         return data[lo]
     return data[lo] + (data[hi] - data[lo]) * (pos - lo)
+
+
+def _fmt_pct(value: Optional[float]) -> str:
+    """Render an optional percentile: ``n/a`` when no job finished."""
+    return "n/a" if value is None else f"{value:.2f}"
 
 
 @dataclass
@@ -195,6 +225,10 @@ class ServiceReport:
     tariff: str
     jobs: list[JobResult] = field(default_factory=list)
     makespan_s: Seconds = 0.0
+    #: True when the run was cut off at ``max_time`` with
+    #: ``on_timeout="report"`` — unfinished jobs keep
+    #: ``completed_at=None`` and count as deadline misses.
+    truncated: bool = False
 
     # -- aggregates (computed once; see class docstring) ----------------
 
@@ -233,11 +267,21 @@ class ServiceReport:
         return [j.slowdown() for j in self.jobs if j.finished]
 
     @cached_property
-    def p50_slowdown(self) -> float:
+    def finished_jobs(self) -> int:
+        return sum(1 for j in self.jobs if j.finished)
+
+    @cached_property
+    def unfinished_jobs(self) -> int:
+        return len(self.jobs) - self.finished_jobs
+
+    @cached_property
+    def p50_slowdown(self) -> Optional[float]:
+        """``None`` when no job finished (see :func:`_percentile`)."""
         return _percentile(self.slowdowns, 50.0)
 
     @cached_property
-    def p95_slowdown(self) -> float:
+    def p95_slowdown(self) -> Optional[float]:
+        """``None`` when no job finished (see :func:`_percentile`)."""
         return _percentile(self.slowdowns, 95.0)
 
     @cached_property
@@ -258,8 +302,10 @@ class ServiceReport:
         for tenant in sorted(groups):
             jobs = groups[tenant]
             with_deadline = [j for j in jobs if j.deadline is not None]
+            admitted = [j for j in jobs if j.admitted_at is not None]
             out[tenant] = {
                 "jobs": len(jobs),
+                "admitted": len(admitted),
                 "bytes": sum(j.total_bytes for j in jobs),
                 "kwh": sum(j.energy_j for j in jobs) / 3.6e6,
                 "cost_usd": sum(j.cost_usd for j in jobs),
@@ -268,8 +314,13 @@ class ServiceReport:
                 "deadline_misses": sum(
                     1 for j in with_deadline if j.deadline_missed
                 ),
+                # averaged over *admitted* jobs only: never-admitted
+                # jobs have no wait to report, and counting them as
+                # zero would dilute the mean on a truncated day.
                 "mean_queue_wait_s": (
-                    sum(j.queue_wait_s for j in jobs) / len(jobs)
+                    sum(j.queue_wait_s for j in admitted) / len(admitted)
+                    if admitted
+                    else 0.0
                 ),
             }
         return out
@@ -295,22 +346,30 @@ class ServiceReport:
             "p95_slowdown": self.p95_slowdown,
             "mean_queue_wait_s": self.mean_queue_wait_s,
             "makespan_s": self.makespan_s,
+            "truncated": self.truncated,
+            "unfinished_jobs": self.unfinished_jobs,
             "per_tenant": self.per_tenant,
             "job_results": [j.to_dict() for j in self.jobs],
         }
 
     def render(self) -> str:
         """The report as an aligned, human-readable block of text."""
+        cutoff = (
+            f" (TRUNCATED: {self.unfinished_jobs} unfinished)"
+            if self.truncated
+            else ""
+        )
         lines = [
             f"Service day on {self.testbed} "
             f"(policy={self.policy}, tariff={self.tariff}):",
             f"  {len(self.jobs)} jobs, {units.to_GB(self.total_bytes):.1f} GB, "
-            f"makespan {self.makespan_s:.0f} s",
+            f"makespan {self.makespan_s:.0f} s{cutoff}",
             f"  energy {self.total_energy_j / 3.6e6:.3f} kWh -> "
             f"${self.total_cost_usd:.4f}, {self.total_kg_co2:.4f} kgCO2",
             f"  deferred {self.deferred_jobs}, "
             f"deadline misses {self.deadline_miss_rate:.0%}, "
-            f"slowdown p50 {self.p50_slowdown:.2f} / p95 {self.p95_slowdown:.2f}, "
+            f"slowdown p50 {_fmt_pct(self.p50_slowdown)} "
+            f"/ p95 {_fmt_pct(self.p95_slowdown)}, "
             f"mean queue wait {self.mean_queue_wait_s:.0f} s",
         ]
         lines.append(
@@ -517,27 +576,76 @@ class ServiceSimulator:
         requests: Sequence[TransferRequest],
         *,
         max_time: Seconds = 1e7,
+        interventions: Sequence[Intervention] = (),
+        on_timeout: str = "raise",
     ) -> ServiceReport:
         """Run every request to completion and return the day's report.
 
-        Raises :class:`~repro.netsim.multi.TransferTimeout` if
-        ``max_time`` simulated seconds pass with jobs still unfinished
-        — a truncated day must not masquerade as a cheap one.
+        ``interventions`` is an optional sequence of timed
+        :class:`Intervention` actions (chaos faults, tariff swaps, …)
+        applied mid-day at their scheduled sim times — identically in
+        the fast and grid drivers, which both bound their jumps by the
+        next intervention time.
+
+        If ``max_time`` simulated seconds pass with jobs still
+        unfinished, ``on_timeout="raise"`` (default) raises
+        :class:`~repro.netsim.multi.TransferTimeout` — a truncated day
+        must not masquerade as a cheap one — while
+        ``on_timeout="report"`` returns an honestly-truncated report:
+        ``truncated=True``, unfinished jobs keep ``completed_at=None``
+        (counting as deadline misses), and the slowdown percentiles
+        are ``None`` when nothing finished.
         """
+        if on_timeout not in ("raise", "report"):
+            raise ValueError(
+                f"on_timeout must be 'raise' or 'report', got {on_timeout!r}"
+            )
         states = self._prepare(requests)
+        actions = sorted(
+            interventions, key=lambda a: a.time
+        )  # stable: ties keep caller order
         sim = MultiTransferSimulator(self.testbed, max_concurrent_jobs=None)
         if self.fast:
-            self._run_fast(states, sim, max_time)
+            truncated = self._run_fast(states, sim, max_time, actions, on_timeout)
         else:
-            self._run_grid(states, sim, max_time)
+            truncated = self._run_grid(states, sim, max_time, actions, on_timeout)
         report = ServiceReport(
             testbed=self.testbed.name,
             policy=self.policy.name,
             tariff=self.tariff.name,
             jobs=[s.result for s in sorted(states, key=lambda s: s.seq)],
             makespan_s=sim.makespan,
+            truncated=truncated,
         )
         return report
+
+    def _apply_interventions(
+        self,
+        now: Seconds,
+        actions: list[Intervention],
+        iv_idx: int,
+        running: list[_JobState],
+        sim: MultiTransferSimulator,
+    ) -> int:
+        """Fire every intervention due at ``now`` (shared by both
+        drivers so the mutation order — and hence every downstream
+        decision — is identical). Returns the new queue index."""
+        fired = False
+        while iv_idx < len(actions) and actions[iv_idx].time <= now + 1e-9:
+            action = actions[iv_idx]
+            iv_idx += 1
+            detail = action.apply(self, sim)
+            fired = True
+            if self.observer is not None:
+                self.observer.fault_injected(now, action.kind, detail)
+        if fired and running and self.policy.reroute_on_failure:
+            # recovery hook: re-open channels for jobs stranded with
+            # no transport (e.g. every channel cut) — policies can opt
+            # out via ``reroute_on_failure = False``.
+            readmitted = sim.readmit_stranded()
+            if readmitted and self.observer is not None:
+                self.observer.jobs_readmitted(now, len(readmitted))
+        return iv_idx
 
     # -- golden reference: the dt-grid loop ----------------------------
 
@@ -546,20 +654,30 @@ class ServiceSimulator:
         states: list[_JobState],
         sim: MultiTransferSimulator,
         max_time: Seconds,
-    ) -> None:
+        actions: list[Intervention],
+        on_timeout: str,
+    ) -> bool:
         dt = sim.dt
         pending = deque(states)     # not yet submitted (future arrivals)
         waiting: list[_JobState] = []  # submitted, not yet admitted
         running: list[_JobState] = []  # admitted, transferring
         done: list[_JobState] = []
+        iv_idx = 0
 
         while len(done) < len(states):
             now = sim.time
             if now >= max_time:
+                if on_timeout == "report":
+                    return True
                 raise self._timeout(
                     max_time,
                     [s.request.name for s in [*pending, *waiting, *running]],
                 )
+
+            # 0. chaos interventions due at this grid point
+            iv_idx = self._apply_interventions(
+                now, actions, iv_idx, running, sim
+            )
 
             # 1. ingest submissions whose time has come
             while pending and pending[0].request.submit_time <= now + 1e-9:
@@ -609,6 +727,8 @@ class ServiceSimulator:
                     [pending[0].request.submit_time] if pending else []
                 )
                 horizons += [s.decision.release_time for s in waiting]
+                if iv_idx < len(actions):
+                    horizons.append(actions[iv_idx].time)
                 target = min(horizons) if horizons else math.inf
                 if math.isinf(target):
                     raise RuntimeError(
@@ -617,6 +737,7 @@ class ServiceSimulator:
                     )
                 steps = max(1, math.ceil((target - now - 1e-9) / dt))
                 sim.time += steps * dt
+        return False
 
     # -- event-driven fast path ----------------------------------------
 
@@ -670,7 +791,9 @@ class ServiceSimulator:
         states: list[_JobState],
         sim: MultiTransferSimulator,
         max_time: Seconds,
-    ) -> None:
+        actions: list[Intervention],
+        on_timeout: str,
+    ) -> bool:
         """The event-driven day: jump from service event to service
         event instead of grinding the ``dt`` grid.
 
@@ -690,7 +813,10 @@ class ServiceSimulator:
         """
         dt = sim.dt
         observer = self.observer
-        tariff = self.tariff
+        # NOTE: ``self.tariff`` is read afresh each round (never cached
+        # in a local) so a mid-day ``TariffSwap`` intervention reprices
+        # the very next jump, exactly like the grid loop's per-step
+        # ``self.tariff.cost`` calls.
         pending = deque(states)     # not yet submitted (future arrivals)
         #: submitted, release time still in the future — keyed so the
         #: top is the next release
@@ -701,6 +827,7 @@ class ServiceSimulator:
         done: list[_JobState] = []
         last_macro_rounds = 0
         last_macro_dts = 0
+        iv_idx = 0
 
         def eligible_entry(
             state: _JobState,
@@ -716,6 +843,8 @@ class ServiceSimulator:
         while len(done) < len(states):
             now = sim.time
             if now >= max_time:
+                if on_timeout == "report":
+                    return True
                 waiting = sorted(
                     [entry[2] for entry in future]
                     + [entry[4] for entry in eligible],
@@ -725,6 +854,11 @@ class ServiceSimulator:
                     max_time,
                     [s.request.name for s in [*pending, *waiting, *running]],
                 )
+
+            # 0. chaos interventions due at this grid point
+            iv_idx = self._apply_interventions(
+                now, actions, iv_idx, running, sim
+            )
 
             # 1. ingest submissions whose time has come
             while pending and pending[0].request.submit_time <= now + 1e-9:
@@ -763,12 +897,21 @@ class ServiceSimulator:
                 # 4. jump to the next service event; bill the energy
                 #    drawn during the jump at the single plateau every
                 #    executed step start provably lies in.
-                price, carbon, boundary = tariff.plateau(now)
-                horizon = min(boundary, max_time + dt)
+                price, carbon, boundary = self.tariff.plateau(now)
+                # bound by max_time itself (not max_time + dt): the
+                # grid loop stops at the first grid point >= max_time,
+                # and running one step past it could record a
+                # completion the reference never would.
+                horizon = min(boundary, max_time)
                 if pending:
                     horizon = min(horizon, pending[0].request.submit_time)
                 if future:
                     horizon = min(horizon, future[0][0])
+                if iv_idx < len(actions):
+                    # never macro-step across an intervention: the
+                    # fault must land on the same grid point in both
+                    # drivers (fast-path invalidation contract).
+                    horizon = min(horizon, actions[iv_idx].time)
                 if horizon <= now + 1e-9:
                     # the event sits in the epsilon sliver just above
                     # ``now`` (e.g. a non-grid-aligned plateau edge):
@@ -814,6 +957,8 @@ class ServiceSimulator:
                     horizons.append(future[0][0])
                 if eligible:
                     horizons.append(now)  # slot-capped: advance one dt
+                if iv_idx < len(actions):
+                    horizons.append(actions[iv_idx].time)
                 target = min(horizons) if horizons else math.inf
                 if math.isinf(target):
                     raise RuntimeError(
@@ -822,3 +967,4 @@ class ServiceSimulator:
                     )
                 steps = max(1, math.ceil((target - now - 1e-9) / dt))
                 sim.time += steps * dt
+        return False

@@ -235,6 +235,26 @@ class TariffTrace:
             period_s=period_s,
         )
 
+    def scaled(
+        self, price_factor: float = 1.0, carbon_factor: float = 1.0
+    ) -> "TariffTrace":
+        """The same schedule with every plateau's price and carbon
+        multiplied by the given factors.
+
+        This is the chaos harness's tariff-spike primitive: a grid
+        emergency that triples spot prices keeps the day's *shape*
+        (peaks stay peaks) while shifting every level.
+        """
+        if price_factor < 0 or carbon_factor < 0:
+            raise ValueError("tariff scale factors must be >= 0")
+        return replace(
+            self,
+            name=f"{self.name}*{price_factor:g}/{carbon_factor:g}",
+            points=tuple(
+                (o, p * price_factor, c * carbon_factor) for o, p, c in self.points
+            ),
+        )
+
 
 # ----------------------------------------------------------------------
 # presets
