@@ -1,0 +1,341 @@
+"""Topology subsystem benchmark: allocator throughput + placement gates.
+
+Exercises ``repro.topo`` end to end and writes ``BENCH_topo.json``:
+
+* **allocator throughput** — water-fill allocation rounds/sec at
+  64/256/1024 flows on a k=4 fat-tree (the hot loop of every
+  topology-backed simulation step);
+* **placement-policy comparison** — one congested leaf-spine service
+  day per policy; the informed ``least-congested`` policy must beat
+  the load-blind ``random-k`` sampler on p95 slowdown;
+* **fast vs grid** — topology-backed event-horizon runs must match the
+  reference dt-grid loop (bit-equal job timestamps, cost/energy
+  relative error at or below 1e-9) across two topologies and two
+  placement policies;
+* **single-link anchor** — a ``single-link`` topology must reproduce
+  the classic point-to-point run byte-identically;
+* **determinism** — every topology-backed cell re-run with the same
+  seed must produce a byte-identical report.
+
+``--check`` turns all five gates into a CI failure.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_topo.py            # full
+    PYTHONPATH=src python benchmarks/bench_topo.py --smoke    # CI
+    PYTHONPATH=src python benchmarks/bench_topo.py --smoke --check
+
+Not a pytest file on purpose: it is a standalone script so CI can run
+it in smoke mode and upload the JSON artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.chaos import strip_wall
+from repro.service import (
+    ServiceSimulator,
+    policy_by_name,
+    tariff_by_name,
+    workload_by_name,
+)
+from repro.testbeds.specs import testbed_by_name
+from repro.topo import FlowDemand, Placer, allocate, build_topology
+
+#: Flow counts for the allocator-throughput sweep.
+FLOW_COUNTS = (64, 256, 1024)
+
+#: (topology, placement) grid for the fast-vs-grid gate.
+GATE_TOPOLOGIES = ("leaf-spine:s=2,l=4,spine=0.4", "fat-tree:k=4,core=0.3")
+GATE_PLACEMENTS = ("least-congested", "ecmp-hash")
+
+#: Congested fabric for the placement-policy comparison: two thin
+#: spines force real route choices. Jobs are deliberately large
+#: relative to the day (``size_scale=0.3``) so arrivals genuinely
+#: overlap — a day of short, serial jobs ties every policy. p95 of a
+#: small day is one order statistic, so the comparison averages over
+#: three workload seeds.
+COMPARE_TOPOLOGY = "leaf-spine:s=2,l=2,spine=0.35"
+COMPARE_PLACEMENTS = ("least-congested", "ecmp-hash", "random-k")
+COMPARE_SEEDS = (5, 7, 11)
+COMPARE_SIZE_SCALE = 0.3
+
+#: Relative-error budget for fast-vs-grid scalar aggregates (same
+#: contract as the service/chaos benches: bit-equal times, float
+#: accumulation-order equality on energy/cost).
+REL_ERR_BUDGET = 1e-9
+
+
+def _rel_err(a: float, b: float) -> float:
+    return abs(a - b) / max(abs(b), 1e-12)
+
+
+def _bench_allocator(flows: int) -> dict:
+    """Time repeated water-fills of ``flows`` full-rate demands on a
+    k=4 fat-tree (placements fixed by ecmp round-robin)."""
+    bandwidth = testbed_by_name("xsede").path.bandwidth
+    topology = build_topology("fat-tree:k=4", bandwidth=bandwidth)
+    placer = Placer(topology, "ecmp-hash")
+    demands = [
+        FlowDemand(f"flow-{i:04d}",
+                   placer.place(f"flow-{i:04d}").bottlenecks, bandwidth)
+        for i in range(flows)
+    ]
+    # Warm-up, then time enough repeats for a stable rate.
+    result = allocate(topology, demands)
+    repeats = max(3, 2048 // flows)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        result = allocate(topology, demands)
+    wall = time.perf_counter() - start
+    return {
+        "flows": flows,
+        "rounds_per_allocation": result.rounds,
+        "allocations_per_sec": repeats / wall,
+        "rounds_per_sec": repeats * result.rounds / wall,
+        "wall_s": wall,
+    }
+
+
+def _service_day(*, testbed, tariff, requests, fast=True, topology=None,
+                 placement="least-congested", max_concurrent=8):
+    simulator = ServiceSimulator(
+        testbed, policy=policy_by_name("run-now"), tariff=tariff,
+        max_concurrent_jobs=max_concurrent, max_channels=4, fast=fast,
+        topology=topology, placement=placement,
+    )
+    return simulator.run(requests)
+
+
+def _report_dict(report) -> dict:
+    return strip_wall(report.to_dict())
+
+
+def run_benchmark(*, smoke: bool = False, seed: int = 7) -> dict:
+    testbed = testbed_by_name("xsede")
+    jobs, day_s = (16, 1200.0) if smoke else (48, 3600.0)
+    tariff = tariff_by_name("peak-offpeak", period_s=day_s)
+    requests = workload_by_name(
+        "steady", jobs, day_s=day_s, seed=seed, size_scale=day_s / 86400.0,
+    )
+
+    allocator = [
+        _bench_allocator(flows)
+        for flows in (FLOW_COUNTS[:1] if smoke else FLOW_COUNTS)
+    ]
+
+    # -- placement-policy comparison (congested fabric) -----------------
+    compare_jobs, compare_day = (12, 600.0) if smoke else (24, 1200.0)
+    compare_tariff = tariff_by_name("peak-offpeak", period_s=compare_day)
+    comparison = []
+    for placement in COMPARE_PLACEMENTS:
+        per_seed = []
+        deterministic = True
+        start = time.perf_counter()
+        for compare_seed in COMPARE_SEEDS:
+            contended = workload_by_name(
+                "bursty", compare_jobs, day_s=compare_day,
+                seed=compare_seed, size_scale=COMPARE_SIZE_SCALE,
+            )
+            report = _service_day(
+                testbed=testbed, tariff=compare_tariff, requests=contended,
+                topology=COMPARE_TOPOLOGY, placement=placement,
+                max_concurrent=6,
+            )
+            rerun = _service_day(
+                testbed=testbed, tariff=compare_tariff, requests=contended,
+                topology=COMPARE_TOPOLOGY, placement=placement,
+                max_concurrent=6,
+            )
+            deterministic = deterministic and json.dumps(
+                _report_dict(report), sort_keys=True
+            ) == json.dumps(_report_dict(rerun), sort_keys=True)
+            per_seed.append({
+                "seed": compare_seed,
+                "p95_slowdown": report.p95_slowdown,
+                "makespan_s": report.makespan_s,
+                "kwh": report.total_energy_j / 3.6e6,
+                "cost_usd": report.total_cost_usd,
+            })
+        wall = time.perf_counter() - start
+        comparison.append({
+            "placement": placement,
+            "topology": COMPARE_TOPOLOGY,
+            "jobs": compare_jobs,
+            "day_s": compare_day,
+            "mean_p95_slowdown": sum(
+                cell["p95_slowdown"] for cell in per_seed
+            ) / len(per_seed),
+            "per_seed": per_seed,
+            "deterministic": deterministic,
+            "wall_s": wall,
+        })
+
+    # -- fast vs grid across the (topology, placement) grid -------------
+    gates = []
+    for topology in GATE_TOPOLOGIES:
+        for placement in GATE_PLACEMENTS:
+            fast_report = _service_day(
+                testbed=testbed, tariff=tariff, requests=requests,
+                topology=topology, placement=placement,
+            )
+            grid_report = _service_day(
+                testbed=testbed, tariff=tariff, requests=requests,
+                fast=False, topology=topology, placement=placement,
+            )
+            gates.append({
+                "topology": topology,
+                "placement": placement,
+                "times_bitequal": all(
+                    a.admitted_at == b.admitted_at
+                    and a.completed_at == b.completed_at
+                    for a, b in zip(fast_report.jobs, grid_report.jobs)
+                ),
+                "rel_err_cost": _rel_err(
+                    fast_report.total_cost_usd, grid_report.total_cost_usd
+                ),
+                "rel_err_energy": _rel_err(
+                    fast_report.total_energy_j, grid_report.total_energy_j
+                ),
+                "rel_err_makespan": _rel_err(
+                    fast_report.makespan_s, grid_report.makespan_s
+                ),
+            })
+
+    # -- single-link anchor: byte-identical to the classic path ---------
+    anchor = {}
+    for fast in (True, False):
+        plain = _report_dict(_service_day(
+            testbed=testbed, tariff=tariff, requests=requests, fast=fast,
+        ))
+        routed = _report_dict(_service_day(
+            testbed=testbed, tariff=tariff, requests=requests, fast=fast,
+            topology="single-link",
+        ))
+        # The topology labels themselves are the only legitimate delta.
+        for payload in (plain, routed):
+            payload.pop("topology", None)
+            payload.pop("placement", None)
+        anchor["fast" if fast else "grid"] = json.dumps(
+            plain, sort_keys=True
+        ) == json.dumps(routed, sort_keys=True)
+
+    return {
+        "benchmark": "topo",
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "mode": "smoke" if smoke else "full",
+        "testbed": "xsede",
+        "jobs": jobs,
+        "day_s": day_s,
+        "seed": seed,
+        "rel_err_budget": REL_ERR_BUDGET,
+        "allocator": allocator,
+        "placement_comparison": comparison,
+        "fast_vs_grid": gates,
+        "single_link_byte_identical": anchor,
+    }
+
+
+def check_benchmark(report: dict) -> list[str]:
+    """CI gate: placement ordering, determinism, fast-vs-grid, anchor."""
+    failures = []
+    p95 = {
+        cell["placement"]: cell["mean_p95_slowdown"]
+        for cell in report["placement_comparison"]
+    }
+    if p95["least-congested"] >= p95["random-k"]:
+        failures.append(
+            "least-congested did not beat random-k on p95 slowdown: "
+            f"{p95['least-congested']:.3f} >= {p95['random-k']:.3f}"
+        )
+    for cell in report["placement_comparison"]:
+        if not cell["deterministic"]:
+            failures.append(
+                f"{cell['placement']}: same-seed rerun was not "
+                "byte-identical"
+            )
+    for gate in report["fast_vs_grid"]:
+        tag = f"{gate['topology']}/{gate['placement']}"
+        if not gate["times_bitequal"]:
+            failures.append(f"{tag}: fast-vs-grid job timestamps diverged")
+        for key in ("rel_err_cost", "rel_err_energy", "rel_err_makespan"):
+            if gate[key] > report["rel_err_budget"]:
+                failures.append(
+                    f"{tag}: {key} {gate[key]:.3e} above the "
+                    f"{report['rel_err_budget']:.0e} budget"
+                )
+    for driver, identical in report["single_link_byte_identical"].items():
+        if not identical:
+            failures.append(
+                f"single-link topology diverged from the classic "
+                f"point-to-point run ({driver} driver)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI mode: fewer jobs, shorter day, "
+                             "64-flow allocator sweep only")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="workload seed")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="CI gate: exit non-zero unless least-congested beats "
+             "random-k, every cell is deterministic, fast-vs-grid "
+             "errors stay below 1e-9, and single-link is byte-identical",
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_topo.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(smoke=args.smoke, seed=args.seed)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"topo benchmark ({report['mode']}) -> {args.output}")
+    for row in report["allocator"]:
+        print(f"  allocator {row['flows']:>5d} flows: "
+              f"{row['allocations_per_sec']:>8.0f} alloc/s "
+              f"({row['rounds_per_sec']:.0f} rounds/s, "
+              f"{row['rounds_per_allocation']} rounds each)")
+    for cell in report["placement_comparison"]:
+        det = "ok" if cell["deterministic"] else "DIVERGED"
+        seeds = ", ".join(
+            f"{row['p95_slowdown']:.2f}" for row in cell["per_seed"]
+        )
+        print(f"  {cell['placement']:<16s} mean p95 slowdown "
+              f"{cell['mean_p95_slowdown']:>6.2f} (seeds: {seeds})  "
+              f"det {det}")
+    for gate in report["fast_vs_grid"]:
+        worst = max(gate["rel_err_cost"], gate["rel_err_energy"],
+                    gate["rel_err_makespan"])
+        bits = "bit-equal" if gate["times_bitequal"] else "DIVERGED"
+        print(f"  fast-vs-grid {gate['topology']:<28s} "
+              f"{gate['placement']:<16s} times {bits}, "
+              f"worst rel-err {worst:.1e}")
+    for driver, identical in report["single_link_byte_identical"].items():
+        print(f"  single-link anchor ({driver}): "
+              f"{'byte-identical' if identical else 'DIVERGED'}")
+    if args.check:
+        failures = check_benchmark(report)
+        if failures:
+            for failure in failures:
+                print(f"  CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("  checks passed: placement ordering, determinism, "
+              "fast-vs-grid within 1e-9, single-link anchor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

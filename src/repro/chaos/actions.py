@@ -26,7 +26,7 @@ intervention list on every shard, shipping it through a process pool.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, ClassVar
+from typing import TYPE_CHECKING, ClassVar, Optional
 
 from repro.netsim.multi import MultiTransferSimulator
 from repro.service.tariff import TariffTrace
@@ -53,10 +53,16 @@ def _check_time(time: Seconds) -> None:
 class LinkScale:
     """Scale the shared bottleneck link to ``scale`` of its nominal
     capacity (a brownout below 1.0, an upgrade above). ``scale=1.0``
-    restores the nominal link."""
+    restores the nominal link.
+
+    With ``bottleneck`` set, only that named hop of the simulator's
+    topology is scaled (a targeted brownout — e.g. one dimmed spine) —
+    which requires the run to be topology-backed
+    (``ServiceSimulator(topology=...)``)."""
 
     time: Seconds
     scale: float
+    bottleneck: Optional[str] = None
     kind: ClassVar[str] = "link_scale"
 
     def __post_init__(self) -> None:
@@ -67,7 +73,14 @@ class LinkScale:
     def apply(
         self, service: "ServiceSimulator", sim: MultiTransferSimulator
     ) -> dict:
-        """Apply the new link scale to every running and future job."""
+        """Apply the new scale to the whole path, or to one hop."""
+        if self.bottleneck is not None:
+            capacity = sim.scale_bottleneck(self.bottleneck, self.scale)
+            return {
+                "scale": self.scale,
+                "bottleneck": self.bottleneck,
+                "capacity": capacity,
+            }
         sim.set_link_scale(self.scale)
         return {"scale": self.scale}
 

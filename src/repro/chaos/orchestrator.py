@@ -142,6 +142,9 @@ def run_scenario(
     observer: Optional[Observer] = None,
     max_time: Optional[Seconds] = None,
     dataset_pool: Optional[int] = None,
+    topology: Optional[str] = None,
+    placement: str = "least-congested",
+    placement_seed: int = 0,
 ) -> ChaosResult:
     """Run one scenario under one policy and judge it.
 
@@ -149,6 +152,12 @@ def run_scenario(
     a :class:`FleetSimulator` (the scenario's interventions replay on
     every shard — shared weather). ``max_time`` defaults to eight
     scenario days; hitting it truncates honestly rather than raising.
+
+    ``topology`` defaults from the script: a scenario that pins one
+    (e.g. ``spine-congestion``) runs topology-backed without the
+    caller asking, so its targeted faults always have their named
+    bottleneck to hit. ``placement`` picks the routing policy judged
+    under that weather.
     """
     if isinstance(policy, str):
         policy = policy_by_name(policy)
@@ -156,6 +165,8 @@ def run_scenario(
         scenario, day_s=day_s, seed=seed, tariff=tariff, testbed=testbed,
         jobs=jobs,
     )
+    if topology is None:
+        topology = script.topology
     base = workload_by_name(
         workload, jobs, day_s=day_s, seed=seed,
         size_scale=day_s / 86400.0, dataset_pool=dataset_pool,
@@ -171,6 +182,8 @@ def run_scenario(
             testbed, policy=policy, tariff=tariff,
             max_concurrent_jobs=max_concurrent_jobs,
             max_channels=max_channels, observer=observer, fast=fast,
+            topology=topology, placement=placement,
+            placement_seed=placement_seed,
         )
     else:
         simulator = FleetSimulator(
@@ -178,6 +191,8 @@ def run_scenario(
             max_concurrent_jobs=max_concurrent_jobs,
             max_channels=max_channels, observer=observer, fast=fast,
             workers=workers,
+            topology=topology, placement=placement,
+            placement_seed=placement_seed,
         )
     report = simulator.run(
         requests, max_time=max_time, interventions=script.actions,

@@ -10,7 +10,7 @@ by every simulator flavor (fast or grid, inline or process-pool
 fleet) — which is what makes the chaos suite deterministic: same
 scenario + seed + policy ⇒ byte-identical report.
 
-Five scenario families ship as presets (:data:`SCENARIO_PRESETS`):
+Six scenario families ship as presets (:data:`SCENARIO_PRESETS`):
 
 * ``brownout`` — the shared link sags to 35% capacity mid-morning and
   recovers in the afternoon.
@@ -24,6 +24,9 @@ Five scenario families ship as presets (:data:`SCENARIO_PRESETS`):
   compressed into a 5%-of-day window at the worst possible time.
 * ``traffic-surge`` — heavy ambient background traffic (phantom
   competing streams) through the middle of the day.
+* ``spine-congestion`` — two tenants contend across one shared spine
+  of a pinned leaf-spine topology; the spine alone browns out to 50%
+  mid-day (a targeted ``LinkScale(bottleneck="spine0")``).
 
 All timings are fractions of ``day_s``, so the same scenario stresses
 a 10-minute smoke day and a full 86400 s day identically in shape.
@@ -57,6 +60,7 @@ __all__ = [
     "tariff_spike",
     "flash_crowd",
     "traffic_surge",
+    "spine_congestion",
     "SCENARIO_PRESETS",
     "scenario_by_name",
 ]
@@ -72,6 +76,11 @@ class ScenarioScript:
     slo: SLOBudget
     #: Extra arrivals merged into the base workload (flash crowds).
     extra_requests: tuple[TransferRequest, ...] = field(default_factory=tuple)
+    #: Topology spec the scenario expects (``None`` = the classic
+    #: point-to-point path). Runners default their ``topology``
+    #: argument from this, so a spine-targeted fault always has a
+    #: spine to hit.
+    topology: str | None = None
 
     def __post_init__(self) -> None:
         times = [action.time for action in self.actions]
@@ -272,6 +281,70 @@ def traffic_surge(
     )
 
 
+def spine_congestion(
+    *,
+    day_s: Seconds,
+    seed: int,
+    tariff: TariffTrace,
+    testbed: Testbed,
+    jobs: int = 24,
+) -> ScenarioScript:
+    """Two tenants contend across one shared spine, which browns out
+    mid-day.
+
+    The scenario pins a leaf-spine topology with a single spine at 70%
+    of the path bandwidth, adds seeded ``east``/``west`` tenant bursts
+    on top of the base workload (every leaf-to-leaf route crosses the
+    spine), then scales *only* the spine to half capacity for ~30% of
+    the day — the targeted form of :class:`~repro.chaos.actions.LinkScale`
+    that the placement policies get judged under.
+    """
+    rng = np.random.default_rng(seed)
+    start = float(rng.uniform(0.30, 0.40)) * day_s
+    end = start + 0.30 * day_s
+    n_extra = max(4, jobs // 3)
+    extras: list[TransferRequest] = []
+    for tenant, offset in (("east", 7919), ("west", 6131)):
+        burst = poisson_workload(
+            n_extra, day_s=0.70 * day_s, seed=seed + offset,
+            size_scale=day_s / 86400.0,
+        )
+        extras.extend(
+            replace(
+                request,
+                name=f"{tenant}-{i:03d}",
+                tenant=tenant,
+                submit_time=request.submit_time + 0.05 * day_s,
+                deadline=(
+                    None if request.deadline is None
+                    else request.deadline + 0.05 * day_s
+                ),
+            )
+            for i, request in enumerate(burst)
+        )
+    extras.sort(key=lambda r: (r.submit_time, r.name))
+    return ScenarioScript(
+        name="spine-congestion",
+        description=(
+            f"spine0 at 50% capacity from t={start:.0f}s to t={end:.0f}s "
+            f"with 2x{n_extra} east/west tenant arrivals contending"
+        ),
+        actions=(
+            LinkScale(time=start, scale=0.5, bottleneck="spine0"),
+            LinkScale(time=end, scale=1.0, bottleneck="spine0"),
+        ),
+        slo=SLOBudget(
+            name="spine-congestion",
+            rules=(
+                SLORule("p95_slowdown", 80.0),
+                SLORule("unfinished_rate", 0.30),
+            ),
+        ),
+        extra_requests=tuple(extras),
+        topology="leaf-spine:s=1,l=2,spine=0.7",
+    )
+
+
 #: Name -> factory. All share the signature
 #: ``(*, day_s, seed, tariff, testbed, jobs)``.
 SCENARIO_PRESETS: dict[str, Callable[..., ScenarioScript]] = {
@@ -280,6 +353,7 @@ SCENARIO_PRESETS: dict[str, Callable[..., ScenarioScript]] = {
     "tariff-spike": tariff_spike,
     "flash-crowd": flash_crowd,
     "traffic-surge": traffic_surge,
+    "spine-congestion": spine_congestion,
 }
 
 

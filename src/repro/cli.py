@@ -142,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pre-draw N datasets per tenant and reuse them "
                         "across arrivals (exercises plan memoization; "
                         "default: fresh draw per job)")
+    _add_topology(p)
     p.add_argument("--json", type=Path, nargs="?", const=Path("-"),
                    default=None, metavar="PATH",
                    help="emit the full report as JSON (to PATH, or stdout "
@@ -193,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--context", type=Path, default=None, metavar="PATH",
                    help="warm-start plan context file: loaded before the "
                         "run if it exists, updated after (GContext-style)")
+    _add_topology(p)
     p.add_argument("--events", action="store_true",
                    help="also print the fleet dispatch event stream")
     p.add_argument("--grid", action="store_true",
@@ -211,8 +213,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_testbed(p)
     p.add_argument("-s", "--scenario", default="all",
                    help="scenario preset: brownout | crash-storm | "
-                        "tariff-spike | flash-crowd | traffic-surge | all "
-                        "(default all)")
+                        "tariff-spike | flash-crowd | traffic-surge | "
+                        "spine-congestion | all (default all)")
     p.add_argument("-p", "--policy", default="all",
                    help="deferral policy: run-now | deadline-edf | "
                         "price-threshold | carbon-aware | all (default all)")
@@ -243,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset-pool", type=int, default=None, metavar="N",
                    help="pre-draw N datasets per tenant and reuse them "
                         "across arrivals (default: fresh draw per job)")
+    _add_topology(p)
     p.add_argument("--grid", action="store_true",
                    help="run the reference dt-grid loop instead of the "
                         "event-horizon fast path (slow; identical results)")
@@ -255,6 +258,31 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None, metavar="PATH",
                    help="emit the pack (reports + SLO verdicts) as JSON "
                         "(to PATH, or stdout when no path is given)")
+
+    p = sub.add_parser(
+        "topo",
+        help="describe a network topology and water-fill a synthetic "
+             "flow set across it",
+    )
+    _add_testbed(p)
+    p.add_argument("--topology", default="fat-tree:k=4", metavar="SPEC",
+                   help="topology spec (default fat-tree:k=4); see "
+                        "'service --topology' for the syntax")
+    p.add_argument("--placement", default="least-congested",
+                   help="placement policy: least-congested | ecmp-hash | "
+                        "random-k (default least-congested)")
+    p.add_argument("--flows", type=int, default=16,
+                   help="synthetic flows to place and allocate (default 16)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="placement seed (default 0)")
+    p.add_argument("--check", action="store_true",
+                   help="self-check: rerun with the same seed and fail "
+                        "unless placements and rates are byte-identical, "
+                        "and verify no bottleneck is over-subscribed")
+    p.add_argument("--json", type=Path, nargs="?", const=Path("-"),
+                   default=None, metavar="PATH",
+                   help="emit topology + allocation as JSON (to PATH, or "
+                        "stdout when no path is given)")
 
     sub.add_parser("workloads", help="list the workload presets")
 
@@ -320,6 +348,28 @@ def _add_testbed(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_topology(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology", default=None, metavar="SPEC",
+        help="run topology-backed: single-link | "
+             "leaf-spine:s=2,l=4[,spine=f][,leaf=f] | "
+             "fat-tree:k=4[,core=f][,edge=f] (capacity factors are "
+             "fractions of the link bandwidth; default: the classic "
+             "point-to-point path, or the scenario's pinned topology "
+             "for chaos)",
+    )
+    parser.add_argument(
+        "--placement", default="least-congested",
+        help="placement policy over the topology's candidate routes: "
+             "least-congested | ecmp-hash | random-k "
+             "(default least-congested)",
+    )
+    parser.add_argument(
+        "--placement-seed", type=int, default=0,
+        help="seed for the random-k placement sampler (default 0)",
+    )
+
+
 def _resolve_testbed(name: str):
     """A built-in testbed by name, or a JSON definition by path."""
     candidate = Path(name)
@@ -345,6 +395,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "service": _cmd_service,
         "fleet-service": _cmd_fleet_service,
         "chaos": _cmd_chaos,
+        "topo": _cmd_topo,
         "workloads": _cmd_workloads,
         "pareto": _cmd_pareto,
         "history": _cmd_history,
@@ -531,11 +582,13 @@ def _cmd_service(args: argparse.Namespace) -> int:
         tariff_by_name,
         workload_by_name,
     )
+    from repro.topo import PLACEMENT_POLICIES
 
     for value, known, what in (
         (args.workload, WORKLOAD_PRESETS, "workload"),
         (args.policy, POLICY_PRESETS, "policy"),
         (args.tariff, TARIFF_PRESETS, "tariff"),
+        (args.placement, PLACEMENT_POLICIES, "placement"),
     ):
         if value not in known:
             print(f"unknown {what} {value!r}; known: "
@@ -557,6 +610,9 @@ def _cmd_service(args: argparse.Namespace) -> int:
         max_channels=args.max_channels,
         observer=observer,
         fast=not args.grid,
+        topology=args.topology,
+        placement=args.placement,
+        placement_seed=args.placement_seed,
     )
     report = simulator.run(requests)
     print(report.render())
@@ -589,12 +645,14 @@ def _cmd_fleet_service(args: argparse.Namespace) -> int:
         tariff_by_name,
         workload_by_name,
     )
+    from repro.topo import PLACEMENT_POLICIES
 
     for value, known, what in (
         (args.workload, WORKLOAD_PRESETS, "workload"),
         (args.policy, POLICY_PRESETS, "policy"),
         (args.tariff, TARIFF_PRESETS, "tariff"),
         (args.routing, ROUTING_POLICIES, "routing"),
+        (args.placement, PLACEMENT_POLICIES, "placement"),
     ):
         if value not in known:
             print(f"unknown {what} {value!r}; known: "
@@ -626,6 +684,9 @@ def _cmd_fleet_service(args: argparse.Namespace) -> int:
         fast=not args.grid,
         workers=args.workers,
         warm_context=warm,
+        topology=args.topology,
+        placement=args.placement,
+        placement_seed=args.placement_seed,
     )
     report = fleet.run(requests)
     print(report.render())
@@ -658,10 +719,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         WORKLOAD_PRESETS,
         tariff_by_name,
     )
+    from repro.topo import PLACEMENT_POLICIES
 
     for value, known, what in (
         (args.workload, WORKLOAD_PRESETS, "workload"),
         (args.tariff, TARIFF_PRESETS, "tariff"),
+        (args.placement, PLACEMENT_POLICIES, "placement"),
     ):
         if value not in known:
             print(f"unknown {what} {value!r}; known: "
@@ -694,6 +757,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         max_channels=args.max_channels, shards=args.shards,
         workers=args.workers, fast=not args.grid,
         dataset_pool=args.dataset_pool,
+        topology=args.topology, placement=args.placement,
+        placement_seed=args.placement_seed,
     )
     results = run_pack(
         testbed=testbed, tariff=tariff, observer=observer, **config
@@ -734,6 +799,114 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         else:
             args.json.write_text(payload)
             print(f"pack written to {args.json}")
+    return 0
+
+
+def _cmd_topo(args: argparse.Namespace) -> int:
+    """Describe a topology and water-fill a synthetic flow set."""
+    import json as _json
+
+    from repro import units
+    from repro.topo import (
+        FlowDemand,
+        PLACEMENT_POLICIES,
+        Placer,
+        allocate,
+        build_topology,
+    )
+
+    if args.placement not in PLACEMENT_POLICIES:
+        print(f"unknown placement {args.placement!r}; known: "
+              f"{', '.join(PLACEMENT_POLICIES)}", file=sys.stderr)
+        return 2
+    if args.flows < 1:
+        print("--flows must be >= 1", file=sys.stderr)
+        return 2
+    testbed = _resolve_testbed(args.testbed)
+    bandwidth = testbed.path.bandwidth
+
+    def run_once() -> dict:
+        """One placement + allocation round (fresh seeded state)."""
+        topology = build_topology(args.topology, bandwidth=bandwidth)
+        placer = Placer(topology, args.placement, seed=args.seed)
+        demands = []
+        placements = {}
+        for i in range(args.flows):
+            flow = f"flow-{i:03d}"
+            path = placer.place(flow)
+            placements[flow] = path.name
+            demands.append(FlowDemand(flow, path.bottlenecks, bandwidth))
+        result = allocate(topology, demands)
+        return {
+            "topology": topology.to_dict(),
+            "placement": args.placement,
+            "seed": args.seed,
+            "flows": {
+                demand.flow: {
+                    "path": placements[demand.flow],
+                    "demand": demand.demand,
+                    "rate": result.rates[demand.flow],
+                    "bound_by": result.binding[demand.flow],
+                }
+                for demand in demands
+            },
+            "bottlenecks": {
+                name: {
+                    "capacity": topology.capacity(name),
+                    "load": result.bottleneck_load.get(name, 0.0),
+                    "flows": result.bottleneck_flows.get(name, 0),
+                }
+                for name in topology.bottlenecks
+            },
+            "rounds": result.rounds,
+        }
+
+    payload = run_once()
+    if args.check:
+        rerun = run_once()
+        if _json.dumps(payload, sort_keys=True) != _json.dumps(
+            rerun, sort_keys=True
+        ):
+            print("DETERMINISM CHECK FAILED: same-seed rerun diverged",
+                  file=sys.stderr)
+            return 1
+        over = [
+            name
+            for name, cell in payload["bottlenecks"].items()
+            if cell["load"] > cell["capacity"] * (1 + 1e-9)
+        ]
+        if over:
+            print("CAPACITY CHECK FAILED: over-subscribed bottlenecks: "
+                  f"{', '.join(over)}", file=sys.stderr)
+            return 1
+        print("checks passed: deterministic rerun, no bottleneck "
+              "over-subscribed")
+
+    topology = build_topology(args.topology, bandwidth=bandwidth)
+    print(topology.render())
+    print(f"\n{args.flows} flows placed by {args.placement} "
+          f"(seed {args.seed}), each demanding "
+          f"{units.to_gbps(bandwidth):.2f} Gbps; water-fill converged in "
+          f"{payload['rounds']} round(s)")
+    print(f"  {'flow':<10s} {'path':<22s} {'rate Gbps':>10s}  bound by")
+    for flow, cell in payload["flows"].items():
+        print(f"  {flow:<10s} {cell['path']:<22s} "
+              f"{units.to_gbps(cell['rate']):>10.2f}  "
+              f"{cell['bound_by'] or '-'}")
+    print("  bottleneck load:")
+    for name, cell in payload["bottlenecks"].items():
+        if cell["flows"] == 0:
+            continue
+        print(f"  {name:<14s} {units.to_gbps(cell['load']):7.2f} / "
+              f"{units.to_gbps(cell['capacity']):.2f} Gbps "
+              f"({cell['flows']} flows)")
+    if args.json is not None:
+        text = _json.dumps(payload, indent=2) + "\n"
+        if str(args.json) == "-":
+            sys.stdout.write(text)
+        else:
+            args.json.write_text(text)
+            print(f"allocation written to {args.json}")
     return 0
 
 

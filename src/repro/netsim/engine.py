@@ -351,6 +351,10 @@ class TransferEngine:
         #: Link brownout factor applied to the shared aggregate goodput
         #: (1.0 = healthy; see :meth:`set_link_scale`).
         self._link_scale = 1.0
+        #: Topology-imposed aggregate rate cap (bytes/s) on this
+        #: engine's flow, or ``None`` when uncoupled (see
+        #: :meth:`set_capacity_cap`).
+        self._capacity_cap: Optional[float] = None
         #: Counters for post-mortem inspection.
         self.channel_failures = 0
         self.server_failures = 0
@@ -656,6 +660,50 @@ class TransferEngine:
             self._link_scale = float(scale)
             self._alloc_cache.clear()
             self._log_event("link_scaled", scale=scale)
+
+    @property
+    def capacity_cap(self) -> Optional[float]:
+        """Topology-imposed aggregate rate cap (bytes/s), or ``None``."""
+        return self._capacity_cap
+
+    def set_capacity_cap(self, cap: Optional[float]) -> None:
+        """Cap this flow's share of the network (topology coupling).
+
+        A coordinator running flows over a shared
+        :class:`~repro.topo.core.Topology` water-fills each bottleneck
+        per round and imposes the flow's network-wide share here: the
+        cap clamps the shared link-capacity term of
+        :meth:`_allocate_rates` (per-channel and per-server caps are
+        end-system properties and stay untouched). Unlike
+        ``link_scale`` the cap changes round to round, so its value is
+        part of the allocation memo signature rather than a
+        cache-clearing event — two rounds at the same cap and busy set
+        still hit the memo.
+        """
+        if cap is not None and cap < 0:
+            raise ValueError(f"capacity cap must be >= 0, got {cap}")
+        self._capacity_cap = None if cap is None else float(cap)
+
+    def demand_rate(self) -> float:
+        """The flow's uncapped aggregate demand (bytes/s).
+
+        What the busy channels would jointly carry if the topology
+        imposed no cap — the demand this flow registers on the
+        bottlenecks along its path. Served by the same memoized
+        allocator the steppers use (with the cap masked, under its own
+        memo signature), so repeated calls at an unchanged
+        configuration are cache hits.
+        """
+        busy = [c for c in self._channels.values() if c.busy]
+        if not busy:
+            return 0.0
+        saved = self._capacity_cap
+        self._capacity_cap = None
+        try:
+            rates = self._allocate_rates(busy)
+        finally:
+            self._capacity_cap = saved
+        return sum(rates.values())
 
     @property
     def down_servers(self) -> dict[tuple[str, int], Seconds]:
@@ -1352,6 +1400,7 @@ class TransferEngine:
         signature = (
             tuple((c.parallelism, c.src_server, c.dst_server) for c in busy),
             competing,
+            self._capacity_cap,
         )
         cached = self._alloc_cache.get(signature)
         if cached is not None:
@@ -1380,6 +1429,9 @@ class TransferEngine:
             # calls (which clear this memo), so omitting it from the
             # signature is safe.
             link_capacity *= self._link_scale
+        if self._capacity_cap is not None and self._capacity_cap < link_capacity:
+            # topology water-fill share: the flow's network-wide cap
+            link_capacity = self._capacity_cap
         groups: list[tuple[float, list[int]]] = [
             (link_capacity, [id(c) for c in busy])
         ]

@@ -21,7 +21,7 @@ import warnings
 from collections import deque
 from dataclasses import dataclass
 from collections.abc import Sequence
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
@@ -35,7 +35,13 @@ from repro.netsim.engine import (
 )
 from repro.power.models import FineGrainedPowerModel
 from repro.testbeds.specs import Testbed
+from repro.topo.alloc import FlowDemand, allocate
+from repro.topo.core import Path, Topology, build_topology
+from repro.topo.placement import Placer
 from repro.units import Bytes, BytesPerSecond, Joules, Seconds
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
 
 __all__ = ["JobRecord", "MultiTransferSimulator", "TransferTimeout"]
 
@@ -109,6 +115,10 @@ class MultiTransferSimulator:
         *,
         max_concurrent_jobs: Optional[int] = None,
         binding: Binding = Binding.PACK,
+        topology: Optional[Union[str, Topology]] = None,
+        placement: str = "least-congested",
+        placement_seed: int = 0,
+        observer: Optional["Observer"] = None,
     ) -> None:
         if max_concurrent_jobs is not None and max_concurrent_jobs < 1:
             raise ValueError("max_concurrent_jobs must be >= 1")
@@ -117,6 +127,29 @@ class MultiTransferSimulator:
         self.binding = binding
         self.dt = testbed.engine_dt
         self.time = 0.0
+        self.observer = observer
+        #: Optional shared network: a spec string (``"leaf-spine:s=2,l=4"``)
+        #: is built against the testbed path's bandwidth; a
+        #: :class:`~repro.topo.core.Topology` is used as-is. With a
+        #: topology attached every admitted job is placed on a path by
+        #: the :class:`~repro.topo.placement.Placer` and each round's
+        #: rates are capped by the network-wide water-fill
+        #: (:meth:`_topo_round`).
+        if isinstance(topology, str):
+            topology = build_topology(
+                topology, bandwidth=testbed.path.bandwidth
+            )
+        self.topology = topology
+        self._placer: Optional[Placer] = (
+            None
+            if topology is None
+            else Placer(topology, placement, seed=placement_seed)
+        )
+        #: job name -> the Path the placer chose at admission.
+        self._flow_paths: dict[str, Path] = {}
+        #: Change-detection state for the topology observer events.
+        self._congested_flows: set[str] = set()
+        self._last_loads: dict[str, float] = {}
         self._jobs: list[tuple[JobRecord, TransferEngine]] = []
         self._names: set[str] = set()
         # Incremental indexes: ``step``/``run_until`` never scan the
@@ -132,6 +165,11 @@ class MultiTransferSimulator:
         #: server to its recovery time *on this simulator's clock* so
         #: jobs admitted mid-outage inherit the remaining downtime.
         self._link_scale = 1.0
+        #: Set once a brownout has ever been injected: newly submitted
+        #: engines then inherit the current factor. An explicit flag —
+        #: not an exact-float compare against the 1.0 sentinel — so a
+        #: restore to full capacity still propagates cleanly.
+        self._link_scale_active = False
         self._ambient_streams = 0.0
         self._site_down: dict[tuple[str, int], Seconds] = {}
         #: Fast-path accounting (:meth:`run_until` only): macro rounds
@@ -172,8 +210,10 @@ class MultiTransferSimulator:
         # chunks registered up front; channels open when the job starts
         for plan in plans:
             engine.submit_chunk(plan)
-        # exact 1.0 sentinel set only by set_link_scale
-        if self._link_scale != 1.0:  # repro: noqa[RPL003]
+        if self._link_scale_active:
+            # a brownout was injected at some point; propagate the
+            # current factor (a restore back to 1.0 is a no-op on the
+            # engine side)
             engine.set_link_scale(self._link_scale)
         self._jobs.append((record, engine))
         self._names.add(name)
@@ -223,6 +263,17 @@ class MultiTransferSimulator:
                 break
             record, engine = self._unstarted.popleft()
             record.start_time = self.time
+            if self._placer is not None:
+                # one route per job, chosen at admission — admission
+                # order is FIFO and identical in the fast and grid
+                # drivers, so a fixed placer seed places identically
+                path = self._placer.place(record.name)
+                self._flow_paths[record.name] = path
+                if self.observer is not None:
+                    self.observer.job_placed(
+                        self.time, record.name, path.name,
+                        self._placer.policy,
+                    )
             self._inherit_outages(engine)
             engine.admit_pending()
             self._active.append((record, engine))
@@ -249,6 +300,140 @@ class MultiTransferSimulator:
     @staticmethod
     def _busy_streams(engine: TransferEngine) -> int:
         return sum(c.parallelism for c in engine.channels if c.busy)
+
+    def _release_flow(self, record: JobRecord) -> None:
+        """Free a completed job's route (placer load bookkeeping)."""
+        if self._placer is None:
+            return
+        path = self._flow_paths.pop(record.name, None)
+        if path is not None:
+            self._placer.release(path)
+        self._congested_flows.discard(record.name)
+
+    def _backgrounds(
+        self,
+        running: list[tuple[JobRecord, TransferEngine]],
+        counts: list[int],
+        total: int,
+        counts_arr: Optional[np.ndarray] = None,
+    ) -> list[float]:
+        """Competing stream count each running engine sees this round.
+
+        Without a topology every job shares one link, so a job competes
+        with the total of every *other* job's streams plus the ambient
+        load. With a topology a job only competes with the streams that
+        actually cross a bottleneck on *its* path — the count is the
+        worst such hop. On a single shared bottleneck the worst hop
+        carries everyone, so the topology-aware count reduces exactly
+        to ``total - own + ambient`` — the byte-identity the single-link
+        topology tests pin down.
+        """
+        ambient = self._ambient_streams
+        if self._placer is None:
+            if counts_arr is not None:
+                # batched array pass; bit-equal to the scalar arithmetic
+                return (total - counts_arr + ambient).tolist()
+            return [total - count + ambient for count in counts]
+        hop_streams: dict[str, int] = {}
+        for (record, _engine), count in zip(running, counts):
+            path = self._flow_paths.get(record.name)
+            if path is None:
+                continue
+            for hop in path.bottlenecks:
+                hop_streams[hop] = hop_streams.get(hop, 0) + count
+        backgrounds: list[float] = []
+        for (record, _engine), count in zip(running, counts):
+            path = self._flow_paths.get(record.name)
+            if path is None:
+                backgrounds.append(total - count + ambient)
+                continue
+            worst = max(hop_streams[hop] for hop in path.bottlenecks)
+            backgrounds.append(worst - count + ambient)
+        return backgrounds
+
+    def _topo_round(
+        self, running: list[tuple[JobRecord, TransferEngine]]
+    ) -> None:
+        """Impose each flow's network-wide share as an engine rate cap.
+
+        The psim round: every running flow registers its *uncapped*
+        demand (what its busy channels would jointly carry) on the
+        bottlenecks along its placed path; the topology water-fills to
+        the max-min fixed point; each congested flow's engine is capped
+        at its share, demand-limited flows are uncapped. Called at the
+        same point of every round in both drivers — after backgrounds
+        are set, before work assignment — so the caps are identical at
+        identical grid times. Within a macro span the busy signature
+        and the peer stream counts are frozen (``stable_steps`` /
+        ``count_stable_steps``), hence so are the demands and the caps:
+        freezing them across the span is exact, not approximate.
+        """
+        if self._placer is None:
+            return
+        flows: list[FlowDemand] = []
+        members: list[tuple[JobRecord, TransferEngine, Path]] = []
+        for record, engine in running:
+            path = self._flow_paths.get(record.name)
+            if path is None:
+                continue
+            demand = engine.demand_rate()
+            if demand <= 0.0:
+                # freshly admitted: channels open but unassigned until
+                # the first step's work assignment
+                engine.set_capacity_cap(None)
+                continue
+            flows.append(FlowDemand(record.name, path.bottlenecks, demand))
+            members.append((record, engine, path))
+        if not flows:
+            return
+        result = allocate(self.topology, flows)
+        observer = self.observer
+        for record, engine, path in members:
+            name = record.name
+            bound = result.binding[name]
+            if bound is None:
+                engine.set_capacity_cap(None)
+                self._congested_flows.discard(name)
+                continue
+            engine.set_capacity_cap(result.rates[name])
+            if name not in self._congested_flows:
+                self._congested_flows.add(name)
+                if observer is not None:
+                    observer.path_congested(
+                        self.time, name, path.name, bound,
+                        result.demands[name], result.rates[name],
+                    )
+        if observer is not None:
+            for hop, load in result.bottleneck_load.items():
+                last = self._last_loads.get(hop)
+                if last is None or abs(load - last) > 1e-6 * max(load, 1.0):
+                    self._last_loads[hop] = load
+                    observer.bottleneck_allocated(
+                        self.time, hop, self.topology.capacity(hop),
+                        result.bottleneck_flows[hop], load,
+                    )
+
+    def _would_bind(
+        self, running: list[tuple[JobRecord, TransferEngine]]
+    ) -> bool:
+        """Would the *current* (post-assignment) demands congest any
+        flow? The fast path's escape hatch: a refill round whose new
+        demands still clear every bottleneck needs no exact step, since
+        the interior grid steps would compute the same ``None`` caps
+        the span froze."""
+        flows: list[FlowDemand] = []
+        for record, engine in running:
+            path = self._flow_paths.get(record.name)
+            if path is None:
+                continue
+            demand = engine.demand_rate()
+            if demand <= 0.0:
+                continue
+            flows.append(FlowDemand(record.name, path.bottlenecks, demand))
+        if not flows:
+            return False
+        result = allocate(self.topology, flows)
+        return any(hop is not None for hop in result.binding.values())
 
     # ------------------------------------------------------------------
     # fault injection (chaos surface)
@@ -277,8 +462,32 @@ class MultiTransferSimulator:
         if scale <= 0:
             raise ValueError(f"link scale must be > 0, got {scale}")
         self._link_scale = float(scale)
+        self._link_scale_active = True
+        if self.topology is not None:
+            # a path-wide brownout dims every bottleneck too; keeping
+            # the topology in lock-step with the engines preserves the
+            # single-link no-bind invariant under scale changes
+            self.topology.set_global_scale(self._link_scale)
         for _record, engine in self._jobs:
             engine.set_link_scale(self._link_scale)
+
+    def scale_bottleneck(self, name: str, scale: float) -> float:
+        """Scale one named bottleneck's capacity (targeted brownout).
+
+        The topology-aware sibling of :meth:`set_link_scale`: only
+        flows whose placed path crosses ``name`` feel it, through the
+        next round's water-fill. Engine rate caps carry the bottleneck
+        capacities in their allocation-memo signatures, so no cache
+        invalidation is needed — the next ``_topo_round`` simply
+        computes (and imposes) the new shares. Returns the bottleneck's
+        new effective capacity in bytes/s.
+        """
+        if self.topology is None:
+            raise ValueError(
+                "scale_bottleneck requires a topology-backed simulator "
+                "(pass topology=... at construction)"
+            )
+        return self.topology.scale_bottleneck(name, scale)
 
     @property
     def ambient_streams(self) -> float:
@@ -396,17 +605,18 @@ class MultiTransferSimulator:
         """Advance every running job one shared time step."""
         self._admit_jobs()
         running = self._running()
-        stream_counts = {id(engine): self._busy_streams(engine) for _, engine in running}
-        total_streams = sum(stream_counts.values())
-        ambient = self._ambient_streams
+        counts = [self._busy_streams(engine) for _, engine in running]
+        backgrounds = self._backgrounds(running, counts, sum(counts))
+        for (_record, engine), background in zip(running, backgrounds):
+            engine.set_background_streams(background)
+        self._topo_round(running)
         for record, engine in running:
-            others = total_streams - stream_counts[id(engine)] + ambient
-            engine.set_background_streams(others)
             before_energy = engine.total_energy
             engine.step()
             record.energy_joules += engine.total_energy - before_energy
             if engine.finished and not record.finished:
                 record.completion_time = self.time + self.dt
+                self._release_flow(record)
         self.time += self.dt
 
     def run_until(self, horizon: Seconds) -> list[JobRecord]:
@@ -471,25 +681,40 @@ class MultiTransferSimulator:
             engines = [engine for _record, engine in running]
             counts0 = [self._busy_streams(engine) for engine in engines]
             total0 = sum(counts0)
-            ambient = self._ambient_streams
             vector = n >= _VECTOR_MIN_ENGINES
-            if vector:
-                counts_arr = np.array(counts0, dtype=np.int64)
-                backgrounds = (total0 - counts_arr + ambient).tolist()
-            else:
-                backgrounds = [total0 - count + ambient for count in counts0]
-            prepared_busy: list[list[Channel]] = []
-            prepared_rates: list[dict[int, float]] = []
+            counts_arr = np.array(counts0, dtype=np.int64) if vector else None
+            backgrounds = self._backgrounds(
+                running, counts0, total0, counts_arr
+            )
             for i, engine in enumerate(engines):
                 engine.set_background_streams(backgrounds[i])
+            self._topo_round(running)
+            prepared_busy: list[list[Channel]] = []
+            prepared_rates: list[dict[int, float]] = []
+            for engine in engines:
                 busy, rates = engine.prepare_step()
                 prepared_busy.append(busy)
                 prepared_rates.append(rates)
+            # With a topology attached, even a lone engine may be
+            # coupled: its rate cap is recomputed every round from its
+            # own pre-assignment busy channels. A refill can *raise*
+            # demand (and newly bind a cap at interior grid steps), so
+            # the refill check always applies under a placer; a count
+            # dip can only *lower* demand, so an engine with no cap
+            # imposed stays uncapped across a span and only capped
+            # engines need the count-stability bound. An uncapped
+            # single-link run therefore takes exactly the legacy
+            # bounds — the byte-identity the topo tests pin down.
+            capped = self._placer is not None and any(
+                engine.capacity_cap is not None for engine in engines
+            )
+            coupled = n > 1 or capped
             k = k_cap
-            if k > 1 and n > 1:
+            if k > 1 and (n > 1 or self._placer is not None):
                 # Work assignment refilled or re-bound a channel: the
                 # count the peers sample next round already differs
                 # from the frozen one, so only one exact step is safe.
+                refilled = False
                 if vector:
                     new_counts = np.fromiter(
                         (
@@ -499,15 +724,20 @@ class MultiTransferSimulator:
                         dtype=np.int64,
                         count=n,
                     )
-                    if bool((new_counts != counts_arr).any()):
-                        k = 1
+                    refilled = bool((new_counts != counts_arr).any())
                 else:
                     for i, busy in enumerate(prepared_busy):
                         if sum(c.parallelism for c in busy) != counts0[i]:
-                            k = 1
+                            refilled = True
                             break
+                if refilled:
+                    if n > 1 or capped or self._would_bind(running):
+                        k = 1
+                    # else: a lone uncapped flow whose refilled
+                    # (post-assignment) demand still clears every
+                    # bottleneck — interior grid steps stay uncapped
+                    # too, so the legacy span bounds apply unchanged
             if k > 1:
-                coupled = n > 1
                 for i, engine in enumerate(engines):
                     k = min(k, engine.stable_steps(prepared_busy[i], prepared_rates[i], k))
                     if k < 2:
@@ -555,6 +785,7 @@ class MultiTransferSimulator:
                 if engine.finished and not record.finished:
                     record.completion_time = self.time
                     engine.flush_fallback_events()
+                    self._release_flow(record)
                     completed.append(record)
             if completed:
                 break

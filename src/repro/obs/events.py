@@ -61,6 +61,12 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     # server_outage, ...); ``detail`` carries its action-specific facts.
     "fault_injected": frozenset({"fault", "detail"}),
     "slo_breach": frozenset({"metric", "value", "budget", "burn"}),
+    # topology layer (repro.topo via repro.netsim.multi): placement
+    # decisions, change-detected per-bottleneck water-fill results and
+    # flows newly throttled below their demand.
+    "job_placed": frozenset({"job", "path", "policy"}),
+    "bottleneck_allocated": frozenset({"bottleneck", "capacity", "flows", "rate"}),
+    "path_congested": frozenset({"job", "path", "bottleneck", "demand", "rate"}),
 }
 
 

@@ -255,6 +255,45 @@ class Observer:
             burn=burn,
         )
 
+    # -- topology layer (repro.topo via repro.netsim.multi) ------------
+
+    def job_placed(
+        self, time: Seconds, job: str, path: str, policy: str
+    ) -> None:
+        """The placer routed an admitted job onto a topology path."""
+        self.metrics.counter("topo.placements").inc()
+        self.metrics.counter(f"topo.placements.{policy}").inc()
+        self.events.emit(time, "job_placed", job=job, path=path, policy=policy)
+
+    def bottleneck_allocated(
+        self, time: Seconds, bottleneck: str, capacity: float, flows: int,
+        rate: float,
+    ) -> None:
+        """A bottleneck's water-filled load changed: ``rate`` bytes/s
+        now allocated across ``flows`` flows of ``capacity`` bytes/s.
+        Change-detected at the emitting side, so the stream records
+        load transitions rather than one event per round."""
+        self.metrics.counter("topo.allocations").inc()
+        self.metrics.gauge(f"topo.bottleneck_load.{bottleneck}").set(rate)
+        self.events.emit(
+            time, "bottleneck_allocated", bottleneck=bottleneck,
+            capacity=capacity, flows=flows, rate=rate,
+        )
+
+    def path_congested(
+        self, time: Seconds, job: str, path: str, bottleneck: str,
+        demand: float, rate: float,
+    ) -> None:
+        """A flow was throttled below its demand: the water-fill capped
+        ``job`` at ``rate`` bytes/s (wanted ``demand``) at its path's
+        most-utilized hop. Emitted on the uncongested -> congested
+        transition only."""
+        self.metrics.counter("topo.congestion_events").inc()
+        self.events.emit(
+            time, "path_congested", job=job, path=path,
+            bottleneck=bottleneck, demand=demand, rate=rate,
+        )
+
     # -- engine event-log forwarding -----------------------------------
 
     def engine_event(self, time: Seconds, kind: str, detail: dict) -> None:
@@ -342,6 +381,21 @@ def _fmt_detail(kind: str, detail: dict) -> str:
     if kind == "fault_injected":
         facts = ", ".join(f"{k}={v}" for k, v in detail["detail"].items())
         return f"{detail['fault']}" + (f" ({facts})" if facts else "")
+    if kind == "job_placed":
+        return f"{detail['job']} -> {detail['path']} ({detail['policy']})"
+    if kind == "bottleneck_allocated":
+        return (
+            f"{detail['bottleneck']} {units.to_mbps(detail['rate']):.1f}/"
+            f"{units.to_mbps(detail['capacity']):.1f} Mbps "
+            f"across {detail['flows']} flow(s)"
+        )
+    if kind == "path_congested":
+        return (
+            f"{detail['job']} on {detail['path']} capped at "
+            f"{units.to_mbps(detail['rate']):.1f} Mbps by "
+            f"{detail['bottleneck']} (wanted "
+            f"{units.to_mbps(detail['demand']):.1f})"
+        )
     if kind == "slo_breach":
         value = detail["value"]
         shown = "n/a" if value is None else f"{value:.4g}"

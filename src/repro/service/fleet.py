@@ -603,6 +603,9 @@ def _run_shard(payload: dict) -> dict:
         partition_policy=payload["partition_policy"],
         observer=observer,
         fast=payload["fast"],
+        topology=payload.get("topology"),
+        placement=payload.get("placement", "least-congested"),
+        placement_seed=payload.get("placement_seed", 0),
     )
     start = time.perf_counter()  # repro: noqa[RPL002] — real shard wall-clock, reported outside the determinism contract
     report = simulator.run(
@@ -667,6 +670,9 @@ class FleetSimulator:
         fast: bool = True,
         workers: Optional[int] = None,
         warm_context: Optional[FleetContext] = None,
+        topology: Optional[str] = None,
+        placement: str = "least-congested",
+        placement_seed: int = 0,
     ) -> None:
         if (testbed is None) == (shard_specs is None):
             raise ValueError("provide exactly one of testbed or shard_specs")
@@ -705,6 +711,11 @@ class FleetSimulator:
         self.partition_policy = partition_policy
         self.observer = observer
         self.fast = fast
+        #: Topology travels as a *spec string* (picklable; each shard
+        #: builds its own fresh instance against its testbed's path).
+        self.topology = topology
+        self.placement = placement
+        self.placement_seed = placement_seed
         self.workers = workers
         self.warm_context = warm_context
         #: Set by :meth:`run`: the accumulated warm-start context.
@@ -734,6 +745,9 @@ class FleetSimulator:
                 "max_channels": self.max_channels,
                 "partition_policy": self.partition_policy,
                 "fast": self.fast,
+                "topology": self.topology,
+                "placement": self.placement,
+                "placement_seed": self.placement_seed,
                 "max_time": max_time,
                 "observe": observe,
                 "warm": warm,

@@ -40,18 +40,21 @@ one layer up.
 
 from __future__ import annotations
 
+import copy
 import heapq
 import math
 from dataclasses import dataclass, field
 from collections import deque
 from collections.abc import Sequence
 from functools import cached_property
-from typing import Optional, Protocol, runtime_checkable
+from typing import Optional, Protocol, Union, runtime_checkable
 
 from repro import units
 from repro.core.chunks import PartitionPolicy
 from repro.netsim.multi import JobRecord, MultiTransferSimulator, TransferTimeout
 from repro.obs.observer import Observer
+from repro.topo.core import Topology
+from repro.topo.placement import PLACEMENT_POLICIES
 from repro.service.policies import JobPlan, plan_cache_info, plan_for
 from repro.service.requests import TransferRequest
 from repro.service.scheduler import DeferralPolicy, SchedulingDecision
@@ -229,6 +232,10 @@ class ServiceReport:
     #: ``on_timeout="report"`` — unfinished jobs keep
     #: ``completed_at=None`` and count as deadline misses.
     truncated: bool = False
+    #: Topology spec and placement policy the day ran under
+    #: (``None``/``None`` for the classic point-to-point path).
+    topology: Optional[str] = None
+    placement: Optional[str] = None
 
     # -- aggregates (computed once; see class docstring) ----------------
 
@@ -347,6 +354,8 @@ class ServiceReport:
             "mean_queue_wait_s": self.mean_queue_wait_s,
             "makespan_s": self.makespan_s,
             "truncated": self.truncated,
+            "topology": self.topology,
+            "placement": self.placement,
             "unfinished_jobs": self.unfinished_jobs,
             "per_tenant": self.per_tenant,
             "job_results": [j.to_dict() for j in self.jobs],
@@ -359,9 +368,14 @@ class ServiceReport:
             if self.truncated
             else ""
         )
+        routed = (
+            f", topology={self.topology}, placement={self.placement}"
+            if self.topology is not None
+            else ""
+        )
         lines = [
             f"Service day on {self.testbed} "
-            f"(policy={self.policy}, tariff={self.tariff}):",
+            f"(policy={self.policy}, tariff={self.tariff}{routed}):",
             f"  {len(self.jobs)} jobs, {units.to_GB(self.total_bytes):.1f} GB, "
             f"makespan {self.makespan_s:.0f} s{cutoff}",
             f"  energy {self.total_energy_j / 3.6e6:.3f} kWh -> "
@@ -436,11 +450,19 @@ class ServiceSimulator:
         partition_policy: PartitionPolicy = PartitionPolicy(),
         observer: Optional[Observer] = None,
         fast: bool = True,
+        topology: Optional[Union[str, Topology]] = None,
+        placement: str = "least-congested",
+        placement_seed: int = 0,
     ) -> None:
         if max_concurrent_jobs < 1:
             raise ValueError("max_concurrent_jobs must be >= 1")
         if max_per_tenant is not None and max_per_tenant < 1:
             raise ValueError("max_per_tenant must be >= 1")
+        if placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {placement!r}; known: "
+                f"{', '.join(PLACEMENT_POLICIES)}"
+            )
         self.testbed = testbed
         self.policy = policy
         self.tariff = tariff
@@ -450,6 +472,11 @@ class ServiceSimulator:
         self.partition_policy = partition_policy
         self.observer = observer
         self.fast = fast
+        #: A spec string is rebuilt (and a Topology deep-copied) per
+        #: ``run()``, so chaos scale mutations never leak across runs.
+        self.topology = topology
+        self.placement = placement
+        self.placement_seed = placement_seed
 
     # ------------------------------------------------------------------
 
@@ -604,7 +631,19 @@ class ServiceSimulator:
         actions = sorted(
             interventions, key=lambda a: a.time
         )  # stable: ties keep caller order
-        sim = MultiTransferSimulator(self.testbed, max_concurrent_jobs=None)
+        topology = self.topology
+        if isinstance(topology, Topology):
+            # each run gets its own copy: interventions scale
+            # bottleneck capacities in place
+            topology = copy.deepcopy(topology)
+        sim = MultiTransferSimulator(
+            self.testbed,
+            max_concurrent_jobs=None,
+            topology=topology,
+            placement=self.placement,
+            placement_seed=self.placement_seed,
+            observer=self.observer,
+        )
         if self.fast:
             truncated = self._run_fast(states, sim, max_time, actions, on_timeout)
         else:
@@ -616,6 +655,12 @@ class ServiceSimulator:
             jobs=[s.result for s in sorted(states, key=lambda s: s.seq)],
             makespan_s=sim.makespan,
             truncated=truncated,
+            topology=(
+                None if sim.topology is None
+                else (self.topology if isinstance(self.topology, str)
+                      else sim.topology.name)
+            ),
+            placement=None if sim.topology is None else self.placement,
         )
         return report
 

@@ -1,0 +1,246 @@
+"""Deterministic network-wide max-min allocation (progressive filling).
+
+Each flow registers its demanded rate on every bottleneck along its
+path, then a single water level rises over the whole network: every
+unfrozen flow's rate grows in proportion to its weight until either
+the flow reaches its demand (it freezes demand-limited) or some
+bottleneck saturates (every unfrozen flow crossing it freezes at its
+weighted share of that hop — its *binding* bottleneck). Capacity a
+throttled flow cannot use is automatically available to the flows
+that can, so the procedure terminates — in at most one round per
+flow — at exactly the network-wide (weighted, demand-capped) max-min
+fair allocation.
+
+Everything here is pure and deterministic: flows are processed in
+sorted id order, bottlenecks in sorted name order, ties broken by id.
+Two calls with equal inputs return bit-equal outputs — the property
+the simulator's fast-vs-grid equivalence rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.topo.core import Topology
+
+__all__ = ["FlowDemand", "AllocationResult", "water_fill", "allocate"]
+
+#: Backstop against float noise: progressive filling freezes at
+#: least one flow per round, so ``_MAX_ROUNDS`` is never reached on
+#: well-formed inputs.
+_MAX_ROUNDS = 64
+
+
+@dataclass(frozen=True)
+class FlowDemand:
+    """One flow's registration: its route, demanded rate and weight."""
+
+    flow: str
+    path: tuple[str, ...]
+    demand: float
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError(f"flow {self.flow!r} has an empty path")
+        if self.demand < 0:
+            raise ValueError(f"flow {self.flow!r} demand must be >= 0")
+        if self.weight <= 0:
+            raise ValueError(f"flow {self.flow!r} weight must be > 0")
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """The fixed point: per-flow rates plus diagnostic structure."""
+
+    #: flow id -> allocated rate (bytes/s), ``min(demand, fair share)``.
+    rates: dict[str, float]
+    #: flow id -> registered demand (echoed for congestion checks).
+    demands: dict[str, float]
+    #: flow id -> the bottleneck that capped it, or ``None`` when the
+    #: flow got its full demand (demand-limited, not network-limited).
+    binding: dict[str, Optional[str]]
+    #: bottleneck -> total allocated rate through it.
+    bottleneck_load: dict[str, float]
+    #: bottleneck -> flow count registered on it.
+    bottleneck_flows: dict[str, int] = field(default_factory=dict)
+    #: water-filling rounds until the fixed point.
+    rounds: int = 0
+
+    @property
+    def congested_flows(self) -> list[str]:
+        """Flows that did not get their full demand, sorted."""
+        return sorted(
+            flow for flow, hop in self.binding.items() if hop is not None
+        )
+
+    def utilization(self, topology: "Topology") -> dict[str, float]:
+        """Bottleneck -> load / current capacity."""
+        return {
+            name: load / topology.capacity(name)
+            for name, load in sorted(self.bottleneck_load.items())
+        }
+
+
+def water_fill(
+    capacity: float,
+    demands: Mapping[str, float],
+    weights: Optional[Mapping[str, float]] = None,
+) -> dict[str, float]:
+    """Weighted max-min division of one capacity among demands.
+
+    Progressive filling: flows whose demand is below their weighted
+    fair share are frozen at their demand, their unused share is
+    returned to the pool, and the remaining flows split it by weight —
+    repeated (via one pass in ascending ``demand/weight`` order) until
+    every flow is frozen at either its demand or its final share.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+    if not demands:
+        return {}
+    if weights is None:
+        weights = {flow: 1.0 for flow in demands}
+    order = sorted(
+        demands, key=lambda flow: (demands[flow] / weights[flow], flow)
+    )
+    remaining = float(capacity)
+    remaining_weight = sum(weights[flow] for flow in order)
+    shares: dict[str, float] = {}
+    for flow in order:
+        fair = remaining * weights[flow] / remaining_weight
+        give = demands[flow] if demands[flow] < fair else fair
+        shares[flow] = give
+        remaining -= give
+        remaining_weight -= weights[flow]
+        if remaining < 0.0:
+            remaining = 0.0
+    return {flow: shares[flow] for flow in sorted(shares)}
+
+
+def allocate(
+    topology: "Topology",
+    flows: Sequence[FlowDemand],
+    *,
+    max_rounds: int = _MAX_ROUNDS,
+) -> AllocationResult:
+    """Progressive filling to the exact network max-min allocation.
+
+    A normalized water level rises round by round. Each round finds
+    the next freeze event — the lowest level at which some bottleneck
+    saturates (``(capacity - frozen load) / unfrozen weight``) — and
+    freezes either every unfrozen flow whose weighted demand sits at
+    or below that level (demand-limited, no binding hop) or, when
+    none does, every unfrozen flow crossing a saturating hop (frozen
+    at its weighted share there; the hop is its *binding* bottleneck,
+    the first saturating one along its path). Every round freezes at
+    least one flow, so the loop terminates in at most one round per
+    flow — ``max_rounds`` is a float-noise backstop, not a
+    convergence knob.
+    """
+    if not flows:
+        return AllocationResult(
+            rates={}, demands={}, binding={}, bottleneck_load={}, rounds=0
+        )
+    seen: set[str] = set()
+    for flow in flows:
+        if flow.flow in seen:
+            raise ValueError(f"duplicate flow id {flow.flow!r}")
+        seen.add(flow.flow)
+    ordered = sorted(flows, key=lambda f: f.flow)
+    demands = {f.flow: float(f.demand) for f in ordered}
+    weights = {f.flow: float(f.weight) for f in ordered}
+    paths = {f.flow: f.path for f in ordered}
+    by_bottleneck: dict[str, list[str]] = {}
+    for f in ordered:
+        for hop in f.path:
+            by_bottleneck.setdefault(hop, []).append(f.flow)
+    capacities = {
+        hop: topology.capacity(hop) for hop in sorted(by_bottleneck)
+    }
+    hops_sorted = sorted(by_bottleneck)
+
+    rates: dict[str, float] = {}
+    binding: dict[str, Optional[str]] = {}
+    active = {f.flow for f in ordered}
+    frozen_load = {hop: 0.0 for hop in hops_sorted}
+    rounds = 0
+    while active and rounds < max_rounds:
+        rounds += 1
+        # Lowest level at which a bottleneck saturates.
+        cap_level = None
+        for hop in hops_sorted:
+            weight = sum(
+                weights[flow]
+                for flow in by_bottleneck[hop]
+                if flow in active
+            )
+            if weight <= 0.0:
+                continue
+            level = (capacities[hop] - frozen_load[hop]) / weight
+            if level < 0.0:
+                level = 0.0
+            if cap_level is None or level < cap_level:
+                cap_level = level
+        if cap_level is None:  # pragma: no cover - every flow has a hop
+            break
+        # Flows whose demand sits at or below the level freeze first:
+        # removing one returns unused share to its hops, so every
+        # hop's saturation level can only rise — freezing them all at
+        # once is exact, not greedy.
+        frozen = [
+            flow
+            for flow in sorted(active)
+            if demands[flow] / weights[flow] <= cap_level
+        ]
+        if frozen:
+            for flow in frozen:
+                rates[flow] = demands[flow]
+                binding[flow] = None
+        else:
+            # A bottleneck saturates below every remaining demand:
+            # its unfrozen flows freeze at their weighted share of it.
+            saturated = {
+                hop
+                for hop in hops_sorted
+                if any(flow in active for flow in by_bottleneck[hop])
+                and (
+                    capacities[hop] - frozen_load[hop]
+                ) / sum(
+                    weights[flow]
+                    for flow in by_bottleneck[hop]
+                    if flow in active
+                ) <= cap_level
+            }
+            for flow in sorted(active):
+                for hop in paths[flow]:
+                    if hop in saturated:
+                        rates[flow] = weights[flow] * cap_level
+                        binding[flow] = hop
+                        frozen.append(flow)
+                        break
+        for flow in frozen:
+            active.discard(flow)
+            for hop in paths[flow]:
+                frozen_load[hop] += rates[flow]
+    for flow in sorted(active):  # pragma: no cover - max_rounds backstop
+        rates[flow] = demands[flow]
+        binding[flow] = None
+
+    load = {
+        hop: sum(rates[flow] for flow in members)
+        for hop, members in sorted(by_bottleneck.items())
+    }
+    count = {
+        hop: len(members) for hop, members in sorted(by_bottleneck.items())
+    }
+    return AllocationResult(
+        rates=rates,
+        demands=demands,
+        binding=binding,
+        bottleneck_load=load,
+        bottleneck_flows=count,
+        rounds=rounds,
+    )

@@ -1,0 +1,133 @@
+"""Placement scheduling: which route each admitted job takes.
+
+A :class:`Placer` tracks how many active flows cross each bottleneck
+and chooses a (source node, destination node, path) triple per
+admitted job. Three policies:
+
+* ``least-congested`` — the path whose most-loaded bottleneck (after
+  placing this flow) is lightest, relative to capacity; ties by path
+  name. The informed baseline.
+* ``ecmp-hash`` — a stable CRC32 hash of the job name over the
+  candidate list (the same hash the fleet's ``tenant-hash`` routing
+  uses), load-blind but stateless and reproducible.
+* ``random-k`` — draw ``k`` seeded random candidates, keep the least
+  congested of them ("power of two choices"); load-aware but only
+  over the sample.
+
+Placement happens once per job at admission and is released at
+completion, in the same order in the fast and grid service drivers,
+so a fixed seed gives identical placements in both — the determinism
+contract the fast-vs-grid gates enforce.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional
+
+import numpy as np
+
+from repro.topo.core import Path, Topology
+
+__all__ = ["PLACEMENT_POLICIES", "Placer"]
+
+#: Known placement policies, in documentation order.
+PLACEMENT_POLICIES = ("least-congested", "ecmp-hash", "random-k")
+
+
+def _stable_hash(name: str) -> int:
+    """Process-independent hash (CRC32, like the fleet router's)."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+class Placer:
+    """Chooses and tracks one route per active flow."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        policy: str = "least-congested",
+        *,
+        seed: int = 0,
+        k: int = 2,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+    ) -> None:
+        """``src``/``dst`` optionally pin the endpoint pair; by default
+        every path in the topology is a candidate — the placer chooses
+        the endpoints along with the route."""
+        if policy not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {policy!r}; known: "
+                f"{', '.join(PLACEMENT_POLICIES)}"
+            )
+        if k < 1:
+            raise ValueError("random-k sample size must be >= 1")
+        self.topology = topology
+        self.policy = policy
+        self.k = k
+        self._rng = np.random.default_rng(seed)
+        if src is not None or dst is not None:
+            if src is None or dst is None:
+                raise ValueError("pin both src and dst, or neither")
+            candidates = topology.paths_between(src, dst)
+        else:
+            candidates = list(topology.paths.values())
+        if not candidates:
+            raise ValueError("no candidate paths to place flows on")
+        #: Sorted by name so every policy sees one canonical order.
+        self._candidates = sorted(candidates, key=lambda p: p.name)
+        #: bottleneck -> active flows crossing it.
+        self._load: dict[str, int] = {}
+        self.placements = 0
+
+    # -- congestion metric ----------------------------------------------
+
+    def congestion(self, path: Path) -> float:
+        """The path's worst bottleneck occupancy if one more flow were
+        placed on it: ``(active_flows + 1) / capacity`` maxed over the
+        hops. Capacity-relative, so a half-speed spine carrying the
+        same flow count reads as twice as congested."""
+        worst = 0.0
+        for hop in path.bottlenecks:
+            score = (self._load.get(hop, 0) + 1) / self.topology.capacity(hop)
+            if score > worst:
+                worst = score
+        return worst
+
+    def loads(self) -> dict[str, int]:
+        """Bottleneck -> active flow count (sorted copy)."""
+        return {name: self._load[name] for name in sorted(self._load)}
+
+    # -- placement lifecycle --------------------------------------------
+
+    def _least_congested(self, candidates: list[Path]) -> Path:
+        return min(candidates, key=lambda p: (self.congestion(p), p.name))
+
+    def place(self, job: str) -> Path:
+        """Choose a route for ``job`` and register its load."""
+        if self.policy == "least-congested":
+            path = self._least_congested(self._candidates)
+        elif self.policy == "ecmp-hash":
+            path = self._candidates[
+                _stable_hash(job) % len(self._candidates)
+            ]
+        else:  # random-k
+            k = min(self.k, len(self._candidates))
+            picks = self._rng.choice(len(self._candidates), size=k,
+                                     replace=False)
+            sample = [self._candidates[int(i)] for i in sorted(picks)]
+            path = self._least_congested(sample)
+        for hop in path.bottlenecks:
+            self._load[hop] = self._load.get(hop, 0) + 1
+        self.placements += 1
+        return path
+
+    def release(self, path: Path) -> None:
+        """Unregister a completed flow's load."""
+        for hop in path.bottlenecks:
+            current = self._load.get(hop, 0) - 1
+            if current > 0:
+                self._load[hop] = current
+            else:
+                self._load.pop(hop, None)

@@ -1,0 +1,243 @@
+"""Topology structure: bottleneck/path validation, brownout-scaled
+capacities, the builders, and the CLI spec parser."""
+
+import copy
+import pickle
+
+import pytest
+
+from repro import units
+from repro.netsim.link import NetworkPath
+from repro.topo import (
+    Bottleneck,
+    Path,
+    Topology,
+    build_topology,
+    fat_tree,
+    from_edges,
+    leaf_spine,
+    single_link,
+)
+
+BW = units.gbps(10)
+
+
+def diamond() -> Topology:
+    return from_edges(
+        [("up", 10.0), ("left", 6.0), ("right", 8.0), ("down", 10.0)],
+        {
+            "via-left": ("a", "b", ["up", "left", "down"]),
+            "via-right": ("a", "b", ["up", "right", "down"]),
+        },
+        name="diamond",
+    )
+
+
+class TestValidation:
+    def test_bottleneck_invalid(self):
+        with pytest.raises(ValueError):
+            Bottleneck("", 1.0)
+        with pytest.raises(ValueError):
+            Bottleneck("b", 0.0)
+
+    def test_path_invalid(self):
+        with pytest.raises(ValueError):
+            Path("", "a", "b", ("x",))
+        with pytest.raises(ValueError):
+            Path("p", "a", "b", ())
+        with pytest.raises(ValueError, match="twice"):
+            Path("p", "a", "b", ("x", "x"))
+
+    def test_topology_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate bottleneck"):
+            Topology(
+                [Bottleneck("b", 1.0), Bottleneck("b", 2.0)],
+                [Path("p", "a", "c", ("b",))],
+            )
+        with pytest.raises(ValueError, match="duplicate path"):
+            Topology(
+                [Bottleneck("b", 1.0)],
+                [Path("p", "a", "c", ("b",)), Path("p", "c", "a", ("b",))],
+            )
+
+    def test_topology_unknown_hop(self):
+        with pytest.raises(ValueError, match="unknown bottleneck"):
+            Topology(
+                [Bottleneck("b", 1.0)],
+                [Path("p", "a", "c", ("ghost",))],
+            )
+
+    def test_topology_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            Topology([], [])
+        with pytest.raises(ValueError):
+            Topology([Bottleneck("b", 1.0)], [])
+
+
+class TestCapacities:
+    def test_scale_bottleneck_and_restore(self):
+        topo = diamond()
+        assert topo.capacity("left") == 6.0
+        assert topo.scale_bottleneck("left", 0.5) == 3.0
+        assert topo.capacity("left") == 3.0
+        assert topo.capacity("right") == 8.0  # untouched
+        assert topo.scale_bottleneck("left", 1.0) == 6.0
+
+    def test_global_scale_composes(self):
+        topo = diamond()
+        topo.scale_bottleneck("left", 0.5)
+        topo.set_global_scale(0.5)
+        assert topo.capacity("left") == pytest.approx(1.5)
+        assert topo.capacity("right") == pytest.approx(4.0)
+
+    def test_scale_validation(self):
+        topo = diamond()
+        with pytest.raises(ValueError):
+            topo.scale_bottleneck("left", 0.0)
+        with pytest.raises(KeyError):
+            topo.scale_bottleneck("ghost", 0.5)
+        with pytest.raises(ValueError):
+            topo.set_global_scale(-1.0)
+
+    def test_path_capacity_is_min_over_hops(self):
+        topo = diamond()
+        assert topo.path_capacity("via-left") == 6.0
+        assert topo.path_capacity("via-right") == 8.0
+        topo.scale_bottleneck("up", 0.1)
+        assert topo.path_capacity("via-right") == pytest.approx(1.0)
+
+    def test_unknown_lookups(self):
+        topo = diamond()
+        with pytest.raises(KeyError):
+            topo.capacity("ghost")
+        with pytest.raises(KeyError):
+            topo.path("ghost")
+
+    def test_network_path_for_clamps_bandwidth(self):
+        topo = diamond()
+        base = NetworkPath(
+            bandwidth=100.0, rtt=units.ms(5),
+            tcp_buffer=16 * units.MB, congestion_knee=64,
+        )
+        clamped = topo.network_path_for("via-left", base)
+        assert clamped.bandwidth == 6.0
+        assert clamped.rtt == base.rtt  # transport knobs untouched
+        wide = topo.network_path_for(
+            "via-left", NetworkPath(
+                bandwidth=1.0, rtt=units.ms(5),
+                tcp_buffer=16 * units.MB, congestion_knee=64,
+            )
+        )
+        assert wide.bandwidth == 1.0  # never raises above the base
+
+
+class TestStructure:
+    def test_paths_between_and_nodes(self):
+        topo = diamond()
+        assert [p.name for p in topo.paths_between("a", "b")] == [
+            "via-left",
+            "via-right",
+        ]
+        assert topo.paths_between("b", "a") == []
+        assert topo.nodes == ["a", "b"]
+
+    def test_to_dict_reflects_scaling(self):
+        topo = diamond()
+        topo.scale_bottleneck("left", 0.5)
+        data = topo.to_dict()
+        assert data["bottlenecks"]["left"] == {
+            "base_capacity": 6.0,
+            "capacity": 3.0,
+        }
+        assert data["paths"]["via-left"]["bottlenecks"] == [
+            "up", "left", "down",
+        ]
+
+    def test_describe_and_render(self):
+        topo = diamond()
+        assert topo.describe() == (
+            "diamond: 4 bottlenecks, 2 paths, 2 nodes"
+        )
+        rendered = topo.render()
+        assert rendered.startswith(topo.describe())
+        assert "(2 paths)" in rendered  # every hop crossed by both
+
+    def test_deepcopy_isolates_scales(self):
+        original = diamond()
+        clone = copy.deepcopy(original)
+        clone.scale_bottleneck("left", 0.25)
+        assert original.capacity("left") == 6.0
+
+    def test_picklable(self):
+        topo = diamond()
+        topo.scale_bottleneck("left", 0.5)
+        clone = pickle.loads(pickle.dumps(topo))
+        assert clone.capacity("left") == 3.0
+        assert clone.describe() == topo.describe()
+
+
+class TestBuilders:
+    def test_single_link(self):
+        topo = single_link(BW)
+        assert list(topo.bottlenecks) == ["link"]
+        assert list(topo.paths) == ["src-dst"]
+        assert topo.capacity("link") == BW
+
+    def test_leaf_spine_shape(self):
+        topo = leaf_spine(2, 4, leaf_capacity=BW, spine_capacity=BW / 2)
+        # 4 leaves + 2 spines; ordered leaf pairs x spines paths
+        assert len(topo.bottlenecks) == 6
+        assert len(topo.paths) == 4 * 3 * 2
+        path = topo.path("leaf0-leaf2:spine1")
+        assert path.bottlenecks == ("leaf0", "spine1", "leaf2")
+        assert topo.capacity("spine0") == BW / 2
+
+    def test_leaf_spine_validation(self):
+        with pytest.raises(ValueError):
+            leaf_spine(0, 4, leaf_capacity=BW)
+        with pytest.raises(ValueError):
+            leaf_spine(2, 1, leaf_capacity=BW)
+
+    def test_fat_tree_shape(self):
+        topo = fat_tree(4, edge_capacity=BW)
+        # k pods + (k/2)^2 cores; ordered pod pairs x cores paths
+        assert len(topo.bottlenecks) == 4 + 4
+        assert len(topo.paths) == 4 * 3 * 4
+        path = topo.path("pod1-pod3:core2")
+        assert path.bottlenecks == ("pod1", "core2", "pod3")
+
+    def test_fat_tree_validation(self):
+        with pytest.raises(ValueError):
+            fat_tree(3, edge_capacity=BW)
+        with pytest.raises(ValueError):
+            fat_tree(0, edge_capacity=BW)
+
+
+class TestBuildTopologySpec:
+    def test_single_link_spec(self):
+        topo = build_topology("single-link", bandwidth=BW)
+        assert topo.capacity("link") == BW
+
+    def test_leaf_spine_spec_with_factors(self):
+        topo = build_topology("leaf-spine:s=2,l=4,spine=0.4", bandwidth=BW)
+        assert len(topo.bottlenecks) == 6
+        assert topo.capacity("spine0") == pytest.approx(0.4 * BW)
+        assert topo.capacity("leaf0") == BW
+
+    def test_fat_tree_spec_defaults(self):
+        topo = build_topology("fat-tree:k=4", bandwidth=BW)
+        assert topo.capacity("core0") == BW
+
+    def test_spec_errors(self):
+        with pytest.raises(ValueError, match="unknown topology spec"):
+            build_topology("torus:k=3", bandwidth=BW)
+        with pytest.raises(ValueError, match="malformed"):
+            build_topology("fat-tree:k", bandwidth=BW)
+        with pytest.raises(ValueError, match="malformed"):
+            build_topology("fat-tree:k=four", bandwidth=BW)
+        with pytest.raises(ValueError, match="unknown fat-tree"):
+            build_topology("fat-tree:k=4,pods=2", bandwidth=BW)
+        with pytest.raises(ValueError, match="unknown leaf-spine"):
+            build_topology("leaf-spine:s=2,l=4,cores=1", bandwidth=BW)
+        with pytest.raises(ValueError, match="bandwidth"):
+            build_topology("single-link", bandwidth=0.0)

@@ -1,0 +1,139 @@
+"""Placement scheduling: policy behaviour, seeded determinism, and
+load bookkeeping of the :class:`~repro.topo.placement.Placer`."""
+
+import pytest
+
+from repro.topo import PLACEMENT_POLICIES, Placer, from_edges, leaf_spine
+
+
+def two_route_topology():
+    """Two disjoint routes between the same endpoints, one of them on
+    a half-capacity bottleneck."""
+    return from_edges(
+        [("wide", 10.0), ("narrow", 5.0)],
+        {
+            "via-wide": ("a", "b", ["wide"]),
+            "via-narrow": ("a", "b", ["narrow"]),
+        },
+    )
+
+
+class TestConstruction:
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="unknown placement policy"):
+            Placer(two_route_topology(), "round-robin")
+
+    def test_bad_k_raises(self):
+        with pytest.raises(ValueError):
+            Placer(two_route_topology(), "random-k", k=0)
+
+    def test_pin_requires_both_endpoints(self):
+        topo = two_route_topology()
+        with pytest.raises(ValueError, match="pin both"):
+            Placer(topo, src="a")
+        with pytest.raises(ValueError, match="no candidate paths"):
+            Placer(topo, src="b", dst="a")  # routes are a -> b only
+
+    def test_policies_registry(self):
+        assert PLACEMENT_POLICIES == (
+            "least-congested",
+            "ecmp-hash",
+            "random-k",
+        )
+
+
+class TestLeastCongested:
+    def test_prefers_spare_capacity(self):
+        """Empty network: the wide route scores 1/10 vs 1/5, so the
+        first flow lands wide; the second ties (2/10 == 1/5) and goes
+        narrow by name; the third sees 2/10 < 2/5 and goes wide."""
+        placer = Placer(two_route_topology(), "least-congested")
+        assert placer.place("j1").name == "via-wide"
+        assert placer.place("j2").name == "via-narrow"
+        assert placer.place("j3").name == "via-wide"
+
+    def test_release_restores_preference(self):
+        placer = Placer(two_route_topology(), "least-congested")
+        first = placer.place("j1")
+        second = placer.place("j2")
+        placer.release(first)
+        placer.release(second)
+        assert placer.loads() == {}
+        assert placer.place("j3").name == "via-wide"
+
+    def test_congestion_is_capacity_relative(self):
+        topo = two_route_topology()
+        placer = Placer(topo, "least-congested")
+        wide, narrow = topo.path("via-wide"), topo.path("via-narrow")
+        assert placer.congestion(wide) == pytest.approx(1 / 10.0)
+        assert placer.congestion(narrow) == pytest.approx(1 / 5.0)
+        # a brownout on the wide hop flips the preference
+        topo.scale_bottleneck("wide", 0.25)
+        assert placer.congestion(wide) > placer.congestion(narrow)
+        assert placer.place("j1").name == "via-narrow"
+
+
+class TestEcmpHash:
+    def test_stable_across_instances(self):
+        topo = leaf_spine(2, 4, leaf_capacity=10.0)
+        a = Placer(topo, "ecmp-hash")
+        b = Placer(topo, "ecmp-hash", seed=999)  # seed is irrelevant
+        names = [f"job-{i}" for i in range(20)]
+        assert [a.place(n).name for n in names] == [
+            b.place(n).name for n in names
+        ]
+
+    def test_load_blind(self):
+        placer = Placer(leaf_spine(2, 4, leaf_capacity=10.0), "ecmp-hash")
+        assert placer.place("x").name == placer.place("x").name
+
+
+class TestRandomK:
+    def test_deterministic_under_seed(self):
+        topo = leaf_spine(2, 4, leaf_capacity=10.0)
+        names = [f"job-{i}" for i in range(20)]
+        runs = []
+        for _ in range(2):
+            placer = Placer(topo, "random-k", seed=42)
+            runs.append([placer.place(n).name for n in names])
+        assert runs[0] == runs[1]
+
+    def test_seed_changes_draws(self):
+        topo = leaf_spine(2, 4, leaf_capacity=10.0)
+        names = [f"job-{i}" for i in range(40)]
+        one = Placer(topo, "random-k", seed=1)
+        two = Placer(topo, "random-k", seed=2)
+        assert [one.place(n).name for n in names] != [
+            two.place(n).name for n in names
+        ]
+
+    def test_picks_least_congested_of_sample(self):
+        """With k covering every candidate, random-k degenerates to
+        least-congested exactly."""
+        topo = two_route_topology()
+        sampler = Placer(topo, "random-k", k=2, seed=0)
+        informed = Placer(topo, "least-congested")
+        for i in range(6):
+            assert (
+                sampler.place(f"j{i}").name == informed.place(f"j{i}").name
+            )
+
+
+class TestBookkeeping:
+    def test_loads_accumulate_per_hop(self):
+        topo = leaf_spine(1, 2, leaf_capacity=10.0)
+        placer = Placer(topo, "ecmp-hash")
+        paths = [placer.place(f"j{i}") for i in range(4)]
+        loads = placer.loads()
+        assert sum(loads.values()) == sum(len(p.bottlenecks) for p in paths)
+        assert placer.placements == 4
+        for path in paths:
+            placer.release(path)
+        assert placer.loads() == {}
+
+    def test_pinned_endpoints_restrict_candidates(self):
+        topo = leaf_spine(2, 4, leaf_capacity=10.0)
+        placer = Placer(topo, "least-congested", src="leaf0", dst="leaf1")
+        for i in range(8):
+            path = placer.place(f"j{i}")
+            assert (path.src, path.dst) == ("leaf0", "leaf1")
