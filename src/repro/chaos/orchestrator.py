@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Any, Optional, Sequence, Union
 
 from repro.chaos.scenarios import (
     SCENARIO_PRESETS,
@@ -45,7 +45,7 @@ __all__ = [
 _WALL_KEYS = frozenset({"wall_s", "jobs_per_sec", "jobs_per_day"})
 
 
-def strip_wall(payload):
+def strip_wall(payload: Any) -> Any:
     """``payload`` with every wall-clock field recursively removed."""
     if isinstance(payload, dict):
         return {
@@ -211,7 +211,7 @@ def run_pack(
     tariff: TariffTrace,
     scenarios: Optional[Sequence[Union[str, ScenarioScript]]] = None,
     policies: Sequence[Union[str, DeferralPolicy]] = ("run-now",),
-    **config,
+    **config: Any,
 ) -> list[ChaosResult]:
     """Cross every scenario with every policy (the CI smoke matrix).
 
@@ -232,7 +232,7 @@ def run_pack(
     return results
 
 
-def pack_to_json(results: Sequence[ChaosResult], **dumps_kwargs) -> str:
+def pack_to_json(results: Sequence[ChaosResult], **dumps_kwargs: Any) -> str:
     """The pack as a JSON document (wall-clock fields stripped, so
     same-seed packs are byte-identical)."""
     payload = {

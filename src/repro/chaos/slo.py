@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro import units
 from repro.obs.observer import Observer
@@ -30,7 +30,7 @@ from repro.units import Seconds
 __all__ = ["SLO_METRICS", "SLORule", "SLOCheck", "SLOBudget", "SLOVerdict"]
 
 
-def _jobs_total(report) -> int:
+def _jobs_total(report: Any) -> int:
     """Submitted-job count for either report flavor (FleetReport has
     ``jobs_total``; ServiceReport carries the job list itself)."""
     total = getattr(report, "jobs_total", None)
@@ -39,29 +39,29 @@ def _jobs_total(report) -> int:
     return len(report.jobs)
 
 
-def _miss_rate(report) -> Optional[float]:
+def _miss_rate(report: Any) -> Optional[float]:
     return float(report.deadline_miss_rate)
 
 
-def _p95_slowdown(report) -> Optional[float]:
+def _p95_slowdown(report: Any) -> Optional[float]:
     value = report.p95_slowdown
     return None if value is None else float(value)
 
 
-def _cost_per_gb(report) -> Optional[float]:
+def _cost_per_gb(report: Any) -> Optional[float]:
     if report.total_bytes <= 0:
         return None
     return float(report.total_cost_usd) / units.to_GB(report.total_bytes)
 
 
-def _unfinished_rate(report) -> Optional[float]:
+def _unfinished_rate(report: Any) -> Optional[float]:
     total = _jobs_total(report)
     if total == 0:
         return None
     return report.unfinished_jobs / total
 
 
-def _mean_queue_wait(report) -> Optional[float]:
+def _mean_queue_wait(report: Any) -> Optional[float]:
     return float(report.mean_queue_wait_s)
 
 
@@ -93,7 +93,7 @@ class SLORule:
         if self.budget <= 0:
             raise ValueError("SLO budget must be > 0")
 
-    def check(self, report) -> "SLOCheck":
+    def check(self, report: Any) -> "SLOCheck":
         """Measure the metric on ``report`` and compute its burn."""
         extractor, _unit = SLO_METRICS[self.metric]
         value = extractor(report)
@@ -151,7 +151,7 @@ class SLOBudget:
 
     def evaluate(
         self,
-        report,
+        report: Any,
         *,
         observer: Optional[Observer] = None,
         time: Seconds = 0.0,

@@ -3,22 +3,33 @@
 ``repro.lint`` checks the invariants that keep the paper's numbers
 trustworthy — unit conversions through :mod:`repro.units`, determinism
 in simulation paths, no float ``==`` in the energy math, the zero-cost
-observer guard idiom, schema-resolved event kinds, and API hygiene
-(``__all__``, unit-suffix docstrings, mutable defaults). See
+observer guard idiom, schema-resolved event kinds, API hygiene
+(``__all__``, unit-suffix docstrings, mutable defaults), and — through
+the flow-sensitive dimensional pass in :mod:`repro.lint.dim`
+(RPL009–RPL012) — that the energy arithmetic itself is dimensionally
+consistent (``W·s → J``, never ``s + bytes``). See
 :mod:`repro.lint.rules` for the catalogue and ``repro lint --list-rules``
 for a live summary.
 
-Run it as ``repro lint [PATH ...]`` or ``python -m repro.lint``; debt
-is ratcheted through the committed ``.repro-lint-baseline.json``
-(:mod:`repro.lint.baseline`).
+Run it as ``repro lint [PATH ...]`` or ``python -m repro.lint``
+(``--changed`` scopes to git-modified files for pre-commit speed);
+debt is ratcheted through the committed ``.repro-lint-baseline.json``
+(:mod:`repro.lint.baseline`, growth-gated in CI via
+``--compare-baseline``).
 """
 
 from repro.lint.baseline import (
     BaselineResult,
     apply_baseline,
     baseline_counts,
+    compare_baselines,
     load_baseline,
     save_baseline,
+)
+from repro.lint.dim import (
+    Dim,
+    dim_of_annotation,
+    dim_of_name,
 )
 from repro.lint.framework import (
     Finding,
@@ -38,8 +49,12 @@ __all__ = [
     "BaselineResult",
     "apply_baseline",
     "baseline_counts",
+    "compare_baselines",
     "load_baseline",
     "save_baseline",
+    "Dim",
+    "dim_of_annotation",
+    "dim_of_name",
     "Finding",
     "ModuleContext",
     "Rule",

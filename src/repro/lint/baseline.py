@@ -31,6 +31,7 @@ __all__ = [
     "save_baseline",
     "baseline_counts",
     "apply_baseline",
+    "compare_baselines",
 ]
 
 BASELINE_VERSION = 1
@@ -92,6 +93,32 @@ class BaselineResult:
     @property
     def ok(self) -> bool:
         return not self.new
+
+
+def compare_baselines(
+    old: dict[str, int], new: dict[str, int]
+) -> list[str]:
+    """Growth violations of ``new`` relative to ``old``, as messages.
+
+    The ratchet is one-way: a bucket may shrink or vanish, but any
+    bucket that *appears* or *grows* in ``new`` is a violation — this
+    is the CI gate that keeps ``.repro-lint-baseline.json`` from
+    quietly accumulating debt. An empty list means ``new`` is at or
+    below ``old`` everywhere.
+    """
+    violations = []
+    for key in sorted(new):
+        allowed = old.get(key, 0)
+        if new[key] > allowed:
+            if allowed:
+                violations.append(
+                    f"{key}: baseline grew {allowed} -> {new[key]}"
+                )
+            else:
+                violations.append(
+                    f"{key}: new baseline bucket ({new[key]} finding(s))"
+                )
+    return violations
 
 
 def apply_baseline(

@@ -7,6 +7,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 from collections.abc import Sequence
@@ -15,12 +16,13 @@ from typing import Optional
 from repro.lint.baseline import (
     BaselineResult,
     apply_baseline,
+    compare_baselines,
     load_baseline,
     save_baseline,
 )
 from repro.lint.framework import Finding, all_rules, lint_paths, rules_by_code
 
-__all__ = ["main", "add_arguments", "run"]
+__all__ = ["main", "add_arguments", "run", "changed_python_files"]
 
 #: the committed ratchet file, looked up in the current directory.
 DEFAULT_BASELINE = Path(".repro-lint-baseline.json")
@@ -58,6 +60,19 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
              "stdout when no path is given)",
     )
     parser.add_argument(
+        "--changed", action="store_true",
+        help="lint only files changed vs git HEAD (staged, unstaged and "
+             "untracked), intersected with PATH arguments — the fast "
+             "pre-commit mode; analysis per file is identical to a "
+             "full run, so scoping never hides a finding",
+    )
+    parser.add_argument(
+        "--compare-baseline", type=Path, default=None, metavar="OLD",
+        help="compare the current baseline file against OLD and fail "
+             "if any bucket grew or appeared (the CI ratchet gate); "
+             "no linting is performed",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
@@ -74,8 +89,66 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def changed_python_files(roots: Sequence[str]) -> Optional[list[str]]:
+    """Python files changed vs ``HEAD`` (staged, unstaged, untracked)
+    that live under one of ``roots``; ``None`` when git is unavailable
+    (the caller falls back to a full run — scoping must fail open,
+    never silently hide findings)."""
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    root_dirs = [Path(root).resolve() for root in roots]
+    selected: list[str] = []
+    for line in {*diff.splitlines(), *untracked.splitlines()}:
+        if not line.endswith(".py"):
+            continue
+        path = Path(top, line)
+        if not path.is_file():
+            continue  # deleted files have nothing to lint
+        resolved = path.resolve()
+        if any(
+            resolved == base or base in resolved.parents
+            for base in root_dirs
+        ):
+            selected.append(str(path))
+    return sorted(selected)
+
+
 def run(args: argparse.Namespace) -> int:
     """Execute a parsed lint invocation."""
+    if args.compare_baseline is not None:
+        current = args.baseline or DEFAULT_BASELINE
+        try:
+            old = load_baseline(args.compare_baseline)
+            new = load_baseline(current)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"repro lint: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        violations = compare_baselines(old, new)
+        for violation in violations:
+            print(f"baseline ratchet violation: {violation}")
+        if violations:
+            print(
+                f"repro lint: {current} grew relative to "
+                f"{args.compare_baseline} — fix the findings instead of "
+                "recording new debt"
+            )
+            return 1
+        print("repro lint: baseline ratchet holds (no bucket grew)")
+        return 0
+
     if args.list_rules:
         for rule in all_rules():
             scope = ", ".join(rule.packages) if rule.packages else "everywhere"
@@ -94,7 +167,22 @@ def run(args: argparse.Namespace) -> int:
     else:
         rules = all_rules()
 
-    findings = lint_paths(args.paths, rules=rules)
+    paths = list(args.paths)
+    if args.changed:
+        changed = changed_python_files(paths)
+        if changed is None:
+            print(
+                "repro lint: --changed needs git; linting everything",
+                file=sys.stderr,
+            )
+        elif not changed:
+            print("repro lint: no changed files under "
+                  f"{', '.join(paths)}; clean")
+            return 0
+        else:
+            paths = changed
+
+    findings = lint_paths(paths, rules=rules)
 
     baseline_path = args.baseline
     if baseline_path is None and not args.no_baseline:

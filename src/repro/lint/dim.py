@@ -1,0 +1,1174 @@
+"""Flow-sensitive dimensional analysis over the energy math.
+
+Every headline number the reproduction produces is arithmetic over
+seconds, bytes, watts, joules, dollars and kgCO2. The typed-unit
+aliases (:mod:`repro.units`) *label* those quantities; this module
+*checks* them: a small abstract interpreter assigns each expression a
+**dimension vector** — rational exponents over the base axes time,
+data, energy, currency and carbon — and propagates it through
+assignments, arithmetic, augmented assigns, ternaries and calls.
+
+Derived dimensions fall out of the algebra: power is energy/time, so
+``Watts * Seconds -> Joules`` and ``Joules / Seconds -> Watts``
+compose exactly; a data rate is data/time, so
+``Bytes / BytesPerSecond -> Seconds``. Addition, subtraction and
+comparison require *equal* dimensions — ``day_fraction + wall_seconds``
+is the canonical bug this pass exists to catch.
+
+Dimension facts are seeded from three sources, in priority order:
+
+1. **annotations** using the :mod:`repro.units` aliases
+   (``Seconds``/``Bytes``/``BytesPerSecond``/``Watts``/``Joules``),
+2. **unit-suffixed names** (``_s``/``_bytes``/``_w``/``_j``/``_bps``
+   and friends, the RPL008 vocabulary, plus compound ``a_per_b``
+   forms like ``dollars_per_kwh``),
+3. **call summaries**: a first interprocedural pass over the whole
+   ``src/repro`` tree records every function's (and dataclass
+   constructor's) parameter/return dimensions from its annotations
+   and suffixes, so a call site is checked against the callee's
+   contract without inlining anything.
+
+Numeric literals are *polymorphic* (``t + 1.0`` is fine; the literal
+adopts the other operand's dimension), but a value that is *provably*
+dimensionless — e.g. the ratio of two durations, or a seeded
+``rng.uniform(0.2, 0.3)`` day fraction — does **not** unify with a
+dimensioned operand. The analysis is scale-blind by design: ``ms`` and
+``s`` share the time dimension, ``GB`` and bytes the data dimension —
+magnitude conversions are RPL001's business, not this pass's.
+
+Four rules surface the findings (see :mod:`repro.lint.rules`):
+
+=======  ==============================================================
+RPL009   mixed dimensions in ``+``/``-``/``%``/comparison/``min``/``max``
+RPL010   assignment gives a unit-suffixed (or alias-annotated) name a
+         value of a different dimension
+RPL011   call-site argument dimension contradicts the callee summary
+RPL012   return value dimension contradicts the annotated alias
+=======  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fractions import Fraction
+from pathlib import Path
+from collections.abc import Iterable, Sequence
+from typing import Optional
+
+__all__ = [
+    "Dim",
+    "DIMENSIONLESS",
+    "NUMERIC",
+    "SECONDS",
+    "BYTES",
+    "BYTES_PER_S",
+    "WATTS",
+    "JOULES",
+    "DOLLARS",
+    "KG_CO2",
+    "dim_of_name",
+    "dim_of_annotation",
+    "FunctionSummary",
+    "summarize_module",
+    "SummaryTable",
+    "DimFinding",
+    "analyze",
+    "DIM_PACKAGES",
+]
+
+#: Packages the dimensional pass runs over — the modules whose
+#: arithmetic lands in the paper's tables.
+DIM_PACKAGES = (
+    "repro.core",
+    "repro.netsim",
+    "repro.power",
+    "repro.netenergy",
+    "repro.analysis",
+    "repro.service",
+    "repro.chaos",
+    "repro.topo",
+)
+
+# ----------------------------------------------------------------------
+# the dimension lattice
+# ----------------------------------------------------------------------
+
+#: Base axes of the dimension vector. Power is *derived* (energy/time)
+#: so that W·s → J and J/s → W hold by construction; likewise a data
+#: rate is data/time.
+_AXES = ("time", "data", "energy", "currency", "carbon")
+_ZERO = (Fraction(0),) * len(_AXES)
+
+
+@dataclass(frozen=True)
+class Dim:
+    """A dimension vector: rational exponents over the base axes.
+
+    ``poly=True`` marks the dimension of a bare numeric literal — it
+    multiplies as a dimensionless scalar but *unifies* with any
+    operand in additive positions (``t_s + 1.0`` carries seconds).
+    A non-poly all-zero vector is **provably dimensionless** (a ratio
+    of like quantities) and does not unify with dimensioned operands.
+    """
+
+    exps: tuple[Fraction, ...] = _ZERO
+    poly: bool = False
+
+    def __mul__(self, other: "Dim") -> "Dim":
+        return Dim(
+            tuple(a + b for a, b in zip(self.exps, other.exps)),
+            poly=self.poly and other.poly,
+        )
+
+    def __truediv__(self, other: "Dim") -> "Dim":
+        return Dim(
+            tuple(a - b for a, b in zip(self.exps, other.exps)),
+            poly=self.poly and other.poly,
+        )
+
+    def __pow__(self, exponent: Fraction) -> "Dim":
+        return Dim(tuple(a * exponent for a in self.exps), poly=self.poly)
+
+    @property
+    def is_dimensionless(self) -> bool:
+        return all(e == 0 for e in self.exps)
+
+    def label(self) -> str:
+        """A human-readable unit name: ``s``, ``J``, ``bytes/s``,
+        ``$/J`` … falling back to an exponent product."""
+        if self.poly:
+            return "number"
+        known = _LABELS.get(self.exps)
+        if known is not None:
+            return known
+        num, den = [], []
+        for axis, exp in zip(_AXES, self.exps):
+            symbol = _AXIS_SYMBOLS[axis]
+            if exp == 0:
+                continue
+            target = num if exp > 0 else den
+            magnitude = abs(exp)
+            target.append(
+                symbol if magnitude == 1 else f"{symbol}^{magnitude}"
+            )
+        head = "*".join(num) if num else "1"
+        return head + ("/" + "/".join(den) if den else "")
+
+
+def _base(axis: str) -> Dim:
+    exps = list(_ZERO)
+    exps[_AXES.index(axis)] = Fraction(1)
+    return Dim(tuple(exps))
+
+
+DIMENSIONLESS = Dim()
+#: A numeric literal: polymorphic in additive positions.
+NUMERIC = Dim(poly=True)
+SECONDS = _base("time")
+BYTES = _base("data")
+JOULES = _base("energy")
+DOLLARS = _base("currency")
+KG_CO2 = _base("carbon")
+WATTS = JOULES / SECONDS
+BYTES_PER_S = BYTES / SECONDS
+
+_AXIS_SYMBOLS = {
+    "time": "s",
+    "data": "bytes",
+    "energy": "J",
+    "currency": "$",
+    "carbon": "kgCO2",
+}
+
+_LABELS: dict[tuple[Fraction, ...], str] = {
+    DIMENSIONLESS.exps: "dimensionless",
+    SECONDS.exps: "s",
+    BYTES.exps: "bytes",
+    JOULES.exps: "J",
+    WATTS.exps: "W",
+    BYTES_PER_S.exps: "bytes/s",
+    DOLLARS.exps: "$",
+    KG_CO2.exps: "kgCO2",
+    (DOLLARS / JOULES).exps: "$/J",
+    (KG_CO2 / JOULES).exps: "kgCO2/J",
+    (DOLLARS / BYTES).exps: "$/bytes",
+}
+
+
+def _unify(a: Optional[Dim], b: Optional[Dim]) -> tuple[Optional[Dim], bool]:
+    """Additive unification: ``(result, conflict)``. Unknown or
+    polymorphic operands never conflict; two known, non-poly,
+    *different* vectors do."""
+    if a is None:
+        return b, False
+    if b is None:
+        return a, False
+    if a.poly:
+        return b, False
+    if b.poly:
+        return a, False
+    if a.exps == b.exps:
+        return a, False
+    return None, True
+
+
+# ----------------------------------------------------------------------
+# seeding: aliases, suffixes
+# ----------------------------------------------------------------------
+
+#: :mod:`repro.units` alias name -> dimension (annotation seeding).
+_ALIAS_DIMS = {
+    "Seconds": SECONDS,
+    "Bytes": BYTES,
+    "BytesPerSecond": BYTES_PER_S,
+    "Watts": WATTS,
+    "Joules": JOULES,
+}
+
+#: Atomic suffix tokens -> dimension. Scale-blind: ``ms`` is still
+#: time, ``gb`` still data, ``kwh`` still energy.
+_ATOMS = {
+    "s": SECONDS,
+    "seconds": SECONDS,
+    "sec": SECONDS,
+    "ms": SECONDS,
+    "bytes": BYTES,
+    "kb": BYTES,
+    "mb": BYTES,
+    "gb": BYTES,
+    "tb": BYTES,
+    "j": JOULES,
+    "joules": JOULES,
+    "uj": JOULES,
+    "kj": JOULES,
+    "kwh": JOULES,
+    "w": WATTS,
+    "watts": WATTS,
+    "kw": WATTS,
+    "bps": BYTES_PER_S,
+    "kbps": BYTES_PER_S,
+    "mbps": BYTES_PER_S,
+    "gbps": BYTES_PER_S,
+    "usd": DOLLARS,
+    "dollars": DOLLARS,
+    "cost": DOLLARS,
+    "kg_co2": KG_CO2,
+    "co2": KG_CO2,
+}
+
+
+def dim_of_name(name: str) -> Optional[Dim]:
+    """The dimension a unit-suffixed identifier declares, or ``None``.
+
+    Handles the RPL008 suffix vocabulary (``duration_s``,
+    ``total_bytes``, ``idle_watts``, ``rate_bps`` …) plus compound
+    ``a_per_b`` forms (``rate_bytes_per_s`` → bytes/s,
+    ``dollars_per_kwh`` → $/J). ``per_packet_joules``-style names (no
+    leading part before ``per``) resolve through the plain suffix.
+    """
+    name = name.lower()
+    if "_per_" in name:
+        left, _, right = name.rpartition("_per_")
+        denominator = _ATOMS.get(right)
+        numerator = dim_of_name(left)
+        if numerator is not None and denominator is not None:
+            return numerator / denominator
+        return None
+    atom = _ATOMS.get(name)
+    if atom is not None:
+        return atom
+    for token in _SUFFIXES_LONGEST_FIRST:
+        if name.endswith("_" + token):
+            return _ATOMS[token]
+    return None
+
+
+_SUFFIXES_LONGEST_FIRST = sorted(_ATOMS, key=len, reverse=True)
+
+
+def dim_of_annotation(node: Optional[ast.expr]) -> Optional[Dim]:
+    """The dimension an annotation expression declares, or ``None``.
+
+    Recognizes the bare aliases (``Seconds``), dotted forms
+    (``units.Seconds``), ``Optional[Seconds]``, and PEP 604 unions
+    (``Seconds | None``); everything else — ``float``, containers,
+    protocols — is dimension-unknown.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Name):
+        return _ALIAS_DIMS.get(node.id)
+    if isinstance(node, ast.Attribute):
+        return _ALIAS_DIMS.get(node.attr)
+    if isinstance(node, ast.Subscript):
+        head = node.value
+        head_name = head.attr if isinstance(head, ast.Attribute) else (
+            head.id if isinstance(head, ast.Name) else None
+        )
+        if head_name == "Optional":
+            return dim_of_annotation(node.slice)
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = dim_of_annotation(node.left)
+        right = dim_of_annotation(node.right)
+        sides = [d for d in (left, right) if d is not None]
+        nones = [
+            s
+            for s in (node.left, node.right)
+            if isinstance(s, ast.Constant) and s.value is None
+        ]
+        if len(sides) == 1 and (nones or left is None or right is None):
+            return sides[0]
+        return None
+    return None
+
+
+# ----------------------------------------------------------------------
+# interprocedural summaries
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """One callable's dimensional contract, from annotations + suffixes."""
+
+    qualname: str
+    #: positional parameter names, in order (``self``/``cls`` dropped).
+    positional: tuple[str, ...]
+    #: parameter name -> declared dimension (only dimensioned params).
+    param_dims: dict[str, Dim] = field(default_factory=dict)
+    return_dim: Optional[Dim] = None
+
+
+def _summarize_function(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, qualname: str, *,
+    drop_self: bool,
+) -> FunctionSummary:
+    args = [*node.args.posonlyargs, *node.args.args]
+    if drop_self and args and args[0].arg in ("self", "cls"):
+        args = args[1:]
+    param_dims: dict[str, Dim] = {}
+    for arg in [*args, *node.args.kwonlyargs]:
+        dim = dim_of_annotation(arg.annotation) or dim_of_name(arg.arg)
+        if dim is not None:
+            param_dims[arg.arg] = dim
+    return FunctionSummary(
+        qualname=qualname,
+        positional=tuple(arg.arg for arg in args),
+        param_dims=param_dims,
+        return_dim=dim_of_annotation(node.returns),
+    )
+
+
+def _summarize_class(node: ast.ClassDef) -> Optional[FunctionSummary]:
+    """A class's constructor contract: its ``__init__`` when present,
+    else its dataclass-style annotated fields (``ClassVar`` skipped)."""
+    for stmt in node.body:
+        if (
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name == "__init__"
+        ):
+            return _summarize_function(stmt, node.name, drop_self=True)
+    positional: list[str] = []
+    param_dims: dict[str, Dim] = {}
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        target = stmt.target
+        if not isinstance(target, ast.Name):
+            continue
+        annotation = stmt.annotation
+        head = annotation.value if isinstance(annotation, ast.Subscript) else None
+        head_name = (
+            head.attr if isinstance(head, ast.Attribute)
+            else head.id if isinstance(head, ast.Name) else None
+        )
+        if head_name == "ClassVar":
+            continue
+        positional.append(target.id)
+        dim = dim_of_annotation(annotation) or dim_of_name(target.id)
+        if dim is not None:
+            param_dims[target.id] = dim
+    if not positional:
+        return None
+    return FunctionSummary(
+        qualname=node.name,
+        positional=tuple(positional),
+        param_dims=param_dims,
+    )
+
+
+def summarize_module(tree: ast.Module) -> dict[str, FunctionSummary]:
+    """Every top-level callable's contract, keyed by name
+    (``func``, ``Class`` for constructors, ``Class.method``)."""
+    table: dict[str, FunctionSummary] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            table[node.name] = _summarize_function(
+                node, node.name, drop_self=False
+            )
+        elif isinstance(node, ast.ClassDef):
+            ctor = _summarize_class(node)
+            if ctor is not None:
+                table[node.name] = ctor
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    table[f"{node.name}.{stmt.name}"] = _summarize_function(
+                        stmt, f"{node.name}.{stmt.name}", drop_self=True
+                    )
+    return table
+
+
+def _units_overrides() -> dict[str, FunctionSummary]:
+    """Hand-written contracts for the :mod:`repro.units` converters
+    whose *surface-unit* parameters annotations cannot express (the
+    input to ``mbps()`` is a megabit figure, the output bytes/s)."""
+
+    def s(name: str, params: Sequence[tuple[str, Optional[Dim]]],
+          ret: Optional[Dim]) -> FunctionSummary:
+        return FunctionSummary(
+            qualname=name,
+            positional=tuple(p for p, _ in params),
+            param_dims={p: d for p, d in params if d is not None},
+            return_dim=ret,
+        )
+
+    return {
+        "kbps": s("kbps", [("value", None)], BYTES_PER_S),
+        "mbps": s("mbps", [("value", None)], BYTES_PER_S),
+        "gbps": s("gbps", [("value", None)], BYTES_PER_S),
+        "ms": s("ms", [("value", None)], SECONDS),
+        "to_ms": s("to_ms", [("time_s", SECONDS)], SECONDS),
+        "to_mbps": s(
+            "to_mbps", [("rate_bytes_per_s", BYTES_PER_S)], BYTES_PER_S
+        ),
+        "to_gbps": s(
+            "to_gbps", [("rate_bytes_per_s", BYTES_PER_S)], BYTES_PER_S
+        ),
+        "to_MB": s("to_MB", [("size_bytes", BYTES)], BYTES),
+        "to_GB": s("to_GB", [("size_bytes", BYTES)], BYTES),
+        "microjoules": s("microjoules", [("energy_uj", JOULES)], JOULES),
+        "to_microjoules": s(
+            "to_microjoules", [("energy_joules", JOULES)], JOULES
+        ),
+        "kilojoules": s("kilojoules", [("energy_joules", JOULES)], JOULES),
+        "bdp_bytes": s(
+            "bdp_bytes",
+            [("bandwidth_bytes_per_s", BYTES_PER_S), ("rtt_s", SECONDS)],
+            BYTES,
+        ),
+    }
+
+
+class SummaryTable:
+    """Cross-module summary resolution for one lint invocation.
+
+    The table lazily scans the ``src/repro`` tree that contains the
+    linted file (the same root-location trick RPL005 uses for the
+    event schema) and parses every module's annotations into
+    :class:`FunctionSummary` rows; the :mod:`repro.units` converter
+    overrides are layered on top. Results are cached per root, so a
+    full-tree lint parses each file for summaries exactly once.
+    """
+
+    _cache: dict[str, dict[str, dict[str, FunctionSummary]]] = {}
+
+    def __init__(self, path: str) -> None:
+        self._modules = self._tree_summaries(path)
+
+    def module(self, dotted: str) -> dict[str, FunctionSummary]:
+        """Summaries of one module (``repro.units`` always resolves)."""
+        table = self._modules.get(dotted, {})
+        if dotted == "repro.units":
+            table = {**table, **_units_overrides()}
+        return table
+
+    @classmethod
+    def _tree_summaries(
+        cls, path: str
+    ) -> dict[str, dict[str, dict[str, FunctionSummary]]]:
+        parts = Path(path).parts
+        if "repro" not in parts:
+            return {}
+        root = Path(*parts[: parts.index("repro") + 1])
+        key = str(root.resolve()) if root.is_dir() else str(root)
+        cached = cls._cache.get(key)
+        if cached is not None:
+            return cached
+        modules: dict[str, dict[str, FunctionSummary]] = {}
+        if root.is_dir():
+            for file in sorted(root.rglob("*.py")):
+                if "__pycache__" in file.parts:
+                    continue
+                try:
+                    tree = ast.parse(file.read_text(encoding="utf-8"))
+                except (OSError, SyntaxError):
+                    continue
+                rel = file.relative_to(root).with_suffix("")
+                dotted_parts = ["repro", *rel.parts]
+                if dotted_parts[-1] == "__init__":
+                    dotted_parts = dotted_parts[:-1]
+                modules[".".join(dotted_parts)] = summarize_module(tree)
+        cls._cache[key] = modules
+        return modules
+
+
+# ----------------------------------------------------------------------
+# the abstract interpreter
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DimFinding:
+    """One dimensional inconsistency, pre-:class:`~repro.lint.framework.Finding`."""
+
+    node: ast.AST
+    code: str
+    message: str
+
+
+#: builtins (and numpy/math leaves) that pass their operand's
+#: dimension through unchanged.
+_PASSTHROUGH = frozenset({
+    "float", "int", "abs", "round", "sorted", "sum", "fabs", "floor",
+    "ceil", "trunc", "copysign", "max", "min",
+})
+
+#: RNG sampler leaves: the sample's dimension is the unified dimension
+#: of the distribution parameters (``rng.uniform(0.2, 0.3)`` is a
+#: provably dimensionless fraction; ``rng.uniform(lo_s, hi_s)`` is
+#: seconds).
+_RNG_SAMPLERS = frozenset({
+    "uniform", "integers", "normal", "exponential", "random", "poisson",
+    "lognormal", "triangular",
+})
+
+_ADDITIVE_OPS = (ast.Add, ast.Sub, ast.Mod)
+
+
+class _Analyzer:
+    """One module's dimensional pass; collects :class:`DimFinding`."""
+
+    def __init__(
+        self,
+        tree: ast.Module,
+        path: str,
+        summaries: Optional[SummaryTable] = None,
+    ) -> None:
+        self.tree = tree
+        self.path = path
+        self.table = summaries if summaries is not None else SummaryTable(path)
+        self.local = summarize_module(tree)
+        self.imports = self._import_map(tree)
+        self.findings: list[DimFinding] = []
+        self._class_stack: list[str] = []
+
+    # -- import resolution ---------------------------------------------
+
+    @staticmethod
+    def _import_map(tree: ast.Module) -> dict[str, tuple[str, str]]:
+        """local name -> (module, remote name). A module alias maps to
+        ``(module, "")``; an imported function/class to its home."""
+        mapping: dict[str, tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    mapping[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name, ""
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    mapping[alias.asname or alias.name] = (
+                        node.module, alias.name
+                    )
+        return mapping
+
+    def _resolve_call(self, func: ast.expr) -> Optional[FunctionSummary]:
+        if isinstance(func, ast.Name):
+            local = self.local.get(func.id)
+            if local is not None:
+                return local
+            home = self.imports.get(func.id)
+            if home is not None:
+                module, remote = home
+                if remote == "":
+                    return None
+                found = self.table.module(module).get(remote)
+                if found is not None:
+                    return found
+                if remote in _units_overrides() and module.endswith("units"):
+                    return _units_overrides()[remote]
+            return None
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if isinstance(receiver, ast.Name):
+                if receiver.id in ("self", "cls") and self._class_stack:
+                    return self.local.get(
+                        f"{self._class_stack[-1]}.{func.attr}"
+                    )
+                home = self.imports.get(receiver.id)
+                if home is not None and home[1] == "":
+                    return self.table.module(home[0]).get(func.attr)
+        return None
+
+    # -- entry point ----------------------------------------------------
+
+    def run(self) -> list[DimFinding]:
+        self._exec(self.tree.body, {}, return_dim=None)
+        return self.findings
+
+    def _emit(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(DimFinding(node=node, code=code, message=message))
+
+    # -- statements -----------------------------------------------------
+
+    def _exec(
+        self,
+        stmts: Iterable[ast.stmt],
+        env: dict[str, Dim],
+        return_dim: Optional[Dim],
+    ) -> None:
+        for stmt in stmts:
+            self._stmt(stmt, env, return_dim)
+
+    def _stmt(
+        self, stmt: ast.stmt, env: dict[str, Dim], return_dim: Optional[Dim]
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._function(stmt)
+        elif isinstance(stmt, ast.ClassDef):
+            self._class_stack.append(stmt.name)
+            try:
+                self._exec(stmt.body, {}, return_dim=None)
+            finally:
+                self._class_stack.pop()
+        elif isinstance(stmt, ast.Assign):
+            value = self.infer(stmt.value, env)
+            for target in stmt.targets:
+                self._assign(target, stmt.value, value, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            declared = dim_of_annotation(stmt.annotation)
+            value = self.infer(stmt.value, env) if stmt.value else None
+            if isinstance(stmt.target, ast.Name):
+                expected = declared or dim_of_name(stmt.target.id)
+                self._check_assign(stmt, stmt.target.id, expected, value)
+                self._bind(env, stmt.target.id, expected or value)
+        elif isinstance(stmt, ast.AugAssign):
+            self._augassign(stmt, env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                got = self.infer(stmt.value, env)
+                if (
+                    return_dim is not None
+                    and got is not None
+                    and not got.poly
+                    and got.exps != return_dim.exps
+                ):
+                    self._emit(
+                        stmt,
+                        "RPL012",
+                        f"return value has dimension {got.label()} but the "
+                        f"function is annotated {return_dim.label()}",
+                    )
+        elif isinstance(stmt, ast.If):
+            self.infer(stmt.test, env)
+            body_env = dict(env)
+            else_env = dict(env)
+            self._exec(stmt.body, body_env, return_dim)
+            self._exec(stmt.orelse, else_env, return_dim)
+            self._merge_into(env, body_env, else_env)
+        elif isinstance(stmt, (ast.While,)):
+            self.infer(stmt.test, env)
+            body_env = dict(env)
+            self._exec(stmt.body, body_env, return_dim)
+            self._exec(stmt.orelse, dict(env), return_dim)
+            self._merge_into(env, env, body_env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.infer(stmt.iter, env)
+            body_env = dict(env)
+            self._assign(stmt.target, None, None, body_env)
+            self._exec(stmt.body, body_env, return_dim)
+            self._exec(stmt.orelse, dict(env), return_dim)
+            self._merge_into(env, env, body_env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self.infer(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, None, value, env)
+            self._exec(stmt.body, env, return_dim)
+        elif isinstance(stmt, ast.Try):
+            body_env = dict(env)
+            self._exec(stmt.body, body_env, return_dim)
+            branches = [body_env]
+            for handler in stmt.handlers:
+                handler_env = dict(env)
+                self._exec(handler.body, handler_env, return_dim)
+                branches.append(handler_env)
+            self._merge_into(env, *branches)
+            self._exec(stmt.orelse, env, return_dim)
+            self._exec(stmt.finalbody, env, return_dim)
+        elif isinstance(stmt, ast.Expr):
+            self.infer(stmt.value, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for value in ast.iter_child_nodes(stmt):
+                if isinstance(value, ast.expr):
+                    self.infer(value, env)
+        # Import/Pass/Break/Continue/Global/Nonlocal: no dimension flow.
+
+    @staticmethod
+    def _merge_into(env: dict[str, Dim], *branches: dict[str, Dim]) -> None:
+        """Join point: keep a binding only when every branch agrees."""
+        merged = {
+            name: dim
+            for name, dim in branches[0].items()
+            if all(other.get(name) == dim for other in branches[1:])
+        }
+        env.clear()
+        env.update(merged)
+
+    def _function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        env: dict[str, Dim] = {}
+        args = [
+            *node.args.posonlyargs,
+            *node.args.args,
+            *node.args.kwonlyargs,
+        ]
+        for arg in args:
+            if arg.arg in ("self", "cls"):
+                continue
+            dim = dim_of_annotation(arg.annotation) or dim_of_name(arg.arg)
+            if dim is not None:
+                env[arg.arg] = dim
+        for default in [
+            *node.args.defaults,
+            *[d for d in node.args.kw_defaults if d is not None],
+        ]:
+            self.infer(default, {})
+        self._exec(node.body, env, return_dim=dim_of_annotation(node.returns))
+
+    # -- assignment -----------------------------------------------------
+
+    def _assign(
+        self,
+        target: ast.expr,
+        value_node: Optional[ast.expr],
+        value: Optional[Dim],
+        env: dict[str, Dim],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            expected = dim_of_name(target.id)
+            self._check_assign(target, target.id, expected, value)
+            self._bind(env, target.id, expected or value)
+        elif isinstance(target, ast.Attribute):
+            expected = dim_of_name(target.attr)
+            self._check_assign(target, target.attr, expected, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements: Sequence[Optional[ast.expr]]
+            if isinstance(value_node, (ast.Tuple, ast.List)) and len(
+                value_node.elts
+            ) == len(target.elts):
+                elements = value_node.elts
+            else:
+                elements = [None] * len(target.elts)
+            for sub_target, sub_value in zip(target.elts, elements):
+                if isinstance(sub_target, ast.Starred):
+                    sub_target = sub_target.value
+                    sub_value = None
+                sub_dim = (
+                    self.infer(sub_value, env) if sub_value is not None
+                    else None
+                )
+                self._assign(sub_target, sub_value, sub_dim, env)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, None, None, env)
+        # Subscript targets carry no name to seed from.
+
+    def _check_assign(
+        self,
+        node: ast.AST,
+        name: str,
+        expected: Optional[Dim],
+        value: Optional[Dim],
+    ) -> None:
+        if (
+            expected is not None
+            and value is not None
+            and not value.poly
+            and value.exps != expected.exps
+        ):
+            self._emit(
+                node,
+                "RPL010",
+                f"assignment changes the dimension of {name!r}: the name "
+                f"declares {expected.label()} but the value is "
+                f"{value.label()}",
+            )
+
+    @staticmethod
+    def _bind(env: dict[str, Dim], name: str, dim: Optional[Dim]) -> None:
+        if dim is not None and not dim.poly:
+            env[name] = dim
+        else:
+            env.pop(name, None)
+
+    def _augassign(self, stmt: ast.AugAssign, env: dict[str, Dim]) -> None:
+        target_dim = self.infer(stmt.target, env, reading=True)
+        value = self.infer(stmt.value, env)
+        if isinstance(stmt.op, _ADDITIVE_OPS):
+            merged, conflict = _unify(target_dim, value)
+            if conflict:
+                assert target_dim is not None and value is not None
+                self._emit(
+                    stmt,
+                    "RPL009",
+                    "augmented assignment mixes dimensions: "
+                    f"{target_dim.label()} {_OP_SYMBOLS.get(type(stmt.op), 'op')}= "
+                    f"{value.label()}",
+                )
+            result = merged
+        elif isinstance(stmt.op, ast.Mult) and target_dim and value:
+            result = target_dim * value
+        elif (
+            isinstance(stmt.op, (ast.Div, ast.FloorDiv))
+            and target_dim
+            and value
+        ):
+            result = target_dim / value
+        else:
+            result = None
+        if isinstance(stmt.target, ast.Name):
+            expected = dim_of_name(stmt.target.id)
+            if not isinstance(stmt.op, _ADDITIVE_OPS):
+                self._check_assign(stmt, stmt.target.id, expected, result)
+            self._bind(env, stmt.target.id, expected or result)
+
+    # -- expressions ----------------------------------------------------
+
+    def infer(
+        self,
+        node: Optional[ast.expr],
+        env: dict[str, Dim],
+        *,
+        reading: bool = False,
+    ) -> Optional[Dim]:
+        """The dimension of one expression (``None`` = unknown),
+        emitting findings for the conflicts found along the way."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(
+                node.value, (int, float, complex)
+            ):
+                return None
+            return NUMERIC
+        if isinstance(node, ast.Name):
+            known = env.get(node.id)
+            if known is not None:
+                return known
+            return dim_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            self.infer(node.value, env)
+            return dim_of_name(node.attr)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node, env)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.infer(node.operand, env)
+            if isinstance(node.op, (ast.UAdd, ast.USub)):
+                return operand
+            return None
+        if isinstance(node, ast.Compare):
+            self._compare(node, env)
+            return None
+        if isinstance(node, ast.BoolOp):
+            dims = [self.infer(value, env) for value in node.values]
+            return self._fold(dims)
+        if isinstance(node, ast.IfExp):
+            self.infer(node.test, env)
+            return self._fold(
+                [self.infer(node.body, env), self.infer(node.orelse, env)]
+            )
+        if isinstance(node, ast.Call):
+            return self._call(node, env)
+        if isinstance(node, ast.NamedExpr):
+            value = self.infer(node.value, env)
+            self._assign(node.target, node.value, value, env)
+            return value
+        if isinstance(node, ast.Subscript):
+            container = self.infer(node.value, env)
+            self.infer(node.slice, env) if isinstance(
+                node.slice, ast.expr
+            ) else None
+            return container
+        if isinstance(node, ast.Starred):
+            return self.infer(node.value, env)
+        if isinstance(node, (ast.List, ast.Set, ast.Tuple)):
+            for elt in node.elts:
+                self.infer(elt, env)
+            return None
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    self.infer(key, env)
+            for value in node.values:
+                self.infer(value, env)
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._comprehension(node, node.elt, env)
+        if isinstance(node, ast.DictComp):
+            self._comprehension(node, node.value, env)
+            return None
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self.infer(value.value, env)
+            return None
+        if isinstance(node, ast.FormattedValue):
+            self.infer(node.value, env)
+            return None
+        if isinstance(node, ast.Lambda):
+            lambda_env: dict[str, Dim] = {}
+            for arg in [*node.args.args, *node.args.kwonlyargs]:
+                dim = dim_of_name(arg.arg)
+                if dim is not None:
+                    lambda_env[arg.arg] = dim
+            self.infer(node.body, lambda_env)
+            return None
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self.infer(
+                node.value, env
+            )
+        if isinstance(node, ast.Yield):
+            if node.value is not None:
+                self.infer(node.value, env)
+            return None
+        return None
+
+    def _comprehension(
+        self, node: ast.expr, elt: ast.expr, env: dict[str, Dim]
+    ) -> Optional[Dim]:
+        comp_env = dict(env)
+        for generator in node.generators:  # type: ignore[attr-defined]
+            self.infer(generator.iter, comp_env)
+            self._assign(generator.target, None, None, comp_env)
+            for condition in generator.ifs:
+                self.infer(condition, comp_env)
+        element = self.infer(elt, comp_env)
+        if isinstance(node, ast.DictComp):
+            self.infer(node.key, comp_env)
+        return element
+
+    def _fold(self, dims: list[Optional[Dim]]) -> Optional[Dim]:
+        """Join of parallel branches: known and equal, else unknown
+        (polymorphic literals defer to the other branches)."""
+        result: Optional[Dim] = None
+        for dim in dims:
+            if dim is None:
+                return None
+            if dim.poly:
+                continue
+            if result is None:
+                result = dim
+            elif result.exps != dim.exps:
+                return None
+        if result is None and dims and all(
+            d is not None and d.poly for d in dims
+        ):
+            return NUMERIC
+        return result
+
+    _OP_NAMES = {
+        ast.Add: "+", ast.Sub: "-", ast.Mod: "%",
+    }
+
+    def _binop(self, node: ast.BinOp, env: dict[str, Dim]) -> Optional[Dim]:
+        left = self.infer(node.left, env)
+        right = self.infer(node.right, env)
+        if isinstance(node.op, _ADDITIVE_OPS):
+            merged, conflict = _unify(left, right)
+            if conflict:
+                assert left is not None and right is not None
+                symbol = self._OP_NAMES.get(type(node.op), "?")
+                self._emit(
+                    node,
+                    "RPL009",
+                    f"mixed dimensions: {left.label()} {symbol} "
+                    f"{right.label()}",
+                )
+            return merged
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            return left / right
+        if isinstance(node.op, ast.Pow):
+            exponent = self._constant_fraction(node.right)
+            if exponent is None:
+                return NUMERIC if left.poly else None
+            return left ** exponent
+        return None
+
+    @staticmethod
+    def _constant_fraction(node: ast.expr) -> Optional[Fraction]:
+        factor = 1
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            node = node.operand
+            factor = -1
+        if isinstance(node, ast.Constant) and isinstance(
+            node.value, (int, float)
+        ) and not isinstance(node.value, bool):
+            try:
+                return factor * Fraction(node.value).limit_denominator(16)
+            except (OverflowError, ValueError):
+                return None
+        return None
+
+    _CMP_SYMBOLS = {
+        ast.Eq: "==", ast.NotEq: "!=", ast.Lt: "<", ast.LtE: "<=",
+        ast.Gt: ">", ast.GtE: ">=",
+    }
+    _OP_SYMBOLS = _CMP_SYMBOLS | {ast.Add: "+", ast.Sub: "-", ast.Mod: "%"}
+
+    def _compare(self, node: ast.Compare, env: dict[str, Dim]) -> None:
+        operands = [node.left, *node.comparators]
+        dims = [self.infer(operand, env) for operand in operands]
+        for i, op in enumerate(node.ops):
+            if type(op) not in self._CMP_SYMBOLS:
+                continue
+            left, right = dims[i], dims[i + 1]
+            _, conflict = _unify(left, right)
+            if conflict:
+                assert left is not None and right is not None
+                self._emit(
+                    node,
+                    "RPL009",
+                    f"comparison mixes dimensions: {left.label()} "
+                    f"{self._CMP_SYMBOLS[type(op)]} {right.label()}",
+                )
+
+    # -- calls ----------------------------------------------------------
+
+    def _call(self, node: ast.Call, env: dict[str, Dim]) -> Optional[Dim]:
+        arg_dims = [self.infer(arg, env) for arg in node.args]
+        kw_dims = {
+            kw.arg: self.infer(kw.value, env)
+            for kw in node.keywords
+            if kw.arg is not None
+        }
+        for kw in node.keywords:
+            if kw.arg is None:
+                self.infer(kw.value, env)
+
+        leaf = None
+        if isinstance(node.func, ast.Name):
+            leaf = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            leaf = node.func.attr
+
+        summary = self._resolve_call(node.func)
+        if summary is not None:
+            self._check_call(node, summary, arg_dims, kw_dims)
+            if summary.return_dim is not None:
+                return summary.return_dim
+            # A summary with no return annotation still ends the
+            # inference (the callee's body is opaque here).
+            if leaf not in _PASSTHROUGH:
+                return None
+
+        if leaf in ("min", "max") and len(node.args) >= 2:
+            folded = self._fold(arg_dims)
+            if folded is None:
+                known = [
+                    d for d in arg_dims if d is not None and not d.poly
+                ]
+                if known and any(
+                    d.exps != known[0].exps for d in known[1:]
+                ):
+                    self._emit(
+                        node,
+                        "RPL009",
+                        f"{leaf}() mixes dimensions: "
+                        + ", ".join(d.label() for d in known),
+                    )
+            return folded
+        if leaf in ("float", "int", "abs", "round", "sorted", "sum",
+                    "fabs", "floor", "ceil", "trunc"):
+            return arg_dims[0] if arg_dims else None
+        if leaf == "sqrt" and arg_dims:
+            base = arg_dims[0]
+            return None if base is None else base ** Fraction(1, 2)
+        if leaf in _RNG_SAMPLERS and isinstance(node.func, ast.Attribute):
+            known = [d for d in arg_dims if d is not None]
+            if known and len(known) == len(arg_dims):
+                if all(d.poly for d in known):
+                    return DIMENSIONLESS
+                folded = self._fold(arg_dims)
+                if folded is not None and folded.poly:
+                    return DIMENSIONLESS
+                return folded
+            return None
+        if summary is not None:
+            return summary.return_dim
+        return None
+
+    def _check_call(
+        self,
+        node: ast.Call,
+        summary: FunctionSummary,
+        arg_dims: list[Optional[Dim]],
+        kw_dims: dict[str, Optional[Dim]],
+    ) -> None:
+        for index, (arg_node, got) in enumerate(zip(node.args, arg_dims)):
+            if isinstance(arg_node, ast.Starred):
+                break
+            if index >= len(summary.positional):
+                break
+            name = summary.positional[index]
+            self._check_arg(node, summary, name, got)
+        for name, got in kw_dims.items():
+            self._check_arg(node, summary, name, got)
+
+    def _check_arg(
+        self,
+        node: ast.Call,
+        summary: FunctionSummary,
+        name: str,
+        got: Optional[Dim],
+    ) -> None:
+        expected = summary.param_dims.get(name)
+        if (
+            expected is not None
+            and got is not None
+            and not got.poly
+            and got.exps != expected.exps
+        ):
+            self._emit(
+                node,
+                "RPL011",
+                f"argument {name!r} of {summary.qualname}() has dimension "
+                f"{got.label()}, expected {expected.label()}",
+            )
+
+
+_OP_SYMBOLS = _Analyzer._OP_SYMBOLS
+
+
+def analyze(
+    tree: ast.Module, path: str, summaries: Optional[SummaryTable] = None
+) -> list[DimFinding]:
+    """Run the dimensional pass over one parsed module."""
+    return _Analyzer(tree, path, summaries).run()

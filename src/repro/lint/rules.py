@@ -25,7 +25,20 @@ RPL007   ``__all__`` hygiene: listed names exist; package
          ``__init__`` re-exports are declared
 RPL008   public params with unit suffixes (``_s``/``_bytes``/``_w``/
          ``_j``/``_bps``) document their units in the docstring
+RPL009   ``+``/``-``/``%``/comparisons/``min``/``max`` never mix
+         dimensions (seconds vs bytes, W vs J, day-fraction vs s)
+RPL010   assignment never changes a unit-suffixed (or alias-annotated)
+         name's dimension
+RPL011   call-site argument dimensions match the callee's
+         annotation/suffix summary
+RPL012   return value dimensions match the annotated
+         :mod:`repro.units` alias
 =======  ==============================================================
+
+RPL009–RPL012 share one flow-sensitive dimensional pass (see
+:mod:`repro.lint.dim` for the lattice, seeding and transfer
+functions); the four codes are views over its findings, individually
+selectable and suppressible like every other rule.
 """
 
 from __future__ import annotations
@@ -35,6 +48,7 @@ from pathlib import Path
 from collections.abc import Iterator
 from typing import Optional
 
+from repro.lint.dim import DIM_PACKAGES, DimFinding, SummaryTable, analyze
 from repro.lint.framework import Finding, ModuleContext, Rule, register
 
 __all__ = [
@@ -46,6 +60,10 @@ __all__ = [
     "MutableDefaults",
     "DunderAllHygiene",
     "UndocumentedUnits",
+    "MixedDimensionArithmetic",
+    "DimensionChangingAssignment",
+    "ArgumentDimensionMismatch",
+    "ReturnDimensionMismatch",
 ]
 
 #: Packages whose numbers feed the paper's energy integrals directly.
@@ -81,11 +99,13 @@ class RawUnitLiterals(Rule):
     """RPL001 — raw unit-conversion literals outside ``repro.units``.
 
     Flags ``*``/``/`` arithmetic against the classic conversion
-    constants (1e3/1e6/1e9/1e12 and the 1024 powers) anywhere in the
-    package, plus ``* 8`` / ``/ 8`` when the other operand smells like
-    a rate (its subexpression names mention bps/bit/rate/bandwidth/
-    throughput). ``repro.units`` itself is the one sanctioned home for
-    these constants.
+    constants (1e3/1e6/1e9/1e12, the 1024 powers, and the 3.6e6
+    joules-per-kWh factor) anywhere in the package, plus ``* 8`` /
+    ``/ 8`` when the other operand smells like a rate (its
+    subexpression names mention bps/bit/rate/bandwidth/throughput).
+    ``repro.units`` itself is the one sanctioned home for these
+    constants, and the named energy constants
+    (``repro.service.tariff.JOULES_PER_KWH``) for theirs.
     """
 
     code = "RPL001"
@@ -96,7 +116,7 @@ class RawUnitLiterals(Rule):
 
     _CONSTANTS = frozenset(
         {1_000, 1_000_000, 1_000_000_000, 1_000_000_000_000,
-         1024, 1024**2, 1024**3}
+         1024, 1024**2, 1024**3, 3_600_000}
     )
     _RATE_TOKENS = ("bps", "bit", "rate", "bandwidth", "throughput", "_bw")
 
@@ -728,3 +748,91 @@ class UndocumentedUnits(Rule):
             if name.endswith(suffix):
                 return tokens
         return None
+
+
+class _DimensionalRule(Rule):
+    """Shared machinery for RPL009–RPL012.
+
+    The four dimensional rules are views over one flow-sensitive pass
+    (:func:`repro.lint.dim.analyze`); the analysis runs once per module
+    and is cached on the :class:`ModuleContext`, so selecting all four
+    costs the same as selecting one.
+    """
+
+    packages = DIM_PACKAGES
+    excluded = ("repro.units", "repro.lint")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for finding in self._dim_findings(ctx):
+            if finding.code == self.code:
+                yield ctx.finding(finding.node, finding.code, finding.message)
+
+    @staticmethod
+    def _dim_findings(ctx: ModuleContext) -> list[DimFinding]:
+        cached = getattr(ctx, "_dim_findings", None)
+        if cached is None:
+            cached = analyze(ctx.tree, ctx.path, SummaryTable(ctx.path))
+            ctx._dim_findings = cached  # type: ignore[attr-defined]
+        return cached
+
+
+@register
+class MixedDimensionArithmetic(_DimensionalRule):
+    """RPL009 — ``+``/``-``/``%``/comparison/``min``/``max`` over
+    operands of different dimensions.
+
+    ``Watts * Seconds`` is joules and composes fine; ``Watts +
+    Seconds`` is a results bug. The day-fraction class lives here too:
+    a provably dimensionless ratio (two durations divided, a seeded
+    ``rng.uniform(0.2, 0.3)``) added to wall seconds flags, while bare
+    numeric literals stay polymorphic (``t_s + 1.0`` is fine).
+    """
+
+    code = "RPL009"
+    name = "mixed-dimension-arithmetic"
+    summary = "additive arithmetic or comparison mixes dimensions"
+
+
+@register
+class DimensionChangingAssignment(_DimensionalRule):
+    """RPL010 — assignment changes a unit-suffixed name's dimension.
+
+    A name like ``duration_s`` or ``total_bytes`` (or one annotated
+    with a :mod:`repro.units` alias) declares its dimension; binding
+    it to a value of a different dimension — ``duration_s = size_bytes``
+    — silently corrupts every downstream use.
+    """
+
+    code = "RPL010"
+    name = "dimension-changing-assignment"
+    summary = "assignment contradicts the dimension the name declares"
+
+
+@register
+class ArgumentDimensionMismatch(_DimensionalRule):
+    """RPL011 — call-site argument dimension contradicts the callee.
+
+    Callee contracts come from the interprocedural summary pass
+    (annotations + unit suffixes over the whole tree, including
+    dataclass constructors), so ``bdp_bytes(rtt_s, bandwidth)`` —
+    swapped arguments, each individually well-formed — flags at the
+    call site.
+    """
+
+    code = "RPL011"
+    name = "argument-dimension-mismatch"
+    summary = "argument dimension contradicts the callee's summary"
+
+
+@register
+class ReturnDimensionMismatch(_DimensionalRule):
+    """RPL012 — return dimension contradicts the annotated alias.
+
+    A function annotated ``-> Joules`` returning ``power_w`` (watts)
+    breaks every caller that trusts the signature; the flow-sensitive
+    pass checks each ``return`` against the declared alias.
+    """
+
+    code = "RPL012"
+    name = "return-dimension-mismatch"
+    summary = "return value dimension contradicts the annotated alias"

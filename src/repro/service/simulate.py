@@ -314,7 +314,7 @@ class ServiceReport:
                 "jobs": len(jobs),
                 "admitted": len(admitted),
                 "bytes": sum(j.total_bytes for j in jobs),
-                "kwh": sum(j.energy_j for j in jobs) / 3.6e6,
+                "kwh": sum(j.energy_j for j in jobs) / JOULES_PER_KWH,
                 "cost_usd": sum(j.cost_usd for j in jobs),
                 "kg_co2": sum(j.kg_co2 for j in jobs),
                 "deferred": sum(1 for j in jobs if j.deferred),
@@ -344,7 +344,7 @@ class ServiceReport:
             "jobs": len(self.jobs),
             "total_bytes": self.total_bytes,
             "total_gb": units.to_GB(self.total_bytes),
-            "total_kwh": self.total_energy_j / 3.6e6,
+            "total_kwh": self.total_energy_j / JOULES_PER_KWH,
             "total_cost_usd": self.total_cost_usd,
             "total_kg_co2": self.total_kg_co2,
             "deferred_jobs": self.deferred_jobs,
@@ -378,7 +378,7 @@ class ServiceReport:
             f"(policy={self.policy}, tariff={self.tariff}{routed}):",
             f"  {len(self.jobs)} jobs, {units.to_GB(self.total_bytes):.1f} GB, "
             f"makespan {self.makespan_s:.0f} s{cutoff}",
-            f"  energy {self.total_energy_j / 3.6e6:.3f} kWh -> "
+            f"  energy {self.total_energy_j / JOULES_PER_KWH:.3f} kWh -> "
             f"${self.total_cost_usd:.4f}, {self.total_kg_co2:.4f} kgCO2",
             f"  deferred {self.deferred_jobs}, "
             f"deadline misses {self.deadline_miss_rate:.0%}, "

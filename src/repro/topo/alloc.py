@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
+from repro.units import BytesPerSecond
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.topo.core import Topology
 
@@ -39,7 +41,8 @@ class FlowDemand:
 
     flow: str
     path: tuple[str, ...]
-    demand: float
+    #: demanded rate, bytes/s.
+    demand: BytesPerSecond
     weight: float = 1.0
 
     def __post_init__(self) -> None:
@@ -56,14 +59,15 @@ class AllocationResult:
     """The fixed point: per-flow rates plus diagnostic structure."""
 
     #: flow id -> allocated rate (bytes/s), ``min(demand, fair share)``.
-    rates: dict[str, float]
-    #: flow id -> registered demand (echoed for congestion checks).
-    demands: dict[str, float]
+    rates: dict[str, BytesPerSecond]
+    #: flow id -> registered demand (bytes/s, echoed for congestion
+    #: checks).
+    demands: dict[str, BytesPerSecond]
     #: flow id -> the bottleneck that capped it, or ``None`` when the
     #: flow got its full demand (demand-limited, not network-limited).
     binding: dict[str, Optional[str]]
-    #: bottleneck -> total allocated rate through it.
-    bottleneck_load: dict[str, float]
+    #: bottleneck -> total allocated rate through it (bytes/s).
+    bottleneck_load: dict[str, BytesPerSecond]
     #: bottleneck -> flow count registered on it.
     bottleneck_flows: dict[str, int] = field(default_factory=dict)
     #: water-filling rounds until the fixed point.
@@ -85,11 +89,12 @@ class AllocationResult:
 
 
 def water_fill(
-    capacity: float,
-    demands: Mapping[str, float],
+    capacity: BytesPerSecond,
+    demands: Mapping[str, BytesPerSecond],
     weights: Optional[Mapping[str, float]] = None,
-) -> dict[str, float]:
-    """Weighted max-min division of one capacity among demands.
+) -> dict[str, BytesPerSecond]:
+    """Weighted max-min division of one capacity (bytes/s) among
+    demands (bytes/s).
 
     Progressive filling: flows whose demand is below their weighted
     fair share are frozen at their demand, their unused share is

@@ -31,6 +31,7 @@ from typing import Iterable, Mapping, Optional, Sequence, Union
 
 from repro import units
 from repro.netsim.link import NetworkPath
+from repro.units import BytesPerSecond
 
 __all__ = [
     "Bottleneck",
@@ -49,7 +50,7 @@ class Bottleneck:
     """One shared capacity of the network, in bytes/second."""
 
     name: str
-    capacity: float
+    capacity: BytesPerSecond
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -176,8 +177,9 @@ class Topology:
 
     # -- capacities (brownout-scaled) -----------------------------------
 
-    def capacity(self, name: str) -> float:
-        """Current capacity of a bottleneck (brownout factors applied)."""
+    def capacity(self, name: str) -> BytesPerSecond:
+        """Current capacity of a bottleneck, in bytes/s (brownout
+        factors applied)."""
         try:
             base = self._bottlenecks[name].capacity
         except KeyError:
@@ -187,14 +189,16 @@ class Topology:
             ) from None
         return base * self._scales.get(name, 1.0) * self._global_scale
 
-    def path_capacity(self, name: str) -> float:
-        """Current capacity of a path: min over its bottlenecks."""
+    def path_capacity(self, name: str) -> BytesPerSecond:
+        """Current capacity of a path, in bytes/s: min over its
+        bottlenecks."""
         path = self.path(name)
         return min(self.capacity(hop) for hop in path.bottlenecks)
 
-    def scale_bottleneck(self, name: str, scale: float) -> float:
+    def scale_bottleneck(self, name: str, scale: float) -> BytesPerSecond:
         """Brownout one named bottleneck to ``scale`` of its base
-        capacity (``1.0`` restores it). Returns the new capacity."""
+        capacity (``1.0`` restores it). Returns the new capacity in
+        bytes/s."""
         if scale <= 0:
             raise ValueError(f"bottleneck scale must be > 0, got {scale}")
         if name not in self._bottlenecks:
@@ -270,8 +274,11 @@ class Topology:
 # ----------------------------------------------------------------------
 
 
-def single_link(capacity: float, *, name: str = "single-link") -> Topology:
-    """The degenerate network: one bottleneck, one path.
+def single_link(
+    capacity: BytesPerSecond, *, name: str = "single-link"
+) -> Topology:
+    """The degenerate network: one bottleneck (``capacity`` bytes/s),
+    one path.
 
     With ``capacity`` set to the testbed link's nominal bandwidth the
     allocator never binds (aggregate TCP goodput is always below the
@@ -290,10 +297,10 @@ def leaf_spine(
     spines: int,
     leaves: int,
     *,
-    leaf_capacity: float,
-    spine_capacity: Optional[float] = None,
+    leaf_capacity: BytesPerSecond,
+    spine_capacity: Optional[BytesPerSecond] = None,
 ) -> Topology:
-    """A two-tier leaf-spine fabric.
+    """A two-tier leaf-spine fabric (capacities in bytes/s).
 
     Each leaf is one bottleneck (its uplink trunk); each spine is one
     bottleneck. A path between two distinct leaves crosses
@@ -329,10 +336,10 @@ def leaf_spine(
 def fat_tree(
     k: int,
     *,
-    edge_capacity: float,
-    core_capacity: Optional[float] = None,
+    edge_capacity: BytesPerSecond,
+    core_capacity: Optional[BytesPerSecond] = None,
 ) -> Topology:
-    """A k-ary fat-tree at pod granularity.
+    """A k-ary fat-tree at pod granularity (capacities in bytes/s).
 
     The classic fat-tree has ``k`` pods and ``(k/2)^2`` core switches.
     This builder models each pod's aggregated trunk as one bottleneck
@@ -364,7 +371,7 @@ def fat_tree(
 
 
 def from_edges(
-    edges: Iterable[Union[Bottleneck, tuple[str, float]]],
+    edges: Iterable[Union[Bottleneck, tuple[str, BytesPerSecond]]],
     paths: Mapping[str, tuple[str, str, Sequence[str]]],
     *,
     name: str = "custom",
@@ -411,8 +418,9 @@ def _parse_params(body: str) -> dict[str, float]:
     return params
 
 
-def build_topology(spec: str, *, bandwidth: float) -> Topology:
-    """Build a topology from its spec string against a base bandwidth.
+def build_topology(spec: str, *, bandwidth: BytesPerSecond) -> Topology:
+    """Build a topology from its spec string against a base bandwidth
+    (bytes/s).
 
     Syntax (capacity factors are fractions of ``bandwidth``)::
 

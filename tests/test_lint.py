@@ -69,11 +69,13 @@ class TestFramework:
 
     def test_every_rule_is_registered_with_metadata(self):
         rules = all_rules()
-        assert len(rules) == 8
+        assert len(rules) == 12
         for rule in rules:
             assert rule.code.startswith("RPL")
             assert rule.name and rule.summary
-        assert sorted(RULE_REGISTRY) == [f"RPL00{i}" for i in range(1, 9)]
+        assert sorted(RULE_REGISTRY) == [
+            f"RPL{i:03d}" for i in range(1, 13)
+        ]
 
     def test_rules_by_code_rejects_unknown(self):
         with pytest.raises(KeyError, match="RPL999"):

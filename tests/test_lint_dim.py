@@ -1,0 +1,890 @@
+"""Tests for the flow-sensitive dimensional pass (``repro.lint.dim``).
+
+Covers the dimension lattice and its algebra (W·s → J, J/s → W,
+bytes/(bytes/s) → s), name/annotation seeding, every rule RPL009–RPL012
+with failing and passing fixtures, flow-sensitivity (branch joins,
+polymorphic literals, provably-dimensionless ratios), interprocedural
+summaries, a mutation harness that flips one unit per dimension pair in
+a known-clean snippet and asserts detection by exactly the expected
+rule, pinned regressions on real modules, ``--changed`` scoping (it
+must never hide a finding a full run of the same files reports), the
+``compare_baselines`` ratchet gate, and the repo self-check (the dim
+pass over ``src/`` is clean with zero tolerated debt).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import subprocess
+import textwrap
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.lint.baseline import compare_baselines, load_baseline
+from repro.lint.cli import changed_python_files, main as lint_main
+from repro.lint.dim import (
+    BYTES,
+    BYTES_PER_S,
+    DIMENSIONLESS,
+    DOLLARS,
+    JOULES,
+    KG_CO2,
+    NUMERIC,
+    SECONDS,
+    WATTS,
+    SummaryTable,
+    dim_of_annotation,
+    dim_of_name,
+    summarize_module,
+)
+from repro.lint.framework import lint_paths, lint_source, rules_by_code
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+DIM_CODES = ["RPL009", "RPL010", "RPL011", "RPL012"]
+
+#: fixture homes: inside and outside the dimensional-pass scope.
+CORE = "src/repro/core/fixture.py"
+HARNESS = "src/repro/harness/fixture.py"
+
+
+def dim_lint(source: str, path: str = CORE):
+    """Run only the dimensional rules over a dedented fixture."""
+    return lint_source(
+        textwrap.dedent(source), path=path, rules=rules_by_code(DIM_CODES)
+    )
+
+
+def codes_of(findings) -> list[str]:
+    return [f.code for f in findings]
+
+
+def ann(source: str):
+    """``dim_of_annotation`` over an annotation given as source text."""
+    return dim_of_annotation(ast.parse(source, mode="eval").body)
+
+
+# ----------------------------------------------------------------------
+# the dimension lattice
+# ----------------------------------------------------------------------
+
+
+class TestDimAlgebra:
+    def test_power_times_time_is_energy(self):
+        assert WATTS * SECONDS == JOULES
+
+    def test_energy_over_time_is_power(self):
+        assert JOULES / SECONDS == WATTS
+
+    def test_data_over_rate_is_time(self):
+        assert BYTES / BYTES_PER_S == SECONDS
+
+    def test_rate_times_time_is_data(self):
+        assert BYTES_PER_S * SECONDS == BYTES
+
+    def test_energy_times_price_is_currency(self):
+        assert JOULES * (DOLLARS / JOULES) == DOLLARS
+
+    def test_pow_scales_exponents(self):
+        assert SECONDS ** Fraction(2) == SECONDS * SECONDS
+        assert (JOULES * JOULES) ** Fraction(1, 2) == JOULES
+
+    def test_numeric_literal_is_multiplicatively_transparent(self):
+        assert NUMERIC * SECONDS == SECONDS
+        assert SECONDS / NUMERIC == SECONDS
+        assert (NUMERIC * NUMERIC).poly
+
+    def test_dimensionless_ratio_is_not_polymorphic(self):
+        ratio = SECONDS / SECONDS
+        assert ratio.is_dimensionless
+        assert not ratio.poly
+        assert ratio == DIMENSIONLESS
+
+    def test_known_labels(self):
+        assert SECONDS.label() == "s"
+        assert BYTES.label() == "bytes"
+        assert JOULES.label() == "J"
+        assert WATTS.label() == "W"
+        assert BYTES_PER_S.label() == "bytes/s"
+        assert DOLLARS.label() == "$"
+        assert KG_CO2.label() == "kgCO2"
+        assert (DOLLARS / JOULES).label() == "$/J"
+        assert NUMERIC.label() == "number"
+        assert DIMENSIONLESS.label() == "dimensionless"
+
+    def test_fallback_labels_render_exponent_products(self):
+        assert (BYTES * SECONDS).label() == "s*bytes"
+        assert (DIMENSIONLESS / SECONDS).label() == "1/s"
+        assert (SECONDS * SECONDS).label() == "s^2"
+
+    def test_dim_is_hashable_and_frozen(self):
+        assert len({SECONDS, BYTES, SECONDS}) == 2
+        with pytest.raises(AttributeError):
+            SECONDS.poly = True  # type: ignore[misc]
+
+
+# ----------------------------------------------------------------------
+# seeding: suffixes and annotations
+# ----------------------------------------------------------------------
+
+
+class TestSeeding:
+    @pytest.mark.parametrize(
+        ("name", "expected"),
+        [
+            ("duration_s", SECONDS),
+            ("latency_ms", SECONDS),
+            ("total_bytes", BYTES),
+            ("size_gb", BYTES),
+            ("energy_j", JOULES),
+            ("budget_kwh", JOULES),
+            ("idle_watts", WATTS),
+            ("peak_kw", WATTS),
+            ("rate_bps", BYTES_PER_S),
+            ("link_gbps", BYTES_PER_S),
+            ("cost_usd", DOLLARS),
+            ("carbon_kg_co2", KG_CO2),
+            ("seconds", SECONDS),
+            ("kwh", JOULES),
+        ],
+    )
+    def test_suffix_vocabulary(self, name, expected):
+        assert dim_of_name(name) == expected
+
+    def test_compound_per_forms(self):
+        assert dim_of_name("dollars_per_kwh") == DOLLARS / JOULES
+        assert dim_of_name("rate_bytes_per_s") == BYTES_PER_S
+        assert dim_of_name("joules_per_gb") == JOULES / BYTES
+
+    @pytest.mark.parametrize(
+        "name", ["status", "loss", "windows", "flags", "price_per_unit"]
+    )
+    def test_non_suffixed_names_are_unknown(self, name):
+        assert dim_of_name(name) is None
+
+    def test_scale_blindness(self):
+        # ms and s share the time axis; GB and bytes the data axis —
+        # magnitude conversion is RPL001's business, not this pass's.
+        assert dim_of_name("rtt_ms") == dim_of_name("rtt_s")
+        assert dim_of_name("size_gb") == dim_of_name("size_bytes")
+
+    @pytest.mark.parametrize(
+        ("annotation", "expected"),
+        [
+            ("Seconds", SECONDS),
+            ("Bytes", BYTES),
+            ("BytesPerSecond", BYTES_PER_S),
+            ("Watts", WATTS),
+            ("Joules", JOULES),
+            ("units.Joules", JOULES),
+            ("Optional[Bytes]", BYTES),
+            ("Seconds | None", SECONDS),
+            ("'Seconds'", SECONDS),
+        ],
+    )
+    def test_annotation_aliases(self, annotation, expected):
+        assert ann(annotation) == expected
+
+    @pytest.mark.parametrize(
+        "annotation", ["float", "int", "list[Seconds]", "Seconds | Bytes"]
+    )
+    def test_non_alias_annotations_are_unknown(self, annotation):
+        assert ann(annotation) is None
+
+
+# ----------------------------------------------------------------------
+# RPL009 — mixed dimensions in additive/comparison positions
+# ----------------------------------------------------------------------
+
+
+class TestRPL009:
+    def test_add_mixes_power_and_time(self):
+        findings = dim_lint(
+            """
+            def _f(power_w: float, duration_s: float) -> float:
+                return power_w + duration_s
+            """
+        )
+        assert codes_of(findings) == ["RPL009"]
+        assert "mixed dimensions: W + s" in findings[0].message
+
+    def test_comparison_mixes_data_and_time(self):
+        findings = dim_lint(
+            """
+            def _f(size_bytes: float, start_s: float) -> bool:
+                return size_bytes > start_s
+            """
+        )
+        assert codes_of(findings) == ["RPL009"]
+        assert "comparison mixes dimensions: bytes > s" in findings[0].message
+
+    def test_augmented_assign_mixes_energy_and_time(self):
+        findings = dim_lint(
+            """
+            def _f(total_j: float, dt_s: float) -> float:
+                total_j += dt_s
+                return total_j
+            """
+        )
+        assert codes_of(findings) == ["RPL009"]
+        assert "augmented assignment mixes dimensions" in findings[0].message
+
+    def test_min_mixes_dimensions(self):
+        findings = dim_lint(
+            """
+            def _f(a_s: float, b_bytes: float) -> float:
+                return min(a_s, b_bytes)
+            """
+        )
+        assert codes_of(findings) == ["RPL009"]
+        assert "min() mixes dimensions" in findings[0].message
+
+    def test_provably_dimensionless_does_not_unify(self):
+        # The canonical day-fraction bug: a seeded uniform(0.2, 0.3)
+        # sample is provably dimensionless and must NOT absorb seconds.
+        findings = dim_lint(
+            """
+            def _f(rng, day_s: float) -> float:
+                frac = rng.uniform(0.2, 0.3)
+                return frac + day_s
+            """
+        )
+        assert codes_of(findings) == ["RPL009"]
+        assert "dimensionless + s" in findings[0].message
+
+    def test_composed_arithmetic_is_clean(self):
+        findings = dim_lint(
+            """
+            def _f(power_w: float, duration_s: float, base_j: float) -> float:
+                return power_w * duration_s + base_j
+            """
+        )
+        assert findings == []
+
+    def test_numeric_literals_are_polymorphic(self):
+        findings = dim_lint(
+            """
+            def _f(start_s: float) -> float:
+                return start_s + 1.0
+            """
+        )
+        assert findings == []
+
+    def test_scaled_fraction_is_clean(self):
+        findings = dim_lint(
+            """
+            def _f(rng, day_s: float, start_s: float) -> float:
+                frac = rng.uniform(0.2, 0.3)
+                return frac * day_s + start_s
+            """
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL010 — assignment changes a declared dimension
+# ----------------------------------------------------------------------
+
+
+class TestRPL010:
+    def test_suffixed_name_rebound_to_other_dimension(self):
+        findings = dim_lint(
+            """
+            def _f(size_bytes: float) -> float:
+                duration_s = size_bytes
+                return duration_s
+            """
+        )
+        assert codes_of(findings) == ["RPL010"]
+        assert (
+            "changes the dimension of 'duration_s': the name declares s "
+            "but the value is bytes" in findings[0].message
+        )
+
+    def test_alias_annotated_assignment(self):
+        findings = dim_lint(
+            """
+            def _f(size: Bytes) -> float:
+                start: Seconds = size
+                return start
+            """
+        )
+        assert codes_of(findings) == ["RPL010"]
+
+    def test_attribute_target_is_checked(self):
+        findings = dim_lint(
+            """
+            def _f(self, size_bytes: float) -> None:
+                self.deadline_s = size_bytes
+            """
+        )
+        assert codes_of(findings) == ["RPL010"]
+
+    def test_derived_dimension_assignment_is_clean(self):
+        findings = dim_lint(
+            """
+            def _f(size_bytes: float, rate_bps: float) -> float:
+                duration_s = size_bytes / rate_bps
+                return duration_s
+            """
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL011 — call-site argument dimension mismatch
+# ----------------------------------------------------------------------
+
+
+class TestRPL011:
+    SWAPPED = """
+        def _g(rate_bps: float, window_s: float) -> float:
+            return rate_bps * window_s
+
+        def _f(duration_s: float, size_bytes: float) -> float:
+            return _g(duration_s, size_bytes)
+        """
+
+    def test_swapped_positional_arguments(self):
+        findings = dim_lint(self.SWAPPED)
+        assert codes_of(findings) == ["RPL011", "RPL011"]
+        assert (
+            "argument 'rate_bps' of _g() has dimension s, "
+            "expected bytes/s" in findings[0].message
+        )
+        assert (
+            "argument 'window_s' of _g() has dimension bytes, "
+            "expected s" in findings[1].message
+        )
+
+    def test_keyword_argument(self):
+        findings = dim_lint(
+            """
+            def _g(rate_bps: float) -> float:
+                return rate_bps
+
+            def _f(duration_s: float) -> float:
+                return _g(rate_bps=duration_s)
+            """
+        )
+        assert codes_of(findings) == ["RPL011"]
+
+    def test_units_converter_contract(self):
+        # bdp_bytes(bandwidth_bytes_per_s, rtt_s) called with the
+        # arguments swapped — resolved through the repro.units summary.
+        findings = dim_lint(
+            """
+            from repro.units import bdp_bytes
+
+            def _f(rtt_s: float, rate_bps: float) -> float:
+                return bdp_bytes(rtt_s, rate_bps)
+            """
+        )
+        assert codes_of(findings) == ["RPL011", "RPL011"]
+
+    def test_dataclass_constructor_contract(self):
+        findings = dim_lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class _Transfer:
+                size_bytes: float
+                deadline_s: float
+
+            def _f(duration_s: float, volume_bytes: float):
+                return _Transfer(duration_s, volume_bytes)
+            """
+        )
+        assert codes_of(findings) == ["RPL011", "RPL011"]
+
+    def test_matching_arguments_are_clean(self):
+        findings = dim_lint(
+            """
+            def _g(rate_bps: float, window_s: float) -> float:
+                return rate_bps * window_s
+
+            def _f(duration_s: float, link_bps: float) -> float:
+                return _g(link_bps, duration_s)
+            """
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL012 — return value contradicts the annotated alias
+# ----------------------------------------------------------------------
+
+
+class TestRPL012:
+    def test_power_returned_as_energy(self):
+        findings = dim_lint(
+            """
+            def _f(power_w: float) -> Joules:
+                return power_w
+            """
+        )
+        assert codes_of(findings) == ["RPL012"]
+        assert (
+            "return value has dimension W but the function is "
+            "annotated J" in findings[0].message
+        )
+
+    def test_composed_return_is_clean(self):
+        findings = dim_lint(
+            """
+            def _f(power_w: float, duration_s: float) -> Joules:
+                return power_w * duration_s
+            """
+        )
+        assert findings == []
+
+    def test_numeric_literal_return_is_clean(self):
+        findings = dim_lint(
+            """
+            def _f() -> Joules:
+                return 0.0
+            """
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# scope, suppression, flow-sensitivity
+# ----------------------------------------------------------------------
+
+
+class TestScopeAndFlow:
+    BAD = """
+        def _f(power_w: float, duration_s: float) -> float:
+            return power_w + duration_s
+        """
+
+    def test_out_of_scope_package_is_not_checked(self):
+        assert dim_lint(self.BAD, path=HARNESS) == []
+
+    def test_units_module_is_exempt(self):
+        # repro.units is where raw conversion arithmetic legitimately
+        # lives; the pass must not police its own vocabulary.
+        assert dim_lint(self.BAD, path="src/repro/units.py") == []
+
+    def test_noqa_suppresses(self):
+        findings = dim_lint(
+            """
+            def _f(power_w: float, duration_s: float) -> float:
+                return power_w + duration_s  # repro: noqa[RPL009]
+            """
+        )
+        assert findings == []
+
+    def test_disagreeing_branches_drop_the_binding(self):
+        # x is bytes on one branch and seconds on the other: after the
+        # join it is unknown, so the later use must not false-positive.
+        findings = dim_lint(
+            """
+            def _f(flag: bool, size_bytes: float, start_s: float) -> float:
+                if flag:
+                    x = size_bytes
+                else:
+                    x = start_s
+                return x + start_s
+            """
+        )
+        assert findings == []
+
+    def test_agreeing_branches_keep_the_binding(self):
+        findings = dim_lint(
+            """
+            def _f(flag: bool, a_s: float, b_s: float) -> None:
+                if flag:
+                    x = a_s
+                else:
+                    x = b_s
+                y_bytes = x
+            """
+        )
+        assert codes_of(findings) == ["RPL010"]
+
+    def test_rebinding_tracks_the_latest_value(self):
+        findings = dim_lint(
+            """
+            def _f(size_bytes: float, rate_bps: float) -> float:
+                x = size_bytes
+                x = x / rate_bps
+                y_s = x
+                return y_s
+            """
+        )
+        assert findings == []
+
+    def test_comprehension_element_dimension_propagates(self):
+        findings = dim_lint(
+            """
+            def _f(jobs) -> float:
+                total_j = sum(j.energy_j for j in jobs)
+                return total_j
+            """
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# interprocedural summaries
+# ----------------------------------------------------------------------
+
+
+class TestSummaries:
+    def test_summarize_module_contracts(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                from typing import ClassVar
+
+                def send(size_bytes: float, rate: BytesPerSecond) -> Seconds:
+                    return size_bytes / rate
+
+                class Job:
+                    energy_j: float
+                    CACHE: ClassVar[int] = 3
+
+                    def bill(self, dollars_per_kwh: float) -> float:
+                        return 0.0
+                """
+            )
+        )
+        table = summarize_module(tree)
+        send = table["send"]
+        assert send.positional == ("size_bytes", "rate")
+        assert send.param_dims == {
+            "size_bytes": BYTES,
+            "rate": BYTES_PER_S,
+        }
+        assert send.return_dim == SECONDS
+        ctor = table["Job"]
+        assert ctor.positional == ("energy_j",)  # ClassVar skipped
+        assert ctor.param_dims == {"energy_j": JOULES}
+        bill = table["Job.bill"]
+        assert bill.positional == ("dollars_per_kwh",)  # self dropped
+        assert bill.param_dims == {"dollars_per_kwh": DOLLARS / JOULES}
+
+    def test_summary_table_resolves_real_tree(self):
+        table = SummaryTable(str(REPO_ROOT / "src" / "repro" / "core" / "x.py"))
+        units = table.module("repro.units")
+        assert units["mbps"].return_dim == BYTES_PER_S
+        assert units["bdp_bytes"].param_dims["rtt_s"] == SECONDS
+        actions = table.module("repro.chaos.actions")
+        assert actions["LinkScale"].param_dims["time"] == SECONDS
+
+
+# ----------------------------------------------------------------------
+# mutation harness: flip one unit per dimension pair
+# ----------------------------------------------------------------------
+
+#: A dimensionally clean snippet exercising time, data, rate, power,
+#: energy and currency; each mutation below flips exactly one unit
+#: suffix and must be caught by exactly the expected rule.
+CLEAN_SNIPPET = textwrap.dedent(
+    """
+    from repro.units import Joules, Seconds
+
+
+    def _transfer_energy(power_w: float, duration_s: float) -> Joules:
+        return power_w * duration_s
+
+
+    def _transfer_window(size_bytes: float, rate_bps: float) -> Seconds:
+        window_s = size_bytes / rate_bps
+        return window_s
+
+
+    def _day_energy(idle_w: float, day_s: float) -> float:
+        return _transfer_energy(idle_w, day_s)
+
+
+    def _charge_energy(dollars_per_kwh: float, cost_usd: float) -> Joules:
+        return cost_usd / dollars_per_kwh
+
+
+    def _backlog(queue_bytes: float, chunk_bytes: float) -> float:
+        return queue_bytes + chunk_bytes
+    """
+)
+
+#: (dimension pair, original fragment, mutated fragment, expected rule).
+MUTATIONS = [
+    (
+        "s-vs-bytes",
+        "window_s = size_bytes / rate_bps",
+        "window_s = size_s / rate_bps",
+        "RPL010",
+    ),
+    (
+        "W-vs-J",
+        "_transfer_energy(idle_w, day_s)",
+        "_transfer_energy(idle_j, day_s)",
+        "RPL011",
+    ),
+    (
+        "J-vs-dollars",
+        "return cost_usd / dollars_per_kwh",
+        "return cost_j / dollars_per_kwh",
+        "RPL012",
+    ),
+    (
+        "bps-vs-bytes",
+        "return queue_bytes + chunk_bytes",
+        "return queue_bytes + chunk_bps",
+        "RPL009",
+    ),
+]
+
+
+class TestMutationHarness:
+    def test_clean_snippet_is_clean(self):
+        assert dim_lint(CLEAN_SNIPPET) == []
+
+    @pytest.mark.parametrize(
+        ("pair", "original", "mutated", "expected"),
+        MUTATIONS,
+        ids=[m[0] for m in MUTATIONS],
+    )
+    def test_unit_flip_is_detected_by_exactly_one_rule(
+        self, pair, original, mutated, expected
+    ):
+        assert original in CLEAN_SNIPPET, "mutation target drifted"
+        source = CLEAN_SNIPPET.replace(original, mutated)
+        findings = dim_lint(source)
+        assert codes_of(findings) == [expected], (
+            f"{pair}: expected exactly one {expected}, got "
+            + (", ".join(f.render() for f in findings) or "nothing")
+        )
+
+
+# ----------------------------------------------------------------------
+# pinned regressions on real modules
+# ----------------------------------------------------------------------
+
+
+class TestRealCodeRegressions:
+    def test_scenarios_day_fraction_mutation_is_caught(self):
+        """Dropping ``* day_s`` from a scenario start time — the
+        day-fraction-boundary bug class — trips RPL009 at the addition
+        and RPL011 at the ``LinkScale(time=...)`` call site."""
+        path = REPO_ROOT / "src" / "repro" / "chaos" / "scenarios.py"
+        source = path.read_text(encoding="utf-8")
+        target = "float(rng.uniform(0.20, 0.30)) * day_s"
+        assert target in source, "scenario fixture drifted"
+        clean = lint_source(
+            source, path=str(path), rules=rules_by_code(DIM_CODES)
+        )
+        assert clean == []
+        mutated = lint_source(
+            source.replace(target, "float(rng.uniform(0.20, 0.30))", 1),
+            path=str(path),
+            rules=rules_by_code(DIM_CODES),
+        )
+        codes = codes_of(mutated)
+        assert "RPL009" in codes
+        assert "RPL011" in codes
+        messages = " | ".join(f.message for f in mutated)
+        assert "dimensionless" in messages
+
+    def test_kwh_factor_goes_through_named_constant(self):
+        """The 3.6e6 J/kWh factor must flow through JOULES_PER_KWH —
+        the raw-literal bypass in the service report was fixed, and
+        RPL001 now catches the class mechanically."""
+        simulate = (
+            REPO_ROOT / "src" / "repro" / "service" / "simulate.py"
+        ).read_text(encoding="utf-8")
+        assert "3.6e6" not in simulate
+        assert "3600000" not in simulate
+        assert "JOULES_PER_KWH" in simulate
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                def _f(energy_j: float) -> float:
+                    return energy_j / 3.6e6
+                """
+            ),
+            path=CORE,
+            rules=rules_by_code(["RPL001"]),
+        )
+        assert codes_of(findings) == ["RPL001"]
+
+
+# ----------------------------------------------------------------------
+# --changed scoping
+# ----------------------------------------------------------------------
+
+
+def _git(cwd: Path, *argv: str) -> None:
+    subprocess.run(
+        ["git", *argv], cwd=cwd, check=True, capture_output=True
+    )
+
+
+def _seed_repo(tmp_path: Path) -> Path:
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    target = pkg / "transfer.py"
+    target.write_text(CLEAN_SNIPPET, encoding="utf-8")
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "config", "user.email", "lint@test.invalid")
+    _git(tmp_path, "config", "user.name", "lint test")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    return target
+
+
+class TestChangedScoping:
+    def test_scoping_never_hides_a_finding(self, tmp_path, monkeypatch):
+        """``--changed`` on a modified file reports exactly what a full
+        run of the same tree reports — scoping narrows the file list,
+        never the per-file analysis."""
+        target = _seed_repo(tmp_path)
+        bad = CLEAN_SNIPPET.replace(
+            "return queue_bytes + chunk_bytes",
+            "return queue_bytes + chunk_bps",
+        )
+        target.write_text(bad, encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        changed = changed_python_files(["src"])
+        assert changed is not None
+        assert [Path(p).name for p in changed] == ["transfer.py"]
+        rules = rules_by_code(DIM_CODES)
+        full = lint_paths([tmp_path / "src"], rules=rules)
+        scoped = lint_paths(changed, rules=rules)
+        assert {(f.code, f.line) for f in full} == {
+            (f.code, f.line) for f in scoped
+        }
+        assert full, "fixture should produce at least one finding"
+
+    def test_cli_changed_reports_the_finding(self, tmp_path, monkeypatch, capsys):
+        target = _seed_repo(tmp_path)
+        target.write_text(
+            CLEAN_SNIPPET.replace(
+                "return queue_bytes + chunk_bytes",
+                "return queue_bytes + chunk_bps",
+            ),
+            encoding="utf-8",
+        )
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["src", "--changed", "--no-baseline"]) == 1
+        assert "RPL009" in capsys.readouterr().out
+
+    def test_cli_changed_with_clean_tree_is_quiet(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        _seed_repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["src", "--changed", "--no-baseline"]) == 0
+        assert "no changed files" in capsys.readouterr().out
+
+    def test_fails_open_outside_git(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "nowhere"))
+        assert changed_python_files(["src"]) is None
+
+
+# ----------------------------------------------------------------------
+# the baseline ratchet gate
+# ----------------------------------------------------------------------
+
+
+class TestCompareBaselines:
+    def test_growth_is_a_violation(self):
+        old = {"src/a.py::RPL001": 1}
+        new = {"src/a.py::RPL001": 2}
+        assert compare_baselines(old, new) == [
+            "src/a.py::RPL001: baseline grew 1 -> 2"
+        ]
+
+    def test_new_bucket_is_a_violation(self):
+        violations = compare_baselines({}, {"src/b.py::RPL009": 1})
+        assert violations == [
+            "src/b.py::RPL009: new baseline bucket (1 finding(s))"
+        ]
+
+    def test_shrinking_and_vanishing_are_fine(self):
+        assert compare_baselines({"src/a.py::RPL001": 2}, {}) == []
+        assert (
+            compare_baselines(
+                {"src/a.py::RPL001": 2}, {"src/a.py::RPL001": 1}
+            )
+            == []
+        )
+
+    @staticmethod
+    def _write_baseline(path: Path, entries: dict) -> Path:
+        path.write_text(
+            json.dumps({"version": 1, "entries": entries}), encoding="utf-8"
+        )
+        return path
+
+    def test_cli_gate_fails_on_growth(self, tmp_path, capsys):
+        old = self._write_baseline(tmp_path / "old.json", {})
+        new = self._write_baseline(
+            tmp_path / "new.json", {"src/a.py::RPL009": 1}
+        )
+        code = lint_main(
+            ["--compare-baseline", str(old), "--baseline", str(new)]
+        )
+        assert code == 1
+        assert "baseline ratchet violation" in capsys.readouterr().out
+
+    def test_cli_gate_passes_when_nothing_grew(self, tmp_path, capsys):
+        old = self._write_baseline(
+            tmp_path / "old.json", {"src/a.py::RPL001": 2}
+        )
+        new = self._write_baseline(
+            tmp_path / "new.json", {"src/a.py::RPL001": 1}
+        )
+        code = lint_main(
+            ["--compare-baseline", str(old), "--baseline", str(new)]
+        )
+        assert code == 0
+        assert "ratchet holds" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# repo self-check
+# ----------------------------------------------------------------------
+
+
+class TestRepoIsDimensionallyClean:
+    def test_dim_pass_over_src_is_clean(self):
+        """RPL009–RPL012 over the real tree: zero findings, zero debt."""
+        findings = lint_paths(
+            [REPO_ROOT / "src"],
+            rules=rules_by_code(DIM_CODES),
+            relative_to=REPO_ROOT,
+        )
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_baseline_has_no_energy_package_debt(self):
+        baseline = load_baseline(REPO_ROOT / ".repro-lint-baseline.json")
+        dirty = [
+            key
+            for key in baseline
+            if key.startswith(
+                (
+                    "src/repro/core",
+                    "src/repro/netsim",
+                    "src/repro/power",
+                    "src/repro/topo",
+                )
+            )
+        ]
+        assert dirty == []
+
+    def test_baseline_has_no_dimensional_debt_anywhere(self):
+        baseline = load_baseline(REPO_ROOT / ".repro-lint-baseline.json")
+        dim_debt = [
+            key
+            for key in baseline
+            if key.endswith(("RPL009", "RPL010", "RPL011", "RPL012"))
+        ]
+        assert dim_debt == []
