@@ -167,7 +167,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="identical-link shards to run (default 8)")
     p.add_argument("--routing", default="tenant-hash",
                    help="dispatch heuristic: tenant-hash | least-loaded | "
-                        "weighted | round-robin (default tenant-hash)")
+                        "weighted | round-robin | topology-aware "
+                        "(needs --topology; shards become leaf/pod "
+                        "pairs) (default tenant-hash)")
     p.add_argument("--steal-threshold", type=float, default=4.0,
                    help="work-stealing saturation factor over the fleet's "
                         "mean relative backlog; 0 disables (default 4.0)")

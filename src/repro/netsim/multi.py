@@ -35,7 +35,12 @@ from repro.netsim.engine import (
 )
 from repro.power.models import FineGrainedPowerModel
 from repro.testbeds.specs import Testbed
-from repro.topo.alloc import FlowDemand, allocate
+from repro.topo.alloc import (
+    AllocationResult,
+    FlowDemand,
+    alloc_cache_info,
+    refill,
+)
 from repro.topo.core import Path, Topology, build_topology
 from repro.topo.placement import Placer
 from repro.units import Bytes, BytesPerSecond, Joules, Seconds
@@ -134,7 +139,7 @@ class MultiTransferSimulator:
         #: topology attached every admitted job is placed on a path by
         #: the :class:`~repro.topo.placement.Placer` and each round's
         #: rates are capped by the network-wide water-fill
-        #: (:meth:`_topo_round`).
+        #: (:meth:`_impose_caps`).
         if isinstance(topology, str):
             topology = build_topology(
                 topology, bandwidth=testbed.path.bandwidth
@@ -150,6 +155,19 @@ class MultiTransferSimulator:
         #: Change-detection state for the topology observer events.
         self._congested_flows: set[str] = set()
         self._last_loads: dict[str, float] = {}
+        #: Round-level allocation reuse (DESIGN.md §5h): the signature
+        #: the imposed caps were computed under — ``(topology version,
+        #: per-flow (name, path, demand) tuple)`` — plus the imposed
+        #: :class:`AllocationResult` itself so the next changed round
+        #: can :func:`~repro.topo.alloc.refill` instead of re-solving.
+        self._alloc_sig: Optional[tuple] = None
+        self._alloc_prev: Optional[AllocationResult] = None
+        self._alloc_version = -1
+        #: Coalesced ``allocation_cached`` stretch (start time and
+        #: cache-served round count), flushed on the first non-cached
+        #: round and by :meth:`flush_topo_events`.
+        self._cached_span_start: Optional[Seconds] = None
+        self._cached_span_rounds = 0
         self._jobs: list[tuple[JobRecord, TransferEngine]] = []
         self._names: set[str] = set()
         # Incremental indexes: ``step``/``run_until`` never scan the
@@ -351,7 +369,40 @@ class MultiTransferSimulator:
             backgrounds.append(worst - count + ambient)
         return backgrounds
 
-    def _topo_round(
+    def _note_alloc_round(
+        self, *, hits: int, misses: int, incremental: int
+    ) -> None:
+        """Account one allocation round's cache traffic and extend (or
+        flush) the coalesced ``allocation_cached`` stretch."""
+        if self.observer is not None:
+            self.observer.alloc_cache(hits, misses, incremental)
+        if hits and not misses:
+            if self._cached_span_start is None:
+                self._cached_span_start = self.time
+            self._cached_span_rounds += 1
+        else:
+            self.flush_topo_events()
+
+    def flush_topo_events(self) -> None:
+        """Emit the pending coalesced ``allocation_cached`` stretch.
+
+        Called on the first non-cached round and by the drivers at the
+        end of a run, mirroring the engine's coalesced
+        ``fixed_dt_fallback`` contract: one event per stretch, so the
+        stream stays bounded for fleet-scale topology days.
+        """
+        if self._cached_span_start is None:
+            return
+        if self.observer is not None:
+            self.observer.allocation_cached(
+                self._cached_span_start,
+                self._cached_span_rounds,
+                self.time - self._cached_span_start,
+            )
+        self._cached_span_start = None
+        self._cached_span_rounds = 0
+
+    def _impose_caps(
         self, running: list[tuple[JobRecord, TransferEngine]]
     ) -> None:
         """Impose each flow's network-wide share as an engine rate cap.
@@ -367,6 +418,16 @@ class MultiTransferSimulator:
         and the peer stream counts are frozen (``stable_steps`` /
         ``count_stable_steps``), hence so are the demands and the caps:
         freezing them across the span is exact, not approximate.
+
+        Rounds are keyed on ``(topology version, per-flow (name, path,
+        demand))``. An unchanged signature skips the allocator
+        entirely — the caps already imposed *are* the fixed point for
+        these inputs (caps are a pure function of demands, paths and
+        capacities, and nothing else touches
+        ``engine.set_capacity_cap``) — so a stretch of frozen rounds
+        never re-allocates at all. A changed signature re-solves
+        through :func:`~repro.topo.alloc.refill`, splicing untouched
+        interference components from the previous round's result.
         """
         if self._placer is None:
             return
@@ -385,8 +446,33 @@ class MultiTransferSimulator:
             flows.append(FlowDemand(record.name, path.bottlenecks, demand))
             members.append((record, engine, path))
         if not flows:
+            # Any previously imposed caps were reset above (or their
+            # flows completed): the next non-empty round must re-impose
+            # from scratch, not signature-skip against stale caps.
+            self._alloc_sig = None
+            self._alloc_prev = None
             return
-        result = allocate(self.topology, flows)
+        assert self.topology is not None
+        version = self.topology.version
+        sig = (version, tuple((f.flow, f.path, f.demand) for f in flows))
+        if sig == self._alloc_sig:
+            self._note_alloc_round(hits=1, misses=0, incremental=0)
+            return
+        prev = self._alloc_prev if self._alloc_version == version else None
+        info0 = alloc_cache_info()
+        result = refill(self.topology, flows, prev)
+        info1 = alloc_cache_info()
+        hits = info1.hits - info0.hits
+        misses = info1.misses - info0.misses
+        served = hits > 0 and misses == 0
+        self._note_alloc_round(
+            hits=1 if served else 0,
+            misses=0 if served else 1,
+            incremental=1 if prev is not None and not served else 0,
+        )
+        self._alloc_sig = sig
+        self._alloc_prev = result
+        self._alloc_version = version
         observer = self.observer
         for record, engine, path in members:
             name = record.name
@@ -420,7 +506,17 @@ class MultiTransferSimulator:
         flow? The fast path's escape hatch: a refill round whose new
         demands still clear every bottleneck needs no exact step, since
         the interior grid steps would compute the same ``None`` caps
-        the span froze."""
+        the span froze.
+
+        Re-solves through :func:`~repro.topo.alloc.refill` seeded with
+        the round's :meth:`_impose_caps` result, so only the flows
+        whose demand the work assignment actually moved (and their
+        interference components) are re-filled — the refill
+        bit-identity contract makes the binding decision identical to
+        a from-scratch ``allocate``. Read-only: the imposed result and
+        signature are left untouched (they describe the
+        *pre*-assignment demands the caps were computed for).
+        """
         flows: list[FlowDemand] = []
         for record, engine in running:
             path = self._flow_paths.get(record.name)
@@ -432,7 +528,13 @@ class MultiTransferSimulator:
             flows.append(FlowDemand(record.name, path.bottlenecks, demand))
         if not flows:
             return False
-        result = allocate(self.topology, flows)
+        assert self.topology is not None
+        prev = (
+            self._alloc_prev
+            if self._alloc_version == self.topology.version
+            else None
+        )
+        result = refill(self.topology, flows, prev)
         return any(hop is not None for hop in result.binding.values())
 
     # ------------------------------------------------------------------
@@ -478,7 +580,7 @@ class MultiTransferSimulator:
         flows whose placed path crosses ``name`` feel it, through the
         next round's water-fill. Engine rate caps carry the bottleneck
         capacities in their allocation-memo signatures, so no cache
-        invalidation is needed — the next ``_topo_round`` simply
+        invalidation is needed — the next ``_impose_caps`` simply
         computes (and imposes) the new shares. Returns the bottleneck's
         new effective capacity in bytes/s.
         """
@@ -609,7 +711,7 @@ class MultiTransferSimulator:
         backgrounds = self._backgrounds(running, counts, sum(counts))
         for (_record, engine), background in zip(running, backgrounds):
             engine.set_background_streams(background)
-        self._topo_round(running)
+        self._impose_caps(running)
         for record, engine in running:
             before_energy = engine.total_energy
             engine.step()
@@ -688,7 +790,7 @@ class MultiTransferSimulator:
             )
             for i, engine in enumerate(engines):
                 engine.set_background_streams(backgrounds[i])
-            self._topo_round(running)
+            self._impose_caps(running)
             prepared_busy: list[list[Channel]] = []
             prepared_rates: list[dict[int, float]] = []
             for engine in engines:
@@ -808,6 +910,7 @@ class MultiTransferSimulator:
             )
         while self.time < max_time and not all(r.finished for r, _ in self._jobs):
             self.step()
+        self.flush_topo_events()
         unfinished = [r for r, _ in self._jobs if not r.finished]
         if unfinished:
             names = ", ".join(r.name for r in unfinished)

@@ -67,6 +67,10 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "job_placed": frozenset({"job", "path", "policy"}),
     "bottleneck_allocated": frozenset({"bottleneck", "capacity", "flows", "rate"}),
     "path_congested": frozenset({"job", "path", "bottleneck", "demand", "rate"}),
+    # One coalesced event per stretch of consecutive allocation rounds
+    # served entirely from cache (frozen busy signature or memo hit) —
+    # the topology sibling of ``fixed_dt_fallback`` coalescing.
+    "allocation_cached": frozenset({"rounds", "span_s"}),
 }
 
 

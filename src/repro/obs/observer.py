@@ -294,6 +294,36 @@ class Observer:
             bottleneck=bottleneck, demand=demand, rate=rate,
         )
 
+    def alloc_cache(self, hits: int, misses: int, incremental: int) -> None:
+        """Account one topology allocation round's cache traffic
+        (counters only — the decision-relevant stretches are emitted
+        by :meth:`allocation_cached`). A *hit* round was served without
+        solving (frozen busy signature or allocation-memo hit); a
+        *miss* round ran the water-fill; ``incremental`` flags miss
+        rounds that re-solved through
+        :func:`repro.topo.alloc.refill` with a previous fixed point to
+        splice from."""
+        if hits:
+            self.metrics.counter("topo.alloc_cache_hits").inc(hits)
+        if misses:
+            self.metrics.counter("topo.alloc_cache_misses").inc(misses)
+        if incremental:
+            self.metrics.counter("topo.alloc_incremental_rounds").inc(
+                incremental
+            )
+
+    def allocation_cached(
+        self, time: Seconds, rounds: int, span_s: Seconds
+    ) -> None:
+        """A stretch of ``rounds`` consecutive allocation rounds was
+        served entirely from cache, covering ``span_s`` simulated
+        seconds. Coalesced per stretch (one event, like
+        ``fixed_dt_fallback``), so topology days stay bounded."""
+        self.metrics.counter("topo.alloc_cached_stretches").inc()
+        self.events.emit(
+            time, "allocation_cached", rounds=rounds, span_s=span_s
+        )
+
     # -- engine event-log forwarding -----------------------------------
 
     def engine_event(self, time: Seconds, kind: str, detail: dict) -> None:
@@ -395,6 +425,11 @@ def _fmt_detail(kind: str, detail: dict) -> str:
             f"{units.to_mbps(detail['rate']):.1f} Mbps by "
             f"{detail['bottleneck']} (wanted "
             f"{units.to_mbps(detail['demand']):.1f})"
+        )
+    if kind == "allocation_cached":
+        return (
+            f"{detail['rounds']} cached round(s) "
+            f"({detail['span_s']:.2f} s)"
         )
     if kind == "slo_breach":
         value = detail["value"]

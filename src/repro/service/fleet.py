@@ -20,7 +20,13 @@ Routing is deterministic (load-balancer heuristics, no RNG):
   dispatch time (psim's least-loaded job placement);
 * ``weighted`` — tenant hash mapped through the cumulative shard
   weights, so capacity-weighted shards draw proportional traffic;
-* ``round-robin`` — strict rotation.
+* ``round-robin`` — strict rotation;
+* ``topology-aware`` — shard = endpoint pair of a shared fabric
+  (:func:`topology_pair_shards` carves one picklable per-pair spec per
+  leaf/pod pair): the router water-fills every shard's byte backlog
+  over the fabric (:func:`repro.topo.alloc.refill`, incremental per
+  request), reads the allocator's live ``bottleneck_load``, and sends
+  each job to the pair whose worst trunk is least pressured.
 
 All of them compose with **work stealing**: when the chosen shard's
 weight-relative backlog exceeds ``steal_threshold`` times the fleet
@@ -51,6 +57,7 @@ year; this module actually simulates the fleet's day.)
 from __future__ import annotations
 
 import itertools
+import math
 import os
 import pickle
 import time
@@ -85,6 +92,13 @@ from repro.service.simulate import (
 )
 from repro.service.tariff import JOULES_PER_KWH, TariffTrace
 from repro.testbeds.specs import Testbed
+from repro.topo.alloc import AllocationResult, FlowDemand, refill
+from repro.topo.core import (
+    Topology,
+    _float_param,
+    _parse_params,
+    build_topology,
+)
 from repro.units import Joules, Seconds
 
 __all__ = [
@@ -96,10 +110,14 @@ __all__ = [
     "ShardResult",
     "ShardSpec",
     "route_requests",
+    "topology_pair_shards",
 ]
 
 #: Deterministic dispatch heuristics understood by :func:`route_requests`.
-ROUTING_POLICIES = ("tenant-hash", "least-loaded", "weighted", "round-robin")
+ROUTING_POLICIES = (
+    "tenant-hash", "least-loaded", "weighted", "round-robin",
+    "topology-aware",
+)
 
 
 def _stable_hash(text: str) -> int:
@@ -119,17 +137,92 @@ class ShardSpec:
     ``weight`` scales the shard's fair share under ``least-loaded`` /
     ``weighted`` routing and the work-stealing saturation test (a
     weight-2 shard is expected to carry twice the bytes).
+
+    Under ``topology-aware`` routing a shard is one endpoint pair of a
+    shared fabric: ``topology`` is the carved per-pair spec string its
+    executor builds (picklable, so ProcessPool dispatch stays
+    identity-safe), and ``bottlenecks`` names the fabric trunks the
+    router registers the shard's backlog on.
     """
 
     name: str
     testbed: Testbed
     weight: float = 1.0
+    topology: Optional[str] = None
+    bottlenecks: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("shard name must be non-empty")
         if not self.weight > 0:
             raise ValueError("shard weight must be > 0")
+
+
+def topology_pair_shards(
+    testbed: Testbed, topology: str
+) -> list[ShardSpec]:
+    """One shard per endpoint pair of a fleet fabric spec.
+
+    ``leaf-spine:s=S,l=L`` yields ``L*(L-1)/2`` shards (one per
+    unordered leaf pair), ``fat-tree:k=K`` one per pod pair. Each
+    shard's carved spec keeps the fabric shape but pre-divides the
+    shared capacity factors — an endpoint trunk is shared by the
+    ``L-1`` (or ``K-1``) pairs touching it, a spine/core by every
+    pair — so the independently simulated shards cannot jointly
+    over-provision the fabric. ``bottlenecks`` names the pair's two
+    endpoint trunks in the *fleet* fabric, which is what the
+    topology-aware router registers backlog demand on.
+    """
+    kind, _, body = topology.partition(":")
+    params = _parse_params(body)
+    if kind == "leaf-spine":
+        spines = int(_float_param(params, "s", 2))
+        leaves = int(_float_param(params, "l", 4))
+        leaf_f = _float_param(params, "leaf", 1.0)
+        spine_f = _float_param(params, "spine", 1.0)
+        if params:
+            raise ValueError(
+                f"unknown leaf-spine parameters: {sorted(params)}"
+            )
+        pairs = [(a, b) for a in range(leaves) for b in range(a + 1, leaves)]
+        return [
+            ShardSpec(
+                name=f"p{a}-{b}",
+                testbed=testbed,
+                topology=(
+                    f"leaf-spine:s={spines},l={leaves},"
+                    f"leaf={leaf_f / (leaves - 1)!r},"
+                    f"spine={spine_f / len(pairs)!r},pair={a}-{b}"
+                ),
+                bottlenecks=(f"leaf{a}", f"leaf{b}"),
+            )
+            for a, b in pairs
+        ]
+    if kind == "fat-tree":
+        k = int(_float_param(params, "k", 4))
+        edge_f = _float_param(params, "edge", 1.0)
+        core_f = _float_param(params, "core", 1.0)
+        if params:
+            raise ValueError(
+                f"unknown fat-tree parameters: {sorted(params)}"
+            )
+        pairs = [(a, b) for a in range(k) for b in range(a + 1, k)]
+        return [
+            ShardSpec(
+                name=f"p{a}-{b}",
+                testbed=testbed,
+                topology=(
+                    f"fat-tree:k={k},edge={edge_f / (k - 1)!r},"
+                    f"core={core_f / len(pairs)!r},pair={a}-{b}"
+                ),
+                bottlenecks=(f"pod{a}", f"pod{b}"),
+            )
+            for a, b in pairs
+        ]
+    raise ValueError(
+        "topology-aware sharding needs a multi-endpoint fabric "
+        f"(leaf-spine or fat-tree), got {topology!r}"
+    )
 
 
 @dataclass(frozen=True)
@@ -150,6 +243,7 @@ def route_requests(
     routing: str = "tenant-hash",
     steal_threshold: Optional[float] = 4.0,
     observer: Optional[Observer] = None,
+    topology: Optional[Topology] = None,
 ) -> RoutingResult:
     """Assign every request to a shard with the chosen heuristic.
 
@@ -162,6 +256,15 @@ def route_requests(
     mean`` hands the job to the least-loaded shard instead (work
     stealing at dispatch time, so the decision is deterministic and
     reproducible from the same inputs).
+
+    ``topology-aware`` routing additionally needs the fleet fabric
+    ``topology`` and per-shard ``bottlenecks``: each dispatch
+    water-fills every backlogged shard's bytes over the fabric
+    (incrementally — :func:`repro.topo.alloc.refill` re-solves only
+    the interference component the previous dispatch touched), then
+    picks the shard whose worst endpoint trunk has the lowest
+    ``(bottleneck_load + request bytes) / capacity`` pressure, ties to
+    the lowest shard index.
     """
     if routing not in ROUTING_POLICIES:
         raise ValueError(
@@ -174,7 +277,27 @@ def route_requests(
     names = [spec.name for spec in shards]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate shard names: {sorted(names)}")
+    if routing == "topology-aware":
+        if topology is None:
+            raise ValueError(
+                "topology-aware routing requires the fleet fabric "
+                "(pass topology=...)"
+            )
+        known = set(topology.bottlenecks)
+        for spec in shards:
+            if not spec.bottlenecks:
+                raise ValueError(
+                    f"shard {spec.name!r} declares no fabric bottlenecks "
+                    "(required for topology-aware routing)"
+                )
+            unknown = [h for h in spec.bottlenecks if h not in known]
+            if unknown:
+                raise ValueError(
+                    f"shard {spec.name!r} references unknown fabric "
+                    f"bottleneck(s): {unknown}"
+                )
     n = len(shards)
+    prev_alloc: Optional[AllocationResult] = None
     weights = np.array([spec.weight for spec in shards], dtype=np.float64)
     total_weight = float(weights.sum())
     cumulative = np.cumsum(weights) / total_weight
@@ -194,6 +317,30 @@ def route_requests(
         elif routing == "round-robin":
             chosen = rr % n
             rr += 1
+        elif routing == "topology-aware":
+            assert topology is not None
+            flows = [
+                FlowDemand(spec.name, spec.bottlenecks, float(backlog[i]))
+                for i, spec in enumerate(shards)
+                if backlog[i] > 0.0
+            ]
+            prev_alloc = refill(topology, flows, prev_alloc)
+            load = prev_alloc.bottleneck_load
+            # Worst-trunk pressure first; allocated load saturates at
+            # capacity, so ties (a fully loaded fabric) fall back to
+            # weight-relative byte backlog, then lowest shard index.
+            chosen = 0
+            best: tuple[float, float] = (math.inf, math.inf)
+            for i, spec in enumerate(shards):
+                pressure = max(
+                    (load.get(hop, 0.0) + request.total_bytes)
+                    / topology.capacity(hop)
+                    for hop in spec.bottlenecks
+                )
+                score = (pressure, float(backlog[i]) / shards[i].weight)
+                if score < best:
+                    best = score
+                    chosen = i
         else:  # least-loaded
             chosen = int(np.argmin(backlog / weights))
         if steal_threshold is not None and n > 1 and backlog[chosen] > 0.0:
@@ -720,6 +867,43 @@ class FleetSimulator:
         self.warm_context = warm_context
         #: Set by :meth:`run`: the accumulated warm-start context.
         self.last_context: Optional[FleetContext] = None
+        #: The fleet fabric the topology-aware router water-fills over
+        #: (built once here, never pickled — shards rebuild their own
+        #: carved views from their spec strings).
+        self._fabric: Optional[Topology] = None
+        if routing == "topology-aware":
+            if self.topology is None:
+                raise ValueError(
+                    "topology-aware routing requires a fleet topology "
+                    "spec (pass topology='leaf-spine:...' or "
+                    "'fat-tree:...')"
+                )
+            if shard_specs is None:
+                # shard = endpoint pair: replace the homogeneous
+                # s0..sN shards (the ``shards`` count is ignored) with
+                # one carved shard per fabric pair
+                assert testbed is not None
+                self.shards = topology_pair_shards(testbed, self.topology)
+            self._fabric = build_topology(
+                self.topology,
+                bandwidth=self.shards[0].testbed.path.bandwidth,
+            )
+            known = set(self._fabric.bottlenecks)
+            for spec in self.shards:
+                if not spec.bottlenecks:
+                    raise ValueError(
+                        f"shard {spec.name!r} declares no fabric "
+                        "bottlenecks (required for topology-aware "
+                        "routing)"
+                    )
+                unknown = [
+                    h for h in spec.bottlenecks if h not in known
+                ]
+                if unknown:
+                    raise ValueError(
+                        f"shard {spec.name!r} references unknown fabric "
+                        f"bottleneck(s): {unknown}"
+                    )
 
     # ------------------------------------------------------------------
 
@@ -745,7 +929,11 @@ class FleetSimulator:
                 "max_channels": self.max_channels,
                 "partition_policy": self.partition_policy,
                 "fast": self.fast,
-                "topology": self.topology,
+                "topology": (
+                    spec.topology
+                    if spec.topology is not None
+                    else self.topology
+                ),
                 "placement": self.placement,
                 "placement_seed": self.placement_seed,
                 "max_time": max_time,
@@ -785,6 +973,7 @@ class FleetSimulator:
             routing=self.routing,
             steal_threshold=self.steal_threshold,
             observer=self.observer,
+            topology=self._fabric,
         )
         payloads = self._payloads(routed, max_time, interventions, on_timeout)
         if self.observer is not None:

@@ -648,6 +648,8 @@ class ServiceSimulator:
             truncated = self._run_fast(states, sim, max_time, actions, on_timeout)
         else:
             truncated = self._run_grid(states, sim, max_time, actions, on_timeout)
+        # close the day's coalesced allocation-cache stretch (if any)
+        sim.flush_topo_events()
         report = ServiceReport(
             testbed=self.testbed.name,
             policy=self.policy.name,

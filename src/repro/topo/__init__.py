@@ -15,7 +15,17 @@ constraints from the topology-wide allocation instead of a private
 link. See DESIGN.md §5h.
 """
 
-from repro.topo.alloc import AllocationResult, FlowDemand, allocate, water_fill
+from repro.topo.alloc import (
+    AllocationResult,
+    AllocCacheInfo,
+    FlowDemand,
+    alloc_cache_clear,
+    alloc_cache_info,
+    allocate,
+    refill,
+    set_alloc_cache,
+    water_fill,
+)
 from repro.topo.core import (
     Bottleneck,
     Path,
@@ -29,6 +39,7 @@ from repro.topo.core import (
 from repro.topo.placement import PLACEMENT_POLICIES, Placer
 
 __all__ = [
+    "AllocCacheInfo",
     "AllocationResult",
     "Bottleneck",
     "FlowDemand",
@@ -36,11 +47,15 @@ __all__ = [
     "Path",
     "Placer",
     "Topology",
+    "alloc_cache_clear",
+    "alloc_cache_info",
     "allocate",
     "build_topology",
     "fat_tree",
     "from_edges",
     "leaf_spine",
+    "refill",
+    "set_alloc_cache",
     "single_link",
     "water_fill",
 ]

@@ -30,6 +30,7 @@ from repro.service import (
 )
 from repro.service.fleet import ROUTING_POLICIES
 from repro.testbeds.specs import testbed_by_name as named_testbed
+from repro.topo.core import build_topology
 
 DAY = 600.0
 
@@ -131,9 +132,20 @@ class TestRouting:
             make_request(name=f"j{i}", tenant=f"t{i % 5}", submit=float(i % 7))
             for i in range(20)
         ]
+        fabric = build_topology("leaf-spine:s=2,l=3",
+                                bandwidth=specs3[0].testbed.path.bandwidth)
+        topo_specs = [
+            ShardSpec(f"p0-{i + 1}", specs3[0].testbed,
+                      bottlenecks=("leaf0", f"leaf{i + 1}"))
+            for i in range(2)
+        ] + [ShardSpec("p1-2", specs3[0].testbed,
+                       bottlenecks=("leaf1", "leaf2"))]
         for routing in ROUTING_POLICIES:
-            a = route_requests(reqs, specs3, routing=routing)
-            b = route_requests(list(reversed(reqs)), specs3, routing=routing)
+            specs = topo_specs if routing == "topology-aware" else specs3
+            topology = fabric if routing == "topology-aware" else None
+            a = route_requests(reqs, specs, routing=routing, topology=topology)
+            b = route_requests(list(reversed(reqs)), specs, routing=routing,
+                               topology=topology)
             assert (
                 [[r.name for r in bucket] for bucket in a.buckets]
                 == [[r.name for r in bucket] for bucket in b.buckets]
